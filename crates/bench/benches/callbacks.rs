@@ -1,0 +1,48 @@
+//! Criterion bench for **Figure 8** — callbacks from the UDF to the server.
+//!
+//! The paper's headline: IC++ pays a full process-boundary round trip per
+//! callback and degrades sharply; JSM callbacks cross only the language
+//! boundary and stay cheap.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use jaguar_bench::{def_for, Design};
+use jaguar_common::ByteArray;
+use jaguar_udf::generic::{GenericParams, IdentityCallbacks};
+
+fn bench_callbacks(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig8_callbacks");
+    group.sample_size(20);
+    let data = ByteArray::patterned(1, 42); // no data transfer (paper §5.1)
+    for n in [1i64, 10, 100] {
+        let params = GenericParams {
+            callbacks: n,
+            ..Default::default()
+        };
+        let args = params.args(data.clone());
+        for design in [Design::Cpp, Design::Jsm, Design::ICpp] {
+            if design == Design::ICpp && jaguar_ipc::find_worker_binary().is_err() {
+                eprintln!("skipping IC++ (no jaguar-worker binary)");
+                continue;
+            }
+            let def = def_for(design);
+            let mut udf = match def.instantiate() {
+                Ok(u) => u,
+                Err(e) => {
+                    eprintln!("skipping {}: {e}", design.label());
+                    continue;
+                }
+            };
+            group.bench_with_input(BenchmarkId::new(design.label(), n), &args, |b, args| {
+                b.iter(|| {
+                    udf.invoke(args, &mut IdentityCallbacks)
+                        .expect("benchmark invocation")
+                })
+            });
+            let _ = udf.finish();
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_callbacks);
+criterion_main!(benches);

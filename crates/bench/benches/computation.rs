@@ -1,0 +1,41 @@
+//! Criterion bench for **Figure 6** — pure (data-independent) computation.
+//!
+//! The paper's finding: the JSM-vs-native gap should be a constant
+//! invocation overhead... for a JIT. Our sandbox interprets, so the gap
+//! grows with the computation — the honest deviation EXPERIMENTS.md
+//! discusses.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use jaguar_bench::{def_for, Design};
+use jaguar_common::ByteArray;
+use jaguar_udf::generic::{GenericParams, IdentityCallbacks};
+
+fn bench_computation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig6_computation");
+    let data = ByteArray::patterned(10_000, 42);
+    for indep in [0i64, 100, 10_000] {
+        let params = GenericParams {
+            data_indep_comps: indep,
+            ..Default::default()
+        };
+        let args = params.args(data.clone());
+        for design in [Design::Cpp, Design::Jsm] {
+            let def = def_for(design);
+            let mut udf = def.instantiate().expect("in-process designs instantiate");
+            group.bench_with_input(
+                BenchmarkId::new(design.label(), indep),
+                &args,
+                |b, args| {
+                    b.iter(|| {
+                        udf.invoke(args, &mut IdentityCallbacks)
+                            .expect("benchmark invocation")
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_computation);
+criterion_main!(benches);

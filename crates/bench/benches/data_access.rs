@@ -1,0 +1,38 @@
+//! Criterion bench for **Figure 7** — data-dependent access.
+//!
+//! Compares plain native, bounds-checked native (§5.4), and the sandbox
+//! on full passes over a 10,000-byte array. The paper's claim under test:
+//! the sandbox's penalty is mostly the bounds checks — it should sit much
+//! closer to BC-C++ than its distance from C++ suggests.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use jaguar_bench::{def_for, Design};
+use jaguar_common::ByteArray;
+use jaguar_udf::generic::{GenericParams, IdentityCallbacks};
+
+fn bench_data_access(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig7_data_access");
+    group.sample_size(20);
+    let data = ByteArray::patterned(10_000, 42);
+    for dep in [1i64, 10] {
+        let params = GenericParams {
+            data_dep_comps: dep,
+            ..Default::default()
+        };
+        let args = params.args(data.clone());
+        for design in [Design::Cpp, Design::BcCpp, Design::Jsm] {
+            let def = def_for(design);
+            let mut udf = def.instantiate().expect("in-process designs instantiate");
+            group.bench_with_input(BenchmarkId::new(design.label(), dep), &args, |b, args| {
+                b.iter(|| {
+                    udf.invoke(args, &mut IdentityCallbacks)
+                        .expect("benchmark invocation")
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_data_access);
+criterion_main!(benches);

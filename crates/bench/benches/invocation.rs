@@ -1,0 +1,49 @@
+//! Criterion bench for **Figure 5** — function invocation costs.
+//!
+//! Invokes a no-work generic UDF through each execution design, for the
+//! paper's three bytearray sizes, at single-invocation granularity (the
+//! `run_experiments` binary measures the same thing at whole-query
+//! granularity).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use jaguar_bench::{def_for, Design};
+use jaguar_common::ByteArray;
+use jaguar_udf::generic::{GenericParams, IdentityCallbacks};
+
+fn bench_invocation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig5_invocation");
+    let params = GenericParams::default(); // no work: pure invocation cost
+    for bytes in [1usize, 100, 10_000] {
+        let data = ByteArray::patterned(bytes, 42);
+        let args = params.args(data);
+        for design in [Design::Cpp, Design::Jsm, Design::ICpp] {
+            if design == Design::ICpp && jaguar_ipc::find_worker_binary().is_err() {
+                eprintln!("skipping IC++ (no jaguar-worker binary)");
+                continue;
+            }
+            let def = def_for(design);
+            let mut udf = match def.instantiate() {
+                Ok(u) => u,
+                Err(e) => {
+                    eprintln!("skipping {}: {e}", design.label());
+                    continue;
+                }
+            };
+            group.bench_with_input(
+                BenchmarkId::new(design.label(), bytes),
+                &args,
+                |b, args| {
+                    b.iter(|| {
+                        udf.invoke(args, &mut IdentityCallbacks)
+                            .expect("benchmark invocation")
+                    })
+                },
+            );
+            let _ = udf.finish();
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_invocation);
+criterion_main!(benches);

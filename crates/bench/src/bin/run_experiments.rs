@@ -1,0 +1,76 @@
+//! Regenerate the paper's tables and figures.
+//!
+//! ```sh
+//! # everything, quick scale (1,000-tuple relations):
+//! cargo run --release -p jaguar-bench --bin run_experiments
+//!
+//! # one experiment at the paper's 10,000-tuple scale:
+//! cargo run --release -p jaguar-bench --bin run_experiments -- fig7 --paper
+//!
+//! # markdown output (for EXPERIMENTS.md):
+//! cargo run --release -p jaguar-bench --bin run_experiments -- all --markdown
+//! ```
+//!
+//! Build the worker binary first (`cargo build --release --workspace`) or
+//! the isolated designs (IC++/IJSM) are skipped with a note.
+
+use jaguar_bench::{ExperimentCtx, Scale};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut names: Vec<String> = Vec::new();
+    let mut scale = Scale::Quick;
+    let mut markdown = false;
+    for a in &args {
+        match a.as_str() {
+            "--paper" => scale = Scale::Paper,
+            "--quick" => scale = Scale::Quick,
+            "--markdown" => markdown = true,
+            other => names.push(other.to_string()),
+        }
+    }
+    if names.is_empty() || names.iter().any(|n| n == "all") {
+        names = vec![
+            "table1", "fig4", "fig5", "fig6", "fig7", "fig8", "sfi", "jit", "fuel",
+            "index", "shipping",
+        ]
+        .into_iter()
+        .map(String::from)
+        .collect();
+    }
+
+    eprintln!(
+        "building workload at {:?} scale ({} tuples per relation)...",
+        scale,
+        scale.cardinality()
+    );
+    let ctx = match ExperimentCtx::new(scale) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("failed to build workload: {e}");
+            std::process::exit(1);
+        }
+    };
+    if !ctx.worker_available() {
+        eprintln!(
+            "note: jaguar-worker binary not found; isolated designs will be skipped \
+             (build with `cargo build --workspace`)"
+        );
+    }
+
+    for name in &names {
+        match ctx.by_name(name) {
+            Ok(table) => {
+                if markdown {
+                    println!("{}", table.render_markdown());
+                } else {
+                    println!("{}", table.render());
+                }
+            }
+            Err(e) => {
+                eprintln!("experiment '{name}' failed: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+}

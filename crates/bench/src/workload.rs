@@ -1,0 +1,105 @@
+//! Workload construction (paper §5.1).
+//!
+//! > "In all our experiments, we used three relations of cardinality
+//! > 10,000. Each relation has an attribute of type ByteArray, and all the
+//! > bytearrays in tuples of the same relation are of the same size.
+//! > Relations Rel1, Rel100, and Rel10000 have byte arrays of size 1, 100,
+//! > 10000 bytes respectively in each tuple."
+//!
+//! Data is generated with the deterministic `SplitMix64` generator so
+//! every run sees byte-identical relations.
+
+use jaguar_common::rng::SplitMix64;
+use jaguar_core::{ByteArray, Database, Result, Tuple, Value};
+
+/// The three standard relations' bytearray sizes.
+pub const REL_SIZES: [usize; 3] = [1, 100, 10_000];
+
+/// Name of the relation with the given bytearray size.
+pub fn rel_name(bytes: usize) -> String {
+    format!("rel{bytes}")
+}
+
+/// Create and populate one `RelN` relation:
+/// `(id INT, bytearray BYTEARRAY)` with ids `0..cardinality`.
+pub fn build_relation(db: &Database, bytes: usize, cardinality: usize) -> Result<()> {
+    let name = rel_name(bytes);
+    db.execute(&format!("CREATE TABLE {name} (id INT, bytearray BYTEARRAY)"))?;
+    let table = db.catalog().table(&name)?;
+    let mut rng = SplitMix64::new(bytes as u64 ^ 0x9E37);
+    for id in 0..cardinality {
+        let mut data = vec![0u8; bytes];
+        rng.fill_bytes(&mut data);
+        table.insert(Tuple::new(vec![
+            Value::Int(id as i64),
+            Value::Bytes(ByteArray::new(data)),
+        ]))?;
+    }
+    Ok(())
+}
+
+/// Build all three standard relations.
+pub fn build_standard(db: &Database, cardinality: usize) -> Result<()> {
+    for bytes in REL_SIZES {
+        build_relation(db, bytes, cardinality)?;
+    }
+    Ok(())
+}
+
+/// The paper's benchmark query template: apply the four-parameter generic
+/// UDF (registered as `udf`) to the first `invocations` tuples.
+pub fn benchmark_query(
+    bytes: usize,
+    invocations: usize,
+    indep: i64,
+    dep: i64,
+    callbacks: i64,
+) -> String {
+    format!(
+        "SELECT udf(R.bytearray, {indep}, {dep}, {callbacks}) FROM {} R WHERE R.id < {invocations}",
+        rel_name(bytes)
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relations_are_deterministic() {
+        let db1 = Database::in_memory();
+        build_relation(&db1, 100, 20).unwrap();
+        let db2 = Database::in_memory();
+        build_relation(&db2, 100, 20).unwrap();
+        let r1 = db1.execute("SELECT bytearray FROM rel100 WHERE id = 7").unwrap();
+        let r2 = db2.execute("SELECT bytearray FROM rel100 WHERE id = 7").unwrap();
+        assert_eq!(r1.rows, r2.rows);
+    }
+
+    #[test]
+    fn cardinality_and_sizes() {
+        let db = Database::in_memory();
+        build_standard(&db, 10).unwrap();
+        for bytes in REL_SIZES {
+            let r = db
+                .execute(&format!("SELECT bytearray FROM {} WHERE id = 0", rel_name(bytes)))
+                .unwrap();
+            let Value::Bytes(b) = r.rows[0].get(0).unwrap() else {
+                panic!()
+            };
+            assert_eq!(b.len(), bytes);
+            let all = db
+                .execute(&format!("SELECT id FROM {}", rel_name(bytes)))
+                .unwrap();
+            assert_eq!(all.rows.len(), 10);
+        }
+    }
+
+    #[test]
+    fn query_template() {
+        assert_eq!(
+            benchmark_query(100, 500, 1, 2, 3),
+            "SELECT udf(R.bytearray, 1, 2, 3) FROM rel100 R WHERE R.id < 500"
+        );
+    }
+}

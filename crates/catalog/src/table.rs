@@ -1,0 +1,283 @@
+//! A named relation backed by a heap file.
+
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use jaguar_common::config::Config;
+use jaguar_common::error::Result;
+use jaguar_common::ids::{RecordId, TableId};
+use jaguar_common::schema::{Schema, SchemaRef};
+use jaguar_common::stream::{read_tuple, write_tuple};
+use jaguar_common::{Tuple, Value};
+use jaguar_common::error::JaguarError;
+use jaguar_common::DataType;
+use jaguar_storage::{BTree, BufferPool, DiskManager, HeapFile};
+use parking_lot::RwLock;
+
+/// A secondary index over one INT column of a table.
+pub struct TableIndex {
+    pub name: String,
+    pub column: usize,
+    pub btree: BTree,
+}
+
+/// A relation: schema + heap file + row count + optional indexes.
+pub struct Table {
+    id: TableId,
+    name: String,
+    schema: SchemaRef,
+    heap: Arc<HeapFile>,
+    rows: AtomicU64,
+    indexes: RwLock<Vec<Arc<TableIndex>>>,
+}
+
+impl Table {
+    /// Create a table backed by an in-memory heap file.
+    pub fn create_in_memory(
+        id: TableId,
+        name: &str,
+        schema: Schema,
+        config: &Config,
+    ) -> Result<Table> {
+        let disk = Arc::new(DiskManager::in_memory(config.page_size));
+        let pool = Arc::new(BufferPool::new(disk, config.buffer_pool_pages));
+        let heap = Arc::new(HeapFile::create(pool)?);
+        Ok(Table {
+            id,
+            name: name.to_string(),
+            schema: Arc::new(schema),
+            heap,
+            rows: AtomicU64::new(0),
+            indexes: RwLock::new(Vec::new()),
+        })
+    }
+
+    /// Create a table backed by a file on disk.
+    pub fn create_at(
+        id: TableId,
+        name: &str,
+        schema: Schema,
+        path: &Path,
+        config: &Config,
+    ) -> Result<Table> {
+        let _ = std::fs::remove_file(path);
+        let disk = Arc::new(DiskManager::open(path, config.page_size)?);
+        let pool = Arc::new(BufferPool::new(disk, config.buffer_pool_pages));
+        let heap = Arc::new(HeapFile::create(pool)?);
+        Ok(Table {
+            id,
+            name: name.to_string(),
+            schema: Arc::new(schema),
+            heap,
+            rows: AtomicU64::new(0),
+            indexes: RwLock::new(Vec::new()),
+        })
+    }
+
+    /// Reopen an existing on-disk table (used by catalog recovery). The
+    /// row count is recomputed with one scan.
+    pub fn open_at(
+        id: TableId,
+        name: &str,
+        schema: Schema,
+        path: &Path,
+        config: &Config,
+    ) -> Result<Table> {
+        let disk = Arc::new(DiskManager::open(path, config.page_size)?);
+        let pool = Arc::new(BufferPool::new(disk, config.buffer_pool_pages));
+        let heap = Arc::new(HeapFile::open(pool)?);
+        let mut rows = 0u64;
+        for item in heap.scan() {
+            item?;
+            rows += 1;
+        }
+        Ok(Table {
+            id,
+            name: name.to_string(),
+            schema: Arc::new(schema),
+            heap,
+            rows: AtomicU64::new(rows),
+            indexes: RwLock::new(Vec::new()),
+        })
+    }
+
+    pub fn id(&self) -> TableId {
+        self.id
+    }
+
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    pub fn schema(&self) -> &SchemaRef {
+        &self.schema
+    }
+
+    pub fn row_count(&self) -> u64 {
+        self.rows.load(Ordering::Relaxed)
+    }
+
+    /// Create a B+Tree index over an INT column and backfill it from the
+    /// existing rows. NULLs are not indexed (SQL comparisons with NULL are
+    /// never true, so the planner never needs them).
+    pub fn create_index(&self, name: &str, column_name: &str) -> Result<()> {
+        let column = self.schema.resolve(column_name)?;
+        let field = self.schema.field(column).expect("resolved");
+        if field.dtype != DataType::Int {
+            return Err(JaguarError::Plan(format!(
+                "indexes are supported on INT columns only; '{column_name}' is {}",
+                field.dtype
+            )));
+        }
+        let mut indexes = self.indexes.write();
+        if indexes
+            .iter()
+            .any(|i| i.name.eq_ignore_ascii_case(name) || i.column == column)
+        {
+            return Err(JaguarError::Catalog(format!(
+                "an index named '{name}' or covering '{column_name}' already exists"
+            )));
+        }
+        let btree = BTree::create(Arc::clone(self.heap.pool()))?;
+        for item in self.scan() {
+            let (rid, tuple) = item?;
+            if let Value::Int(k) = tuple.get(column)? {
+                btree.insert(*k, rid)?;
+            }
+        }
+        indexes.push(Arc::new(TableIndex {
+            name: name.to_string(),
+            column,
+            btree,
+        }));
+        Ok(())
+    }
+
+    /// The index covering `column`, if any.
+    pub fn index_on(&self, column: usize) -> Option<Arc<TableIndex>> {
+        self.indexes
+            .read()
+            .iter()
+            .find(|i| i.column == column)
+            .cloned()
+    }
+
+    /// Names of all indexes.
+    pub fn index_names(&self) -> Vec<String> {
+        self.indexes.read().iter().map(|i| i.name.clone()).collect()
+    }
+
+    /// Validate against the schema and store a row (maintaining indexes).
+    pub fn insert(&self, tuple: Tuple) -> Result<RecordId> {
+        tuple.check_against(&self.schema)?;
+        let mut buf = Vec::with_capacity(32 + tuple.heap_size());
+        write_tuple(&mut buf, &tuple)?;
+        let rid = self.heap.insert(&buf)?;
+        self.rows.fetch_add(1, Ordering::Relaxed);
+        for idx in self.indexes.read().iter() {
+            if let Value::Int(k) = tuple.get(idx.column)? {
+                idx.btree.insert(*k, rid)?;
+            }
+        }
+        Ok(rid)
+    }
+
+    /// Fetch one row by record id.
+    pub fn get(&self, rid: RecordId) -> Result<Tuple> {
+        let raw = self.heap.get(rid)?;
+        read_tuple(&mut raw.as_slice())
+    }
+
+    /// Delete a row (maintaining indexes).
+    pub fn delete(&self, rid: RecordId) -> Result<()> {
+        let indexes = self.indexes.read();
+        if !indexes.is_empty() {
+            let tuple = self.get(rid)?;
+            for idx in indexes.iter() {
+                if let Value::Int(k) = tuple.get(idx.column)? {
+                    idx.btree.delete(*k, rid)?;
+                }
+            }
+        }
+        drop(indexes);
+        self.heap.delete(rid)?;
+        self.rows.fetch_sub(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Scan all rows in storage order.
+    pub fn scan(&self) -> TableScan {
+        TableScan {
+            inner: self.heap.scan(),
+        }
+    }
+
+    /// Flush dirty pages to the backing store.
+    pub fn flush(&self) -> Result<()> {
+        self.heap.pool().flush_all()?;
+        self.heap.pool().disk().sync()
+    }
+
+    /// Buffer-pool statistics (used by the calibration experiment).
+    pub fn pool_stats(&self) -> jaguar_storage::buffer::PoolStats {
+        self.heap.pool().stats()
+    }
+}
+
+/// Iterator over `(RecordId, Tuple)` pairs of a table.
+pub struct TableScan {
+    inner: jaguar_storage::heap::HeapScan,
+}
+
+impl Iterator for TableScan {
+    type Item = Result<(RecordId, Tuple)>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        let item = self.inner.next()?;
+        Some(item.and_then(|(rid, raw)| Ok((rid, read_tuple(&mut raw.as_slice())?))))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jaguar_common::{DataType, Value};
+
+    fn table() -> Table {
+        Table::create_in_memory(
+            TableId(1),
+            "t",
+            Schema::of(&[("a", DataType::Int), ("b", DataType::Str)]),
+            &Config::default(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn point_get_and_delete() {
+        let t = table();
+        let rid = t
+            .insert(Tuple::new(vec![Value::Int(1), Value::Str("x".into())]))
+            .unwrap();
+        assert_eq!(t.get(rid).unwrap().get(1).unwrap().as_str().unwrap(), "x");
+        t.delete(rid).unwrap();
+        assert!(t.get(rid).is_err());
+        assert_eq!(t.row_count(), 0);
+    }
+
+    #[test]
+    fn scan_skips_deleted() {
+        let t = table();
+        let keep = t
+            .insert(Tuple::new(vec![Value::Int(1), Value::Null]))
+            .unwrap();
+        let gone = t
+            .insert(Tuple::new(vec![Value::Int(2), Value::Null]))
+            .unwrap();
+        t.delete(gone).unwrap();
+        let rows: Vec<_> = t.scan().collect::<Result<Vec<_>>>().unwrap();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].0, keep);
+    }
+}

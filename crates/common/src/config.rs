@@ -1,0 +1,102 @@
+//! Engine tunables.
+//!
+//! One flat struct rather than per-crate knobs so a [`crate::config::Config`]
+//! can be carried from the top-level `Database` builder down into every
+//! substrate. Defaults match the scale of the paper's experiments
+//! (10,000-tuple relations with up to 10,000-byte attributes).
+
+/// Tunable parameters for a Jaguar database instance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Config {
+    /// Size of one storage page in bytes. Records larger than a page spill
+    /// into overflow chains.
+    pub page_size: usize,
+    /// Number of pages the buffer pool may cache.
+    pub buffer_pool_pages: usize,
+    /// Default instruction budget for a sandboxed UDF invocation
+    /// (`None` = unlimited, the state of 1998 JVMs the paper criticises).
+    pub default_fuel: Option<u64>,
+    /// Default memory cap in bytes for a sandboxed UDF invocation.
+    pub default_vm_memory: Option<usize>,
+    /// Maximum VM call depth (guards against runaway recursion).
+    pub max_call_depth: usize,
+    /// Whether sandboxed execution uses the pre-decoded "JIT-mode"
+    /// dispatcher (the paper's JVMs "included a JIT compiler").
+    pub vm_jit_mode: bool,
+    /// Whether isolated-process UDF executors are created once per query
+    /// (as in the paper) or pooled across queries.
+    pub pooled_executors: bool,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            page_size: 8192,
+            buffer_pool_pages: 1024,
+            default_fuel: Some(500_000_000),
+            default_vm_memory: Some(64 * 1024 * 1024),
+            max_call_depth: 256,
+            vm_jit_mode: true,
+            pooled_executors: false,
+        }
+    }
+}
+
+impl Config {
+    /// A configuration mirroring the paper's environment: per-query
+    /// executors, JIT enabled, generous but finite resource limits.
+    pub fn paper_1998() -> Self {
+        Config::default()
+    }
+
+    /// Unlimited resources — the "current JVMs do not provide any form of
+    /// generic resource management" baseline (§2.4); used by the A3 ablation.
+    pub fn no_resource_limits(mut self) -> Self {
+        self.default_fuel = None;
+        self.default_vm_memory = None;
+        self
+    }
+
+    pub fn with_page_size(mut self, bytes: usize) -> Self {
+        self.page_size = bytes;
+        self
+    }
+
+    pub fn with_buffer_pool_pages(mut self, pages: usize) -> Self {
+        self.buffer_pool_pages = pages;
+        self
+    }
+
+    pub fn with_jit_mode(mut self, on: bool) -> Self {
+        self.vm_jit_mode = on;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sane() {
+        let c = Config::default();
+        assert!(c.page_size >= 4096);
+        assert!(c.buffer_pool_pages > 0);
+        assert!(c.default_fuel.is_some());
+        assert!(c.vm_jit_mode);
+    }
+
+    #[test]
+    fn builders_compose() {
+        let c = Config::default()
+            .with_page_size(4096)
+            .with_buffer_pool_pages(8)
+            .with_jit_mode(false)
+            .no_resource_limits();
+        assert_eq!(c.page_size, 4096);
+        assert_eq!(c.buffer_pool_pages, 8);
+        assert!(!c.vm_jit_mode);
+        assert_eq!(c.default_fuel, None);
+        assert_eq!(c.default_vm_memory, None);
+    }
+}

@@ -1,0 +1,90 @@
+//! Strongly typed identifiers used across the storage and catalog layers.
+//!
+//! Newtypes rather than bare integers so a `PageId` cannot be passed where a
+//! `TableId` is expected — a classic "newtype" idiom that costs nothing at
+//! runtime.
+
+use std::fmt;
+
+/// Identifies a page within a storage file. Dense, starting at 0.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PageId(pub u32);
+
+impl PageId {
+    pub const INVALID: PageId = PageId(u32::MAX);
+
+    pub fn is_valid(self) -> bool {
+        self != PageId::INVALID
+    }
+}
+
+impl fmt::Display for PageId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "page#{}", self.0)
+    }
+}
+
+/// Identifies a record: the page it lives on plus its slot within the page.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RecordId {
+    pub page: PageId,
+    pub slot: u16,
+}
+
+impl RecordId {
+    pub fn new(page: PageId, slot: u16) -> Self {
+        RecordId { page, slot }
+    }
+}
+
+impl fmt::Display for RecordId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "rid({},{})", self.page, self.slot)
+    }
+}
+
+/// Identifies a table in the catalog.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TableId(pub u32);
+
+impl fmt::Display for TableId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "table#{}", self.0)
+    }
+}
+
+/// Identifies a registered UDF in the catalog.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct UdfId(pub u32);
+
+impl fmt::Display for UdfId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "udf#{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn invalid_page_id() {
+        assert!(!PageId::INVALID.is_valid());
+        assert!(PageId(0).is_valid());
+    }
+
+    #[test]
+    fn record_id_ordering_is_page_major() {
+        let a = RecordId::new(PageId(1), 9);
+        let b = RecordId::new(PageId(2), 0);
+        assert!(a < b);
+    }
+
+    #[test]
+    fn displays() {
+        assert_eq!(PageId(3).to_string(), "page#3");
+        assert_eq!(RecordId::new(PageId(1), 2).to_string(), "rid(page#1,2)");
+        assert_eq!(TableId(4).to_string(), "table#4");
+        assert_eq!(UdfId(5).to_string(), "udf#5");
+    }
+}

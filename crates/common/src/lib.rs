@@ -1,0 +1,33 @@
+//! # jaguar-common
+//!
+//! Shared kernel for **Jaguar-RS**, a Rust reproduction of
+//! *Secure and Portable Database Extensibility* (Godfrey, Mayr, Seshadri,
+//! von Eicken — SIGMOD 1998).
+//!
+//! This crate holds everything that the rest of the workspace agrees on:
+//!
+//! * [`value::Value`] — the dynamically typed attribute values flowing
+//!   through the engine, including the [`value::ByteArray`] type the paper's
+//!   generic UDF is parameterised on,
+//! * [`schema::Schema`] / [`tuple::Tuple`] — relation shapes and rows,
+//! * [`stream`] — the §6.4 *ADT stream protocol*: every type can read and
+//!   write itself on a byte stream, so UDF argument/result marshalling is
+//!   identical at the client and at the server,
+//! * [`error::JaguarError`] — the workspace-wide error type,
+//! * [`config`] — engine tunables,
+//! * [`rng`] — a tiny deterministic generator used by workload builders so
+//!   experiments are reproducible byte-for-byte.
+
+pub mod config;
+pub mod error;
+pub mod ids;
+pub mod rng;
+pub mod schema;
+pub mod stream;
+pub mod tuple;
+pub mod value;
+
+pub use error::{JaguarError, Result};
+pub use schema::{Field, Schema};
+pub use tuple::Tuple;
+pub use value::{ByteArray, DataType, Value};

@@ -1,0 +1,185 @@
+//! Relation schemas.
+
+use std::fmt;
+use std::sync::Arc;
+
+use crate::error::{JaguarError, Result};
+use crate::value::DataType;
+
+/// One column of a relation (or one parameter of a UDF signature).
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct Field {
+    pub name: String,
+    pub dtype: DataType,
+}
+
+impl Field {
+    pub fn new(name: impl Into<String>, dtype: DataType) -> Self {
+        Field {
+            name: name.into(),
+            dtype,
+        }
+    }
+}
+
+/// An ordered list of named, typed columns.
+///
+/// Schemas are immutable once built and shared via `Arc` between the
+/// catalog, the planner, and row iterators.
+#[derive(Debug, Clone, PartialEq, Eq, Default, serde::Serialize, serde::Deserialize)]
+pub struct Schema {
+    fields: Vec<Field>,
+}
+
+/// Shared handle used throughout the executor.
+pub type SchemaRef = Arc<Schema>;
+
+impl Schema {
+    /// Build a schema, rejecting duplicate column names (case-insensitive,
+    /// matching SQL identifier semantics).
+    pub fn new(fields: Vec<Field>) -> Result<Self> {
+        for (i, f) in fields.iter().enumerate() {
+            if fields[..i]
+                .iter()
+                .any(|g| g.name.eq_ignore_ascii_case(&f.name))
+            {
+                return Err(JaguarError::Catalog(format!(
+                    "duplicate column name '{}'",
+                    f.name
+                )));
+            }
+        }
+        Ok(Schema { fields })
+    }
+
+    /// Convenience constructor from `(name, type)` pairs; panics on
+    /// duplicates, so it is meant for statically known schemas in tests
+    /// and examples.
+    pub fn of(cols: &[(&str, DataType)]) -> Self {
+        Schema::new(
+            cols.iter()
+                .map(|(n, t)| Field::new(*n, *t))
+                .collect::<Vec<_>>(),
+        )
+        .expect("static schema must not contain duplicates")
+    }
+
+    pub fn fields(&self) -> &[Field] {
+        &self.fields
+    }
+
+    pub fn len(&self) -> usize {
+        self.fields.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.fields.is_empty()
+    }
+
+    pub fn field(&self, idx: usize) -> Option<&Field> {
+        self.fields.get(idx)
+    }
+
+    /// Case-insensitive column lookup, as in SQL.
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        self.fields
+            .iter()
+            .position(|f| f.name.eq_ignore_ascii_case(name))
+    }
+
+    /// Like [`Schema::index_of`] but with a catalog error on miss.
+    pub fn resolve(&self, name: &str) -> Result<usize> {
+        self.index_of(name)
+            .ok_or_else(|| JaguarError::Catalog(format!("unknown column '{name}'")))
+    }
+
+    /// Schema of a projection of this schema onto the given column indices.
+    pub fn project(&self, indices: &[usize]) -> Result<Schema> {
+        let mut fields = Vec::with_capacity(indices.len());
+        for &i in indices {
+            let f = self
+                .field(i)
+                .ok_or_else(|| JaguarError::Plan(format!("projection index {i} out of range")))?;
+            fields.push(f.clone());
+        }
+        // Projections can legitimately repeat a column; bypass dup check.
+        Ok(Schema { fields })
+    }
+
+    /// Append a derived column (e.g. a UDF result) to this schema.
+    pub fn with_appended(&self, field: Field) -> Schema {
+        let mut fields = self.fields.clone();
+        fields.push(field);
+        Schema { fields }
+    }
+}
+
+impl fmt::Display for Schema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, fd) in self.fields.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{} {}", fd.name, fd.dtype)?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Schema {
+        Schema::of(&[
+            ("id", DataType::Int),
+            ("name", DataType::Str),
+            ("payload", DataType::Bytes),
+        ])
+    }
+
+    #[test]
+    fn rejects_duplicates_case_insensitively() {
+        let err = Schema::new(vec![
+            Field::new("a", DataType::Int),
+            Field::new("A", DataType::Str),
+        ])
+        .unwrap_err();
+        assert!(err.to_string().contains("duplicate column"));
+    }
+
+    #[test]
+    fn lookup_is_case_insensitive() {
+        let s = sample();
+        assert_eq!(s.index_of("ID"), Some(0));
+        assert_eq!(s.index_of("Payload"), Some(2));
+        assert_eq!(s.index_of("nope"), None);
+        assert!(s.resolve("nope").is_err());
+    }
+
+    #[test]
+    fn projection_allows_repeats_and_checks_range() {
+        let s = sample();
+        let p = s.project(&[2, 0, 0]).unwrap();
+        assert_eq!(p.len(), 3);
+        assert_eq!(p.field(0).unwrap().name, "payload");
+        assert_eq!(p.field(1).unwrap().name, "id");
+        assert!(s.project(&[9]).is_err());
+    }
+
+    #[test]
+    fn appended_column() {
+        let s = sample().with_appended(Field::new("udf_result", DataType::Int));
+        assert_eq!(s.len(), 4);
+        assert_eq!(s.index_of("udf_result"), Some(3));
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(
+            Schema::of(&[("a", DataType::Int), ("b", DataType::Bytes)]).to_string(),
+            "(a INT, b BYTEARRAY)"
+        );
+    }
+}

@@ -1,0 +1,308 @@
+//! # jaguar-core — the public face of Jaguar-RS
+//!
+//! Jaguar-RS is a from-scratch Rust reproduction of *Secure and Portable
+//! Database Extensibility* (Godfrey, Mayr, Seshadri, von Eicken — SIGMOD
+//! 1998): an extensible relational engine whose user-defined functions can
+//! run under any point of the paper's design space —
+//!
+//! | Design | [`UdfDesign`] variant | Trust model |
+//! |---|---|---|
+//! | 1, "C++"  | [`UdfDesign::TrustedNative`]  | full server authority |
+//! | 2, "IC++" | [`UdfDesign::IsolatedNative`] | separate process |
+//! | 3, "JNI"  | [`UdfDesign::Sandboxed`]      | verified bytecode + security manager + resource limits |
+//! | 4         | [`UdfDesign::SandboxedIsolated`] | both |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use jaguar_core::{Database, UdfDesign, UdfSignature, DataType, Value};
+//!
+//! let db = Database::in_memory();
+//! db.execute("CREATE TABLE stocks (id INT, history BYTEARRAY)").unwrap();
+//! db.execute("INSERT INTO stocks VALUES (1, X'0102030405')").unwrap();
+//!
+//! // A user-authored UDF in JagScript, compiled to verified bytecode and
+//! // executed inside the sandbox (the paper's Design 3).
+//! db.register_jagscript_udf(
+//!     "bytesum",
+//!     UdfSignature::new(vec![DataType::Bytes], DataType::Int),
+//!     "fn main(b: bytes) -> i64 {
+//!          let s: i64 = 0;
+//!          let i: i64 = 0;
+//!          while i < len(b) { s = s + b[i]; i = i + 1; }
+//!          return s;
+//!      }",
+//!     UdfDesign::Sandboxed,
+//! ).unwrap();
+//!
+//! let r = db.execute("SELECT bytesum(history) FROM stocks").unwrap();
+//! assert_eq!(r.rows[0].get(0).unwrap(), &Value::Int(15));
+//! ```
+
+use std::sync::Arc;
+
+use jaguar_catalog::Catalog;
+use jaguar_sql::Engine;
+
+pub use jaguar_common::config::Config;
+pub use jaguar_common::error::{JaguarError, Result, VmTrap};
+pub use jaguar_common::{ByteArray, DataType, Field, Schema, Tuple, Value};
+pub use jaguar_net::{Client, Server};
+pub use jaguar_sql::{ExecStats, QueryResult};
+pub use jaguar_udf::{CallbackHandler, ScalarUdf, UdfDef, UdfImpl, UdfSignature};
+pub use jaguar_vm::{Permission, PermissionSet, ResourceLimits};
+
+/// Which execution design a registered UDF runs under (paper Table 1).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum UdfDesign {
+    /// Design 1: trusted native code in the server process.
+    TrustedNative,
+    /// Design 2: native code in a per-query worker process. The string
+    /// names the function in the worker binary's registry.
+    IsolatedNative(String),
+    /// Design 3: verified bytecode, sandboxed, in-process.
+    Sandboxed,
+    /// Design 4: verified bytecode in a per-query worker process.
+    SandboxedIsolated,
+}
+
+/// An embedded Jaguar database.
+pub struct Database {
+    engine: Arc<Engine>,
+}
+
+impl Database {
+    /// An in-memory database with default configuration.
+    pub fn in_memory() -> Database {
+        Database::with_config(Config::default())
+    }
+
+    /// An in-memory database with explicit configuration.
+    pub fn with_config(config: Config) -> Database {
+        Database {
+            engine: Arc::new(Engine::in_memory(config)),
+        }
+    }
+
+    /// A database whose tables are stored under `dir`.
+    pub fn open(dir: impl Into<std::path::PathBuf>, config: Config) -> Result<Database> {
+        let catalog = Arc::new(Catalog::on_disk(dir, config)?);
+        Ok(Database {
+            engine: Arc::new(Engine::with_catalog(catalog)),
+        })
+    }
+
+    /// The underlying SQL engine (advanced use).
+    pub fn engine(&self) -> &Arc<Engine> {
+        &self.engine
+    }
+
+    /// The catalog (tables + UDFs).
+    pub fn catalog(&self) -> &Arc<Catalog> {
+        self.engine.catalog()
+    }
+
+    /// Execute one SQL statement.
+    pub fn execute(&self, sql: &str) -> Result<QueryResult> {
+        self.engine.execute(sql)
+    }
+
+    /// Render the optimized plan for a SELECT.
+    pub fn explain(&self, sql: &str) -> Result<String> {
+        self.engine.explain(sql)
+    }
+
+    /// Register a pre-built UDF definition.
+    pub fn register_udf(&self, def: UdfDef) {
+        self.catalog().udfs().register(def);
+    }
+
+    /// Register a trusted native UDF (Design 1).
+    pub fn register_native_udf(
+        &self,
+        name: &str,
+        signature: UdfSignature,
+        f: impl Fn(&[Value], &mut dyn CallbackHandler) -> Result<Value> + Send + Sync + 'static,
+    ) {
+        let native = jaguar_udf::NativeUdf::new(name, signature.clone(), f);
+        self.register_udf(UdfDef::new(name, signature, UdfImpl::Native(native)));
+    }
+
+    /// Compile JagScript source and register it under the given design.
+    ///
+    /// The module's host imports must all name callbacks registered on
+    /// this database; the UDF runs under a permission set granting exactly
+    /// those (least privilege), plus the configured fuel/memory limits.
+    pub fn register_jagscript_udf(
+        &self,
+        name: &str,
+        signature: UdfSignature,
+        source: &str,
+        design: UdfDesign,
+    ) -> Result<()> {
+        let module = jaguar_lang::compile(name, source)?;
+        self.register_module_udf(name, signature, module, design)
+    }
+
+    /// Register an already-compiled (unverified) module as a UDF.
+    pub fn register_module_udf(
+        &self,
+        name: &str,
+        signature: UdfSignature,
+        module: jaguar_vm::Module,
+        design: UdfDesign,
+    ) -> Result<()> {
+        let imp = match design {
+            UdfDesign::TrustedNative => {
+                return Err(JaguarError::Udf(
+                    "TrustedNative needs a Rust closure; use register_native_udf".into(),
+                ))
+            }
+            UdfDesign::IsolatedNative(worker_fn) => UdfImpl::IsolatedNative { worker_fn },
+            UdfDesign::Sandboxed | UdfDesign::SandboxedIsolated => {
+                // Least privilege: grant exactly the declared imports, and
+                // only if the engine offers them.
+                let mut perms = PermissionSet::deny_all(name);
+                for imp in &module.imports {
+                    if !self.engine.has_callback(&imp.name) {
+                        return Err(JaguarError::SecurityViolation(format!(
+                            "udf '{name}' imports '{}' which this database does not offer",
+                            imp.name
+                        )));
+                    }
+                    perms = perms.grant(Permission::HostCall(imp.name.clone()));
+                }
+                let config = self.catalog().config();
+                let limits = ResourceLimits {
+                    fuel: config.default_fuel,
+                    memory: config.default_vm_memory,
+                    max_call_depth: config.max_call_depth,
+                };
+                let spec = jaguar_udf::def::vm_spec(
+                    module,
+                    "main",
+                    limits,
+                    config.vm_jit_mode,
+                    Some(Arc::new(perms)),
+                )?;
+                if design == UdfDesign::SandboxedIsolated {
+                    UdfImpl::IsolatedVm(spec)
+                } else {
+                    UdfImpl::Vm(spec)
+                }
+            }
+        };
+        self.register_udf(UdfDef::new(name, signature, imp));
+        Ok(())
+    }
+
+    /// Register (or replace) a named server-side callback (§4.2).
+    pub fn register_callback(
+        &self,
+        name: &str,
+        f: impl Fn(&[Value]) -> Result<Value> + Send + Sync + 'static,
+    ) {
+        self.engine.register_callback(name, f);
+    }
+
+    /// Start serving this database over TCP (two-tier deployment).
+    pub fn serve(&self, bind_addr: &str) -> Result<Server> {
+        Server::start(Arc::clone(&self.engine), bind_addr)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quickstart_flow() {
+        let db = Database::in_memory();
+        db.execute("CREATE TABLE t (a INT)").unwrap();
+        db.execute("INSERT INTO t VALUES (1), (2), (3)").unwrap();
+        let r = db.execute("SELECT a FROM t WHERE a >= 2").unwrap();
+        assert_eq!(r.rows.len(), 2);
+    }
+
+    #[test]
+    fn jagscript_registration_and_execution() {
+        let db = Database::in_memory();
+        db.execute("CREATE TABLE t (b BYTEARRAY)").unwrap();
+        db.execute("INSERT INTO t VALUES (X'010203')").unwrap();
+        db.register_jagscript_udf(
+            "first_byte",
+            UdfSignature::new(vec![DataType::Bytes], DataType::Int),
+            "fn main(b: bytes) -> i64 { return b[0]; }",
+            UdfDesign::Sandboxed,
+        )
+        .unwrap();
+        let r = db.execute("SELECT first_byte(b) FROM t").unwrap();
+        assert_eq!(r.rows[0].get(0).unwrap(), &Value::Int(1));
+    }
+
+    #[test]
+    fn unoffered_import_rejected_at_registration() {
+        let db = Database::in_memory();
+        let e = db
+            .register_jagscript_udf(
+                "sneaky",
+                UdfSignature::new(vec![], DataType::Int),
+                "import format_disk() -> i64; fn main() -> i64 { return format_disk(); }",
+                UdfDesign::Sandboxed,
+            )
+            .unwrap_err();
+        assert!(matches!(e, JaguarError::SecurityViolation(_)), "{e}");
+    }
+
+    #[test]
+    fn callback_imports_accepted_when_offered() {
+        let db = Database::in_memory();
+        // "cb" is registered by default.
+        db.register_jagscript_udf(
+            "with_cb",
+            UdfSignature::new(vec![], DataType::Int),
+            "import cb(i64) -> i64; fn main() -> i64 { return cb(21) * 2; }",
+            UdfDesign::Sandboxed,
+        )
+        .unwrap();
+        db.execute("CREATE TABLE one (x INT)").unwrap();
+        db.execute("INSERT INTO one VALUES (0)").unwrap();
+        let r = db.execute("SELECT with_cb() FROM one").unwrap();
+        assert_eq!(r.rows[0].get(0).unwrap(), &Value::Int(42));
+    }
+
+    #[test]
+    fn native_udf_registration() {
+        let db = Database::in_memory();
+        db.register_native_udf(
+            "twice",
+            UdfSignature::new(vec![DataType::Int], DataType::Int),
+            |args, _| Ok(Value::Int(args[0].as_int()? * 2)),
+        );
+        db.execute("CREATE TABLE t (a INT)").unwrap();
+        db.execute("INSERT INTO t VALUES (21)").unwrap();
+        let r = db.execute("SELECT twice(a) FROM t").unwrap();
+        assert_eq!(r.rows[0].get(0).unwrap(), &Value::Int(42));
+    }
+
+    #[test]
+    fn runaway_udf_is_contained() {
+        let db = Database::with_config(Config {
+            default_fuel: Some(100_000),
+            ..Config::default()
+        });
+        db.execute("CREATE TABLE t (a INT)").unwrap();
+        db.execute("INSERT INTO t VALUES (1)").unwrap();
+        db.register_jagscript_udf(
+            "spin",
+            UdfSignature::new(vec![], DataType::Int),
+            "fn main() -> i64 { while 1 { } return 0; }",
+            UdfDesign::Sandboxed,
+        )
+        .unwrap();
+        let e = db.execute("SELECT spin() FROM t").unwrap_err();
+        assert!(matches!(e, JaguarError::ResourceLimit(_)), "{e}");
+        // The server survives: further queries work.
+        assert_eq!(db.execute("SELECT a FROM t").unwrap().rows.len(), 1);
+    }
+}

@@ -1,0 +1,222 @@
+//! The server side of isolated UDF execution.
+//!
+//! A [`WorkerProcess`] wraps one child process running the worker protocol.
+//! Matching the paper, executors are created **once per query** ("these
+//! executors ... are created once per query (not once per function
+//! invocation)") and torn down when the query finishes; the per-invocation
+//! cost is the boundary crossing, not process creation.
+
+use std::io::{BufReader, BufWriter};
+use std::path::{Path, PathBuf};
+use std::process::{Child, ChildStdin, ChildStdout, Command, Stdio};
+
+use jaguar_common::error::{JaguarError, Result};
+use jaguar_common::Value;
+
+use crate::proto::{CallbackHandler, Request, Response, PROTO_VERSION};
+
+/// Environment variable overriding worker binary discovery.
+pub const WORKER_ENV: &str = "JAGUAR_WORKER_BIN";
+
+/// Locate the `jaguar-worker` binary.
+///
+/// Order: `$JAGUAR_WORKER_BIN`, then next to the current executable, then
+/// one directory up (test and bench executables live in
+/// `target/<profile>/deps/`, the worker in `target/<profile>/`).
+pub fn find_worker_binary() -> Result<PathBuf> {
+    if let Ok(p) = std::env::var(WORKER_ENV) {
+        let p = PathBuf::from(p);
+        if p.is_file() {
+            return Ok(p);
+        }
+        return Err(JaguarError::Worker(format!(
+            "{WORKER_ENV} points at {p:?} which does not exist"
+        )));
+    }
+    let exe = std::env::current_exe()?;
+    let mut candidates = Vec::new();
+    if let Some(dir) = exe.parent() {
+        candidates.push(dir.join("jaguar-worker"));
+        if let Some(up) = dir.parent() {
+            candidates.push(up.join("jaguar-worker"));
+        }
+    }
+    for c in &candidates {
+        if c.is_file() {
+            return Ok(c.clone());
+        }
+    }
+    Err(JaguarError::Worker(format!(
+        "jaguar-worker binary not found (searched {candidates:?}); build it with \
+         `cargo build -p jaguar-udf` or set {WORKER_ENV}"
+    )))
+}
+
+/// A running isolated executor (one per UDF per query, as in the paper).
+pub struct WorkerProcess {
+    child: Child,
+    input: BufReader<ChildStdout>,
+    output: BufWriter<ChildStdin>,
+}
+
+impl WorkerProcess {
+    /// Spawn a worker from an explicit binary path and wait for `Ready`.
+    pub fn spawn_at(path: &Path) -> Result<WorkerProcess> {
+        let mut child = Command::new(path)
+            .stdin(Stdio::piped())
+            .stdout(Stdio::piped())
+            .stderr(Stdio::inherit())
+            .spawn()
+            .map_err(|e| JaguarError::Worker(format!("spawning {path:?}: {e}")))?;
+        let stdin = child.stdin.take().expect("piped stdin");
+        let stdout = child.stdout.take().expect("piped stdout");
+        let mut wp = WorkerProcess {
+            child,
+            input: BufReader::new(stdout),
+            output: BufWriter::new(stdin),
+        };
+        match wp.read_response()? {
+            Response::Ready { proto } if proto == PROTO_VERSION => Ok(wp),
+            Response::Ready { proto } => Err(JaguarError::Worker(format!(
+                "worker speaks protocol v{proto}, server expects v{PROTO_VERSION} —                  stale jaguar-worker binary? rebuild with `cargo build --workspace`"
+            ))),
+            other => Err(JaguarError::Worker(format!(
+                "worker sent {other:?} instead of Ready"
+            ))),
+        }
+    }
+
+    /// Spawn using [`find_worker_binary`] discovery.
+    pub fn spawn() -> Result<WorkerProcess> {
+        Self::spawn_at(&find_worker_binary()?)
+    }
+
+    fn read_response(&mut self) -> Result<Response> {
+        Response::read(&mut self.input).map_err(|e| match e {
+            // EOF here means the worker died — the crash-containment path.
+            JaguarError::Io(ref io) if io.kind() == std::io::ErrorKind::UnexpectedEof => {
+                JaguarError::Worker("worker process died (crash contained by isolation)".into())
+            }
+            other => other,
+        })
+    }
+
+    fn expect_loaded(&mut self) -> Result<()> {
+        match self.read_response()? {
+            Response::Loaded => Ok(()),
+            Response::Error { message } => Err(JaguarError::Worker(message)),
+            other => Err(JaguarError::Protocol(format!(
+                "expected Loaded, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Select a native UDF baked into the worker binary (Design 2).
+    pub fn load_native(&mut self, name: &str) -> Result<()> {
+        Request::LoadNative {
+            name: name.to_string(),
+        }
+        .write(&mut self.output)?;
+        self.expect_loaded()
+    }
+
+    /// Ship a serialised, to-be-verified JSM module (Design 4).
+    pub fn load_vm(
+        &mut self,
+        module: &[u8],
+        function: &str,
+        jit: bool,
+        fuel: Option<u64>,
+        memory: Option<usize>,
+    ) -> Result<()> {
+        Request::LoadVm {
+            module: module.to_vec(),
+            function: function.to_string(),
+            jit,
+            fuel: fuel.unwrap_or(0),
+            memory: memory.unwrap_or(0) as u64,
+        }
+        .write(&mut self.output)?;
+        self.expect_loaded()
+    }
+
+    /// Invoke the loaded UDF on one argument tuple. Callbacks the UDF makes
+    /// are answered through `callbacks` before the result returns.
+    pub fn invoke(
+        &mut self,
+        args: Vec<Value>,
+        callbacks: &mut dyn CallbackHandler,
+    ) -> Result<Value> {
+        Request::Invoke { args }.write(&mut self.output)?;
+        loop {
+            match self.read_response()? {
+                Response::InvokeResult { value } => return Ok(value),
+                Response::Error { message } => return Err(JaguarError::Worker(message)),
+                Response::CallbackRequest { name, args } => {
+                    let value = callbacks.callback(&name, &args)?;
+                    Request::CallbackResult { value }.write(&mut self.output)?;
+                }
+                other => {
+                    return Err(JaguarError::Protocol(format!(
+                        "unexpected mid-invoke response {other:?}"
+                    )))
+                }
+            }
+        }
+    }
+
+    /// Orderly shutdown; also awaited on drop.
+    pub fn shutdown(mut self) -> Result<()> {
+        let _ = Request::Shutdown.write(&mut self.output);
+        let status = self.child.wait()?;
+        if !status.success() {
+            return Err(JaguarError::Worker(format!(
+                "worker exited with {status}"
+            )));
+        }
+        Ok(())
+    }
+}
+
+impl Drop for WorkerProcess {
+    fn drop(&mut self) {
+        let _ = Request::Shutdown.write(&mut self.output);
+        // Give it a moment to exit; kill if it doesn't.
+        match self.child.try_wait() {
+            Ok(Some(_)) => {}
+            _ => {
+                let _ = self.child.kill();
+                let _ = self.child.wait();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn discovery_respects_env_override_errors() {
+        // Point the env var at a non-existent file: must error, not fall
+        // through to path search (explicit config should never be ignored).
+        let key = WORKER_ENV;
+        let old = std::env::var(key).ok();
+        std::env::set_var(key, "/nonexistent/jaguar-worker");
+        let e = find_worker_binary().unwrap_err();
+        assert!(e.to_string().contains("does not exist"), "{e}");
+        match old {
+            Some(v) => std::env::set_var(key, v),
+            None => std::env::remove_var(key),
+        }
+    }
+
+    #[test]
+    fn spawn_at_missing_binary_fails_cleanly() {
+        let e = match WorkerProcess::spawn_at(Path::new("/no/such/worker")) {
+            Err(e) => e,
+            Ok(_) => panic!("spawn of missing binary must fail"),
+        };
+        assert!(matches!(e, JaguarError::Worker(_)));
+    }
+}

@@ -1,0 +1,37 @@
+//! # jaguar-ipc — isolated-process UDF execution
+//!
+//! The substrate for the paper's **Design 2** (native UDFs in a separate
+//! process, "IC++") and **Design 4** (sandboxed-VM UDFs in a separate
+//! process).
+//!
+//! In the paper: *"Communication between the server and the remote
+//! executors happens through shared memory. The server copies the function
+//! arguments into shared memory, and 'sends' a request by releasing a
+//! semaphore."* — and one remote executor is created **per query**, not per
+//! invocation.
+//!
+//! **Substitution** (documented in DESIGN.md): std-only Rust has no SysV
+//! shared memory, so arguments and results cross the process boundary over
+//! the worker's stdin/stdout pipes instead. The qualitative cost structure
+//! is the same one Figures 5 and 8 measure: every crossing pays a context
+//! switch plus a copy proportional to the data size, and every *callback*
+//! pays a full extra round trip.
+//!
+//! Pieces:
+//!
+//! * [`proto`] — the framed message protocol (built on the §6.4 value
+//!   stream encoding from `jaguar-common`),
+//! * [`executor`] — the server side: spawn a worker per query, load a UDF
+//!   into it, invoke it per tuple, answer its callbacks, reap it,
+//! * [`worker`] — the worker side: a serve loop the `jaguar-worker` binary
+//!   runs, parameterised by a registry of native UDFs (the analogue of the
+//!   C++ UDFs compiled into PREDATOR's remote executor) and able to host
+//!   sandboxed VM modules for Design 4.
+
+pub mod executor;
+pub mod proto;
+pub mod worker;
+
+pub use executor::{find_worker_binary, WorkerProcess};
+pub use proto::CallbackHandler;
+pub use worker::{NativeUdfFn, WorkerRegistry};

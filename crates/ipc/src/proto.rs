@@ -1,0 +1,321 @@
+//! The parent↔worker wire protocol.
+//!
+//! Every message is a tag byte followed by tag-specific fields encoded with
+//! the `jaguar-common` stream primitives. The protocol is strictly
+//! request/response from the parent's point of view, with one twist: while
+//! an `Invoke` is outstanding, the worker may interleave any number of
+//! `CallbackRequest`s (the §4.2 callback channel), each of which the parent
+//! answers with `CallbackResult` before the final `InvokeResult` arrives.
+
+use std::io::{Read, Write};
+
+use jaguar_common::error::{JaguarError, Result};
+use jaguar_common::stream::{
+    read_blob, read_str, read_u32, read_u64, read_u8, read_value, write_blob, write_str,
+    write_u32, write_u64, write_u8, write_value,
+};
+use jaguar_common::Value;
+
+/// Answers callbacks a UDF makes to the database server.
+///
+/// On the server side this is implemented by the query executor (it can
+/// reach the storage engine); inside the worker it is implemented by a
+/// proxy that forwards the request over the pipe.
+pub trait CallbackHandler {
+    fn callback(&mut self, name: &str, args: &[Value]) -> Result<Value>;
+}
+
+/// A [`CallbackHandler`] that rejects all callbacks.
+pub struct NoCallbacks;
+
+impl CallbackHandler for NoCallbacks {
+    fn callback(&mut self, name: &str, _args: &[Value]) -> Result<Value> {
+        Err(JaguarError::Udf(format!(
+            "udf issued callback '{name}' but no callback handler is configured"
+        )))
+    }
+}
+
+/// Messages the parent sends to the worker.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Select a native UDF from the worker's built-in registry (Design 2 —
+    /// the analogue of the C++ UDF compiled into the remote executor).
+    LoadNative { name: String },
+    /// Ship a serialised JSM module to run under the worker's sandbox
+    /// (Design 4). `fuel`/`memory` of 0 mean unlimited.
+    LoadVm {
+        module: Vec<u8>,
+        function: String,
+        jit: bool,
+        fuel: u64,
+        memory: u64,
+    },
+    /// Invoke the loaded UDF on one argument tuple.
+    Invoke { args: Vec<Value> },
+    /// Answer to an outstanding `CallbackRequest`.
+    CallbackResult { value: Value },
+    /// Orderly shutdown (end of query — executors live for one query).
+    Shutdown,
+}
+
+/// Version of the parent↔worker protocol. Bumped on any change to the
+/// message set or the UDF registry semantics; the parent refuses workers
+/// announcing a different version (a stale `jaguar-worker` binary next to
+/// a fresh server otherwise produces silent wrong answers).
+pub const PROTO_VERSION: u32 = 2;
+
+/// Messages the worker sends to the parent.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// Worker has started and awaits requests; carries [`PROTO_VERSION`].
+    Ready { proto: u32 },
+    /// A `Load*` request succeeded.
+    Loaded,
+    /// The result of an `Invoke`.
+    InvokeResult { value: Value },
+    /// The UDF needs the server (§4.2 callback). Parent must reply with
+    /// `Request::CallbackResult`.
+    CallbackRequest { name: String, args: Vec<Value> },
+    /// Anything failed. The message is a rendered `JaguarError`.
+    Error { message: String },
+}
+
+const REQ_LOAD_NATIVE: u8 = 0x01;
+const REQ_LOAD_VM: u8 = 0x02;
+const REQ_INVOKE: u8 = 0x03;
+const REQ_CALLBACK_RESULT: u8 = 0x04;
+const REQ_SHUTDOWN: u8 = 0x05;
+const RSP_READY: u8 = 0x81;
+const RSP_LOADED: u8 = 0x82;
+const RSP_INVOKE_RESULT: u8 = 0x83;
+const RSP_CALLBACK_REQUEST: u8 = 0x84;
+const RSP_ERROR: u8 = 0x85;
+
+fn write_values(w: &mut impl Write, vals: &[Value]) -> Result<()> {
+    write_u32(w, vals.len() as u32)?;
+    for v in vals {
+        write_value(w, v)?;
+    }
+    Ok(())
+}
+
+fn read_values(r: &mut impl Read) -> Result<Vec<Value>> {
+    let n = read_u32(r)?;
+    if n > 65_535 {
+        return Err(JaguarError::Protocol(format!("implausible arg count {n}")));
+    }
+    let mut out = Vec::with_capacity(n as usize);
+    for _ in 0..n {
+        out.push(read_value(r)?);
+    }
+    Ok(out)
+}
+
+impl Request {
+    pub fn write(&self, w: &mut impl Write) -> Result<()> {
+        match self {
+            Request::LoadNative { name } => {
+                write_u8(w, REQ_LOAD_NATIVE)?;
+                write_str(w, name)?;
+            }
+            Request::LoadVm {
+                module,
+                function,
+                jit,
+                fuel,
+                memory,
+            } => {
+                write_u8(w, REQ_LOAD_VM)?;
+                write_blob(w, module)?;
+                write_str(w, function)?;
+                write_u8(w, *jit as u8)?;
+                write_u64(w, *fuel)?;
+                write_u64(w, *memory)?;
+            }
+            Request::Invoke { args } => {
+                write_u8(w, REQ_INVOKE)?;
+                write_values(w, args)?;
+            }
+            Request::CallbackResult { value } => {
+                write_u8(w, REQ_CALLBACK_RESULT)?;
+                write_value(w, value)?;
+            }
+            Request::Shutdown => write_u8(w, REQ_SHUTDOWN)?,
+        }
+        w.flush()?;
+        Ok(())
+    }
+
+    pub fn read(r: &mut impl Read) -> Result<Request> {
+        Ok(match read_u8(r)? {
+            REQ_LOAD_NATIVE => Request::LoadNative {
+                name: read_str(r)?,
+            },
+            REQ_LOAD_VM => Request::LoadVm {
+                module: read_blob(r)?,
+                function: read_str(r)?,
+                jit: read_u8(r)? != 0,
+                fuel: read_u64(r)?,
+                memory: read_u64(r)?,
+            },
+            REQ_INVOKE => Request::Invoke {
+                args: read_values(r)?,
+            },
+            REQ_CALLBACK_RESULT => Request::CallbackResult {
+                value: read_value(r)?,
+            },
+            REQ_SHUTDOWN => Request::Shutdown,
+            other => {
+                return Err(JaguarError::Protocol(format!(
+                    "unknown request tag {other:#04x}"
+                )))
+            }
+        })
+    }
+}
+
+impl Response {
+    pub fn write(&self, w: &mut impl Write) -> Result<()> {
+        match self {
+            Response::Ready { proto } => {
+                write_u8(w, RSP_READY)?;
+                write_u32(w, *proto)?;
+            }
+            Response::Loaded => write_u8(w, RSP_LOADED)?,
+            Response::InvokeResult { value } => {
+                write_u8(w, RSP_INVOKE_RESULT)?;
+                write_value(w, value)?;
+            }
+            Response::CallbackRequest { name, args } => {
+                write_u8(w, RSP_CALLBACK_REQUEST)?;
+                write_str(w, name)?;
+                write_values(w, args)?;
+            }
+            Response::Error { message } => {
+                write_u8(w, RSP_ERROR)?;
+                write_str(w, message)?;
+            }
+        }
+        w.flush()?;
+        Ok(())
+    }
+
+    pub fn read(r: &mut impl Read) -> Result<Response> {
+        Ok(match read_u8(r)? {
+            RSP_READY => Response::Ready {
+                proto: read_u32(r)?,
+            },
+            RSP_LOADED => Response::Loaded,
+            RSP_INVOKE_RESULT => Response::InvokeResult {
+                value: read_value(r)?,
+            },
+            RSP_CALLBACK_REQUEST => Response::CallbackRequest {
+                name: read_str(r)?,
+                args: read_values(r)?,
+            },
+            RSP_ERROR => Response::Error {
+                message: read_str(r)?,
+            },
+            other => {
+                return Err(JaguarError::Protocol(format!(
+                    "unknown response tag {other:#04x}"
+                )))
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jaguar_common::ByteArray;
+
+    fn roundtrip_req(req: Request) {
+        let mut buf = Vec::new();
+        req.write(&mut buf).unwrap();
+        let back = Request::read(&mut buf.as_slice()).unwrap();
+        assert_eq!(back, req);
+    }
+
+    fn roundtrip_rsp(rsp: Response) {
+        let mut buf = Vec::new();
+        rsp.write(&mut buf).unwrap();
+        let back = Response::read(&mut buf.as_slice()).unwrap();
+        assert_eq!(back, rsp);
+    }
+
+    #[test]
+    fn all_requests_roundtrip() {
+        roundtrip_req(Request::LoadNative {
+            name: "generic".into(),
+        });
+        roundtrip_req(Request::LoadVm {
+            module: vec![1, 2, 3],
+            function: "main".into(),
+            jit: true,
+            fuel: 0,
+            memory: 1 << 20,
+        });
+        roundtrip_req(Request::Invoke {
+            args: vec![
+                Value::Int(1),
+                Value::Bytes(ByteArray::patterned(100, 5)),
+                Value::Null,
+            ],
+        });
+        roundtrip_req(Request::CallbackResult {
+            value: Value::Float(2.5),
+        });
+        roundtrip_req(Request::Shutdown);
+    }
+
+    #[test]
+    fn all_responses_roundtrip() {
+        roundtrip_rsp(Response::Ready { proto: PROTO_VERSION });
+        roundtrip_rsp(Response::Loaded);
+        roundtrip_rsp(Response::InvokeResult {
+            value: Value::Int(42),
+        });
+        roundtrip_rsp(Response::CallbackRequest {
+            name: "clip".into(),
+            args: vec![Value::Int(3), Value::Int(4)],
+        });
+        roundtrip_rsp(Response::Error {
+            message: "kaboom".into(),
+        });
+    }
+
+    #[test]
+    fn unknown_tags_rejected() {
+        assert!(Request::read(&mut [0xEEu8].as_slice()).is_err());
+        assert!(Response::read(&mut [0x00u8].as_slice()).is_err());
+    }
+
+    #[test]
+    fn truncated_message_is_error() {
+        let mut buf = Vec::new();
+        Request::Invoke {
+            args: vec![Value::Int(5)],
+        }
+        .write(&mut buf)
+        .unwrap();
+        assert!(Request::read(&mut buf[..buf.len() - 2].as_ref()).is_err());
+    }
+
+    #[test]
+    fn sequential_messages_on_one_stream() {
+        let mut buf = Vec::new();
+        Request::LoadNative { name: "a".into() }.write(&mut buf).unwrap();
+        Request::Invoke { args: vec![] }.write(&mut buf).unwrap();
+        Request::Shutdown.write(&mut buf).unwrap();
+        let mut r = buf.as_slice();
+        assert!(matches!(
+            Request::read(&mut r).unwrap(),
+            Request::LoadNative { .. }
+        ));
+        assert!(matches!(Request::read(&mut r).unwrap(), Request::Invoke { .. }));
+        assert!(matches!(Request::read(&mut r).unwrap(), Request::Shutdown));
+        assert!(r.is_empty());
+    }
+}

@@ -1,0 +1,207 @@
+//! JagScript abstract syntax.
+
+/// Source-level types (mirrors [`jaguar_vm::VType`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Ty {
+    I64,
+    F64,
+    Bytes,
+}
+
+impl Ty {
+    pub fn name(self) -> &'static str {
+        match self {
+            Ty::I64 => "i64",
+            Ty::F64 => "f64",
+            Ty::Bytes => "bytes",
+        }
+    }
+
+    pub fn to_vtype(self) -> jaguar_vm::VType {
+        match self {
+            Ty::I64 => jaguar_vm::VType::I64,
+            Ty::F64 => jaguar_vm::VType::F64,
+            Ty::Bytes => jaguar_vm::VType::Bytes,
+        }
+    }
+}
+
+/// A whole compilation unit.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Program {
+    pub imports: Vec<ImportDecl>,
+    pub functions: Vec<FnDecl>,
+}
+
+/// `import name(tys) -> ty;` — a host function ("native method").
+#[derive(Debug, Clone, PartialEq)]
+pub struct ImportDecl {
+    pub name: String,
+    pub params: Vec<Ty>,
+    pub ret: Option<Ty>,
+    pub line: u32,
+}
+
+/// `fn name(p: ty, ...) -> ty { ... }`
+#[derive(Debug, Clone, PartialEq)]
+pub struct FnDecl {
+    pub name: String,
+    pub params: Vec<(String, Ty)>,
+    pub ret: Option<Ty>,
+    pub body: Block,
+    pub line: u32,
+}
+
+/// `{ stmt* }`
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Block {
+    pub stmts: Vec<Stmt>,
+}
+
+/// A statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    /// `let name: ty = expr;`
+    Let {
+        name: String,
+        ty: Ty,
+        init: Expr,
+        line: u32,
+    },
+    /// `name = expr;`
+    Assign { name: String, expr: Expr, line: u32 },
+    /// `arr[idx] = expr;`
+    AssignIndex {
+        arr: Expr,
+        idx: Expr,
+        expr: Expr,
+        line: u32,
+    },
+    /// `if cond { .. } [else { .. }]`
+    If {
+        cond: Expr,
+        then_blk: Block,
+        else_blk: Option<Block>,
+        line: u32,
+    },
+    /// `while cond { .. }`
+    While { cond: Expr, body: Block, line: u32 },
+    /// `return [expr];`
+    Return { expr: Option<Expr>, line: u32 },
+    /// `expr;`
+    Expr { expr: Expr, line: u32 },
+    /// `{ .. }` — a nested scope.
+    Block(Block),
+}
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Rem,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    Eq,
+    Ne,
+    AndAnd,
+    OrOr,
+    BitAnd,
+    BitOr,
+    BitXor,
+    Shl,
+    Shr,
+}
+
+impl BinOp {
+    pub fn symbol(self) -> &'static str {
+        match self {
+            BinOp::Add => "+",
+            BinOp::Sub => "-",
+            BinOp::Mul => "*",
+            BinOp::Div => "/",
+            BinOp::Rem => "%",
+            BinOp::Lt => "<",
+            BinOp::Le => "<=",
+            BinOp::Gt => ">",
+            BinOp::Ge => ">=",
+            BinOp::Eq => "==",
+            BinOp::Ne => "!=",
+            BinOp::AndAnd => "&&",
+            BinOp::OrOr => "||",
+            BinOp::BitAnd => "&",
+            BinOp::BitOr => "|",
+            BinOp::BitXor => "^",
+            BinOp::Shl => "<<",
+            BinOp::Shr => ">>",
+        }
+    }
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnOp {
+    /// Arithmetic negation (i64 or f64).
+    Neg,
+    /// Logical not (i64 → i64, 0/1).
+    Not,
+}
+
+/// An expression, tagged with its source line.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    IntLit(i64, u32),
+    FloatLit(f64, u32),
+    Var(String, u32),
+    Unary(UnOp, Box<Expr>, u32),
+    Binary(BinOp, Box<Expr>, Box<Expr>, u32),
+    /// `name(args)` — a user function, host import, or builtin
+    /// (`len`, `newbytes`, `int`, `float`).
+    Call(String, Vec<Expr>, u32),
+    /// `arr[idx]`
+    Index(Box<Expr>, Box<Expr>, u32),
+}
+
+impl Expr {
+    pub fn line(&self) -> u32 {
+        match self {
+            Expr::IntLit(_, l)
+            | Expr::FloatLit(_, l)
+            | Expr::Var(_, l)
+            | Expr::Unary(_, _, l)
+            | Expr::Binary(_, _, _, l)
+            | Expr::Call(_, _, l)
+            | Expr::Index(_, _, l) => *l,
+        }
+    }
+}
+
+/// Names with special meaning in call position.
+pub const BUILTINS: &[&str] = &["len", "newbytes", "int", "float"];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ty_conversion() {
+        assert_eq!(Ty::I64.to_vtype(), jaguar_vm::VType::I64);
+        assert_eq!(Ty::F64.to_vtype(), jaguar_vm::VType::F64);
+        assert_eq!(Ty::Bytes.to_vtype(), jaguar_vm::VType::Bytes);
+    }
+
+    #[test]
+    fn expr_lines() {
+        let e = Expr::Binary(
+            BinOp::Add,
+            Box::new(Expr::IntLit(1, 3)),
+            Box::new(Expr::IntLit(2, 3)),
+            3,
+        );
+        assert_eq!(e.line(), 3);
+    }
+}

@@ -1,0 +1,439 @@
+//! JSM bytecode generation from the typed AST.
+//!
+//! Stack discipline: statements are stack-neutral; expressions leave exactly
+//! one value (or none, for void calls). Jump targets are patched after each
+//! function body is emitted.
+//!
+//! Every function ends with a safety net: `ret` for void functions, `trap`
+//! for value-returning ones. The type checker's must-return analysis makes
+//! the trap unreachable; it exists so forward labels always have a valid
+//! target and so any analysis bug degrades to a containable trap.
+
+use jaguar_common::error::{JaguarError, Result};
+use jaguar_vm::{FuncSig, Function, HostImport, Insn, Module};
+
+use crate::ast::{BinOp, Program, Ty, UnOp};
+use crate::typeck::{Builtin, TExpr, TExprKind, TFn, TStmt, TypedProgram};
+
+/// Trap code emitted for the (unreachable) fall-off-the-end guard.
+pub const TRAP_FALL_OFF: u32 = 0xDEAD;
+
+/// Generate an unverified module named `name` from a checked program.
+/// `prog` supplies the import declarations (order defines import indices,
+/// matching the indices the type checker resolved).
+pub fn generate(name: &str, prog: &Program, typed: &TypedProgram) -> Result<Module> {
+    let mut module = Module::new(name);
+    for imp in &prog.imports {
+        module.imports.push(HostImport {
+            name: imp.name.clone(),
+            sig: FuncSig::new(
+                imp.params.iter().map(|t| t.to_vtype()).collect(),
+                imp.ret.map(Ty::to_vtype),
+            ),
+        });
+    }
+    for f in &typed.functions {
+        module.functions.push(gen_fn(f)?);
+    }
+    Ok(module)
+}
+
+struct Emitter {
+    code: Vec<Insn>,
+}
+
+/// A forward-jump placeholder to be patched once the target is known.
+#[derive(Debug, Clone, Copy)]
+struct Patch(usize);
+
+impl Emitter {
+    fn emit(&mut self, i: Insn) {
+        self.code.push(i);
+    }
+
+    fn here(&self) -> u32 {
+        self.code.len() as u32
+    }
+
+    /// Emit a jump with a dummy target; patch later.
+    fn emit_jump(&mut self, make: fn(u32) -> Insn) -> Patch {
+        let at = self.code.len();
+        self.emit(make(u32::MAX));
+        Patch(at)
+    }
+
+    fn patch(&mut self, p: Patch, target: u32) {
+        let insn = &mut self.code[p.0];
+        *insn = match *insn {
+            Insn::Jmp(_) => Insn::Jmp(target),
+            Insn::JmpIf(_) => Insn::JmpIf(target),
+            Insn::JmpIfNot(_) => Insn::JmpIfNot(target),
+            other => unreachable!("patching non-jump {other:?}"),
+        };
+    }
+}
+
+fn gen_fn(f: &TFn) -> Result<Function> {
+    let mut e = Emitter { code: Vec::new() };
+    for stmt in &f.body {
+        gen_stmt(stmt, &mut e)?;
+    }
+    // Fall-off guard (see module docs).
+    match f.ret {
+        None => e.emit(Insn::Ret),
+        Some(_) => e.emit(Insn::Trap(TRAP_FALL_OFF)),
+    }
+    if e.code.len() > u32::MAX as usize {
+        return Err(JaguarError::Compile(format!(
+            "function '{}' too large",
+            f.name
+        )));
+    }
+    Ok(Function {
+        name: f.name.clone(),
+        sig: FuncSig::new(
+            f.slots[..f.n_params].iter().map(|t| t.to_vtype()).collect(),
+            f.ret.map(Ty::to_vtype),
+        ),
+        local_types: f.slots[f.n_params..].iter().map(|t| t.to_vtype()).collect(),
+        code: e.code,
+    })
+}
+
+fn gen_stmt(s: &TStmt, e: &mut Emitter) -> Result<()> {
+    match s {
+        TStmt::Store { slot, expr } => {
+            gen_expr(expr, e)?;
+            e.emit(Insn::Store(*slot));
+        }
+        TStmt::StoreIndex { arr, idx, val } => {
+            gen_expr(arr, e)?;
+            gen_expr(idx, e)?;
+            gen_expr(val, e)?;
+            e.emit(Insn::AStore);
+        }
+        TStmt::If {
+            cond,
+            then_blk,
+            else_blk,
+        } => {
+            gen_expr(cond, e)?;
+            let to_else = e.emit_jump(Insn::JmpIfNot);
+            for s in then_blk {
+                gen_stmt(s, e)?;
+            }
+            if else_blk.is_empty() {
+                let end = e.here();
+                e.patch(to_else, end);
+            } else {
+                let to_end = e.emit_jump(Insn::Jmp);
+                let else_at = e.here();
+                e.patch(to_else, else_at);
+                for s in else_blk {
+                    gen_stmt(s, e)?;
+                }
+                let end = e.here();
+                e.patch(to_end, end);
+            }
+        }
+        TStmt::While { cond, body } => {
+            let head = e.here();
+            gen_expr(cond, e)?;
+            let to_end = e.emit_jump(Insn::JmpIfNot);
+            for s in body {
+                gen_stmt(s, e)?;
+            }
+            e.emit(Insn::Jmp(head));
+            let end = e.here();
+            e.patch(to_end, end);
+        }
+        TStmt::Return(expr) => {
+            if let Some(x) = expr {
+                gen_expr(x, e)?;
+            }
+            e.emit(Insn::Ret);
+        }
+        TStmt::Expr { expr, has_value } => {
+            gen_expr(expr, e)?;
+            if *has_value {
+                e.emit(Insn::Pop);
+            }
+        }
+    }
+    Ok(())
+}
+
+fn gen_expr(x: &TExpr, e: &mut Emitter) -> Result<()> {
+    match &x.kind {
+        TExprKind::I64Lit(v) => e.emit(Insn::ConstI(*v)),
+        TExprKind::F64Lit(v) => e.emit(Insn::ConstF(*v)),
+        TExprKind::LoadSlot(s) => e.emit(Insn::Load(*s)),
+        TExprKind::Unary(op, inner) => {
+            gen_expr(inner, e)?;
+            match (op, x.ty.expect("unary is typed")) {
+                (UnOp::Neg, Ty::I64) => e.emit(Insn::NegI),
+                (UnOp::Neg, Ty::F64) => e.emit(Insn::NegF),
+                (UnOp::Not, Ty::I64) => {
+                    // logical not: x == 0
+                    e.emit(Insn::ConstI(0));
+                    e.emit(Insn::EqI);
+                }
+                other => unreachable!("typechecker admitted unary {other:?}"),
+            }
+        }
+        TExprKind::Binary {
+            op,
+            operand_ty,
+            lhs,
+            rhs,
+        } => gen_binary(*op, *operand_ty, lhs, rhs, e)?,
+        TExprKind::CallUser { index, args } => {
+            for a in args {
+                gen_expr(a, e)?;
+            }
+            e.emit(Insn::Call(*index));
+        }
+        TExprKind::CallHost { index, args } => {
+            for a in args {
+                gen_expr(a, e)?;
+            }
+            e.emit(Insn::HostCall(*index));
+        }
+        TExprKind::CallBuiltin { which, args } => {
+            for a in args {
+                gen_expr(a, e)?;
+            }
+            match which {
+                Builtin::Len => e.emit(Insn::ALen),
+                Builtin::NewBytes => e.emit(Insn::NewArr),
+                Builtin::IntCast => e.emit(Insn::F2I),
+                Builtin::FloatCast => e.emit(Insn::I2F),
+            }
+        }
+        TExprKind::Index { arr, idx } => {
+            gen_expr(arr, e)?;
+            gen_expr(idx, e)?;
+            e.emit(Insn::ALoad);
+        }
+    }
+    Ok(())
+}
+
+fn gen_binary(op: BinOp, t: Ty, lhs: &TExpr, rhs: &TExpr, e: &mut Emitter) -> Result<()> {
+    // Short-circuit operators compile to control flow, not to a VM op.
+    match op {
+        BinOp::AndAnd => {
+            // lhs ? (rhs != 0) : 0
+            gen_expr(lhs, e)?;
+            let to_false = e.emit_jump(Insn::JmpIfNot);
+            gen_expr(rhs, e)?;
+            let to_false2 = e.emit_jump(Insn::JmpIfNot);
+            e.emit(Insn::ConstI(1));
+            let to_end = e.emit_jump(Insn::Jmp);
+            let false_at = e.here();
+            e.patch(to_false, false_at);
+            e.patch(to_false2, false_at);
+            e.emit(Insn::ConstI(0));
+            let end = e.here();
+            e.patch(to_end, end);
+            return Ok(());
+        }
+        BinOp::OrOr => {
+            gen_expr(lhs, e)?;
+            let to_true = e.emit_jump(Insn::JmpIf);
+            gen_expr(rhs, e)?;
+            let to_true2 = e.emit_jump(Insn::JmpIf);
+            e.emit(Insn::ConstI(0));
+            let to_end = e.emit_jump(Insn::Jmp);
+            let true_at = e.here();
+            e.patch(to_true, true_at);
+            e.patch(to_true2, true_at);
+            e.emit(Insn::ConstI(1));
+            let end = e.here();
+            e.patch(to_end, end);
+            return Ok(());
+        }
+        _ => {}
+    }
+
+    gen_expr(lhs, e)?;
+    gen_expr(rhs, e)?;
+    let is_f = t == Ty::F64;
+    match op {
+        BinOp::Add => e.emit(if is_f { Insn::AddF } else { Insn::AddI }),
+        BinOp::Sub => e.emit(if is_f { Insn::SubF } else { Insn::SubI }),
+        BinOp::Mul => e.emit(if is_f { Insn::MulF } else { Insn::MulI }),
+        BinOp::Div => e.emit(if is_f { Insn::DivF } else { Insn::DivI }),
+        BinOp::Rem => e.emit(Insn::RemI),
+        BinOp::BitAnd => e.emit(Insn::And),
+        BinOp::BitOr => e.emit(Insn::Or),
+        BinOp::BitXor => e.emit(Insn::Xor),
+        BinOp::Shl => e.emit(Insn::Shl),
+        BinOp::Shr => e.emit(Insn::Shr),
+        BinOp::Eq => e.emit(if is_f { Insn::EqF } else { Insn::EqI }),
+        BinOp::Ne => {
+            e.emit(if is_f { Insn::EqF } else { Insn::EqI });
+            e.emit(Insn::ConstI(0));
+            e.emit(Insn::EqI);
+        }
+        BinOp::Lt => e.emit(if is_f { Insn::LtF } else { Insn::LtI }),
+        BinOp::Le => e.emit(if is_f { Insn::LeF } else { Insn::LeI }),
+        BinOp::Gt => {
+            // l > r  ≡  r < l : swap the already-evaluated operands.
+            e.emit(Insn::Swap);
+            e.emit(if is_f { Insn::LtF } else { Insn::LtI });
+        }
+        BinOp::Ge => {
+            e.emit(Insn::Swap);
+            e.emit(if is_f { Insn::LeF } else { Insn::LeI });
+        }
+        BinOp::AndAnd | BinOp::OrOr => unreachable!("handled above"),
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::compile;
+    use jaguar_vm::interp::{ArgValue, ExecMode, Interpreter, NoHost};
+    use jaguar_vm::{ResourceLimits, VmValue};
+    use std::sync::Arc;
+
+    fn run_main(src: &str, args: &[ArgValue]) -> jaguar_common::Result<Option<VmValue>> {
+        let module = compile("t", src)?;
+        let vm = Arc::new(module.verify()?);
+        let interp = Interpreter::new(vm, ResourceLimits::default(), ExecMode::Jit);
+        let (ret, _, _) = interp.invoke("main", args, &mut NoHost)?;
+        Ok(ret)
+    }
+
+    fn run_i(src: &str, args: &[ArgValue]) -> i64 {
+        run_main(src, args).unwrap().unwrap().as_i64().unwrap()
+    }
+
+    #[test]
+    fn every_program_verifies() {
+        // Compilation output must always pass the bytecode verifier.
+        for src in [
+            "fn main() -> i64 { return 1; }",
+            "fn main() { }",
+            "fn main(x: i64) -> i64 { if x > 0 { return x; } return -x; }",
+            "fn main() -> f64 { let s: f64 = 0.0; let i: i64 = 0; while i < 10 { s = s + 0.5; i = i + 1; } return s; }",
+            "fn g() -> i64 { return 3; } fn main() -> i64 { g(); return g() * g(); }",
+        ] {
+            compile("t", src).unwrap().verify().unwrap();
+        }
+    }
+
+    #[test]
+    fn comparison_operators() {
+        let src = "fn main(a: i64, b: i64) -> i64 {
+            return (a < b) * 1 + (a <= b) * 2 + (a > b) * 4 + (a >= b) * 8
+                 + (a == b) * 16 + (a != b) * 32;
+        }";
+        let f = |a, b| run_i(src, &[ArgValue::I64(a), ArgValue::I64(b)]);
+        assert_eq!(f(1, 2), 1 + 2 + 32);
+        assert_eq!(f(2, 2), 2 + 8 + 16);
+        assert_eq!(f(3, 2), 4 + 8 + 32);
+    }
+
+    #[test]
+    fn float_comparisons() {
+        let src = "fn main(a: f64, b: f64) -> i64 { return (a < b) + (a >= b) * 2; }";
+        assert_eq!(run_i(src, &[ArgValue::F64(1.0), ArgValue::F64(2.0)]), 1);
+        assert_eq!(run_i(src, &[ArgValue::F64(2.5), ArgValue::F64(2.0)]), 2);
+    }
+
+    #[test]
+    fn short_circuit_and_does_not_evaluate_rhs() {
+        // rhs would divide by zero; && must skip it when lhs is false.
+        let src = "fn main(x: i64) -> i64 { return (x != 0) && (10 / x > 1); }";
+        assert_eq!(run_i(src, &[ArgValue::I64(0)]), 0);
+        assert_eq!(run_i(src, &[ArgValue::I64(4)]), 1);
+        assert_eq!(run_i(src, &[ArgValue::I64(100)]), 0);
+    }
+
+    #[test]
+    fn short_circuit_or() {
+        let src = "fn main(x: i64) -> i64 { return (x == 0) || (10 / x > 1); }";
+        assert_eq!(run_i(src, &[ArgValue::I64(0)]), 1);
+        assert_eq!(run_i(src, &[ArgValue::I64(4)]), 1);
+        assert_eq!(run_i(src, &[ArgValue::I64(100)]), 0);
+    }
+
+    #[test]
+    fn logical_not() {
+        let src = "fn main(x: i64) -> i64 { return !x * 10 + !(!x); }";
+        assert_eq!(run_i(src, &[ArgValue::I64(0)]), 10);
+        assert_eq!(run_i(src, &[ArgValue::I64(7)]), 1);
+    }
+
+    #[test]
+    fn bitwise_and_shifts() {
+        let src = "fn main(a: i64, b: i64) -> i64 { return ((a & b) | (a ^ b)) + (a << 2) + (b >> 1); }";
+        assert_eq!(
+            run_i(src, &[ArgValue::I64(6), ArgValue::I64(3)]),
+            (6 | 3) + (6 << 2) + (3 >> 1)
+        );
+    }
+
+    #[test]
+    fn nested_loops_and_arrays() {
+        // Count bytes equal to a threshold in a generated array.
+        let src = r#"
+            fn main(n: i64) -> i64 {
+                let buf: bytes = newbytes(n);
+                let i: i64 = 0;
+                while i < n {
+                    buf[i] = i % 7;
+                    i = i + 1;
+                }
+                let count: i64 = 0;
+                i = 0;
+                while i < n {
+                    if buf[i] == 3 { count = count + 1; }
+                    i = i + 1;
+                }
+                return count;
+            }
+        "#;
+        assert_eq!(run_i(src, &[ArgValue::I64(70)]), 10);
+    }
+
+    #[test]
+    fn void_function_and_expression_statement() {
+        let src = "fn noop() { return; } fn main() -> i64 { noop(); 1 + 2; return 9; }";
+        assert_eq!(run_i(src, &[]), 9);
+    }
+
+    #[test]
+    fn runtime_bounds_trap_surfaces() {
+        let src = "fn main(b: bytes) -> i64 { return b[100]; }";
+        let e = run_main(src, &[ArgValue::Bytes(vec![0; 3])]).unwrap_err();
+        assert!(e.to_string().contains("out of bounds"), "{e}");
+    }
+
+    #[test]
+    fn division_by_zero_traps() {
+        let src = "fn main(x: i64) -> i64 { return 10 / x; }";
+        let e = run_main(src, &[ArgValue::I64(0)]).unwrap_err();
+        assert!(e.to_string().contains("divide by zero"), "{e}");
+    }
+
+    #[test]
+    fn bare_block_scoping_executes() {
+        let src = "fn main() -> i64 { let x: i64 = 1; { let y: i64 = x + 1; x = y * 2; } return x; }";
+        assert_eq!(run_i(src, &[]), 4);
+    }
+
+    #[test]
+    fn gt_ge_preserve_evaluation_order() {
+        // g() has the side effect of a host-free counter via recursion depth
+        // — instead, verify via short-circuit-free semantics: a[i++] style
+        // isn't expressible, so check with division traps: (10/x) > (x-x)
+        // must evaluate 10/x first (trapping for x=0).
+        let src = "fn main(x: i64) -> i64 { return (10 / x) > (x - x); }";
+        assert!(run_main(src, &[ArgValue::I64(0)]).is_err());
+        assert_eq!(run_i(src, &[ArgValue::I64(5)]), 1);
+    }
+}

@@ -1,0 +1,394 @@
+//! A reference interpreter for JagScript used as a differential-testing
+//! oracle: `compile ∘ verify ∘ execute` must agree with direct AST
+//! evaluation. The two implementations share no code below the AST, so a
+//! disagreement localises a bug in the compiler, the verifier, or the VM.
+//!
+//! The evaluator is deliberately naive (environment chains, `Rc<RefCell>`
+//! arrays) and fuel-limited so generated programs with runaway loops fail
+//! deterministically instead of hanging the test suite.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use jaguar_common::error::{JaguarError, Result};
+
+use crate::ast::*;
+
+/// A reference-evaluator value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RValue {
+    I64(i64),
+    F64(f64),
+    Bytes(Rc<RefCell<Vec<u8>>>),
+}
+
+impl RValue {
+    pub fn from_bytes(v: Vec<u8>) -> RValue {
+        RValue::Bytes(Rc::new(RefCell::new(v)))
+    }
+
+    fn as_i64(&self) -> Result<i64> {
+        match self {
+            RValue::I64(v) => Ok(*v),
+            _ => Err(JaguarError::Execution("ref-eval: expected i64".into())),
+        }
+    }
+
+    fn as_f64(&self) -> Result<f64> {
+        match self {
+            RValue::F64(v) => Ok(*v),
+            _ => Err(JaguarError::Execution("ref-eval: expected f64".into())),
+        }
+    }
+
+    fn as_bytes(&self) -> Result<Rc<RefCell<Vec<u8>>>> {
+        match self {
+            RValue::Bytes(b) => Ok(Rc::clone(b)),
+            _ => Err(JaguarError::Execution("ref-eval: expected bytes".into())),
+        }
+    }
+}
+
+/// Outcome of a statement.
+enum Flow {
+    Normal,
+    Return(Option<RValue>),
+}
+
+struct Evaluator<'p> {
+    prog: &'p Program,
+    fuel: u64,
+}
+
+/// Run `func` in `prog` with `args`, with an evaluation-step budget.
+pub fn run(
+    prog: &Program,
+    func: &str,
+    args: Vec<RValue>,
+    fuel: u64,
+) -> Result<Option<RValue>> {
+    let mut ev = Evaluator { prog, fuel };
+    ev.call(func, args)
+}
+
+type Scope = Vec<HashMap<String, RValue>>;
+
+impl Evaluator<'_> {
+    fn burn(&mut self) -> Result<()> {
+        if self.fuel == 0 {
+            return Err(JaguarError::ResourceLimit("ref-eval fuel".into()));
+        }
+        self.fuel -= 1;
+        Ok(())
+    }
+
+    fn call(&mut self, name: &str, args: Vec<RValue>) -> Result<Option<RValue>> {
+        let f = self
+            .prog
+            .functions
+            .iter()
+            .find(|f| f.name == name)
+            .ok_or_else(|| JaguarError::Execution(format!("ref-eval: no function '{name}'")))?;
+        if args.len() != f.params.len() {
+            return Err(JaguarError::Execution("ref-eval: arity mismatch".into()));
+        }
+        let mut scope: Scope = vec![HashMap::new()];
+        for ((pname, _), v) in f.params.iter().zip(args) {
+            scope[0].insert(pname.clone(), v);
+        }
+        match self.block(&f.body, &mut scope)? {
+            Flow::Return(v) => Ok(v),
+            Flow::Normal if f.ret.is_none() => Ok(None),
+            Flow::Normal => Err(JaguarError::Execution(
+                "ref-eval: fell off end of value-returning function".into(),
+            )),
+        }
+    }
+
+    fn block(&mut self, b: &Block, scope: &mut Scope) -> Result<Flow> {
+        scope.push(HashMap::new());
+        let mut flow = Flow::Normal;
+        for s in &b.stmts {
+            match self.stmt(s, scope)? {
+                Flow::Normal => {}
+                ret @ Flow::Return(_) => {
+                    flow = ret;
+                    break;
+                }
+            }
+        }
+        scope.pop();
+        Ok(flow)
+    }
+
+    fn stmt(&mut self, s: &Stmt, scope: &mut Scope) -> Result<Flow> {
+        self.burn()?;
+        match s {
+            Stmt::Let { name, init, .. } => {
+                let v = self.expr(init, scope)?;
+                scope
+                    .last_mut()
+                    .expect("scope")
+                    .insert(name.clone(), v);
+                Ok(Flow::Normal)
+            }
+            Stmt::Assign { name, expr, .. } => {
+                let v = self.expr(expr, scope)?;
+                for frame in scope.iter_mut().rev() {
+                    if let Some(slot) = frame.get_mut(name) {
+                        *slot = v;
+                        return Ok(Flow::Normal);
+                    }
+                }
+                Err(JaguarError::Execution(format!(
+                    "ref-eval: unknown variable '{name}'"
+                )))
+            }
+            Stmt::AssignIndex {
+                arr, idx, expr, ..
+            } => {
+                let a = self.expr(arr, scope)?.as_bytes()?;
+                let i = self.expr(idx, scope)?.as_i64()?;
+                let v = self.expr(expr, scope)?.as_i64()?;
+                let mut borrow = a.borrow_mut();
+                if i < 0 || i as usize >= borrow.len() {
+                    return Err(JaguarError::Execution(format!(
+                        "ref-eval: index {i} out of bounds for length {}",
+                        borrow.len()
+                    )));
+                }
+                borrow[i as usize] = v as u8;
+                Ok(Flow::Normal)
+            }
+            Stmt::If {
+                cond,
+                then_blk,
+                else_blk,
+                ..
+            } => {
+                if self.expr(cond, scope)?.as_i64()? != 0 {
+                    self.block(then_blk, scope)
+                } else if let Some(e) = else_blk {
+                    self.block(e, scope)
+                } else {
+                    Ok(Flow::Normal)
+                }
+            }
+            Stmt::While { cond, body, .. } => {
+                while self.expr(cond, scope)?.as_i64()? != 0 {
+                    self.burn()?;
+                    if let ret @ Flow::Return(_) = self.block(body, scope)? {
+                        return Ok(ret);
+                    }
+                }
+                Ok(Flow::Normal)
+            }
+            Stmt::Return { expr, .. } => {
+                let v = match expr {
+                    Some(e) => Some(self.expr(e, scope)?),
+                    None => None,
+                };
+                Ok(Flow::Return(v))
+            }
+            Stmt::Expr { expr, .. } => {
+                self.expr_maybe_void(expr, scope)?;
+                Ok(Flow::Normal)
+            }
+            Stmt::Block(b) => self.block(b, scope),
+        }
+    }
+
+    fn expr(&mut self, e: &Expr, scope: &mut Scope) -> Result<RValue> {
+        self.expr_maybe_void(e, scope)?.ok_or_else(|| {
+            JaguarError::Execution("ref-eval: void call used as value".into())
+        })
+    }
+
+    fn expr_maybe_void(&mut self, e: &Expr, scope: &mut Scope) -> Result<Option<RValue>> {
+        self.burn()?;
+        Ok(Some(match e {
+            Expr::IntLit(v, _) => RValue::I64(*v),
+            Expr::FloatLit(v, _) => RValue::F64(*v),
+            Expr::Var(name, _) => scope
+                .iter()
+                .rev()
+                .find_map(|f| f.get(name).cloned())
+                .ok_or_else(|| {
+                    JaguarError::Execution(format!("ref-eval: unknown variable '{name}'"))
+                })?,
+            Expr::Unary(op, inner, _) => {
+                let v = self.expr(inner, scope)?;
+                match (op, v) {
+                    (UnOp::Neg, RValue::I64(x)) => RValue::I64(x.wrapping_neg()),
+                    (UnOp::Neg, RValue::F64(x)) => RValue::F64(-x),
+                    (UnOp::Not, RValue::I64(x)) => RValue::I64((x == 0) as i64),
+                    _ => return Err(JaguarError::Execution("ref-eval: bad unary".into())),
+                }
+            }
+            Expr::Binary(op, l, r, _) => {
+                // Short-circuit first.
+                if *op == BinOp::AndAnd {
+                    let lv = self.expr(l, scope)?.as_i64()?;
+                    if lv == 0 {
+                        return Ok(Some(RValue::I64(0)));
+                    }
+                    return Ok(Some(RValue::I64(
+                        (self.expr(r, scope)?.as_i64()? != 0) as i64,
+                    )));
+                }
+                if *op == BinOp::OrOr {
+                    let lv = self.expr(l, scope)?.as_i64()?;
+                    if lv != 0 {
+                        return Ok(Some(RValue::I64(1)));
+                    }
+                    return Ok(Some(RValue::I64(
+                        (self.expr(r, scope)?.as_i64()? != 0) as i64,
+                    )));
+                }
+                let lv = self.expr(l, scope)?;
+                let rv = self.expr(r, scope)?;
+                self.binary(*op, lv, rv)?
+            }
+            Expr::Index(arr, idx, _) => {
+                let a = self.expr(arr, scope)?.as_bytes()?;
+                let i = self.expr(idx, scope)?.as_i64()?;
+                let borrow = a.borrow();
+                if i < 0 || i as usize >= borrow.len() {
+                    return Err(JaguarError::Execution(format!(
+                        "ref-eval: index {i} out of bounds for length {}",
+                        borrow.len()
+                    )));
+                }
+                RValue::I64(borrow[i as usize] as i64)
+            }
+            Expr::Call(name, args, _) => {
+                let mut vals = Vec::with_capacity(args.len());
+                for a in args {
+                    vals.push(self.expr(a, scope)?);
+                }
+                match name.as_str() {
+                    "len" => RValue::I64(vals[0].as_bytes()?.borrow().len() as i64),
+                    "newbytes" => {
+                        let n = vals[0].as_i64()?;
+                        if n < 0 {
+                            return Err(JaguarError::Execution(
+                                "ref-eval: negative array length".into(),
+                            ));
+                        }
+                        RValue::from_bytes(vec![0u8; n as usize])
+                    }
+                    "int" => RValue::I64(vals[0].as_f64()? as i64),
+                    "float" => RValue::F64(vals[0].as_i64()? as f64),
+                    _ => return self.call(name, vals),
+                }
+            }
+        }))
+    }
+
+    fn binary(&mut self, op: BinOp, l: RValue, r: RValue) -> Result<RValue> {
+        use BinOp::*;
+        Ok(match (l, r) {
+            (RValue::I64(a), RValue::I64(b)) => match op {
+                Add => RValue::I64(a.wrapping_add(b)),
+                Sub => RValue::I64(a.wrapping_sub(b)),
+                Mul => RValue::I64(a.wrapping_mul(b)),
+                Div => {
+                    if b == 0 {
+                        return Err(JaguarError::Execution("ref-eval: divide by zero".into()));
+                    }
+                    RValue::I64(a.wrapping_div(b))
+                }
+                Rem => {
+                    if b == 0 {
+                        return Err(JaguarError::Execution("ref-eval: divide by zero".into()));
+                    }
+                    RValue::I64(a.wrapping_rem(b))
+                }
+                BitAnd => RValue::I64(a & b),
+                BitOr => RValue::I64(a | b),
+                BitXor => RValue::I64(a ^ b),
+                Shl => RValue::I64(a.wrapping_shl(b as u32 & 63)),
+                Shr => RValue::I64(a.wrapping_shr(b as u32 & 63)),
+                Lt => RValue::I64((a < b) as i64),
+                Le => RValue::I64((a <= b) as i64),
+                Gt => RValue::I64((a > b) as i64),
+                Ge => RValue::I64((a >= b) as i64),
+                Eq => RValue::I64((a == b) as i64),
+                Ne => RValue::I64((a != b) as i64),
+                AndAnd | OrOr => unreachable!("short-circuited earlier"),
+            },
+            (RValue::F64(a), RValue::F64(b)) => match op {
+                Add => RValue::F64(a + b),
+                Sub => RValue::F64(a - b),
+                Mul => RValue::F64(a * b),
+                Div => RValue::F64(a / b),
+                Lt => RValue::I64((a < b) as i64),
+                Le => RValue::I64((a <= b) as i64),
+                Gt => RValue::I64((a > b) as i64),
+                Ge => RValue::I64((a >= b) as i64),
+                Eq => RValue::I64((a == b) as i64),
+                Ne => RValue::I64((a != b) as i64),
+                _ => return Err(JaguarError::Execution("ref-eval: bad float op".into())),
+            },
+            _ => return Err(JaguarError::Execution("ref-eval: bad operand types".into())),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+    use crate::parser::parse;
+
+    fn eval_i(src: &str, args: Vec<RValue>) -> i64 {
+        let prog = parse(lex(src).unwrap()).unwrap();
+        run(&prog, "main", args, 1_000_000)
+            .unwrap()
+            .unwrap()
+            .as_i64()
+            .unwrap()
+    }
+
+    #[test]
+    fn basic_evaluation() {
+        assert_eq!(eval_i("fn main() -> i64 { return 2 + 3 * 4; }", vec![]), 14);
+    }
+
+    #[test]
+    fn loops_and_arrays() {
+        let src = r#"
+            fn main(n: i64) -> i64 {
+                let b: bytes = newbytes(n);
+                let i: i64 = 0;
+                while i < n { b[i] = i * 2; i = i + 1; }
+                return b[n - 1];
+            }
+        "#;
+        assert_eq!(eval_i(src, vec![RValue::I64(5)]), 8);
+    }
+
+    #[test]
+    fn fuel_stops_infinite_loop() {
+        let src = "fn main() -> i64 { while 1 { } return 0; }";
+        let prog = parse(lex(src).unwrap()).unwrap();
+        let e = run(&prog, "main", vec![], 10_000).unwrap_err();
+        assert!(matches!(e, JaguarError::ResourceLimit(_)));
+    }
+
+    #[test]
+    fn arrays_alias_by_reference() {
+        // Mutating through one binding is visible through another —
+        // matches VM semantics where bytes are references.
+        let src = r#"
+            fn poke(b: bytes) { b[0] = 9; return; }
+            fn main() -> i64 {
+                let a: bytes = newbytes(1);
+                poke(a);
+                return a[0];
+            }
+        "#;
+        assert_eq!(eval_i(src, vec![]), 9);
+    }
+}

@@ -1,0 +1,283 @@
+//! JagScript lexer.
+
+use jaguar_common::error::{JaguarError, Result};
+
+/// A lexical token with its source line (1-based) for error reporting.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    pub kind: Tok,
+    pub line: u32,
+}
+
+/// Token kinds.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Tok {
+    // literals & names
+    Int(i64),
+    Float(f64),
+    Ident(String),
+    // keywords
+    Fn,
+    Let,
+    If,
+    Else,
+    While,
+    Return,
+    Import,
+    // type names are ordinary identifiers to the lexer
+    // punctuation
+    LParen,
+    RParen,
+    LBrace,
+    RBrace,
+    LBracket,
+    RBracket,
+    Comma,
+    Semi,
+    Colon,
+    Arrow, // ->
+    // operators
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    Percent,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    EqEq,
+    NotEq,
+    Assign, // =
+    AndAnd,
+    OrOr,
+    Amp,
+    Pipe,
+    Caret,
+    Shl,
+    Shr,
+    Bang,
+    Eof,
+}
+
+/// Tokenise JagScript source. `//` comments run to end of line.
+pub fn lex(src: &str) -> Result<Vec<Token>> {
+    let mut out = Vec::new();
+    let bytes = src.as_bytes();
+    let mut i = 0;
+    let mut line: u32 = 1;
+    let err = |line: u32, msg: String| JaguarError::Compile(format!("line {line}: {msg}"));
+
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            ' ' | '\t' | '\r' => i += 1,
+            '/' if bytes.get(i + 1) == Some(&b'/') => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            '0'..='9' => {
+                let start = i;
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    i += 1;
+                }
+                let is_float = i < bytes.len()
+                    && bytes[i] == b'.'
+                    && bytes.get(i + 1).is_some_and(|b| b.is_ascii_digit());
+                if is_float {
+                    i += 1;
+                    while i < bytes.len() && bytes[i].is_ascii_digit() {
+                        i += 1;
+                    }
+                    let text = &src[start..i];
+                    let v: f64 = text
+                        .parse()
+                        .map_err(|e| err(line, format!("bad float '{text}': {e}")))?;
+                    out.push(Token {
+                        kind: Tok::Float(v),
+                        line,
+                    });
+                } else {
+                    let text = &src[start..i];
+                    let v: i64 = text
+                        .parse()
+                        .map_err(|e| err(line, format!("bad integer '{text}': {e}")))?;
+                    out.push(Token {
+                        kind: Tok::Int(v),
+                        line,
+                    });
+                }
+            }
+            'a'..='z' | 'A'..='Z' | '_' => {
+                let start = i;
+                while i < bytes.len()
+                    && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                let word = &src[start..i];
+                let kind = match word {
+                    "fn" => Tok::Fn,
+                    "let" => Tok::Let,
+                    "if" => Tok::If,
+                    "else" => Tok::Else,
+                    "while" => Tok::While,
+                    "return" => Tok::Return,
+                    "import" => Tok::Import,
+                    _ => Tok::Ident(word.to_string()),
+                };
+                out.push(Token { kind, line });
+            }
+            _ => {
+                // Multi-char operators first. Compare raw bytes: slicing
+                // `src` here could split a multi-byte UTF-8 character and
+                // panic, and lexers must be total on arbitrary input.
+                let two: &[u8] = if i + 1 < bytes.len() {
+                    &bytes[i..i + 2]
+                } else {
+                    b""
+                };
+                let (kind, adv) = match two {
+                    b"->" => (Tok::Arrow, 2),
+                    b"<=" => (Tok::Le, 2),
+                    b">=" => (Tok::Ge, 2),
+                    b"==" => (Tok::EqEq, 2),
+                    b"!=" => (Tok::NotEq, 2),
+                    b"&&" => (Tok::AndAnd, 2),
+                    b"||" => (Tok::OrOr, 2),
+                    b"<<" => (Tok::Shl, 2),
+                    b">>" => (Tok::Shr, 2),
+                    _ => {
+                        let k = match c {
+                            '(' => Tok::LParen,
+                            ')' => Tok::RParen,
+                            '{' => Tok::LBrace,
+                            '}' => Tok::RBrace,
+                            '[' => Tok::LBracket,
+                            ']' => Tok::RBracket,
+                            ',' => Tok::Comma,
+                            ';' => Tok::Semi,
+                            ':' => Tok::Colon,
+                            '+' => Tok::Plus,
+                            '-' => Tok::Minus,
+                            '*' => Tok::Star,
+                            '/' => Tok::Slash,
+                            '%' => Tok::Percent,
+                            '<' => Tok::Lt,
+                            '>' => Tok::Gt,
+                            '=' => Tok::Assign,
+                            '&' => Tok::Amp,
+                            '|' => Tok::Pipe,
+                            '^' => Tok::Caret,
+                            '!' => Tok::Bang,
+                            other => {
+                                return Err(err(line, format!("unexpected character '{other}'")))
+                            }
+                        };
+                        (k, 1)
+                    }
+                };
+                out.push(Token { kind, line });
+                i += adv;
+            }
+        }
+    }
+    out.push(Token {
+        kind: Tok::Eof,
+        line,
+    });
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn keywords_and_idents() {
+        assert_eq!(
+            kinds("fn foo let iffy"),
+            vec![
+                Tok::Fn,
+                Tok::Ident("foo".into()),
+                Tok::Let,
+                Tok::Ident("iffy".into()),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn numbers() {
+        assert_eq!(
+            kinds("12 3.5 0 0.25"),
+            vec![
+                Tok::Int(12),
+                Tok::Float(3.5),
+                Tok::Int(0),
+                Tok::Float(0.25),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn integer_then_dot_is_not_float() {
+        // `len(x).` style constructs don't exist, but `1.` without a digit
+        // after the dot must not lex as a float.
+        let e = lex("1.");
+        // '.' is an unexpected character
+        assert!(e.is_err());
+    }
+
+    #[test]
+    fn operators_longest_match() {
+        assert_eq!(
+            kinds("<= < == = != ! -> - && & << <"),
+            vec![
+                Tok::Le,
+                Tok::Lt,
+                Tok::EqEq,
+                Tok::Assign,
+                Tok::NotEq,
+                Tok::Bang,
+                Tok::Arrow,
+                Tok::Minus,
+                Tok::AndAnd,
+                Tok::Amp,
+                Tok::Shl,
+                Tok::Lt,
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_skipped_and_lines_counted() {
+        let toks = lex("fn // comment fn let\nlet").unwrap();
+        assert_eq!(toks[0].kind, Tok::Fn);
+        assert_eq!(toks[0].line, 1);
+        assert_eq!(toks[1].kind, Tok::Let);
+        assert_eq!(toks[1].line, 2);
+    }
+
+    #[test]
+    fn unexpected_char_reports_line() {
+        let e = lex("fn\n@").unwrap_err();
+        assert!(e.to_string().contains("line 2"), "{e}");
+    }
+
+    #[test]
+    fn huge_integer_rejected() {
+        assert!(lex("99999999999999999999999999").is_err());
+    }
+}

@@ -1,0 +1,143 @@
+//! # jaguar-lang — the JagScript UDF language
+//!
+//! The paper's users write UDFs in Java *source*, compile them to bytecode
+//! at the client, and ship the bytecode to the server (§6.4). JagScript is
+//! that source language for JSM: a small, statically typed, C-flavoured
+//! language compiled to JSM bytecode by this crate.
+//!
+//! ```text
+//! // Fraction-of-red-pixels UDF from the paper's §3.1 example
+//! fn main(picture: bytes) -> i64 {
+//!     let red: i64 = 0;
+//!     let i: i64 = 0;
+//!     while i < len(picture) {
+//!         if picture[i] > 200 { red = red + 1; }
+//!         i = i + 1;
+//!     }
+//!     return (red * 100) / len(picture);
+//! }
+//! ```
+//!
+//! Pipeline: [`lexer`] → [`parser`] → [`typeck`] → [`codegen`], surfaced as
+//! [`compile`]. The result is an *unverified* [`jaguar_vm::Module`]; the
+//! server still runs the bytecode verifier on it — the compiler is not
+//! part of the trusted computing base, exactly as the paper argues for
+//! typed intermediate code (§2.4: "The safety of strongly-typed languages
+//! is preserved without the need for a trusted compiler").
+//!
+//! [`evalref`] is a direct AST interpreter used as a differential-testing
+//! oracle: compiled-and-executed JagScript must agree with it.
+//!
+//! ```
+//! use jaguar_vm::{ExecMode, Interpreter, ArgValue, NoHost, ResourceLimits};
+//! use std::sync::Arc;
+//!
+//! let module = jaguar_lang::compile(
+//!     "demo",
+//!     "fn main(n: i64) -> i64 {
+//!          let acc: i64 = 1;
+//!          let i: i64 = 2;
+//!          while i <= n { acc = acc * i; i = i + 1; }
+//!          return acc;
+//!      }",
+//! ).unwrap();
+//! let vm = Interpreter::new(
+//!     Arc::new(module.verify().unwrap()),
+//!     ResourceLimits::default(),
+//!     ExecMode::Jit,
+//! );
+//! let (ret, _, _) = vm.invoke("main", &[ArgValue::I64(10)], &mut NoHost).unwrap();
+//! assert_eq!(ret.unwrap().as_i64().unwrap(), 3_628_800); // 10!
+//! ```
+
+pub mod ast;
+pub mod codegen;
+pub mod evalref;
+pub mod lexer;
+pub mod parser;
+pub mod typeck;
+
+use jaguar_common::error::Result;
+use jaguar_vm::Module;
+
+/// Compile JagScript source to an unverified JSM module named `name`.
+pub fn compile(name: &str, src: &str) -> Result<Module> {
+    let tokens = lexer::lex(src)?;
+    let program = parser::parse(tokens)?;
+    let typed = typeck::check(&program)?;
+    codegen::generate(name, &program, &typed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jaguar_vm::interp::{ArgValue, ExecMode, Interpreter, NoHost};
+    use jaguar_vm::ResourceLimits;
+    use std::sync::Arc;
+
+    fn run(src: &str, args: &[ArgValue]) -> i64 {
+        let module = compile("test", src).expect("compile");
+        let vm = Arc::new(module.verify().expect("verify"));
+        let interp = Interpreter::new(vm, ResourceLimits::default(), ExecMode::Jit);
+        let (ret, _, _) = interp.invoke("main", args, &mut NoHost).expect("run");
+        ret.expect("return value").as_i64().expect("i64")
+    }
+
+    #[test]
+    fn end_to_end_redness() {
+        let src = r#"
+            fn main(picture: bytes) -> i64 {
+                let red: i64 = 0;
+                let i: i64 = 0;
+                while i < len(picture) {
+                    if picture[i] > 200 { red = red + 1; }
+                    i = i + 1;
+                }
+                return (red * 100) / len(picture);
+            }
+        "#;
+        // 2 of 4 pixels "red"
+        assert_eq!(run(src, &[ArgValue::Bytes(vec![250, 10, 220, 0])]), 50);
+    }
+
+    #[test]
+    fn end_to_end_functions_and_recursion() {
+        let src = r#"
+            fn fib(n: i64) -> i64 {
+                if n < 2 { return n; }
+                return fib(n - 1) + fib(n - 2);
+            }
+            fn main(n: i64) -> i64 {
+                return fib(n);
+            }
+        "#;
+        assert_eq!(run(src, &[ArgValue::I64(10)]), 55);
+    }
+
+    #[test]
+    fn end_to_end_float_math() {
+        let src = r#"
+            fn main(a: i64) -> i64 {
+                let x: f64 = float(a) * 1.5;
+                return int(x + 0.25);
+            }
+        "#;
+        assert_eq!(run(src, &[ArgValue::I64(10)]), 15);
+    }
+
+    #[test]
+    fn end_to_end_array_write() {
+        let src = r#"
+            fn main(n: i64) -> i64 {
+                let buf: bytes = newbytes(n);
+                let i: i64 = 0;
+                while i < n {
+                    buf[i] = i * 3;
+                    i = i + 1;
+                }
+                return buf[n - 1];
+            }
+        "#;
+        assert_eq!(run(src, &[ArgValue::I64(10)]), 27);
+    }
+}

@@ -1,0 +1,608 @@
+//! JagScript recursive-descent parser.
+//!
+//! Precedence (loosest → tightest):
+//!
+//! ```text
+//! ||  →  &&  →  == !=  →  < <= > >=  →  | ^ &  →  << >>  →  + -  →  * / %
+//!  →  unary - !  →  postfix index/call  →  atoms
+//! ```
+
+use jaguar_common::error::{JaguarError, Result};
+
+use crate::ast::*;
+use crate::lexer::{Tok, Token};
+
+/// Parse a token stream into a [`Program`].
+pub fn parse(tokens: Vec<Token>) -> Result<Program> {
+    let mut p = Parser { tokens, pos: 0 };
+    p.program()
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Tok {
+        &self.tokens[self.pos].kind
+    }
+
+    fn line(&self) -> u32 {
+        self.tokens[self.pos].line
+    }
+
+    fn bump(&mut self) -> Tok {
+        let t = self.tokens[self.pos].kind.clone();
+        if self.pos + 1 < self.tokens.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn err(&self, msg: impl std::fmt::Display) -> JaguarError {
+        JaguarError::Compile(format!("line {}: {msg}", self.line()))
+    }
+
+    fn expect(&mut self, want: Tok, what: &str) -> Result<()> {
+        if *self.peek() == want {
+            self.bump();
+            Ok(())
+        } else {
+            Err(self.err(format!("expected {what}, found {:?}", self.peek())))
+        }
+    }
+
+    fn ident(&mut self, what: &str) -> Result<String> {
+        match self.peek().clone() {
+            Tok::Ident(s) => {
+                self.bump();
+                Ok(s)
+            }
+            other => Err(self.err(format!("expected {what}, found {other:?}"))),
+        }
+    }
+
+    fn ty(&mut self) -> Result<Ty> {
+        let name = self.ident("a type name")?;
+        match name.as_str() {
+            "i64" => Ok(Ty::I64),
+            "f64" => Ok(Ty::F64),
+            "bytes" => Ok(Ty::Bytes),
+            other => Err(self.err(format!("unknown type '{other}'"))),
+        }
+    }
+
+    fn program(&mut self) -> Result<Program> {
+        let mut prog = Program::default();
+        loop {
+            match self.peek() {
+                Tok::Eof => break,
+                Tok::Import => prog.imports.push(self.import_decl()?),
+                Tok::Fn => prog.functions.push(self.fn_decl()?),
+                other => {
+                    return Err(self.err(format!(
+                        "expected 'fn' or 'import' at top level, found {other:?}"
+                    )))
+                }
+            }
+        }
+        if prog.functions.is_empty() {
+            return Err(JaguarError::Compile(
+                "program defines no functions".into(),
+            ));
+        }
+        Ok(prog)
+    }
+
+    fn import_decl(&mut self) -> Result<ImportDecl> {
+        let line = self.line();
+        self.expect(Tok::Import, "'import'")?;
+        let name = self.ident("an import name")?;
+        self.expect(Tok::LParen, "'('")?;
+        let mut params = Vec::new();
+        if *self.peek() != Tok::RParen {
+            loop {
+                params.push(self.ty()?);
+                if *self.peek() == Tok::Comma {
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+        }
+        self.expect(Tok::RParen, "')'")?;
+        let ret = if *self.peek() == Tok::Arrow {
+            self.bump();
+            Some(self.ty()?)
+        } else {
+            None
+        };
+        self.expect(Tok::Semi, "';'")?;
+        Ok(ImportDecl {
+            name,
+            params,
+            ret,
+            line,
+        })
+    }
+
+    fn fn_decl(&mut self) -> Result<FnDecl> {
+        let line = self.line();
+        self.expect(Tok::Fn, "'fn'")?;
+        let name = self.ident("a function name")?;
+        self.expect(Tok::LParen, "'('")?;
+        let mut params = Vec::new();
+        if *self.peek() != Tok::RParen {
+            loop {
+                let pname = self.ident("a parameter name")?;
+                self.expect(Tok::Colon, "':'")?;
+                let pty = self.ty()?;
+                params.push((pname, pty));
+                if *self.peek() == Tok::Comma {
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+        }
+        self.expect(Tok::RParen, "')'")?;
+        let ret = if *self.peek() == Tok::Arrow {
+            self.bump();
+            Some(self.ty()?)
+        } else {
+            None
+        };
+        let body = self.block()?;
+        Ok(FnDecl {
+            name,
+            params,
+            ret,
+            body,
+            line,
+        })
+    }
+
+    fn block(&mut self) -> Result<Block> {
+        self.expect(Tok::LBrace, "'{'")?;
+        let mut stmts = Vec::new();
+        while *self.peek() != Tok::RBrace {
+            if *self.peek() == Tok::Eof {
+                return Err(self.err("unexpected end of input inside block"));
+            }
+            stmts.push(self.stmt()?);
+        }
+        self.bump(); // }
+        Ok(Block { stmts })
+    }
+
+    fn stmt(&mut self) -> Result<Stmt> {
+        let line = self.line();
+        match self.peek().clone() {
+            Tok::Let => {
+                self.bump();
+                let name = self.ident("a variable name")?;
+                self.expect(Tok::Colon, "':' (JagScript requires type annotations)")?;
+                let ty = self.ty()?;
+                self.expect(Tok::Assign, "'='")?;
+                let init = self.expr()?;
+                self.expect(Tok::Semi, "';'")?;
+                Ok(Stmt::Let {
+                    name,
+                    ty,
+                    init,
+                    line,
+                })
+            }
+            Tok::If => {
+                self.bump();
+                let cond = self.expr()?;
+                let then_blk = self.block()?;
+                let else_blk = if *self.peek() == Tok::Else {
+                    self.bump();
+                    if *self.peek() == Tok::If {
+                        // `else if` sugar: wrap in a single-statement block.
+                        let nested = self.stmt()?;
+                        Some(Block {
+                            stmts: vec![nested],
+                        })
+                    } else {
+                        Some(self.block()?)
+                    }
+                } else {
+                    None
+                };
+                Ok(Stmt::If {
+                    cond,
+                    then_blk,
+                    else_blk,
+                    line,
+                })
+            }
+            Tok::While => {
+                self.bump();
+                let cond = self.expr()?;
+                let body = self.block()?;
+                Ok(Stmt::While { cond, body, line })
+            }
+            Tok::Return => {
+                self.bump();
+                let expr = if *self.peek() == Tok::Semi {
+                    None
+                } else {
+                    Some(self.expr()?)
+                };
+                self.expect(Tok::Semi, "';'")?;
+                Ok(Stmt::Return { expr, line })
+            }
+            Tok::LBrace => Ok(Stmt::Block(self.block()?)),
+            _ => {
+                // Assignment or expression statement. Parse an expression,
+                // then decide based on a following '='.
+                let e = self.expr()?;
+                if *self.peek() == Tok::Assign {
+                    self.bump();
+                    let rhs = self.expr()?;
+                    self.expect(Tok::Semi, "';'")?;
+                    match e {
+                        Expr::Var(name, _) => Ok(Stmt::Assign {
+                            name,
+                            expr: rhs,
+                            line,
+                        }),
+                        Expr::Index(arr, idx, _) => Ok(Stmt::AssignIndex {
+                            arr: *arr,
+                            idx: *idx,
+                            expr: rhs,
+                            line,
+                        }),
+                        _ => Err(JaguarError::Compile(format!(
+                            "line {line}: invalid assignment target"
+                        ))),
+                    }
+                } else {
+                    self.expect(Tok::Semi, "';'")?;
+                    Ok(Stmt::Expr { expr: e, line })
+                }
+            }
+        }
+    }
+
+    // ---- expressions, one level per precedence tier --------------------
+
+    fn expr(&mut self) -> Result<Expr> {
+        self.or_expr()
+    }
+
+    fn or_expr(&mut self) -> Result<Expr> {
+        let mut lhs = self.and_expr()?;
+        while *self.peek() == Tok::OrOr {
+            let line = self.line();
+            self.bump();
+            let rhs = self.and_expr()?;
+            lhs = Expr::Binary(BinOp::OrOr, Box::new(lhs), Box::new(rhs), line);
+        }
+        Ok(lhs)
+    }
+
+    fn and_expr(&mut self) -> Result<Expr> {
+        let mut lhs = self.equality()?;
+        while *self.peek() == Tok::AndAnd {
+            let line = self.line();
+            self.bump();
+            let rhs = self.equality()?;
+            lhs = Expr::Binary(BinOp::AndAnd, Box::new(lhs), Box::new(rhs), line);
+        }
+        Ok(lhs)
+    }
+
+    fn equality(&mut self) -> Result<Expr> {
+        let mut lhs = self.relational()?;
+        loop {
+            let op = match self.peek() {
+                Tok::EqEq => BinOp::Eq,
+                Tok::NotEq => BinOp::Ne,
+                _ => break,
+            };
+            let line = self.line();
+            self.bump();
+            let rhs = self.relational()?;
+            lhs = Expr::Binary(op, Box::new(lhs), Box::new(rhs), line);
+        }
+        Ok(lhs)
+    }
+
+    fn relational(&mut self) -> Result<Expr> {
+        let mut lhs = self.bitor()?;
+        loop {
+            let op = match self.peek() {
+                Tok::Lt => BinOp::Lt,
+                Tok::Le => BinOp::Le,
+                Tok::Gt => BinOp::Gt,
+                Tok::Ge => BinOp::Ge,
+                _ => break,
+            };
+            let line = self.line();
+            self.bump();
+            let rhs = self.bitor()?;
+            lhs = Expr::Binary(op, Box::new(lhs), Box::new(rhs), line);
+        }
+        Ok(lhs)
+    }
+
+    fn bitor(&mut self) -> Result<Expr> {
+        let mut lhs = self.bitxor()?;
+        while *self.peek() == Tok::Pipe {
+            let line = self.line();
+            self.bump();
+            let rhs = self.bitxor()?;
+            lhs = Expr::Binary(BinOp::BitOr, Box::new(lhs), Box::new(rhs), line);
+        }
+        Ok(lhs)
+    }
+
+    fn bitxor(&mut self) -> Result<Expr> {
+        let mut lhs = self.bitand()?;
+        while *self.peek() == Tok::Caret {
+            let line = self.line();
+            self.bump();
+            let rhs = self.bitand()?;
+            lhs = Expr::Binary(BinOp::BitXor, Box::new(lhs), Box::new(rhs), line);
+        }
+        Ok(lhs)
+    }
+
+    fn bitand(&mut self) -> Result<Expr> {
+        let mut lhs = self.shift()?;
+        while *self.peek() == Tok::Amp {
+            let line = self.line();
+            self.bump();
+            let rhs = self.shift()?;
+            lhs = Expr::Binary(BinOp::BitAnd, Box::new(lhs), Box::new(rhs), line);
+        }
+        Ok(lhs)
+    }
+
+    fn shift(&mut self) -> Result<Expr> {
+        let mut lhs = self.additive()?;
+        loop {
+            let op = match self.peek() {
+                Tok::Shl => BinOp::Shl,
+                Tok::Shr => BinOp::Shr,
+                _ => break,
+            };
+            let line = self.line();
+            self.bump();
+            let rhs = self.additive()?;
+            lhs = Expr::Binary(op, Box::new(lhs), Box::new(rhs), line);
+        }
+        Ok(lhs)
+    }
+
+    fn additive(&mut self) -> Result<Expr> {
+        let mut lhs = self.multiplicative()?;
+        loop {
+            let op = match self.peek() {
+                Tok::Plus => BinOp::Add,
+                Tok::Minus => BinOp::Sub,
+                _ => break,
+            };
+            let line = self.line();
+            self.bump();
+            let rhs = self.multiplicative()?;
+            lhs = Expr::Binary(op, Box::new(lhs), Box::new(rhs), line);
+        }
+        Ok(lhs)
+    }
+
+    fn multiplicative(&mut self) -> Result<Expr> {
+        let mut lhs = self.unary()?;
+        loop {
+            let op = match self.peek() {
+                Tok::Star => BinOp::Mul,
+                Tok::Slash => BinOp::Div,
+                Tok::Percent => BinOp::Rem,
+                _ => break,
+            };
+            let line = self.line();
+            self.bump();
+            let rhs = self.unary()?;
+            lhs = Expr::Binary(op, Box::new(lhs), Box::new(rhs), line);
+        }
+        Ok(lhs)
+    }
+
+    fn unary(&mut self) -> Result<Expr> {
+        let line = self.line();
+        match self.peek() {
+            Tok::Minus => {
+                self.bump();
+                let e = self.unary()?;
+                Ok(Expr::Unary(UnOp::Neg, Box::new(e), line))
+            }
+            Tok::Bang => {
+                self.bump();
+                let e = self.unary()?;
+                Ok(Expr::Unary(UnOp::Not, Box::new(e), line))
+            }
+            _ => self.postfix(),
+        }
+    }
+
+    fn postfix(&mut self) -> Result<Expr> {
+        let mut e = self.atom()?;
+        while *self.peek() == Tok::LBracket {
+            let line = self.line();
+            self.bump();
+            let idx = self.expr()?;
+            self.expect(Tok::RBracket, "']'")?;
+            e = Expr::Index(Box::new(e), Box::new(idx), line);
+        }
+        Ok(e)
+    }
+
+    fn atom(&mut self) -> Result<Expr> {
+        let line = self.line();
+        match self.peek().clone() {
+            Tok::Int(v) => {
+                self.bump();
+                Ok(Expr::IntLit(v, line))
+            }
+            Tok::Float(v) => {
+                self.bump();
+                Ok(Expr::FloatLit(v, line))
+            }
+            Tok::Ident(name) => {
+                self.bump();
+                if *self.peek() == Tok::LParen {
+                    self.bump();
+                    let mut args = Vec::new();
+                    if *self.peek() != Tok::RParen {
+                        loop {
+                            args.push(self.expr()?);
+                            if *self.peek() == Tok::Comma {
+                                self.bump();
+                            } else {
+                                break;
+                            }
+                        }
+                    }
+                    self.expect(Tok::RParen, "')'")?;
+                    Ok(Expr::Call(name, args, line))
+                } else {
+                    Ok(Expr::Var(name, line))
+                }
+            }
+            Tok::LParen => {
+                self.bump();
+                let e = self.expr()?;
+                self.expect(Tok::RParen, "')'")?;
+                Ok(e)
+            }
+            other => Err(self.err(format!("expected an expression, found {other:?}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn parse_src(src: &str) -> Result<Program> {
+        parse(lex(src)?)
+    }
+
+    #[test]
+    fn minimal_function() {
+        let p = parse_src("fn main() -> i64 { return 1; }").unwrap();
+        assert_eq!(p.functions.len(), 1);
+        assert_eq!(p.functions[0].name, "main");
+        assert_eq!(p.functions[0].ret, Some(Ty::I64));
+    }
+
+    #[test]
+    fn params_and_imports() {
+        let p = parse_src(
+            "import callback(i64, bytes) -> i64;\nfn f(a: i64, b: bytes) { return; }",
+        )
+        .unwrap();
+        assert_eq!(p.imports.len(), 1);
+        assert_eq!(p.imports[0].params, vec![Ty::I64, Ty::Bytes]);
+        assert_eq!(p.functions[0].params.len(), 2);
+        assert_eq!(p.functions[0].ret, None);
+    }
+
+    #[test]
+    fn precedence() {
+        let p = parse_src("fn f() -> i64 { return 1 + 2 * 3 < 4 && 5 == 6; }").unwrap();
+        // ((1 + (2*3)) < 4) && (5 == 6)
+        let Stmt::Return { expr: Some(e), .. } = &p.functions[0].body.stmts[0] else {
+            panic!("expected return");
+        };
+        let Expr::Binary(BinOp::AndAnd, l, r, _) = e else {
+            panic!("top must be &&, got {e:?}");
+        };
+        assert!(matches!(**l, Expr::Binary(BinOp::Lt, _, _, _)));
+        assert!(matches!(**r, Expr::Binary(BinOp::Eq, _, _, _)));
+    }
+
+    #[test]
+    fn unary_binds_tighter_than_mul() {
+        let p = parse_src("fn f() -> i64 { return -1 * 2; }").unwrap();
+        let Stmt::Return { expr: Some(e), .. } = &p.functions[0].body.stmts[0] else {
+            panic!()
+        };
+        assert!(matches!(e, Expr::Binary(BinOp::Mul, _, _, _)));
+    }
+
+    #[test]
+    fn index_and_call_postfix() {
+        let p = parse_src("fn f(a: bytes) -> i64 { return a[len(a) - 1]; }").unwrap();
+        let Stmt::Return { expr: Some(e), .. } = &p.functions[0].body.stmts[0] else {
+            panic!()
+        };
+        assert!(matches!(e, Expr::Index(_, _, _)));
+    }
+
+    #[test]
+    fn assignment_forms() {
+        let p = parse_src("fn f(a: bytes) { a[0] = 1; let x: i64 = 2; x = 3; }").unwrap();
+        let stmts = &p.functions[0].body.stmts;
+        assert!(matches!(stmts[0], Stmt::AssignIndex { .. }));
+        assert!(matches!(stmts[1], Stmt::Let { .. }));
+        assert!(matches!(stmts[2], Stmt::Assign { .. }));
+    }
+
+    #[test]
+    fn invalid_assignment_target() {
+        let e = parse_src("fn f() { 1 + 2 = 3; }").unwrap_err();
+        assert!(e.to_string().contains("invalid assignment target"), "{e}");
+    }
+
+    #[test]
+    fn else_if_chain() {
+        let p =
+            parse_src("fn f(x: i64) -> i64 { if x < 0 { return 0; } else if x < 10 { return 1; } else { return 2; } }")
+                .unwrap();
+        let Stmt::If { else_blk, .. } = &p.functions[0].body.stmts[0] else {
+            panic!()
+        };
+        let inner = else_blk.as_ref().unwrap();
+        assert!(matches!(inner.stmts[0], Stmt::If { .. }));
+    }
+
+    #[test]
+    fn missing_semicolon_is_error() {
+        assert!(parse_src("fn f() { return 1 }").is_err());
+    }
+
+    #[test]
+    fn missing_type_annotation_is_error() {
+        let e = parse_src("fn f() { let x = 1; }").unwrap_err();
+        assert!(e.to_string().contains("type annotations"), "{e}");
+    }
+
+    #[test]
+    fn empty_program_rejected() {
+        assert!(parse_src("").is_err());
+        assert!(parse_src("import cb();").is_err());
+    }
+
+    #[test]
+    fn garbage_at_top_level_rejected() {
+        assert!(parse_src("let x: i64 = 1;").is_err());
+    }
+
+    #[test]
+    fn unclosed_block_rejected() {
+        let e = parse_src("fn f() { return;").unwrap_err();
+        assert!(e.to_string().contains("end of input"), "{e}");
+    }
+
+    #[test]
+    fn nested_blocks_parse() {
+        let p = parse_src("fn f() { { let x: i64 = 1; } }").unwrap();
+        assert!(matches!(p.functions[0].body.stmts[0], Stmt::Block(_)));
+    }
+}

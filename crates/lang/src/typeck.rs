@@ -1,0 +1,681 @@
+//! JagScript type checker.
+//!
+//! Produces a *typed* program: every variable reference resolved to a local
+//! slot, every expression annotated with its type, every call resolved to a
+//! user function / host import / builtin. Codegen consumes this and never
+//! has to re-derive types.
+//!
+//! Also performs **must-return** analysis: a function with a return type
+//! must return on every control path (the bytecode verifier would catch
+//! the resulting fall-off too, but a source-level diagnostic is kinder).
+
+use std::collections::HashMap;
+
+use jaguar_common::error::{JaguarError, Result};
+
+use crate::ast::*;
+
+/// A fully resolved, type-annotated program.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TypedProgram {
+    pub functions: Vec<TFn>,
+}
+
+/// A typed function: all locals flattened into slots (params first).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TFn {
+    pub name: String,
+    pub n_params: usize,
+    pub ret: Option<Ty>,
+    /// Types of every slot, params included.
+    pub slots: Vec<Ty>,
+    pub body: Vec<TStmt>,
+}
+
+/// Typed statements.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TStmt {
+    /// Evaluate and store into a slot (covers both `let` and assignment).
+    Store { slot: u16, expr: TExpr },
+    /// `arr[idx] = val`
+    StoreIndex { arr: TExpr, idx: TExpr, val: TExpr },
+    If {
+        cond: TExpr,
+        then_blk: Vec<TStmt>,
+        else_blk: Vec<TStmt>,
+    },
+    While { cond: TExpr, body: Vec<TStmt> },
+    Return(Option<TExpr>),
+    /// Expression evaluated for effect; `has_value` says whether a result
+    /// must be popped.
+    Expr { expr: TExpr, has_value: bool },
+}
+
+/// Builtin functions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Builtin {
+    /// `len(bytes) -> i64`
+    Len,
+    /// `newbytes(i64) -> bytes`
+    NewBytes,
+    /// `int(f64) -> i64`
+    IntCast,
+    /// `float(i64) -> f64`
+    FloatCast,
+}
+
+/// A typed expression node.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TExpr {
+    pub kind: TExprKind,
+    /// `None` only for calls to void functions.
+    pub ty: Option<Ty>,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+pub enum TExprKind {
+    I64Lit(i64),
+    F64Lit(f64),
+    LoadSlot(u16),
+    Unary(UnOp, Box<TExpr>),
+    /// `operand_ty` disambiguates int vs float instruction selection.
+    Binary {
+        op: BinOp,
+        operand_ty: Ty,
+        lhs: Box<TExpr>,
+        rhs: Box<TExpr>,
+    },
+    CallUser { index: u32, args: Vec<TExpr> },
+    CallHost { index: u16, args: Vec<TExpr> },
+    CallBuiltin { which: Builtin, args: Vec<TExpr> },
+    Index { arr: Box<TExpr>, idx: Box<TExpr> },
+}
+
+/// Type-check a parsed program.
+pub fn check(prog: &Program) -> Result<TypedProgram> {
+    // Build the callable namespace.
+    let mut user: HashMap<&str, (u32, &FnDecl)> = HashMap::new();
+    for (i, f) in prog.functions.iter().enumerate() {
+        if BUILTINS.contains(&f.name.as_str()) {
+            return Err(cerr(f.line, format!("'{}' shadows a builtin", f.name)));
+        }
+        if user.insert(&f.name, (i as u32, f)).is_some() {
+            return Err(cerr(f.line, format!("duplicate function '{}'", f.name)));
+        }
+    }
+    let mut imports: HashMap<&str, (u16, &ImportDecl)> = HashMap::new();
+    for (i, imp) in prog.imports.iter().enumerate() {
+        if BUILTINS.contains(&imp.name.as_str()) {
+            return Err(cerr(imp.line, format!("'{}' shadows a builtin", imp.name)));
+        }
+        if user.contains_key(imp.name.as_str()) {
+            return Err(cerr(
+                imp.line,
+                format!("import '{}' collides with a function", imp.name),
+            ));
+        }
+        if imports.insert(&imp.name, (i as u16, imp)).is_some() {
+            return Err(cerr(imp.line, format!("duplicate import '{}'", imp.name)));
+        }
+    }
+
+    let mut functions = Vec::with_capacity(prog.functions.len());
+    for f in &prog.functions {
+        functions.push(check_fn(f, &user, &imports)?);
+    }
+    Ok(TypedProgram { functions })
+}
+
+fn cerr(line: u32, msg: impl std::fmt::Display) -> JaguarError {
+    JaguarError::Compile(format!("line {line}: {msg}"))
+}
+
+struct Ctx<'a> {
+    user: &'a HashMap<&'a str, (u32, &'a FnDecl)>,
+    imports: &'a HashMap<&'a str, (u16, &'a ImportDecl)>,
+    /// All slots allocated so far in this function.
+    slots: Vec<Ty>,
+    /// Lexical scopes: name → slot.
+    scopes: Vec<HashMap<String, u16>>,
+    ret: Option<Ty>,
+}
+
+impl Ctx<'_> {
+    fn lookup(&self, name: &str) -> Option<u16> {
+        self.scopes
+            .iter()
+            .rev()
+            .find_map(|s| s.get(name).copied())
+    }
+
+    fn declare(&mut self, name: &str, ty: Ty, line: u32) -> Result<u16> {
+        if self.slots.len() >= u16::MAX as usize {
+            return Err(cerr(line, "too many local variables"));
+        }
+        let slot = self.slots.len() as u16;
+        self.slots.push(ty);
+        self.scopes
+            .last_mut()
+            .expect("at least one scope")
+            .insert(name.to_string(), slot);
+        Ok(slot)
+    }
+}
+
+fn check_fn(
+    f: &FnDecl,
+    user: &HashMap<&str, (u32, &FnDecl)>,
+    imports: &HashMap<&str, (u16, &ImportDecl)>,
+) -> Result<TFn> {
+    let mut ctx = Ctx {
+        user,
+        imports,
+        slots: Vec::new(),
+        scopes: vec![HashMap::new()],
+        ret: f.ret,
+    };
+    for (name, ty) in &f.params {
+        if ctx.lookup(name).is_some() {
+            return Err(cerr(f.line, format!("duplicate parameter '{name}'")));
+        }
+        ctx.declare(name, *ty, f.line)?;
+    }
+    let body = check_block(&f.body, &mut ctx)?;
+    if f.ret.is_some() && !block_must_return(&f.body) {
+        return Err(cerr(
+            f.line,
+            format!(
+                "function '{}' may finish without returning a value",
+                f.name
+            ),
+        ));
+    }
+    Ok(TFn {
+        name: f.name.clone(),
+        n_params: f.params.len(),
+        ret: f.ret,
+        slots: ctx.slots,
+        body,
+    })
+}
+
+fn check_block(b: &Block, ctx: &mut Ctx) -> Result<Vec<TStmt>> {
+    ctx.scopes.push(HashMap::new());
+    let result = b.stmts.iter().map(|s| check_stmt(s, ctx)).collect();
+    ctx.scopes.pop();
+    result
+}
+
+fn check_stmt(s: &Stmt, ctx: &mut Ctx) -> Result<TStmt> {
+    match s {
+        Stmt::Let {
+            name,
+            ty,
+            init,
+            line,
+        } => {
+            let e = check_expr(init, ctx)?;
+            expect_ty(&e, *ty, *line)?;
+            // Declare *after* checking the initialiser: `let x: i64 = x;`
+            // refers to any outer x, not the new one.
+            let slot = ctx.declare(name, *ty, *line)?;
+            Ok(TStmt::Store { slot, expr: e })
+        }
+        Stmt::Assign { name, expr, line } => {
+            let slot = ctx
+                .lookup(name)
+                .ok_or_else(|| cerr(*line, format!("unknown variable '{name}'")))?;
+            let e = check_expr(expr, ctx)?;
+            expect_ty(&e, ctx.slots[slot as usize], *line)?;
+            Ok(TStmt::Store { slot, expr: e })
+        }
+        Stmt::AssignIndex {
+            arr,
+            idx,
+            expr,
+            line,
+        } => {
+            let a = check_expr(arr, ctx)?;
+            expect_ty(&a, Ty::Bytes, *line)?;
+            let i = check_expr(idx, ctx)?;
+            expect_ty(&i, Ty::I64, *line)?;
+            let v = check_expr(expr, ctx)?;
+            expect_ty(&v, Ty::I64, *line)?;
+            Ok(TStmt::StoreIndex {
+                arr: a,
+                idx: i,
+                val: v,
+            })
+        }
+        Stmt::If {
+            cond,
+            then_blk,
+            else_blk,
+            line,
+        } => {
+            let c = check_expr(cond, ctx)?;
+            expect_ty(&c, Ty::I64, *line)?;
+            let t = check_block(then_blk, ctx)?;
+            let e = match else_blk {
+                Some(b) => check_block(b, ctx)?,
+                None => Vec::new(),
+            };
+            Ok(TStmt::If {
+                cond: c,
+                then_blk: t,
+                else_blk: e,
+            })
+        }
+        Stmt::While { cond, body, line } => {
+            let c = check_expr(cond, ctx)?;
+            expect_ty(&c, Ty::I64, *line)?;
+            let b = check_block(body, ctx)?;
+            Ok(TStmt::While { cond: c, body: b })
+        }
+        Stmt::Return { expr, line } => match (expr, ctx.ret) {
+            (Some(e), Some(want)) => {
+                let te = check_expr(e, ctx)?;
+                expect_ty(&te, want, *line)?;
+                Ok(TStmt::Return(Some(te)))
+            }
+            (None, None) => Ok(TStmt::Return(None)),
+            (Some(_), None) => Err(cerr(*line, "void function returns a value")),
+            (None, Some(t)) => Err(cerr(
+                *line,
+                format!("function must return a value of type {}", t.name()),
+            )),
+        },
+        Stmt::Expr { expr, line: _ } => {
+            let e = check_expr(expr, ctx)?;
+            let has_value = e.ty.is_some();
+            Ok(TStmt::Expr {
+                expr: e,
+                has_value,
+            })
+        }
+        Stmt::Block(b) => {
+            // A bare block is an `if 1 { .. }` without the branch: model as
+            // If with constant-true condition to keep TStmt small.
+            let inner = check_block(b, ctx)?;
+            Ok(TStmt::If {
+                cond: TExpr {
+                    kind: TExprKind::I64Lit(1),
+                    ty: Some(Ty::I64),
+                },
+                then_blk: inner,
+                else_blk: Vec::new(),
+            })
+        }
+    }
+}
+
+fn expect_ty(e: &TExpr, want: Ty, line: u32) -> Result<()> {
+    match e.ty {
+        Some(t) if t == want => Ok(()),
+        Some(t) => Err(cerr(
+            line,
+            format!("type mismatch: expected {}, found {}", want.name(), t.name()),
+        )),
+        None => Err(cerr(line, "void call used where a value is required")),
+    }
+}
+
+fn value_ty(e: &TExpr, line: u32) -> Result<Ty> {
+    e.ty
+        .ok_or_else(|| cerr(line, "void call used where a value is required"))
+}
+
+fn check_expr(e: &Expr, ctx: &mut Ctx) -> Result<TExpr> {
+    match e {
+        Expr::IntLit(v, _) => Ok(TExpr {
+            kind: TExprKind::I64Lit(*v),
+            ty: Some(Ty::I64),
+        }),
+        Expr::FloatLit(v, _) => Ok(TExpr {
+            kind: TExprKind::F64Lit(*v),
+            ty: Some(Ty::F64),
+        }),
+        Expr::Var(name, line) => {
+            let slot = ctx
+                .lookup(name)
+                .ok_or_else(|| cerr(*line, format!("unknown variable '{name}'")))?;
+            Ok(TExpr {
+                kind: TExprKind::LoadSlot(slot),
+                ty: Some(ctx.slots[slot as usize]),
+            })
+        }
+        Expr::Unary(op, inner, line) => {
+            let te = check_expr(inner, ctx)?;
+            let t = value_ty(&te, *line)?;
+            let ty = match (op, t) {
+                (UnOp::Neg, Ty::I64) | (UnOp::Neg, Ty::F64) => t,
+                (UnOp::Not, Ty::I64) => Ty::I64,
+                (op, t) => {
+                    return Err(cerr(
+                        *line,
+                        format!("operator cannot apply {op:?} to {}", t.name()),
+                    ))
+                }
+            };
+            Ok(TExpr {
+                kind: TExprKind::Unary(*op, Box::new(te)),
+                ty: Some(ty),
+            })
+        }
+        Expr::Binary(op, l, r, line) => {
+            let tl = check_expr(l, ctx)?;
+            let tr = check_expr(r, ctx)?;
+            let lt = value_ty(&tl, *line)?;
+            let rt = value_ty(&tr, *line)?;
+            if lt != rt {
+                return Err(cerr(
+                    *line,
+                    format!(
+                        "operands of '{}' differ: {} vs {} (JagScript has no implicit \
+                         conversions; use int()/float())",
+                        op.symbol(),
+                        lt.name(),
+                        rt.name()
+                    ),
+                ));
+            }
+            let result = binop_result(*op, lt)
+                .ok_or_else(|| {
+                    cerr(
+                        *line,
+                        format!("operator '{}' not defined on {}", op.symbol(), lt.name()),
+                    )
+                })?;
+            Ok(TExpr {
+                kind: TExprKind::Binary {
+                    op: *op,
+                    operand_ty: lt,
+                    lhs: Box::new(tl),
+                    rhs: Box::new(tr),
+                },
+                ty: Some(result),
+            })
+        }
+        Expr::Index(arr, idx, line) => {
+            let a = check_expr(arr, ctx)?;
+            expect_ty(&a, Ty::Bytes, *line)?;
+            let i = check_expr(idx, ctx)?;
+            expect_ty(&i, Ty::I64, *line)?;
+            Ok(TExpr {
+                kind: TExprKind::Index {
+                    arr: Box::new(a),
+                    idx: Box::new(i),
+                },
+                ty: Some(Ty::I64),
+            })
+        }
+        Expr::Call(name, args, line) => {
+            let targs: Vec<TExpr> = args
+                .iter()
+                .map(|a| check_expr(a, ctx))
+                .collect::<Result<_>>()?;
+            // builtins
+            if let Some(b) = builtin_of(name) {
+                return check_builtin(b, targs, *line);
+            }
+            if let Some((idx, decl)) = ctx.user.get(name.as_str()) {
+                check_args(
+                    name,
+                    &targs,
+                    &decl.params.iter().map(|(_, t)| *t).collect::<Vec<_>>(),
+                    *line,
+                )?;
+                return Ok(TExpr {
+                    kind: TExprKind::CallUser {
+                        index: *idx,
+                        args: targs,
+                    },
+                    ty: decl.ret,
+                });
+            }
+            if let Some((idx, decl)) = ctx.imports.get(name.as_str()) {
+                check_args(name, &targs, &decl.params, *line)?;
+                return Ok(TExpr {
+                    kind: TExprKind::CallHost {
+                        index: *idx,
+                        args: targs,
+                    },
+                    ty: decl.ret,
+                });
+            }
+            Err(cerr(*line, format!("unknown function '{name}'")))
+        }
+    }
+}
+
+fn check_args(name: &str, args: &[TExpr], want: &[Ty], line: u32) -> Result<()> {
+    if args.len() != want.len() {
+        return Err(cerr(
+            line,
+            format!("'{name}' expects {} arguments, got {}", want.len(), args.len()),
+        ));
+    }
+    for (i, (a, w)) in args.iter().zip(want).enumerate() {
+        let t = value_ty(a, line)?;
+        if t != *w {
+            return Err(cerr(
+                line,
+                format!(
+                    "'{name}' argument {}: expected {}, found {}",
+                    i + 1,
+                    w.name(),
+                    t.name()
+                ),
+            ));
+        }
+    }
+    Ok(())
+}
+
+fn builtin_of(name: &str) -> Option<Builtin> {
+    match name {
+        "len" => Some(Builtin::Len),
+        "newbytes" => Some(Builtin::NewBytes),
+        "int" => Some(Builtin::IntCast),
+        "float" => Some(Builtin::FloatCast),
+        _ => None,
+    }
+}
+
+fn check_builtin(b: Builtin, args: Vec<TExpr>, line: u32) -> Result<TExpr> {
+    let (want, ret): (&[Ty], Ty) = match b {
+        Builtin::Len => (&[Ty::Bytes], Ty::I64),
+        Builtin::NewBytes => (&[Ty::I64], Ty::Bytes),
+        Builtin::IntCast => (&[Ty::F64], Ty::I64),
+        Builtin::FloatCast => (&[Ty::I64], Ty::F64),
+    };
+    check_args(&format!("{b:?}").to_lowercase(), &args, want, line)?;
+    Ok(TExpr {
+        kind: TExprKind::CallBuiltin { which: b, args },
+        ty: Some(ret),
+    })
+}
+
+/// Result type of a binary operator applied to operands of type `t`,
+/// or `None` if undefined.
+fn binop_result(op: BinOp, t: Ty) -> Option<Ty> {
+    use BinOp::*;
+    match op {
+        Add | Sub | Mul | Div => match t {
+            Ty::I64 => Some(Ty::I64),
+            Ty::F64 => Some(Ty::F64),
+            Ty::Bytes => None,
+        },
+        Rem | AndAnd | OrOr | BitAnd | BitOr | BitXor | Shl | Shr => {
+            if t == Ty::I64 {
+                Some(Ty::I64)
+            } else {
+                None
+            }
+        }
+        Lt | Le | Gt | Ge | Eq | Ne => match t {
+            Ty::I64 | Ty::F64 => Some(Ty::I64),
+            Ty::Bytes => None,
+        },
+    }
+}
+
+/// Conservative must-return analysis over the *source* AST.
+fn block_must_return(b: &Block) -> bool {
+    b.stmts.iter().any(stmt_must_return)
+}
+
+fn stmt_must_return(s: &Stmt) -> bool {
+    match s {
+        Stmt::Return { .. } => true,
+        Stmt::If {
+            then_blk,
+            else_blk: Some(e),
+            ..
+        } => block_must_return(then_blk) && block_must_return(e),
+        Stmt::Block(b) => block_must_return(b),
+        _ => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+    use crate::parser::parse;
+
+    fn tc(src: &str) -> Result<TypedProgram> {
+        check(&parse(lex(src)?)?)
+    }
+
+    #[test]
+    fn simple_ok() {
+        let p = tc("fn main(a: i64) -> i64 { return a + 1; }").unwrap();
+        assert_eq!(p.functions[0].slots, vec![Ty::I64]);
+        assert_eq!(p.functions[0].n_params, 1);
+    }
+
+    #[test]
+    fn let_allocates_slots_in_order() {
+        let p = tc("fn f() { let a: i64 = 1; let b: f64 = 2.0; let c: bytes = newbytes(3); }")
+            .unwrap();
+        assert_eq!(p.functions[0].slots, vec![Ty::I64, Ty::F64, Ty::Bytes]);
+    }
+
+    #[test]
+    fn shadowing_gets_new_slot() {
+        let p = tc("fn f() { let a: i64 = 1; { let a: f64 = 2.0; } let b: i64 = 3; }").unwrap();
+        assert_eq!(p.functions[0].slots, vec![Ty::I64, Ty::F64, Ty::I64]);
+    }
+
+    #[test]
+    fn scope_ends_at_block() {
+        let e = tc("fn f() { { let a: i64 = 1; } a = 2; }").unwrap_err();
+        assert!(e.to_string().contains("unknown variable"), "{e}");
+    }
+
+    #[test]
+    fn let_initializer_sees_outer_binding() {
+        // `let x = x + 1` inside a block refers to outer x.
+        tc("fn f() { let x: i64 = 1; { let x: i64 = x + 1; } }").unwrap();
+    }
+
+    #[test]
+    fn no_implicit_conversions() {
+        let e = tc("fn f() -> i64 { return 1 + 2.0; }").unwrap_err();
+        assert!(e.to_string().contains("no implicit"), "{e}");
+    }
+
+    #[test]
+    fn rem_only_on_ints() {
+        let e = tc("fn f() -> f64 { return 1.0 % 2.0; }").unwrap_err();
+        assert!(e.to_string().contains("not defined on f64"), "{e}");
+    }
+
+    #[test]
+    fn comparisons_yield_i64() {
+        tc("fn f(a: f64, b: f64) -> i64 { return a < b; }").unwrap();
+    }
+
+    #[test]
+    fn bytes_not_comparable() {
+        let e = tc("fn f(a: bytes, b: bytes) -> i64 { return a == b; }").unwrap_err();
+        assert!(e.to_string().contains("not defined"), "{e}");
+    }
+
+    #[test]
+    fn must_return_enforced() {
+        let e = tc("fn f(x: i64) -> i64 { if x > 0 { return 1; } }").unwrap_err();
+        assert!(e.to_string().contains("without returning"), "{e}");
+        // both branches return → fine
+        tc("fn f(x: i64) -> i64 { if x > 0 { return 1; } else { return 0; } }").unwrap();
+    }
+
+    #[test]
+    fn void_function_calls() {
+        tc("fn g() { return; } fn f() { g(); }").unwrap();
+        let e = tc("fn g() { return; } fn f() -> i64 { return g() + 1; }").unwrap_err();
+        assert!(e.to_string().contains("void call"), "{e}");
+    }
+
+    #[test]
+    fn unknown_names() {
+        assert!(tc("fn f() -> i64 { return zz; }").is_err());
+        assert!(tc("fn f() -> i64 { return zz(); }").is_err());
+    }
+
+    #[test]
+    fn builtin_signatures() {
+        assert!(tc("fn f(b: bytes) -> i64 { return len(b); }").is_ok());
+        assert!(tc("fn f() -> i64 { return len(1); }").is_err());
+        assert!(tc("fn f() -> bytes { return newbytes(9); }").is_ok());
+        assert!(tc("fn f() -> i64 { return int(1.5); }").is_ok());
+        assert!(tc("fn f() -> i64 { return int(1); }").is_err());
+        assert!(tc("fn f() -> f64 { return float(1); }").is_ok());
+    }
+
+    #[test]
+    fn builtins_cannot_be_shadowed() {
+        assert!(tc("fn len() -> i64 { return 0; } fn f() -> i64 { return len(); }").is_err());
+    }
+
+    #[test]
+    fn import_resolution_and_arity() {
+        let src = "import cb(i64) -> i64; fn f() -> i64 { return cb(1); }";
+        let p = tc(src).unwrap();
+        let TStmt::Return(Some(e)) = &p.functions[0].body[0] else {
+            panic!()
+        };
+        assert!(matches!(e.kind, TExprKind::CallHost { index: 0, .. }));
+        assert!(tc("import cb(i64) -> i64; fn f() -> i64 { return cb(); }").is_err());
+    }
+
+    #[test]
+    fn duplicate_declarations_rejected() {
+        assert!(tc("fn f() {} fn f() {}").is_err());
+        assert!(tc("import c(); import c(); fn f() {}").is_err());
+        assert!(tc("import f(); fn f() {}").is_err());
+        assert!(tc("fn f(a: i64, a: i64) {}").is_err());
+    }
+
+    #[test]
+    fn index_typing() {
+        assert!(tc("fn f(b: bytes) -> i64 { return b[0]; }").is_ok());
+        assert!(tc("fn f(b: bytes) -> i64 { return b[1.0]; }").is_err());
+        assert!(tc("fn f(x: i64) -> i64 { return x[0]; }").is_err());
+        assert!(tc("fn f(b: bytes) { b[0] = 1; }").is_ok());
+        assert!(tc("fn f(b: bytes) { b[0] = 1.0; }").is_err());
+    }
+
+    #[test]
+    fn return_type_mismatches() {
+        assert!(tc("fn f() -> i64 { return 1.0; }").is_err());
+        assert!(tc("fn f() { return 1; }").is_err());
+        assert!(tc("fn f() -> i64 { return; }").is_err());
+    }
+
+    #[test]
+    fn assignment_type_checked() {
+        assert!(tc("fn f() { let a: i64 = 1; a = 2.0; }").is_err());
+    }
+}

@@ -1,0 +1,217 @@
+//! The database client library.
+//!
+//! The programmatic face of the paper's applet client: connect, run SQL,
+//! and move UDFs in both directions —
+//!
+//! * [`Client::compile_and_register`]: compile JagScript locally,
+//!   (optionally) smoke-test it locally, and upload the bytecode,
+//! * [`Client::fetch_udf`]: download a registered UDF and run it at the
+//!   client — "this allows UDF code to be run without change at either
+//!   site" (§6.4).
+
+use std::io::{BufReader, BufWriter};
+use std::net::TcpStream;
+
+use jaguar_common::error::{JaguarError, Result};
+use jaguar_common::schema::Schema;
+use jaguar_common::{Tuple, Value};
+use jaguar_ipc::proto::{CallbackHandler, NoCallbacks};
+use jaguar_udf::{ScalarUdf, UdfSignature, VmUdf};
+use jaguar_vm::interp::ExecMode;
+use jaguar_vm::{Module, ResourceLimits};
+
+use crate::wire::{ClientMsg, ServerMsg, WireSignature, WireStats};
+
+/// A client-side result set.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClientResult {
+    pub schema: Schema,
+    pub rows: Vec<Tuple>,
+    pub affected: u64,
+    pub stats: WireStats,
+}
+
+/// A connection to a Jaguar server.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+}
+
+impl Client {
+    /// Connect to `addr` (e.g. `"127.0.0.1:5432"`).
+    pub fn connect(addr: impl std::net::ToSocketAddrs) -> Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(Client {
+            reader: BufReader::new(stream.try_clone()?),
+            writer: BufWriter::new(stream),
+        })
+    }
+
+    fn roundtrip(&mut self, msg: &ClientMsg) -> Result<ServerMsg> {
+        msg.write(&mut self.writer)?;
+        let reply = ServerMsg::read(&mut self.reader)?;
+        if let ServerMsg::Error { message } = &reply {
+            return Err(JaguarError::Protocol(format!("server: {message}")));
+        }
+        Ok(reply)
+    }
+
+    /// Execute one SQL statement on the server.
+    pub fn execute(&mut self, sql: &str) -> Result<ClientResult> {
+        match self.roundtrip(&ClientMsg::Execute { sql: sql.into() })? {
+            ServerMsg::Result {
+                schema,
+                rows,
+                affected,
+                stats,
+            } => Ok(ClientResult {
+                schema,
+                rows,
+                affected,
+                stats,
+            }),
+            other => Err(JaguarError::Protocol(format!(
+                "expected Result, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Fetch the optimized plan for a SELECT.
+    pub fn explain(&mut self, sql: &str) -> Result<String> {
+        match self.roundtrip(&ClientMsg::Explain { sql: sql.into() })? {
+            ServerMsg::Plan { text } => Ok(text),
+            other => Err(JaguarError::Protocol(format!(
+                "expected Plan, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Liveness probe.
+    pub fn ping(&mut self) -> Result<()> {
+        match self.roundtrip(&ClientMsg::Ping)? {
+            ServerMsg::Pong => Ok(()),
+            other => Err(JaguarError::Protocol(format!(
+                "expected Pong, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Upload an already-compiled module as a UDF.
+    pub fn register_udf(
+        &mut self,
+        name: &str,
+        signature: &UdfSignature,
+        module_bytes: &[u8],
+        function: &str,
+        isolated: bool,
+    ) -> Result<()> {
+        match self.roundtrip(&ClientMsg::RegisterUdf {
+            name: name.into(),
+            signature: WireSignature {
+                params: signature.params.clone(),
+                ret: signature.ret,
+            },
+            module: module_bytes.to_vec(),
+            function: function.into(),
+            isolated,
+        })? {
+            ServerMsg::Registered => Ok(()),
+            other => Err(JaguarError::Protocol(format!(
+                "expected Registered, got {other:?}"
+            ))),
+        }
+    }
+
+    /// The full §6.4 authoring loop: compile JagScript source locally,
+    /// verify it locally, optionally smoke-test it locally with the given
+    /// arguments, then upload it under `name`.
+    pub fn compile_and_register(
+        &mut self,
+        name: &str,
+        signature: &UdfSignature,
+        jagscript_source: &str,
+        smoke_args: Option<&[Value]>,
+    ) -> Result<()> {
+        let module = jaguar_lang::compile(name, jagscript_source)?;
+        let bytes = module.to_bytes();
+        // Local test before shipping: same bytecode, same sandbox.
+        if let Some(args) = smoke_args {
+            let mut local = VmUdf::new(
+                name,
+                signature.clone(),
+                std::sync::Arc::new(Module::from_bytes(&bytes)?.verify()?),
+                "main",
+                ResourceLimits::default(),
+                ExecMode::Jit,
+                None,
+            )?;
+            local.invoke(args, &mut NoCallbacks)?;
+        }
+        self.register_udf(name, signature, &bytes, "main", false)
+    }
+
+    /// Download a registered UDF and instantiate it for **client-side**
+    /// execution — the same verified bytecode the server runs.
+    pub fn fetch_udf(&mut self, name: &str) -> Result<LocalUdf> {
+        match self.roundtrip(&ClientMsg::FetchUdf { name: name.into() })? {
+            ServerMsg::Module {
+                signature,
+                module,
+                function,
+            } => {
+                let sig = UdfSignature::new(signature.params, signature.ret);
+                let verified =
+                    std::sync::Arc::new(Module::from_bytes(&module)?.verify()?);
+                let inner = VmUdf::new(
+                    name,
+                    sig,
+                    verified,
+                    function,
+                    ResourceLimits::default(),
+                    ExecMode::Jit,
+                    None,
+                )?;
+                Ok(LocalUdf { inner })
+            }
+            other => Err(JaguarError::Protocol(format!(
+                "expected Module, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Orderly disconnect.
+    pub fn quit(mut self) -> Result<()> {
+        ClientMsg::Quit.write(&mut self.writer)
+    }
+}
+
+/// A UDF migrated to the client (§6.4: identical invocation protocol at
+/// both sites).
+pub struct LocalUdf {
+    inner: VmUdf,
+}
+
+impl LocalUdf {
+    pub fn name(&self) -> &str {
+        self.inner.name()
+    }
+
+    pub fn signature(&self) -> &UdfSignature {
+        self.inner.signature()
+    }
+
+    /// Invoke locally, with no callback channel (pure functions only).
+    pub fn invoke(&mut self, args: &[Value]) -> Result<Value> {
+        self.inner.invoke(args, &mut NoCallbacks)
+    }
+
+    /// Invoke locally with a caller-supplied callback handler.
+    pub fn invoke_with_callbacks(
+        &mut self,
+        args: &[Value],
+        callbacks: &mut dyn CallbackHandler,
+    ) -> Result<Value> {
+        self.inner.invoke(args, callbacks)
+    }
+}

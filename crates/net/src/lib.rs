@@ -1,0 +1,30 @@
+//! # jaguar-net — two-tier deployment (paper §2.1, §6.4)
+//!
+//! The paper's deployment model: *"a Java applet running within the web
+//! browser also acts as the database client, meaning that it directly
+//! connects to the database server, sends requests to the server and
+//! displays the results"* — the classic query-shipping two-tier
+//! architecture. The server is *"a single multi-threaded process, with at
+//! least one thread per connected client"*.
+//!
+//! This crate provides:
+//!
+//! * [`wire`] — the framed TCP protocol (statements out, result sets back,
+//!   plus UDF module upload/download),
+//! * [`server`] — a threaded TCP server around a `jaguar-sql` engine; one
+//!   thread per client. Uploaded UDF modules are **verified at the
+//!   server** regardless of what the client claims (the compiler is not
+//!   trusted, §2.4), their imports are checked against the server's
+//!   callback registry, and they run under a least-privilege permission
+//!   set,
+//! * [`client`] — the client library: execute SQL, upload a UDF compiled
+//!   locally, or **download** a UDF module and run it client-side — the
+//!   same bytecode running unchanged at either site, which is the whole
+//!   §6.4 portability story.
+
+pub mod client;
+pub mod server;
+pub mod wire;
+
+pub use client::Client;
+pub use server::Server;

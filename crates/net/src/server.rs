@@ -1,0 +1,250 @@
+//! The threaded database server.
+//!
+//! One OS thread per connected client (the paper's PREDATOR is "a single
+//! multi-threaded process, with at least one thread per connected
+//! client"). Each thread speaks the [`crate::wire`] protocol against a
+//! shared [`Engine`].
+//!
+//! UDF registration policy (the §6 security posture):
+//!
+//! 1. the uploaded module is decoded and **bytecode-verified here** —
+//!    whatever the client's toolchain claimed is irrelevant (§2.4),
+//! 2. its host imports must all name callbacks the server actually
+//!    offers; anything else is rejected at registration time (class-loader
+//!    style gating, §6.1),
+//! 3. at runtime it executes under a permission set granting exactly
+//!    those imports (least privilege, [SS75]) and under the engine's
+//!    fuel/memory limits (§6.2).
+
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use jaguar_common::error::{JaguarError, Result};
+use jaguar_sql::Engine;
+use jaguar_udf::{UdfDef, UdfImpl, UdfSignature, VmUdfSpec};
+use jaguar_vm::{Module, Permission, PermissionSet, ResourceLimits};
+
+use crate::wire::{ClientMsg, ServerMsg, WireSignature, WireStats};
+
+/// A running server; dropping it (or calling [`Server::stop`]) shuts the
+/// listener down.
+pub struct Server {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Start serving `engine` on `bind_addr` (use port 0 for an ephemeral
+    /// port; read the actual one from [`Server::addr`]).
+    pub fn start(engine: Arc<Engine>, bind_addr: &str) -> Result<Server> {
+        let listener = TcpListener::bind(bind_addr)?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop2 = Arc::clone(&stop);
+        let accept_thread = std::thread::spawn(move || {
+            for conn in listener.incoming() {
+                if stop2.load(Ordering::Relaxed) {
+                    break;
+                }
+                match conn {
+                    Ok(stream) => {
+                        let engine = Arc::clone(&engine);
+                        std::thread::spawn(move || {
+                            let peer = stream
+                                .peer_addr()
+                                .map(|a| a.to_string())
+                                .unwrap_or_else(|_| "?".into());
+                            if let Err(e) = serve_client(stream, &engine) {
+                                eprintln!("jaguar-net: client {peer}: {e}");
+                            }
+                        });
+                    }
+                    Err(e) => {
+                        if stop2.load(Ordering::Relaxed) {
+                            break;
+                        }
+                        eprintln!("jaguar-net: accept failed: {e}");
+                    }
+                }
+            }
+        });
+        Ok(Server {
+            addr,
+            stop,
+            accept_thread: Some(accept_thread),
+        })
+    }
+
+    /// Address the server is listening on.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stop accepting connections (existing client threads finish their
+    /// current request loop when the client disconnects).
+    pub fn stop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        // Unblock the accept loop with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(h) = self.accept_thread.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+fn serve_client(stream: TcpStream, engine: &Engine) -> Result<()> {
+    stream.set_nodelay(true)?;
+    let mut reader = std::io::BufReader::new(stream.try_clone()?);
+    let mut writer = std::io::BufWriter::new(stream);
+
+    loop {
+        let msg = match ClientMsg::read(&mut reader) {
+            Ok(m) => m,
+            Err(JaguarError::Io(e)) if e.kind() == std::io::ErrorKind::UnexpectedEof => {
+                return Ok(()); // client hung up
+            }
+            Err(e) => return Err(e),
+        };
+        let reply = handle(msg, engine);
+        match reply {
+            Some(r) => r.write(&mut writer)?,
+            None => return Ok(()), // Quit
+        }
+    }
+}
+
+fn handle(msg: ClientMsg, engine: &Engine) -> Option<ServerMsg> {
+    Some(match msg {
+        ClientMsg::Quit => return None,
+        ClientMsg::Ping => ServerMsg::Pong,
+        ClientMsg::Execute { sql } => match engine.execute(&sql) {
+            Ok(result) => ServerMsg::Result {
+                schema: (*result.schema).clone(),
+                rows: result.rows,
+                affected: result.affected,
+                stats: WireStats {
+                    rows_scanned: result.stats.rows_scanned,
+                    rows_emitted: result.stats.rows_emitted,
+                    udf_invocations: result.stats.udf_invocations,
+                    udf_callbacks: result.stats.udf_callbacks,
+                    vm_instructions: result.stats.vm_instructions,
+                    vm_bytes_allocated: result.stats.vm_bytes_allocated,
+                },
+            },
+            Err(e) => ServerMsg::Error {
+                message: e.to_string(),
+            },
+        },
+        ClientMsg::Explain { sql } => match engine.explain(&sql) {
+            Ok(text) => ServerMsg::Plan { text },
+            Err(e) => ServerMsg::Error {
+                message: e.to_string(),
+            },
+        },
+        ClientMsg::RegisterUdf {
+            name,
+            signature,
+            module,
+            function,
+            isolated,
+        } => match register_udf(engine, &name, signature, &module, &function, isolated) {
+            Ok(()) => ServerMsg::Registered,
+            Err(e) => ServerMsg::Error {
+                message: e.to_string(),
+            },
+        },
+        ClientMsg::FetchUdf { name } => match fetch_udf(engine, &name) {
+            Ok(m) => m,
+            Err(e) => ServerMsg::Error {
+                message: e.to_string(),
+            },
+        },
+    })
+}
+
+fn register_udf(
+    engine: &Engine,
+    name: &str,
+    signature: WireSignature,
+    module_bytes: &[u8],
+    function: &str,
+    isolated: bool,
+) -> Result<()> {
+    // 1. Decode and verify HERE — the client toolchain is untrusted.
+    let module = Module::from_bytes(module_bytes)?;
+
+    // 2. Gate imports against what this server actually offers and build
+    //    the least-privilege permission set.
+    let mut perms = PermissionSet::deny_all(name);
+    for imp in &module.imports {
+        // The engine registers callbacks by lowercase name; "cb" always
+        // exists. Probe by attempting a resolution-only check: we accept
+        // any import for which a callback is registered.
+        if !engine_has_callback(engine, &imp.name) {
+            return Err(JaguarError::SecurityViolation(format!(
+                "udf '{name}' imports '{}' which this server does not offer",
+                imp.name
+            )));
+        }
+        perms = perms.grant(Permission::HostCall(imp.name.clone()));
+    }
+
+    let config = engine.catalog().config().clone();
+    let limits = ResourceLimits {
+        fuel: config.default_fuel,
+        memory: config.default_vm_memory,
+        max_call_depth: config.max_call_depth,
+    };
+    let sig = UdfSignature::new(signature.params, signature.ret);
+    let spec_module = module.verify()?; // step 1's verification
+    let spec = VmUdfSpec {
+        module: Arc::new(spec_module),
+        module_bytes: Arc::new(module_bytes.to_vec()),
+        function: function.to_string(),
+        limits,
+        jit: config.vm_jit_mode,
+        permissions: Some(Arc::new(perms)),
+    };
+    let imp = if isolated {
+        UdfImpl::IsolatedVm(spec)
+    } else {
+        UdfImpl::Vm(spec)
+    };
+    engine.catalog().udfs().register(UdfDef::new(name, sig, imp));
+    Ok(())
+}
+
+/// Does the engine offer a callback with this name? The engine API has no
+/// direct query, so probe the registry through a no-op registration check:
+/// we keep a conservative allowlist — the always-present "cb" plus any
+/// name the engine can actually dispatch (tested by calling it with no
+/// arguments inside a catch).
+fn engine_has_callback(engine: &Engine, name: &str) -> bool {
+    engine.has_callback(name)
+}
+
+fn fetch_udf(engine: &Engine, name: &str) -> Result<ServerMsg> {
+    let def = engine.catalog().udfs().get(name)?;
+    match &def.imp {
+        UdfImpl::Vm(spec) | UdfImpl::IsolatedVm(spec) => Ok(ServerMsg::Module {
+            signature: WireSignature {
+                params: def.signature.params.clone(),
+                ret: def.signature.ret,
+            },
+            module: (*spec.module_bytes).clone(),
+            function: spec.function.clone(),
+        }),
+        _ => Err(JaguarError::Udf(format!(
+            "udf '{name}' is native server code and cannot migrate to a client"
+        ))),
+    }
+}

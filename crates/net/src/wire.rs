@@ -1,0 +1,357 @@
+//! The client↔server wire protocol.
+//!
+//! One message per request, one per response, encoded with the §6.4
+//! stream primitives. UDF modules travel as opaque byte blobs — the
+//! server verifies them itself.
+
+use std::io::{Read, Write};
+
+use jaguar_common::error::{JaguarError, Result};
+use jaguar_common::schema::Schema;
+use jaguar_common::stream::{
+    read_blob, read_schema, read_str, read_tuple, read_u32, read_u64, read_u8, write_blob,
+    write_schema, write_str, write_tuple, write_u32, write_u64, write_u8,
+};
+use jaguar_common::{DataType, Tuple};
+
+/// SQL signature of a UDF as carried on the wire.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireSignature {
+    pub params: Vec<DataType>,
+    pub ret: DataType,
+}
+
+impl WireSignature {
+    fn write(&self, w: &mut impl Write) -> Result<()> {
+        write_u8(w, self.params.len() as u8)?;
+        for p in &self.params {
+            write_u8(w, p.tag())?;
+        }
+        write_u8(w, self.ret.tag())
+    }
+
+    fn read(r: &mut impl Read) -> Result<WireSignature> {
+        let n = read_u8(r)?;
+        let mut params = Vec::with_capacity(n as usize);
+        for _ in 0..n {
+            params.push(DataType::from_tag(read_u8(r)?)?);
+        }
+        Ok(WireSignature {
+            params,
+            ret: DataType::from_tag(read_u8(r)?)?,
+        })
+    }
+}
+
+/// Execution statistics carried back with results.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WireStats {
+    pub rows_scanned: u64,
+    pub rows_emitted: u64,
+    pub udf_invocations: u64,
+    pub udf_callbacks: u64,
+    pub vm_instructions: u64,
+    pub vm_bytes_allocated: u64,
+}
+
+/// Client → server.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ClientMsg {
+    /// Execute one SQL statement.
+    Execute { sql: String },
+    /// Return the optimized plan for a SELECT.
+    Explain { sql: String },
+    /// Register a UDF from a compiled module. The server verifies the
+    /// module; `isolated` selects Design 4 instead of Design 3.
+    RegisterUdf {
+        name: String,
+        signature: WireSignature,
+        module: Vec<u8>,
+        function: String,
+        isolated: bool,
+    },
+    /// Download a previously registered VM UDF for client-side execution.
+    FetchUdf { name: String },
+    /// Liveness probe.
+    Ping,
+    /// Orderly disconnect.
+    Quit,
+}
+
+/// Server → client.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServerMsg {
+    /// Result set (possibly empty; `affected` covers DML).
+    Result {
+        schema: Schema,
+        rows: Vec<Tuple>,
+        affected: u64,
+        stats: WireStats,
+    },
+    /// EXPLAIN output.
+    Plan { text: String },
+    /// Registration acknowledged.
+    Registered,
+    /// A UDF module for client-side execution.
+    Module {
+        signature: WireSignature,
+        module: Vec<u8>,
+        function: String,
+    },
+    Pong,
+    /// Execution or protocol failure (rendered error).
+    Error { message: String },
+}
+
+const C_EXECUTE: u8 = 0x01;
+const C_EXPLAIN: u8 = 0x02;
+const C_REGISTER: u8 = 0x03;
+const C_FETCH: u8 = 0x04;
+const C_PING: u8 = 0x05;
+const C_QUIT: u8 = 0x06;
+const S_RESULT: u8 = 0x81;
+const S_PLAN: u8 = 0x82;
+const S_REGISTERED: u8 = 0x83;
+const S_MODULE: u8 = 0x84;
+const S_PONG: u8 = 0x85;
+const S_ERROR: u8 = 0x86;
+
+impl ClientMsg {
+    pub fn write(&self, w: &mut impl Write) -> Result<()> {
+        match self {
+            ClientMsg::Execute { sql } => {
+                write_u8(w, C_EXECUTE)?;
+                write_str(w, sql)?;
+            }
+            ClientMsg::Explain { sql } => {
+                write_u8(w, C_EXPLAIN)?;
+                write_str(w, sql)?;
+            }
+            ClientMsg::RegisterUdf {
+                name,
+                signature,
+                module,
+                function,
+                isolated,
+            } => {
+                write_u8(w, C_REGISTER)?;
+                write_str(w, name)?;
+                signature.write(w)?;
+                write_blob(w, module)?;
+                write_str(w, function)?;
+                write_u8(w, *isolated as u8)?;
+            }
+            ClientMsg::FetchUdf { name } => {
+                write_u8(w, C_FETCH)?;
+                write_str(w, name)?;
+            }
+            ClientMsg::Ping => write_u8(w, C_PING)?,
+            ClientMsg::Quit => write_u8(w, C_QUIT)?,
+        }
+        w.flush()?;
+        Ok(())
+    }
+
+    pub fn read(r: &mut impl Read) -> Result<ClientMsg> {
+        Ok(match read_u8(r)? {
+            C_EXECUTE => ClientMsg::Execute { sql: read_str(r)? },
+            C_EXPLAIN => ClientMsg::Explain { sql: read_str(r)? },
+            C_REGISTER => ClientMsg::RegisterUdf {
+                name: read_str(r)?,
+                signature: WireSignature::read(r)?,
+                module: read_blob(r)?,
+                function: read_str(r)?,
+                isolated: read_u8(r)? != 0,
+            },
+            C_FETCH => ClientMsg::FetchUdf { name: read_str(r)? },
+            C_PING => ClientMsg::Ping,
+            C_QUIT => ClientMsg::Quit,
+            other => {
+                return Err(JaguarError::Protocol(format!(
+                    "unknown client message tag {other:#04x}"
+                )))
+            }
+        })
+    }
+}
+
+impl ServerMsg {
+    pub fn write(&self, w: &mut impl Write) -> Result<()> {
+        match self {
+            ServerMsg::Result {
+                schema,
+                rows,
+                affected,
+                stats,
+            } => {
+                write_u8(w, S_RESULT)?;
+                write_schema(w, schema)?;
+                write_u64(w, *affected)?;
+                write_u64(w, stats.rows_scanned)?;
+                write_u64(w, stats.rows_emitted)?;
+                write_u64(w, stats.udf_invocations)?;
+                write_u64(w, stats.udf_callbacks)?;
+                write_u64(w, stats.vm_instructions)?;
+                write_u64(w, stats.vm_bytes_allocated)?;
+                write_u32(w, rows.len() as u32)?;
+                for t in rows {
+                    write_tuple(w, t)?;
+                }
+            }
+            ServerMsg::Plan { text } => {
+                write_u8(w, S_PLAN)?;
+                write_str(w, text)?;
+            }
+            ServerMsg::Registered => write_u8(w, S_REGISTERED)?,
+            ServerMsg::Module {
+                signature,
+                module,
+                function,
+            } => {
+                write_u8(w, S_MODULE)?;
+                signature.write(w)?;
+                write_blob(w, module)?;
+                write_str(w, function)?;
+            }
+            ServerMsg::Pong => write_u8(w, S_PONG)?,
+            ServerMsg::Error { message } => {
+                write_u8(w, S_ERROR)?;
+                write_str(w, message)?;
+            }
+        }
+        w.flush()?;
+        Ok(())
+    }
+
+    pub fn read(r: &mut impl Read) -> Result<ServerMsg> {
+        Ok(match read_u8(r)? {
+            S_RESULT => {
+                let schema = read_schema(r)?;
+                let affected = read_u64(r)?;
+                let stats = WireStats {
+                    rows_scanned: read_u64(r)?,
+                    rows_emitted: read_u64(r)?,
+                    udf_invocations: read_u64(r)?,
+                    udf_callbacks: read_u64(r)?,
+                    vm_instructions: read_u64(r)?,
+                    vm_bytes_allocated: read_u64(r)?,
+                };
+                let n = read_u32(r)?;
+                if n > 50_000_000 {
+                    return Err(JaguarError::Protocol(format!("implausible row count {n}")));
+                }
+                let mut rows = Vec::with_capacity(n as usize);
+                for _ in 0..n {
+                    rows.push(read_tuple(r)?);
+                }
+                ServerMsg::Result {
+                    schema,
+                    rows,
+                    affected,
+                    stats,
+                }
+            }
+            S_PLAN => ServerMsg::Plan { text: read_str(r)? },
+            S_REGISTERED => ServerMsg::Registered,
+            S_MODULE => ServerMsg::Module {
+                signature: WireSignature::read(r)?,
+                module: read_blob(r)?,
+                function: read_str(r)?,
+            },
+            S_PONG => ServerMsg::Pong,
+            S_ERROR => ServerMsg::Error {
+                message: read_str(r)?,
+            },
+            other => {
+                return Err(JaguarError::Protocol(format!(
+                    "unknown server message tag {other:#04x}"
+                )))
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jaguar_common::{ByteArray, Value};
+
+    fn roundtrip_c(m: ClientMsg) {
+        let mut buf = Vec::new();
+        m.write(&mut buf).unwrap();
+        assert_eq!(ClientMsg::read(&mut buf.as_slice()).unwrap(), m);
+    }
+
+    fn roundtrip_s(m: ServerMsg) {
+        let mut buf = Vec::new();
+        m.write(&mut buf).unwrap();
+        assert_eq!(ServerMsg::read(&mut buf.as_slice()).unwrap(), m);
+    }
+
+    #[test]
+    fn client_messages_roundtrip() {
+        roundtrip_c(ClientMsg::Execute {
+            sql: "SELECT 1".into(),
+        });
+        roundtrip_c(ClientMsg::Explain {
+            sql: "SELECT * FROM t".into(),
+        });
+        roundtrip_c(ClientMsg::RegisterUdf {
+            name: "investval".into(),
+            signature: WireSignature {
+                params: vec![DataType::Bytes],
+                ret: DataType::Int,
+            },
+            module: vec![1, 2, 3],
+            function: "main".into(),
+            isolated: true,
+        });
+        roundtrip_c(ClientMsg::FetchUdf {
+            name: "investval".into(),
+        });
+        roundtrip_c(ClientMsg::Ping);
+        roundtrip_c(ClientMsg::Quit);
+    }
+
+    #[test]
+    fn server_messages_roundtrip() {
+        roundtrip_s(ServerMsg::Result {
+            schema: Schema::of(&[("a", DataType::Int), ("b", DataType::Bytes)]),
+            rows: vec![
+                Tuple::new(vec![Value::Int(1), Value::Bytes(ByteArray::zeroed(5))]),
+                Tuple::new(vec![Value::Null, Value::Null]),
+            ],
+            affected: 2,
+            stats: WireStats {
+                rows_scanned: 10,
+                rows_emitted: 2,
+                udf_invocations: 4,
+                udf_callbacks: 1,
+                vm_instructions: 999,
+                vm_bytes_allocated: 1024,
+            },
+        });
+        roundtrip_s(ServerMsg::Plan {
+            text: "SeqScan t".into(),
+        });
+        roundtrip_s(ServerMsg::Registered);
+        roundtrip_s(ServerMsg::Module {
+            signature: WireSignature {
+                params: vec![],
+                ret: DataType::Int,
+            },
+            module: vec![9],
+            function: "main".into(),
+        });
+        roundtrip_s(ServerMsg::Pong);
+        roundtrip_s(ServerMsg::Error {
+            message: "boom".into(),
+        });
+    }
+
+    #[test]
+    fn unknown_tags_rejected() {
+        assert!(ClientMsg::read(&mut [0xFFu8].as_slice()).is_err());
+        assert!(ServerMsg::read(&mut [0x00u8].as_slice()).is_err());
+    }
+}

@@ -1,0 +1,905 @@
+//! The embeddable database engine.
+//!
+//! [`Engine`] owns a catalog and executes SQL text end to end. It also
+//! hosts the server side of the §4.2 callback channel: named callback
+//! functions UDFs may invoke mid-execution (`Clip()`/`Lookup()`-style
+//! helpers in the paper's terms), registered via
+//! [`Engine::register_callback`]. The default `cb` callback returns its
+//! argument — the paper's "no data is actually transferred" experiment
+//! callback.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use jaguar_common::config::Config;
+use jaguar_common::error::{JaguarError, Result};
+use jaguar_common::schema::{Schema, SchemaRef};
+use jaguar_common::{Tuple, Value};
+use jaguar_catalog::Catalog;
+use jaguar_ipc::proto::CallbackHandler;
+use parking_lot::RwLock;
+
+use crate::ast::Statement;
+use crate::exec::{ExecCtx, ExecStats, Executor};
+use crate::parser::parse;
+use crate::plan::{bind_dml, bind_select, explain};
+
+/// A server-side callback function.
+pub type CallbackFn = dyn Fn(&[Value]) -> Result<Value> + Send + Sync;
+
+/// Result of executing one statement.
+#[derive(Debug, Clone)]
+pub struct QueryResult {
+    pub schema: SchemaRef,
+    pub rows: Vec<Tuple>,
+    /// Rows affected by DML / DDL acknowledgement.
+    pub affected: u64,
+    pub stats: ExecStats,
+}
+
+impl QueryResult {
+    fn empty() -> QueryResult {
+        QueryResult {
+            schema: Arc::new(Schema::default()),
+            rows: Vec::new(),
+            affected: 0,
+            stats: ExecStats::default(),
+        }
+    }
+
+    /// Single-column integer convenience accessor (benchmarks/tests).
+    pub fn int_column(&self, idx: usize) -> Result<Vec<i64>> {
+        self.rows.iter().map(|r| r.get(idx)?.as_int()).collect()
+    }
+}
+
+/// The database engine: catalog + SQL execution + callback registry.
+pub struct Engine {
+    catalog: Arc<Catalog>,
+    callbacks: RwLock<HashMap<String, Arc<CallbackFn>>>,
+}
+
+impl Engine {
+    /// An engine over an in-memory catalog.
+    pub fn in_memory(config: Config) -> Engine {
+        Engine::with_catalog(Arc::new(Catalog::in_memory(config)))
+    }
+
+    /// An engine over an existing catalog.
+    pub fn with_catalog(catalog: Arc<Catalog>) -> Engine {
+        let engine = Engine {
+            catalog,
+            callbacks: RwLock::new(HashMap::new()),
+        };
+        // The paper's experiment callback: identity, no data transferred.
+        engine.register_callback("cb", |args| {
+            Ok(args.first().cloned().unwrap_or(Value::Int(0)))
+        });
+        engine
+    }
+
+    pub fn catalog(&self) -> &Arc<Catalog> {
+        &self.catalog
+    }
+
+    /// Is a callback with this name registered? Used by the network layer
+    /// to gate UDF imports at registration time.
+    pub fn has_callback(&self, name: &str) -> bool {
+        self.callbacks
+            .read()
+            .contains_key(&name.to_ascii_lowercase())
+    }
+
+    /// Register (or replace) a named server-side callback.
+    pub fn register_callback(
+        &self,
+        name: &str,
+        f: impl Fn(&[Value]) -> Result<Value> + Send + Sync + 'static,
+    ) {
+        self.callbacks
+            .write()
+            .insert(name.to_ascii_lowercase(), Arc::new(f));
+    }
+
+    /// Execute one SQL statement.
+    pub fn execute(&self, sql: &str) -> Result<QueryResult> {
+        match parse(sql)? {
+            Statement::CreateTable { name, columns } => {
+                let fields = columns
+                    .into_iter()
+                    .map(|(n, t)| jaguar_common::schema::Field::new(n, t))
+                    .collect();
+                self.catalog.create_table(&name, Schema::new(fields)?)?;
+                let mut r = QueryResult::empty();
+                r.affected = 0;
+                Ok(r)
+            }
+            Statement::CreateIndex {
+                name,
+                table,
+                column,
+            } => {
+                self.catalog.table(&table)?.create_index(&name, &column)?;
+                Ok(QueryResult::empty())
+            }
+            Statement::Drop { table } => {
+                self.catalog.drop_table(&table)?;
+                Ok(QueryResult::empty())
+            }
+            Statement::Insert { table, rows } => {
+                let t = self.catalog.table(&table)?;
+                let mut inserted = 0;
+                for row in rows {
+                    let mut values = Vec::with_capacity(row.len());
+                    for e in row {
+                        values.push(literal_value(&e)?);
+                    }
+                    t.insert(Tuple::new(values))?;
+                    inserted += 1;
+                }
+                let mut r = QueryResult::empty();
+                r.affected = inserted;
+                Ok(r)
+            }
+            Statement::Delete { table, predicate } => {
+                let dml = bind_dml(&table, &predicate, &[], &self.catalog)?;
+                let mut handler = EngineCallbacks { engine: self };
+                let mut ctx = ExecCtx::for_udfs(&dml.udfs, &mut handler)?;
+                // Collect matching rids first, then delete (no scan-while-
+                // mutating hazards).
+                let mut victims = Vec::new();
+                for item in dml.table.scan() {
+                    let (rid, tuple) = item?;
+                    ctx.stats.rows_scanned += 1;
+                    if matches_all(&dml.predicates, &tuple, &mut ctx)? {
+                        victims.push(rid);
+                    }
+                }
+                for rid in &victims {
+                    dml.table.delete(*rid)?;
+                }
+                let stats = ctx.finish()?;
+                let mut r = QueryResult::empty();
+                r.affected = victims.len() as u64;
+                r.stats = stats;
+                Ok(r)
+            }
+            Statement::Update {
+                table,
+                assignments,
+                predicate,
+            } => {
+                if assignments.is_empty() {
+                    return Err(JaguarError::Plan("UPDATE needs SET assignments".into()));
+                }
+                let dml = bind_dml(&table, &predicate, &assignments, &self.catalog)?;
+                let mut handler = EngineCallbacks { engine: self };
+                let mut ctx = ExecCtx::for_udfs(&dml.udfs, &mut handler)?;
+                // Materialise replacements first.
+                let mut updates = Vec::new();
+                for item in dml.table.scan() {
+                    let (rid, tuple) = item?;
+                    ctx.stats.rows_scanned += 1;
+                    if matches_all(&dml.predicates, &tuple, &mut ctx)? {
+                        let mut values = tuple.values().to_vec();
+                        for (idx, expr) in &dml.assignments {
+                            values[*idx] = crate::exec::eval(expr, &tuple, &mut ctx)?;
+                        }
+                        updates.push((rid, Tuple::new(values)));
+                    }
+                }
+                let affected = updates.len() as u64;
+                for (rid, new_tuple) in updates {
+                    dml.table.delete(rid)?;
+                    dml.table.insert(new_tuple)?;
+                }
+                let stats = ctx.finish()?;
+                let mut r = QueryResult::empty();
+                r.affected = affected;
+                r.stats = stats;
+                Ok(r)
+            }
+            Statement::ShowTables => {
+                let schema = Arc::new(Schema::of(&[("table_name", jaguar_common::DataType::Str)]));
+                let rows = self
+                    .catalog
+                    .table_names()
+                    .into_iter()
+                    .map(|n| Tuple::new(vec![Value::Str(n)]))
+                    .collect();
+                Ok(QueryResult {
+                    schema,
+                    rows,
+                    affected: 0,
+                    stats: ExecStats::default(),
+                })
+            }
+            Statement::Describe { table } => {
+                let t = self.catalog.table(&table)?;
+                let schema = Arc::new(Schema::of(&[
+                    ("column_name", jaguar_common::DataType::Str),
+                    ("type", jaguar_common::DataType::Str),
+                    ("indexed", jaguar_common::DataType::Bool),
+                ]));
+                let rows = t
+                    .schema()
+                    .fields()
+                    .iter()
+                    .enumerate()
+                    .map(|(i, f)| {
+                        Tuple::new(vec![
+                            Value::Str(f.name.clone()),
+                            Value::Str(f.dtype.sql_name().to_string()),
+                            Value::Bool(t.index_on(i).is_some()),
+                        ])
+                    })
+                    .collect();
+                Ok(QueryResult {
+                    schema,
+                    rows,
+                    affected: 0,
+                    stats: ExecStats::default(),
+                })
+            }
+            Statement::Select(stmt) => {
+                let plan = bind_select(&stmt, &self.catalog)?;
+                let mut handler = EngineCallbacks { engine: self };
+                let mut ctx = ExecCtx::for_plan(&plan, &mut handler)?;
+                let mut exec = Executor::build(&plan)?;
+                let rows = exec.collect(&mut ctx)?;
+                let stats = ctx.finish()?;
+                Ok(QueryResult {
+                    schema: Arc::clone(&plan.output_schema),
+                    rows,
+                    affected: 0,
+                    stats,
+                })
+            }
+        }
+    }
+
+    /// Render the optimized plan for a SELECT (EXPLAIN equivalent).
+    pub fn explain(&self, sql: &str) -> Result<String> {
+        match parse(sql)? {
+            Statement::Select(stmt) => {
+                let plan = bind_select(&stmt, &self.catalog)?;
+                Ok(explain(&plan))
+            }
+            _ => Err(JaguarError::Plan("EXPLAIN supports only SELECT".into())),
+        }
+    }
+}
+
+/// Routes UDF callbacks to the engine's registered callback functions.
+struct EngineCallbacks<'a> {
+    engine: &'a Engine,
+}
+
+impl CallbackHandler for EngineCallbacks<'_> {
+    fn callback(&mut self, name: &str, args: &[Value]) -> Result<Value> {
+        let f = self
+            .engine
+            .callbacks
+            .read()
+            .get(&name.to_ascii_lowercase())
+            .cloned()
+            .ok_or_else(|| {
+                JaguarError::Udf(format!("no server callback named '{name}' registered"))
+            })?;
+        f(args)
+    }
+}
+
+/// Evaluate cost-ordered predicates with short-circuit AND.
+fn matches_all(
+    predicates: &[crate::plan::BExpr],
+    tuple: &Tuple,
+    ctx: &mut ExecCtx<'_>,
+) -> Result<bool> {
+    for p in predicates {
+        match crate::exec::eval(p, tuple, ctx)? {
+            Value::Bool(true) => {}
+            _ => return Ok(false),
+        }
+    }
+    Ok(true)
+}
+
+/// Evaluate a literal-only expression (INSERT VALUES).
+fn literal_value(e: &crate::ast::Expr) -> Result<Value> {
+    use crate::ast::Expr;
+    Ok(match e {
+        Expr::Int(v) => Value::Int(*v),
+        Expr::Float(v) => Value::Float(*v),
+        Expr::Str(s) => Value::Str(s.clone()),
+        Expr::Blob(b) => Value::Bytes(jaguar_common::ByteArray::new(b.clone())),
+        Expr::Bool(b) => Value::Bool(*b),
+        Expr::Null => Value::Null,
+        Expr::Neg(inner) => match literal_value(inner)? {
+            Value::Int(v) => Value::Int(-v),
+            Value::Float(v) => Value::Float(-v),
+            other => {
+                return Err(JaguarError::Plan(format!(
+                    "cannot negate {other} in VALUES"
+                )))
+            }
+        },
+        other => {
+            return Err(JaguarError::Plan(format!(
+                "VALUES requires literals, found {other:?}"
+            )))
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jaguar_common::{ByteArray, DataType};
+    use jaguar_udf::{NativeUdf, UdfDef, UdfImpl, UdfSignature};
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    fn engine_with_data() -> Engine {
+        let e = Engine::in_memory(Config::default());
+        e.execute("CREATE TABLE r (id INT, name VARCHAR, blob BYTEARRAY)")
+            .unwrap();
+        e.execute(
+            "INSERT INTO r VALUES (1, 'one', X'0102'), (2, 'two', X'FFFF'), (3, NULL, NULL)",
+        )
+        .unwrap();
+        e
+    }
+
+    #[test]
+    fn ddl_dml_select_roundtrip() {
+        let e = engine_with_data();
+        let r = e.execute("SELECT * FROM r WHERE id >= 2").unwrap();
+        assert_eq!(r.rows.len(), 2);
+        assert_eq!(r.schema.len(), 3);
+        assert_eq!(r.stats.rows_scanned, 3);
+    }
+
+    #[test]
+    fn projection_and_alias() {
+        let e = engine_with_data();
+        let r = e.execute("SELECT id AS k, name FROM r WHERE id = 1").unwrap();
+        assert_eq!(r.schema.field(0).unwrap().name, "k");
+        assert_eq!(r.rows[0].get(1).unwrap().as_str().unwrap(), "one");
+    }
+
+    #[test]
+    fn null_semantics_in_where() {
+        let e = engine_with_data();
+        // name = 'one' is UNKNOWN for the NULL row → filtered out.
+        let r = e.execute("SELECT id FROM r WHERE name <> 'zzz'").unwrap();
+        assert_eq!(r.rows.len(), 2, "NULL name must not match <>");
+        let r = e.execute("SELECT id FROM r WHERE NOT name = 'one'").unwrap();
+        assert_eq!(r.rows.len(), 1);
+    }
+
+    #[test]
+    fn limit_applies() {
+        let e = engine_with_data();
+        let r = e.execute("SELECT id FROM r LIMIT 2").unwrap();
+        assert_eq!(r.rows.len(), 2);
+        let r = e.execute("SELECT id FROM r LIMIT 0").unwrap();
+        assert!(r.rows.is_empty());
+    }
+
+    #[test]
+    fn blob_literals_roundtrip() {
+        let e = engine_with_data();
+        let r = e.execute("SELECT blob FROM r WHERE id = 2").unwrap();
+        assert_eq!(
+            r.rows[0].get(0).unwrap(),
+            &Value::Bytes(ByteArray::new(vec![0xFF, 0xFF]))
+        );
+    }
+
+    #[test]
+    fn errors_are_clean() {
+        let e = engine_with_data();
+        assert!(e.execute("SELECT nope FROM r").is_err());
+        assert!(e.execute("INSERT INTO r VALUES (1)").is_err()); // arity
+        assert!(e.execute("INSERT INTO r VALUES ('x', 'y', X'00')").is_err()); // type
+        assert!(e.execute("CREATE TABLE r (a INT)").is_err()); // duplicate
+        assert!(e.execute("DROP TABLE ghost").is_err());
+    }
+
+    fn register_counting_udf(e: &Engine) -> Arc<AtomicU64> {
+        let count = Arc::new(AtomicU64::new(0));
+        let c2 = Arc::clone(&count);
+        let sig = UdfSignature::new(vec![DataType::Int], DataType::Bool);
+        e.catalog().udfs().register(UdfDef::new(
+            "expensive",
+            sig.clone(),
+            UdfImpl::Native(NativeUdf::new("expensive", sig, move |args, _| {
+                c2.fetch_add(1, Ordering::Relaxed);
+                Ok(Value::Bool(args[0].as_int()? % 2 == 1))
+            })),
+        ));
+        count
+    }
+
+    #[test]
+    fn udf_in_projection_and_where() {
+        let e = engine_with_data();
+        let _ = register_counting_udf(&e);
+        let r = e
+            .execute("SELECT id, expensive(id) FROM r WHERE expensive(id) = TRUE")
+            .unwrap();
+        assert_eq!(r.rows.len(), 2); // ids 1 and 3
+        assert!(r.stats.udf_invocations >= 3);
+    }
+
+    #[test]
+    fn optimizer_saves_expensive_invocations() {
+        let e = engine_with_data();
+        let count = register_counting_udf(&e);
+        // Cheap predicate filters to one row; UDF written FIRST in SQL but
+        // must execute second, so it runs once, not three times.
+        let r = e
+            .execute("SELECT id FROM r WHERE expensive(id) = TRUE AND id = 1")
+            .unwrap();
+        assert_eq!(r.rows.len(), 1);
+        assert_eq!(
+            count.load(Ordering::Relaxed),
+            1,
+            "expensive UDF must only see rows surviving the cheap predicate"
+        );
+    }
+
+    #[test]
+    fn callbacks_reach_registered_handler() {
+        let e = engine_with_data();
+        e.register_callback("lookup", |args| Ok(Value::Int(args[0].as_int()? * 100)));
+        let sig = UdfSignature::new(vec![DataType::Int], DataType::Int);
+        e.catalog().udfs().register(UdfDef::new(
+            "with_cb",
+            sig.clone(),
+            UdfImpl::Native(NativeUdf::new("with_cb", sig, |args, cb| {
+                cb.callback("lookup", args)
+            })),
+        ));
+        let r = e.execute("SELECT with_cb(id) FROM r WHERE id = 2").unwrap();
+        assert_eq!(r.rows[0].get(0).unwrap(), &Value::Int(200));
+        assert_eq!(r.stats.udf_callbacks, 1);
+    }
+
+    #[test]
+    fn unregistered_callback_is_contained_error() {
+        let e = engine_with_data();
+        let sig = UdfSignature::new(vec![], DataType::Int);
+        e.catalog().udfs().register(UdfDef::new(
+            "rogue",
+            sig.clone(),
+            UdfImpl::Native(NativeUdf::new("rogue", sig, |_, cb| {
+                cb.callback("format_disk", &[])
+            })),
+        ));
+        let err = e.execute("SELECT rogue() FROM r").unwrap_err();
+        assert!(err.to_string().contains("format_disk"), "{err}");
+    }
+
+    #[test]
+    fn explain_shows_plan() {
+        let e = engine_with_data();
+        let _ = register_counting_udf(&e);
+        let txt = e
+            .explain("SELECT id FROM r WHERE expensive(id) = TRUE AND id < 2")
+            .unwrap();
+        assert!(txt.contains("SeqScan r"), "{txt}");
+        assert!(txt.contains("expensive[C++]"), "{txt}");
+        assert!(e.explain("DROP TABLE r").is_err());
+    }
+
+    #[test]
+    fn global_aggregates() {
+        let e = engine_with_data();
+        let r = e
+            .execute("SELECT COUNT(*), COUNT(name), MIN(id), MAX(id), SUM(id), AVG(id) FROM r")
+            .unwrap();
+        assert_eq!(r.rows.len(), 1);
+        let row = &r.rows[0];
+        assert_eq!(row.get(0).unwrap(), &Value::Int(3)); // count(*)
+        assert_eq!(row.get(1).unwrap(), &Value::Int(2)); // count(name): one NULL
+        assert_eq!(row.get(2).unwrap(), &Value::Int(1));
+        assert_eq!(row.get(3).unwrap(), &Value::Int(3));
+        assert_eq!(row.get(4).unwrap(), &Value::Int(6));
+        assert_eq!(row.get(5).unwrap(), &Value::Float(2.0));
+    }
+
+    #[test]
+    fn aggregates_on_empty_input() {
+        let e = Engine::in_memory(Config::default());
+        e.execute("CREATE TABLE empty (x INT)").unwrap();
+        let r = e
+            .execute("SELECT COUNT(*), SUM(x), MIN(x), AVG(x) FROM empty")
+            .unwrap();
+        let row = &r.rows[0];
+        assert_eq!(row.get(0).unwrap(), &Value::Int(0));
+        assert_eq!(row.get(1).unwrap(), &Value::Null);
+        assert_eq!(row.get(2).unwrap(), &Value::Null);
+        assert_eq!(row.get(3).unwrap(), &Value::Null);
+    }
+
+    #[test]
+    fn group_by_with_where_and_alias() {
+        let e = Engine::in_memory(Config::default());
+        e.execute("CREATE TABLE sales (region VARCHAR, amount INT)").unwrap();
+        e.execute(
+            "INSERT INTO sales VALUES              ('east', 10), ('west', 20), ('east', 30), ('west', 5), ('east', 1)",
+        )
+        .unwrap();
+        let r = e
+            .execute(
+                "SELECT region, COUNT(*) AS n, SUM(amount) AS total                  FROM sales WHERE amount >= 5 GROUP BY region",
+            )
+            .unwrap();
+        assert_eq!(r.schema.field(1).unwrap().name, "n");
+        assert_eq!(r.rows.len(), 2);
+        // Insertion order: east first.
+        assert_eq!(r.rows[0].get(0).unwrap().as_str().unwrap(), "east");
+        assert_eq!(r.rows[0].get(1).unwrap(), &Value::Int(2));
+        assert_eq!(r.rows[0].get(2).unwrap(), &Value::Int(40));
+        assert_eq!(r.rows[1].get(0).unwrap().as_str().unwrap(), "west");
+        assert_eq!(r.rows[1].get(2).unwrap(), &Value::Int(25));
+    }
+
+    #[test]
+    fn aggregate_over_udf_argument() {
+        let e = engine_with_data();
+        let _ = register_counting_udf(&e);
+        // SUM over a UDF-derived value: expensive(id) yields BOOL — not
+        // numeric, so use count.
+        let r = e.execute("SELECT COUNT(expensive(id)) FROM r").unwrap();
+        assert_eq!(r.rows[0].get(0).unwrap(), &Value::Int(3));
+        assert_eq!(r.stats.udf_invocations, 3);
+    }
+
+    #[test]
+    fn aggregate_misuse_rejected() {
+        let e = engine_with_data();
+        assert!(e.execute("SELECT id, COUNT(*) FROM r").is_err()); // id not grouped
+        assert!(e.execute("SELECT COUNT(*) FROM r WHERE COUNT(*) > 1").is_err());
+        assert!(e.execute("SELECT SUM(name) FROM r").is_err()); // non-numeric
+        assert!(e.execute("SELECT SUM(MAX(id)) FROM r").is_err()); // nested
+        assert!(e.execute("SELECT * FROM r GROUP BY id").is_err()); // star + group
+        assert!(e.execute("SELECT AVG(id, id) FROM r").is_err()); // arity
+    }
+
+    #[test]
+    fn group_by_limit_applies_after_aggregation() {
+        let e = Engine::in_memory(Config::default());
+        e.execute("CREATE TABLE t (k INT)").unwrap();
+        e.execute("INSERT INTO t VALUES (1), (2), (3), (1), (2)").unwrap();
+        let r = e
+            .execute("SELECT k, COUNT(*) FROM t GROUP BY k LIMIT 2")
+            .unwrap();
+        assert_eq!(r.rows.len(), 2);
+    }
+
+    #[test]
+    fn delete_with_predicate() {
+        let e = engine_with_data();
+        let r = e.execute("DELETE FROM r WHERE id >= 2").unwrap();
+        assert_eq!(r.affected, 2);
+        let left = e.execute("SELECT id FROM r").unwrap();
+        assert_eq!(left.rows.len(), 1);
+        assert_eq!(left.rows[0].get(0).unwrap(), &Value::Int(1));
+        // Unconditional delete clears the rest.
+        let r = e.execute("DELETE FROM r").unwrap();
+        assert_eq!(r.affected, 1);
+        assert!(e.execute("SELECT id FROM r").unwrap().rows.is_empty());
+    }
+
+    #[test]
+    fn delete_with_udf_predicate() {
+        let e = engine_with_data();
+        let count = register_counting_udf(&e);
+        let r = e
+            .execute("DELETE FROM r WHERE expensive(id) = TRUE AND id = 1")
+            .unwrap();
+        assert_eq!(r.affected, 1);
+        // Cost ordering applies to DML too: UDF ran only on the id=1 row.
+        assert_eq!(count.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn update_rows() {
+        let e = engine_with_data();
+        let r = e
+            .execute("UPDATE r SET name = 'renamed', blob = X'00' WHERE id <> 2")
+            .unwrap();
+        assert_eq!(r.affected, 2);
+        let rows = e.execute("SELECT id, name FROM r WHERE name = 'renamed'").unwrap();
+        assert_eq!(rows.rows.len(), 2);
+        // Untouched row intact.
+        let two = e.execute("SELECT name FROM r WHERE id = 2").unwrap();
+        assert_eq!(two.rows[0].get(0).unwrap().as_str().unwrap(), "two");
+    }
+
+    #[test]
+    fn update_type_checked() {
+        let e = engine_with_data();
+        assert!(e.execute("UPDATE r SET id = 'nope'").is_err());
+        assert!(e.execute("UPDATE r SET ghost = 1").is_err());
+        assert!(e.execute("UPDATE r SET id = NULL WHERE id = 1").is_ok());
+    }
+
+    #[test]
+    fn update_can_use_row_values() {
+        let e = engine_with_data();
+        // Copy a column through an expression referencing the old row.
+        e.execute("UPDATE r SET name = 'x' WHERE blob = X'0102'").unwrap();
+        let r = e.execute("SELECT id FROM r WHERE name = 'x'").unwrap();
+        assert_eq!(r.rows.len(), 1);
+        assert_eq!(r.rows[0].get(0).unwrap(), &Value::Int(1));
+    }
+
+    #[test]
+    fn show_tables_and_describe() {
+        let e = engine_with_data();
+        e.execute("CREATE TABLE zoo (a INT)").unwrap();
+        let r = e.execute("SHOW TABLES").unwrap();
+        let names: Vec<String> = r
+            .rows
+            .iter()
+            .map(|t| t.get(0).unwrap().as_str().unwrap().to_string())
+            .collect();
+        assert_eq!(names, vec!["r".to_string(), "zoo".to_string()]);
+
+        e.execute("CREATE INDEX r_id ON r (id)").unwrap();
+        let d = e.execute("DESCRIBE r").unwrap();
+        assert_eq!(d.rows.len(), 3);
+        assert_eq!(d.rows[0].get(0).unwrap().as_str().unwrap(), "id");
+        assert_eq!(d.rows[0].get(1).unwrap().as_str().unwrap(), "INT");
+        assert_eq!(d.rows[0].get(2).unwrap(), &Value::Bool(true));
+        assert_eq!(d.rows[1].get(2).unwrap(), &Value::Bool(false));
+        assert!(e.execute("DESCRIBE ghost").is_err());
+    }
+
+    #[test]
+    fn create_index_and_index_scan() {
+        let e = Engine::in_memory(Config::default());
+        e.execute("CREATE TABLE big (id INT, v VARCHAR)").unwrap();
+        let t = e.catalog().table("big").unwrap();
+        for i in 0..500 {
+            t.insert(Tuple::new(vec![
+                Value::Int(i),
+                Value::Str(format!("row{i}")),
+            ]))
+            .unwrap();
+        }
+        e.execute("CREATE INDEX big_id ON big (id)").unwrap();
+
+        // Plan uses the index …
+        let txt = e.explain("SELECT v FROM big WHERE id = 123").unwrap();
+        assert!(txt.contains("IndexScan big via big_id"), "{txt}");
+
+        // … and produces the same answers as a scan, touching fewer rows.
+        let r = e.execute("SELECT v FROM big WHERE id = 123").unwrap();
+        assert_eq!(r.rows.len(), 1);
+        assert_eq!(r.rows[0].get(0).unwrap().as_str().unwrap(), "row123");
+        assert_eq!(r.stats.rows_scanned, 1, "{:?}", r.stats);
+
+        let r = e.execute("SELECT id FROM big WHERE id < 10 ORDER BY id").unwrap();
+        assert_eq!(r.int_column(0).unwrap(), (0..10).collect::<Vec<_>>());
+        assert!(r.stats.rows_scanned <= 10);
+
+        let r = e.execute("SELECT id FROM big WHERE id >= 495").unwrap();
+        assert_eq!(r.rows.len(), 5);
+        // Flipped literal-first comparison also uses the index.
+        let txt = e.explain("SELECT id FROM big WHERE 490 <= id").unwrap();
+        assert!(txt.contains("IndexScan"), "{txt}");
+        // Unsatisfiable range is proven empty.
+        let txt = e
+            .explain(&format!("SELECT id FROM big WHERE id > {}", i64::MAX))
+            .unwrap();
+        assert!(txt.contains("EmptyScan"), "{txt}");
+    }
+
+    #[test]
+    fn index_range_intersection() {
+        let e = Engine::in_memory(Config::default());
+        e.execute("CREATE TABLE t (id INT)").unwrap();
+        let tab = e.catalog().table("t").unwrap();
+        for i in 0..200 {
+            tab.insert(Tuple::new(vec![Value::Int(i)])).unwrap();
+        }
+        e.execute("CREATE INDEX t_id ON t (id)").unwrap();
+        // Both conjuncts tighten the same index range.
+        let r = e
+            .execute("SELECT id FROM t WHERE id >= 50 AND id < 60")
+            .unwrap();
+        assert_eq!(r.rows.len(), 10);
+        assert_eq!(r.stats.rows_scanned, 10, "{:?}", r.stats);
+        // Contradictory bounds are proven empty without touching rows.
+        let r = e
+            .execute("SELECT id FROM t WHERE id >= 60 AND id < 50")
+            .unwrap();
+        assert!(r.rows.is_empty());
+        assert_eq!(r.stats.rows_scanned, 0);
+        // Equality plus consistent range still one row.
+        let r = e
+            .execute("SELECT id FROM t WHERE id = 70 AND id >= 50")
+            .unwrap();
+        assert_eq!(r.rows.len(), 1);
+        assert_eq!(r.stats.rows_scanned, 1);
+    }
+
+    #[test]
+    fn index_maintained_by_dml() {
+        let e = Engine::in_memory(Config::default());
+        e.execute("CREATE TABLE t (id INT, tag VARCHAR)").unwrap();
+        e.execute("INSERT INTO t VALUES (1, 'a'), (2, 'b'), (3, 'c')").unwrap();
+        e.execute("CREATE INDEX t_id ON t (id)").unwrap();
+        // Inserts after index creation are indexed.
+        e.execute("INSERT INTO t VALUES (4, 'd')").unwrap();
+        let r = e.execute("SELECT tag FROM t WHERE id = 4").unwrap();
+        assert_eq!(r.rows.len(), 1);
+        assert_eq!(r.stats.rows_scanned, 1);
+        // Deletes remove index entries.
+        e.execute("DELETE FROM t WHERE id = 2").unwrap();
+        let r = e.execute("SELECT tag FROM t WHERE id = 2").unwrap();
+        assert!(r.rows.is_empty());
+        assert_eq!(r.stats.rows_scanned, 0, "stale index entry");
+        // Updates re-index the moved row (delete + insert path).
+        e.execute("UPDATE t SET id = 99 WHERE id = 3").unwrap();
+        let r = e.execute("SELECT tag FROM t WHERE id = 99").unwrap();
+        assert_eq!(r.rows.len(), 1);
+        assert_eq!(r.rows[0].get(0).unwrap().as_str().unwrap(), "c");
+        assert!(e.execute("SELECT tag FROM t WHERE id = 3").unwrap().rows.is_empty());
+    }
+
+    #[test]
+    fn index_errors() {
+        let e = engine_with_data();
+        // Only INT columns are indexable.
+        assert!(e.execute("CREATE INDEX n ON r (name)").is_err());
+        assert!(e.execute("CREATE INDEX x ON ghost (id)").is_err());
+        e.execute("CREATE INDEX r_id ON r (id)").unwrap();
+        assert!(e.execute("CREATE INDEX r_id2 ON r (id)").is_err(), "dup column");
+    }
+
+    #[test]
+    fn arithmetic_expressions() {
+        let e = engine_with_data();
+        let r = e
+            .execute("SELECT id * 10 + 1 AS x, id % 2 FROM r WHERE id + 1 >= 3")
+            .unwrap();
+        assert_eq!(r.rows.len(), 2);
+        assert_eq!(r.rows[0].get(0).unwrap(), &Value::Int(21));
+        assert_eq!(r.rows[0].get(1).unwrap(), &Value::Int(0));
+        // int/float promotion
+        let r = e.execute("SELECT id + 0.5 FROM r WHERE id = 1").unwrap();
+        assert_eq!(r.rows[0].get(0).unwrap(), &Value::Float(1.5));
+        assert_eq!(r.schema.field(0).unwrap().dtype, DataType::Float);
+        // NULL propagation
+        let r = e.execute("SELECT id + NULL FROM r WHERE id = 1").unwrap();
+        assert_eq!(r.rows[0].get(0).unwrap(), &Value::Null);
+        // division by zero is a clean error
+        assert!(e.execute("SELECT id / 0 FROM r").is_err());
+        // precedence: 2 + 3 * 4 = 14
+        let r = e.execute("SELECT id + 3 * 4 FROM r WHERE id = 2").unwrap();
+        assert_eq!(r.rows[0].get(0).unwrap(), &Value::Int(14));
+        // type errors
+        assert!(e.execute("SELECT name + 1 FROM r").is_err());
+        assert!(e.execute("SELECT id % 2.0 FROM r").is_err());
+    }
+
+    #[test]
+    fn order_by_columns_positions_and_desc() {
+        let e = engine_with_data();
+        let r = e.execute("SELECT id FROM r ORDER BY id DESC").unwrap();
+        assert_eq!(r.int_column(0).unwrap(), vec![3, 2, 1]);
+        let r = e.execute("SELECT id, name FROM r ORDER BY 2").unwrap();
+        // names: 'one', 'two', NULL — NULLs sort last ascending
+        assert_eq!(r.rows[0].get(1).unwrap().as_str().unwrap(), "one");
+        assert_eq!(r.rows[1].get(1).unwrap().as_str().unwrap(), "two");
+        assert!(r.rows[2].get(1).unwrap().is_null());
+        // expression keys over output columns
+        let r = e
+            .execute("SELECT id AS k FROM r ORDER BY k * -1")
+            .unwrap();
+        assert_eq!(r.int_column(0).unwrap(), vec![3, 2, 1]);
+        // position out of range rejected
+        assert!(e.execute("SELECT id FROM r ORDER BY 5").is_err());
+    }
+
+    #[test]
+    fn order_by_applies_before_limit() {
+        let e = engine_with_data();
+        let r = e
+            .execute("SELECT id FROM r ORDER BY id DESC LIMIT 1")
+            .unwrap();
+        assert_eq!(r.int_column(0).unwrap(), vec![3]);
+    }
+
+    #[test]
+    fn having_filters_groups() {
+        let e = Engine::in_memory(Config::default());
+        e.execute("CREATE TABLE sales (region VARCHAR, amount INT)").unwrap();
+        e.execute(
+            "INSERT INTO sales VALUES ('east', 10), ('west', 20), ('east', 30), ('north', 1)",
+        )
+        .unwrap();
+        let r = e
+            .execute(
+                "SELECT region, SUM(amount) AS total FROM sales                  GROUP BY region HAVING total > 15 ORDER BY total DESC",
+            )
+            .unwrap();
+        assert_eq!(r.rows.len(), 2);
+        assert_eq!(r.rows[0].get(0).unwrap().as_str().unwrap(), "east");
+        assert_eq!(r.rows[1].get(0).unwrap().as_str().unwrap(), "west");
+        // HAVING must reference output columns, not raw aggregates
+        assert!(e
+            .execute("SELECT region FROM sales GROUP BY region HAVING SUM(amount) > 1")
+            .is_err());
+        // HAVING must be boolean
+        assert!(e
+            .execute("SELECT region, SUM(amount) AS t FROM sales GROUP BY region HAVING t")
+            .is_err());
+    }
+
+    #[test]
+    fn vm_resource_usage_metered_per_query() {
+        let e = Engine::in_memory(Config::default());
+        e.execute("CREATE TABLE t (b BYTEARRAY)").unwrap();
+        e.execute("INSERT INTO t VALUES (X'01020304'), (X'0506')").unwrap();
+        let module =
+            jaguar_lang::compile("m", "fn main(b: bytes) -> i64 {
+                let s: i64 = 0;
+                let i: i64 = 0;
+                while i < len(b) { s = s + b[i]; i = i + 1; }
+                return s;
+            }")
+            .unwrap();
+        let spec = jaguar_udf::def::vm_spec(
+            module,
+            "main",
+            jaguar_vm::ResourceLimits::default(),
+            true,
+            None,
+        )
+        .unwrap();
+        e.catalog().udfs().register(UdfDef::new(
+            "meterme",
+            UdfSignature::new(vec![DataType::Bytes], DataType::Int),
+            UdfImpl::Vm(spec),
+        ));
+        let r = e.execute("SELECT meterme(b) FROM t").unwrap();
+        assert!(r.stats.vm_instructions > 0, "{:?}", r.stats);
+        assert!(r.stats.vm_bytes_allocated >= 6, "{:?}", r.stats);
+        // Native UDFs are unmetered (Design 1's trade-off).
+        let _ = register_counting_udf(&e);
+        let t = e.catalog().table("t").unwrap();
+        let _ = t; // ensure table still reachable
+        let e2 = engine_with_data();
+        let _ = register_counting_udf(&e2);
+        let r2 = e2.execute("SELECT expensive(id) FROM r").unwrap();
+        assert_eq!(r2.stats.vm_instructions, 0);
+    }
+
+    #[test]
+    fn paper_benchmark_query_shape_runs() {
+        let e = Engine::in_memory(Config::default());
+        e.execute("CREATE TABLE rel100 (id INT, bytearray BYTEARRAY)")
+            .unwrap();
+        for i in 0..20 {
+            let t = e.catalog().table("rel100").unwrap();
+            t.insert(Tuple::new(vec![
+                Value::Int(i),
+                Value::Bytes(ByteArray::patterned(100, i as u64)),
+            ]))
+            .unwrap();
+        }
+        e.catalog().udfs().register(jaguar_udf::generic::def_native());
+        let r = e
+            .execute("SELECT generic(R.bytearray, 0, 2, 1) FROM rel100 R WHERE R.id < 10")
+            .unwrap();
+        assert_eq!(r.rows.len(), 10);
+        assert_eq!(r.stats.udf_invocations, 10);
+        assert_eq!(r.stats.udf_callbacks, 10);
+    }
+}

@@ -1,0 +1,639 @@
+//! Volcano-style execution.
+//!
+//! Operators pull tuples from their child via `next()`. UDF instances and
+//! the callback channel live in the per-query [`ExecCtx`], threaded through
+//! every `next` call so operators stay simple values.
+//!
+//! The Filter operator evaluates its (optimizer-ordered) predicates with
+//! short-circuit AND semantics: a tuple rejected by a cheap predicate
+//! never reaches an expensive UDF — the payoff of the [Hel95]-style
+//! ordering done in `plan`.
+
+use jaguar_common::error::{JaguarError, Result};
+use jaguar_common::schema::SchemaRef;
+use jaguar_common::{Tuple, Value};
+use jaguar_catalog::table::TableScan;
+use jaguar_ipc::proto::CallbackHandler;
+use jaguar_udf::ScalarUdf;
+
+use crate::ast::CmpOp;
+use crate::ast::ArithOp;
+use crate::plan::{AccessPath, AggFunc, AggregatePlan, BExpr, BoundSelect};
+
+/// Counters accumulated during one query execution.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ExecStats {
+    pub rows_scanned: u64,
+    pub rows_emitted: u64,
+    pub udf_invocations: u64,
+    pub udf_callbacks: u64,
+    /// VM instructions executed by sandboxed UDFs this query (0 for
+    /// unmetered native designs).
+    pub vm_instructions: u64,
+    /// Bytes allocated in sandbox arenas this query.
+    pub vm_bytes_allocated: u64,
+}
+
+/// Per-query execution context: instantiated UDFs + callback channel.
+pub struct ExecCtx<'a> {
+    pub udfs: Vec<Box<dyn ScalarUdf>>,
+    pub callbacks: &'a mut dyn CallbackHandler,
+    pub stats: ExecStats,
+}
+
+impl<'a> ExecCtx<'a> {
+    /// Instantiate every UDF in the plan (per-query, as in the paper).
+    pub fn for_plan(
+        plan: &BoundSelect,
+        callbacks: &'a mut dyn CallbackHandler,
+    ) -> Result<ExecCtx<'a>> {
+        ExecCtx::for_udfs(&plan.udfs, callbacks)
+    }
+
+    /// Instantiate an explicit UDF list (used by DML execution).
+    pub fn for_udfs(
+        udfs: &[crate::plan::PlannedUdf],
+        callbacks: &'a mut dyn CallbackHandler,
+    ) -> Result<ExecCtx<'a>> {
+        let udfs = udfs
+            .iter()
+            .map(|u| u.def.instantiate())
+            .collect::<Result<Vec<_>>>()?;
+        Ok(ExecCtx {
+            udfs,
+            callbacks,
+            stats: ExecStats::default(),
+        })
+    }
+
+    /// Tear down per-query UDF instances (shuts down worker processes) and
+    /// fold their metered resource consumption into the query stats.
+    pub fn finish(self) -> Result<ExecStats> {
+        let mut stats = self.stats;
+        for u in self.udfs {
+            if let Some(c) = u.consumed() {
+                stats.vm_instructions += c.instructions;
+                stats.vm_bytes_allocated += c.bytes_allocated;
+            }
+            u.finish()?;
+        }
+        Ok(stats)
+    }
+}
+
+/// Wraps the context's callback handler to count callbacks.
+struct CountingCallbacks<'a> {
+    inner: &'a mut dyn CallbackHandler,
+    count: &'a mut u64,
+}
+
+impl CallbackHandler for CountingCallbacks<'_> {
+    fn callback(&mut self, name: &str, args: &[Value]) -> Result<Value> {
+        *self.count += 1;
+        self.inner.callback(name, args)
+    }
+}
+
+/// Evaluate a bound expression against a tuple.
+pub fn eval(e: &BExpr, tuple: &Tuple, ctx: &mut ExecCtx<'_>) -> Result<Value> {
+    Ok(match e {
+        BExpr::Column(i) => tuple.get(*i)?.clone(),
+        BExpr::Literal(v) => v.clone(),
+        BExpr::Cmp(op, l, r) => {
+            let lv = eval(l, tuple, ctx)?;
+            let rv = eval(r, tuple, ctx)?;
+            match lv.sql_cmp(&rv) {
+                None if lv.is_null() || rv.is_null() => Value::Null,
+                None => {
+                    return Err(JaguarError::Execution(format!(
+                        "cannot compare {lv} with {rv}"
+                    )))
+                }
+                Some(ord) => Value::Bool(match op {
+                    CmpOp::Eq => ord == std::cmp::Ordering::Equal,
+                    CmpOp::Ne => ord != std::cmp::Ordering::Equal,
+                    CmpOp::Lt => ord == std::cmp::Ordering::Less,
+                    CmpOp::Le => ord != std::cmp::Ordering::Greater,
+                    CmpOp::Gt => ord == std::cmp::Ordering::Greater,
+                    CmpOp::Ge => ord != std::cmp::Ordering::Less,
+                }),
+            }
+        }
+        BExpr::And(l, r) => {
+            // Kleene 3VL with short-circuit on FALSE.
+            match eval(l, tuple, ctx)? {
+                Value::Bool(false) => Value::Bool(false),
+                lv => match (lv, eval(r, tuple, ctx)?) {
+                    (_, Value::Bool(false)) => Value::Bool(false),
+                    (Value::Bool(true), Value::Bool(true)) => Value::Bool(true),
+                    _ => Value::Null,
+                },
+            }
+        }
+        BExpr::Or(l, r) => match eval(l, tuple, ctx)? {
+            Value::Bool(true) => Value::Bool(true),
+            lv => match (lv, eval(r, tuple, ctx)?) {
+                (_, Value::Bool(true)) => Value::Bool(true),
+                (Value::Bool(false), Value::Bool(false)) => Value::Bool(false),
+                _ => Value::Null,
+            },
+        },
+        BExpr::Not(inner) => match eval(inner, tuple, ctx)? {
+            Value::Bool(b) => Value::Bool(!b),
+            Value::Null => Value::Null,
+            other => {
+                return Err(JaguarError::Execution(format!(
+                    "NOT applied to non-boolean {other}"
+                )))
+            }
+        },
+        BExpr::Neg(inner) => match eval(inner, tuple, ctx)? {
+            Value::Null => Value::Null,
+            Value::Int(v) => Value::Int(v.wrapping_neg()),
+            Value::Float(v) => Value::Float(-v),
+            other => {
+                return Err(JaguarError::Execution(format!(
+                    "cannot negate {other}"
+                )))
+            }
+        },
+        BExpr::Arith {
+            op,
+            float,
+            lhs,
+            rhs,
+        } => {
+            let lv = eval(lhs, tuple, ctx)?;
+            let rv = eval(rhs, tuple, ctx)?;
+            if lv.is_null() || rv.is_null() {
+                return Ok(Value::Null);
+            }
+            if *float {
+                let (a, b) = (lv.as_float()?, rv.as_float()?);
+                Value::Float(match op {
+                    ArithOp::Add => a + b,
+                    ArithOp::Sub => a - b,
+                    ArithOp::Mul => a * b,
+                    ArithOp::Div => a / b,
+                    ArithOp::Rem => unreachable!("planner rejects float %"),
+                })
+            } else {
+                let (a, b) = (lv.as_int()?, rv.as_int()?);
+                match op {
+                    ArithOp::Add => Value::Int(a.wrapping_add(b)),
+                    ArithOp::Sub => Value::Int(a.wrapping_sub(b)),
+                    ArithOp::Mul => Value::Int(a.wrapping_mul(b)),
+                    ArithOp::Div | ArithOp::Rem if b == 0 => {
+                        return Err(JaguarError::Execution(
+                            "integer division by zero".into(),
+                        ))
+                    }
+                    ArithOp::Div => Value::Int(a.wrapping_div(b)),
+                    ArithOp::Rem => Value::Int(a.wrapping_rem(b)),
+                }
+            }
+        }
+        BExpr::Udf { udf, args } => {
+            let mut vals = Vec::with_capacity(args.len());
+            for a in args {
+                vals.push(eval(a, tuple, ctx)?);
+            }
+            ctx.stats.udf_invocations += 1;
+            // Split the borrow: take the UDF box out, call, put it back,
+            // so the callback counter and the UDF can both borrow ctx.
+            let mut u = std::mem::replace(
+                &mut ctx.udfs[*udf],
+                Box::new(PoisonUdf),
+            );
+            let mut counting = CountingCallbacks {
+                inner: ctx.callbacks,
+                count: &mut ctx.stats.udf_callbacks,
+            };
+            let out = u.invoke(&vals, &mut counting);
+            ctx.udfs[*udf] = u;
+            out?
+        }
+    })
+}
+
+/// Placeholder left in the UDF slot during an invocation; reached only if
+/// a UDF recursively invokes the same query's UDF slot, which the engine
+/// does not support.
+struct PoisonUdf;
+
+impl ScalarUdf for PoisonUdf {
+    fn name(&self) -> &str {
+        "<in-flight>"
+    }
+    fn signature(&self) -> &jaguar_udf::UdfSignature {
+        unreachable!("poison udf has no signature")
+    }
+    fn invoke(&mut self, _: &[Value], _: &mut dyn CallbackHandler) -> Result<Value> {
+        Err(JaguarError::Execution(
+            "re-entrant UDF invocation is not supported".into(),
+        ))
+    }
+}
+
+/// The operator tree for a bound SELECT, pulled via [`Executor::next`].
+pub enum Executor {
+    SeqScan {
+        scan: TableScan,
+    },
+    /// Fetch rows by record id from a B+Tree range (plan `AccessPath`).
+    IndexScan {
+        table: std::sync::Arc<jaguar_catalog::Table>,
+        rids: std::vec::IntoIter<jaguar_common::ids::RecordId>,
+    },
+    /// The planner proved no row can match.
+    EmptyScan,
+    Filter {
+        child: Box<Executor>,
+        predicates: Vec<BExpr>,
+    },
+    /// Hash aggregation: drains its child on first `next`, then yields one
+    /// tuple per group (`group values ++ aggregate results`).
+    Aggregate {
+        child: Box<Executor>,
+        plan: AggregatePlan,
+        output: Option<std::vec::IntoIter<Tuple>>,
+    },
+    Project {
+        child: Box<Executor>,
+        exprs: Vec<BExpr>,
+    },
+    /// HAVING: a filter over the projected output rows.
+    Having {
+        child: Box<Executor>,
+        predicate: BExpr,
+    },
+    /// ORDER BY: materialises its child, sorts, then streams.
+    Sort {
+        child: Box<Executor>,
+        keys: Vec<(BExpr, bool)>,
+        output: Option<std::vec::IntoIter<Tuple>>,
+    },
+    Limit {
+        child: Box<Executor>,
+        remaining: u64,
+    },
+}
+
+impl Executor {
+    /// Build the canonical pipeline:
+    /// Scan → Filter → [Aggregate] → Project → [Having] → [Sort] → [Limit].
+    pub fn build(plan: &BoundSelect) -> Result<Executor> {
+        let mut node = match &plan.access {
+            AccessPath::FullScan => Executor::SeqScan {
+                scan: plan.table.scan(),
+            },
+            AccessPath::IndexRange { index, lo, hi } => Executor::IndexScan {
+                table: std::sync::Arc::clone(&plan.table),
+                rids: index.btree.range(*lo, *hi)?.into_iter(),
+            },
+            AccessPath::Empty => Executor::EmptyScan,
+        };
+        if !plan.predicates.is_empty() {
+            node = Executor::Filter {
+                child: Box::new(node),
+                predicates: plan.predicates.clone(),
+            };
+        }
+        if let Some(agg) = &plan.aggregate {
+            node = Executor::Aggregate {
+                child: Box::new(node),
+                plan: agg.clone(),
+                output: None,
+            };
+        }
+        node = Executor::Project {
+            child: Box::new(node),
+            exprs: plan.projections.clone(),
+        };
+        if let Some(h) = &plan.having {
+            node = Executor::Having {
+                child: Box::new(node),
+                predicate: h.clone(),
+            };
+        }
+        if !plan.order_by.is_empty() {
+            node = Executor::Sort {
+                child: Box::new(node),
+                keys: plan.order_by.clone(),
+                output: None,
+            };
+        }
+        if let Some(n) = plan.limit {
+            node = Executor::Limit {
+                child: Box::new(node),
+                remaining: n,
+            };
+        }
+        Ok(node)
+    }
+
+    /// Pull the next tuple, or `None` when exhausted.
+    pub fn next(&mut self, ctx: &mut ExecCtx<'_>) -> Result<Option<Tuple>> {
+        match self {
+            Executor::SeqScan { scan } => match scan.next() {
+                None => Ok(None),
+                Some(item) => {
+                    let (_, tuple) = item?;
+                    ctx.stats.rows_scanned += 1;
+                    Ok(Some(tuple))
+                }
+            },
+            Executor::IndexScan { table, rids } => match rids.next() {
+                None => Ok(None),
+                Some(rid) => {
+                    ctx.stats.rows_scanned += 1;
+                    Ok(Some(table.get(rid)?))
+                }
+            },
+            Executor::EmptyScan => Ok(None),
+            Executor::Filter { child, predicates } => loop {
+                let Some(tuple) = child.next(ctx)? else {
+                    return Ok(None);
+                };
+                let mut keep = true;
+                for p in predicates.iter() {
+                    // Short-circuit: later (expensive) predicates are
+                    // skipped as soon as one fails.
+                    match eval(p, &tuple, ctx)? {
+                        Value::Bool(true) => {}
+                        _ => {
+                            keep = false;
+                            break;
+                        }
+                    }
+                }
+                if keep {
+                    return Ok(Some(tuple));
+                }
+            },
+            Executor::Aggregate {
+                child,
+                plan,
+                output,
+            } => {
+                if output.is_none() {
+                    *output = Some(run_aggregation(child, plan, ctx)?.into_iter());
+                }
+                Ok(output.as_mut().expect("materialised").next())
+            }
+            Executor::Project { child, exprs } => {
+                let Some(tuple) = child.next(ctx)? else {
+                    return Ok(None);
+                };
+                let mut out = Vec::with_capacity(exprs.len());
+                for e in exprs.iter() {
+                    out.push(eval(e, &tuple, ctx)?);
+                }
+                ctx.stats.rows_emitted += 1;
+                Ok(Some(Tuple::new(out)))
+            }
+            Executor::Having { child, predicate } => loop {
+                let Some(tuple) = child.next(ctx)? else {
+                    return Ok(None);
+                };
+                if matches!(eval(predicate, &tuple, ctx)?, Value::Bool(true)) {
+                    return Ok(Some(tuple));
+                }
+            },
+            Executor::Sort {
+                child,
+                keys,
+                output,
+            } => {
+                if output.is_none() {
+                    let mut rows = Vec::new();
+                    while let Some(t) = child.next(ctx)? {
+                        rows.push(t);
+                    }
+                    // Precompute sort keys so UDF-free key expressions are
+                    // evaluated once per row.
+                    let mut keyed: Vec<(Vec<Value>, Tuple)> = Vec::with_capacity(rows.len());
+                    for t in rows {
+                        let mut ks = Vec::with_capacity(keys.len());
+                        for (e, _) in keys.iter() {
+                            ks.push(eval(e, &t, ctx)?);
+                        }
+                        keyed.push((ks, t));
+                    }
+                    keyed.sort_by(|(a, _), (b, _)| {
+                        for (i, (_, desc)) in keys.iter().enumerate() {
+                            let ord = sort_cmp(&a[i], &b[i]);
+                            let ord = if *desc { ord.reverse() } else { ord };
+                            if ord != std::cmp::Ordering::Equal {
+                                return ord;
+                            }
+                        }
+                        std::cmp::Ordering::Equal
+                    });
+                    *output = Some(
+                        keyed
+                            .into_iter()
+                            .map(|(_, t)| t)
+                            .collect::<Vec<_>>()
+                            .into_iter(),
+                    );
+                }
+                Ok(output.as_mut().expect("sorted").next())
+            }
+            Executor::Limit { child, remaining } => {
+                if *remaining == 0 {
+                    return Ok(None);
+                }
+                match child.next(ctx)? {
+                    Some(t) => {
+                        *remaining -= 1;
+                        Ok(Some(t))
+                    }
+                    None => Ok(None),
+                }
+            }
+        }
+    }
+
+    /// Drain the pipeline into a vector.
+    pub fn collect(&mut self, ctx: &mut ExecCtx<'_>) -> Result<Vec<Tuple>> {
+        let mut out = Vec::new();
+        while let Some(t) = self.next(ctx)? {
+            out.push(t);
+        }
+        Ok(out)
+    }
+}
+
+/// Total order used by ORDER BY: NULLs sort after every value (ascending);
+/// cross-type comparisons fall back to a stable type-rank order.
+fn sort_cmp(a: &Value, b: &Value) -> std::cmp::Ordering {
+    use std::cmp::Ordering;
+    match (a.is_null(), b.is_null()) {
+        (true, true) => return Ordering::Equal,
+        (true, false) => return Ordering::Greater,
+        (false, true) => return Ordering::Less,
+        (false, false) => {}
+    }
+    if let Some(ord) = a.sql_cmp(b) {
+        return ord;
+    }
+    let rank = |v: &Value| v.data_type().map(|t| t.tag()).unwrap_or(0);
+    rank(a).cmp(&rank(b))
+}
+
+/// Accumulator state for one aggregate within one group.
+#[derive(Debug, Clone)]
+enum AccState {
+    Count(i64),
+    SumI(Option<i64>),
+    SumF(Option<f64>),
+    Avg { sum: f64, n: i64 },
+    MinMax(Option<Value>),
+}
+
+impl AccState {
+    fn new(spec: &crate::plan::AggSpec) -> AccState {
+        match spec.func {
+            AggFunc::CountStar | AggFunc::Count => AccState::Count(0),
+            AggFunc::Sum => match spec.out_ty {
+                jaguar_common::DataType::Float => AccState::SumF(None),
+                _ => AccState::SumI(None),
+            },
+            AggFunc::Avg => AccState::Avg { sum: 0.0, n: 0 },
+            AggFunc::Min | AggFunc::Max => AccState::MinMax(None),
+        }
+    }
+
+    fn update(&mut self, func: AggFunc, v: Option<&Value>) -> Result<()> {
+        match self {
+            AccState::Count(n) => {
+                // COUNT(*) counts rows; COUNT(x) counts non-null x.
+                match (func, v) {
+                    (AggFunc::CountStar, _) => *n += 1,
+                    (_, Some(val)) if !val.is_null() => *n += 1,
+                    _ => {}
+                }
+            }
+            AccState::SumI(acc) => {
+                if let Some(val) = v {
+                    if !val.is_null() {
+                        let x = val.as_int()?;
+                        *acc = Some(acc.unwrap_or(0).wrapping_add(x));
+                    }
+                }
+            }
+            AccState::SumF(acc) => {
+                if let Some(val) = v {
+                    if !val.is_null() {
+                        let x = val.as_float()?;
+                        *acc = Some(acc.unwrap_or(0.0) + x);
+                    }
+                }
+            }
+            AccState::Avg { sum, n } => {
+                if let Some(val) = v {
+                    if !val.is_null() {
+                        *sum += val.as_float()?;
+                        *n += 1;
+                    }
+                }
+            }
+            AccState::MinMax(best) => {
+                if let Some(val) = v {
+                    if !val.is_null() {
+                        let replace = match best {
+                            None => true,
+                            Some(cur) => {
+                                let ord = val.sql_cmp(cur).ok_or_else(|| {
+                                    JaguarError::Execution(
+                                        "min/max over incomparable values".into(),
+                                    )
+                                })?;
+                                match func {
+                                    AggFunc::Min => ord == std::cmp::Ordering::Less,
+                                    AggFunc::Max => ord == std::cmp::Ordering::Greater,
+                                    _ => unreachable!("MinMax state"),
+                                }
+                            }
+                        };
+                        if replace {
+                            *best = Some(val.clone());
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn finish(self) -> Value {
+        match self {
+            AccState::Count(n) => Value::Int(n),
+            AccState::SumI(None) | AccState::SumF(None) | AccState::MinMax(None) => Value::Null,
+            AccState::SumI(Some(x)) => Value::Int(x),
+            AccState::SumF(Some(x)) => Value::Float(x),
+            AccState::Avg { n: 0, .. } => Value::Null,
+            AccState::Avg { sum, n } => Value::Float(sum / n as f64),
+            AccState::MinMax(Some(v)) => v,
+        }
+    }
+}
+
+/// Drain `child` and compute the grouped aggregation.
+fn run_aggregation(
+    child: &mut Executor,
+    plan: &AggregatePlan,
+    ctx: &mut ExecCtx<'_>,
+) -> Result<Vec<Tuple>> {
+    use std::collections::HashMap;
+    // Group key = stable serialisation of the group expressions' values;
+    // keeps the map hashable without imposing Eq/Hash on Value (floats).
+    let mut groups: HashMap<Vec<u8>, (Vec<Value>, Vec<AccState>)> = HashMap::new();
+    // Insertion order for deterministic output.
+    let mut order: Vec<Vec<u8>> = Vec::new();
+
+    while let Some(tuple) = child.next(ctx)? {
+        let mut key_vals = Vec::with_capacity(plan.group_exprs.len());
+        let mut key = Vec::new();
+        for g in &plan.group_exprs {
+            let v = eval(g, &tuple, ctx)?;
+            key.extend_from_slice(&jaguar_common::stream::value_to_vec(&v));
+            key_vals.push(v);
+        }
+        if !groups.contains_key(&key) {
+            order.push(key.clone());
+            groups.insert(
+                key.clone(),
+                (key_vals, plan.aggs.iter().map(AccState::new).collect()),
+            );
+        }
+        let entry = groups.get_mut(&key).expect("just inserted");
+        for (spec, acc) in plan.aggs.iter().zip(entry.1.iter_mut()) {
+            let v = match &spec.arg {
+                Some(e) => Some(eval(e, &tuple, ctx)?),
+                None => None,
+            };
+            acc.update(spec.func, v.as_ref())?;
+        }
+    }
+
+    // Global aggregation with zero input rows still yields one row.
+    if plan.group_exprs.is_empty() && groups.is_empty() {
+        let accs: Vec<AccState> = plan.aggs.iter().map(AccState::new).collect();
+        return Ok(vec![Tuple::new(
+            accs.into_iter().map(AccState::finish).collect(),
+        )]);
+    }
+
+    let mut out = Vec::with_capacity(order.len());
+    for key in order {
+        let (mut vals, accs) = groups.remove(&key).expect("keys from order");
+        vals.extend(accs.into_iter().map(AccState::finish));
+        out.push(Tuple::new(vals));
+    }
+    Ok(out)
+}
+
+/// Schema of an executor's output (the plan's `output_schema`).
+pub type OutputSchema = SchemaRef;

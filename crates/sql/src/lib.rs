@@ -1,0 +1,31 @@
+//! # jaguar-sql — the query engine
+//!
+//! A deliberately focused SQL subset: exactly what the paper's workload
+//! needs (single-table SELECT with UDFs in the projection and WHERE
+//! clause, CREATE TABLE, INSERT, DROP), implemented end-to-end:
+//!
+//! * [`lexer`] / [`parser`] → AST,
+//! * [`plan`] — name binding, type derivation, and the [Hel95]-style
+//!   *expensive-predicate ordering*: WHERE conjuncts are ranked so cheap
+//!   column predicates run before UDF predicates, and cheaper UDF designs
+//!   before dearer ones ("cost-based query optimization algorithms have
+//!   been developed to 'place' UDFs within query plans"),
+//! * [`exec`] — Volcano-style iterators (SeqScan → Filter → Project →
+//!   Limit) with per-query UDF instances and callback plumbing (§4.2),
+//! * [`engine`] — the embeddable database engine and its sessions.
+//!
+//! The paper's benchmark query runs verbatim:
+//!
+//! ```sql
+//! SELECT udf(R.bytes, 0, 10, 0) FROM Rel10000 R WHERE R.id < 10000;
+//! ```
+
+pub mod ast;
+pub mod engine;
+pub mod exec;
+pub mod lexer;
+pub mod parser;
+pub mod plan;
+
+pub use engine::{Engine, QueryResult};
+pub use exec::ExecStats;

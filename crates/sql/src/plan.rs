@@ -1,0 +1,1158 @@
+//! Binding, typing, and optimization.
+//!
+//! Binding resolves column names to indices and UDF names to catalog
+//! definitions; the result is a [`BoundSelect`] the executor can run
+//! without further name lookups.
+//!
+//! The optimizer implements the paper's §2.2 point that *"cost-based query
+//! optimization algorithms have been developed to 'place' UDFs within
+//! query plans [Hel95, Jhi88]"*: WHERE conjuncts are ordered so that
+//! cheap column predicates run first and UDF predicates are deferred,
+//! cheaper execution designs before dearer ones. With short-circuit
+//! conjunction in the Filter operator, an expensive UDF then runs only on
+//! the tuples that survive the cheap predicates — the reason server-side
+//! UDF placement matters at all (§2.2).
+
+use std::fmt::Write as _;
+use std::sync::Arc;
+
+use jaguar_common::error::{JaguarError, Result};
+use jaguar_common::schema::{Field, Schema, SchemaRef};
+use jaguar_common::{ByteArray, DataType, Value};
+use jaguar_catalog::table::TableIndex;
+use jaguar_catalog::{Catalog, Table};
+use jaguar_udf::{UdfDef, UdfImpl};
+
+use crate::ast::{ArithOp, CmpOp, Expr, SelectItem, SelectStmt};
+
+/// A bound (name-resolved) expression.
+#[derive(Debug, Clone)]
+pub enum BExpr {
+    /// Input column by index.
+    Column(usize),
+    Literal(Value),
+    Cmp(CmpOp, Box<BExpr>, Box<BExpr>),
+    And(Box<BExpr>, Box<BExpr>),
+    Or(Box<BExpr>, Box<BExpr>),
+    Not(Box<BExpr>),
+    /// Binary arithmetic; `float` selects the promoted float form.
+    Arith {
+        op: ArithOp,
+        float: bool,
+        lhs: Box<BExpr>,
+        rhs: Box<BExpr>,
+    },
+    /// Arithmetic negation.
+    Neg(Box<BExpr>),
+    /// UDF call; `udf` indexes into the plan's UDF table.
+    Udf { udf: usize, args: Vec<BExpr> },
+}
+
+/// A UDF referenced by the plan (instantiated per execution).
+pub struct PlannedUdf {
+    pub def: UdfDef,
+}
+
+/// Aggregate functions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AggFunc {
+    CountStar,
+    Count,
+    Sum,
+    Avg,
+    Min,
+    Max,
+}
+
+impl AggFunc {
+    pub fn name(self) -> &'static str {
+        match self {
+            AggFunc::CountStar => "count(*)",
+            AggFunc::Count => "count",
+            AggFunc::Sum => "sum",
+            AggFunc::Avg => "avg",
+            AggFunc::Min => "min",
+            AggFunc::Max => "max",
+        }
+    }
+}
+
+fn agg_func_of(name: &str) -> Option<AggFunc> {
+    match name.to_ascii_lowercase().as_str() {
+        "count" => Some(AggFunc::Count),
+        "sum" => Some(AggFunc::Sum),
+        "avg" => Some(AggFunc::Avg),
+        "min" => Some(AggFunc::Min),
+        "max" => Some(AggFunc::Max),
+        _ => None,
+    }
+}
+
+fn expr_mentions_aggregate(e: &Expr) -> bool {
+    match e {
+        Expr::CountStar => true,
+        Expr::Func { name, args } => {
+            agg_func_of(name).is_some() || args.iter().any(expr_mentions_aggregate)
+        }
+        Expr::Neg(i) | Expr::Not(i) => expr_mentions_aggregate(i),
+        Expr::Cmp(_, l, r) | Expr::And(l, r) | Expr::Or(l, r) => {
+            expr_mentions_aggregate(l) || expr_mentions_aggregate(r)
+        }
+        _ => false,
+    }
+}
+
+/// One aggregate computed by the aggregation operator.
+#[derive(Debug, Clone)]
+pub struct AggSpec {
+    pub func: AggFunc,
+    /// Input expression (absent for `COUNT(*)`).
+    pub arg: Option<BExpr>,
+    pub out_ty: DataType,
+}
+
+/// The aggregation step of a grouped query: the operator's output tuples
+/// are `group_exprs ++ aggs`, in that order.
+#[derive(Debug, Clone, Default)]
+pub struct AggregatePlan {
+    pub group_exprs: Vec<BExpr>,
+    pub aggs: Vec<AggSpec>,
+}
+
+/// Structural equality of bound expressions (used to match SELECT items
+/// against GROUP BY expressions). UDF calls are compared by registered
+/// name + arguments: every bind of `f(x)` allocates a fresh plan-UDF
+/// index, so index equality would never match.
+fn bexpr_eq(a: &BExpr, b: &BExpr, udfs: &[PlannedUdf]) -> bool {
+    match (a, b) {
+        (BExpr::Column(x), BExpr::Column(y)) => x == y,
+        (BExpr::Literal(x), BExpr::Literal(y)) => x == y,
+        (BExpr::Cmp(o1, l1, r1), BExpr::Cmp(o2, l2, r2)) => {
+            o1 == o2 && bexpr_eq(l1, l2, udfs) && bexpr_eq(r1, r2, udfs)
+        }
+        (BExpr::And(l1, r1), BExpr::And(l2, r2))
+        | (BExpr::Or(l1, r1), BExpr::Or(l2, r2)) => {
+            bexpr_eq(l1, l2, udfs) && bexpr_eq(r1, r2, udfs)
+        }
+        (BExpr::Not(x), BExpr::Not(y)) | (BExpr::Neg(x), BExpr::Neg(y)) => {
+            bexpr_eq(x, y, udfs)
+        }
+        (
+            BExpr::Arith {
+                op: o1,
+                lhs: l1,
+                rhs: r1,
+                ..
+            },
+            BExpr::Arith {
+                op: o2,
+                lhs: l2,
+                rhs: r2,
+                ..
+            },
+        ) => o1 == o2 && bexpr_eq(l1, l2, udfs) && bexpr_eq(r1, r2, udfs),
+        (BExpr::Udf { udf: u1, args: a1 }, BExpr::Udf { udf: u2, args: a2 }) => {
+            udfs[*u1].def.name == udfs[*u2].def.name
+                && a1.len() == a2.len()
+                && a1.iter().zip(a2).all(|(x, y)| bexpr_eq(x, y, udfs))
+        }
+        _ => false,
+    }
+}
+
+/// How the executor reaches the table's rows.
+pub enum AccessPath {
+    /// Sequential scan of the heap file.
+    FullScan,
+    /// B+Tree range over an indexed column: keys in `[lo, hi)`
+    /// (`hi = None` = unbounded). The originating predicate stays in the
+    /// filter list and is re-checked, so the index is purely an
+    /// access-path optimization.
+    IndexRange {
+        index: Arc<TableIndex>,
+        lo: i64,
+        hi: Option<i64>,
+    },
+    /// The predicate is provably unsatisfiable (e.g. `col > i64::MAX`).
+    Empty,
+}
+
+/// A bound, optimized single-table SELECT.
+pub struct BoundSelect {
+    pub table: Arc<Table>,
+    /// Access path chosen by the optimizer.
+    pub access: AccessPath,
+    /// Conjunctive predicates in execution order (cheap → expensive).
+    pub predicates: Vec<BExpr>,
+    /// Grouping/aggregation step, if this is an aggregate query. When
+    /// present, `projections` reference the aggregate operator's output
+    /// columns (groups first, then aggregates).
+    pub aggregate: Option<AggregatePlan>,
+    /// Projection expressions + output schema.
+    pub projections: Vec<BExpr>,
+    pub output_schema: SchemaRef,
+    /// HAVING predicate, bound over the **output** columns.
+    pub having: Option<BExpr>,
+    /// ORDER BY keys over the output columns; `true` = descending.
+    pub order_by: Vec<(BExpr, bool)>,
+    pub limit: Option<u64>,
+    /// UDFs used anywhere in the plan, indexed by `BExpr::Udf::udf`.
+    pub udfs: Vec<PlannedUdf>,
+}
+
+/// Bind and optimize a SELECT against the catalog.
+pub fn bind_select(stmt: &SelectStmt, catalog: &Catalog) -> Result<BoundSelect> {
+    let table = catalog.table(&stmt.table)?;
+    let schema = Arc::clone(table.schema());
+    let mut binder = Binder {
+        catalog,
+        schema: &schema,
+        table_name: &stmt.table,
+        alias: stmt.alias.as_deref(),
+        udfs: Vec::new(),
+    };
+
+    // Predicates: split, bind, type-check as boolean, order by cost.
+    let mut predicates = Vec::new();
+    if let Some(pred) = &stmt.predicate {
+        let conjuncts = pred.clone().conjuncts();
+        let mut ranked: Vec<(u32, usize, BExpr)> = Vec::with_capacity(conjuncts.len());
+        for (i, c) in conjuncts.into_iter().enumerate() {
+            let bound = binder.bind(&c)?;
+            let ty = binder.type_of(&bound)?;
+            if ty != Some(DataType::Bool) {
+                return Err(JaguarError::Plan(format!(
+                    "WHERE conjunct {} is not a boolean predicate",
+                    i + 1
+                )));
+            }
+            let cost = binder.cost_rank(&bound);
+            ranked.push((cost, i, bound));
+        }
+        // Stable order: by cost rank, ties by original position.
+        ranked.sort_by_key(|(cost, pos, _)| (*cost, *pos));
+        predicates = ranked.into_iter().map(|(_, _, e)| e).collect();
+    }
+
+    let access = choose_access_path(&table, &predicates);
+
+    // Aggregate query?
+    let is_aggregate = !stmt.group_by.is_empty()
+        || stmt.items.iter().any(|it| match it {
+            SelectItem::Expr { expr, .. } => expr_mentions_aggregate(expr),
+            SelectItem::Star => false,
+        });
+    if is_aggregate {
+        return bind_aggregate(stmt, table, &schema, binder, predicates, access);
+    }
+
+    // Projections.
+    let mut projections = Vec::new();
+    let mut fields = Vec::new();
+    for (i, item) in stmt.items.iter().enumerate() {
+        match item {
+            SelectItem::Star => {
+                for (idx, f) in schema.fields().iter().enumerate() {
+                    projections.push(BExpr::Column(idx));
+                    fields.push(f.clone());
+                }
+            }
+            SelectItem::Expr { expr, alias } => {
+                let bound = binder.bind(expr)?;
+                let ty = binder.type_of(&bound)?.ok_or_else(|| {
+                    JaguarError::Plan(format!("projection {} has no type (NULL literal)", i + 1))
+                })?;
+                let name = match alias {
+                    Some(a) => a.clone(),
+                    None => match expr {
+                        Expr::Column { name, .. } => name.clone(),
+                        Expr::Func { name, .. } => name.to_ascii_lowercase(),
+                        _ => format!("col{}", i + 1),
+                    },
+                };
+                projections.push(bound);
+                fields.push(Field::new(name, ty));
+            }
+        }
+    }
+    if projections.is_empty() {
+        return Err(JaguarError::Plan("empty SELECT list".into()));
+    }
+    // Output columns may repeat names (e.g. `SELECT a, a`); build without
+    // the uniqueness check by deduplicating on the fly.
+    let mut seen: Vec<String> = Vec::new();
+    let fields = fields
+        .into_iter()
+        .map(|mut f| {
+            let base = f.name.clone();
+            let mut n = 1;
+            while seen.iter().any(|s| s.eq_ignore_ascii_case(&f.name)) {
+                n += 1;
+                f.name = format!("{base}_{n}");
+            }
+            seen.push(f.name.clone());
+            f
+        })
+        .collect();
+
+    let output_schema = Arc::new(Schema::new(fields)?);
+    let having = bind_output_predicate(&stmt.having, &output_schema)?;
+    let order_by = bind_order_by(&stmt.order_by, &output_schema)?;
+    Ok(BoundSelect {
+        table,
+        access,
+        predicates,
+        aggregate: None,
+        projections,
+        output_schema,
+        having,
+        order_by,
+        limit: stmt.limit,
+        udfs: binder.udfs,
+    })
+}
+
+/// Bind a HAVING predicate over the output schema, requiring Bool type.
+fn bind_output_predicate(
+    having: &Option<Expr>,
+    schema: &Schema,
+) -> Result<Option<BExpr>> {
+    match having {
+        None => Ok(None),
+        Some(e) => {
+            let bound = bind_output_expr(e, schema)?;
+            if output_type_of(&bound, schema)? != Some(DataType::Bool) {
+                return Err(JaguarError::Plan(
+                    "HAVING must be a boolean predicate".into(),
+                ));
+            }
+            Ok(Some(bound))
+        }
+    }
+}
+
+/// Bind ORDER BY keys over the output schema. A bare integer literal at
+/// the top level is a 1-based output position, as in classic SQL.
+fn bind_order_by(
+    keys: &[(Expr, bool)],
+    schema: &Schema,
+) -> Result<Vec<(BExpr, bool)>> {
+    keys.iter()
+        .map(|(e, desc)| {
+            let bound = match e {
+                Expr::Int(k) if *k >= 1 && (*k as usize) <= schema.len() => {
+                    BExpr::Column(*k as usize - 1)
+                }
+                Expr::Int(k) => {
+                    return Err(JaguarError::Plan(format!(
+                        "ORDER BY position {k} out of range 1..={}",
+                        schema.len()
+                    )))
+                }
+                other => bind_output_expr(other, schema)?,
+            };
+            Ok((bound, *desc))
+        })
+        .collect()
+}
+
+/// Bind an expression over the *output* columns (HAVING / ORDER BY).
+/// UDF and aggregate calls are not allowed here — refer to their result
+/// column by alias or position instead.
+fn bind_output_expr(e: &Expr, schema: &Schema) -> Result<BExpr> {
+    Ok(match e {
+        Expr::Column { qualifier, name } => {
+            if qualifier.is_some() {
+                return Err(JaguarError::Plan(
+                    "qualified names are not valid for output columns".into(),
+                ));
+            }
+            BExpr::Column(schema.resolve(name)?)
+        }
+        Expr::Int(v) => BExpr::Literal(Value::Int(*v)),
+        Expr::Float(v) => BExpr::Literal(Value::Float(*v)),
+        Expr::Str(v) => BExpr::Literal(Value::Str(v.clone())),
+        Expr::Blob(b) => BExpr::Literal(Value::Bytes(ByteArray::new(b.clone()))),
+        Expr::Bool(b) => BExpr::Literal(Value::Bool(*b)),
+        Expr::Null => BExpr::Literal(Value::Null),
+        Expr::Neg(inner) => BExpr::Neg(Box::new(bind_output_expr(inner, schema)?)),
+        Expr::Not(inner) => BExpr::Not(Box::new(bind_output_expr(inner, schema)?)),
+        Expr::Cmp(op, l, r) => BExpr::Cmp(
+            *op,
+            Box::new(bind_output_expr(l, schema)?),
+            Box::new(bind_output_expr(r, schema)?),
+        ),
+        Expr::And(l, r) => BExpr::And(
+            Box::new(bind_output_expr(l, schema)?),
+            Box::new(bind_output_expr(r, schema)?),
+        ),
+        Expr::Or(l, r) => BExpr::Or(
+            Box::new(bind_output_expr(l, schema)?),
+            Box::new(bind_output_expr(r, schema)?),
+        ),
+        Expr::Arith(op, l, r) => {
+            let lb = bind_output_expr(l, schema)?;
+            let rb = bind_output_expr(r, schema)?;
+            let float = output_type_of(&lb, schema)? == Some(DataType::Float)
+                || output_type_of(&rb, schema)? == Some(DataType::Float);
+            if float && *op == ArithOp::Rem {
+                return Err(JaguarError::Plan("'%' is integer-only".into()));
+            }
+            BExpr::Arith {
+                op: *op,
+                float,
+                lhs: Box::new(lb),
+                rhs: Box::new(rb),
+            }
+        }
+        Expr::Func { name, .. } => {
+            return Err(JaguarError::Plan(format!(
+                "'{name}(..)' cannot appear in HAVING/ORDER BY; name its result                  column (alias) or use its position instead"
+            )))
+        }
+        Expr::CountStar => {
+            return Err(JaguarError::Plan(
+                "COUNT(*) cannot appear in HAVING/ORDER BY; alias it in the                  SELECT list and refer to the alias"
+                    .into(),
+            ))
+        }
+    })
+}
+
+/// Static type of an output-bound expression.
+fn output_type_of(e: &BExpr, schema: &Schema) -> Result<Option<DataType>> {
+    Ok(match e {
+        BExpr::Column(i) => Some(
+            schema
+                .field(*i)
+                .ok_or_else(|| JaguarError::Plan(format!("output index {i} out of range")))?
+                .dtype,
+        ),
+        BExpr::Literal(v) => v.data_type(),
+        BExpr::Cmp(..) | BExpr::And(..) | BExpr::Or(..) | BExpr::Not(..) => {
+            Some(DataType::Bool)
+        }
+        BExpr::Arith { float, .. } => Some(if *float {
+            DataType::Float
+        } else {
+            DataType::Int
+        }),
+        BExpr::Neg(inner) => output_type_of(inner, schema)?,
+        BExpr::Udf { .. } => unreachable!("output binder rejects UDFs"),
+    })
+}
+
+/// Bind the aggregation form of a SELECT: every item must be either an
+/// aggregate call or one of the GROUP BY expressions.
+fn bind_aggregate(
+    stmt: &SelectStmt,
+    table: Arc<Table>,
+    schema: &Schema,
+    mut binder: Binder<'_>,
+    predicates: Vec<BExpr>,
+    access: AccessPath,
+) -> Result<BoundSelect> {
+    let _ = schema;
+    let mut plan = AggregatePlan::default();
+    for (i, g) in stmt.group_by.iter().enumerate() {
+        if expr_mentions_aggregate(g) {
+            return Err(JaguarError::Plan(format!(
+                "GROUP BY expression {} contains an aggregate",
+                i + 1
+            )));
+        }
+        let bound = binder.bind(g)?;
+        plan.group_exprs.push(bound);
+    }
+
+    let mut projections = Vec::new();
+    let mut fields = Vec::new();
+    for (i, item) in stmt.items.iter().enumerate() {
+        let SelectItem::Expr { expr, alias } = item else {
+            return Err(JaguarError::Plan(
+                "SELECT * cannot be combined with aggregation".into(),
+            ));
+        };
+        // Aggregates at the item's top level.
+        let (bexpr, ty, default_name): (BExpr, DataType, String) = match expr {
+            Expr::CountStar => {
+                plan.aggs.push(AggSpec {
+                    func: AggFunc::CountStar,
+                    arg: None,
+                    out_ty: DataType::Int,
+                });
+                (
+                    BExpr::Column(plan.group_exprs.len() + plan.aggs.len() - 1),
+                    DataType::Int,
+                    "count".to_string(),
+                )
+            }
+            Expr::Func { name, args } if agg_func_of(name).is_some() => {
+                let func = agg_func_of(name).expect("checked");
+                if args.len() != 1 {
+                    return Err(JaguarError::Plan(format!(
+                        "aggregate '{name}' takes exactly one argument"
+                    )));
+                }
+                if expr_mentions_aggregate(&args[0]) {
+                    return Err(JaguarError::Plan("nested aggregates are not allowed".into()));
+                }
+                let arg = binder.bind(&args[0])?;
+                let arg_ty = binder.type_of(&arg)?;
+                let out_ty = match func {
+                    AggFunc::Count | AggFunc::CountStar => DataType::Int,
+                    AggFunc::Avg => match arg_ty {
+                        Some(DataType::Int) | Some(DataType::Float) => DataType::Float,
+                        other => {
+                            return Err(JaguarError::Plan(format!(
+                                "avg() needs a numeric argument, got {other:?}"
+                            )))
+                        }
+                    },
+                    AggFunc::Sum => match arg_ty {
+                        Some(t @ DataType::Int) | Some(t @ DataType::Float) => t,
+                        other => {
+                            return Err(JaguarError::Plan(format!(
+                                "sum() needs a numeric argument, got {other:?}"
+                            )))
+                        }
+                    },
+                    AggFunc::Min | AggFunc::Max => arg_ty.ok_or_else(|| {
+                        JaguarError::Plan(format!("{name}() argument has no type"))
+                    })?,
+                };
+                plan.aggs.push(AggSpec {
+                    func,
+                    arg: Some(arg),
+                    out_ty,
+                });
+                (
+                    BExpr::Column(plan.group_exprs.len() + plan.aggs.len() - 1),
+                    out_ty,
+                    name.to_ascii_lowercase(),
+                )
+            }
+            other => {
+                // Must match a GROUP BY expression.
+                let bound = binder.bind(other)?;
+                let idx = plan
+                    .group_exprs
+                    .iter()
+                    .position(|g| bexpr_eq(g, &bound, &binder.udfs))
+                    .ok_or_else(|| {
+                        JaguarError::Plan(format!(
+                            "SELECT item {} is neither an aggregate nor in GROUP BY",
+                            i + 1
+                        ))
+                    })?;
+                let ty = binder.type_of(&bound)?.ok_or_else(|| {
+                    JaguarError::Plan("GROUP BY expression has no type".into())
+                })?;
+                let name = match other {
+                    Expr::Column { name, .. } => name.clone(),
+                    _ => format!("col{}", i + 1),
+                };
+                (BExpr::Column(idx), ty, name)
+            }
+        };
+        let name = alias.clone().unwrap_or(default_name);
+        projections.push(bexpr);
+        fields.push(Field::new(name, ty));
+        let _ = ty;
+    }
+    if projections.is_empty() {
+        return Err(JaguarError::Plan("empty SELECT list".into()));
+    }
+    // Deduplicate output names as in the scalar path.
+    let mut seen: Vec<String> = Vec::new();
+    let fields: Vec<Field> = fields
+        .into_iter()
+        .map(|mut f| {
+            let base = f.name.clone();
+            let mut n = 1;
+            while seen.iter().any(|s| s.eq_ignore_ascii_case(&f.name)) {
+                n += 1;
+                f.name = format!("{base}_{n}");
+            }
+            seen.push(f.name.clone());
+            f
+        })
+        .collect();
+
+    let output_schema = Arc::new(Schema::new(fields)?);
+    let having = bind_output_predicate(&stmt.having, &output_schema)?;
+    let order_by = bind_order_by(&stmt.order_by, &output_schema)?;
+    Ok(BoundSelect {
+        table,
+        access,
+        predicates,
+        aggregate: Some(plan),
+        projections,
+        output_schema,
+        having,
+        order_by,
+        limit: stmt.limit,
+        udfs: binder.udfs,
+    })
+}
+
+struct Binder<'a> {
+    catalog: &'a Catalog,
+    schema: &'a Schema,
+    table_name: &'a str,
+    alias: Option<&'a str>,
+    udfs: Vec<PlannedUdf>,
+}
+
+impl Binder<'_> {
+    fn bind(&mut self, e: &Expr) -> Result<BExpr> {
+        Ok(match e {
+            Expr::Column { qualifier, name } => {
+                if let Some(q) = qualifier {
+                    let matches_alias = self.alias.is_some_and(|a| a.eq_ignore_ascii_case(q));
+                    let matches_table = self.table_name.eq_ignore_ascii_case(q);
+                    if !matches_alias && !matches_table {
+                        return Err(JaguarError::Plan(format!(
+                            "unknown table qualifier '{q}'"
+                        )));
+                    }
+                }
+                BExpr::Column(self.schema.resolve(name)?)
+            }
+            Expr::Int(v) => BExpr::Literal(Value::Int(*v)),
+            Expr::Float(v) => BExpr::Literal(Value::Float(*v)),
+            Expr::Str(s) => BExpr::Literal(Value::Str(s.clone())),
+            Expr::Blob(b) => BExpr::Literal(Value::Bytes(ByteArray::new(b.clone()))),
+            Expr::Bool(b) => BExpr::Literal(Value::Bool(*b)),
+            Expr::Null => BExpr::Literal(Value::Null),
+            Expr::Neg(inner) => {
+                let b = self.bind(inner)?;
+                match (&b, self.type_of(&b)?) {
+                    // Fold literal negation so `-5` stays a literal.
+                    (BExpr::Literal(Value::Int(v)), _) => BExpr::Literal(Value::Int(-v)),
+                    (BExpr::Literal(Value::Float(v)), _) => BExpr::Literal(Value::Float(-v)),
+                    (_, Some(DataType::Int)) | (_, Some(DataType::Float)) | (_, None) => {
+                        BExpr::Neg(Box::new(b))
+                    }
+                    (_, Some(other)) => {
+                        return Err(JaguarError::Plan(format!(
+                            "unary minus needs a numeric operand, got {}",
+                            other.sql_name()
+                        )))
+                    }
+                }
+            }
+            Expr::Arith(op, l, r) => {
+                let lb = self.bind(l)?;
+                let rb = self.bind(r)?;
+                let lt = self.type_of(&lb)?;
+                let rt = self.type_of(&rb)?;
+                let numeric = |t: &Option<DataType>| {
+                    matches!(t, None | Some(DataType::Int) | Some(DataType::Float))
+                };
+                if !numeric(&lt) || !numeric(&rt) {
+                    return Err(JaguarError::Plan(format!(
+                        "'{}' needs numeric operands",
+                        op.symbol()
+                    )));
+                }
+                let float =
+                    lt == Some(DataType::Float) || rt == Some(DataType::Float);
+                if float && *op == ArithOp::Rem {
+                    return Err(JaguarError::Plan("'%' is integer-only".into()));
+                }
+                BExpr::Arith {
+                    op: *op,
+                    float,
+                    lhs: Box::new(lb),
+                    rhs: Box::new(rb),
+                }
+            }
+            Expr::Cmp(op, l, r) => {
+                BExpr::Cmp(*op, Box::new(self.bind(l)?), Box::new(self.bind(r)?))
+            }
+            Expr::And(l, r) => BExpr::And(Box::new(self.bind(l)?), Box::new(self.bind(r)?)),
+            Expr::Or(l, r) => BExpr::Or(Box::new(self.bind(l)?), Box::new(self.bind(r)?)),
+            Expr::Not(inner) => BExpr::Not(Box::new(self.bind(inner)?)),
+            Expr::CountStar => {
+                return Err(JaguarError::Plan(
+                    "COUNT(*) is only allowed in the SELECT list".into(),
+                ))
+            }
+            Expr::Func { name, args } if agg_func_of(name).is_some() => {
+                return Err(JaguarError::Plan(format!(
+                    "aggregate '{name}' is only allowed at the top level of the SELECT list"
+                )))
+            }
+            Expr::Func { name, args } => {
+                let def = self.catalog.udfs().get(name)?;
+                let bound_args: Vec<BExpr> =
+                    args.iter().map(|a| self.bind(a)).collect::<Result<_>>()?;
+                if bound_args.len() != def.signature.params.len() {
+                    return Err(JaguarError::Plan(format!(
+                        "udf '{name}' expects {} arguments, got {}",
+                        def.signature.params.len(),
+                        bound_args.len()
+                    )));
+                }
+                // Static type check where derivable.
+                for (i, (a, want)) in
+                    bound_args.iter().zip(&def.signature.params).enumerate()
+                {
+                    if let Some(got) = self.type_of(a)? {
+                        if got != *want {
+                            return Err(JaguarError::Plan(format!(
+                                "udf '{name}' argument {}: expected {}, got {}",
+                                i + 1,
+                                want.sql_name(),
+                                got.sql_name()
+                            )));
+                        }
+                    }
+                }
+                let idx = self.udfs.len();
+                self.udfs.push(PlannedUdf { def });
+                BExpr::Udf {
+                    udf: idx,
+                    args: bound_args,
+                }
+            }
+        })
+    }
+
+    /// Static result type; `None` for the NULL literal.
+    fn type_of(&self, e: &BExpr) -> Result<Option<DataType>> {
+        Ok(match e {
+            BExpr::Column(i) => Some(
+                self.schema
+                    .field(*i)
+                    .expect("bound column index valid")
+                    .dtype,
+            ),
+            BExpr::Literal(v) => v.data_type(),
+            BExpr::Cmp(..) | BExpr::And(..) | BExpr::Or(..) | BExpr::Not(..) => {
+                Some(DataType::Bool)
+            }
+            BExpr::Arith { float, .. } => Some(if *float {
+                DataType::Float
+            } else {
+                DataType::Int
+            }),
+            BExpr::Neg(inner) => self.type_of(inner)?,
+            BExpr::Udf { udf, .. } => Some(self.udfs[*udf].def.signature.ret),
+        })
+    }
+
+    /// Cost rank for predicate ordering: 0 = plain column/literal work,
+    /// then UDFs by design (in-process native < sandboxed VM < isolated
+    /// process < isolated VM). The dominant term wins.
+    fn cost_rank(&self, e: &BExpr) -> u32 {
+        match e {
+            BExpr::Column(_) | BExpr::Literal(_) => 0,
+            BExpr::Cmp(_, l, r)
+            | BExpr::And(l, r)
+            | BExpr::Or(l, r)
+            | BExpr::Arith { lhs: l, rhs: r, .. } => {
+                self.cost_rank(l).max(self.cost_rank(r))
+            }
+            BExpr::Not(inner) | BExpr::Neg(inner) => self.cost_rank(inner),
+            BExpr::Udf { udf, args } => {
+                let own = match self.udfs[*udf].def.imp {
+                    UdfImpl::Native(_) => 1,
+                    UdfImpl::Vm(_) => 2,
+                    UdfImpl::IsolatedNative { .. } => 3,
+                    UdfImpl::IsolatedVm(_) => 4,
+                };
+                args.iter()
+                    .map(|a| self.cost_rank(a))
+                    .max()
+                    .unwrap_or(0)
+                    .max(own)
+            }
+        }
+    }
+}
+
+/// Pick an index-backed access path when some conjunct is a comparison
+/// between an indexed INT column and an integer literal. The first usable
+/// conjunct wins (predicates are already cost-ordered, so it is a cheap
+/// one). Conservative by construction: the conjunct is re-checked by the
+/// Filter operator.
+fn choose_access_path(table: &Table, predicates: &[BExpr]) -> AccessPath {
+    /// Extract `(op, column, literal)` from a comparison conjunct,
+    /// flipping literal-first forms (`k < col` ≡ `col > k`).
+    fn extract(p: &BExpr) -> Option<(CmpOp, usize, i64)> {
+        let BExpr::Cmp(op, l, r) = p else { return None };
+        match (&**l, &**r) {
+            (BExpr::Column(c), BExpr::Literal(Value::Int(k))) => Some((*op, *c, *k)),
+            (BExpr::Literal(Value::Int(k)), BExpr::Column(c)) => {
+                let flipped = match op {
+                    CmpOp::Lt => CmpOp::Gt,
+                    CmpOp::Le => CmpOp::Ge,
+                    CmpOp::Gt => CmpOp::Lt,
+                    CmpOp::Ge => CmpOp::Le,
+                    other => *other,
+                };
+                Some((flipped, *c, *k))
+            }
+            _ => None,
+        }
+    }
+
+    // Pick the first indexed column any conjunct mentions, then intersect
+    // every conjunct on that column into one key range.
+    let mut chosen: Option<(usize, Arc<TableIndex>)> = None;
+    for p in predicates {
+        if let Some((_, col, _)) = extract(p) {
+            if let Some(index) = table.index_on(col) {
+                chosen = Some((col, index));
+                break;
+            }
+        }
+    }
+    let Some((col, index)) = chosen else {
+        return AccessPath::FullScan;
+    };
+
+    let mut lo = i64::MIN;
+    let mut hi: Option<i64> = None; // exclusive upper bound; None = ∞
+    let tighten_hi = |hi: &mut Option<i64>, new: i64| {
+        *hi = Some(hi.map_or(new, |h| h.min(new)));
+    };
+    for p in predicates {
+        let Some((op, c, k)) = extract(p) else { continue };
+        if c != col {
+            continue;
+        }
+        match op {
+            CmpOp::Eq => {
+                lo = lo.max(k);
+                if k == i64::MAX {
+                    // [MAX, ∞) already covers exactly MAX.
+                } else {
+                    tighten_hi(&mut hi, k + 1);
+                }
+            }
+            CmpOp::Lt => tighten_hi(&mut hi, k),
+            CmpOp::Le => {
+                if k != i64::MAX {
+                    tighten_hi(&mut hi, k + 1);
+                }
+            }
+            CmpOp::Gt => {
+                if k == i64::MAX {
+                    return AccessPath::Empty;
+                }
+                lo = lo.max(k + 1);
+            }
+            CmpOp::Ge => lo = lo.max(k),
+            CmpOp::Ne => {}
+        }
+    }
+    if let Some(h) = hi {
+        if lo >= h {
+            return AccessPath::Empty;
+        }
+    }
+    AccessPath::IndexRange { index, lo, hi }
+}
+
+/// A bound DML predicate + assignments (DELETE/UPDATE).
+pub struct BoundDml {
+    pub table: Arc<Table>,
+    /// Conjunctive predicates, cost-ordered as in SELECT.
+    pub predicates: Vec<BExpr>,
+    /// For UPDATE: (column index, value expression) pairs.
+    pub assignments: Vec<(usize, BExpr)>,
+    pub udfs: Vec<PlannedUdf>,
+}
+
+/// Bind the predicate (and, for UPDATE, assignments) of a DML statement.
+pub fn bind_dml(
+    table_name: &str,
+    predicate: &Option<Expr>,
+    assignments: &[(String, Expr)],
+    catalog: &Catalog,
+) -> Result<BoundDml> {
+    let table = catalog.table(table_name)?;
+    let schema = Arc::clone(table.schema());
+    let mut binder = Binder {
+        catalog,
+        schema: &schema,
+        table_name,
+        alias: None,
+        udfs: Vec::new(),
+    };
+    let mut predicates = Vec::new();
+    if let Some(pred) = predicate {
+        let conjuncts = pred.clone().conjuncts();
+        let mut ranked: Vec<(u32, usize, BExpr)> = Vec::with_capacity(conjuncts.len());
+        for (i, c) in conjuncts.into_iter().enumerate() {
+            let bound = binder.bind(&c)?;
+            if binder.type_of(&bound)? != Some(DataType::Bool) {
+                return Err(JaguarError::Plan(format!(
+                    "WHERE conjunct {} is not a boolean predicate",
+                    i + 1
+                )));
+            }
+            let cost = binder.cost_rank(&bound);
+            ranked.push((cost, i, bound));
+        }
+        ranked.sort_by_key(|(cost, pos, _)| (*cost, *pos));
+        predicates = ranked.into_iter().map(|(_, _, e)| e).collect();
+    }
+    let mut bound_assignments = Vec::with_capacity(assignments.len());
+    for (col, expr) in assignments {
+        let idx = schema.resolve(col)?;
+        let bound = binder.bind(expr)?;
+        let want = schema.field(idx).expect("resolved").dtype;
+        if let Some(got) = binder.type_of(&bound)? {
+            if got != want {
+                return Err(JaguarError::Plan(format!(
+                    "cannot assign {} to column '{col}' of type {}",
+                    got.sql_name(),
+                    want.sql_name()
+                )));
+            }
+        }
+        bound_assignments.push((idx, bound));
+    }
+    Ok(BoundDml {
+        table,
+        predicates,
+        assignments: bound_assignments,
+        udfs: binder.udfs,
+    })
+}
+
+/// Render a human-readable plan (used by tests and the EXPLAIN-style API).
+pub fn explain(plan: &BoundSelect) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Project {} column(s)",
+        plan.projections.len()
+    );
+    if let Some(n) = plan.limit {
+        let _ = writeln!(out, "  Limit {n}");
+    }
+    if !plan.order_by.is_empty() {
+        let _ = writeln!(out, "  Sort {} key(s)", plan.order_by.len());
+    }
+    if plan.having.is_some() {
+        let _ = writeln!(out, "  Having <predicate over output>");
+    }
+    if let Some(agg) = &plan.aggregate {
+        let _ = writeln!(
+            out,
+            "  Aggregate {} group expr(s), {} aggregate(s) [{}]",
+            agg.group_exprs.len(),
+            agg.aggs.len(),
+            agg.aggs
+                .iter()
+                .map(|a| a.func.name())
+                .collect::<Vec<_>>()
+                .join(", ")
+        );
+    }
+    for (i, p) in plan.predicates.iter().enumerate() {
+        let _ = writeln!(out, "  Filter[{i}] {}", describe(p, plan));
+    }
+    match &plan.access {
+        AccessPath::FullScan => {
+            let _ = writeln!(
+                out,
+                "  SeqScan {} ({} rows)",
+                plan.table.name(),
+                plan.table.row_count()
+            );
+        }
+        AccessPath::IndexRange { index, lo, hi } => {
+            let _ = writeln!(
+                out,
+                "  IndexScan {} via {} [{}, {})",
+                plan.table.name(),
+                index.name,
+                lo,
+                hi.map(|h| h.to_string()).unwrap_or_else(|| "∞".into())
+            );
+        }
+        AccessPath::Empty => {
+            let _ = writeln!(out, "  EmptyScan (predicate unsatisfiable)");
+        }
+    }
+    out
+}
+
+fn describe(e: &BExpr, plan: &BoundSelect) -> String {
+    match e {
+        BExpr::Column(i) => plan
+            .table
+            .schema()
+            .field(*i)
+            .map(|f| f.name.clone())
+            .unwrap_or_else(|| format!("#{i}")),
+        BExpr::Literal(v) => v.to_string(),
+        BExpr::Cmp(op, l, r) => format!(
+            "({} {} {})",
+            describe(l, plan),
+            op.symbol(),
+            describe(r, plan)
+        ),
+        BExpr::And(l, r) => format!("({} AND {})", describe(l, plan), describe(r, plan)),
+        BExpr::Or(l, r) => format!("({} OR {})", describe(l, plan), describe(r, plan)),
+        BExpr::Not(i) => format!("(NOT {})", describe(i, plan)),
+        BExpr::Neg(i) => format!("(-{})", describe(i, plan)),
+        BExpr::Arith { op, lhs, rhs, .. } => format!(
+            "({} {} {})",
+            describe(lhs, plan),
+            op.symbol(),
+            describe(rhs, plan)
+        ),
+        BExpr::Udf { udf, args } => {
+            let d = &plan.udfs[*udf].def;
+            format!(
+                "{}[{}]({})",
+                d.name,
+                d.imp.design_label(),
+                args.iter()
+                    .map(|a| describe(a, plan))
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            )
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+    use jaguar_common::config::Config;
+    use jaguar_common::Tuple;
+    use jaguar_udf::{NativeUdf, UdfSignature};
+
+    fn setup() -> Catalog {
+        let cat = Catalog::in_memory(Config::default());
+        let t = cat
+            .create_table(
+                "stocks",
+                Schema::of(&[
+                    ("id", DataType::Int),
+                    ("type", DataType::Str),
+                    ("history", DataType::Bytes),
+                ]),
+            )
+            .unwrap();
+        t.insert(Tuple::new(vec![
+            Value::Int(1),
+            Value::Str("tech".into()),
+            Value::Bytes(ByteArray::zeroed(8)),
+        ]))
+        .unwrap();
+        let sig = UdfSignature::new(vec![DataType::Bytes], DataType::Int);
+        cat.udfs().register(UdfDef::new(
+            "investval",
+            sig.clone(),
+            UdfImpl::Native(NativeUdf::new("investval", sig, |_, _| Ok(Value::Int(7)))),
+        ));
+        cat
+    }
+
+    fn bind(cat: &Catalog, sql: &str) -> Result<BoundSelect> {
+        let crate::ast::Statement::Select(s) = parse(sql)? else {
+            panic!("not a select");
+        };
+        bind_select(&s, cat)
+    }
+
+    #[test]
+    fn binds_paper_intro_query() {
+        let cat = setup();
+        let plan = bind(
+            &cat,
+            "SELECT * FROM Stocks S WHERE S.type = 'tech' AND InvestVal(S.history) > 5",
+        )
+        .unwrap();
+        assert_eq!(plan.projections.len(), 3);
+        assert_eq!(plan.predicates.len(), 2);
+        assert_eq!(plan.udfs.len(), 1);
+    }
+
+    #[test]
+    fn expensive_predicate_ordered_last() {
+        let cat = setup();
+        // Written UDF-first; the optimizer must move the cheap predicate up.
+        let plan = bind(
+            &cat,
+            "SELECT id FROM stocks WHERE InvestVal(history) > 5 AND type = 'tech'",
+        )
+        .unwrap();
+        let txt = explain(&plan);
+        let cheap_pos = txt.find("(type = 'tech')").expect("cheap predicate shown");
+        let udf_pos = txt.find("investval[C++]").expect("udf predicate shown");
+        assert!(
+            cheap_pos < udf_pos,
+            "cheap predicate must precede the UDF:\n{txt}"
+        );
+    }
+
+    #[test]
+    fn unknown_names_rejected() {
+        let cat = setup();
+        assert!(bind(&cat, "SELECT nope FROM stocks").is_err());
+        assert!(bind(&cat, "SELECT id FROM nonexistent").is_err());
+        assert!(bind(&cat, "SELECT mystery(id) FROM stocks").is_err());
+        assert!(bind(&cat, "SELECT Z.id FROM stocks S").is_err());
+    }
+
+    #[test]
+    fn qualifier_matches_table_or_alias() {
+        let cat = setup();
+        assert!(bind(&cat, "SELECT stocks.id FROM stocks").is_ok());
+        assert!(bind(&cat, "SELECT S.id FROM stocks S").is_ok());
+        assert!(bind(&cat, "SELECT T.id FROM stocks S").is_err());
+    }
+
+    #[test]
+    fn udf_arity_and_types_checked() {
+        let cat = setup();
+        assert!(bind(&cat, "SELECT InvestVal() FROM stocks").is_err());
+        assert!(bind(&cat, "SELECT InvestVal(id) FROM stocks").is_err());
+        assert!(bind(&cat, "SELECT InvestVal(history) FROM stocks").is_ok());
+    }
+
+    #[test]
+    fn nonboolean_where_rejected() {
+        let cat = setup();
+        let e = match bind(&cat, "SELECT id FROM stocks WHERE id") {
+            Err(e) => e,
+            Ok(_) => panic!("non-boolean WHERE must be rejected"),
+        };
+        assert!(e.to_string().contains("not a boolean"), "{e}");
+    }
+
+    #[test]
+    fn duplicate_projection_names_are_renamed() {
+        let cat = setup();
+        let plan = bind(&cat, "SELECT id, id, id AS id FROM stocks").unwrap();
+        let names: Vec<_> = plan
+            .output_schema
+            .fields()
+            .iter()
+            .map(|f| f.name.clone())
+            .collect();
+        assert_eq!(names.len(), 3);
+        let mut unique = names.clone();
+        unique.dedup();
+        assert_eq!(unique.len(), 3, "{names:?}");
+    }
+
+    #[test]
+    fn negative_literals_fold() {
+        let cat = setup();
+        let plan = bind(&cat, "SELECT id FROM stocks WHERE id > -5").unwrap();
+        let txt = explain(&plan);
+        assert!(txt.contains("(id > -5)"), "{txt}");
+    }
+}

@@ -1,0 +1,621 @@
+//! A disk-backed B+Tree index: `i64` key → [`RecordId`].
+//!
+//! The paper situates UDF extensibility next to the older access-method
+//! extensibility line of work (§2.2 cites POSTGRES [SRH90] and Starburst
+//! [HCL+90]); a storage engine a downstream user would adopt needs at
+//! least a primary index. This one is deliberately classical:
+//!
+//! * fixed-size pages from the shared [`BufferPool`],
+//! * internal nodes hold separator keys + child page ids,
+//! * leaves hold `(key, RecordId)` entries, duplicate keys allowed, and a
+//!   right-sibling pointer for range scans,
+//! * splits propagate upward; the root splits by *moving* to a fresh page
+//!   so the root page id stays stable for the index's lifetime,
+//! * deletes remove entries without rebalancing (underfull pages are
+//!   tolerated, as in many production engines; pages never become
+//!   unreachable).
+//!
+//! Concurrency: one writer at a time (callers hold the table's write
+//! path); readers are safe against concurrent readers via the pool's
+//! page latches.
+//!
+//! ## Page layout
+//!
+//! Reuses the common 12-byte header (`page_type` = Slotted is *not* used;
+//! a dedicated `BTREE_INTERNAL` / `BTREE_LEAF` byte pair lives in the
+//! reserved type space). After the header:
+//!
+//! ```text
+//! internal: u16 n_keys | u32 right_child | n × (i64 key, u32 child)
+//! leaf:     u16 n_entries | u32 next_leaf | n × (i64 key, u32 page, u16 slot)
+//! ```
+
+use std::sync::Arc;
+
+use jaguar_common::error::{JaguarError, Result};
+use jaguar_common::ids::{PageId, RecordId};
+
+use crate::buffer::BufferPool;
+use crate::page::COMMON_HEADER;
+
+/// Page-type bytes (distinct from the `page::PageType` variants, stored in
+/// the same header slot; the heap scan skips unknown types).
+const TYPE_INTERNAL: u8 = 10;
+const TYPE_LEAF: u8 = 11;
+
+const LEAF_ENTRY: usize = 8 + 4 + 2; // key + page + slot
+const INTERNAL_ENTRY: usize = 8 + 4; // key + child
+const NODE_HEADER: usize = COMMON_HEADER + 2 + 4; // count + (next | right child)
+
+fn get_u16(b: &[u8], off: usize) -> u16 {
+    u16::from_le_bytes(b[off..off + 2].try_into().expect("2"))
+}
+fn put_u16(b: &mut [u8], off: usize, v: u16) {
+    b[off..off + 2].copy_from_slice(&v.to_le_bytes());
+}
+fn get_u32(b: &[u8], off: usize) -> u32 {
+    u32::from_le_bytes(b[off..off + 4].try_into().expect("4"))
+}
+fn put_u32(b: &mut [u8], off: usize, v: u32) {
+    b[off..off + 4].copy_from_slice(&v.to_le_bytes());
+}
+fn get_i64(b: &[u8], off: usize) -> i64 {
+    i64::from_le_bytes(b[off..off + 8].try_into().expect("8"))
+}
+fn put_i64(b: &mut [u8], off: usize, v: i64) {
+    b[off..off + 8].copy_from_slice(&v.to_le_bytes());
+}
+
+/// A B+Tree over `(i64, RecordId)` pairs.
+pub struct BTree {
+    pool: Arc<BufferPool>,
+    root: PageId,
+    leaf_cap: usize,
+    internal_cap: usize,
+}
+
+impl BTree {
+    /// Create an empty tree; returns the tree. The root page id is stable
+    /// and can be persisted via [`BTree::root`].
+    pub fn create(pool: Arc<BufferPool>) -> Result<BTree> {
+        let page_size = pool.page_size();
+        let handle = pool.allocate()?;
+        let root = handle.id();
+        {
+            let mut buf = handle.write();
+            init_node(&mut buf, TYPE_LEAF);
+        }
+        Ok(BTree {
+            pool,
+            root,
+            leaf_cap: (page_size - NODE_HEADER) / LEAF_ENTRY,
+            internal_cap: (page_size - NODE_HEADER) / INTERNAL_ENTRY,
+        })
+    }
+
+    /// Reopen a tree whose root page id was persisted.
+    pub fn open(pool: Arc<BufferPool>, root: PageId) -> Result<BTree> {
+        let page_size = pool.page_size();
+        {
+            let h = pool.fetch(root)?;
+            let b = h.read();
+            if b[4] != TYPE_LEAF && b[4] != TYPE_INTERNAL {
+                return Err(JaguarError::Corruption(format!(
+                    "{root} is not a btree node"
+                )));
+            }
+        }
+        Ok(BTree {
+            pool,
+            root,
+            leaf_cap: (page_size - NODE_HEADER) / LEAF_ENTRY,
+            internal_cap: (page_size - NODE_HEADER) / INTERNAL_ENTRY,
+        })
+    }
+
+    pub fn root(&self) -> PageId {
+        self.root
+    }
+
+    // -- lookup -----------------------------------------------------------
+
+    /// Leaf page that may contain `key`.
+    fn descend(&self, key: i64) -> Result<PageId> {
+        let mut page = self.root;
+        loop {
+            let h = self.pool.fetch(page)?;
+            let b = h.read();
+            match b[4] {
+                TYPE_LEAF => return Ok(page),
+                TYPE_INTERNAL => {
+                    let n = get_u16(&b, COMMON_HEADER) as usize;
+                    // Entries (k_i, child_i): child_i covers keys < k_i;
+                    // right_child covers the rest.
+                    let mut next = PageId(get_u32(&b, COMMON_HEADER + 2));
+                    for idx in 0..n {
+                        let off = NODE_HEADER + idx * INTERNAL_ENTRY;
+                        // `<=`: duplicates equal to a separator can live in
+                        // the left subtree; the leaf chain covers the rest.
+                        if key <= get_i64(&b, off) {
+                            next = PageId(get_u32(&b, off + 8));
+                            break;
+                        }
+                    }
+                    page = next;
+                }
+                other => {
+                    return Err(JaguarError::Corruption(format!(
+                        "bad btree node type {other}"
+                    )))
+                }
+            }
+        }
+    }
+
+    /// All record ids for `key` (duplicates allowed).
+    pub fn lookup(&self, key: i64) -> Result<Vec<RecordId>> {
+        if key == i64::MAX {
+            self.range(key, None)
+        } else {
+            self.range(key, Some(key + 1))
+        }
+    }
+
+    /// Record ids for keys in `[lo, hi)` (`hi = None` = unbounded), in
+    /// key order.
+    pub fn range(&self, lo: i64, hi: Option<i64>) -> Result<Vec<RecordId>> {
+        let mut out = Vec::new();
+        let mut page = self.descend(lo)?;
+        loop {
+            let h = self.pool.fetch(page)?;
+            let b = h.read();
+            let n = get_u16(&b, COMMON_HEADER) as usize;
+            for idx in 0..n {
+                let off = NODE_HEADER + idx * LEAF_ENTRY;
+                let k = get_i64(&b, off);
+                if k < lo {
+                    continue;
+                }
+                if let Some(h) = hi {
+                    if k >= h {
+                        return Ok(out);
+                    }
+                }
+                out.push(RecordId::new(
+                    PageId(get_u32(&b, off + 8)),
+                    get_u16(&b, off + 12),
+                ));
+            }
+            let next = PageId(get_u32(&b, COMMON_HEADER + 2));
+            if !next.is_valid() {
+                return Ok(out);
+            }
+            page = next;
+        }
+    }
+
+    /// Total number of entries (full leaf walk; used by tests/stats).
+    pub fn len(&self) -> Result<usize> {
+        Ok(self.range(i64::MIN, None)?.len())
+    }
+
+    pub fn is_empty(&self) -> Result<bool> {
+        Ok(self.len()? == 0)
+    }
+
+    // -- insert -----------------------------------------------------------
+
+    /// Insert a `(key, rid)` pair. Duplicate keys are fine.
+    pub fn insert(&self, key: i64, rid: RecordId) -> Result<()> {
+        if let Some((sep, right)) = self.insert_rec(self.root, key, rid)? {
+            // Root split: move the old root's content to a fresh page and
+            // rebuild the root in place as an internal node, so `self.root`
+            // never changes.
+            let moved = {
+                let old = self.pool.fetch(self.root)?;
+                let content = old.read().clone();
+                let new_page = self.pool.allocate()?;
+                {
+                    let mut nb = new_page.write();
+                    nb.copy_from_slice(&content);
+                }
+                new_page.id()
+            };
+            // `right` was produced as the split sibling of the (moved) old
+            // root; `sep` separates them.
+            let rh = self.pool.fetch(self.root)?;
+            let mut b = rh.write();
+            init_node(&mut b, TYPE_INTERNAL);
+            put_u16(&mut b, COMMON_HEADER, 1);
+            put_u32(&mut b, COMMON_HEADER + 2, right.0); // right child: keys >= sep
+            let off = NODE_HEADER;
+            put_i64(&mut b, off, sep);
+            put_u32(&mut b, off + 8, moved.0); // keys < sep
+        }
+        Ok(())
+    }
+
+    /// Returns `Some((separator, new_right_page))` if `page` split.
+    fn insert_rec(&self, page: PageId, key: i64, rid: RecordId) -> Result<Option<(i64, PageId)>> {
+        let node_type = {
+            let h = self.pool.fetch(page)?;
+            let b = h.read();
+            b[4]
+        };
+        match node_type {
+            TYPE_LEAF => self.leaf_insert(page, key, rid),
+            TYPE_INTERNAL => {
+                // Find the child to descend into.
+                let (child, child_pos) = {
+                    let h = self.pool.fetch(page)?;
+                    let b = h.read();
+                    let n = get_u16(&b, COMMON_HEADER) as usize;
+                    let mut child = PageId(get_u32(&b, COMMON_HEADER + 2));
+                    let mut pos = n;
+                    for idx in 0..n {
+                        let off = NODE_HEADER + idx * INTERNAL_ENTRY;
+                        // Keep in lockstep with `descend` (`<=`).
+                        if key <= get_i64(&b, off) {
+                            child = PageId(get_u32(&b, off + 8));
+                            pos = idx;
+                            break;
+                        }
+                    }
+                    (child, pos)
+                };
+                let Some((sep, right)) = self.insert_rec(child, key, rid)? else {
+                    return Ok(None);
+                };
+                // Insert (sep → right goes AFTER sep boundary): new entry
+                // (sep, child) at child_pos and point the displaced slot at
+                // `right`.
+                self.internal_insert(page, child_pos, sep, child, right)
+            }
+            other => Err(JaguarError::Corruption(format!(
+                "bad btree node type {other}"
+            ))),
+        }
+    }
+
+    fn leaf_insert(&self, page: PageId, key: i64, rid: RecordId) -> Result<Option<(i64, PageId)>> {
+        let h = self.pool.fetch(page)?;
+        let mut b = h.write();
+        let n = get_u16(&b, COMMON_HEADER) as usize;
+
+        // Position to keep keys sorted (duplicates append after equals).
+        let mut pos = n;
+        for idx in 0..n {
+            if key < get_i64(&b, NODE_HEADER + idx * LEAF_ENTRY) {
+                pos = idx;
+                break;
+            }
+        }
+
+        if n < self.leaf_cap {
+            shift_right(&mut b, NODE_HEADER, pos, n, LEAF_ENTRY);
+            write_leaf_entry(&mut b, pos, key, rid);
+            put_u16(&mut b, COMMON_HEADER, (n + 1) as u16);
+            return Ok(None);
+        }
+
+        // Split: left keeps the first half, right takes the rest.
+        let mid = n / 2;
+        let mut entries: Vec<(i64, RecordId)> = (0..n)
+            .map(|idx| {
+                let off = NODE_HEADER + idx * LEAF_ENTRY;
+                (
+                    get_i64(&b, off),
+                    RecordId::new(PageId(get_u32(&b, off + 8)), get_u16(&b, off + 12)),
+                )
+            })
+            .collect();
+        entries.insert(pos, (key, rid));
+        let right_entries = entries.split_off(mid + 1);
+        let old_next = get_u32(&b, COMMON_HEADER + 2);
+
+        let right_handle = self.pool.allocate()?;
+        let right_id = right_handle.id();
+        {
+            let mut rb = right_handle.write();
+            init_node(&mut rb, TYPE_LEAF);
+            put_u16(&mut rb, COMMON_HEADER, right_entries.len() as u16);
+            put_u32(&mut rb, COMMON_HEADER + 2, old_next);
+            for (idx, (k, r)) in right_entries.iter().enumerate() {
+                write_leaf_entry(&mut rb, idx, *k, *r);
+            }
+        }
+
+        put_u16(&mut b, COMMON_HEADER, entries.len() as u16);
+        put_u32(&mut b, COMMON_HEADER + 2, right_id.0);
+        for (idx, (k, r)) in entries.iter().enumerate() {
+            write_leaf_entry(&mut b, idx, *k, *r);
+        }
+        let sep = right_entries[0].0;
+        Ok(Some((sep, right_id)))
+    }
+
+    /// Insert `(sep, left_child)` at `pos`, re-pointing the slot that
+    /// previously covered this range at `right_child`. Splits if full.
+    fn internal_insert(
+        &self,
+        page: PageId,
+        pos: usize,
+        sep: i64,
+        left_child: PageId,
+        right_child: PageId,
+    ) -> Result<Option<(i64, PageId)>> {
+        let h = self.pool.fetch(page)?;
+        let mut b = h.write();
+        let n = get_u16(&b, COMMON_HEADER) as usize;
+
+        // Collect entries as (key, child) + right_child tail.
+        let mut keys: Vec<i64> = Vec::with_capacity(n + 1);
+        let mut children: Vec<PageId> = Vec::with_capacity(n + 2);
+        for idx in 0..n {
+            let off = NODE_HEADER + idx * INTERNAL_ENTRY;
+            keys.push(get_i64(&b, off));
+            children.push(PageId(get_u32(&b, off + 8)));
+        }
+        children.push(PageId(get_u32(&b, COMMON_HEADER + 2)));
+
+        // Child at `pos` split into left_child (< sep) and right_child.
+        keys.insert(pos, sep);
+        children[pos] = left_child;
+        children.insert(pos + 1, right_child);
+
+        if keys.len() <= self.internal_cap {
+            write_internal(&mut b, &keys, &children);
+            return Ok(None);
+        }
+
+        // Split the internal node; the middle key moves up.
+        let mid = keys.len() / 2;
+        let up = keys[mid];
+        let right_keys: Vec<i64> = keys[mid + 1..].to_vec();
+        let right_children: Vec<PageId> = children[mid + 1..].to_vec();
+        let left_keys: Vec<i64> = keys[..mid].to_vec();
+        let left_children: Vec<PageId> = children[..mid + 1].to_vec();
+
+        let right_handle = self.pool.allocate()?;
+        let right_id = right_handle.id();
+        {
+            let mut rb = right_handle.write();
+            init_node(&mut rb, TYPE_INTERNAL);
+            write_internal(&mut rb, &right_keys, &right_children);
+        }
+        write_internal(&mut b, &left_keys, &left_children);
+        Ok(Some((up, right_id)))
+    }
+
+    // -- delete -----------------------------------------------------------
+
+    /// Remove one `(key, rid)` entry. Returns whether it was present.
+    /// Leaves may become underfull; no rebalancing (see module docs).
+    pub fn delete(&self, key: i64, rid: RecordId) -> Result<bool> {
+        let page = self.descend(key)?;
+        // The entry may sit in a following leaf when duplicates span pages.
+        let mut cur = page;
+        loop {
+            let h = self.pool.fetch(cur)?;
+            let mut b = h.write();
+            let n = get_u16(&b, COMMON_HEADER) as usize;
+            let mut past_key = false;
+            for idx in 0..n {
+                let off = NODE_HEADER + idx * LEAF_ENTRY;
+                let k = get_i64(&b, off);
+                if k > key {
+                    past_key = true;
+                    break;
+                }
+                if k == key
+                    && get_u32(&b, off + 8) == rid.page.0
+                    && get_u16(&b, off + 12) == rid.slot
+                {
+                    shift_left(&mut b, NODE_HEADER, idx, n, LEAF_ENTRY);
+                    put_u16(&mut b, COMMON_HEADER, (n - 1) as u16);
+                    return Ok(true);
+                }
+            }
+            if past_key {
+                return Ok(false);
+            }
+            let next = PageId(get_u32(&b, COMMON_HEADER + 2));
+            if !next.is_valid() {
+                return Ok(false);
+            }
+            cur = next;
+        }
+    }
+}
+
+fn init_node(buf: &mut [u8], node_type: u8) {
+    buf[4..].fill(0);
+    buf[4] = node_type;
+    put_u16(buf, COMMON_HEADER, 0);
+    put_u32(buf, COMMON_HEADER + 2, PageId::INVALID.0);
+}
+
+fn write_leaf_entry(buf: &mut [u8], idx: usize, key: i64, rid: RecordId) {
+    let off = NODE_HEADER + idx * LEAF_ENTRY;
+    put_i64(buf, off, key);
+    put_u32(buf, off + 8, rid.page.0);
+    put_u16(buf, off + 12, rid.slot);
+}
+
+fn write_internal(buf: &mut [u8], keys: &[i64], children: &[PageId]) {
+    debug_assert_eq!(children.len(), keys.len() + 1);
+    put_u16(buf, COMMON_HEADER, keys.len() as u16);
+    put_u32(buf, COMMON_HEADER + 2, children[keys.len()].0);
+    for (idx, k) in keys.iter().enumerate() {
+        let off = NODE_HEADER + idx * INTERNAL_ENTRY;
+        put_i64(buf, off, *k);
+        put_u32(buf, off + 8, children[idx].0);
+    }
+}
+
+fn shift_right(buf: &mut [u8], base: usize, pos: usize, n: usize, entry: usize) {
+    let src = base + pos * entry;
+    let end = base + n * entry;
+    buf.copy_within(src..end, src + entry);
+}
+
+fn shift_left(buf: &mut [u8], base: usize, pos: usize, n: usize, entry: usize) {
+    let src = base + (pos + 1) * entry;
+    let end = base + n * entry;
+    buf.copy_within(src..end, src - entry);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::disk::DiskManager;
+
+    fn tree(page_size: usize) -> BTree {
+        let disk = Arc::new(DiskManager::in_memory(page_size));
+        let pool = Arc::new(BufferPool::new(disk, 256));
+        BTree::create(pool).unwrap()
+    }
+
+    fn rid(n: u32) -> RecordId {
+        RecordId::new(PageId(n), (n % 7) as u16)
+    }
+
+    #[test]
+    fn insert_lookup_small() {
+        let t = tree(256);
+        for k in [5i64, 1, 9, 3, 7] {
+            t.insert(k, rid(k as u32)).unwrap();
+        }
+        assert_eq!(t.lookup(3).unwrap(), vec![rid(3)]);
+        assert_eq!(t.lookup(9).unwrap(), vec![rid(9)]);
+        assert!(t.lookup(4).unwrap().is_empty());
+        assert_eq!(t.len().unwrap(), 5);
+    }
+
+    #[test]
+    fn many_inserts_split_and_stay_sorted() {
+        let t = tree(256); // tiny pages force frequent splits
+        let mut keys: Vec<i64> = (0..2000).map(|i| (i * 37) % 1999).collect();
+        for &k in &keys {
+            t.insert(k, rid(k as u32)).unwrap();
+        }
+        keys.sort_unstable();
+        let all = t.range(i64::MIN, None).unwrap();
+        assert_eq!(all.len(), keys.len());
+        // Spot-check point lookups across the range.
+        for &k in keys.iter().step_by(97) {
+            assert!(t.lookup(k).unwrap().contains(&rid(k as u32)), "key {k}");
+        }
+    }
+
+    #[test]
+    fn duplicates_supported() {
+        let t = tree(256);
+        for i in 0..50u32 {
+            t.insert(42, rid(i)).unwrap();
+            t.insert(7, rid(1000 + i)).unwrap();
+        }
+        assert_eq!(t.lookup(42).unwrap().len(), 50);
+        assert_eq!(t.lookup(7).unwrap().len(), 50);
+        assert_eq!(t.len().unwrap(), 100);
+    }
+
+    #[test]
+    fn range_scans() {
+        let t = tree(256);
+        for k in 0..500i64 {
+            t.insert(k, rid(k as u32)).unwrap();
+        }
+        let r = t.range(100, Some(110)).unwrap();
+        assert_eq!(r.len(), 10);
+        assert_eq!(r[0], rid(100));
+        assert_eq!(r[9], rid(109));
+        assert_eq!(t.range(490, None).unwrap().len(), 10);
+        assert!(t.range(1000, None).unwrap().is_empty());
+        assert_eq!(t.range(i64::MIN, Some(0)).unwrap().len(), 0);
+    }
+
+    #[test]
+    fn negative_and_extreme_keys() {
+        let t = tree(256);
+        for k in [i64::MIN, -5, 0, 5, i64::MAX] {
+            t.insert(k, rid(1)).unwrap();
+        }
+        assert_eq!(t.lookup(i64::MIN).unwrap().len(), 1);
+        assert_eq!(t.lookup(i64::MAX).unwrap().len(), 1);
+        assert_eq!(t.range(-5, Some(6)).unwrap().len(), 3);
+    }
+
+    #[test]
+    fn delete_entries() {
+        let t = tree(256);
+        for k in 0..300i64 {
+            t.insert(k, rid(k as u32)).unwrap();
+        }
+        for k in (0..300i64).step_by(2) {
+            assert!(t.delete(k, rid(k as u32)).unwrap(), "key {k}");
+        }
+        assert_eq!(t.len().unwrap(), 150);
+        assert!(t.lookup(10).unwrap().is_empty());
+        assert_eq!(t.lookup(11).unwrap(), vec![rid(11)]);
+        // Deleting a missing entry reports false.
+        assert!(!t.delete(10, rid(10)).unwrap());
+        assert!(!t.delete(9999, rid(1)).unwrap());
+        // Re-insert into underfull leaves works.
+        t.insert(10, rid(10)).unwrap();
+        assert_eq!(t.lookup(10).unwrap(), vec![rid(10)]);
+    }
+
+    #[test]
+    fn delete_duplicate_spanning_pages() {
+        let t = tree(256);
+        for i in 0..200u32 {
+            t.insert(5, rid(i)).unwrap();
+        }
+        // Delete one specific rid buried among duplicates.
+        assert!(t.delete(5, rid(137)).unwrap());
+        assert_eq!(t.lookup(5).unwrap().len(), 199);
+        assert!(!t.lookup(5).unwrap().contains(&rid(137)));
+    }
+
+    #[test]
+    fn root_page_id_is_stable_across_splits() {
+        let t = tree(256);
+        let root = t.root();
+        for k in 0..5000i64 {
+            t.insert(k, rid(k as u32)).unwrap();
+        }
+        assert_eq!(t.root(), root, "root must not move");
+        assert_eq!(t.len().unwrap(), 5000);
+    }
+
+    #[test]
+    fn reopen_from_root() {
+        let disk = Arc::new(DiskManager::in_memory(256));
+        let pool = Arc::new(BufferPool::new(Arc::clone(&disk), 64));
+        let root = {
+            let t = BTree::create(Arc::clone(&pool)).unwrap();
+            for k in 0..100i64 {
+                t.insert(k, rid(k as u32)).unwrap();
+            }
+            t.root()
+        };
+        let t = BTree::open(pool, root).unwrap();
+        assert_eq!(t.len().unwrap(), 100);
+        assert_eq!(t.lookup(55).unwrap(), vec![rid(55)]);
+    }
+
+    #[test]
+    fn open_rejects_non_btree_page() {
+        let disk = Arc::new(DiskManager::in_memory(256));
+        let pool = Arc::new(BufferPool::new(disk, 8));
+        let h = pool.allocate().unwrap();
+        {
+            let mut b = h.write();
+            crate::page::SlottedPage::init(&mut b);
+        }
+        let id = h.id();
+        drop(h);
+        assert!(BTree::open(pool, id).is_err());
+    }
+}

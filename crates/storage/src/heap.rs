@@ -1,0 +1,532 @@
+//! Heap files: unordered collections of variable-length records.
+//!
+//! A heap file occupies one [`DiskManager`] file through a shared
+//! [`BufferPool`]:
+//!
+//! * **page 0** is the file header (magic + free-list head),
+//! * records small enough to inline live on slotted pages,
+//! * larger records (e.g. the paper's 10,000-byte `ByteArray` tuples, which
+//!   exceed one 8 KiB page) spill into a chain of overflow pages, with a
+//!   9-byte stub left in the slot,
+//! * deleted overflow pages go onto an intra-file free list and are reused
+//!   by later allocations.
+//!
+//! The scan iterator visits record pages in file order and resolves stubs
+//! transparently, so the executor above sees a stream of full records.
+
+use std::sync::Arc;
+
+use jaguar_common::error::{JaguarError, Result};
+use jaguar_common::ids::{PageId, RecordId};
+use parking_lot::Mutex;
+
+use crate::buffer::BufferPool;
+use crate::page::{
+    init_overflow, overflow_capacity, page_type, read_overflow, set_page_type, PageType,
+    SlottedPage, COMMON_HEADER, SLOT_SIZE,
+};
+
+const MAGIC: u32 = 0x4A47_4846; // "JGHF"
+const KIND_INLINE: u8 = 0;
+const KIND_SPILLED: u8 = 1;
+/// Size of a spilled-record stub: kind + total_len (u32) + first page (u32).
+const STUB_LEN: usize = 9;
+
+/// An unordered record file with overflow support and a page free list.
+pub struct HeapFile {
+    pool: Arc<BufferPool>,
+    /// Page the last successful insert landed on; tried first next time.
+    insert_hint: Mutex<PageId>,
+    /// Serialises free-list manipulation (the list head lives on page 0).
+    alloc_lock: Mutex<()>,
+}
+
+impl HeapFile {
+    /// Create a new heap file on an empty disk manager.
+    pub fn create(pool: Arc<BufferPool>) -> Result<HeapFile> {
+        if pool.disk().page_count() != 0 {
+            return Err(JaguarError::Storage(
+                "HeapFile::create requires an empty file".into(),
+            ));
+        }
+        let header = pool.allocate()?;
+        {
+            let mut buf = header.write();
+            set_page_type(&mut buf, PageType::FileHeader);
+            buf[COMMON_HEADER..COMMON_HEADER + 4].copy_from_slice(&MAGIC.to_le_bytes());
+            buf[COMMON_HEADER + 4..COMMON_HEADER + 8]
+                .copy_from_slice(&PageId::INVALID.0.to_le_bytes());
+        }
+        drop(header);
+        Ok(HeapFile {
+            pool,
+            insert_hint: Mutex::new(PageId::INVALID),
+            alloc_lock: Mutex::new(()),
+        })
+    }
+
+    /// Open an existing heap file, validating the header page.
+    pub fn open(pool: Arc<BufferPool>) -> Result<HeapFile> {
+        if pool.disk().page_count() == 0 {
+            return Err(JaguarError::Storage("file is empty; use create()".into()));
+        }
+        let header = pool.fetch(PageId(0))?;
+        {
+            let buf = header.read();
+            if page_type(&buf)? != PageType::FileHeader {
+                return Err(JaguarError::Corruption("page 0 is not a file header".into()));
+            }
+            let magic = u32::from_le_bytes(
+                buf[COMMON_HEADER..COMMON_HEADER + 4].try_into().expect("4"),
+            );
+            if magic != MAGIC {
+                return Err(JaguarError::Corruption(format!(
+                    "bad heap file magic {magic:#x}"
+                )));
+            }
+        }
+        Ok(HeapFile {
+            pool,
+            insert_hint: Mutex::new(PageId::INVALID),
+            alloc_lock: Mutex::new(()),
+        })
+    }
+
+    pub fn pool(&self) -> &Arc<BufferPool> {
+        &self.pool
+    }
+
+    fn page_size(&self) -> usize {
+        self.pool.page_size()
+    }
+
+    /// Largest record payload that can be stored inline on a slotted page.
+    pub fn max_inline(&self) -> usize {
+        self.page_size() - COMMON_HEADER - SLOT_SIZE - 1
+    }
+
+    // -- free-list-aware page allocation ---------------------------------
+
+    fn free_list_head(&self) -> Result<PageId> {
+        let header = self.pool.fetch(PageId(0))?;
+        let buf = header.read();
+        Ok(PageId(u32::from_le_bytes(
+            buf[COMMON_HEADER + 4..COMMON_HEADER + 8]
+                .try_into()
+                .expect("4"),
+        )))
+    }
+
+    fn set_free_list_head(&self, head: PageId) -> Result<()> {
+        let header = self.pool.fetch(PageId(0))?;
+        let mut buf = header.write();
+        buf[COMMON_HEADER + 4..COMMON_HEADER + 8].copy_from_slice(&head.0.to_le_bytes());
+        Ok(())
+    }
+
+    /// Pop a page from the free list or allocate a fresh one.
+    fn acquire_page(&self) -> Result<PageId> {
+        let _g = self.alloc_lock.lock();
+        let head = self.free_list_head()?;
+        if head.is_valid() {
+            let next = {
+                let h = self.pool.fetch(head)?;
+                let buf = h.read();
+                PageId(u32::from_le_bytes(
+                    buf[COMMON_HEADER..COMMON_HEADER + 4].try_into().expect("4"),
+                ))
+            };
+            self.set_free_list_head(next)?;
+            Ok(head)
+        } else {
+            self.pool.disk().allocate_page()
+        }
+    }
+
+    /// Push a page onto the free list.
+    fn release_page(&self, page: PageId) -> Result<()> {
+        let _g = self.alloc_lock.lock();
+        let head = self.free_list_head()?;
+        {
+            let h = self.pool.fetch(page)?;
+            let mut buf = h.write();
+            buf[4..].fill(0);
+            set_page_type(&mut buf, PageType::Free);
+            buf[COMMON_HEADER..COMMON_HEADER + 4].copy_from_slice(&head.0.to_le_bytes());
+        }
+        self.set_free_list_head(page)
+    }
+
+    // -- record operations ------------------------------------------------
+
+    /// Insert a record, spilling to overflow pages when necessary.
+    pub fn insert(&self, record: &[u8]) -> Result<RecordId> {
+        if record.len() <= self.max_inline() {
+            let mut framed = Vec::with_capacity(record.len() + 1);
+            framed.push(KIND_INLINE);
+            framed.extend_from_slice(record);
+            self.insert_framed(&framed)
+        } else {
+            let first = self.write_overflow_chain(record)?;
+            let mut stub = Vec::with_capacity(STUB_LEN);
+            stub.push(KIND_SPILLED);
+            stub.extend_from_slice(&(record.len() as u32).to_le_bytes());
+            stub.extend_from_slice(&first.0.to_le_bytes());
+            self.insert_framed(&stub)
+        }
+    }
+
+    /// Place an already-framed record onto some slotted page.
+    fn insert_framed(&self, framed: &[u8]) -> Result<RecordId> {
+        // Fast path: the hinted page.
+        let hint = *self.insert_hint.lock();
+        if hint.is_valid() {
+            if let Some(rid) = self.try_insert_on(hint, framed)? {
+                return Ok(rid);
+            }
+        }
+        // Slow path: fresh slotted page.
+        let page = self.acquire_page()?;
+        let handle = self.pool.fetch(page)?;
+        let slot = {
+            let mut buf = handle.write();
+            let mut sp = SlottedPage::init(&mut buf);
+            sp.insert(framed).ok_or_else(|| {
+                JaguarError::Storage(format!(
+                    "record of {} bytes does not fit an empty page",
+                    framed.len()
+                ))
+            })?
+        };
+        *self.insert_hint.lock() = page;
+        Ok(RecordId::new(page, slot))
+    }
+
+    fn try_insert_on(&self, page: PageId, framed: &[u8]) -> Result<Option<RecordId>> {
+        let handle = self.pool.fetch(page)?;
+        let mut buf = handle.write();
+        if buf[4] != PageType::Slotted as u8 {
+            return Ok(None);
+        }
+        let mut sp = SlottedPage::open(&mut buf)?;
+        Ok(sp.insert(framed).map(|slot| RecordId::new(page, slot)))
+    }
+
+    fn write_overflow_chain(&self, record: &[u8]) -> Result<PageId> {
+        let cap = overflow_capacity(self.page_size());
+        // Build back-to-front so each page can point at the next.
+        let mut next = PageId::INVALID;
+        let chunks: Vec<&[u8]> = record.chunks(cap).collect();
+        for chunk in chunks.iter().rev() {
+            let page = self.acquire_page()?;
+            let handle = self.pool.fetch(page)?;
+            {
+                let mut buf = handle.write();
+                init_overflow(&mut buf, chunk, next);
+            }
+            next = page;
+        }
+        Ok(next)
+    }
+
+    fn read_overflow_chain(&self, first: PageId, total_len: usize) -> Result<Vec<u8>> {
+        let mut out = Vec::with_capacity(total_len);
+        let mut page = first;
+        while page.is_valid() {
+            let handle = self.pool.fetch(page)?;
+            let buf = handle.read();
+            let (chunk, next) = read_overflow(&buf)?;
+            out.extend_from_slice(chunk);
+            if out.len() > total_len {
+                return Err(JaguarError::Corruption(
+                    "overflow chain longer than declared record".into(),
+                ));
+            }
+            page = next;
+        }
+        if out.len() != total_len {
+            return Err(JaguarError::Corruption(format!(
+                "overflow chain yielded {} bytes, stub declared {total_len}",
+                out.len()
+            )));
+        }
+        Ok(out)
+    }
+
+    fn decode_framed(&self, framed: &[u8]) -> Result<Vec<u8>> {
+        match framed.first() {
+            Some(&KIND_INLINE) => Ok(framed[1..].to_vec()),
+            Some(&KIND_SPILLED) => {
+                if framed.len() != STUB_LEN {
+                    return Err(JaguarError::Corruption("malformed spill stub".into()));
+                }
+                let total = u32::from_le_bytes(framed[1..5].try_into().expect("4")) as usize;
+                let first = PageId(u32::from_le_bytes(framed[5..9].try_into().expect("4")));
+                self.read_overflow_chain(first, total)
+            }
+            _ => Err(JaguarError::Corruption("empty record frame".into())),
+        }
+    }
+
+    /// Fetch a record by id (resolving overflow chains).
+    pub fn get(&self, rid: RecordId) -> Result<Vec<u8>> {
+        let handle = self.pool.fetch(rid.page)?;
+        let mut buf = handle.write(); // SlottedPage wants &mut; content unchanged
+        let sp = SlottedPage::open(&mut buf)?;
+        let framed = sp.get(rid.slot)?.to_vec();
+        drop(buf);
+        drop(handle);
+        self.decode_framed(&framed)
+    }
+
+    /// Delete a record, releasing any overflow pages to the free list.
+    pub fn delete(&self, rid: RecordId) -> Result<()> {
+        let framed = {
+            let handle = self.pool.fetch(rid.page)?;
+            let mut buf = handle.write();
+            let mut sp = SlottedPage::open(&mut buf)?;
+            let framed = sp.get(rid.slot)?.to_vec();
+            sp.delete(rid.slot)?;
+            framed
+        };
+        if framed.first() == Some(&KIND_SPILLED) && framed.len() == STUB_LEN {
+            let mut page = PageId(u32::from_le_bytes(framed[5..9].try_into().expect("4")));
+            while page.is_valid() {
+                let next = {
+                    let handle = self.pool.fetch(page)?;
+                    let buf = handle.read();
+                    let (_, next) = read_overflow(&buf)?;
+                    next
+                };
+                self.release_page(page)?;
+                page = next;
+            }
+        }
+        Ok(())
+    }
+
+    /// Number of pages currently in the underlying file.
+    pub fn file_pages(&self) -> u32 {
+        self.pool.disk().page_count()
+    }
+
+    /// Iterate over every live record in file order.
+    pub fn scan(self: &Arc<Self>) -> HeapScan {
+        HeapScan {
+            heap: Arc::clone(self),
+            page: PageId(1), // page 0 is the file header
+            slot: 0,
+            done: false,
+        }
+    }
+}
+
+/// Forward iterator over all records of a [`HeapFile`].
+pub struct HeapScan {
+    heap: Arc<HeapFile>,
+    page: PageId,
+    slot: u16,
+    done: bool,
+}
+
+impl HeapScan {
+    fn next_record(&mut self) -> Result<Option<(RecordId, Vec<u8>)>> {
+        loop {
+            if self.done || self.page.0 >= self.heap.pool.disk().page_count() {
+                self.done = true;
+                return Ok(None);
+            }
+            let handle = self.heap.pool.fetch(self.page)?;
+            let mut buf = handle.write();
+            // Skip anything that is not a record page — including page
+            // types this module does not know about (index pages share
+            // the file).
+            if buf[4] != PageType::Slotted as u8 {
+                drop(buf);
+                self.page = PageId(self.page.0 + 1);
+                self.slot = 0;
+                continue;
+            }
+            let sp = SlottedPage::open(&mut buf)?;
+            while self.slot < sp.slot_count() {
+                let slot = self.slot;
+                self.slot += 1;
+                if sp.is_live(slot) {
+                    let framed = sp.get(slot)?.to_vec();
+                    let rid = RecordId::new(self.page, slot);
+                    drop(buf);
+                    let record = self.heap.decode_framed(&framed)?;
+                    return Ok(Some((rid, record)));
+                }
+            }
+            drop(buf);
+            self.page = PageId(self.page.0 + 1);
+            self.slot = 0;
+        }
+    }
+}
+
+impl Iterator for HeapScan {
+    type Item = Result<(RecordId, Vec<u8>)>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        match self.next_record() {
+            Ok(Some(item)) => Some(Ok(item)),
+            Ok(None) => None,
+            Err(e) => {
+                self.done = true;
+                Some(Err(e))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::disk::DiskManager;
+
+    fn heap(page_size: usize, frames: usize) -> Arc<HeapFile> {
+        let disk = Arc::new(DiskManager::in_memory(page_size));
+        let pool = Arc::new(BufferPool::new(disk, frames));
+        Arc::new(HeapFile::create(pool).unwrap())
+    }
+
+    #[test]
+    fn insert_get_small_records() {
+        let h = heap(512, 16);
+        let a = h.insert(b"alpha").unwrap();
+        let b = h.insert(b"beta").unwrap();
+        assert_eq!(h.get(a).unwrap(), b"alpha");
+        assert_eq!(h.get(b).unwrap(), b"beta");
+    }
+
+    #[test]
+    fn spill_roundtrip() {
+        let h = heap(512, 64);
+        // 10 KB record on 512-byte pages → ~21 overflow pages.
+        let big: Vec<u8> = (0..10_000).map(|i| (i % 251) as u8).collect();
+        let rid = h.insert(&big).unwrap();
+        assert_eq!(h.get(rid).unwrap(), big);
+        assert!(h.file_pages() > 20);
+    }
+
+    #[test]
+    fn spill_exact_page_multiple() {
+        let h = heap(512, 64);
+        let cap = overflow_capacity(512);
+        let big = vec![9u8; cap * 3]; // exactly three chunks
+        let rid = h.insert(&big).unwrap();
+        assert_eq!(h.get(rid).unwrap(), big);
+    }
+
+    #[test]
+    fn boundary_between_inline_and_spill() {
+        let h = heap(512, 64);
+        let max = h.max_inline();
+        let inline = vec![1u8; max];
+        let spill = vec![2u8; max + 1];
+        let r1 = h.insert(&inline).unwrap();
+        let r2 = h.insert(&spill).unwrap();
+        assert_eq!(h.get(r1).unwrap(), inline);
+        assert_eq!(h.get(r2).unwrap(), spill);
+    }
+
+    #[test]
+    fn scan_sees_all_records_in_order_of_insert_pages() {
+        let h = heap(512, 64);
+        let mut rids = Vec::new();
+        for i in 0..100u32 {
+            rids.push(h.insert(format!("record-{i}").as_bytes()).unwrap());
+        }
+        let scanned: Vec<_> = h.scan().collect::<Result<Vec<_>>>().unwrap();
+        assert_eq!(scanned.len(), 100);
+        // Every inserted rid appears exactly once.
+        let mut seen: Vec<_> = scanned.iter().map(|(rid, _)| *rid).collect();
+        seen.sort();
+        let mut expect = rids.clone();
+        expect.sort();
+        assert_eq!(seen, expect);
+    }
+
+    #[test]
+    fn scan_resolves_spilled_records() {
+        let h = heap(512, 64);
+        h.insert(b"small").unwrap();
+        let big = vec![3u8; 2000];
+        h.insert(&big).unwrap();
+        h.insert(b"small2").unwrap();
+        let recs: Vec<_> = h.scan().map(|r| r.unwrap().1).collect();
+        assert_eq!(recs.len(), 3);
+        assert!(recs.iter().any(|r| r == &big));
+        assert!(recs.iter().any(|r| r == b"small"));
+    }
+
+    #[test]
+    fn delete_hides_from_scan_and_get() {
+        let h = heap(512, 16);
+        let a = h.insert(b"keep").unwrap();
+        let b = h.insert(b"drop").unwrap();
+        h.delete(b).unwrap();
+        assert!(h.get(b).is_err());
+        assert_eq!(h.get(a).unwrap(), b"keep");
+        let recs: Vec<_> = h.scan().map(|r| r.unwrap().1).collect();
+        assert_eq!(recs, vec![b"keep".to_vec()]);
+    }
+
+    #[test]
+    fn deleting_spilled_record_recycles_pages() {
+        let h = heap(512, 64);
+        let big = vec![4u8; 3000];
+        let rid = h.insert(&big).unwrap();
+        let pages_after_insert = h.file_pages();
+        h.delete(rid).unwrap();
+        // Re-inserting the same record should reuse freed pages rather than
+        // growing the file.
+        let rid2 = h.insert(&big).unwrap();
+        assert_eq!(h.file_pages(), pages_after_insert);
+        assert_eq!(h.get(rid2).unwrap(), big);
+    }
+
+    #[test]
+    fn reopen_preserves_records() {
+        let disk = Arc::new(DiskManager::in_memory(512));
+        let pool = Arc::new(BufferPool::new(Arc::clone(&disk), 16));
+        let rid = {
+            let h = Arc::new(HeapFile::create(Arc::clone(&pool)).unwrap());
+            let rid = h.insert(b"persistent").unwrap();
+            h.pool().flush_all().unwrap();
+            rid
+        };
+        let h2 = Arc::new(HeapFile::open(pool).unwrap());
+        assert_eq!(h2.get(rid).unwrap(), b"persistent");
+    }
+
+    #[test]
+    fn open_rejects_garbage() {
+        let disk = Arc::new(DiskManager::in_memory(512));
+        let pool = Arc::new(BufferPool::new(disk, 4));
+        assert!(HeapFile::open(Arc::clone(&pool)).is_err()); // empty
+        // Allocate a non-header page 0.
+        let h = pool.allocate().unwrap();
+        {
+            let mut b = h.write();
+            SlottedPage::init(&mut b);
+        }
+        drop(h);
+        assert!(HeapFile::open(pool).is_err());
+    }
+
+    #[test]
+    fn many_records_with_tiny_pool_exercise_eviction() {
+        let h = heap(256, 4);
+        let mut rids = Vec::new();
+        for i in 0..500u32 {
+            rids.push(h.insert(&i.to_le_bytes()).unwrap());
+        }
+        for (i, rid) in rids.iter().enumerate() {
+            assert_eq!(h.get(*rid).unwrap(), (i as u32).to_le_bytes());
+        }
+        assert!(h.pool().stats().evictions > 0);
+    }
+}

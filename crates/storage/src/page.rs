@@ -1,0 +1,492 @@
+//! Page layouts.
+//!
+//! Every page starts with a 12-byte common header:
+//!
+//! ```text
+//! offset 0  u32  checksum   (FNV-1a over bytes[4..]; maintained by DiskManager)
+//! offset 4  u8   page_type  (Free / Slotted / Overflow / FileHeader)
+//! offset 5  u8   reserved
+//! offset 6  u16  h0         } type-specific: Slotted: slot_count / free_end
+//! offset 8  u16  h1         } Overflow:     (unused)
+//! offset 10 u16  h2         }
+//! ```
+//!
+//! **Slotted pages** hold variable-length records addressed by slot number.
+//! The slot directory grows forward from the header; record bytes grow
+//! backward from the end of the page. Deleting a record tombstones its slot
+//! (slot numbers are stable — they are half of a `RecordId`); the space is
+//! reclaimed by [`SlottedPage::compact`], which the insert path runs
+//! automatically when fragmentation blocks an otherwise-fitting record.
+//!
+//! **Overflow pages** hold one chunk of a record too large to inline,
+//! plus the page id of the next chunk.
+
+use jaguar_common::error::{JaguarError, Result};
+use jaguar_common::ids::PageId;
+
+/// Size of the common header present on every page.
+pub const COMMON_HEADER: usize = 12;
+/// Size of one slot directory entry (u16 offset + u16 length).
+pub const SLOT_SIZE: usize = 4;
+/// Slot offset sentinel marking a deleted (tombstoned) slot.
+const TOMBSTONE: u16 = u16::MAX;
+
+/// Discriminates the page layouts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PageType {
+    Free = 0,
+    Slotted = 1,
+    Overflow = 2,
+    FileHeader = 3,
+}
+
+impl PageType {
+    pub fn from_byte(b: u8) -> Result<PageType> {
+        Ok(match b {
+            0 => PageType::Free,
+            1 => PageType::Slotted,
+            2 => PageType::Overflow,
+            3 => PageType::FileHeader,
+            other => {
+                return Err(JaguarError::Corruption(format!("bad page type {other}")))
+            }
+        })
+    }
+}
+
+/// Read the page type from a raw page buffer.
+pub fn page_type(buf: &[u8]) -> Result<PageType> {
+    PageType::from_byte(buf[4])
+}
+
+/// Set the page type byte on a raw page buffer.
+pub fn set_page_type(buf: &mut [u8], ty: PageType) {
+    buf[4] = ty as u8;
+}
+
+/// FNV-1a over the page body (everything after the checksum word).
+pub fn compute_checksum(buf: &[u8]) -> u32 {
+    let mut h: u32 = 0x811C9DC5;
+    for &b in &buf[4..] {
+        h ^= b as u32;
+        h = h.wrapping_mul(0x01000193);
+    }
+    h
+}
+
+/// Stamp the checksum word. Called by the disk manager before writing.
+pub fn seal_checksum(buf: &mut [u8]) {
+    let c = compute_checksum(buf);
+    buf[0..4].copy_from_slice(&c.to_le_bytes());
+}
+
+/// Verify the checksum word. Called by the disk manager after reading.
+pub fn verify_checksum(buf: &[u8]) -> Result<()> {
+    let stored = u32::from_le_bytes(buf[0..4].try_into().expect("4 bytes"));
+    let actual = compute_checksum(buf);
+    if stored != actual {
+        return Err(JaguarError::Corruption(format!(
+            "page checksum mismatch: stored {stored:#x}, computed {actual:#x}"
+        )));
+    }
+    Ok(())
+}
+
+fn get_u16(buf: &[u8], off: usize) -> u16 {
+    u16::from_le_bytes(buf[off..off + 2].try_into().expect("2 bytes"))
+}
+
+fn put_u16(buf: &mut [u8], off: usize, v: u16) {
+    buf[off..off + 2].copy_from_slice(&v.to_le_bytes());
+}
+
+// ---------------------------------------------------------------------
+// Slotted pages
+// ---------------------------------------------------------------------
+
+/// A view over a raw page buffer interpreting it as a slotted record page.
+///
+/// The view borrows the buffer mutably; it performs no I/O. Offsets `h0` =
+/// slot count, `h1` = free end (start of the record data region).
+pub struct SlottedPage<'a> {
+    buf: &'a mut [u8],
+}
+
+impl<'a> SlottedPage<'a> {
+    /// Initialise a fresh buffer as an empty slotted page.
+    pub fn init(buf: &'a mut [u8]) -> SlottedPage<'a> {
+        buf[4..].fill(0);
+        set_page_type(buf, PageType::Slotted);
+        let len = buf.len() as u16;
+        let mut p = SlottedPage { buf };
+        p.set_slot_count(0);
+        p.set_free_end(len);
+        p
+    }
+
+    /// Interpret an existing buffer as a slotted page, validating the type
+    /// byte and header sanity.
+    pub fn open(buf: &'a mut [u8]) -> Result<SlottedPage<'a>> {
+        if page_type(buf)? != PageType::Slotted {
+            return Err(JaguarError::Corruption("not a slotted page".into()));
+        }
+        let len = buf.len();
+        let p = SlottedPage { buf };
+        let slots = p.slot_count() as usize;
+        let free_end = p.free_end() as usize;
+        if COMMON_HEADER + slots * SLOT_SIZE > free_end || free_end > len {
+            return Err(JaguarError::Corruption(format!(
+                "slotted header out of range: {slots} slots, free_end {free_end}"
+            )));
+        }
+        Ok(p)
+    }
+
+    pub fn slot_count(&self) -> u16 {
+        get_u16(self.buf, 6)
+    }
+
+    fn set_slot_count(&mut self, n: u16) {
+        put_u16(self.buf, 6, n);
+    }
+
+    fn free_end(&self) -> u16 {
+        get_u16(self.buf, 8)
+    }
+
+    fn set_free_end(&mut self, v: u16) {
+        put_u16(self.buf, 8, v);
+    }
+
+    fn slot_entry(&self, slot: u16) -> (u16, u16) {
+        let off = COMMON_HEADER + slot as usize * SLOT_SIZE;
+        (get_u16(self.buf, off), get_u16(self.buf, off + 2))
+    }
+
+    fn set_slot_entry(&mut self, slot: u16, offset: u16, len: u16) {
+        let off = COMMON_HEADER + slot as usize * SLOT_SIZE;
+        put_u16(self.buf, off, offset);
+        put_u16(self.buf, off + 2, len);
+    }
+
+    /// Contiguous free bytes between the slot directory and the data region.
+    pub fn contiguous_free(&self) -> usize {
+        self.free_end() as usize - (COMMON_HEADER + self.slot_count() as usize * SLOT_SIZE)
+    }
+
+    /// Total reclaimable free bytes (contiguous + tombstoned record space).
+    pub fn total_free(&self) -> usize {
+        let mut free = self.contiguous_free();
+        for s in 0..self.slot_count() {
+            let (off, len) = self.slot_entry(s);
+            if off == TOMBSTONE {
+                free += len as usize; // len preserved at tombstone time
+            }
+        }
+        free
+    }
+
+    /// Largest record this page could accept right now *without* compaction,
+    /// assuming a new slot is needed.
+    pub fn insertable_now(&self) -> usize {
+        self.contiguous_free().saturating_sub(SLOT_SIZE)
+    }
+
+    /// Insert a record, reusing a tombstoned slot if available; compacts the
+    /// page if fragmentation (not capacity) is the obstacle. Returns the
+    /// slot number, or `None` if the record genuinely does not fit.
+    pub fn insert(&mut self, record: &[u8]) -> Option<u16> {
+        if record.len() > u16::MAX as usize {
+            return None;
+        }
+        let reuse = (0..self.slot_count()).find(|&s| self.slot_entry(s).0 == TOMBSTONE);
+        let slot_cost = if reuse.is_some() { 0 } else { SLOT_SIZE };
+        if self.contiguous_free() < record.len() + slot_cost {
+            // Would compaction make room?
+            if self.total_free() >= record.len() + slot_cost {
+                self.compact();
+            }
+            if self.contiguous_free() < record.len() + slot_cost {
+                return None;
+            }
+        }
+        let new_end = self.free_end() as usize - record.len();
+        self.buf[new_end..new_end + record.len()].copy_from_slice(record);
+        self.set_free_end(new_end as u16);
+        let slot = match reuse {
+            Some(s) => s,
+            None => {
+                let s = self.slot_count();
+                self.set_slot_count(s + 1);
+                s
+            }
+        };
+        self.set_slot_entry(slot, new_end as u16, record.len() as u16);
+        Some(slot)
+    }
+
+    /// Read a record by slot number.
+    pub fn get(&self, slot: u16) -> Result<&[u8]> {
+        if slot >= self.slot_count() {
+            return Err(JaguarError::Storage(format!("slot {slot} out of range")));
+        }
+        let (off, len) = self.slot_entry(slot);
+        if off == TOMBSTONE {
+            return Err(JaguarError::Storage(format!("slot {slot} is deleted")));
+        }
+        let (off, len) = (off as usize, len as usize);
+        if off < COMMON_HEADER || off + len > self.buf.len() {
+            return Err(JaguarError::Corruption(format!(
+                "slot {slot} points outside page"
+            )));
+        }
+        Ok(&self.buf[off..off + len])
+    }
+
+    /// Tombstone a slot. The slot number remains allocated (RecordIds stay
+    /// stable); its space is reclaimed by the next compaction.
+    pub fn delete(&mut self, slot: u16) -> Result<()> {
+        if slot >= self.slot_count() {
+            return Err(JaguarError::Storage(format!("slot {slot} out of range")));
+        }
+        let (off, len) = self.slot_entry(slot);
+        if off == TOMBSTONE {
+            return Err(JaguarError::Storage(format!("slot {slot} already deleted")));
+        }
+        // Keep len so total_free() can count reclaimable space.
+        self.set_slot_entry(slot, TOMBSTONE, len);
+        let _ = off;
+        Ok(())
+    }
+
+    /// True if the slot exists and is live.
+    pub fn is_live(&self, slot: u16) -> bool {
+        slot < self.slot_count() && self.slot_entry(slot).0 != TOMBSTONE
+    }
+
+    /// Slide all live records to the end of the page, squeezing out holes.
+    /// Slot numbers (and hence RecordIds) are preserved.
+    pub fn compact(&mut self) {
+        let page_len = self.buf.len();
+        // Collect live records ordered by current offset descending so we
+        // can slide them towards the end without overlap issues via a
+        // scratch copy (pages are small; simplicity over cleverness).
+        let mut live: Vec<(u16, Vec<u8>)> = (0..self.slot_count())
+            .filter_map(|s| {
+                let (off, len) = self.slot_entry(s);
+                if off == TOMBSTONE {
+                    None
+                } else {
+                    Some((s, self.buf[off as usize..(off + len) as usize].to_vec()))
+                }
+            })
+            .collect();
+        let mut end = page_len;
+        for (slot, data) in live.drain(..) {
+            end -= data.len();
+            self.buf[end..end + data.len()].copy_from_slice(&data);
+            self.set_slot_entry(slot, end as u16, data.len() as u16);
+        }
+        self.set_free_end(end as u16);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Overflow pages
+// ---------------------------------------------------------------------
+
+/// Header bytes used by an overflow page after the common header:
+/// `u32 next_page` + `u32 chunk_len`.
+pub const OVERFLOW_HEADER: usize = COMMON_HEADER + 8;
+
+/// Usable payload capacity of one overflow page.
+pub fn overflow_capacity(page_size: usize) -> usize {
+    page_size - OVERFLOW_HEADER
+}
+
+/// Initialise a buffer as an overflow page holding `chunk`, linking to
+/// `next` (or [`PageId::INVALID`] for the tail).
+pub fn init_overflow(buf: &mut [u8], chunk: &[u8], next: PageId) {
+    assert!(chunk.len() <= overflow_capacity(buf.len()));
+    buf[4..].fill(0);
+    set_page_type(buf, PageType::Overflow);
+    buf[COMMON_HEADER..COMMON_HEADER + 4].copy_from_slice(&next.0.to_le_bytes());
+    buf[COMMON_HEADER + 4..COMMON_HEADER + 8]
+        .copy_from_slice(&(chunk.len() as u32).to_le_bytes());
+    buf[OVERFLOW_HEADER..OVERFLOW_HEADER + chunk.len()].copy_from_slice(chunk);
+}
+
+/// Read the chunk and next-page link from an overflow page.
+pub fn read_overflow(buf: &[u8]) -> Result<(&[u8], PageId)> {
+    if page_type(buf)? != PageType::Overflow {
+        return Err(JaguarError::Corruption("not an overflow page".into()));
+    }
+    let next = PageId(u32::from_le_bytes(
+        buf[COMMON_HEADER..COMMON_HEADER + 4].try_into().expect("4"),
+    ));
+    let len = u32::from_le_bytes(
+        buf[COMMON_HEADER + 4..COMMON_HEADER + 8]
+            .try_into()
+            .expect("4"),
+    ) as usize;
+    if OVERFLOW_HEADER + len > buf.len() {
+        return Err(JaguarError::Corruption("overflow chunk length invalid".into()));
+    }
+    Ok((&buf[OVERFLOW_HEADER..OVERFLOW_HEADER + len], next))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const P: usize = 512;
+
+    fn fresh() -> Vec<u8> {
+        vec![0u8; P]
+    }
+
+    #[test]
+    fn insert_get_roundtrip() {
+        let mut buf = fresh();
+        let mut page = SlottedPage::init(&mut buf);
+        let a = page.insert(b"hello").unwrap();
+        let b = page.insert(b"world!").unwrap();
+        assert_ne!(a, b);
+        assert_eq!(page.get(a).unwrap(), b"hello");
+        assert_eq!(page.get(b).unwrap(), b"world!");
+    }
+
+    #[test]
+    fn empty_record_allowed() {
+        let mut buf = fresh();
+        let mut page = SlottedPage::init(&mut buf);
+        let s = page.insert(b"").unwrap();
+        assert_eq!(page.get(s).unwrap(), b"");
+    }
+
+    #[test]
+    fn delete_tombstones_and_slot_reused() {
+        let mut buf = fresh();
+        let mut page = SlottedPage::init(&mut buf);
+        let a = page.insert(b"aaaa").unwrap();
+        let b = page.insert(b"bbbb").unwrap();
+        page.delete(a).unwrap();
+        assert!(page.get(a).is_err());
+        assert!(page.is_live(b));
+        assert!(!page.is_live(a));
+        // Next insert reuses the tombstoned slot number.
+        let c = page.insert(b"cccc").unwrap();
+        assert_eq!(c, a);
+        assert_eq!(page.get(c).unwrap(), b"cccc");
+    }
+
+    #[test]
+    fn double_delete_is_error() {
+        let mut buf = fresh();
+        let mut page = SlottedPage::init(&mut buf);
+        let a = page.insert(b"x").unwrap();
+        page.delete(a).unwrap();
+        assert!(page.delete(a).is_err());
+        assert!(page.delete(99).is_err());
+    }
+
+    #[test]
+    fn fills_until_capacity_then_rejects() {
+        let mut buf = fresh();
+        let mut page = SlottedPage::init(&mut buf);
+        let rec = [7u8; 32];
+        let mut n = 0;
+        while page.insert(&rec).is_some() {
+            n += 1;
+        }
+        // 512-byte page, 12-byte header, 36 bytes/record (32 + 4 slot).
+        assert!(n >= 12, "expected at least 12 records, got {n}");
+        assert!(page.insertable_now() < rec.len());
+    }
+
+    #[test]
+    fn compaction_reclaims_deleted_space() {
+        let mut buf = fresh();
+        let mut page = SlottedPage::init(&mut buf);
+        let mut slots = Vec::new();
+        let rec = [1u8; 40];
+        while let Some(s) = page.insert(&rec) {
+            slots.push(s);
+        }
+        // Delete every other record; a 2x-sized record now only fits after
+        // compaction, which insert() performs automatically.
+        for s in slots.iter().step_by(2) {
+            page.delete(*s).unwrap();
+        }
+        let big = [2u8; 80];
+        let got = page.insert(&big).expect("compaction should make room");
+        assert_eq!(page.get(got).unwrap(), &big[..]);
+        // Survivors intact after compaction.
+        for s in slots.iter().skip(1).step_by(2) {
+            assert_eq!(page.get(*s).unwrap(), &rec[..]);
+        }
+    }
+
+    #[test]
+    fn compaction_preserves_slot_numbers() {
+        let mut buf = fresh();
+        let mut page = SlottedPage::init(&mut buf);
+        let a = page.insert(b"first").unwrap();
+        let b = page.insert(b"second").unwrap();
+        let c = page.insert(b"third").unwrap();
+        page.delete(b).unwrap();
+        page.compact();
+        assert_eq!(page.get(a).unwrap(), b"first");
+        assert_eq!(page.get(c).unwrap(), b"third");
+        assert!(page.get(b).is_err());
+    }
+
+    #[test]
+    fn checksum_roundtrip_and_detects_corruption() {
+        let mut buf = fresh();
+        SlottedPage::init(&mut buf).insert(b"payload").unwrap();
+        seal_checksum(&mut buf);
+        verify_checksum(&buf).unwrap();
+        buf[100] ^= 0xFF;
+        assert!(verify_checksum(&buf).is_err());
+    }
+
+    #[test]
+    fn open_validates_header() {
+        let mut buf = fresh();
+        SlottedPage::init(&mut buf);
+        // Corrupt free_end beyond the page.
+        put_u16(&mut buf, 8, (P + 100) as u16);
+        assert!(SlottedPage::open(&mut buf).is_err());
+
+        let mut buf2 = fresh();
+        set_page_type(&mut buf2, PageType::Overflow);
+        assert!(SlottedPage::open(&mut buf2).is_err());
+    }
+
+    #[test]
+    fn overflow_roundtrip() {
+        let mut buf = fresh();
+        let chunk: Vec<u8> = (0..overflow_capacity(P)).map(|i| i as u8).collect();
+        init_overflow(&mut buf, &chunk, PageId(77));
+        let (got, next) = read_overflow(&buf).unwrap();
+        assert_eq!(got, &chunk[..]);
+        assert_eq!(next, PageId(77));
+    }
+
+    #[test]
+    fn overflow_tail_link() {
+        let mut buf = fresh();
+        init_overflow(&mut buf, b"tail", PageId::INVALID);
+        let (_, next) = read_overflow(&buf).unwrap();
+        assert!(!next.is_valid());
+    }
+
+    #[test]
+    fn page_type_detection() {
+        let mut buf = fresh();
+        SlottedPage::init(&mut buf);
+        assert_eq!(page_type(&buf).unwrap(), PageType::Slotted);
+        assert!(PageType::from_byte(9).is_err());
+    }
+}

@@ -1,0 +1,100 @@
+//! The UDF invocation interface.
+
+use jaguar_common::error::{JaguarError, Result};
+use jaguar_common::{DataType, Value};
+use jaguar_ipc::proto::CallbackHandler;
+
+/// The SQL-level signature of a scalar UDF.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UdfSignature {
+    pub params: Vec<DataType>,
+    pub ret: DataType,
+}
+
+impl UdfSignature {
+    pub fn new(params: Vec<DataType>, ret: DataType) -> UdfSignature {
+        UdfSignature { params, ret }
+    }
+
+    /// Validate an argument tuple against this signature (NULLs conform).
+    pub fn check_args(&self, name: &str, args: &[Value]) -> Result<()> {
+        if args.len() != self.params.len() {
+            return Err(JaguarError::Udf(format!(
+                "udf '{name}' expects {} arguments, got {}",
+                self.params.len(),
+                args.len()
+            )));
+        }
+        for (i, (a, p)) in args.iter().zip(&self.params).enumerate() {
+            if !a.conforms_to(*p) {
+                return Err(JaguarError::Udf(format!(
+                    "udf '{name}' argument {}: expected {}, got {}",
+                    i + 1,
+                    p.sql_name(),
+                    a.data_type().map(|t| t.sql_name()).unwrap_or("NULL")
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Cumulative sandbox resource consumption of one UDF instance — the
+/// per-UDF accounting §6.2 of the paper calls essential ("the JVM does not
+/// maintain any information on the memory usage of individual UDFs").
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct UdfResourceUsage {
+    /// VM instructions executed across all invocations.
+    pub instructions: u64,
+    /// Bytes allocated in VM arenas across all invocations.
+    pub bytes_allocated: u64,
+    /// Host callbacks performed.
+    pub host_calls: u64,
+}
+
+/// An instantiated scalar UDF, ready to be applied tuple-by-tuple.
+///
+/// Instances are per-query (see [`crate::def::UdfDef::instantiate`]):
+/// `invoke` takes `&mut self` because isolated backends own a worker
+/// process whose pipes are inherently exclusive.
+pub trait ScalarUdf: Send {
+    fn name(&self) -> &str;
+
+    fn signature(&self) -> &UdfSignature;
+
+    /// Apply the UDF to one argument tuple. `callbacks` answers any
+    /// requests the UDF makes back to the server (§4.2).
+    fn invoke(&mut self, args: &[Value], callbacks: &mut dyn CallbackHandler)
+        -> Result<Value>;
+
+    /// Cumulative sandbox resource consumption, for designs that meter it
+    /// (the VM designs do; trusted native code cannot be metered — that is
+    /// Design 1's security trade-off). Default: not metered.
+    fn consumed(&self) -> Option<UdfResourceUsage> {
+        None
+    }
+
+    /// Per-query teardown (e.g. shutting down a worker process). Default:
+    /// nothing.
+    fn finish(self: Box<Self>) -> Result<()> {
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jaguar_common::ByteArray;
+
+    #[test]
+    fn signature_checks_arity_and_types() {
+        let sig = UdfSignature::new(vec![DataType::Bytes, DataType::Int], DataType::Int);
+        sig.check_args("f", &[Value::Bytes(ByteArray::zeroed(1)), Value::Int(0)])
+            .unwrap();
+        sig.check_args("f", &[Value::Null, Value::Null]).unwrap();
+        assert!(sig.check_args("f", &[Value::Int(0)]).is_err());
+        assert!(sig
+            .check_args("f", &[Value::Int(0), Value::Int(0)])
+            .is_err());
+    }
+}

@@ -1,0 +1,16 @@
+//! The isolated UDF executor process (paper §4.1).
+//!
+//! The server spawns one of these per UDF per query (Design 2/4), loads a
+//! UDF into it over stdin/stdout, and invokes it per tuple. The native UDF
+//! registry baked in here mirrors the C++ UDFs compiled into PREDATOR's
+//! remote executor.
+
+fn main() {
+    let registry = jaguar_udf::worker_registry();
+    let stdin = std::io::stdin().lock();
+    let stdout = std::io::stdout().lock();
+    if let Err(e) = jaguar_ipc::worker::serve(stdin, stdout, &registry) {
+        eprintln!("jaguar-worker: {e}");
+        std::process::exit(1);
+    }
+}

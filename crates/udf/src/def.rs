@@ -1,0 +1,219 @@
+//! UDF definitions: what the catalog stores, and how the executor turns a
+//! definition into a per-query [`ScalarUdf`] instance.
+
+use std::sync::Arc;
+
+use jaguar_common::error::Result;
+use jaguar_common::Value;
+use jaguar_ipc::executor::WorkerProcess;
+use jaguar_ipc::proto::CallbackHandler;
+use jaguar_vm::interp::ExecMode;
+use jaguar_vm::{PermissionSet, ResourceLimits, VerifiedModule};
+
+use crate::api::{ScalarUdf, UdfSignature};
+use crate::native::NativeUdf;
+use crate::vmexec::VmUdf;
+
+/// Everything needed to run a UDF under the sandboxed VM.
+#[derive(Clone)]
+pub struct VmUdfSpec {
+    /// The verified module (kept verified so instantiation is cheap; the
+    /// raw bytes are retained for Design 4 shipping).
+    pub module: Arc<VerifiedModule>,
+    pub module_bytes: Arc<Vec<u8>>,
+    pub function: String,
+    pub limits: ResourceLimits,
+    pub jit: bool,
+    pub permissions: Option<Arc<PermissionSet>>,
+}
+
+/// The execution design chosen for a UDF (the paper's Table 1).
+#[derive(Clone)]
+pub enum UdfImpl {
+    /// Design 1 ("C++"): trusted closure in the server process.
+    Native(NativeUdf),
+    /// Design 2 ("IC++"): native code in a per-query worker process.
+    /// `worker_fn` names an entry in the worker binary's registry.
+    IsolatedNative { worker_fn: String },
+    /// Design 3 ("JNI"): verified bytecode in the server process.
+    Vm(VmUdfSpec),
+    /// Design 4: verified bytecode in a per-query worker process.
+    IsolatedVm(VmUdfSpec),
+}
+
+impl UdfImpl {
+    /// Short label used in plans and reports (paper terminology).
+    pub fn design_label(&self) -> &'static str {
+        match self {
+            UdfImpl::Native(_) => "C++",
+            UdfImpl::IsolatedNative { .. } => "IC++",
+            UdfImpl::Vm(_) => "JSM",
+            UdfImpl::IsolatedVm(_) => "IJSM",
+        }
+    }
+}
+
+/// A registered UDF: name + SQL signature + execution design.
+#[derive(Clone)]
+pub struct UdfDef {
+    pub name: String,
+    pub signature: UdfSignature,
+    pub imp: UdfImpl,
+}
+
+impl UdfDef {
+    pub fn new(name: impl Into<String>, signature: UdfSignature, imp: UdfImpl) -> UdfDef {
+        UdfDef {
+            name: name.into(),
+            signature,
+            imp,
+        }
+    }
+
+    /// Create the per-query execution instance. For isolated designs this
+    /// spawns the worker process (the paper's per-query remote executor).
+    pub fn instantiate(&self) -> Result<Box<dyn ScalarUdf>> {
+        match &self.imp {
+            UdfImpl::Native(n) => Ok(Box::new(n.clone())),
+            UdfImpl::Vm(spec) => Ok(Box::new(VmUdf::new(
+                self.name.clone(),
+                self.signature.clone(),
+                Arc::clone(&spec.module),
+                spec.function.clone(),
+                spec.limits,
+                if spec.jit { ExecMode::Jit } else { ExecMode::Baseline },
+                spec.permissions.clone(),
+            )?)),
+            UdfImpl::IsolatedNative { worker_fn } => {
+                let mut worker = WorkerProcess::spawn()?;
+                worker.load_native(worker_fn)?;
+                Ok(Box::new(IsolatedUdf {
+                    name: self.name.clone(),
+                    signature: self.signature.clone(),
+                    worker,
+                }))
+            }
+            UdfImpl::IsolatedVm(spec) => {
+                let mut worker = WorkerProcess::spawn()?;
+                worker.load_vm(
+                    &spec.module_bytes,
+                    &spec.function,
+                    spec.jit,
+                    spec.limits.fuel,
+                    spec.limits.memory,
+                )?;
+                Ok(Box::new(IsolatedUdf {
+                    name: self.name.clone(),
+                    signature: self.signature.clone(),
+                    worker,
+                }))
+            }
+        }
+    }
+}
+
+/// A UDF running in a worker process (Designs 2 and 4).
+struct IsolatedUdf {
+    name: String,
+    signature: UdfSignature,
+    worker: WorkerProcess,
+}
+
+impl ScalarUdf for IsolatedUdf {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn signature(&self) -> &UdfSignature {
+        &self.signature
+    }
+
+    fn invoke(
+        &mut self,
+        args: &[Value],
+        callbacks: &mut dyn CallbackHandler,
+    ) -> Result<Value> {
+        self.signature.check_args(&self.name, args)?;
+        // The argument copy into the pipe is the "copy into shared memory"
+        // of the paper's Design 2.
+        self.worker.invoke(args.to_vec(), callbacks)
+    }
+
+    fn finish(self: Box<Self>) -> Result<()> {
+        self.worker.shutdown()
+    }
+}
+
+/// Helper: build a [`VmUdfSpec`] from an unverified module.
+pub fn vm_spec(
+    module: jaguar_vm::Module,
+    function: impl Into<String>,
+    limits: ResourceLimits,
+    jit: bool,
+    permissions: Option<Arc<PermissionSet>>,
+) -> Result<VmUdfSpec> {
+    let bytes = module.to_bytes();
+    let verified = Arc::new(module.verify()?);
+    Ok(VmUdfSpec {
+        module: verified,
+        module_bytes: Arc::new(bytes),
+        function: function.into(),
+        limits,
+        jit,
+        permissions,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jaguar_common::DataType;
+    use jaguar_ipc::proto::NoCallbacks;
+
+    #[test]
+    fn native_def_instantiates_cheaply() {
+        let def = UdfDef::new(
+            "inc",
+            UdfSignature::new(vec![DataType::Int], DataType::Int),
+            UdfImpl::Native(NativeUdf::new(
+                "inc",
+                UdfSignature::new(vec![DataType::Int], DataType::Int),
+                |args, _| Ok(Value::Int(args[0].as_int()? + 1)),
+            )),
+        );
+        let mut u = def.instantiate().unwrap();
+        assert_eq!(
+            u.invoke(&[Value::Int(41)], &mut NoCallbacks).unwrap(),
+            Value::Int(42)
+        );
+        assert_eq!(def.imp.design_label(), "C++");
+    }
+
+    #[test]
+    fn vm_def_instantiates() {
+        let module = jaguar_lang::compile("m", "fn main(x: i64) -> i64 { return x * x; }").unwrap();
+        let spec = vm_spec(module, "main", ResourceLimits::default(), true, None).unwrap();
+        let def = UdfDef::new(
+            "square",
+            UdfSignature::new(vec![DataType::Int], DataType::Int),
+            UdfImpl::Vm(spec),
+        );
+        let mut u = def.instantiate().unwrap();
+        assert_eq!(
+            u.invoke(&[Value::Int(7)], &mut NoCallbacks).unwrap(),
+            Value::Int(49)
+        );
+        assert_eq!(def.imp.design_label(), "JSM");
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(
+            UdfImpl::IsolatedNative {
+                worker_fn: "x".into()
+            }
+            .design_label(),
+            "IC++"
+        );
+    }
+}

@@ -1,0 +1,507 @@
+//! A textual assembler and disassembler for JSM modules.
+//!
+//! The normal authoring path is the JagScript compiler (`jaguar-lang`),
+//! but an assembler earns its keep three ways: hand-written UDFs in tests,
+//! human-inspectable disassembly when debugging verifier rejections, and a
+//! stable second front-end exercising the module format.
+//!
+//! Syntax (one construct per line; `;` starts a comment):
+//!
+//! ```text
+//! module my.udf
+//! import callback(i64) -> i64
+//!
+//! func main(bytes, i64) -> i64
+//! locals i64, i64
+//!   consti 0
+//!   store 2
+//! top:
+//!   load 2
+//!   load 1
+//!   lti
+//!   jmpifnot done
+//!   ...
+//!   jmp top
+//! done:
+//!   load 3
+//!   ret
+//! end
+//! ```
+//!
+//! Labels (`name:`) may be used anywhere a numeric jump target is allowed.
+
+use std::collections::HashMap;
+
+use jaguar_common::error::{JaguarError, Result};
+
+use crate::isa::{Insn, VType};
+use crate::module::{FuncSig, Function, HostImport, Module};
+
+/// Assemble module source text into a [`Module`] (unverified).
+pub fn assemble(src: &str) -> Result<Module> {
+    let mut module = Module::new("anonymous");
+    let mut saw_module_decl = false;
+    let mut cur: Option<FnBuilder> = None;
+
+    for (lineno, raw) in src.lines().enumerate() {
+        let line = strip_comment(raw).trim();
+        if line.is_empty() {
+            continue;
+        }
+        let err = |msg: String| JaguarError::Parse(format!("line {}: {msg}", lineno + 1));
+
+        if let Some(rest) = line.strip_prefix("module ") {
+            if saw_module_decl {
+                return Err(err("duplicate module declaration".into()));
+            }
+            saw_module_decl = true;
+            module.name = rest.trim().to_string();
+        } else if let Some(rest) = line.strip_prefix("import ") {
+            if cur.is_some() {
+                return Err(err("import must appear before functions".into()));
+            }
+            let (name, sig) = parse_header(rest).map_err(|e| err(e.to_string()))?;
+            module.imports.push(HostImport { name, sig });
+        } else if let Some(rest) = line.strip_prefix("func ") {
+            if cur.is_some() {
+                return Err(err("nested func (missing 'end'?)".into()));
+            }
+            let (name, sig) = parse_header(rest).map_err(|e| err(e.to_string()))?;
+            cur = Some(FnBuilder::new(name, sig));
+        } else if let Some(rest) = line.strip_prefix("locals ") {
+            let b = cur
+                .as_mut()
+                .ok_or_else(|| err("'locals' outside func".into()))?;
+            if !b.items.is_empty() || !b.local_types.is_empty() {
+                return Err(err("'locals' must come first in a func".into()));
+            }
+            for part in rest.split(',') {
+                b.local_types.push(
+                    VType::from_name(part.trim()).map_err(|e| err(e.to_string()))?,
+                );
+            }
+        } else if line == "end" {
+            let b = cur
+                .take()
+                .ok_or_else(|| err("'end' outside func".into()))?;
+            module.functions.push(b.finish()?);
+        } else if let Some(label) = line.strip_suffix(':') {
+            let b = cur
+                .as_mut()
+                .ok_or_else(|| err("label outside func".into()))?;
+            let label = label.trim();
+            if !is_ident(label) {
+                return Err(err(format!("invalid label '{label}'")));
+            }
+            if b.labels.contains_key(label) {
+                return Err(err(format!("duplicate label '{label}'")));
+            }
+            b.labels.insert(label.to_string(), b.pc());
+        } else {
+            let b = cur
+                .as_mut()
+                .ok_or_else(|| err(format!("instruction '{line}' outside func")))?;
+            b.items
+                .push(parse_insn(line).map_err(|e| err(e.to_string()))?);
+        }
+    }
+    if cur.is_some() {
+        return Err(JaguarError::Parse("unterminated func (missing 'end')".into()));
+    }
+    Ok(module)
+}
+
+/// Disassemble a module back to assembler text (labels synthesised for
+/// jump targets). `assemble(disassemble(m))` reproduces `m`.
+pub fn disassemble(module: &Module) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("module {}\n", module.name));
+    for imp in &module.imports {
+        out.push_str(&format!("import {}\n", fmt_header(&imp.name, &imp.sig)));
+    }
+    for f in &module.functions {
+        out.push('\n');
+        out.push_str(&format!("func {}\n", fmt_header(&f.name, &f.sig)));
+        if !f.local_types.is_empty() {
+            let list: Vec<_> = f.local_types.iter().map(|t| t.name()).collect();
+            out.push_str(&format!("locals {}\n", list.join(", ")));
+        }
+        // Collect jump targets so we can emit labels.
+        let mut targets: Vec<u32> = f
+            .code
+            .iter()
+            .filter_map(|i| match i {
+                Insn::Jmp(t) | Insn::JmpIf(t) | Insn::JmpIfNot(t) => Some(*t),
+                _ => None,
+            })
+            .collect();
+        targets.sort_unstable();
+        targets.dedup();
+        let label_of = |t: u32| format!("L{t}");
+        for (pc, insn) in f.code.iter().enumerate() {
+            if targets.binary_search(&(pc as u32)).is_ok() {
+                out.push_str(&format!("{}:\n", label_of(pc as u32)));
+            }
+            let line = match insn {
+                Insn::ConstI(v) => format!("consti {v}"),
+                Insn::ConstF(v) => format!("constf {v:?}"),
+                Insn::Load(i) => format!("load {i}"),
+                Insn::Store(i) => format!("store {i}"),
+                Insn::Jmp(t) => format!("jmp {}", label_of(*t)),
+                Insn::JmpIf(t) => format!("jmpif {}", label_of(*t)),
+                Insn::JmpIfNot(t) => format!("jmpifnot {}", label_of(*t)),
+                Insn::Call(t) => format!("call {t}"),
+                Insn::HostCall(t) => format!("hostcall {t}"),
+                Insn::Trap(c) => format!("trap {c}"),
+                other => other.mnemonic().to_string(),
+            };
+            out.push_str("  ");
+            out.push_str(&line);
+            out.push('\n');
+        }
+        // Emit trailing labels that point one past the end (not produced by
+        // the assembler, but keep the disassembly total).
+        out.push_str("end\n");
+    }
+    out
+}
+
+// ---------------------------------------------------------------------
+
+struct FnBuilder {
+    name: String,
+    sig: FuncSig,
+    local_types: Vec<VType>,
+    items: Vec<AsmItem>,
+    labels: HashMap<String, u32>,
+}
+
+enum AsmItem {
+    Done(Insn),
+    /// A jump whose target label is resolved at `finish` time.
+    JumpTo { kind: JumpKind, label: String },
+}
+
+enum JumpKind {
+    Jmp,
+    JmpIf,
+    JmpIfNot,
+}
+
+impl FnBuilder {
+    fn new(name: String, sig: FuncSig) -> FnBuilder {
+        FnBuilder {
+            name,
+            sig,
+            local_types: Vec::new(),
+            items: Vec::new(),
+            labels: HashMap::new(),
+        }
+    }
+
+    fn pc(&self) -> u32 {
+        self.items.len() as u32
+    }
+
+    fn finish(self) -> Result<Function> {
+        let mut code = Vec::with_capacity(self.items.len());
+        for item in self.items {
+            code.push(match item {
+                AsmItem::Done(i) => i,
+                AsmItem::JumpTo { kind, label } => {
+                    let t = *self.labels.get(&label).ok_or_else(|| {
+                        JaguarError::Parse(format!(
+                            "function '{}': undefined label '{label}'",
+                            self.name
+                        ))
+                    })?;
+                    match kind {
+                        JumpKind::Jmp => Insn::Jmp(t),
+                        JumpKind::JmpIf => Insn::JmpIf(t),
+                        JumpKind::JmpIfNot => Insn::JmpIfNot(t),
+                    }
+                }
+            });
+        }
+        Ok(Function {
+            name: self.name,
+            sig: self.sig,
+            local_types: self.local_types,
+            code,
+        })
+    }
+}
+
+fn strip_comment(line: &str) -> &str {
+    match line.find(';') {
+        Some(i) => &line[..i],
+        None => line,
+    }
+}
+
+fn is_ident(s: &str) -> bool {
+    !s.is_empty()
+        && s.chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '.')
+        && !s.chars().next().expect("non-empty").is_ascii_digit()
+}
+
+/// Parse `name(ty, ty) -> ty` or `name()`.
+fn parse_header(s: &str) -> Result<(String, FuncSig)> {
+    let s = s.trim();
+    let open = s
+        .find('(')
+        .ok_or_else(|| JaguarError::Parse(format!("missing '(' in '{s}'")))?;
+    let close = s
+        .find(')')
+        .ok_or_else(|| JaguarError::Parse(format!("missing ')' in '{s}'")))?;
+    let name = s[..open].trim().to_string();
+    if !is_ident(&name) {
+        return Err(JaguarError::Parse(format!("invalid name '{name}'")));
+    }
+    let params_src = s[open + 1..close].trim();
+    let mut params = Vec::new();
+    if !params_src.is_empty() {
+        for p in params_src.split(',') {
+            params.push(VType::from_name(p.trim())?);
+        }
+    }
+    let rest = s[close + 1..].trim();
+    let ret = if rest.is_empty() {
+        None
+    } else if let Some(t) = rest.strip_prefix("->") {
+        Some(VType::from_name(t.trim())?)
+    } else {
+        return Err(JaguarError::Parse(format!("unexpected '{rest}'")));
+    };
+    Ok((name, FuncSig { params, ret }))
+}
+
+fn fmt_header(name: &str, sig: &FuncSig) -> String {
+    let params: Vec<_> = sig.params.iter().map(|t| t.name()).collect();
+    match sig.ret {
+        Some(r) => format!("{name}({}) -> {}", params.join(", "), r.name()),
+        None => format!("{name}({})", params.join(", ")),
+    }
+}
+
+fn parse_insn(line: &str) -> Result<AsmItem> {
+    let mut parts = line.split_whitespace();
+    let mnem = parts.next().expect("line is non-empty");
+    let arg = parts.next();
+    if parts.next().is_some() {
+        return Err(JaguarError::Parse(format!("trailing tokens in '{line}'")));
+    }
+    let need = |what: &str| -> Result<&str> {
+        arg.ok_or_else(|| JaguarError::Parse(format!("'{mnem}' needs {what}")))
+    };
+    let no_arg = |insn: Insn| -> Result<AsmItem> {
+        if arg.is_some() {
+            Err(JaguarError::Parse(format!("'{mnem}' takes no operand")))
+        } else {
+            Ok(AsmItem::Done(insn))
+        }
+    };
+    let jump = |kind: JumpKind| -> Result<AsmItem> {
+        let t = need("a label or index")?;
+        if let Ok(idx) = t.parse::<u32>() {
+            Ok(AsmItem::Done(match kind {
+                JumpKind::Jmp => Insn::Jmp(idx),
+                JumpKind::JmpIf => Insn::JmpIf(idx),
+                JumpKind::JmpIfNot => Insn::JmpIfNot(idx),
+            }))
+        } else {
+            Ok(AsmItem::JumpTo {
+                kind,
+                label: t.to_string(),
+            })
+        }
+    };
+
+    match mnem {
+        "consti" => Ok(AsmItem::Done(Insn::ConstI(
+            need("an integer")?
+                .parse::<i64>()
+                .map_err(|e| JaguarError::Parse(format!("bad integer: {e}")))?,
+        ))),
+        "constf" => Ok(AsmItem::Done(Insn::ConstF(
+            need("a float")?
+                .parse::<f64>()
+                .map_err(|e| JaguarError::Parse(format!("bad float: {e}")))?,
+        ))),
+        "load" => Ok(AsmItem::Done(Insn::Load(parse_u16(need("a slot")?)?))),
+        "store" => Ok(AsmItem::Done(Insn::Store(parse_u16(need("a slot")?)?))),
+        "pop" => no_arg(Insn::Pop),
+        "dup" => no_arg(Insn::Dup),
+        "swap" => no_arg(Insn::Swap),
+        "addi" => no_arg(Insn::AddI),
+        "subi" => no_arg(Insn::SubI),
+        "muli" => no_arg(Insn::MulI),
+        "divi" => no_arg(Insn::DivI),
+        "remi" => no_arg(Insn::RemI),
+        "negi" => no_arg(Insn::NegI),
+        "addf" => no_arg(Insn::AddF),
+        "subf" => no_arg(Insn::SubF),
+        "mulf" => no_arg(Insn::MulF),
+        "divf" => no_arg(Insn::DivF),
+        "negf" => no_arg(Insn::NegF),
+        "and" => no_arg(Insn::And),
+        "or" => no_arg(Insn::Or),
+        "xor" => no_arg(Insn::Xor),
+        "shl" => no_arg(Insn::Shl),
+        "shr" => no_arg(Insn::Shr),
+        "not" => no_arg(Insn::Not),
+        "i2f" => no_arg(Insn::I2F),
+        "f2i" => no_arg(Insn::F2I),
+        "eqi" => no_arg(Insn::EqI),
+        "lti" => no_arg(Insn::LtI),
+        "lei" => no_arg(Insn::LeI),
+        "eqf" => no_arg(Insn::EqF),
+        "ltf" => no_arg(Insn::LtF),
+        "lef" => no_arg(Insn::LeF),
+        "jmp" => jump(JumpKind::Jmp),
+        "jmpif" => jump(JumpKind::JmpIf),
+        "jmpifnot" => jump(JumpKind::JmpIfNot),
+        "call" => Ok(AsmItem::Done(Insn::Call(
+            need("a function index")?
+                .parse::<u32>()
+                .map_err(|e| JaguarError::Parse(format!("bad index: {e}")))?,
+        ))),
+        "hostcall" => Ok(AsmItem::Done(Insn::HostCall(parse_u16(need("an import index")?)?))),
+        "ret" => no_arg(Insn::Ret),
+        "newarr" => no_arg(Insn::NewArr),
+        "aload" => no_arg(Insn::ALoad),
+        "astore" => no_arg(Insn::AStore),
+        "alen" => no_arg(Insn::ALen),
+        "trap" => Ok(AsmItem::Done(Insn::Trap(
+            need("a code")?
+                .parse::<u32>()
+                .map_err(|e| JaguarError::Parse(format!("bad code: {e}")))?,
+        ))),
+        other => Err(JaguarError::Parse(format!("unknown mnemonic '{other}'"))),
+    }
+}
+
+fn parse_u16(s: &str) -> Result<u16> {
+    s.parse::<u16>()
+        .map_err(|e| JaguarError::Parse(format!("bad u16: {e}")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interp::{ArgValue, ExecMode, Interpreter, NoHost};
+    use crate::resources::ResourceLimits;
+    use std::sync::Arc;
+
+    const SUM_BYTES: &str = r#"
+; sum of all bytes in the argument array
+module test.sum
+func main(bytes) -> i64
+locals i64, i64            ; i, acc
+  consti 0
+  store 1
+  consti 0
+  store 2
+top:
+  load 1
+  load 0
+  alen
+  lti
+  jmpifnot done
+  load 2
+  load 0
+  load 1
+  aload
+  addi
+  store 2
+  load 1
+  consti 1
+  addi
+  store 1
+  jmp top
+done:
+  load 2
+  ret
+end
+"#;
+
+    #[test]
+    fn assembles_verifies_and_runs() {
+        let m = assemble(SUM_BYTES).unwrap();
+        assert_eq!(m.name, "test.sum");
+        let vm = Arc::new(m.verify().unwrap());
+        let interp = Interpreter::new(vm, ResourceLimits::default(), ExecMode::Jit);
+        let (ret, _, _) = interp
+            .invoke("main", &[ArgValue::Bytes(vec![10, 20, 30])], &mut NoHost)
+            .unwrap();
+        assert_eq!(ret.unwrap().as_i64().unwrap(), 60);
+    }
+
+    #[test]
+    fn disassemble_assemble_roundtrip() {
+        let m = assemble(SUM_BYTES).unwrap();
+        let text = disassemble(&m);
+        let m2 = assemble(&text).unwrap();
+        assert_eq!(m, m2);
+    }
+
+    #[test]
+    fn imports_parsed() {
+        let src = "module m\nimport callback(i64, bytes) -> i64\nfunc f() -> i64\n  consti 0\n  ret\nend\n";
+        let m = assemble(src).unwrap();
+        assert_eq!(m.imports.len(), 1);
+        assert_eq!(m.imports[0].name, "callback");
+        assert_eq!(m.imports[0].sig.params, vec![VType::I64, VType::Bytes]);
+        assert_eq!(m.imports[0].sig.ret, Some(VType::I64));
+    }
+
+    #[test]
+    fn undefined_label_rejected() {
+        let src = "func f() -> i64\n  jmp nowhere\n  consti 0\n  ret\nend\n";
+        let e = assemble(src).unwrap_err();
+        assert!(e.to_string().contains("undefined label"), "{e}");
+    }
+
+    #[test]
+    fn duplicate_label_rejected() {
+        let src = "func f()\nx:\nx:\n  ret\nend\n";
+        let e = assemble(src).unwrap_err();
+        assert!(e.to_string().contains("duplicate label"), "{e}");
+    }
+
+    #[test]
+    fn unterminated_func_rejected() {
+        let e = assemble("func f()\n  ret\n").unwrap_err();
+        assert!(e.to_string().contains("unterminated"), "{e}");
+    }
+
+    #[test]
+    fn unknown_mnemonic_rejected() {
+        let e = assemble("func f()\n  fly 3\n  ret\nend").unwrap_err();
+        assert!(e.to_string().contains("unknown mnemonic"), "{e}");
+    }
+
+    #[test]
+    fn bad_operands_rejected() {
+        assert!(assemble("func f()\n  consti\n  ret\nend").is_err());
+        assert!(assemble("func f()\n  pop 3\n  ret\nend").is_err());
+        assert!(assemble("func f()\n  consti 1 2\n  ret\nend").is_err());
+        assert!(assemble("func f()\n  load 99999999\n  ret\nend").is_err());
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let src = "\n; leading comment\nmodule m ; trailing? no, whole-line\nfunc f()\n  ret ; done\nend\n";
+        let m = assemble(src).unwrap();
+        assert_eq!(m.functions.len(), 1);
+    }
+
+    #[test]
+    fn numeric_jump_targets_accepted() {
+        let src = "func f() -> i64\n  jmp 1\n  consti 0\n  ret\nend";
+        // jmp 1 lands on consti — fine structurally; also verifies.
+        let m = assemble(src).unwrap();
+        m.verify().unwrap();
+    }
+}

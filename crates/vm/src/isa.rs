@@ -1,0 +1,483 @@
+//! The JSM instruction set and its binary encoding.
+//!
+//! JSM is a typed stack machine with three value types: 64-bit integers,
+//! 64-bit floats, and references to byte arrays. Jump targets are
+//! *instruction indices* (not byte offsets), which keeps the verifier's
+//! control-flow analysis and the binary decoder honest: a decoded function
+//! is a `Vec<Insn>` and every target must index into it.
+//!
+//! Binary form: one opcode byte followed by little-endian operands of fixed
+//! width per opcode. The encoding is stable — it is the portability story:
+//! a module assembled at the client is byte-identical at the server.
+
+use jaguar_common::error::{JaguarError, Result};
+use jaguar_common::stream::{read_f64, read_i64, read_u16, read_u32, read_u8};
+use std::io::Read;
+
+/// The verifier's value types.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum VType {
+    /// 64-bit signed integer (also used for booleans: 0 / non-0).
+    I64,
+    /// 64-bit IEEE-754 float.
+    F64,
+    /// Reference to a byte array in the VM arena.
+    Bytes,
+}
+
+impl VType {
+    pub fn tag(self) -> u8 {
+        match self {
+            VType::I64 => 1,
+            VType::F64 => 2,
+            VType::Bytes => 3,
+        }
+    }
+
+    pub fn from_tag(t: u8) -> Result<VType> {
+        Ok(match t {
+            1 => VType::I64,
+            2 => VType::F64,
+            3 => VType::Bytes,
+            other => {
+                return Err(JaguarError::Corruption(format!("bad vtype tag {other}")))
+            }
+        })
+    }
+
+    pub fn name(self) -> &'static str {
+        match self {
+            VType::I64 => "i64",
+            VType::F64 => "f64",
+            VType::Bytes => "bytes",
+        }
+    }
+
+    pub fn from_name(s: &str) -> Result<VType> {
+        Ok(match s {
+            "i64" | "int" => VType::I64,
+            "f64" | "float" => VType::F64,
+            "bytes" => VType::Bytes,
+            other => {
+                return Err(JaguarError::Parse(format!("unknown type '{other}'")))
+            }
+        })
+    }
+}
+
+/// One JSM instruction (decoded form).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Insn {
+    // constants
+    ConstI(i64),
+    ConstF(f64),
+    // locals
+    Load(u16),
+    Store(u16),
+    // stack
+    Pop,
+    Dup,
+    Swap,
+    // integer arithmetic (wrapping, like Java)
+    AddI,
+    SubI,
+    MulI,
+    DivI,
+    RemI,
+    NegI,
+    // float arithmetic
+    AddF,
+    SubF,
+    MulF,
+    DivF,
+    NegF,
+    // bitwise on i64
+    And,
+    Or,
+    Xor,
+    Shl,
+    Shr,
+    Not,
+    // conversions
+    I2F,
+    F2I,
+    // comparisons → i64 0/1
+    EqI,
+    LtI,
+    LeI,
+    EqF,
+    LtF,
+    LeF,
+    // control flow (instruction-index targets)
+    Jmp(u32),
+    /// Pop i64; jump if non-zero.
+    JmpIf(u32),
+    /// Pop i64; jump if zero.
+    JmpIfNot(u32),
+    /// Call function `idx` in the same module.
+    Call(u32),
+    /// Call host import `idx` (the "native method" of §4.2 callbacks).
+    HostCall(u16),
+    Ret,
+    // byte arrays
+    /// Pop length (i64) → push fresh zeroed array ref.
+    NewArr,
+    /// Pop index, ref → push byte as i64. **Bounds-checked.**
+    ALoad,
+    /// Pop value, index, ref. **Bounds-checked.** Value truncated to u8.
+    AStore,
+    /// Pop ref → push length as i64.
+    ALen,
+    /// Unconditional trap with a user code.
+    Trap(u32),
+}
+
+// Opcode bytes. Gaps are reserved.
+mod op {
+    pub const CONST_I: u8 = 0x01;
+    pub const CONST_F: u8 = 0x02;
+    pub const LOAD: u8 = 0x03;
+    pub const STORE: u8 = 0x04;
+    pub const POP: u8 = 0x05;
+    pub const DUP: u8 = 0x06;
+    pub const SWAP: u8 = 0x07;
+    pub const ADD_I: u8 = 0x10;
+    pub const SUB_I: u8 = 0x11;
+    pub const MUL_I: u8 = 0x12;
+    pub const DIV_I: u8 = 0x13;
+    pub const REM_I: u8 = 0x14;
+    pub const NEG_I: u8 = 0x15;
+    pub const ADD_F: u8 = 0x16;
+    pub const SUB_F: u8 = 0x17;
+    pub const MUL_F: u8 = 0x18;
+    pub const DIV_F: u8 = 0x19;
+    pub const NEG_F: u8 = 0x1A;
+    pub const AND: u8 = 0x20;
+    pub const OR: u8 = 0x21;
+    pub const XOR: u8 = 0x22;
+    pub const SHL: u8 = 0x23;
+    pub const SHR: u8 = 0x24;
+    pub const NOT: u8 = 0x25;
+    pub const I2F: u8 = 0x28;
+    pub const F2I: u8 = 0x29;
+    pub const EQ_I: u8 = 0x30;
+    pub const LT_I: u8 = 0x31;
+    pub const LE_I: u8 = 0x32;
+    pub const EQ_F: u8 = 0x33;
+    pub const LT_F: u8 = 0x34;
+    pub const LE_F: u8 = 0x35;
+    pub const JMP: u8 = 0x40;
+    pub const JMP_IF: u8 = 0x41;
+    pub const JMP_IF_NOT: u8 = 0x42;
+    pub const CALL: u8 = 0x43;
+    pub const HOST_CALL: u8 = 0x44;
+    pub const RET: u8 = 0x45;
+    pub const NEW_ARR: u8 = 0x50;
+    pub const A_LOAD: u8 = 0x51;
+    pub const A_STORE: u8 = 0x52;
+    pub const A_LEN: u8 = 0x53;
+    pub const TRAP: u8 = 0x5F;
+}
+
+impl Insn {
+    /// Append the binary encoding of this instruction to `out`.
+    pub fn encode(&self, out: &mut Vec<u8>) {
+        use op::*;
+        match *self {
+            Insn::ConstI(v) => {
+                out.push(CONST_I);
+                out.extend_from_slice(&v.to_le_bytes());
+            }
+            Insn::ConstF(v) => {
+                out.push(CONST_F);
+                out.extend_from_slice(&v.to_le_bytes());
+            }
+            Insn::Load(i) => {
+                out.push(LOAD);
+                out.extend_from_slice(&i.to_le_bytes());
+            }
+            Insn::Store(i) => {
+                out.push(STORE);
+                out.extend_from_slice(&i.to_le_bytes());
+            }
+            Insn::Pop => out.push(POP),
+            Insn::Dup => out.push(DUP),
+            Insn::Swap => out.push(SWAP),
+            Insn::AddI => out.push(ADD_I),
+            Insn::SubI => out.push(SUB_I),
+            Insn::MulI => out.push(MUL_I),
+            Insn::DivI => out.push(DIV_I),
+            Insn::RemI => out.push(REM_I),
+            Insn::NegI => out.push(NEG_I),
+            Insn::AddF => out.push(ADD_F),
+            Insn::SubF => out.push(SUB_F),
+            Insn::MulF => out.push(MUL_F),
+            Insn::DivF => out.push(DIV_F),
+            Insn::NegF => out.push(NEG_F),
+            Insn::And => out.push(AND),
+            Insn::Or => out.push(OR),
+            Insn::Xor => out.push(XOR),
+            Insn::Shl => out.push(SHL),
+            Insn::Shr => out.push(SHR),
+            Insn::Not => out.push(NOT),
+            Insn::I2F => out.push(I2F),
+            Insn::F2I => out.push(F2I),
+            Insn::EqI => out.push(EQ_I),
+            Insn::LtI => out.push(LT_I),
+            Insn::LeI => out.push(LE_I),
+            Insn::EqF => out.push(EQ_F),
+            Insn::LtF => out.push(LT_F),
+            Insn::LeF => out.push(LE_F),
+            Insn::Jmp(t) => {
+                out.push(JMP);
+                out.extend_from_slice(&t.to_le_bytes());
+            }
+            Insn::JmpIf(t) => {
+                out.push(JMP_IF);
+                out.extend_from_slice(&t.to_le_bytes());
+            }
+            Insn::JmpIfNot(t) => {
+                out.push(JMP_IF_NOT);
+                out.extend_from_slice(&t.to_le_bytes());
+            }
+            Insn::Call(t) => {
+                out.push(CALL);
+                out.extend_from_slice(&t.to_le_bytes());
+            }
+            Insn::HostCall(t) => {
+                out.push(HOST_CALL);
+                out.extend_from_slice(&t.to_le_bytes());
+            }
+            Insn::Ret => out.push(RET),
+            Insn::NewArr => out.push(NEW_ARR),
+            Insn::ALoad => out.push(A_LOAD),
+            Insn::AStore => out.push(A_STORE),
+            Insn::ALen => out.push(A_LEN),
+            Insn::Trap(c) => {
+                out.push(TRAP);
+                out.extend_from_slice(&c.to_le_bytes());
+            }
+        }
+    }
+
+    /// Decode one instruction from a reader.
+    pub fn decode(r: &mut impl Read) -> Result<Insn> {
+        use op::*;
+        let opcode = read_u8(r)?;
+        Ok(match opcode {
+            CONST_I => Insn::ConstI(read_i64(r)?),
+            CONST_F => Insn::ConstF(read_f64(r)?),
+            LOAD => Insn::Load(read_u16(r)?),
+            STORE => Insn::Store(read_u16(r)?),
+            POP => Insn::Pop,
+            DUP => Insn::Dup,
+            SWAP => Insn::Swap,
+            ADD_I => Insn::AddI,
+            SUB_I => Insn::SubI,
+            MUL_I => Insn::MulI,
+            DIV_I => Insn::DivI,
+            REM_I => Insn::RemI,
+            NEG_I => Insn::NegI,
+            ADD_F => Insn::AddF,
+            SUB_F => Insn::SubF,
+            MUL_F => Insn::MulF,
+            DIV_F => Insn::DivF,
+            NEG_F => Insn::NegF,
+            AND => Insn::And,
+            OR => Insn::Or,
+            XOR => Insn::Xor,
+            SHL => Insn::Shl,
+            SHR => Insn::Shr,
+            NOT => Insn::Not,
+            I2F => Insn::I2F,
+            F2I => Insn::F2I,
+            EQ_I => Insn::EqI,
+            LT_I => Insn::LtI,
+            LE_I => Insn::LeI,
+            EQ_F => Insn::EqF,
+            LT_F => Insn::LtF,
+            LE_F => Insn::LeF,
+            JMP => Insn::Jmp(read_u32(r)?),
+            JMP_IF => Insn::JmpIf(read_u32(r)?),
+            JMP_IF_NOT => Insn::JmpIfNot(read_u32(r)?),
+            CALL => Insn::Call(read_u32(r)?),
+            HOST_CALL => Insn::HostCall(read_u16(r)?),
+            RET => Insn::Ret,
+            NEW_ARR => Insn::NewArr,
+            A_LOAD => Insn::ALoad,
+            A_STORE => Insn::AStore,
+            A_LEN => Insn::ALen,
+            TRAP => Insn::Trap(read_u32(r)?),
+            other => {
+                return Err(JaguarError::Corruption(format!(
+                    "unknown opcode {other:#04x}"
+                )))
+            }
+        })
+    }
+
+    /// Mnemonic used by the assembler/disassembler.
+    pub fn mnemonic(&self) -> &'static str {
+        match self {
+            Insn::ConstI(_) => "consti",
+            Insn::ConstF(_) => "constf",
+            Insn::Load(_) => "load",
+            Insn::Store(_) => "store",
+            Insn::Pop => "pop",
+            Insn::Dup => "dup",
+            Insn::Swap => "swap",
+            Insn::AddI => "addi",
+            Insn::SubI => "subi",
+            Insn::MulI => "muli",
+            Insn::DivI => "divi",
+            Insn::RemI => "remi",
+            Insn::NegI => "negi",
+            Insn::AddF => "addf",
+            Insn::SubF => "subf",
+            Insn::MulF => "mulf",
+            Insn::DivF => "divf",
+            Insn::NegF => "negf",
+            Insn::And => "and",
+            Insn::Or => "or",
+            Insn::Xor => "xor",
+            Insn::Shl => "shl",
+            Insn::Shr => "shr",
+            Insn::Not => "not",
+            Insn::I2F => "i2f",
+            Insn::F2I => "f2i",
+            Insn::EqI => "eqi",
+            Insn::LtI => "lti",
+            Insn::LeI => "lei",
+            Insn::EqF => "eqf",
+            Insn::LtF => "ltf",
+            Insn::LeF => "lef",
+            Insn::Jmp(_) => "jmp",
+            Insn::JmpIf(_) => "jmpif",
+            Insn::JmpIfNot(_) => "jmpifnot",
+            Insn::Call(_) => "call",
+            Insn::HostCall(_) => "hostcall",
+            Insn::Ret => "ret",
+            Insn::NewArr => "newarr",
+            Insn::ALoad => "aload",
+            Insn::AStore => "astore",
+            Insn::ALen => "alen",
+            Insn::Trap(_) => "trap",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn all_insns() -> Vec<Insn> {
+        vec![
+            Insn::ConstI(-42),
+            Insn::ConstI(i64::MAX),
+            Insn::ConstF(3.25),
+            Insn::Load(7),
+            Insn::Store(65535),
+            Insn::Pop,
+            Insn::Dup,
+            Insn::Swap,
+            Insn::AddI,
+            Insn::SubI,
+            Insn::MulI,
+            Insn::DivI,
+            Insn::RemI,
+            Insn::NegI,
+            Insn::AddF,
+            Insn::SubF,
+            Insn::MulF,
+            Insn::DivF,
+            Insn::NegF,
+            Insn::And,
+            Insn::Or,
+            Insn::Xor,
+            Insn::Shl,
+            Insn::Shr,
+            Insn::Not,
+            Insn::I2F,
+            Insn::F2I,
+            Insn::EqI,
+            Insn::LtI,
+            Insn::LeI,
+            Insn::EqF,
+            Insn::LtF,
+            Insn::LeF,
+            Insn::Jmp(9),
+            Insn::JmpIf(0),
+            Insn::JmpIfNot(u32::MAX),
+            Insn::Call(3),
+            Insn::HostCall(2),
+            Insn::Ret,
+            Insn::NewArr,
+            Insn::ALoad,
+            Insn::AStore,
+            Insn::ALen,
+            Insn::Trap(77),
+        ]
+    }
+
+    #[test]
+    fn encode_decode_roundtrip_every_opcode() {
+        for insn in all_insns() {
+            let mut buf = Vec::new();
+            insn.encode(&mut buf);
+            let mut r = buf.as_slice();
+            let back = Insn::decode(&mut r).unwrap();
+            assert_eq!(back, insn);
+            assert!(r.is_empty(), "{insn:?} left trailing bytes");
+        }
+    }
+
+    #[test]
+    fn stream_of_instructions_roundtrips() {
+        let insns = all_insns();
+        let mut buf = Vec::new();
+        for i in &insns {
+            i.encode(&mut buf);
+        }
+        let mut r = buf.as_slice();
+        let mut back = Vec::new();
+        while !r.is_empty() {
+            back.push(Insn::decode(&mut r).unwrap());
+        }
+        assert_eq!(back, insns);
+    }
+
+    #[test]
+    fn unknown_opcode_is_error() {
+        let mut r: &[u8] = &[0xFE];
+        assert!(Insn::decode(&mut r).is_err());
+    }
+
+    #[test]
+    fn truncated_operand_is_error() {
+        let mut buf = Vec::new();
+        Insn::ConstI(5).encode(&mut buf);
+        let mut r = &buf[..4];
+        assert!(Insn::decode(&mut r).is_err());
+    }
+
+    #[test]
+    fn vtype_tags_roundtrip() {
+        for t in [VType::I64, VType::F64, VType::Bytes] {
+            assert_eq!(VType::from_tag(t.tag()).unwrap(), t);
+            assert_eq!(VType::from_name(t.name()).unwrap(), t);
+        }
+        assert!(VType::from_tag(0).is_err());
+        assert!(VType::from_name("str").is_err());
+    }
+
+    #[test]
+    fn mnemonics_are_unique() {
+        let insns = all_insns();
+        let mut names: Vec<_> = insns.iter().map(|i| i.mnemonic()).collect();
+        names.dedup(); // consecutive duplicates (ConstI twice) collapse
+        let mut sorted = names.clone();
+        sorted.sort();
+        sorted.dedup();
+        assert_eq!(sorted.len(), names.len());
+    }
+}

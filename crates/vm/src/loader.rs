@@ -1,0 +1,197 @@
+//! The module loader — JSM's "class loader".
+//!
+//! §6.1: *"A UDF can be loaded with a special class loader that isolates
+//! the UDF's namespace from that of other UDFs and prevents interactions
+//! between them."* The loader owns the mapping from UDF names to verified
+//! modules and enforces two isolation properties:
+//!
+//! * **namespace isolation** — a module's `Call` instructions can only
+//!   reach functions *inside the same module*; there is no cross-module
+//!   linking at all (stronger than Java, which shares system classes),
+//! * **import gating** — a module's declared host imports must be a subset
+//!   of the loader's `allowed_imports`; a module asking for host functions
+//!   the deployment does not offer is rejected *at load time*, before any
+//!   code runs.
+//!
+//! Loading always verifies: the only way to get a module out of a loader
+//! is as a [`VerifiedModule`].
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use jaguar_common::error::{JaguarError, Result};
+use parking_lot::RwLock;
+
+use crate::module::{FuncSig, Module, VerifiedModule};
+
+/// A namespace-isolating, verifying module loader.
+#[derive(Default)]
+pub struct Loader {
+    /// Host functions this deployment offers, with their signatures.
+    /// A module importing anything else (or with a mismatched signature)
+    /// is rejected at load time.
+    allowed_imports: HashMap<String, FuncSig>,
+    modules: RwLock<HashMap<String, Arc<VerifiedModule>>>,
+}
+
+impl Loader {
+    pub fn new() -> Loader {
+        Loader::default()
+    }
+
+    /// Declare a host function modules may import.
+    pub fn allow_import(mut self, name: impl Into<String>, sig: FuncSig) -> Loader {
+        self.allowed_imports.insert(name.into(), sig);
+        self
+    }
+
+    /// Verify and register a module under its own name.
+    /// Rejects duplicate names — UDFs cannot shadow each other.
+    pub fn load(&self, module: Module) -> Result<Arc<VerifiedModule>> {
+        for imp in &module.imports {
+            match self.allowed_imports.get(&imp.name) {
+                None => {
+                    return Err(JaguarError::SecurityViolation(format!(
+                        "module '{}' imports host function '{}' which this \
+                         deployment does not offer",
+                        module.name, imp.name
+                    )))
+                }
+                Some(sig) if *sig != imp.sig => {
+                    return Err(JaguarError::Verification(format!(
+                        "module '{}' imports '{}' with a mismatched signature",
+                        module.name, imp.name
+                    )))
+                }
+                Some(_) => {}
+            }
+        }
+        let name = module.name.clone();
+        let verified = Arc::new(module.verify()?);
+        let mut mods = self.modules.write();
+        if mods.contains_key(&name) {
+            return Err(JaguarError::Catalog(format!(
+                "module '{name}' is already loaded"
+            )));
+        }
+        mods.insert(name, Arc::clone(&verified));
+        Ok(verified)
+    }
+
+    /// Verify and register a module from its binary form.
+    pub fn load_bytes(&self, data: &[u8]) -> Result<Arc<VerifiedModule>> {
+        self.load(Module::from_bytes(data)?)
+    }
+
+    /// Look up a loaded module by name.
+    pub fn get(&self, name: &str) -> Option<Arc<VerifiedModule>> {
+        self.modules.read().get(name).cloned()
+    }
+
+    /// Drop a module (e.g. when a UDF is unregistered).
+    pub fn unload(&self, name: &str) -> bool {
+        self.modules.write().remove(name).is_some()
+    }
+
+    /// Names of all loaded modules.
+    pub fn loaded(&self) -> Vec<String> {
+        let mut v: Vec<_> = self.modules.read().keys().cloned().collect();
+        v.sort();
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::isa::{Insn, VType};
+    use crate::module::{Function, HostImport};
+
+    fn trivial_module(name: &str) -> Module {
+        Module {
+            name: name.into(),
+            imports: vec![],
+            functions: vec![Function {
+                name: "main".into(),
+                sig: FuncSig::new(vec![], Some(VType::I64)),
+                local_types: vec![],
+                code: vec![Insn::ConstI(1), Insn::Ret],
+            }],
+        }
+    }
+
+    #[test]
+    fn load_get_unload() {
+        let loader = Loader::new();
+        loader.load(trivial_module("a")).unwrap();
+        loader.load(trivial_module("b")).unwrap();
+        assert!(loader.get("a").is_some());
+        assert_eq!(loader.loaded(), vec!["a".to_string(), "b".to_string()]);
+        assert!(loader.unload("a"));
+        assert!(!loader.unload("a"));
+        assert!(loader.get("a").is_none());
+    }
+
+    #[test]
+    fn duplicate_names_rejected() {
+        let loader = Loader::new();
+        loader.load(trivial_module("a")).unwrap();
+        let e = loader.load(trivial_module("a")).unwrap_err();
+        assert!(e.to_string().contains("already loaded"), "{e}");
+    }
+
+    #[test]
+    fn unverifiable_module_rejected() {
+        let loader = Loader::new();
+        let mut m = trivial_module("bad");
+        m.functions[0].code = vec![Insn::AddI, Insn::Ret];
+        assert!(loader.load(m).is_err());
+        assert!(loader.get("bad").is_none());
+    }
+
+    #[test]
+    fn unoffered_import_rejected_at_load() {
+        let loader = Loader::new();
+        let mut m = trivial_module("sneaky");
+        m.imports.push(HostImport {
+            name: "format_disk".into(),
+            sig: FuncSig::new(vec![], None),
+        });
+        let e = loader.load(m).unwrap_err();
+        assert!(matches!(e, JaguarError::SecurityViolation(_)), "{e}");
+    }
+
+    #[test]
+    fn import_signature_mismatch_rejected() {
+        let loader =
+            Loader::new().allow_import("callback", FuncSig::new(vec![VType::I64], Some(VType::I64)));
+        let mut m = trivial_module("m");
+        m.imports.push(HostImport {
+            name: "callback".into(),
+            sig: FuncSig::new(vec![], Some(VType::I64)), // wrong arity
+        });
+        let e = loader.load(m).unwrap_err();
+        assert!(e.to_string().contains("mismatched signature"), "{e}");
+    }
+
+    #[test]
+    fn allowed_import_accepted() {
+        let loader =
+            Loader::new().allow_import("callback", FuncSig::new(vec![VType::I64], Some(VType::I64)));
+        let mut m = trivial_module("m");
+        m.imports.push(HostImport {
+            name: "callback".into(),
+            sig: FuncSig::new(vec![VType::I64], Some(VType::I64)),
+        });
+        loader.load(m).unwrap();
+    }
+
+    #[test]
+    fn load_bytes_roundtrip() {
+        let loader = Loader::new();
+        let bytes = trivial_module("bin").to_bytes();
+        let vm = loader.load_bytes(&bytes).unwrap();
+        assert_eq!(vm.name(), "bin");
+        assert!(loader.load_bytes(b"garbage").is_err());
+    }
+}

@@ -1,0 +1,101 @@
+//! Resource limits and accounting.
+//!
+//! §6.2 of the paper: *"One major issue we have not addressed is resource
+//! management. UDFs can currently consume as much CPU time and memory as
+//! they desire. [...] Such mechanisms will be essential in database
+//! systems."* The paper points at the J-Kernel project's plan to
+//! "instrument Java byte-codes so that the use of resources can be
+//! monitored and policed". JSM bakes that instrumentation in:
+//!
+//! * **fuel** — a per-invocation instruction budget, decremented as code
+//!   executes; exhaustion aborts the UDF with a containable
+//!   `ResourceLimit` error (the CPU half of denial-of-service),
+//! * **memory** — enforced by the [`crate::arena::Arena`] at allocation
+//!   time (the memory half),
+//! * **call depth** — bounds the frame stack against runaway recursion.
+//!
+//! The A3 ablation benchmark measures what this policing costs.
+
+/// Per-invocation resource budget. `None` means unlimited — the 1998 JVM
+/// status quo, kept available for the ablation experiment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ResourceLimits {
+    /// Instruction budget.
+    pub fuel: Option<u64>,
+    /// Arena allocation budget in bytes.
+    pub memory: Option<usize>,
+    /// Maximum call-frame depth.
+    pub max_call_depth: usize,
+}
+
+impl Default for ResourceLimits {
+    fn default() -> Self {
+        ResourceLimits {
+            fuel: Some(500_000_000),
+            memory: Some(64 * 1024 * 1024),
+            max_call_depth: 256,
+        }
+    }
+}
+
+impl ResourceLimits {
+    /// No limits at all (ablation baseline).
+    pub fn unlimited() -> Self {
+        ResourceLimits {
+            fuel: None,
+            memory: None,
+            max_call_depth: 1 << 20,
+        }
+    }
+
+    /// A tight budget for tests of the enforcement paths.
+    pub fn tight(fuel: u64, memory: usize) -> Self {
+        ResourceLimits {
+            fuel: Some(fuel),
+            memory: Some(memory),
+            max_call_depth: 64,
+        }
+    }
+}
+
+/// What an invocation actually consumed — returned alongside results so
+/// the server can account per-UDF usage (and, in a fuller system, bill or
+/// throttle clients).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ResourceUsage {
+    /// Instructions executed.
+    pub instructions: u64,
+    /// Bytes allocated in the arena.
+    pub bytes_allocated: usize,
+    /// Deepest call-frame stack observed.
+    pub max_depth_seen: usize,
+    /// Host callbacks performed.
+    pub host_calls: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_finite() {
+        let l = ResourceLimits::default();
+        assert!(l.fuel.is_some());
+        assert!(l.memory.is_some());
+        assert!(l.max_call_depth > 0);
+    }
+
+    #[test]
+    fn unlimited_is_unlimited() {
+        let l = ResourceLimits::unlimited();
+        assert_eq!(l.fuel, None);
+        assert_eq!(l.memory, None);
+    }
+
+    #[test]
+    fn tight_budget() {
+        let l = ResourceLimits::tight(100, 256);
+        assert_eq!(l.fuel, Some(100));
+        assert_eq!(l.memory, Some(256));
+    }
+}

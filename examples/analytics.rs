@@ -1,0 +1,98 @@
+//! Analytics tour: the SQL surface beyond the paper's benchmark —
+//! aggregates, GROUP BY/HAVING/ORDER BY, DML, a B+Tree index, and a
+//! sandboxed UDF feeding an aggregate.
+//!
+//! ```sh
+//! cargo run --example analytics
+//! ```
+
+use jaguar_core::{ByteArray, Database, DataType, Tuple, UdfDesign, UdfSignature, Value};
+
+fn main() -> jaguar_core::Result<()> {
+    let db = Database::in_memory();
+    db.execute(
+        "CREATE TABLE requests (id INT, region VARCHAR, latency_us INT, payload BYTEARRAY)",
+    )?;
+
+    // Load a synthetic request log.
+    let table = db.catalog().table("requests")?;
+    let regions = ["us-east", "eu-west", "ap-south"];
+    let mut rng = 0x5EEDu64;
+    for i in 0..5_000i64 {
+        rng ^= rng << 13;
+        rng ^= rng >> 7;
+        rng ^= rng << 17;
+        let region = regions[(rng % 3) as usize];
+        let latency = 100 + (rng % 900) as i64 + if region == "ap-south" { 400 } else { 0 };
+        table.insert(Tuple::new(vec![
+            Value::Int(i),
+            Value::Str(region.to_string()),
+            Value::Int(latency),
+            Value::Bytes(ByteArray::patterned(64, rng)),
+        ]))?;
+    }
+
+    // An index turns the id point/range lookups into B+Tree probes.
+    db.execute("CREATE INDEX requests_id ON requests (id)")?;
+    println!(
+        "point lookup plan:\n{}",
+        db.explain("SELECT latency_us FROM requests WHERE id = 4321")?
+    );
+
+    // A sandboxed UDF scoring each payload, feeding a grouped aggregate.
+    db.register_jagscript_udf(
+        "entropyish",
+        UdfSignature::new(vec![DataType::Bytes], DataType::Int),
+        r#"
+            fn main(b: bytes) -> i64 {
+                // count byte-to-byte transitions as a cheap variety score
+                let n: i64 = len(b);
+                if n < 2 { return 0; }
+                let changes: i64 = 0;
+                let i: i64 = 1;
+                while i < n {
+                    if b[i] != b[i - 1] { changes = changes + 1; }
+                    i = i + 1;
+                }
+                return (changes * 100) / (n - 1);
+            }
+        "#,
+        UdfDesign::Sandboxed,
+    )?;
+
+    let report = db.execute(
+        "SELECT region, COUNT(*) AS n, AVG(latency_us) AS avg_lat, \
+                MAX(latency_us) AS worst, AVG(entropyish(payload)) AS variety \
+         FROM requests \
+         WHERE latency_us > 150 \
+         GROUP BY region \
+         HAVING n > 100 \
+         ORDER BY avg_lat DESC",
+    )?;
+    println!("per-region latency report (slowest first):");
+    for row in &report.rows {
+        println!(
+            "  {:8}  n={:5}  avg={:7.1}µs  worst={:4}µs  variety={:5.1}",
+            row.get(0)?.as_str()?,
+            row.get(1)?.as_int()?,
+            row.get(2)?.as_float()?,
+            row.get(3)?.as_int()?,
+            row.get(4)?.as_float()?,
+        );
+    }
+    println!(
+        "  (sandboxed UDF ran {} times, {} VM instructions metered)",
+        report.stats.udf_invocations, report.stats.vm_instructions
+    );
+
+    // DML: archive the slow region, then show the survivors.
+    let deleted = db.execute("DELETE FROM requests WHERE region = 'ap-south'")?;
+    db.execute("UPDATE requests SET latency_us = latency_us - 100 WHERE latency_us > 900")?;
+    let left = db.execute("SELECT COUNT(*) FROM requests")?;
+    println!(
+        "archived {} ap-south rows; {} remain after latency adjustment",
+        deleted.affected,
+        left.rows[0].get(0)?.as_int()?
+    );
+    Ok(())
+}

@@ -1,0 +1,64 @@
+//! Two-tier deployment (paper §2.1 + §6.4): a server thread, a TCP client
+//! that uploads a locally compiled UDF, queries through it, and finally
+//! downloads the same bytecode to run it client-side.
+//!
+//! ```sh
+//! cargo run --example client_server
+//! ```
+
+use jaguar_core::{Client, Database, DataType, UdfSignature, Value};
+
+fn main() -> jaguar_core::Result<()> {
+    // ---- server side ---------------------------------------------------
+    let db = Database::in_memory();
+    db.execute("CREATE TABLE sensors (id INT, trace BYTEARRAY)")?;
+    db.execute(
+        "INSERT INTO sensors VALUES \
+         (1, X'0102030405'), (2, X'646464'), (3, X'FF00FF00')",
+    )?;
+    let server = db.serve("127.0.0.1:0")?;
+    println!("server listening on {}", server.addr());
+
+    // ---- client side ---------------------------------------------------
+    let mut client = Client::connect(server.addr())?;
+    client.ping()?;
+
+    // Develop the UDF "at the client": compile JagScript locally, smoke
+    // test the bytecode locally, then ship it. (§6.4: "define new Java
+    // UDFs, test them at the client, and migrate them to the server".)
+    let source = r#"
+        fn main(trace: bytes) -> i64 {
+            let peak: i64 = 0;
+            let i: i64 = 0;
+            while i < len(trace) {
+                if trace[i] > peak { peak = trace[i]; }
+                i = i + 1;
+            }
+            return peak;
+        }
+    "#;
+    let sig = UdfSignature::new(vec![DataType::Bytes], DataType::Int);
+    client.compile_and_register(
+        "peak",
+        &sig,
+        source,
+        Some(&[Value::Bytes(jaguar_core::ByteArray::new(vec![1, 9, 3]))]),
+    )?;
+    println!("UDF 'peak' compiled locally, verified and registered at the server");
+
+    // Query through the uploaded UDF — executed server-side (Design 3).
+    let result = client.execute("SELECT id, peak(trace) FROM sensors WHERE peak(trace) > 100")?;
+    println!("rows with peak > 100 (server-side execution):");
+    for row in &result.rows {
+        println!("  id={} peak={}", row.get(0)?.as_int()?, row.get(1)?.as_int()?);
+    }
+    println!("  ({} UDF invocations at the server)", result.stats.udf_invocations);
+
+    // Migrate the UDF back: identical bytecode, now running at the client.
+    let mut local = client.fetch_udf("peak")?;
+    let v = local.invoke(&[Value::Bytes(jaguar_core::ByteArray::new(vec![5, 250, 9]))])?;
+    println!("client-side execution of the same bytecode: peak([5,250,9]) = {v}");
+
+    client.quit()?;
+    Ok(())
+}

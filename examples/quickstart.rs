@@ -1,0 +1,68 @@
+//! Quickstart: create a database, load data, register a sandboxed UDF
+//! written in JagScript, and query through it.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use jaguar_core::{Database, DataType, UdfDesign, UdfSignature};
+
+fn main() -> jaguar_core::Result<()> {
+    let db = Database::in_memory();
+
+    db.execute("CREATE TABLE readings (id INT, sensor VARCHAR, trace BYTEARRAY)")?;
+    db.execute(
+        "INSERT INTO readings VALUES \
+         (1, 'north', X'0105090D11'), \
+         (2, 'south', X'FFFEFDFC'), \
+         (3, 'north', X'00000000'), \
+         (4, 'east',  NULL)",
+    )?;
+
+    // A UDF authored by an (untrusted) user: the mean of a byte trace.
+    // It compiles to verified bytecode and runs inside the sandbox with
+    // bounds checks, fuel, and memory limits — the paper's Design 3.
+    db.register_jagscript_udf(
+        "trace_mean",
+        UdfSignature::new(vec![DataType::Bytes], DataType::Int),
+        r#"
+            fn main(trace: bytes) -> i64 {
+                let n: i64 = len(trace);
+                if n == 0 { return 0; }
+                let sum: i64 = 0;
+                let i: i64 = 0;
+                while i < n {
+                    sum = sum + trace[i];
+                    i = i + 1;
+                }
+                return sum / n;
+            }
+        "#,
+        UdfDesign::Sandboxed,
+    )?;
+
+    println!("plan:\n{}", db.explain(
+        "SELECT id, trace_mean(trace) FROM readings WHERE sensor = 'north'",
+    )?);
+
+    let result = db.execute(
+        "SELECT id, trace_mean(trace) AS mean FROM readings WHERE sensor = 'north'",
+    )?;
+    println!(
+        "columns: {:?}",
+        result
+            .schema
+            .fields()
+            .iter()
+            .map(|f| f.name.as_str())
+            .collect::<Vec<_>>()
+    );
+    for row in &result.rows {
+        println!("row: {row}");
+    }
+    println!(
+        "stats: scanned {} rows, {} udf invocations",
+        result.stats.rows_scanned, result.stats.udf_invocations
+    );
+    Ok(())
+}

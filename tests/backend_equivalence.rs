@@ -1,0 +1,148 @@
+//! Cross-design equivalence: the same UDF, executed under every design of
+//! the paper's Table 1, must produce identical results. This is the
+//! correctness backbone of the whole performance study — Figures 5-8 only
+//! make sense if the designs compute the same function.
+
+use jaguar_core::{ByteArray, Value};
+use jaguar_ipc::find_worker_binary;
+use jaguar_udf::generic::{
+    def_isolated, def_isolated_vm, def_native, def_native_bc, def_native_sfi, def_vm,
+    GenericParams, IdentityCallbacks,
+};
+use jaguar_vm::ResourceLimits;
+
+fn worker_available() -> bool {
+    if find_worker_binary().is_err() {
+        eprintln!("skipping isolated designs: jaguar-worker not built (cargo build --workspace)");
+        false
+    } else {
+        true
+    }
+}
+
+fn invoke(def: &jaguar_udf::UdfDef, args: &[Value]) -> Value {
+    let mut u = def.instantiate().expect("instantiate");
+    let out = u.invoke(args, &mut IdentityCallbacks).expect("invoke");
+    u.finish().expect("finish");
+    out
+}
+
+#[test]
+fn all_designs_compute_the_same_generic_udf() {
+    let cases = [
+        (0usize, GenericParams::default()),
+        (
+            100,
+            GenericParams {
+                data_indep_comps: 57,
+                data_dep_comps: 2,
+                callbacks: 3,
+            },
+        ),
+        (
+            1000,
+            GenericParams {
+                data_indep_comps: 0,
+                data_dep_comps: 1,
+                callbacks: 0,
+            },
+        ),
+        (
+            64,
+            GenericParams {
+                data_indep_comps: 1,
+                data_dep_comps: 0,
+                callbacks: 10,
+            },
+        ),
+    ];
+    let with_worker = worker_available();
+    for (i, (bytes, params)) in cases.into_iter().enumerate() {
+        let data = ByteArray::patterned(bytes, i as u64 + 1);
+        let args = params.args(data);
+
+        let expected = invoke(&def_native(), &args);
+        assert_eq!(invoke(&def_native_bc(), &args), expected, "BC case {i}");
+        assert_eq!(invoke(&def_native_sfi(), &args), expected, "SFI case {i}");
+        assert_eq!(
+            invoke(&def_vm(true, ResourceLimits::default()), &args),
+            expected,
+            "VM-jit case {i}"
+        );
+        assert_eq!(
+            invoke(&def_vm(false, ResourceLimits::default()), &args),
+            expected,
+            "VM-baseline case {i}"
+        );
+        if with_worker {
+            assert_eq!(invoke(&def_isolated(), &args), expected, "IC++ case {i}");
+            assert_eq!(
+                invoke(&def_isolated_vm(true, ResourceLimits::default()), &args),
+                expected,
+                "IJSM case {i}"
+            );
+        }
+    }
+}
+
+#[test]
+fn equivalence_on_randomized_parameters() {
+    use jaguar_common::rng::SplitMix64;
+    let mut rng = SplitMix64::new(2024);
+    let with_worker = worker_available();
+    for round in 0..8 {
+        let bytes = rng.next_below(300) as usize;
+        let params = GenericParams {
+            data_indep_comps: rng.next_below(200) as i64,
+            data_dep_comps: rng.next_below(4) as i64,
+            callbacks: rng.next_below(6) as i64,
+        };
+        let data = ByteArray::patterned(bytes, rng.next_u64());
+        let args = params.args(data);
+        let expected = invoke(&def_native(), &args);
+        assert_eq!(
+            invoke(&def_vm(true, ResourceLimits::default()), &args),
+            expected,
+            "round {round}: vm vs native for {params:?} bytes={bytes}"
+        );
+        assert_eq!(
+            invoke(&def_native_bc(), &args),
+            expected,
+            "round {round}: bc vs native"
+        );
+        assert_eq!(
+            invoke(&def_native_sfi(), &args),
+            expected,
+            "round {round}: sfi vs native"
+        );
+        if with_worker && round % 4 == 0 {
+            assert_eq!(
+                invoke(&def_isolated(), &args),
+                expected,
+                "round {round}: isolated vs native"
+            );
+        }
+    }
+}
+
+#[test]
+fn isolated_worker_survives_many_invocations() {
+    if !worker_available() {
+        return;
+    }
+    let def = def_isolated();
+    let mut u = def.instantiate().unwrap();
+    let data = ByteArray::patterned(128, 5);
+    for i in 0..200i64 {
+        let params = GenericParams {
+            data_indep_comps: i % 7,
+            data_dep_comps: i % 3,
+            callbacks: i % 2,
+        };
+        let out = u
+            .invoke(&params.args(data.clone()), &mut IdentityCallbacks)
+            .unwrap();
+        assert!(matches!(out, Value::Int(_)));
+    }
+    u.finish().unwrap();
+}

@@ -1,0 +1,212 @@
+//! End-to-end integration: SQL → planner → executor → storage, with UDFs
+//! in several designs, on workloads shaped like the paper's.
+
+use jaguar_core::{
+    ByteArray, Config, Database, DataType, Tuple, UdfDesign, UdfSignature, Value,
+};
+
+fn loaded_db(rows: i64, bytes: usize) -> Database {
+    let db = Database::in_memory();
+    db.execute("CREATE TABLE rel (id INT, bytearray BYTEARRAY)").unwrap();
+    let t = db.catalog().table("rel").unwrap();
+    for i in 0..rows {
+        t.insert(Tuple::new(vec![
+            Value::Int(i),
+            Value::Bytes(ByteArray::patterned(bytes, i as u64)),
+        ]))
+        .unwrap();
+    }
+    db
+}
+
+#[test]
+fn paper_benchmark_query_end_to_end() {
+    let db = loaded_db(100, 100);
+    db.register_udf(jaguar_udf::generic::def_native());
+    let r = db
+        .execute("SELECT generic(R.bytearray, 10, 1, 0) FROM rel R WHERE R.id < 50")
+        .unwrap();
+    assert_eq!(r.rows.len(), 50);
+    assert_eq!(r.stats.udf_invocations, 50);
+}
+
+#[test]
+fn large_tuples_cross_page_boundaries() {
+    // 10,000-byte tuples on 8 KiB pages: every row overflows.
+    let db = loaded_db(50, 10_000);
+    let r = db.execute("SELECT bytearray FROM rel WHERE id = 33").unwrap();
+    let Value::Bytes(b) = r.rows[0].get(0).unwrap() else {
+        panic!()
+    };
+    assert_eq!(b.len(), 10_000);
+    assert_eq!(b, &ByteArray::patterned(10_000, 33));
+}
+
+#[test]
+fn jagscript_udf_over_sql() {
+    let db = loaded_db(20, 64);
+    db.register_jagscript_udf(
+        "bytesum",
+        UdfSignature::new(vec![DataType::Bytes], DataType::Int),
+        "fn main(b: bytes) -> i64 {
+            let s: i64 = 0;
+            let i: i64 = 0;
+            while i < len(b) { s = s + b[i]; i = i + 1; }
+            return s;
+        }",
+        UdfDesign::Sandboxed,
+    )
+    .unwrap();
+    let r = db
+        .execute("SELECT id, bytesum(bytearray) FROM rel WHERE bytesum(bytearray) > 0")
+        .unwrap();
+    assert!(!r.rows.is_empty());
+    // Verify one row against a direct computation.
+    let id = r.rows[0].get(0).unwrap().as_int().unwrap();
+    let expect: i64 = ByteArray::patterned(64, id as u64)
+        .as_slice()
+        .iter()
+        .map(|&b| b as i64)
+        .sum();
+    assert_eq!(r.rows[0].get(1).unwrap().as_int().unwrap(), expect);
+}
+
+#[test]
+fn udf_error_aborts_query_but_not_engine() {
+    let db = loaded_db(10, 8);
+    db.register_jagscript_udf(
+        "bad",
+        UdfSignature::new(vec![DataType::Bytes], DataType::Int),
+        "fn main(b: bytes) -> i64 { return b[9999]; }", // traps
+        UdfDesign::Sandboxed,
+    )
+    .unwrap();
+    assert!(db.execute("SELECT bad(bytearray) FROM rel").is_err());
+    // Engine still healthy.
+    assert_eq!(db.execute("SELECT id FROM rel").unwrap().rows.len(), 10);
+}
+
+#[test]
+fn multi_statement_session() {
+    let db = Database::in_memory();
+    db.execute("CREATE TABLE a (x INT)").unwrap();
+    db.execute("INSERT INTO a VALUES (1), (2)").unwrap();
+    db.execute("CREATE TABLE b (y VARCHAR)").unwrap();
+    db.execute("INSERT INTO b VALUES ('hi')").unwrap();
+    assert_eq!(db.execute("SELECT x FROM a").unwrap().rows.len(), 2);
+    assert_eq!(db.execute("SELECT y FROM b").unwrap().rows.len(), 1);
+    db.execute("DROP TABLE a").unwrap();
+    assert!(db.execute("SELECT x FROM a").is_err());
+    assert_eq!(db.execute("SELECT y FROM b").unwrap().rows.len(), 1);
+}
+
+#[test]
+fn on_disk_database_roundtrip() {
+    let dir = std::env::temp_dir().join(format!("jaguar-e2e-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let db = Database::open(&dir, Config::default()).unwrap();
+    db.execute("CREATE TABLE t (a INT, b BYTEARRAY)").unwrap();
+    db.execute("INSERT INTO t VALUES (1, X'AB'), (2, X'CD')").unwrap();
+    let r = db.execute("SELECT b FROM t WHERE a = 2").unwrap();
+    assert_eq!(
+        r.rows[0].get(0).unwrap(),
+        &Value::Bytes(ByteArray::new(vec![0xCD]))
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn database_survives_restart() {
+    let dir = std::env::temp_dir().join(format!("jaguar-restart-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    {
+        let db = Database::open(&dir, Config::default()).unwrap();
+        db.execute("CREATE TABLE logs (seq INT, payload BYTEARRAY)").unwrap();
+        db.execute("INSERT INTO logs VALUES (1, X'AA'), (2, X'BB'), (3, NULL)").unwrap();
+        db.catalog().flush_all().unwrap();
+    }
+    let db = Database::open(&dir, Config::default()).unwrap();
+    let r = db.execute("SELECT seq FROM logs WHERE payload <> X'AA'").unwrap();
+    assert_eq!(r.rows.len(), 1);
+    assert_eq!(r.rows[0].get(0).unwrap(), &Value::Int(2));
+    let agg = db.execute("SELECT COUNT(*), MAX(seq) FROM logs").unwrap();
+    assert_eq!(agg.rows[0].get(0).unwrap(), &Value::Int(3));
+    assert_eq!(agg.rows[0].get(1).unwrap(), &Value::Int(3));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn sql_dml_and_aggregates_end_to_end() {
+    let db = loaded_db(60, 32);
+    db.execute("DELETE FROM rel WHERE id >= 50").unwrap();
+    let r = db.execute("SELECT COUNT(*) FROM rel").unwrap();
+    assert_eq!(r.rows[0].get(0).unwrap(), &Value::Int(50));
+    db.execute("UPDATE rel SET bytearray = X'FF' WHERE id < 10").unwrap();
+    db.register_jagscript_udf(
+        "blen",
+        UdfSignature::new(vec![DataType::Bytes], DataType::Int),
+        "fn main(b: bytes) -> i64 { return len(b); }",
+        UdfDesign::Sandboxed,
+    )
+    .unwrap();
+    // Aggregate over a sandboxed UDF's output, grouped by it too.
+    let r = db
+        .execute("SELECT blen(bytearray) AS sz, COUNT(*) FROM rel GROUP BY blen(bytearray)")
+        .unwrap();
+    assert_eq!(r.rows.len(), 2); // 1-byte and 32-byte groups
+    let mut sizes: Vec<(i64, i64)> = r
+        .rows
+        .iter()
+        .map(|t| {
+            (
+                t.get(0).unwrap().as_int().unwrap(),
+                t.get(1).unwrap().as_int().unwrap(),
+            )
+        })
+        .collect();
+    sizes.sort();
+    assert_eq!(sizes, vec![(1, 10), (32, 40)]);
+}
+
+#[test]
+fn predicate_ordering_saves_work_at_scale() {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Arc;
+    let db = loaded_db(200, 16);
+    let calls = Arc::new(AtomicU64::new(0));
+    let c2 = Arc::clone(&calls);
+    db.register_native_udf(
+        "pricey",
+        UdfSignature::new(vec![DataType::Bytes], DataType::Bool),
+        move |args, _| {
+            c2.fetch_add(1, Ordering::Relaxed);
+            Ok(Value::Bool(!args[0].as_bytes()?.is_empty()))
+        },
+    );
+    // UDF written first; optimizer must run `id < 10` first.
+    let r = db
+        .execute("SELECT id FROM rel WHERE pricey(bytearray) = TRUE AND id < 10")
+        .unwrap();
+    assert_eq!(r.rows.len(), 10);
+    assert_eq!(calls.load(Ordering::Relaxed), 10, "UDF ran on 10 rows, not 200");
+}
+
+#[test]
+fn nulls_flow_through_udfs_and_predicates() {
+    let db = Database::in_memory();
+    db.execute("CREATE TABLE t (a INT, b BYTEARRAY)").unwrap();
+    db.execute("INSERT INTO t VALUES (1, X'01'), (2, NULL)").unwrap();
+    db.register_native_udf(
+        "len_or_neg",
+        UdfSignature::new(vec![DataType::Bytes], DataType::Int),
+        |args, _| {
+            Ok(match &args[0] {
+                Value::Null => Value::Int(-1),
+                v => Value::Int(v.as_bytes()?.len() as i64),
+            })
+        },
+    );
+    let r = db.execute("SELECT a, len_or_neg(b) FROM t").unwrap();
+    assert_eq!(r.rows[0].get(1).unwrap(), &Value::Int(1));
+    assert_eq!(r.rows[1].get(1).unwrap(), &Value::Int(-1));
+}
