@@ -22,16 +22,12 @@ fn bench_computation(c: &mut Criterion) {
         for design in [Design::Cpp, Design::Jsm] {
             let def = def_for(design);
             let mut udf = def.instantiate().expect("in-process designs instantiate");
-            group.bench_with_input(
-                BenchmarkId::new(design.label(), indep),
-                &args,
-                |b, args| {
-                    b.iter(|| {
-                        udf.invoke(args, &mut IdentityCallbacks)
-                            .expect("benchmark invocation")
-                    })
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(design.label(), indep), &args, |b, args| {
+                b.iter(|| {
+                    udf.invoke(args, &mut IdentityCallbacks)
+                        .expect("benchmark invocation")
+                })
+            });
         }
     }
     group.finish();

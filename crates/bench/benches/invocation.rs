@@ -29,16 +29,12 @@ fn bench_invocation(c: &mut Criterion) {
                     continue;
                 }
             };
-            group.bench_with_input(
-                BenchmarkId::new(design.label(), bytes),
-                &args,
-                |b, args| {
-                    b.iter(|| {
-                        udf.invoke(args, &mut IdentityCallbacks)
-                            .expect("benchmark invocation")
-                    })
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(design.label(), bytes), &args, |b, args| {
+                b.iter(|| {
+                    udf.invoke(args, &mut IdentityCallbacks)
+                        .expect("benchmark invocation")
+                })
+            });
             let _ = udf.finish();
         }
     }

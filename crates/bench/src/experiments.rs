@@ -336,7 +336,14 @@ impl ExperimentCtx {
         let designs = [Design::Cpp, Design::ICpp, Design::Jsm];
         let mut t = Table::new(
             "Figure 6 — pure computation, net of baseline (secs; relative to C++)",
-            &["DataIndepComps", "C++", "IC++", "JSM", "IC++/C++", "JSM/C++"],
+            &[
+                "DataIndepComps",
+                "C++",
+                "IC++",
+                "JSM",
+                "IC++/C++",
+                "JSM/C++",
+            ],
         );
         for indep in self.scale.indep_sweep() {
             let mut times: Vec<Option<Duration>> = Vec::new();
@@ -349,9 +356,7 @@ impl ExperimentCtx {
                 times.push(Some(self.run_net(d, bytes, card, indep, 0, 0)?));
             }
             // A base below timer resolution would make ratios meaningless.
-            let base = times[0]
-                .map(|d| d.as_secs_f64())
-                .filter(|&b| b > 1e-3);
+            let base = times[0].map(|d| d.as_secs_f64()).filter(|&b| b > 1e-3);
             let rel = |i: usize| -> Option<f64> {
                 match (times[i], base) {
                     (Some(t), Some(b)) => Some(t.as_secs_f64() / b),
@@ -452,9 +457,7 @@ impl ExperimentCtx {
                 times.push(Some(self.run_net(d, bytes, card, 0, 0, n)?));
             }
             // A base below timer resolution would make ratios meaningless.
-            let base = times[0]
-                .map(|d| d.as_secs_f64())
-                .filter(|&b| b > 1e-3);
+            let base = times[0].map(|d| d.as_secs_f64()).filter(|&b| b > 1e-3);
             let rel = |i: usize| -> Option<f64> {
                 match (times[i], base) {
                     (Some(t), Some(b)) => Some(t.as_secs_f64() / b),
@@ -483,12 +486,7 @@ impl ExperimentCtx {
             &["design", "language", "process", "safety", "µs/invocation"],
         );
         let rows: [(Design, &str, &str, &str); 4] = [
-            (
-                Design::Cpp,
-                "native",
-                "same",
-                "none (trusted)",
-            ),
+            (Design::Cpp, "native", "same", "none (trusted)"),
             (
                 Design::ICpp,
                 "native",
@@ -671,9 +669,8 @@ impl ExperimentCtx {
 
         // Strategy 1: query shipping — the UDF filters at the server.
         let mut client = Client::connect(server.addr())?;
-        let sql = format!(
-            "SELECT id FROM rel10000 R WHERE shipudf(R.bytearray, 0, 1, 0) > {threshold}"
-        );
+        let sql =
+            format!("SELECT id FROM rel10000 R WHERE shipudf(R.bytearray, 0, 1, 0) > {threshold}");
         let start = Instant::now();
         let server_side = client
             .execute(&sql)
@@ -759,7 +756,10 @@ impl ExperimentCtx {
             &["query", "seq scan", "rows touched", "index", "rows touched"],
         );
         let queries = [
-            ("point (id = k)", format!("SELECT payload FROM idxbench WHERE id = {}", card / 2)),
+            (
+                "point (id = k)",
+                format!("SELECT payload FROM idxbench WHERE id = {}", card / 2),
+            ),
             (
                 "1% range",
                 format!(
@@ -768,7 +768,10 @@ impl ExperimentCtx {
                     card / 2 + card / 100
                 ),
             ),
-            ("50% range", format!("SELECT payload FROM idxbench WHERE id < {}", card / 2)),
+            (
+                "50% range",
+                format!("SELECT payload FROM idxbench WHERE id < {}", card / 2),
+            ),
         ];
         let time_query = |sql: &str| -> Result<(Duration, u64)> {
             let mut best: Option<(Duration, u64)> = None;
@@ -788,7 +791,8 @@ impl ExperimentCtx {
         for (_, sql) in &queries {
             seq.push(time_query(sql)?);
         }
-        self.db.execute("CREATE INDEX idxbench_id ON idxbench (id)")?;
+        self.db
+            .execute("CREATE INDEX idxbench_id ON idxbench (id)")?;
         for ((name, sql), (seq_d, seq_rows)) in queries.iter().zip(seq) {
             let (idx_d, idx_rows) = time_query(sql)?;
             table.row(vec![
@@ -809,6 +813,91 @@ impl ExperimentCtx {
         Ok(table)
     }
 
+    /// P1 (extension) — isolated-executor acquisition cost: the paper's
+    /// per-query worker spawn vs checking a warm worker out of the shared
+    /// pool. The per-invocation cost of the isolated designs (Figures 5–8)
+    /// excludes process startup because the paper spawns once per query;
+    /// this measures that startup, and what the pool recovers of it.
+    pub fn pool(&self) -> Result<Table> {
+        use jaguar_core::{PoolConfig, WorkerPool};
+        use std::sync::Arc;
+
+        let mut t = Table::new(
+            "P1 — isolated executor acquisition: per-query spawn vs warm pool (extension)",
+            &["strategy", "queries", "total", "µs/query", "worker spawns"],
+        );
+        if !self.worker_available {
+            t.note("skipped: jaguar-worker binary not found (cargo build --workspace)");
+            return Ok(t);
+        }
+
+        let queries = 50usize;
+        let def = def_for(Design::ICpp);
+        let args = vec![
+            Value::Bytes(jaguar_common::ByteArray::patterned(100, 7)),
+            Value::Int(0),
+            Value::Int(1),
+            Value::Int(0),
+        ];
+        let per_query_us = |d: Duration| format!("{:.1}", d.as_secs_f64() * 1e6 / queries as f64);
+
+        // Strategy 1: the paper's model — spawn, handshake, load, invoke,
+        // tear down, once per query.
+        let start = Instant::now();
+        for _ in 0..queries {
+            let mut u = def.instantiate()?;
+            u.invoke(&args, &mut jaguar_udf::generic::IdentityCallbacks)?;
+            u.finish()?;
+        }
+        let cold = start.elapsed();
+        t.row(vec![
+            "per-query spawn (paper)".into(),
+            queries.to_string(),
+            secs(cold),
+            per_query_us(cold),
+            queries.to_string(),
+        ]);
+
+        // Strategy 2: warm pool — the same queries check workers out of a
+        // two-worker pool and return them with a Reset.
+        let pool = Arc::new(WorkerPool::new(PoolConfig {
+            size: 2,
+            ..PoolConfig::default()
+        })?);
+        pool.wait_ready(Duration::from_secs(10));
+        let start = Instant::now();
+        for _ in 0..queries {
+            let mut u = def.instantiate_with(Some(&pool))?;
+            u.invoke(&args, &mut jaguar_udf::generic::IdentityCallbacks)?;
+            u.finish()?;
+        }
+        let pooled = start.elapsed();
+        let stats = pool.stats();
+        t.row(vec![
+            "warm pool (size 2)".into(),
+            queries.to_string(),
+            secs(pooled),
+            per_query_us(pooled),
+            stats.spawns.to_string(),
+        ]);
+
+        t.note(format!(
+            "pool reuses: {}, crashes: {}; speedup {}",
+            stats.reuses,
+            stats.crashes,
+            ratio(if pooled.as_secs_f64() > 1e-6 {
+                Some(cold.as_secs_f64() / pooled.as_secs_f64())
+            } else {
+                None
+            }),
+        ));
+        t.note(
+            "each query does one IC++ invocation over a 100-byte bytearray, so \
+             the difference is almost pure executor acquisition cost",
+        );
+        Ok(t)
+    }
+
     /// Every experiment, in paper order.
     pub fn all(&self) -> Result<Vec<Table>> {
         Ok(vec![
@@ -822,6 +911,7 @@ impl ExperimentCtx {
             self.ablation_jit()?,
             self.ablation_fuel()?,
             self.ablation_index()?,
+            self.pool()?,
             self.shipping()?,
         ])
     }
@@ -839,9 +929,10 @@ impl ExperimentCtx {
             "jit" => self.ablation_jit(),
             "fuel" => self.ablation_fuel(),
             "index" => self.ablation_index(),
+            "pool" => self.pool(),
             "shipping" => self.shipping(),
             other => Err(JaguarError::Other(format!(
-                "unknown experiment '{other}' (try table1, fig4..fig8, sfi, jit, fuel, index, shipping)"
+                "unknown experiment '{other}' (try table1, fig4..fig8, sfi, jit, fuel, index, pool, shipping)"
             ))),
         }
     }
@@ -851,10 +942,7 @@ fn design_number(d: Design) -> u8 {
     match d {
         Design::Cpp | Design::BcCpp | Design::SfiCpp => 1,
         Design::ICpp => 2,
-        Design::Jsm
-        | Design::JsmBaseline
-        | Design::JsmNoFuel
-        | Design::JsmBaselineNoFuel => 3,
+        Design::Jsm | Design::JsmBaseline | Design::JsmNoFuel | Design::JsmBaselineNoFuel => 3,
         Design::IJsm => 4,
     }
 }
@@ -917,7 +1005,9 @@ mod tests {
         let ctx = tiny_ctx();
         let d = ctx.run_net(Design::Jsm, 100, 10, 100, 1, 2).unwrap();
         let _ = d;
-        let d = ctx.run_net(Design::JsmBaseline, 100, 10, 100, 1, 0).unwrap();
+        let d = ctx
+            .run_net(Design::JsmBaseline, 100, 10, 100, 1, 0)
+            .unwrap();
         let _ = d;
     }
 

@@ -55,7 +55,11 @@ impl Table {
                 .join("  ")
         };
         let _ = writeln!(out, "{}", line(&self.header, &w));
-        let _ = writeln!(out, "{}", "-".repeat(w.iter().sum::<usize>() + 2 * (w.len() - 1)));
+        let _ = writeln!(
+            out,
+            "{}",
+            "-".repeat(w.iter().sum::<usize>() + 2 * (w.len() - 1))
+        );
         for row in &self.rows {
             let _ = writeln!(out, "{}", line(row, &w));
         }
@@ -73,7 +77,11 @@ impl Table {
         let _ = writeln!(
             out,
             "|{}|",
-            self.header.iter().map(|_| "---").collect::<Vec<_>>().join("|")
+            self.header
+                .iter()
+                .map(|_| "---")
+                .collect::<Vec<_>>()
+                .join("|")
         );
         for row in &self.rows {
             let _ = writeln!(out, "| {} |", row.join(" | "));

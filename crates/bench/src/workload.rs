@@ -24,7 +24,9 @@ pub fn rel_name(bytes: usize) -> String {
 /// `(id INT, bytearray BYTEARRAY)` with ids `0..cardinality`.
 pub fn build_relation(db: &Database, bytes: usize, cardinality: usize) -> Result<()> {
     let name = rel_name(bytes);
-    db.execute(&format!("CREATE TABLE {name} (id INT, bytearray BYTEARRAY)"))?;
+    db.execute(&format!(
+        "CREATE TABLE {name} (id INT, bytearray BYTEARRAY)"
+    ))?;
     let table = db.catalog().table(&name)?;
     let mut rng = SplitMix64::new(bytes as u64 ^ 0x9E37);
     for id in 0..cardinality {
@@ -71,8 +73,12 @@ mod tests {
         build_relation(&db1, 100, 20).unwrap();
         let db2 = Database::in_memory();
         build_relation(&db2, 100, 20).unwrap();
-        let r1 = db1.execute("SELECT bytearray FROM rel100 WHERE id = 7").unwrap();
-        let r2 = db2.execute("SELECT bytearray FROM rel100 WHERE id = 7").unwrap();
+        let r1 = db1
+            .execute("SELECT bytearray FROM rel100 WHERE id = 7")
+            .unwrap();
+        let r2 = db2
+            .execute("SELECT bytearray FROM rel100 WHERE id = 7")
+            .unwrap();
         assert_eq!(r1.rows, r2.rows);
     }
 
@@ -82,7 +88,10 @@ mod tests {
         build_standard(&db, 10).unwrap();
         for bytes in REL_SIZES {
             let r = db
-                .execute(&format!("SELECT bytearray FROM {} WHERE id = 0", rel_name(bytes)))
+                .execute(&format!(
+                    "SELECT bytearray FROM {} WHERE id = 0",
+                    rel_name(bytes)
+                ))
                 .unwrap();
             let Value::Bytes(b) = r.rows[0].get(0).unwrap() else {
                 panic!()

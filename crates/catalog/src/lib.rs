@@ -262,7 +262,8 @@ mod tests {
         let _ = std::fs::remove_dir_all(&dir);
         let cat = Catalog::on_disk(&dir, Config::default()).unwrap();
         let t = cat.create_table("d", schema()).unwrap();
-        t.insert(Tuple::new(vec![Value::Int(9), Value::Null])).unwrap();
+        t.insert(Tuple::new(vec![Value::Int(9), Value::Null]))
+            .unwrap();
         t.flush().unwrap();
         assert!(dir.join("d.jag").is_file());
         let _ = std::fs::remove_dir_all(&dir);
@@ -302,7 +303,8 @@ mod tests {
             ))
         );
         // The recovered catalog stays writable.
-        t.insert(Tuple::new(vec![Value::Int(99), Value::Null])).unwrap();
+        t.insert(Tuple::new(vec![Value::Int(99), Value::Null]))
+            .unwrap();
         assert_eq!(t.row_count(), 26);
         let _ = std::fs::remove_dir_all(&dir);
     }

@@ -5,13 +5,13 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use jaguar_common::config::Config;
+use jaguar_common::error::JaguarError;
 use jaguar_common::error::Result;
 use jaguar_common::ids::{RecordId, TableId};
 use jaguar_common::schema::{Schema, SchemaRef};
 use jaguar_common::stream::{read_tuple, write_tuple};
-use jaguar_common::{Tuple, Value};
-use jaguar_common::error::JaguarError;
 use jaguar_common::DataType;
+use jaguar_common::{Tuple, Value};
 use jaguar_storage::{BTree, BufferPool, DiskManager, HeapFile};
 use parking_lot::RwLock;
 

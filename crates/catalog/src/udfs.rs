@@ -25,9 +25,7 @@ impl UdfCatalog {
     /// Register a UDF. Re-registering a name replaces the definition —
     /// the client-side develop/test/migrate loop (§6.4) re-uploads freely.
     pub fn register(&self, def: UdfDef) {
-        self.udfs
-            .write()
-            .insert(def.name.to_ascii_lowercase(), def);
+        self.udfs.write().insert(def.name.to_ascii_lowercase(), def);
     }
 
     /// Resolve a UDF by SQL name.

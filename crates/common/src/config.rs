@@ -26,6 +26,18 @@ pub struct Config {
     /// Whether isolated-process UDF executors are created once per query
     /// (as in the paper) or pooled across queries.
     pub pooled_executors: bool,
+    /// Number of warm workers in the executor pool (when
+    /// `pooled_executors` is on).
+    pub pool_size: usize,
+    /// Deadline in milliseconds for one UDF invocation through a pooled
+    /// worker; the worker is killed when it expires. `None` = no deadline.
+    pub pool_invoke_timeout_ms: Option<u64>,
+    /// How long, in milliseconds, a query waits for a pooled worker to
+    /// come free before erroring.
+    pub pool_checkout_timeout_ms: u64,
+    /// Bound on queued pool checkouts; beyond this, checkouts fail fast
+    /// (backpressure instead of an unbounded queue).
+    pub pool_max_waiters: usize,
 }
 
 impl Default for Config {
@@ -38,6 +50,10 @@ impl Default for Config {
             max_call_depth: 256,
             vm_jit_mode: true,
             pooled_executors: false,
+            pool_size: 2,
+            pool_invoke_timeout_ms: Some(30_000),
+            pool_checkout_timeout_ms: 5_000,
+            pool_max_waiters: 64,
         }
     }
 }
@@ -71,6 +87,29 @@ impl Config {
         self.vm_jit_mode = on;
         self
     }
+
+    /// Pool isolated executors across queries instead of spawning one per
+    /// query, with `size` warm workers.
+    pub fn with_pooled_executors(mut self, size: usize) -> Self {
+        self.pooled_executors = true;
+        self.pool_size = size;
+        self
+    }
+
+    pub fn with_pool_invoke_timeout_ms(mut self, ms: Option<u64>) -> Self {
+        self.pool_invoke_timeout_ms = ms;
+        self
+    }
+
+    pub fn with_pool_checkout_timeout_ms(mut self, ms: u64) -> Self {
+        self.pool_checkout_timeout_ms = ms;
+        self
+    }
+
+    pub fn with_pool_max_waiters(mut self, n: usize) -> Self {
+        self.pool_max_waiters = n;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -98,5 +137,21 @@ mod tests {
         assert!(!c.vm_jit_mode);
         assert_eq!(c.default_fuel, None);
         assert_eq!(c.default_vm_memory, None);
+    }
+
+    #[test]
+    fn pool_builders_compose() {
+        let c = Config::default()
+            .with_pooled_executors(4)
+            .with_pool_invoke_timeout_ms(Some(100))
+            .with_pool_checkout_timeout_ms(250)
+            .with_pool_max_waiters(8);
+        assert!(c.pooled_executors);
+        assert_eq!(c.pool_size, 4);
+        assert_eq!(c.pool_invoke_timeout_ms, Some(100));
+        assert_eq!(c.pool_checkout_timeout_ms, 250);
+        assert_eq!(c.pool_max_waiters, 8);
+        // Defaults keep the paper's per-query executor model.
+        assert!(!Config::paper_1998().pooled_executors);
     }
 }

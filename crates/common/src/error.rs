@@ -156,7 +156,10 @@ mod tests {
     #[test]
     fn display_formats_are_stable() {
         let e = JaguarError::VmTrap(VmTrap::Bounds { index: 7, len: 3 });
-        assert_eq!(e.to_string(), "vm trap: array index 7 out of bounds for length 3");
+        assert_eq!(
+            e.to_string(),
+            "vm trap: array index 7 out of bounds for length 3"
+        );
         let e = JaguarError::SecurityViolation("file open denied".into());
         assert_eq!(e.to_string(), "security violation: file open denied");
     }

@@ -7,7 +7,7 @@ use crate::error::{JaguarError, Result};
 use crate::value::DataType;
 
 /// One column of a relation (or one parameter of a UDF signature).
-#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Field {
     pub name: String,
     pub dtype: DataType,
@@ -26,7 +26,7 @@ impl Field {
 ///
 /// Schemas are immutable once built and shared via `Arc` between the
 /// catalog, the planner, and row iterators.
-#[derive(Debug, Clone, PartialEq, Eq, Default, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct Schema {
     fields: Vec<Field>,
 }

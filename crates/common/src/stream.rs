@@ -223,9 +223,7 @@ fn read_value_body(r: &mut impl Read, ty: DataType) -> Result<Value> {
         DataType::Bool => match read_u8(r)? {
             0 => Value::Bool(false),
             1 => Value::Bool(true),
-            other => {
-                return Err(JaguarError::Protocol(format!("invalid bool byte {other}")))
-            }
+            other => return Err(JaguarError::Protocol(format!("invalid bool byte {other}"))),
         },
         DataType::Int => Value::Int(read_i64(r)?),
         DataType::Float => Value::Float(read_f64(r)?),
@@ -253,7 +251,9 @@ pub fn write_tuple(w: &mut impl Write, t: &Tuple) -> Result<()> {
 pub fn read_tuple(r: &mut impl Read) -> Result<Tuple> {
     let n = read_u32(r)?;
     if n > 65_535 {
-        return Err(JaguarError::Protocol(format!("implausible tuple arity {n}")));
+        return Err(JaguarError::Protocol(format!(
+            "implausible tuple arity {n}"
+        )));
     }
     let mut values = Vec::with_capacity(n as usize);
     for _ in 0..n {

@@ -12,7 +12,7 @@ use std::sync::Arc;
 use crate::error::{JaguarError, Result};
 
 /// Static type of a column, UDF parameter, or UDF result.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum DataType {
     Bool,
     Int,
@@ -43,9 +43,7 @@ impl DataType {
             3 => DataType::Float,
             4 => DataType::Str,
             5 => DataType::Bytes,
-            other => {
-                return Err(JaguarError::Corruption(format!("unknown type tag {other}")))
-            }
+            other => return Err(JaguarError::Corruption(format!("unknown type tag {other}"))),
         })
     }
 

@@ -48,6 +48,7 @@ pub use jaguar_common::config::Config;
 pub use jaguar_common::error::{JaguarError, Result, VmTrap};
 pub use jaguar_common::{ByteArray, DataType, Field, Schema, Tuple, Value};
 pub use jaguar_net::{Client, Server};
+pub use jaguar_pool::{PoolConfig, PoolStatsSnapshot, WorkerPool};
 pub use jaguar_sql::{ExecStats, QueryResult};
 pub use jaguar_udf::{CallbackHandler, ScalarUdf, UdfDef, UdfImpl, UdfSignature};
 pub use jaguar_vm::{Permission, PermissionSet, ResourceLimits};
@@ -79,17 +80,66 @@ impl Database {
 
     /// An in-memory database with explicit configuration.
     pub fn with_config(config: Config) -> Database {
-        Database {
-            engine: Arc::new(Engine::in_memory(config)),
-        }
+        let db = Database {
+            engine: Arc::new(Engine::in_memory(config.clone())),
+        };
+        db.attach_pool_if_configured(&config);
+        db
     }
 
     /// A database whose tables are stored under `dir`.
     pub fn open(dir: impl Into<std::path::PathBuf>, config: Config) -> Result<Database> {
-        let catalog = Arc::new(Catalog::on_disk(dir, config)?);
-        Ok(Database {
+        let catalog = Arc::new(Catalog::on_disk(dir, config.clone())?);
+        let db = Database {
             engine: Arc::new(Engine::with_catalog(catalog)),
-        })
+        };
+        db.attach_pool_if_configured(&config);
+        Ok(db)
+    }
+
+    /// Spin up the warm worker pool when `config.pooled_executors` asks for
+    /// one. Best-effort: if the worker binary cannot be found (e.g. a
+    /// doctest environment), the engine falls back to the paper's
+    /// per-query-spawn model rather than failing construction.
+    fn attach_pool_if_configured(&self, config: &Config) {
+        if !config.pooled_executors {
+            return;
+        }
+        let pool_config = PoolConfig {
+            size: config.pool_size,
+            invoke_timeout: config
+                .pool_invoke_timeout_ms
+                .map(std::time::Duration::from_millis),
+            checkout_timeout: std::time::Duration::from_millis(config.pool_checkout_timeout_ms),
+            max_waiters: config.pool_max_waiters,
+            ..PoolConfig::default()
+        };
+        match WorkerPool::new(pool_config) {
+            Ok(pool) => self.engine.set_worker_pool(Some(Arc::new(pool))),
+            Err(e) => {
+                eprintln!(
+                    "jaguar: worker pool unavailable ({e}); isolated UDFs will \
+                     spawn one worker per query"
+                );
+            }
+        }
+    }
+
+    /// Attach an explicitly constructed worker pool (replacing any pool the
+    /// configuration created), or detach with `None`.
+    pub fn set_worker_pool(&self, pool: Option<Arc<WorkerPool>>) {
+        self.engine.set_worker_pool(pool);
+    }
+
+    /// The attached worker pool, if pooled executors are active.
+    pub fn worker_pool(&self) -> Option<Arc<WorkerPool>> {
+        self.engine.worker_pool()
+    }
+
+    /// Lifetime counters of the attached worker pool (spawns, reuses,
+    /// crashes, timeouts, queue waits), if one is attached.
+    pub fn pool_stats(&self) -> Option<PoolStatsSnapshot> {
+        self.engine.worker_pool().map(|p| p.stats())
     }
 
     /// The underlying SQL engine (advanced use).

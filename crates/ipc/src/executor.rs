@@ -9,11 +9,16 @@
 use std::io::{BufReader, BufWriter};
 use std::path::{Path, PathBuf};
 use std::process::{Child, ChildStdin, ChildStdout, Command, Stdio};
+use std::sync::{Arc, Mutex, Weak};
+use std::time::{Duration, Instant};
 
 use jaguar_common::error::{JaguarError, Result};
 use jaguar_common::Value;
 
 use crate::proto::{CallbackHandler, Request, Response, PROTO_VERSION};
+
+/// How long `Drop` waits for an orderly exit after `Shutdown` before killing.
+const DROP_GRACE: Duration = Duration::from_millis(200);
 
 /// Environment variable overriding worker binary discovery.
 pub const WORKER_ENV: &str = "JAGUAR_WORKER_BIN";
@@ -52,11 +57,47 @@ pub fn find_worker_binary() -> Result<PathBuf> {
     )))
 }
 
-/// A running isolated executor (one per UDF per query, as in the paper).
+/// A running isolated executor (one per UDF per query, as in the paper —
+/// or checked out of a `jaguar-pool` warm pool and reused across queries).
+///
+/// The child handle lives behind an `Arc<Mutex<..>>` so a
+/// [`WorkerKillHandle`] on another thread (the pool supervisor enforcing an
+/// invoke deadline) can kill a hung worker while this thread is blocked on
+/// the pipe; the blocked read then observes EOF and surfaces the usual
+/// contained "worker process died" error.
 pub struct WorkerProcess {
-    child: Child,
+    child: Arc<Mutex<Child>>,
     input: BufReader<ChildStdout>,
     output: BufWriter<ChildStdin>,
+    reaped: bool,
+}
+
+/// Cross-thread kill switch for one [`WorkerProcess`].
+///
+/// Holds only a weak reference: once the process has been dropped or
+/// consumed by [`WorkerProcess::shutdown`], `kill` is a no-op.
+#[derive(Clone)]
+pub struct WorkerKillHandle {
+    child: Weak<Mutex<Child>>,
+}
+
+impl WorkerKillHandle {
+    /// Kill the worker if it is still running. Returns `true` if a kill was
+    /// actually delivered (the process existed and had not exited).
+    pub fn kill(&self) -> bool {
+        let Some(child) = self.child.upgrade() else {
+            return false;
+        };
+        let mut child = child.lock().unwrap_or_else(|p| p.into_inner());
+        match child.try_wait() {
+            Ok(Some(_)) => false,
+            _ => {
+                let delivered = child.kill().is_ok();
+                let _ = child.wait();
+                delivered
+            }
+        }
+    }
 }
 
 impl WorkerProcess {
@@ -71,14 +112,16 @@ impl WorkerProcess {
         let stdin = child.stdin.take().expect("piped stdin");
         let stdout = child.stdout.take().expect("piped stdout");
         let mut wp = WorkerProcess {
-            child,
+            child: Arc::new(Mutex::new(child)),
             input: BufReader::new(stdout),
             output: BufWriter::new(stdin),
+            reaped: false,
         };
         match wp.read_response()? {
             Response::Ready { proto } if proto == PROTO_VERSION => Ok(wp),
             Response::Ready { proto } => Err(JaguarError::Worker(format!(
-                "worker speaks protocol v{proto}, server expects v{PROTO_VERSION} —                  stale jaguar-worker binary? rebuild with `cargo build --workspace`"
+                "worker speaks protocol v{proto}, server expects v{PROTO_VERSION} — \
+                 stale jaguar-worker binary? rebuild with `cargo build --workspace`"
             ))),
             other => Err(JaguarError::Worker(format!(
                 "worker sent {other:?} instead of Ready"
@@ -165,14 +208,63 @@ impl WorkerProcess {
         }
     }
 
+    /// Liveness probe: send `Ping`, expect `Pong`. Any other answer (or a
+    /// dead pipe) is an error — the pool supervisor discards the worker.
+    pub fn ping(&mut self) -> Result<()> {
+        Request::Ping.write(&mut self.output)?;
+        match self.read_response()? {
+            Response::Pong => Ok(()),
+            Response::Error { message } => Err(JaguarError::Worker(message)),
+            other => Err(JaguarError::Protocol(format!(
+                "expected Pong, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Drop all UDF state loaded into the worker so it can serve another
+    /// query. Sent by the pool on check-in before the worker goes back to
+    /// the idle set.
+    pub fn reset(&mut self) -> Result<()> {
+        Request::Reset.write(&mut self.output)?;
+        match self.read_response()? {
+            Response::ResetOk => Ok(()),
+            Response::Error { message } => Err(JaguarError::Worker(message)),
+            other => Err(JaguarError::Protocol(format!(
+                "expected ResetOk, got {other:?}"
+            ))),
+        }
+    }
+
+    /// True while the child process has not exited.
+    pub fn is_alive(&mut self) -> bool {
+        let mut child = self.child.lock().unwrap_or_else(|p| p.into_inner());
+        matches!(child.try_wait(), Ok(None))
+    }
+
+    /// OS process id of the worker (stable for the worker's lifetime; used
+    /// by tests to prove reuse).
+    pub fn pid(&self) -> u32 {
+        self.child.lock().unwrap_or_else(|p| p.into_inner()).id()
+    }
+
+    /// A kill switch another thread can hold while this one talks to the
+    /// worker. See [`WorkerKillHandle`].
+    pub fn kill_handle(&self) -> WorkerKillHandle {
+        WorkerKillHandle {
+            child: Arc::downgrade(&self.child),
+        }
+    }
+
     /// Orderly shutdown; also awaited on drop.
     pub fn shutdown(mut self) -> Result<()> {
         let _ = Request::Shutdown.write(&mut self.output);
-        let status = self.child.wait()?;
+        let status = {
+            let mut child = self.child.lock().unwrap_or_else(|p| p.into_inner());
+            child.wait()?
+        };
+        self.reaped = true;
         if !status.success() {
-            return Err(JaguarError::Worker(format!(
-                "worker exited with {status}"
-            )));
+            return Err(JaguarError::Worker(format!("worker exited with {status}")));
         }
         Ok(())
     }
@@ -180,13 +272,25 @@ impl WorkerProcess {
 
 impl Drop for WorkerProcess {
     fn drop(&mut self) {
+        if self.reaped {
+            return;
+        }
         let _ = Request::Shutdown.write(&mut self.output);
-        // Give it a moment to exit; kill if it doesn't.
-        match self.child.try_wait() {
-            Ok(Some(_)) => {}
-            _ => {
-                let _ = self.child.kill();
-                let _ = self.child.wait();
+        // Bounded grace period so orderly shutdown actually gets a chance to
+        // happen before we resort to SIGKILL.
+        let deadline = Instant::now() + DROP_GRACE;
+        let mut child = self.child.lock().unwrap_or_else(|p| p.into_inner());
+        loop {
+            match child.try_wait() {
+                Ok(Some(_)) => return,
+                Ok(None) if Instant::now() < deadline => {
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+                _ => {
+                    let _ = child.kill();
+                    let _ = child.wait();
+                    return;
+                }
             }
         }
     }
@@ -196,19 +300,46 @@ impl Drop for WorkerProcess {
 mod tests {
     use super::*;
 
+    /// Serializes every test that mutates `JAGUAR_WORKER_BIN`: the process
+    /// environment is global, so parallel test threads would otherwise race
+    /// on it and observe each other's overrides.
+    static ENV_LOCK: Mutex<()> = Mutex::new(());
+
     #[test]
     fn discovery_respects_env_override_errors() {
         // Point the env var at a non-existent file: must error, not fall
         // through to path search (explicit config should never be ignored).
+        let _guard = ENV_LOCK.lock().unwrap_or_else(|p| p.into_inner());
         let key = WORKER_ENV;
         let old = std::env::var(key).ok();
         std::env::set_var(key, "/nonexistent/jaguar-worker");
         let e = find_worker_binary().unwrap_err();
-        assert!(e.to_string().contains("does not exist"), "{e}");
         match old {
             Some(v) => std::env::set_var(key, v),
             None => std::env::remove_var(key),
         }
+        assert!(e.to_string().contains("does not exist"), "{e}");
+    }
+
+    #[test]
+    fn kill_handle_is_noop_after_drop() {
+        // A handle whose worker is gone must not kill anything else.
+        let child = Arc::new(Mutex::new(
+            Command::new("true")
+                .stdin(Stdio::null())
+                .stdout(Stdio::null())
+                .spawn()
+                .expect("spawn /bin/true"),
+        ));
+        let handle = WorkerKillHandle {
+            child: Arc::downgrade(&child),
+        };
+        child.lock().unwrap().wait().unwrap();
+        // Process already exited: no kill delivered.
+        assert!(!handle.kill());
+        drop(child);
+        // Worker dropped entirely: upgrade fails, still a no-op.
+        assert!(!handle.kill());
     }
 
     #[test]

@@ -32,6 +32,6 @@ pub mod executor;
 pub mod proto;
 pub mod worker;
 
-pub use executor::{find_worker_binary, WorkerProcess};
+pub use executor::{find_worker_binary, WorkerKillHandle, WorkerProcess};
 pub use proto::CallbackHandler;
 pub use worker::{NativeUdfFn, WorkerRegistry};

@@ -11,8 +11,8 @@ use std::io::{Read, Write};
 
 use jaguar_common::error::{JaguarError, Result};
 use jaguar_common::stream::{
-    read_blob, read_str, read_u32, read_u64, read_u8, read_value, write_blob, write_str,
-    write_u32, write_u64, write_u8, write_value,
+    read_blob, read_str, read_u32, read_u64, read_u8, read_value, write_blob, write_str, write_u32,
+    write_u64, write_u8, write_value,
 };
 use jaguar_common::Value;
 
@@ -57,13 +57,20 @@ pub enum Request {
     CallbackResult { value: Value },
     /// Orderly shutdown (end of query — executors live for one query).
     Shutdown,
+    /// Liveness probe. A healthy idle worker answers `Pong` immediately;
+    /// the pool supervisor uses this to detect wedged workers.
+    Ping,
+    /// Drop all loaded UDF state so the worker can serve a new query. The
+    /// warm-pool reuse path sends this on check-in; the worker answers
+    /// `ResetOk` once it is back to its just-started state.
+    Reset,
 }
 
 /// Version of the parent↔worker protocol. Bumped on any change to the
 /// message set or the UDF registry semantics; the parent refuses workers
 /// announcing a different version (a stale `jaguar-worker` binary next to
 /// a fresh server otherwise produces silent wrong answers).
-pub const PROTO_VERSION: u32 = 2;
+pub const PROTO_VERSION: u32 = 3;
 
 /// Messages the worker sends to the parent.
 #[derive(Debug, Clone, PartialEq)]
@@ -79,6 +86,10 @@ pub enum Response {
     CallbackRequest { name: String, args: Vec<Value> },
     /// Anything failed. The message is a rendered `JaguarError`.
     Error { message: String },
+    /// Answer to `Request::Ping`: the worker is alive and responsive.
+    Pong,
+    /// Answer to `Request::Reset`: loaded UDF state has been dropped.
+    ResetOk,
 }
 
 const REQ_LOAD_NATIVE: u8 = 0x01;
@@ -86,11 +97,15 @@ const REQ_LOAD_VM: u8 = 0x02;
 const REQ_INVOKE: u8 = 0x03;
 const REQ_CALLBACK_RESULT: u8 = 0x04;
 const REQ_SHUTDOWN: u8 = 0x05;
+const REQ_PING: u8 = 0x06;
+const REQ_RESET: u8 = 0x07;
 const RSP_READY: u8 = 0x81;
 const RSP_LOADED: u8 = 0x82;
 const RSP_INVOKE_RESULT: u8 = 0x83;
 const RSP_CALLBACK_REQUEST: u8 = 0x84;
 const RSP_ERROR: u8 = 0x85;
+const RSP_PONG: u8 = 0x86;
+const RSP_RESET_OK: u8 = 0x87;
 
 fn write_values(w: &mut impl Write, vals: &[Value]) -> Result<()> {
     write_u32(w, vals.len() as u32)?;
@@ -142,6 +157,8 @@ impl Request {
                 write_value(w, value)?;
             }
             Request::Shutdown => write_u8(w, REQ_SHUTDOWN)?,
+            Request::Ping => write_u8(w, REQ_PING)?,
+            Request::Reset => write_u8(w, REQ_RESET)?,
         }
         w.flush()?;
         Ok(())
@@ -149,9 +166,7 @@ impl Request {
 
     pub fn read(r: &mut impl Read) -> Result<Request> {
         Ok(match read_u8(r)? {
-            REQ_LOAD_NATIVE => Request::LoadNative {
-                name: read_str(r)?,
-            },
+            REQ_LOAD_NATIVE => Request::LoadNative { name: read_str(r)? },
             REQ_LOAD_VM => Request::LoadVm {
                 module: read_blob(r)?,
                 function: read_str(r)?,
@@ -166,6 +181,8 @@ impl Request {
                 value: read_value(r)?,
             },
             REQ_SHUTDOWN => Request::Shutdown,
+            REQ_PING => Request::Ping,
+            REQ_RESET => Request::Reset,
             other => {
                 return Err(JaguarError::Protocol(format!(
                     "unknown request tag {other:#04x}"
@@ -196,6 +213,8 @@ impl Response {
                 write_u8(w, RSP_ERROR)?;
                 write_str(w, message)?;
             }
+            Response::Pong => write_u8(w, RSP_PONG)?,
+            Response::ResetOk => write_u8(w, RSP_RESET_OK)?,
         }
         w.flush()?;
         Ok(())
@@ -217,6 +236,8 @@ impl Response {
             RSP_ERROR => Response::Error {
                 message: read_str(r)?,
             },
+            RSP_PONG => Response::Pong,
+            RSP_RESET_OK => Response::ResetOk,
             other => {
                 return Err(JaguarError::Protocol(format!(
                     "unknown response tag {other:#04x}"
@@ -268,11 +289,15 @@ mod tests {
             value: Value::Float(2.5),
         });
         roundtrip_req(Request::Shutdown);
+        roundtrip_req(Request::Ping);
+        roundtrip_req(Request::Reset);
     }
 
     #[test]
     fn all_responses_roundtrip() {
-        roundtrip_rsp(Response::Ready { proto: PROTO_VERSION });
+        roundtrip_rsp(Response::Ready {
+            proto: PROTO_VERSION,
+        });
         roundtrip_rsp(Response::Loaded);
         roundtrip_rsp(Response::InvokeResult {
             value: Value::Int(42),
@@ -284,6 +309,8 @@ mod tests {
         roundtrip_rsp(Response::Error {
             message: "kaboom".into(),
         });
+        roundtrip_rsp(Response::Pong);
+        roundtrip_rsp(Response::ResetOk);
     }
 
     #[test]
@@ -306,7 +333,9 @@ mod tests {
     #[test]
     fn sequential_messages_on_one_stream() {
         let mut buf = Vec::new();
-        Request::LoadNative { name: "a".into() }.write(&mut buf).unwrap();
+        Request::LoadNative { name: "a".into() }
+            .write(&mut buf)
+            .unwrap();
         Request::Invoke { args: vec![] }.write(&mut buf).unwrap();
         Request::Shutdown.write(&mut buf).unwrap();
         let mut r = buf.as_slice();
@@ -314,7 +343,10 @@ mod tests {
             Request::read(&mut r).unwrap(),
             Request::LoadNative { .. }
         ));
-        assert!(matches!(Request::read(&mut r).unwrap(), Request::Invoke { .. }));
+        assert!(matches!(
+            Request::read(&mut r).unwrap(),
+            Request::Invoke { .. }
+        ));
         assert!(matches!(Request::read(&mut r).unwrap(), Request::Shutdown));
         assert!(r.is_empty());
     }

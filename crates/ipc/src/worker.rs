@@ -139,7 +139,10 @@ pub fn serve<R: Read, W: Write>(input: R, output: W, registry: &WorkerRegistry) 
     let mut output = BufWriter::new(output);
     let mut loaded = Loaded::Nothing;
 
-    Response::Ready { proto: PROTO_VERSION }.write(&mut output)?;
+    Response::Ready {
+        proto: PROTO_VERSION,
+    }
+    .write(&mut output)?;
 
     loop {
         let req = match Request::read(&mut input) {
@@ -152,6 +155,13 @@ pub fn serve<R: Read, W: Write>(input: R, output: W, registry: &WorkerRegistry) 
         };
         match req {
             Request::Shutdown => return Ok(()),
+            Request::Ping => Response::Pong.write(&mut output)?,
+            Request::Reset => {
+                // Back to the just-started state: pooled reuse must not leak
+                // one query's UDF (or its interpreter state) into the next.
+                loaded = Loaded::Nothing;
+                Response::ResetOk.write(&mut output)?;
+            }
             Request::LoadNative { name } => match registry.get(&name) {
                 Some(f) => {
                     loaded = Loaded::Native(f);
@@ -186,7 +196,11 @@ pub fn serve<R: Read, W: Write>(input: R, output: W, registry: &WorkerRegistry) 
                             },
                             max_call_depth: 256,
                         };
-                        let mode = if jit { ExecMode::Jit } else { ExecMode::Baseline };
+                        let mode = if jit {
+                            ExecMode::Jit
+                        } else {
+                            ExecMode::Baseline
+                        };
                         loaded = Loaded::Vm {
                             interp: Interpreter::new(Arc::new(verified), limits, mode),
                             function,
@@ -278,9 +292,7 @@ mod tests {
             .register("add", |args, _cb| {
                 Ok(Value::Int(args[0].as_int()? + args[1].as_int()?))
             })
-            .register("echo_callback", |args, cb| {
-                cb.callback("lookup", args)
-            })
+            .register("echo_callback", |args, cb| cb.callback("lookup", args))
     }
 
     /// Drive the serve loop over in-memory buffers: write a scripted set of
@@ -315,7 +327,9 @@ mod tests {
         assert_eq!(
             rsp,
             vec![
-                Response::Ready { proto: PROTO_VERSION },
+                Response::Ready {
+                    proto: PROTO_VERSION
+                },
                 Response::Loaded,
                 Response::InvokeResult {
                     value: Value::Int(42)
@@ -363,7 +377,9 @@ mod tests {
         assert_eq!(
             rsp,
             vec![
-                Response::Ready { proto: PROTO_VERSION },
+                Response::Ready {
+                    proto: PROTO_VERSION
+                },
                 Response::Loaded,
                 Response::CallbackRequest {
                     name: "lookup".into(),
@@ -400,7 +416,9 @@ mod tests {
         assert_eq!(
             rsp,
             vec![
-                Response::Ready { proto: PROTO_VERSION },
+                Response::Ready {
+                    proto: PROTO_VERSION
+                },
                 Response::Loaded,
                 Response::InvokeResult {
                     value: Value::Int(42)
@@ -449,8 +467,60 @@ mod tests {
     }
 
     #[test]
+    fn ping_answers_pong() {
+        let rsp = script(&[Request::Ping, Request::Shutdown], &demo_registry());
+        assert_eq!(
+            rsp,
+            vec![
+                Response::Ready {
+                    proto: PROTO_VERSION
+                },
+                Response::Pong
+            ]
+        );
+    }
+
+    #[test]
+    fn reset_drops_loaded_state() {
+        let rsp = script(
+            &[
+                Request::LoadNative { name: "add".into() },
+                Request::Invoke {
+                    args: vec![Value::Int(20), Value::Int(22)],
+                },
+                Request::Reset,
+                // After a reset the worker must behave exactly like a fresh
+                // one: invoking without a load is an error response.
+                Request::Invoke { args: vec![] },
+                Request::Shutdown,
+            ],
+            &demo_registry(),
+        );
+        assert_eq!(
+            rsp[0],
+            Response::Ready {
+                proto: PROTO_VERSION
+            }
+        );
+        assert_eq!(rsp[1], Response::Loaded);
+        assert_eq!(
+            rsp[2],
+            Response::InvokeResult {
+                value: Value::Int(42)
+            }
+        );
+        assert_eq!(rsp[3], Response::ResetOk);
+        assert!(matches!(rsp[4], Response::Error { .. }));
+    }
+
+    #[test]
     fn eof_terminates_cleanly() {
         let rsp = script(&[], &demo_registry());
-        assert_eq!(rsp, vec![Response::Ready { proto: PROTO_VERSION }]);
+        assert_eq!(
+            rsp,
+            vec![Response::Ready {
+                proto: PROTO_VERSION
+            }]
+        );
     }
 }

@@ -370,7 +370,8 @@ mod tests {
 
     #[test]
     fn bitwise_and_shifts() {
-        let src = "fn main(a: i64, b: i64) -> i64 { return ((a & b) | (a ^ b)) + (a << 2) + (b >> 1); }";
+        let src =
+            "fn main(a: i64, b: i64) -> i64 { return ((a & b) | (a ^ b)) + (a << 2) + (b >> 1); }";
         assert_eq!(
             run_i(src, &[ArgValue::I64(6), ArgValue::I64(3)]),
             (6 | 3) + (6 << 2) + (3 >> 1)
@@ -422,7 +423,8 @@ mod tests {
 
     #[test]
     fn bare_block_scoping_executes() {
-        let src = "fn main() -> i64 { let x: i64 = 1; { let y: i64 = x + 1; x = y * 2; } return x; }";
+        let src =
+            "fn main() -> i64 { let x: i64 = 1; { let y: i64 = x + 1; x = y * 2; } return x; }";
         assert_eq!(run_i(src, &[]), 4);
     }
 

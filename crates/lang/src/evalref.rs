@@ -62,12 +62,7 @@ struct Evaluator<'p> {
 }
 
 /// Run `func` in `prog` with `args`, with an evaluation-step budget.
-pub fn run(
-    prog: &Program,
-    func: &str,
-    args: Vec<RValue>,
-    fuel: u64,
-) -> Result<Option<RValue>> {
+pub fn run(prog: &Program, func: &str, args: Vec<RValue>, fuel: u64) -> Result<Option<RValue>> {
     let mut ev = Evaluator { prog, fuel };
     ev.call(func, args)
 }
@@ -127,10 +122,7 @@ impl Evaluator<'_> {
         match s {
             Stmt::Let { name, init, .. } => {
                 let v = self.expr(init, scope)?;
-                scope
-                    .last_mut()
-                    .expect("scope")
-                    .insert(name.clone(), v);
+                scope.last_mut().expect("scope").insert(name.clone(), v);
                 Ok(Flow::Normal)
             }
             Stmt::Assign { name, expr, .. } => {
@@ -145,9 +137,7 @@ impl Evaluator<'_> {
                     "ref-eval: unknown variable '{name}'"
                 )))
             }
-            Stmt::AssignIndex {
-                arr, idx, expr, ..
-            } => {
+            Stmt::AssignIndex { arr, idx, expr, .. } => {
                 let a = self.expr(arr, scope)?.as_bytes()?;
                 let i = self.expr(idx, scope)?.as_i64()?;
                 let v = self.expr(expr, scope)?.as_i64()?;
@@ -200,9 +190,8 @@ impl Evaluator<'_> {
     }
 
     fn expr(&mut self, e: &Expr, scope: &mut Scope) -> Result<RValue> {
-        self.expr_maybe_void(e, scope)?.ok_or_else(|| {
-            JaguarError::Execution("ref-eval: void call used as value".into())
-        })
+        self.expr_maybe_void(e, scope)?
+            .ok_or_else(|| JaguarError::Execution("ref-eval: void call used as value".into()))
     }
 
     fn expr_maybe_void(&mut self, e: &Expr, scope: &mut Scope) -> Result<Option<RValue>> {

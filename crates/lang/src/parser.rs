@@ -88,9 +88,7 @@ impl Parser {
             }
         }
         if prog.functions.is_empty() {
-            return Err(JaguarError::Compile(
-                "program defines no functions".into(),
-            ));
+            return Err(JaguarError::Compile("program defines no functions".into()));
         }
         Ok(prog)
     }
@@ -503,10 +501,9 @@ mod tests {
 
     #[test]
     fn params_and_imports() {
-        let p = parse_src(
-            "import callback(i64, bytes) -> i64;\nfn f(a: i64, b: bytes) { return; }",
-        )
-        .unwrap();
+        let p =
+            parse_src("import callback(i64, bytes) -> i64;\nfn f(a: i64, b: bytes) { return; }")
+                .unwrap();
         assert_eq!(p.imports.len(), 1);
         assert_eq!(p.imports[0].params, vec![Ty::I64, Ty::Bytes]);
         assert_eq!(p.functions[0].params.len(), 2);

@@ -36,19 +36,32 @@ pub struct TFn {
 #[derive(Debug, Clone, PartialEq)]
 pub enum TStmt {
     /// Evaluate and store into a slot (covers both `let` and assignment).
-    Store { slot: u16, expr: TExpr },
+    Store {
+        slot: u16,
+        expr: TExpr,
+    },
     /// `arr[idx] = val`
-    StoreIndex { arr: TExpr, idx: TExpr, val: TExpr },
+    StoreIndex {
+        arr: TExpr,
+        idx: TExpr,
+        val: TExpr,
+    },
     If {
         cond: TExpr,
         then_blk: Vec<TStmt>,
         else_blk: Vec<TStmt>,
     },
-    While { cond: TExpr, body: Vec<TStmt> },
+    While {
+        cond: TExpr,
+        body: Vec<TStmt>,
+    },
     Return(Option<TExpr>),
     /// Expression evaluated for effect; `has_value` says whether a result
     /// must be popped.
-    Expr { expr: TExpr, has_value: bool },
+    Expr {
+        expr: TExpr,
+        has_value: bool,
+    },
 }
 
 /// Builtin functions.
@@ -85,10 +98,22 @@ pub enum TExprKind {
         lhs: Box<TExpr>,
         rhs: Box<TExpr>,
     },
-    CallUser { index: u32, args: Vec<TExpr> },
-    CallHost { index: u16, args: Vec<TExpr> },
-    CallBuiltin { which: Builtin, args: Vec<TExpr> },
-    Index { arr: Box<TExpr>, idx: Box<TExpr> },
+    CallUser {
+        index: u32,
+        args: Vec<TExpr>,
+    },
+    CallHost {
+        index: u16,
+        args: Vec<TExpr>,
+    },
+    CallBuiltin {
+        which: Builtin,
+        args: Vec<TExpr>,
+    },
+    Index {
+        arr: Box<TExpr>,
+        idx: Box<TExpr>,
+    },
 }
 
 /// Type-check a parsed program.
@@ -142,10 +167,7 @@ struct Ctx<'a> {
 
 impl Ctx<'_> {
     fn lookup(&self, name: &str) -> Option<u16> {
-        self.scopes
-            .iter()
-            .rev()
-            .find_map(|s| s.get(name).copied())
+        self.scopes.iter().rev().find_map(|s| s.get(name).copied())
     }
 
     fn declare(&mut self, name: &str, ty: Ty, line: u32) -> Result<u16> {
@@ -184,10 +206,7 @@ fn check_fn(
     if f.ret.is_some() && !block_must_return(&f.body) {
         return Err(cerr(
             f.line,
-            format!(
-                "function '{}' may finish without returning a value",
-                f.name
-            ),
+            format!("function '{}' may finish without returning a value", f.name),
         ));
     }
     Ok(TFn {
@@ -288,10 +307,7 @@ fn check_stmt(s: &Stmt, ctx: &mut Ctx) -> Result<TStmt> {
         Stmt::Expr { expr, line: _ } => {
             let e = check_expr(expr, ctx)?;
             let has_value = e.ty.is_some();
-            Ok(TStmt::Expr {
-                expr: e,
-                has_value,
-            })
+            Ok(TStmt::Expr { expr: e, has_value })
         }
         Stmt::Block(b) => {
             // A bare block is an `if 1 { .. }` without the branch: model as
@@ -314,15 +330,18 @@ fn expect_ty(e: &TExpr, want: Ty, line: u32) -> Result<()> {
         Some(t) if t == want => Ok(()),
         Some(t) => Err(cerr(
             line,
-            format!("type mismatch: expected {}, found {}", want.name(), t.name()),
+            format!(
+                "type mismatch: expected {}, found {}",
+                want.name(),
+                t.name()
+            ),
         )),
         None => Err(cerr(line, "void call used where a value is required")),
     }
 }
 
 fn value_ty(e: &TExpr, line: u32) -> Result<Ty> {
-    e.ty
-        .ok_or_else(|| cerr(line, "void call used where a value is required"))
+    e.ty.ok_or_else(|| cerr(line, "void call used where a value is required"))
 }
 
 fn check_expr(e: &Expr, ctx: &mut Ctx) -> Result<TExpr> {
@@ -379,13 +398,12 @@ fn check_expr(e: &Expr, ctx: &mut Ctx) -> Result<TExpr> {
                     ),
                 ));
             }
-            let result = binop_result(*op, lt)
-                .ok_or_else(|| {
-                    cerr(
-                        *line,
-                        format!("operator '{}' not defined on {}", op.symbol(), lt.name()),
-                    )
-                })?;
+            let result = binop_result(*op, lt).ok_or_else(|| {
+                cerr(
+                    *line,
+                    format!("operator '{}' not defined on {}", op.symbol(), lt.name()),
+                )
+            })?;
             Ok(TExpr {
                 kind: TExprKind::Binary {
                     op: *op,
@@ -452,7 +470,11 @@ fn check_args(name: &str, args: &[TExpr], want: &[Ty], line: u32) -> Result<()> 
     if args.len() != want.len() {
         return Err(cerr(
             line,
-            format!("'{name}' expects {} arguments, got {}", want.len(), args.len()),
+            format!(
+                "'{name}' expects {} arguments, got {}",
+                want.len(),
+                args.len()
+            ),
         ));
     }
     for (i, (a, w)) in args.iter().zip(want).enumerate() {
@@ -557,8 +579,8 @@ mod tests {
 
     #[test]
     fn let_allocates_slots_in_order() {
-        let p = tc("fn f() { let a: i64 = 1; let b: f64 = 2.0; let c: bytes = newbytes(3); }")
-            .unwrap();
+        let p =
+            tc("fn f() { let a: i64 = 1; let b: f64 = 2.0; let c: bytes = newbytes(3); }").unwrap();
         assert_eq!(p.functions[0].slots, vec![Ty::I64, Ty::F64, Ty::Bytes]);
     }
 

@@ -161,8 +161,7 @@ impl Client {
                 function,
             } => {
                 let sig = UdfSignature::new(signature.params, signature.ret);
-                let verified =
-                    std::sync::Arc::new(Module::from_bytes(&module)?.verify()?);
+                let verified = std::sync::Arc::new(Module::from_bytes(&module)?.verify()?);
                 let inner = VmUdf::new(
                     name,
                     sig,

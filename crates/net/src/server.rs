@@ -30,8 +30,14 @@ use crate::wire::{ClientMsg, ServerMsg, WireSignature, WireStats};
 
 /// A running server; dropping it (or calling [`Server::stop`]) shuts the
 /// listener down.
+///
+/// All client threads execute against one shared [`Engine`], so when a
+/// worker pool is attached to that engine, every connection draws its
+/// isolated UDF executors from the same warm pool — worker reuse crosses
+/// session boundaries.
 pub struct Server {
     addr: SocketAddr,
+    engine: Arc<Engine>,
     stop: Arc<AtomicBool>,
     accept_thread: Option<JoinHandle<()>>,
 }
@@ -44,6 +50,7 @@ impl Server {
         let addr = listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
         let stop2 = Arc::clone(&stop);
+        let server_engine = Arc::clone(&engine);
         let accept_thread = std::thread::spawn(move || {
             for conn in listener.incoming() {
                 if stop2.load(Ordering::Relaxed) {
@@ -73,6 +80,7 @@ impl Server {
         });
         Ok(Server {
             addr,
+            engine: server_engine,
             stop,
             accept_thread: Some(accept_thread),
         })
@@ -81,6 +89,12 @@ impl Server {
     /// Address the server is listening on.
     pub fn addr(&self) -> SocketAddr {
         self.addr
+    }
+
+    /// Counters of the engine's shared worker pool (one pool across all
+    /// client threads), if pooled executors are active.
+    pub fn pool_stats(&self) -> Option<jaguar_pool::PoolStatsSnapshot> {
+        self.engine.worker_pool().map(|p| p.stats())
     }
 
     /// Stop accepting connections (existing client threads finish their
@@ -219,7 +233,10 @@ fn register_udf(
     } else {
         UdfImpl::Vm(spec)
     };
-    engine.catalog().udfs().register(UdfDef::new(name, sig, imp));
+    engine
+        .catalog()
+        .udfs()
+        .register(UdfDef::new(name, sig, imp));
     Ok(())
 }
 

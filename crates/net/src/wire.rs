@@ -89,7 +89,9 @@ pub enum ServerMsg {
         stats: WireStats,
     },
     /// EXPLAIN output.
-    Plan { text: String },
+    Plan {
+        text: String,
+    },
     /// Registration acknowledged.
     Registered,
     /// A UDF module for client-side execution.
@@ -100,7 +102,9 @@ pub enum ServerMsg {
     },
     Pong,
     /// Execution or protocol failure (rendered error).
-    Error { message: String },
+    Error {
+        message: String,
+    },
 }
 
 const C_EXECUTE: u8 = 0x01;

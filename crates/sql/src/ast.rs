@@ -71,7 +71,10 @@ pub enum Expr {
     Or(Box<Expr>, Box<Expr>),
     Not(Box<Expr>),
     /// UDF or aggregate invocation.
-    Func { name: String, args: Vec<Expr> },
+    Func {
+        name: String,
+        args: Vec<Expr>,
+    },
     /// `COUNT(*)`.
     CountStar,
 }
@@ -120,7 +123,9 @@ pub enum Statement {
     /// `SHOW TABLES`
     ShowTables,
     /// `DESCRIBE table`
-    Describe { table: String },
+    Describe {
+        table: String,
+    },
 }
 
 /// `SELECT items FROM table [alias] [WHERE pred] [GROUP BY cols] [LIMIT n]`
@@ -160,10 +165,9 @@ impl Expr {
         match self {
             Expr::Func { .. } => true,
             Expr::Neg(e) | Expr::Not(e) => e.contains_udf(),
-            Expr::Cmp(_, l, r)
-            | Expr::And(l, r)
-            | Expr::Or(l, r)
-            | Expr::Arith(_, l, r) => l.contains_udf() || r.contains_udf(),
+            Expr::Cmp(_, l, r) | Expr::And(l, r) | Expr::Or(l, r) | Expr::Arith(_, l, r) => {
+                l.contains_udf() || r.contains_udf()
+            }
             _ => false,
         }
     }
@@ -178,10 +182,7 @@ impl Expr {
                 }
             }
             Expr::Neg(e) | Expr::Not(e) => e.udf_names(out),
-            Expr::Cmp(_, l, r)
-            | Expr::And(l, r)
-            | Expr::Or(l, r)
-            | Expr::Arith(_, l, r) => {
+            Expr::Cmp(_, l, r) | Expr::And(l, r) | Expr::Or(l, r) | Expr::Arith(_, l, r) => {
                 l.udf_names(out);
                 r.udf_names(out);
             }

@@ -11,12 +11,13 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
+use jaguar_catalog::Catalog;
 use jaguar_common::config::Config;
 use jaguar_common::error::{JaguarError, Result};
 use jaguar_common::schema::{Schema, SchemaRef};
 use jaguar_common::{Tuple, Value};
-use jaguar_catalog::Catalog;
 use jaguar_ipc::proto::CallbackHandler;
+use jaguar_pool::WorkerPool;
 use parking_lot::RwLock;
 
 use crate::ast::Statement;
@@ -57,6 +58,9 @@ impl QueryResult {
 pub struct Engine {
     catalog: Arc<Catalog>,
     callbacks: RwLock<HashMap<String, Arc<CallbackFn>>>,
+    /// Shared warm-worker pool for isolated UDF executors. `None` (the
+    /// default, and the paper's model) spawns one worker per query.
+    pool: RwLock<Option<Arc<WorkerPool>>>,
 }
 
 impl Engine {
@@ -70,6 +74,7 @@ impl Engine {
         let engine = Engine {
             catalog,
             callbacks: RwLock::new(HashMap::new()),
+            pool: RwLock::new(None),
         };
         // The paper's experiment callback: identity, no data transferred.
         engine.register_callback("cb", |args| {
@@ -80,6 +85,18 @@ impl Engine {
 
     pub fn catalog(&self) -> &Arc<Catalog> {
         &self.catalog
+    }
+
+    /// Attach (or detach, with `None`) the warm worker pool used by
+    /// isolated UDF designs. One pool serves all queries on this engine,
+    /// including concurrent network sessions.
+    pub fn set_worker_pool(&self, pool: Option<Arc<WorkerPool>>) {
+        *self.pool.write() = pool;
+    }
+
+    /// The attached worker pool, if any.
+    pub fn worker_pool(&self) -> Option<Arc<WorkerPool>> {
+        self.pool.read().clone()
     }
 
     /// Is a callback with this name registered? Used by the network layer
@@ -144,7 +161,8 @@ impl Engine {
             Statement::Delete { table, predicate } => {
                 let dml = bind_dml(&table, &predicate, &[], &self.catalog)?;
                 let mut handler = EngineCallbacks { engine: self };
-                let mut ctx = ExecCtx::for_udfs(&dml.udfs, &mut handler)?;
+                let pool = self.worker_pool();
+                let mut ctx = ExecCtx::for_udfs(&dml.udfs, &mut handler, pool.as_ref())?;
                 // Collect matching rids first, then delete (no scan-while-
                 // mutating hazards).
                 let mut victims = Vec::new();
@@ -174,7 +192,8 @@ impl Engine {
                 }
                 let dml = bind_dml(&table, &predicate, &assignments, &self.catalog)?;
                 let mut handler = EngineCallbacks { engine: self };
-                let mut ctx = ExecCtx::for_udfs(&dml.udfs, &mut handler)?;
+                let pool = self.worker_pool();
+                let mut ctx = ExecCtx::for_udfs(&dml.udfs, &mut handler, pool.as_ref())?;
                 // Materialise replacements first.
                 let mut updates = Vec::new();
                 for item in dml.table.scan() {
@@ -244,7 +263,8 @@ impl Engine {
             Statement::Select(stmt) => {
                 let plan = bind_select(&stmt, &self.catalog)?;
                 let mut handler = EngineCallbacks { engine: self };
-                let mut ctx = ExecCtx::for_plan(&plan, &mut handler)?;
+                let pool = self.worker_pool();
+                let mut ctx = ExecCtx::for_plan(&plan, &mut handler, pool.as_ref())?;
                 let mut exec = Executor::build(&plan)?;
                 let rows = exec.collect(&mut ctx)?;
                 let stats = ctx.finish()?;
@@ -343,10 +363,8 @@ mod tests {
         let e = Engine::in_memory(Config::default());
         e.execute("CREATE TABLE r (id INT, name VARCHAR, blob BYTEARRAY)")
             .unwrap();
-        e.execute(
-            "INSERT INTO r VALUES (1, 'one', X'0102'), (2, 'two', X'FFFF'), (3, NULL, NULL)",
-        )
-        .unwrap();
+        e.execute("INSERT INTO r VALUES (1, 'one', X'0102'), (2, 'two', X'FFFF'), (3, NULL, NULL)")
+            .unwrap();
         e
     }
 
@@ -362,7 +380,9 @@ mod tests {
     #[test]
     fn projection_and_alias() {
         let e = engine_with_data();
-        let r = e.execute("SELECT id AS k, name FROM r WHERE id = 1").unwrap();
+        let r = e
+            .execute("SELECT id AS k, name FROM r WHERE id = 1")
+            .unwrap();
         assert_eq!(r.schema.field(0).unwrap().name, "k");
         assert_eq!(r.rows[0].get(1).unwrap().as_str().unwrap(), "one");
     }
@@ -373,7 +393,9 @@ mod tests {
         // name = 'one' is UNKNOWN for the NULL row → filtered out.
         let r = e.execute("SELECT id FROM r WHERE name <> 'zzz'").unwrap();
         assert_eq!(r.rows.len(), 2, "NULL name must not match <>");
-        let r = e.execute("SELECT id FROM r WHERE NOT name = 'one'").unwrap();
+        let r = e
+            .execute("SELECT id FROM r WHERE NOT name = 'one'")
+            .unwrap();
         assert_eq!(r.rows.len(), 1);
     }
 
@@ -526,7 +548,8 @@ mod tests {
     #[test]
     fn group_by_with_where_and_alias() {
         let e = Engine::in_memory(Config::default());
-        e.execute("CREATE TABLE sales (region VARCHAR, amount INT)").unwrap();
+        e.execute("CREATE TABLE sales (region VARCHAR, amount INT)")
+            .unwrap();
         e.execute(
             "INSERT INTO sales VALUES              ('east', 10), ('west', 20), ('east', 30), ('west', 5), ('east', 1)",
         )
@@ -561,7 +584,9 @@ mod tests {
     fn aggregate_misuse_rejected() {
         let e = engine_with_data();
         assert!(e.execute("SELECT id, COUNT(*) FROM r").is_err()); // id not grouped
-        assert!(e.execute("SELECT COUNT(*) FROM r WHERE COUNT(*) > 1").is_err());
+        assert!(e
+            .execute("SELECT COUNT(*) FROM r WHERE COUNT(*) > 1")
+            .is_err());
         assert!(e.execute("SELECT SUM(name) FROM r").is_err()); // non-numeric
         assert!(e.execute("SELECT SUM(MAX(id)) FROM r").is_err()); // nested
         assert!(e.execute("SELECT * FROM r GROUP BY id").is_err()); // star + group
@@ -572,7 +597,8 @@ mod tests {
     fn group_by_limit_applies_after_aggregation() {
         let e = Engine::in_memory(Config::default());
         e.execute("CREATE TABLE t (k INT)").unwrap();
-        e.execute("INSERT INTO t VALUES (1), (2), (3), (1), (2)").unwrap();
+        e.execute("INSERT INTO t VALUES (1), (2), (3), (1), (2)")
+            .unwrap();
         let r = e
             .execute("SELECT k, COUNT(*) FROM t GROUP BY k LIMIT 2")
             .unwrap();
@@ -612,7 +638,9 @@ mod tests {
             .execute("UPDATE r SET name = 'renamed', blob = X'00' WHERE id <> 2")
             .unwrap();
         assert_eq!(r.affected, 2);
-        let rows = e.execute("SELECT id, name FROM r WHERE name = 'renamed'").unwrap();
+        let rows = e
+            .execute("SELECT id, name FROM r WHERE name = 'renamed'")
+            .unwrap();
         assert_eq!(rows.rows.len(), 2);
         // Untouched row intact.
         let two = e.execute("SELECT name FROM r WHERE id = 2").unwrap();
@@ -631,7 +659,8 @@ mod tests {
     fn update_can_use_row_values() {
         let e = engine_with_data();
         // Copy a column through an expression referencing the old row.
-        e.execute("UPDATE r SET name = 'x' WHERE blob = X'0102'").unwrap();
+        e.execute("UPDATE r SET name = 'x' WHERE blob = X'0102'")
+            .unwrap();
         let r = e.execute("SELECT id FROM r WHERE name = 'x'").unwrap();
         assert_eq!(r.rows.len(), 1);
         assert_eq!(r.rows[0].get(0).unwrap(), &Value::Int(1));
@@ -683,7 +712,9 @@ mod tests {
         assert_eq!(r.rows[0].get(0).unwrap().as_str().unwrap(), "row123");
         assert_eq!(r.stats.rows_scanned, 1, "{:?}", r.stats);
 
-        let r = e.execute("SELECT id FROM big WHERE id < 10 ORDER BY id").unwrap();
+        let r = e
+            .execute("SELECT id FROM big WHERE id < 10 ORDER BY id")
+            .unwrap();
         assert_eq!(r.int_column(0).unwrap(), (0..10).collect::<Vec<_>>());
         assert!(r.stats.rows_scanned <= 10);
 
@@ -732,7 +763,8 @@ mod tests {
     fn index_maintained_by_dml() {
         let e = Engine::in_memory(Config::default());
         e.execute("CREATE TABLE t (id INT, tag VARCHAR)").unwrap();
-        e.execute("INSERT INTO t VALUES (1, 'a'), (2, 'b'), (3, 'c')").unwrap();
+        e.execute("INSERT INTO t VALUES (1, 'a'), (2, 'b'), (3, 'c')")
+            .unwrap();
         e.execute("CREATE INDEX t_id ON t (id)").unwrap();
         // Inserts after index creation are indexed.
         e.execute("INSERT INTO t VALUES (4, 'd')").unwrap();
@@ -749,7 +781,11 @@ mod tests {
         let r = e.execute("SELECT tag FROM t WHERE id = 99").unwrap();
         assert_eq!(r.rows.len(), 1);
         assert_eq!(r.rows[0].get(0).unwrap().as_str().unwrap(), "c");
-        assert!(e.execute("SELECT tag FROM t WHERE id = 3").unwrap().rows.is_empty());
+        assert!(e
+            .execute("SELECT tag FROM t WHERE id = 3")
+            .unwrap()
+            .rows
+            .is_empty());
     }
 
     #[test]
@@ -759,7 +795,10 @@ mod tests {
         assert!(e.execute("CREATE INDEX n ON r (name)").is_err());
         assert!(e.execute("CREATE INDEX x ON ghost (id)").is_err());
         e.execute("CREATE INDEX r_id ON r (id)").unwrap();
-        assert!(e.execute("CREATE INDEX r_id2 ON r (id)").is_err(), "dup column");
+        assert!(
+            e.execute("CREATE INDEX r_id2 ON r (id)").is_err(),
+            "dup column"
+        );
     }
 
     #[test]
@@ -799,9 +838,7 @@ mod tests {
         assert_eq!(r.rows[1].get(1).unwrap().as_str().unwrap(), "two");
         assert!(r.rows[2].get(1).unwrap().is_null());
         // expression keys over output columns
-        let r = e
-            .execute("SELECT id AS k FROM r ORDER BY k * -1")
-            .unwrap();
+        let r = e.execute("SELECT id AS k FROM r ORDER BY k * -1").unwrap();
         assert_eq!(r.int_column(0).unwrap(), vec![3, 2, 1]);
         // position out of range rejected
         assert!(e.execute("SELECT id FROM r ORDER BY 5").is_err());
@@ -819,7 +856,8 @@ mod tests {
     #[test]
     fn having_filters_groups() {
         let e = Engine::in_memory(Config::default());
-        e.execute("CREATE TABLE sales (region VARCHAR, amount INT)").unwrap();
+        e.execute("CREATE TABLE sales (region VARCHAR, amount INT)")
+            .unwrap();
         e.execute(
             "INSERT INTO sales VALUES ('east', 10), ('west', 20), ('east', 30), ('north', 1)",
         )
@@ -846,15 +884,18 @@ mod tests {
     fn vm_resource_usage_metered_per_query() {
         let e = Engine::in_memory(Config::default());
         e.execute("CREATE TABLE t (b BYTEARRAY)").unwrap();
-        e.execute("INSERT INTO t VALUES (X'01020304'), (X'0506')").unwrap();
-        let module =
-            jaguar_lang::compile("m", "fn main(b: bytes) -> i64 {
+        e.execute("INSERT INTO t VALUES (X'01020304'), (X'0506')")
+            .unwrap();
+        let module = jaguar_lang::compile(
+            "m",
+            "fn main(b: bytes) -> i64 {
                 let s: i64 = 0;
                 let i: i64 = 0;
                 while i < len(b) { s = s + b[i]; i = i + 1; }
                 return s;
-            }")
-            .unwrap();
+            }",
+        )
+        .unwrap();
         let spec = jaguar_udf::def::vm_spec(
             module,
             "main",
@@ -894,7 +935,9 @@ mod tests {
             ]))
             .unwrap();
         }
-        e.catalog().udfs().register(jaguar_udf::generic::def_native());
+        e.catalog()
+            .udfs()
+            .register(jaguar_udf::generic::def_native());
         let r = e
             .execute("SELECT generic(R.bytearray, 0, 2, 1) FROM rel100 R WHERE R.id < 10")
             .unwrap();

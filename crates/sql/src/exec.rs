@@ -9,15 +9,17 @@
 //! never reaches an expensive UDF — the payoff of the [Hel95]-style
 //! ordering done in `plan`.
 
+use jaguar_catalog::table::TableScan;
 use jaguar_common::error::{JaguarError, Result};
 use jaguar_common::schema::SchemaRef;
 use jaguar_common::{Tuple, Value};
-use jaguar_catalog::table::TableScan;
 use jaguar_ipc::proto::CallbackHandler;
+use jaguar_pool::WorkerPool;
 use jaguar_udf::ScalarUdf;
+use std::sync::Arc;
 
-use crate::ast::CmpOp;
 use crate::ast::ArithOp;
+use crate::ast::CmpOp;
 use crate::plan::{AccessPath, AggFunc, AggregatePlan, BExpr, BoundSelect};
 
 /// Counters accumulated during one query execution.
@@ -42,22 +44,26 @@ pub struct ExecCtx<'a> {
 }
 
 impl<'a> ExecCtx<'a> {
-    /// Instantiate every UDF in the plan (per-query, as in the paper).
+    /// Instantiate every UDF in the plan. With `pool = None` isolated
+    /// designs spawn a fresh worker per query (as in the paper); with a
+    /// pool they check out warm workers instead.
     pub fn for_plan(
         plan: &BoundSelect,
         callbacks: &'a mut dyn CallbackHandler,
+        pool: Option<&Arc<WorkerPool>>,
     ) -> Result<ExecCtx<'a>> {
-        ExecCtx::for_udfs(&plan.udfs, callbacks)
+        ExecCtx::for_udfs(&plan.udfs, callbacks, pool)
     }
 
     /// Instantiate an explicit UDF list (used by DML execution).
     pub fn for_udfs(
         udfs: &[crate::plan::PlannedUdf],
         callbacks: &'a mut dyn CallbackHandler,
+        pool: Option<&Arc<WorkerPool>>,
     ) -> Result<ExecCtx<'a>> {
         let udfs = udfs
             .iter()
-            .map(|u| u.def.instantiate())
+            .map(|u| u.def.instantiate_with(pool))
             .collect::<Result<Vec<_>>>()?;
         Ok(ExecCtx {
             udfs,
@@ -151,11 +157,7 @@ pub fn eval(e: &BExpr, tuple: &Tuple, ctx: &mut ExecCtx<'_>) -> Result<Value> {
             Value::Null => Value::Null,
             Value::Int(v) => Value::Int(v.wrapping_neg()),
             Value::Float(v) => Value::Float(-v),
-            other => {
-                return Err(JaguarError::Execution(format!(
-                    "cannot negate {other}"
-                )))
-            }
+            other => return Err(JaguarError::Execution(format!("cannot negate {other}"))),
         },
         BExpr::Arith {
             op,
@@ -184,9 +186,7 @@ pub fn eval(e: &BExpr, tuple: &Tuple, ctx: &mut ExecCtx<'_>) -> Result<Value> {
                     ArithOp::Sub => Value::Int(a.wrapping_sub(b)),
                     ArithOp::Mul => Value::Int(a.wrapping_mul(b)),
                     ArithOp::Div | ArithOp::Rem if b == 0 => {
-                        return Err(JaguarError::Execution(
-                            "integer division by zero".into(),
-                        ))
+                        return Err(JaguarError::Execution("integer division by zero".into()))
                     }
                     ArithOp::Div => Value::Int(a.wrapping_div(b)),
                     ArithOp::Rem => Value::Int(a.wrapping_rem(b)),
@@ -201,10 +201,7 @@ pub fn eval(e: &BExpr, tuple: &Tuple, ctx: &mut ExecCtx<'_>) -> Result<Value> {
             ctx.stats.udf_invocations += 1;
             // Split the borrow: take the UDF box out, call, put it back,
             // so the callback counter and the UDF can both borrow ctx.
-            let mut u = std::mem::replace(
-                &mut ctx.udfs[*udf],
-                Box::new(PoisonUdf),
-            );
+            let mut u = std::mem::replace(&mut ctx.udfs[*udf], Box::new(PoisonUdf));
             let mut counting = CountingCallbacks {
                 inner: ctx.callbacks,
                 count: &mut ctx.stats.udf_callbacks,

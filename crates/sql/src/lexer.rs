@@ -109,9 +109,7 @@ pub fn lex(src: &str) -> Result<Vec<Tok>> {
                 let mut s = String::new();
                 loop {
                     match bytes.get(i) {
-                        None => {
-                            return Err(JaguarError::Parse("unterminated string".into()))
-                        }
+                        None => return Err(JaguarError::Parse("unterminated string".into())),
                         Some(b'\'') if bytes.get(i + 1) == Some(&b'\'') => {
                             s.push('\'');
                             i += 2;
@@ -159,9 +157,7 @@ pub fn lex(src: &str) -> Result<Vec<Tok>> {
                     continue;
                 }
                 let start = i;
-                while i < bytes.len()
-                    && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_')
-                {
+                while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
                     i += 1;
                 }
                 let word = &src[start..i];
@@ -244,22 +240,20 @@ pub fn lex(src: &str) -> Result<Vec<Tok>> {
                 out.push(Tok::Percent);
                 i += 1;
             }
-            '<' => {
-                match bytes.get(i + 1) {
-                    Some(b'=') => {
-                        out.push(Tok::Le);
-                        i += 2;
-                    }
-                    Some(b'>') => {
-                        out.push(Tok::NotEq);
-                        i += 2;
-                    }
-                    _ => {
-                        out.push(Tok::Lt);
-                        i += 1;
-                    }
+            '<' => match bytes.get(i + 1) {
+                Some(b'=') => {
+                    out.push(Tok::Le);
+                    i += 2;
                 }
-            }
+                Some(b'>') => {
+                    out.push(Tok::NotEq);
+                    i += 2;
+                }
+                _ => {
+                    out.push(Tok::Lt);
+                    i += 1;
+                }
+            },
             '>' => {
                 if bytes.get(i + 1) == Some(&b'=') {
                     out.push(Tok::Ge);
@@ -302,10 +296,8 @@ mod tests {
 
     #[test]
     fn paper_query_lexes() {
-        let toks = lex(
-            "SELECT udf(R.ByteArray, 0, 10, 0) FROM Rel10000 R WHERE R.id < 10000;",
-        )
-        .unwrap();
+        let toks =
+            lex("SELECT udf(R.ByteArray, 0, 10, 0) FROM Rel10000 R WHERE R.id < 10000;").unwrap();
         assert!(toks.contains(&Tok::Ident("udf".into())));
         assert!(toks.contains(&Tok::Dot));
         assert!(toks.contains(&Tok::Lt));

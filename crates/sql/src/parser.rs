@@ -77,9 +77,7 @@ impl Parser {
                 let table = self.ident("a table name")?;
                 Ok(Statement::Describe { table })
             }
-            _ => Err(self.err(
-                "expected SELECT, CREATE, INSERT, DELETE, UPDATE, or DROP",
-            )),
+            _ => Err(self.err("expected SELECT, CREATE, INSERT, DELETE, UPDATE, or DROP")),
         }
     }
 
@@ -460,7 +458,6 @@ impl Parser {
             other => Err(self.err(format!("unexpected {other:?} in expression"))),
         }
     }
-
 }
 
 #[cfg(test)]
@@ -469,10 +466,8 @@ mod tests {
 
     #[test]
     fn paper_query_parses() {
-        let stmt = parse(
-            "SELECT udf(R.ByteArray, 0, 10, 0) FROM Rel10000 R WHERE R.id < 10000;",
-        )
-        .unwrap();
+        let stmt =
+            parse("SELECT udf(R.ByteArray, 0, 10, 0) FROM Rel10000 R WHERE R.id < 10000;").unwrap();
         let Statement::Select(s) = stmt else { panic!() };
         assert_eq!(s.table, "Rel10000");
         assert_eq!(s.alias.as_deref(), Some("R"));
@@ -482,10 +477,9 @@ mod tests {
 
     #[test]
     fn intro_query_parses() {
-        let stmt = parse(
-            "SELECT * FROM Stocks S WHERE S.type = 'tech' AND InvestVal(S.history) > 5",
-        )
-        .unwrap();
+        let stmt =
+            parse("SELECT * FROM Stocks S WHERE S.type = 'tech' AND InvestVal(S.history) > 5")
+                .unwrap();
         let Statement::Select(s) = stmt else { panic!() };
         assert!(matches!(s.items[0], SelectItem::Star));
         let pred = s.predicate.unwrap();
@@ -533,8 +527,7 @@ mod tests {
 
     #[test]
     fn select_with_alias_and_limit() {
-        let Statement::Select(s) =
-            parse("SELECT a AS x, b FROM t WHERE a >= 1 LIMIT 10").unwrap()
+        let Statement::Select(s) = parse("SELECT a AS x, b FROM t WHERE a >= 1 LIMIT 10").unwrap()
         else {
             panic!()
         };
@@ -549,8 +542,7 @@ mod tests {
     #[test]
     fn boolean_precedence() {
         // a = 1 OR b = 2 AND c = 3  →  OR(a=1, AND(b=2, c=3))
-        let Statement::Select(s) =
-            parse("SELECT * FROM t WHERE a = 1 OR b = 2 AND c = 3").unwrap()
+        let Statement::Select(s) = parse("SELECT * FROM t WHERE a = 1 OR b = 2 AND c = 3").unwrap()
         else {
             panic!()
         };
@@ -593,7 +585,10 @@ mod tests {
         );
         assert!(matches!(
             parse("DELETE FROM t").unwrap(),
-            Statement::Delete { predicate: None, .. }
+            Statement::Delete {
+                predicate: None,
+                ..
+            }
         ));
         let Statement::Update {
             table,
@@ -639,7 +634,9 @@ mod tests {
         let SelectItem::Expr { expr, .. } = &s.items[0] else {
             panic!()
         };
-        let Expr::Func { args, .. } = expr else { panic!() };
+        let Expr::Func { args, .. } = expr else {
+            panic!()
+        };
         assert_eq!(args.len(), 3);
         assert!(matches!(args[0], Expr::Func { .. }));
     }

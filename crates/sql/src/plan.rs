@@ -16,11 +16,11 @@
 use std::fmt::Write as _;
 use std::sync::Arc;
 
+use jaguar_catalog::table::TableIndex;
+use jaguar_catalog::{Catalog, Table};
 use jaguar_common::error::{JaguarError, Result};
 use jaguar_common::schema::{Field, Schema, SchemaRef};
 use jaguar_common::{ByteArray, DataType, Value};
-use jaguar_catalog::table::TableIndex;
-use jaguar_catalog::{Catalog, Table};
 use jaguar_udf::{UdfDef, UdfImpl};
 
 use crate::ast::{ArithOp, CmpOp, Expr, SelectItem, SelectStmt};
@@ -45,7 +45,10 @@ pub enum BExpr {
     /// Arithmetic negation.
     Neg(Box<BExpr>),
     /// UDF call; `udf` indexes into the plan's UDF table.
-    Udf { udf: usize, args: Vec<BExpr> },
+    Udf {
+        udf: usize,
+        args: Vec<BExpr>,
+    },
 }
 
 /// A UDF referenced by the plan (instantiated per execution).
@@ -130,13 +133,10 @@ fn bexpr_eq(a: &BExpr, b: &BExpr, udfs: &[PlannedUdf]) -> bool {
         (BExpr::Cmp(o1, l1, r1), BExpr::Cmp(o2, l2, r2)) => {
             o1 == o2 && bexpr_eq(l1, l2, udfs) && bexpr_eq(r1, r2, udfs)
         }
-        (BExpr::And(l1, r1), BExpr::And(l2, r2))
-        | (BExpr::Or(l1, r1), BExpr::Or(l2, r2)) => {
+        (BExpr::And(l1, r1), BExpr::And(l2, r2)) | (BExpr::Or(l1, r1), BExpr::Or(l2, r2)) => {
             bexpr_eq(l1, l2, udfs) && bexpr_eq(r1, r2, udfs)
         }
-        (BExpr::Not(x), BExpr::Not(y)) | (BExpr::Neg(x), BExpr::Neg(y)) => {
-            bexpr_eq(x, y, udfs)
-        }
+        (BExpr::Not(x), BExpr::Not(y)) | (BExpr::Neg(x), BExpr::Neg(y)) => bexpr_eq(x, y, udfs),
         (
             BExpr::Arith {
                 op: o1,
@@ -313,10 +313,7 @@ pub fn bind_select(stmt: &SelectStmt, catalog: &Catalog) -> Result<BoundSelect> 
 }
 
 /// Bind a HAVING predicate over the output schema, requiring Bool type.
-fn bind_output_predicate(
-    having: &Option<Expr>,
-    schema: &Schema,
-) -> Result<Option<BExpr>> {
+fn bind_output_predicate(having: &Option<Expr>, schema: &Schema) -> Result<Option<BExpr>> {
     match having {
         None => Ok(None),
         Some(e) => {
@@ -333,10 +330,7 @@ fn bind_output_predicate(
 
 /// Bind ORDER BY keys over the output schema. A bare integer literal at
 /// the top level is a 1-based output position, as in classic SQL.
-fn bind_order_by(
-    keys: &[(Expr, bool)],
-    schema: &Schema,
-) -> Result<Vec<(BExpr, bool)>> {
+fn bind_order_by(keys: &[(Expr, bool)], schema: &Schema) -> Result<Vec<(BExpr, bool)>> {
     keys.iter()
         .map(|(e, desc)| {
             let bound = match e {
@@ -429,9 +423,7 @@ fn output_type_of(e: &BExpr, schema: &Schema) -> Result<Option<DataType>> {
                 .dtype,
         ),
         BExpr::Literal(v) => v.data_type(),
-        BExpr::Cmp(..) | BExpr::And(..) | BExpr::Or(..) | BExpr::Not(..) => {
-            Some(DataType::Bool)
-        }
+        BExpr::Cmp(..) | BExpr::And(..) | BExpr::Or(..) | BExpr::Not(..) => Some(DataType::Bool),
         BExpr::Arith { float, .. } => Some(if *float {
             DataType::Float
         } else {
@@ -495,7 +487,9 @@ fn bind_aggregate(
                     )));
                 }
                 if expr_mentions_aggregate(&args[0]) {
-                    return Err(JaguarError::Plan("nested aggregates are not allowed".into()));
+                    return Err(JaguarError::Plan(
+                        "nested aggregates are not allowed".into(),
+                    ));
                 }
                 let arg = binder.bind(&args[0])?;
                 let arg_ty = binder.type_of(&arg)?;
@@ -545,9 +539,9 @@ fn bind_aggregate(
                             i + 1
                         ))
                     })?;
-                let ty = binder.type_of(&bound)?.ok_or_else(|| {
-                    JaguarError::Plan("GROUP BY expression has no type".into())
-                })?;
+                let ty = binder
+                    .type_of(&bound)?
+                    .ok_or_else(|| JaguarError::Plan("GROUP BY expression has no type".into()))?;
                 let name = match other {
                     Expr::Column { name, .. } => name.clone(),
                     _ => format!("col{}", i + 1),
@@ -612,9 +606,7 @@ impl Binder<'_> {
                     let matches_alias = self.alias.is_some_and(|a| a.eq_ignore_ascii_case(q));
                     let matches_table = self.table_name.eq_ignore_ascii_case(q);
                     if !matches_alias && !matches_table {
-                        return Err(JaguarError::Plan(format!(
-                            "unknown table qualifier '{q}'"
-                        )));
+                        return Err(JaguarError::Plan(format!("unknown table qualifier '{q}'")));
                     }
                 }
                 BExpr::Column(self.schema.resolve(name)?)
@@ -656,8 +648,7 @@ impl Binder<'_> {
                         op.symbol()
                     )));
                 }
-                let float =
-                    lt == Some(DataType::Float) || rt == Some(DataType::Float);
+                let float = lt == Some(DataType::Float) || rt == Some(DataType::Float);
                 if float && *op == ArithOp::Rem {
                     return Err(JaguarError::Plan("'%' is integer-only".into()));
                 }
@@ -696,9 +687,7 @@ impl Binder<'_> {
                     )));
                 }
                 // Static type check where derivable.
-                for (i, (a, want)) in
-                    bound_args.iter().zip(&def.signature.params).enumerate()
-                {
+                for (i, (a, want)) in bound_args.iter().zip(&def.signature.params).enumerate() {
                     if let Some(got) = self.type_of(a)? {
                         if got != *want {
                             return Err(JaguarError::Plan(format!(
@@ -752,9 +741,7 @@ impl Binder<'_> {
             BExpr::Cmp(_, l, r)
             | BExpr::And(l, r)
             | BExpr::Or(l, r)
-            | BExpr::Arith { lhs: l, rhs: r, .. } => {
-                self.cost_rank(l).max(self.cost_rank(r))
-            }
+            | BExpr::Arith { lhs: l, rhs: r, .. } => self.cost_rank(l).max(self.cost_rank(r)),
             BExpr::Not(inner) | BExpr::Neg(inner) => self.cost_rank(inner),
             BExpr::Udf { udf, args } => {
                 let own = match self.udfs[*udf].def.imp {
@@ -820,7 +807,9 @@ fn choose_access_path(table: &Table, predicates: &[BExpr]) -> AccessPath {
         *hi = Some(hi.map_or(new, |h| h.min(new)));
     };
     for p in predicates {
-        let Some((op, c, k)) = extract(p) else { continue };
+        let Some((op, c, k)) = extract(p) else {
+            continue;
+        };
         if c != col {
             continue;
         }
@@ -928,11 +917,7 @@ pub fn bind_dml(
 /// Render a human-readable plan (used by tests and the EXPLAIN-style API).
 pub fn explain(plan: &BoundSelect) -> String {
     let mut out = String::new();
-    let _ = writeln!(
-        out,
-        "Project {} column(s)",
-        plan.projections.len()
-    );
+    let _ = writeln!(out, "Project {} column(s)", plan.projections.len());
     if let Some(n) = plan.limit {
         let _ = writeln!(out, "  Limit {n}");
     }

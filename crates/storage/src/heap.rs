@@ -74,11 +74,12 @@ impl HeapFile {
         {
             let buf = header.read();
             if page_type(&buf)? != PageType::FileHeader {
-                return Err(JaguarError::Corruption("page 0 is not a file header".into()));
+                return Err(JaguarError::Corruption(
+                    "page 0 is not a file header".into(),
+                ));
             }
-            let magic = u32::from_le_bytes(
-                buf[COMMON_HEADER..COMMON_HEADER + 4].try_into().expect("4"),
-            );
+            let magic =
+                u32::from_le_bytes(buf[COMMON_HEADER..COMMON_HEADER + 4].try_into().expect("4"));
             if magic != MAGIC {
                 return Err(JaguarError::Corruption(format!(
                     "bad heap file magic {magic:#x}"
@@ -507,7 +508,7 @@ mod tests {
         let disk = Arc::new(DiskManager::in_memory(512));
         let pool = Arc::new(BufferPool::new(disk, 4));
         assert!(HeapFile::open(Arc::clone(&pool)).is_err()); // empty
-        // Allocate a non-header page 0.
+                                                             // Allocate a non-header page 0.
         let h = pool.allocate().unwrap();
         {
             let mut b = h.write();

@@ -47,9 +47,7 @@ impl PageType {
             1 => PageType::Slotted,
             2 => PageType::Overflow,
             3 => PageType::FileHeader,
-            other => {
-                return Err(JaguarError::Corruption(format!("bad page type {other}")))
-            }
+            other => return Err(JaguarError::Corruption(format!("bad page type {other}"))),
         })
     }
 }
@@ -311,8 +309,7 @@ pub fn init_overflow(buf: &mut [u8], chunk: &[u8], next: PageId) {
     buf[4..].fill(0);
     set_page_type(buf, PageType::Overflow);
     buf[COMMON_HEADER..COMMON_HEADER + 4].copy_from_slice(&next.0.to_le_bytes());
-    buf[COMMON_HEADER + 4..COMMON_HEADER + 8]
-        .copy_from_slice(&(chunk.len() as u32).to_le_bytes());
+    buf[COMMON_HEADER + 4..COMMON_HEADER + 8].copy_from_slice(&(chunk.len() as u32).to_le_bytes());
     buf[OVERFLOW_HEADER..OVERFLOW_HEADER + chunk.len()].copy_from_slice(chunk);
 }
 
@@ -330,7 +327,9 @@ pub fn read_overflow(buf: &[u8]) -> Result<(&[u8], PageId)> {
             .expect("4"),
     ) as usize;
     if OVERFLOW_HEADER + len > buf.len() {
-        return Err(JaguarError::Corruption("overflow chunk length invalid".into()));
+        return Err(JaguarError::Corruption(
+            "overflow chunk length invalid".into(),
+        ));
     }
     Ok((&buf[OVERFLOW_HEADER..OVERFLOW_HEADER + len], next))
 }

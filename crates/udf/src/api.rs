@@ -64,8 +64,7 @@ pub trait ScalarUdf: Send {
 
     /// Apply the UDF to one argument tuple. `callbacks` answers any
     /// requests the UDF makes back to the server (§4.2).
-    fn invoke(&mut self, args: &[Value], callbacks: &mut dyn CallbackHandler)
-        -> Result<Value>;
+    fn invoke(&mut self, args: &[Value], callbacks: &mut dyn CallbackHandler) -> Result<Value>;
 
     /// Cumulative sandbox resource consumption, for designs that meter it
     /// (the VM designs do; trusted native code cannot be metered — that is

@@ -7,6 +7,7 @@ use jaguar_common::error::Result;
 use jaguar_common::Value;
 use jaguar_ipc::executor::WorkerProcess;
 use jaguar_ipc::proto::CallbackHandler;
+use jaguar_pool::{PooledWorker, WorkerPool};
 use jaguar_vm::interp::ExecMode;
 use jaguar_vm::{PermissionSet, ResourceLimits, VerifiedModule};
 
@@ -73,6 +74,13 @@ impl UdfDef {
     /// Create the per-query execution instance. For isolated designs this
     /// spawns the worker process (the paper's per-query remote executor).
     pub fn instantiate(&self) -> Result<Box<dyn ScalarUdf>> {
+        self.instantiate_with(None)
+    }
+
+    /// Like [`UdfDef::instantiate`], but isolated designs acquire their
+    /// executor from `pool` (a warm worker checked out for the query and
+    /// returned at `finish`) instead of spawning a fresh process.
+    pub fn instantiate_with(&self, pool: Option<&Arc<WorkerPool>>) -> Result<Box<dyn ScalarUdf>> {
         match &self.imp {
             UdfImpl::Native(n) => Ok(Box::new(n.clone())),
             UdfImpl::Vm(spec) => Ok(Box::new(VmUdf::new(
@@ -81,33 +89,65 @@ impl UdfDef {
                 Arc::clone(&spec.module),
                 spec.function.clone(),
                 spec.limits,
-                if spec.jit { ExecMode::Jit } else { ExecMode::Baseline },
+                if spec.jit {
+                    ExecMode::Jit
+                } else {
+                    ExecMode::Baseline
+                },
                 spec.permissions.clone(),
             )?)),
-            UdfImpl::IsolatedNative { worker_fn } => {
-                let mut worker = WorkerProcess::spawn()?;
-                worker.load_native(worker_fn)?;
-                Ok(Box::new(IsolatedUdf {
-                    name: self.name.clone(),
-                    signature: self.signature.clone(),
-                    worker,
-                }))
-            }
-            UdfImpl::IsolatedVm(spec) => {
-                let mut worker = WorkerProcess::spawn()?;
-                worker.load_vm(
-                    &spec.module_bytes,
-                    &spec.function,
-                    spec.jit,
-                    spec.limits.fuel,
-                    spec.limits.memory,
-                )?;
-                Ok(Box::new(IsolatedUdf {
-                    name: self.name.clone(),
-                    signature: self.signature.clone(),
-                    worker,
-                }))
-            }
+            UdfImpl::IsolatedNative { worker_fn } => match pool {
+                Some(pool) => {
+                    let mut worker = pool.checkout()?;
+                    worker.load_native(worker_fn)?;
+                    Ok(Box::new(PooledIsolatedUdf {
+                        name: self.name.clone(),
+                        signature: self.signature.clone(),
+                        worker,
+                    }))
+                }
+                None => {
+                    let mut worker = WorkerProcess::spawn()?;
+                    worker.load_native(worker_fn)?;
+                    Ok(Box::new(IsolatedUdf {
+                        name: self.name.clone(),
+                        signature: self.signature.clone(),
+                        worker,
+                    }))
+                }
+            },
+            UdfImpl::IsolatedVm(spec) => match pool {
+                Some(pool) => {
+                    let mut worker = pool.checkout()?;
+                    worker.load_vm(
+                        &spec.module_bytes,
+                        &spec.function,
+                        spec.jit,
+                        spec.limits.fuel,
+                        spec.limits.memory,
+                    )?;
+                    Ok(Box::new(PooledIsolatedUdf {
+                        name: self.name.clone(),
+                        signature: self.signature.clone(),
+                        worker,
+                    }))
+                }
+                None => {
+                    let mut worker = WorkerProcess::spawn()?;
+                    worker.load_vm(
+                        &spec.module_bytes,
+                        &spec.function,
+                        spec.jit,
+                        spec.limits.fuel,
+                        spec.limits.memory,
+                    )?;
+                    Ok(Box::new(IsolatedUdf {
+                        name: self.name.clone(),
+                        signature: self.signature.clone(),
+                        worker,
+                    }))
+                }
+            },
         }
     }
 }
@@ -128,11 +168,7 @@ impl ScalarUdf for IsolatedUdf {
         &self.signature
     }
 
-    fn invoke(
-        &mut self,
-        args: &[Value],
-        callbacks: &mut dyn CallbackHandler,
-    ) -> Result<Value> {
+    fn invoke(&mut self, args: &[Value], callbacks: &mut dyn CallbackHandler) -> Result<Value> {
         self.signature.check_args(&self.name, args)?;
         // The argument copy into the pipe is the "copy into shared memory"
         // of the paper's Design 2.
@@ -141,6 +177,37 @@ impl ScalarUdf for IsolatedUdf {
 
     fn finish(self: Box<Self>) -> Result<()> {
         self.worker.shutdown()
+    }
+}
+
+/// A UDF running in a pool-managed worker process: same designs as
+/// [`IsolatedUdf`], but the executor is borrowed from a [`WorkerPool`] and
+/// returned (reset, ready for the next query) instead of being torn down.
+struct PooledIsolatedUdf {
+    name: String,
+    signature: UdfSignature,
+    worker: PooledWorker,
+}
+
+impl ScalarUdf for PooledIsolatedUdf {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn signature(&self) -> &UdfSignature {
+        &self.signature
+    }
+
+    fn invoke(&mut self, args: &[Value], callbacks: &mut dyn CallbackHandler) -> Result<Value> {
+        self.signature.check_args(&self.name, args)?;
+        self.worker.invoke(args.to_vec(), callbacks)
+    }
+
+    fn finish(self: Box<Self>) -> Result<()> {
+        // Dropping the guard checks the worker back in (Reset + re-idle)
+        // or, if it died this query, lets the supervisor replace it.
+        drop(self.worker);
+        Ok(())
     }
 }
 

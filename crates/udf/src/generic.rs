@@ -70,12 +70,7 @@ impl GenericParams {
 /// The generic UDF's SQL signature.
 pub fn generic_signature() -> UdfSignature {
     UdfSignature::new(
-        vec![
-            DataType::Bytes,
-            DataType::Int,
-            DataType::Int,
-            DataType::Int,
-        ],
+        vec![DataType::Bytes, DataType::Int, DataType::Int, DataType::Int],
         DataType::Int,
     )
 }
@@ -89,11 +84,7 @@ fn unpack(args: &[Value]) -> Result<(&[u8], i64, i64, i64)> {
     ))
 }
 
-fn run_callbacks(
-    mut acc: i64,
-    n: i64,
-    cb: &mut dyn CallbackHandler,
-) -> Result<i64> {
+fn run_callbacks(mut acc: i64, n: i64, cb: &mut dyn CallbackHandler) -> Result<i64> {
     for c in 0..n {
         let v = cb.callback(GENERIC_CALLBACK, &[Value::Int(c)])?;
         acc = acc.wrapping_add(v.as_int()?);
@@ -279,7 +270,11 @@ pub fn def_vm(jit: bool, limits: ResourceLimits) -> UdfDef {
 pub fn def_isolated_vm(jit: bool, limits: ResourceLimits) -> UdfDef {
     let spec = vm_spec(generic_module(), "main", limits, jit, None)
         .expect("builtin generic UDF must verify");
-    UdfDef::new("generic_ivm", generic_signature(), UdfImpl::IsolatedVm(spec))
+    UdfDef::new(
+        "generic_ivm",
+        generic_signature(),
+        UdfImpl::IsolatedVm(spec),
+    )
 }
 
 /// Callback handler used by the experiments: returns its argument
@@ -303,6 +298,11 @@ pub fn worker_registry() -> WorkerRegistry {
         // A deliberately crashing UDF: proves Design 2's crash containment.
         .register("crash", |_args, _cb| {
             std::process::abort();
+        })
+        // A deliberately hanging UDF: proves the pool's deadline
+        // enforcement kills a wedged worker instead of wedging the query.
+        .register("hang", |_args, _cb| loop {
+            std::thread::sleep(std::time::Duration::from_secs(3600));
         })
 }
 
@@ -328,7 +328,11 @@ mod tests {
         acc
     }
 
-    fn eval(f: fn(&[Value], &mut dyn CallbackHandler) -> Result<Value>, data: &[u8], p: GenericParams) -> i64 {
+    fn eval(
+        f: fn(&[Value], &mut dyn CallbackHandler) -> Result<Value>,
+        data: &[u8],
+        p: GenericParams,
+    ) -> i64 {
         let args = p.args(ByteArray::from(data));
         f(&args, &mut IdentityCallbacks).unwrap().as_int().unwrap()
     }
@@ -387,7 +391,9 @@ mod tests {
             data_dep_comps: 1,
             callbacks: 0,
         };
-        let mut jit = def_vm(true, ResourceLimits::default()).instantiate().unwrap();
+        let mut jit = def_vm(true, ResourceLimits::default())
+            .instantiate()
+            .unwrap();
         let mut base = def_vm(false, ResourceLimits::default())
             .instantiate()
             .unwrap();
@@ -407,14 +413,23 @@ mod tests {
             callbacks: 1,
             ..Default::default()
         };
-        let mut udf = def_vm(true, ResourceLimits::default()).instantiate().unwrap();
+        let mut udf = def_vm(true, ResourceLimits::default())
+            .instantiate()
+            .unwrap();
         udf.invoke(&p.args(data), &mut IdentityCallbacks).unwrap();
     }
 
     #[test]
     fn worker_registry_contents() {
         let reg = worker_registry();
-        for name in ["noop", "generic", "generic_bc", "generic_sfi", "crash"] {
+        for name in [
+            "noop",
+            "generic",
+            "generic_bc",
+            "generic_sfi",
+            "crash",
+            "hang",
+        ] {
             assert!(reg.get(name).is_some(), "{name} missing");
         }
     }

@@ -16,8 +16,7 @@ use jaguar_ipc::proto::CallbackHandler;
 use crate::api::{ScalarUdf, UdfSignature};
 
 /// The function type for a trusted native UDF.
-pub type NativeFn =
-    dyn Fn(&[Value], &mut dyn CallbackHandler) -> Result<Value> + Send + Sync;
+pub type NativeFn = dyn Fn(&[Value], &mut dyn CallbackHandler) -> Result<Value> + Send + Sync;
 
 /// A trusted, in-process UDF (the paper's "C++" baseline).
 ///
@@ -52,11 +51,7 @@ impl ScalarUdf for NativeUdf {
         &self.signature
     }
 
-    fn invoke(
-        &mut self,
-        args: &[Value],
-        callbacks: &mut dyn CallbackHandler,
-    ) -> Result<Value> {
+    fn invoke(&mut self, args: &[Value], callbacks: &mut dyn CallbackHandler) -> Result<Value> {
         self.signature.check_args(&self.name, args)?;
         (self.f)(args, callbacks)
     }

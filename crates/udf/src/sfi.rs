@@ -78,7 +78,7 @@ mod tests {
     #[test]
     fn wild_addresses_wrap_into_region() {
         let r = SfiRegion::from_data(&[9; 100]); // capacity 128
-        // A wild pointer-style address cannot escape the region.
+                                                 // A wild pointer-style address cannot escape the region.
         assert!(r.load(usize::MAX) <= 9);
         let v = r.load(128 + 5); // wraps to 5
         assert_eq!(v, 9);

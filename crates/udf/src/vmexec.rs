@@ -30,11 +30,7 @@ pub fn value_to_vm(v: &Value, arena: &mut Arena) -> Result<VmValue> {
         Value::Float(f) => VmValue::F64(*f),
         Value::Bool(b) => VmValue::I64(*b as i64),
         Value::Bytes(b) => VmValue::Bytes(arena.alloc_from(b.as_slice())?),
-        other => {
-            return Err(JaguarError::Udf(format!(
-                "cannot pass {other} to a VM UDF"
-            )))
-        }
+        other => return Err(JaguarError::Udf(format!("cannot pass {other} to a VM UDF"))),
     })
 }
 
@@ -154,11 +150,7 @@ impl ScalarUdf for VmUdf {
         Some(self.consumed)
     }
 
-    fn invoke(
-        &mut self,
-        args: &[Value],
-        callbacks: &mut dyn CallbackHandler,
-    ) -> Result<Value> {
+    fn invoke(&mut self, args: &[Value], callbacks: &mut dyn CallbackHandler) -> Result<Value> {
         self.signature.check_args(&self.name, args)?;
         let mut arena = Arena::new(self.interp.limits().memory);
         // (usage recorded below, after the run)
@@ -311,10 +303,7 @@ mod tests {
             import lookup(i64) -> i64;
             fn main(x: i64) -> i64 { return lookup(x) + 1; }
         "#;
-        let mut udf = vm_udf(
-            src,
-            UdfSignature::new(vec![DataType::Int], DataType::Int),
-        );
+        let mut udf = vm_udf(src, UdfSignature::new(vec![DataType::Int], DataType::Int));
         assert_eq!(
             udf.invoke(&[Value::Int(4)], &mut Lookup).unwrap(),
             Value::Int(41)

@@ -114,13 +114,17 @@ impl Arena {
         self.objects
             .get(r.0 as usize)
             .map(|v| v.as_slice())
-            .ok_or(JaguarError::VmTrap(VmTrap::Type("dangling bytes reference")))
+            .ok_or(JaguarError::VmTrap(VmTrap::Type(
+                "dangling bytes reference",
+            )))
     }
 
     fn get_mut(&mut self, r: BytesRef) -> Result<&mut Vec<u8>> {
         self.objects
             .get_mut(r.0 as usize)
-            .ok_or(JaguarError::VmTrap(VmTrap::Type("dangling bytes reference")))
+            .ok_or(JaguarError::VmTrap(VmTrap::Type(
+                "dangling bytes reference",
+            )))
     }
 }
 

@@ -76,14 +76,11 @@ pub fn assemble(src: &str) -> Result<Module> {
                 return Err(err("'locals' must come first in a func".into()));
             }
             for part in rest.split(',') {
-                b.local_types.push(
-                    VType::from_name(part.trim()).map_err(|e| err(e.to_string()))?,
-                );
+                b.local_types
+                    .push(VType::from_name(part.trim()).map_err(|e| err(e.to_string()))?);
             }
         } else if line == "end" {
-            let b = cur
-                .take()
-                .ok_or_else(|| err("'end' outside func".into()))?;
+            let b = cur.take().ok_or_else(|| err("'end' outside func".into()))?;
             module.functions.push(b.finish()?);
         } else if let Some(label) = line.strip_suffix(':') {
             let b = cur
@@ -106,7 +103,9 @@ pub fn assemble(src: &str) -> Result<Module> {
         }
     }
     if cur.is_some() {
-        return Err(JaguarError::Parse("unterminated func (missing 'end')".into()));
+        return Err(JaguarError::Parse(
+            "unterminated func (missing 'end')".into(),
+        ));
     }
     Ok(module)
 }
@@ -179,7 +178,10 @@ struct FnBuilder {
 enum AsmItem {
     Done(Insn),
     /// A jump whose target label is resolved at `finish` time.
-    JumpTo { kind: JumpKind, label: String },
+    JumpTo {
+        kind: JumpKind,
+        label: String,
+    },
 }
 
 enum JumpKind {
@@ -367,7 +369,9 @@ fn parse_insn(line: &str) -> Result<AsmItem> {
                 .parse::<u32>()
                 .map_err(|e| JaguarError::Parse(format!("bad index: {e}")))?,
         ))),
-        "hostcall" => Ok(AsmItem::Done(Insn::HostCall(parse_u16(need("an import index")?)?))),
+        "hostcall" => Ok(AsmItem::Done(Insn::HostCall(parse_u16(need(
+            "an import index",
+        )?)?))),
         "ret" => no_arg(Insn::Ret),
         "newarr" => no_arg(Insn::NewArr),
         "aload" => no_arg(Insn::ALoad),

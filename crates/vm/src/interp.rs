@@ -153,7 +153,12 @@ enum FusedOp {
     },
     /// `Load acc; Load arr; Load idx; ALoad; AddI; Store acc`
     /// → `acc += arr[idx]` (bounds-checked, as always).
-    AccAddALoad { acc: u16, arr: u16, idx: u16, len: u8 },
+    AccAddALoad {
+        acc: u16,
+        arr: u16,
+        idx: u16,
+        len: u8,
+    },
     /// `Load acc; ConstI k; MulI; Load b; AddI; Store acc`
     /// → `acc = acc * k + b` (wrapping).
     MulConstAddLocal { acc: u16, k: i64, b: u16, len: u8 },
@@ -173,9 +178,8 @@ fn fuse(code: &[Insn]) -> Vec<FusedOp> {
             _ => {}
         }
     }
-    let clear = |from: usize, len: usize| -> bool {
-        (from + 1..from + len).all(|p| !targets.contains(&p))
-    };
+    let clear =
+        |from: usize, len: usize| -> bool { (from + 1..from + len).all(|p| !targets.contains(&p)) };
 
     let mut out: Vec<FusedOp> = code.iter().map(|i| FusedOp::Std(*i)).collect();
     let mut i = 0;
@@ -190,7 +194,12 @@ fn fuse(code: &[Insn]) -> Vec<FusedOp> {
                 Insn::AddI,
                 Insn::Store(acc2),
             ) = (
-                code[i], code[i + 1], code[i + 2], code[i + 3], code[i + 4], code[i + 5],
+                code[i],
+                code[i + 1],
+                code[i + 2],
+                code[i + 3],
+                code[i + 4],
+                code[i + 5],
             ) {
                 if acc == acc2 {
                     out[i] = FusedOp::AccAddALoad {
@@ -214,7 +223,12 @@ fn fuse(code: &[Insn]) -> Vec<FusedOp> {
                 Insn::AddI,
                 Insn::Store(acc2),
             ) = (
-                code[i], code[i + 1], code[i + 2], code[i + 3], code[i + 4], code[i + 5],
+                code[i],
+                code[i + 1],
+                code[i + 2],
+                code[i + 3],
+                code[i + 4],
+                code[i + 5],
             ) {
                 if acc == acc2 {
                     out[i] = FusedOp::MulConstAddLocal { acc, k, b, len: 6 };
@@ -436,16 +450,19 @@ impl Interpreter {
         let mut usage = ResourceUsage::default();
         let mut fuel = self.limits.fuel;
 
-        let make_locals =
-            |fidx: u32, args: Vec<VmValue>, arena: &mut Arena, dl: &mut dyn FnMut(VType, &mut Arena) -> Result<VmValue>| -> Result<Vec<VmValue>> {
-                let f = &funcs[fidx as usize];
-                let mut locals = Vec::with_capacity(f.total_locals());
-                locals.extend(args);
-                for t in &f.local_types {
-                    locals.push(dl(*t, arena)?);
-                }
-                Ok(locals)
-            };
+        let make_locals = |fidx: u32,
+                           args: Vec<VmValue>,
+                           arena: &mut Arena,
+                           dl: &mut dyn FnMut(VType, &mut Arena) -> Result<VmValue>|
+         -> Result<Vec<VmValue>> {
+            let f = &funcs[fidx as usize];
+            let mut locals = Vec::with_capacity(f.total_locals());
+            locals.extend(args);
+            for t in &f.local_types {
+                locals.push(dl(*t, arena)?);
+            }
+            Ok(locals)
+        };
 
         let mut stack: Vec<VmValue> = Vec::with_capacity(64);
         let mut frames: Vec<Frame> = Vec::with_capacity(8);
@@ -833,11 +850,7 @@ mod tests {
     use super::*;
     use crate::module::{FuncSig, Function, Module};
 
-    fn build(
-        sig: FuncSig,
-        locals: Vec<VType>,
-        code: Vec<Insn>,
-    ) -> Arc<VerifiedModule> {
+    fn build(sig: FuncSig, locals: Vec<VType>, code: Vec<Insn>) -> Arc<VerifiedModule> {
         Arc::new(
             Module {
                 name: "t".into(),
@@ -868,15 +881,33 @@ mod tests {
     #[test]
     fn arithmetic() {
         assert_eq!(
-            run_i64(vec![Insn::ConstI(2), Insn::ConstI(3), Insn::AddI, Insn::Ret]).unwrap(),
+            run_i64(vec![
+                Insn::ConstI(2),
+                Insn::ConstI(3),
+                Insn::AddI,
+                Insn::Ret
+            ])
+            .unwrap(),
             5
         );
         assert_eq!(
-            run_i64(vec![Insn::ConstI(10), Insn::ConstI(3), Insn::DivI, Insn::Ret]).unwrap(),
+            run_i64(vec![
+                Insn::ConstI(10),
+                Insn::ConstI(3),
+                Insn::DivI,
+                Insn::Ret
+            ])
+            .unwrap(),
             3
         );
         assert_eq!(
-            run_i64(vec![Insn::ConstI(10), Insn::ConstI(3), Insn::RemI, Insn::Ret]).unwrap(),
+            run_i64(vec![
+                Insn::ConstI(10),
+                Insn::ConstI(3),
+                Insn::RemI,
+                Insn::Ret
+            ])
+            .unwrap(),
             1
         );
         assert_eq!(
@@ -903,7 +934,13 @@ mod tests {
 
     #[test]
     fn divide_by_zero_traps() {
-        let e = run_i64(vec![Insn::ConstI(1), Insn::ConstI(0), Insn::DivI, Insn::Ret]).unwrap_err();
+        let e = run_i64(vec![
+            Insn::ConstI(1),
+            Insn::ConstI(0),
+            Insn::DivI,
+            Insn::Ret,
+        ])
+        .unwrap_err();
         assert!(matches!(e, JaguarError::VmTrap(VmTrap::DivideByZero)));
     }
 
@@ -1032,13 +1069,7 @@ mod tests {
 
     #[test]
     fn negative_array_length_traps() {
-        let e = run_i64(vec![
-            Insn::ConstI(-5),
-            Insn::NewArr,
-            Insn::ALen,
-            Insn::Ret,
-        ])
-        .unwrap_err();
+        let e = run_i64(vec![Insn::ConstI(-5), Insn::NewArr, Insn::ALen, Insn::Ret]).unwrap_err();
         assert!(matches!(e, JaguarError::VmTrap(VmTrap::Bounds { .. })));
     }
 
@@ -1049,11 +1080,7 @@ mod tests {
             vec![],
             vec![Insn::Jmp(0), Insn::ConstI(0), Insn::Ret],
         );
-        let interp = Interpreter::new(
-            m,
-            ResourceLimits::tight(10_000, 1 << 20),
-            ExecMode::Jit,
-        );
+        let interp = Interpreter::new(m, ResourceLimits::tight(10_000, 1 << 20), ExecMode::Jit);
         let e = interp.invoke("main", &[], &mut NoHost).unwrap_err();
         assert!(matches!(e, JaguarError::ResourceLimit(_)), "{e}");
         assert!(e.is_containable());
@@ -1120,12 +1147,7 @@ mod tests {
             name: "main".into(),
             sig: FuncSig::new(vec![], Some(VType::I64)),
             local_types: vec![],
-            code: vec![
-                Insn::ConstI(20),
-                Insn::ConstI(22),
-                Insn::Call(0),
-                Insn::Ret,
-            ],
+            code: vec![Insn::ConstI(20), Insn::ConstI(22), Insn::Call(0), Insn::Ret],
         };
         let m = Arc::new(
             Module {
@@ -1200,7 +1222,12 @@ mod tests {
         );
         struct Never;
         impl HostEnv for Never {
-            fn host_call(&mut self, _: &str, _: &[VmValue], _: &mut Arena) -> Result<Option<VmValue>> {
+            fn host_call(
+                &mut self,
+                _: &str,
+                _: &[VmValue],
+                _: &mut Arena,
+            ) -> Result<Option<VmValue>> {
                 panic!("security manager must block before the host is reached");
             }
         }
@@ -1237,10 +1264,10 @@ mod tests {
     fn bytes_argument_marshalled_and_summable() {
         // sum all bytes of arg0
         let code = vec![
-            Insn::ConstI(0),    // 0  i = 0 → store 1
-            Insn::Store(1),     // 1
-            Insn::ConstI(0),    // 2  acc = 0 → store 2
-            Insn::Store(2),     // 3
+            Insn::ConstI(0), // 0  i = 0 → store 1
+            Insn::Store(1),  // 1
+            Insn::ConstI(0), // 2  acc = 0 → store 2
+            Insn::Store(2),  // 3
             // loop: if i >= len break
             Insn::Load(1),      // 4
             Insn::Load(0),      // 5
@@ -1280,12 +1307,7 @@ mod tests {
         let m = build(
             FuncSig::new(vec![], Some(VType::I64)),
             vec![],
-            vec![
-                Insn::ConstI(1000),
-                Insn::NewArr,
-                Insn::ALen,
-                Insn::Ret,
-            ],
+            vec![Insn::ConstI(1000), Insn::NewArr, Insn::ALen, Insn::Ret],
         );
         let interp = Interpreter::new(m, ResourceLimits::default(), ExecMode::Jit);
         let (ret, usage, _) = interp.invoke("main", &[], &mut NoHost).unwrap();
@@ -1318,7 +1340,9 @@ mod fusion_tests {
         assert!(plan
             .iter()
             .any(|op| matches!(op, FusedOp::CmpLocalsJmpIfNot { .. })));
-        assert!(plan.iter().any(|op| matches!(op, FusedOp::AccAddALoad { .. })));
+        assert!(plan
+            .iter()
+            .any(|op| matches!(op, FusedOp::AccAddALoad { .. })));
         assert!(plan.iter().any(|op| matches!(op, FusedOp::IncLocal { .. })));
     }
 
@@ -1334,10 +1358,7 @@ mod fusion_tests {
         let base = Interpreter::new(m, ResourceLimits::default(), ExecMode::Baseline);
         let (rj, uj, _) = jit.invoke("main", &args, &mut NoHost).unwrap();
         let (rb, ub, _) = base.invoke("main", &args, &mut NoHost).unwrap();
-        assert_eq!(
-            rj.unwrap().as_i64().unwrap(),
-            rb.unwrap().as_i64().unwrap()
-        );
+        assert_eq!(rj.unwrap().as_i64().unwrap(), rb.unwrap().as_i64().unwrap());
         // Fuel accounting is dispatch-independent.
         assert_eq!(uj.instructions, ub.instructions);
     }
@@ -1371,15 +1392,15 @@ mod fusion_tests {
             local_types: vec![],
             code: vec![
                 // 0: entry — jump into the middle of the would-be pattern
-                Insn::Load(0),      // 0
-                Insn::JmpIf(4),     // 1 → target 4 is inside [2..6)
+                Insn::Load(0),  // 0
+                Insn::JmpIf(4), // 1 → target 4 is inside [2..6)
                 // would-be IncLocal pattern at 2: Load 0; ConstI 1; AddI; Store 0
-                Insn::Load(0),      // 2
-                Insn::ConstI(1),    // 3
-                Insn::AddI,         // 4  ← jump target! needs a stack value…
-                Insn::Store(0),     // 5
-                Insn::Load(0),      // 6
-                Insn::Ret,          // 7
+                Insn::Load(0),   // 2
+                Insn::ConstI(1), // 3
+                Insn::AddI,      // 4  ← jump target! needs a stack value…
+                Insn::Store(0),  // 5
+                Insn::Load(0),   // 6
+                Insn::Ret,       // 7
             ],
         };
         let module = Module {

@@ -39,9 +39,7 @@ impl VType {
             1 => VType::I64,
             2 => VType::F64,
             3 => VType::Bytes,
-            other => {
-                return Err(JaguarError::Corruption(format!("bad vtype tag {other}")))
-            }
+            other => return Err(JaguarError::Corruption(format!("bad vtype tag {other}"))),
         })
     }
 
@@ -58,9 +56,7 @@ impl VType {
             "i64" | "int" => VType::I64,
             "f64" | "float" => VType::F64,
             "bytes" => VType::Bytes,
-            other => {
-                return Err(JaguarError::Parse(format!("unknown type '{other}'")))
-            }
+            other => return Err(JaguarError::Parse(format!("unknown type '{other}'"))),
         })
     }
 }

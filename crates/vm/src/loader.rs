@@ -163,8 +163,8 @@ mod tests {
 
     #[test]
     fn import_signature_mismatch_rejected() {
-        let loader =
-            Loader::new().allow_import("callback", FuncSig::new(vec![VType::I64], Some(VType::I64)));
+        let loader = Loader::new()
+            .allow_import("callback", FuncSig::new(vec![VType::I64], Some(VType::I64)));
         let mut m = trivial_module("m");
         m.imports.push(HostImport {
             name: "callback".into(),
@@ -176,8 +176,8 @@ mod tests {
 
     #[test]
     fn allowed_import_accepted() {
-        let loader =
-            Loader::new().allow_import("callback", FuncSig::new(vec![VType::I64], Some(VType::I64)));
+        let loader = Loader::new()
+            .allow_import("callback", FuncSig::new(vec![VType::I64], Some(VType::I64)));
         let mut m = trivial_module("m");
         m.imports.push(HostImport {
             name: "callback".into(),

@@ -118,7 +118,12 @@ impl PermissionSet {
     /// Denied attempts only — what an operator would page through after an
     /// incident (the auditing capability the paper says Java lacked).
     pub fn violations(&self) -> Vec<AuditEvent> {
-        self.audit.lock().iter().filter(|e| !e.allowed).cloned().collect()
+        self.audit
+            .lock()
+            .iter()
+            .filter(|e| !e.allowed)
+            .cloned()
+            .collect()
     }
 }
 
@@ -154,7 +159,9 @@ mod tests {
             .grant(Permission::HostCall("clip".into()));
         s.check(&Permission::Callback).unwrap();
         s.check(&Permission::HostCall("clip".into())).unwrap();
-        assert!(s.check(&Permission::HostCall("delete_everything".into())).is_err());
+        assert!(s
+            .check(&Permission::HostCall("delete_everything".into()))
+            .is_err());
     }
 
     #[test]
@@ -186,7 +193,9 @@ mod tests {
     #[test]
     fn violation_message_names_udf_and_action() {
         let s = PermissionSet::deny_all("evil");
-        let e = s.check(&Permission::FileWrite("/db/files".into())).unwrap_err();
+        let e = s
+            .check(&Permission::FileWrite("/db/files".into()))
+            .unwrap_err();
         let msg = e.to_string();
         assert!(msg.contains("evil"), "{msg}");
         assert!(msg.contains("file-write"), "{msg}");

@@ -59,22 +59,18 @@ fn verify_function(module: &Module, f: &Function) -> Result<()> {
     // Pass 1: structural checks on every instruction, reachable or not.
     for (pc, insn) in f.code.iter().enumerate() {
         match *insn {
-            Insn::Load(i) | Insn::Store(i)
-                if (i as usize) >= f.total_locals() => {
-                    return Err(err(&f.name, pc, format!("local {i} out of range")));
-                }
-            Insn::Jmp(t) | Insn::JmpIf(t) | Insn::JmpIfNot(t)
-                if (t as usize) >= f.code.len() => {
-                    return Err(err(&f.name, pc, format!("jump target {t} out of range")));
-                }
-            Insn::Call(idx)
-                if (idx as usize) >= module.functions.len() => {
-                    return Err(err(&f.name, pc, format!("call target {idx} undefined")));
-                }
-            Insn::HostCall(idx)
-                if (idx as usize) >= module.imports.len() => {
-                    return Err(err(&f.name, pc, format!("host import {idx} undeclared")));
-                }
+            Insn::Load(i) | Insn::Store(i) if (i as usize) >= f.total_locals() => {
+                return Err(err(&f.name, pc, format!("local {i} out of range")));
+            }
+            Insn::Jmp(t) | Insn::JmpIf(t) | Insn::JmpIfNot(t) if (t as usize) >= f.code.len() => {
+                return Err(err(&f.name, pc, format!("jump target {t} out of range")));
+            }
+            Insn::Call(idx) if (idx as usize) >= module.functions.len() => {
+                return Err(err(&f.name, pc, format!("call target {idx} undefined")));
+            }
+            Insn::HostCall(idx) if (idx as usize) >= module.imports.len() => {
+                return Err(err(&f.name, pc, format!("host import {idx} undeclared")));
+            }
             _ => {}
         }
     }
@@ -90,9 +86,7 @@ fn verify_function(module: &Module, f: &Function) -> Result<()> {
                     return Err(err(
                         &f.name,
                         pc,
-                        format!(
-                            "inconsistent stack at merge point: {existing:?} vs {stack:?}"
-                        ),
+                        format!("inconsistent stack at merge point: {existing:?} vs {stack:?}"),
                     ));
                 }
                 continue; // already analysed with this state
@@ -105,9 +99,7 @@ fn verify_function(module: &Module, f: &Function) -> Result<()> {
         // Helper closures for pops/pushes with typed errors.
         macro_rules! pop {
             ($want:expr) => {{
-                let got = s
-                    .pop()
-                    .ok_or_else(|| err(&f.name, pc, "stack underflow"))?;
+                let got = s.pop().ok_or_else(|| err(&f.name, pc, "stack underflow"))?;
                 if got != $want {
                     return Err(err(
                         &f.name,
@@ -150,7 +142,9 @@ fn verify_function(module: &Module, f: &Function) -> Result<()> {
                 pop_any!();
             }
             Insn::Dup => {
-                let t = *s.last().ok_or_else(|| err(&f.name, pc, "stack underflow"))?;
+                let t = *s
+                    .last()
+                    .ok_or_else(|| err(&f.name, pc, "stack underflow"))?;
                 push!(t);
             }
             Insn::Swap => {
@@ -317,7 +311,13 @@ mod tests {
 
     #[test]
     fn type_mismatch_rejected() {
-        let e = ok(vec![Insn::ConstF(1.0), Insn::ConstI(1), Insn::AddI, Insn::Ret]).unwrap_err();
+        let e = ok(vec![
+            Insn::ConstF(1.0),
+            Insn::ConstI(1),
+            Insn::AddI,
+            Insn::Ret,
+        ])
+        .unwrap_err();
         assert!(e.to_string().contains("expected i64"), "{e}");
     }
 
@@ -437,13 +437,7 @@ mod tests {
     #[test]
     fn array_ops_verify_and_type_check() {
         // return len(newarr(5))
-        ok(vec![
-            Insn::ConstI(5),
-            Insn::NewArr,
-            Insn::ALen,
-            Insn::Ret,
-        ])
-        .unwrap();
+        ok(vec![Insn::ConstI(5), Insn::NewArr, Insn::ALen, Insn::Ret]).unwrap();
         // aload on an i64 must fail
         let e = ok(vec![
             Insn::ConstI(5),
@@ -467,12 +461,7 @@ mod tests {
             name: "main".into(),
             sig: FuncSig::new(vec![], Some(VType::I64)),
             local_types: vec![],
-            code: vec![
-                Insn::ConstI(1),
-                Insn::ConstF(2.0),
-                Insn::Call(0),
-                Insn::Ret,
-            ],
+            code: vec![Insn::ConstI(1), Insn::ConstF(2.0), Insn::Call(0), Insn::Ret],
         };
         verify(Module {
             name: "t".into(),
@@ -485,12 +474,7 @@ mod tests {
             name: "main".into(),
             sig: FuncSig::new(vec![], Some(VType::I64)),
             local_types: vec![],
-            code: vec![
-                Insn::ConstF(2.0),
-                Insn::ConstI(1),
-                Insn::Call(0),
-                Insn::Ret,
-            ],
+            code: vec![Insn::ConstF(2.0), Insn::ConstI(1), Insn::Call(0), Insn::Ret],
         };
         let e = verify(Module {
             name: "t".into(),
@@ -548,12 +532,6 @@ mod tests {
         .unwrap_err();
         assert!(e.to_string().contains("expected i64"), "{e}");
 
-        ok(vec![
-            Insn::ConstI(1),
-            Insn::Dup,
-            Insn::AddI,
-            Insn::Ret,
-        ])
-        .unwrap();
+        ok(vec![Insn::ConstI(1), Insn::Dup, Insn::AddI, Insn::Ret]).unwrap();
     }
 }

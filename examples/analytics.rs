@@ -6,7 +6,7 @@
 //! cargo run --example analytics
 //! ```
 
-use jaguar_core::{ByteArray, Database, DataType, Tuple, UdfDesign, UdfSignature, Value};
+use jaguar_core::{ByteArray, DataType, Database, Tuple, UdfDesign, UdfSignature, Value};
 
 fn main() -> jaguar_core::Result<()> {
     let db = Database::in_memory();

@@ -6,7 +6,7 @@
 //! cargo run --example client_server
 //! ```
 
-use jaguar_core::{Client, Database, DataType, UdfSignature, Value};
+use jaguar_core::{Client, DataType, Database, UdfSignature, Value};
 
 fn main() -> jaguar_core::Result<()> {
     // ---- server side ---------------------------------------------------
@@ -50,9 +50,16 @@ fn main() -> jaguar_core::Result<()> {
     let result = client.execute("SELECT id, peak(trace) FROM sensors WHERE peak(trace) > 100")?;
     println!("rows with peak > 100 (server-side execution):");
     for row in &result.rows {
-        println!("  id={} peak={}", row.get(0)?.as_int()?, row.get(1)?.as_int()?);
+        println!(
+            "  id={} peak={}",
+            row.get(0)?.as_int()?,
+            row.get(1)?.as_int()?
+        );
     }
-    println!("  ({} UDF invocations at the server)", result.stats.udf_invocations);
+    println!(
+        "  ({} UDF invocations at the server)",
+        result.stats.udf_invocations
+    );
 
     // Migrate the UDF back: identical bytecode, now running at the client.
     let mut local = client.fetch_udf("peak")?;

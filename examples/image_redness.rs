@@ -16,7 +16,7 @@
 use std::time::Instant;
 
 use jaguar_core::{
-    ByteArray, Database, DataType, Tuple, UdfDef, UdfDesign, UdfImpl, UdfSignature, Value,
+    ByteArray, DataType, Database, Tuple, UdfDef, UdfDesign, UdfImpl, UdfSignature, Value,
 };
 
 /// A fake image: a byte per pixel, "red" = value above 200.
@@ -100,7 +100,12 @@ fn main() -> jaguar_core::Result<()> {
     );
 
     // Design 3: sandboxed bytecode.
-    db.register_jagscript_udf("redness", sig.clone(), REDNESS_JAGSCRIPT, UdfDesign::Sandboxed)?;
+    db.register_jagscript_udf(
+        "redness",
+        sig.clone(),
+        REDNESS_JAGSCRIPT,
+        UdfDesign::Sandboxed,
+    )?;
     let t = Instant::now();
     let sandboxed = db.execute(query)?;
     println!(
@@ -137,6 +142,9 @@ fn main() -> jaguar_core::Result<()> {
         Err(e) => println!("IJSM (Design 4) skipped: {e}"),
     }
 
-    println!("\nplan under the last registration:\n{}", db.explain(query)?);
+    println!(
+        "\nplan under the last registration:\n{}",
+        db.explain(query)?
+    );
     Ok(())
 }

@@ -5,7 +5,7 @@
 //! cargo run --example quickstart
 //! ```
 
-use jaguar_core::{Database, DataType, UdfDesign, UdfSignature};
+use jaguar_core::{DataType, Database, UdfDesign, UdfSignature};
 
 fn main() -> jaguar_core::Result<()> {
     let db = Database::in_memory();
@@ -41,13 +41,13 @@ fn main() -> jaguar_core::Result<()> {
         UdfDesign::Sandboxed,
     )?;
 
-    println!("plan:\n{}", db.explain(
-        "SELECT id, trace_mean(trace) FROM readings WHERE sensor = 'north'",
-    )?);
+    println!(
+        "plan:\n{}",
+        db.explain("SELECT id, trace_mean(trace) FROM readings WHERE sensor = 'north'",)?
+    );
 
-    let result = db.execute(
-        "SELECT id, trace_mean(trace) AS mean FROM readings WHERE sensor = 'north'",
-    )?;
+    let result =
+        db.execute("SELECT id, trace_mean(trace) AS mean FROM readings WHERE sensor = 'north'")?;
     println!(
         "columns: {:?}",
         result

@@ -6,7 +6,7 @@
 //! cargo run --example sandbox_security
 //! ```
 
-use jaguar_core::{Config, Database, DataType, JaguarError, UdfDesign, UdfSignature};
+use jaguar_core::{Config, DataType, Database, JaguarError, UdfDesign, UdfSignature};
 
 fn main() -> jaguar_core::Result<()> {
     let db = Database::with_config(Config {

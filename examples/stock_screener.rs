@@ -14,7 +14,7 @@
 //! cargo run --example stock_screener
 //! ```
 
-use jaguar_core::{ByteArray, Database, DataType, Tuple, UdfDesign, UdfSignature, Value};
+use jaguar_core::{ByteArray, DataType, Database, Tuple, UdfDesign, UdfSignature, Value};
 
 /// Synthesise a price history: one byte per day, a noisy trend.
 fn history(seed: u64, trend: i64, days: usize) -> ByteArray {
@@ -83,8 +83,7 @@ fn main() -> jaguar_core::Result<()> {
         UdfDesign::Sandboxed,
     )?;
 
-    let query =
-        "SELECT symbol, InvestVal(S.history) AS score FROM stocks S \
+    let query = "SELECT symbol, InvestVal(S.history) AS score FROM stocks S \
          WHERE InvestVal(S.history) > 5 AND S.type = 'tech'";
 
     // The optimizer reorders: the cheap sector predicate runs first, so

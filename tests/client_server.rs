@@ -1,15 +1,14 @@
 //! Two-tier integration: TCP server, client library, UDF migration in both
 //! directions (paper §2.1 and §6.4).
 
-use jaguar_core::{ByteArray, Client, Database, DataType, UdfSignature, Value};
+use jaguar_core::{ByteArray, Client, DataType, Database, UdfSignature, Value};
 
 fn server_db() -> Database {
     let db = Database::in_memory();
-    db.execute("CREATE TABLE items (id INT, payload BYTEARRAY)").unwrap();
-    db.execute(
-        "INSERT INTO items VALUES (1, X'0A0B'), (2, X'FF'), (3, X'000102030405')",
-    )
-    .unwrap();
+    db.execute("CREATE TABLE items (id INT, payload BYTEARRAY)")
+        .unwrap();
+    db.execute("INSERT INTO items VALUES (1, X'0A0B'), (2, X'FF'), (3, X'000102030405')")
+        .unwrap();
     db
 }
 
@@ -20,13 +19,17 @@ fn execute_over_the_wire() {
     let mut client = Client::connect(server.addr()).unwrap();
     client.ping().unwrap();
 
-    let r = client.execute("SELECT id FROM items WHERE id >= 2").unwrap();
+    let r = client
+        .execute("SELECT id FROM items WHERE id >= 2")
+        .unwrap();
     assert_eq!(r.rows.len(), 2);
     assert_eq!(r.schema.field(0).unwrap().name, "id");
     assert_eq!(r.stats.rows_scanned, 3);
 
     // DML over the wire.
-    let r = client.execute("INSERT INTO items VALUES (4, NULL)").unwrap();
+    let r = client
+        .execute("INSERT INTO items VALUES (4, NULL)")
+        .unwrap();
     assert_eq!(r.affected, 1);
     let r = client.execute("SELECT id FROM items").unwrap();
     assert_eq!(r.rows.len(), 4);
@@ -40,7 +43,10 @@ fn server_errors_are_reported_not_fatal() {
     let mut client = Client::connect(server.addr()).unwrap();
     assert!(client.execute("SELECT zap FROM items").is_err());
     // Connection still usable after an error.
-    assert_eq!(client.execute("SELECT id FROM items").unwrap().rows.len(), 3);
+    assert_eq!(
+        client.execute("SELECT id FROM items").unwrap().rows.len(),
+        3
+    );
 }
 
 #[test]

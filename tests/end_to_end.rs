@@ -1,13 +1,12 @@
 //! End-to-end integration: SQL → planner → executor → storage, with UDFs
 //! in several designs, on workloads shaped like the paper's.
 
-use jaguar_core::{
-    ByteArray, Config, Database, DataType, Tuple, UdfDesign, UdfSignature, Value,
-};
+use jaguar_core::{ByteArray, Config, DataType, Database, Tuple, UdfDesign, UdfSignature, Value};
 
 fn loaded_db(rows: i64, bytes: usize) -> Database {
     let db = Database::in_memory();
-    db.execute("CREATE TABLE rel (id INT, bytearray BYTEARRAY)").unwrap();
+    db.execute("CREATE TABLE rel (id INT, bytearray BYTEARRAY)")
+        .unwrap();
     let t = db.catalog().table("rel").unwrap();
     for i in 0..rows {
         t.insert(Tuple::new(vec![
@@ -34,7 +33,9 @@ fn paper_benchmark_query_end_to_end() {
 fn large_tuples_cross_page_boundaries() {
     // 10,000-byte tuples on 8 KiB pages: every row overflows.
     let db = loaded_db(50, 10_000);
-    let r = db.execute("SELECT bytearray FROM rel WHERE id = 33").unwrap();
+    let r = db
+        .execute("SELECT bytearray FROM rel WHERE id = 33")
+        .unwrap();
     let Value::Bytes(b) = r.rows[0].get(0).unwrap() else {
         panic!()
     };
@@ -106,7 +107,8 @@ fn on_disk_database_roundtrip() {
     let _ = std::fs::remove_dir_all(&dir);
     let db = Database::open(&dir, Config::default()).unwrap();
     db.execute("CREATE TABLE t (a INT, b BYTEARRAY)").unwrap();
-    db.execute("INSERT INTO t VALUES (1, X'AB'), (2, X'CD')").unwrap();
+    db.execute("INSERT INTO t VALUES (1, X'AB'), (2, X'CD')")
+        .unwrap();
     let r = db.execute("SELECT b FROM t WHERE a = 2").unwrap();
     assert_eq!(
         r.rows[0].get(0).unwrap(),
@@ -121,12 +123,16 @@ fn database_survives_restart() {
     let _ = std::fs::remove_dir_all(&dir);
     {
         let db = Database::open(&dir, Config::default()).unwrap();
-        db.execute("CREATE TABLE logs (seq INT, payload BYTEARRAY)").unwrap();
-        db.execute("INSERT INTO logs VALUES (1, X'AA'), (2, X'BB'), (3, NULL)").unwrap();
+        db.execute("CREATE TABLE logs (seq INT, payload BYTEARRAY)")
+            .unwrap();
+        db.execute("INSERT INTO logs VALUES (1, X'AA'), (2, X'BB'), (3, NULL)")
+            .unwrap();
         db.catalog().flush_all().unwrap();
     }
     let db = Database::open(&dir, Config::default()).unwrap();
-    let r = db.execute("SELECT seq FROM logs WHERE payload <> X'AA'").unwrap();
+    let r = db
+        .execute("SELECT seq FROM logs WHERE payload <> X'AA'")
+        .unwrap();
     assert_eq!(r.rows.len(), 1);
     assert_eq!(r.rows[0].get(0).unwrap(), &Value::Int(2));
     let agg = db.execute("SELECT COUNT(*), MAX(seq) FROM logs").unwrap();
@@ -141,7 +147,8 @@ fn sql_dml_and_aggregates_end_to_end() {
     db.execute("DELETE FROM rel WHERE id >= 50").unwrap();
     let r = db.execute("SELECT COUNT(*) FROM rel").unwrap();
     assert_eq!(r.rows[0].get(0).unwrap(), &Value::Int(50));
-    db.execute("UPDATE rel SET bytearray = X'FF' WHERE id < 10").unwrap();
+    db.execute("UPDATE rel SET bytearray = X'FF' WHERE id < 10")
+        .unwrap();
     db.register_jagscript_udf(
         "blen",
         UdfSignature::new(vec![DataType::Bytes], DataType::Int),
@@ -188,14 +195,19 @@ fn predicate_ordering_saves_work_at_scale() {
         .execute("SELECT id FROM rel WHERE pricey(bytearray) = TRUE AND id < 10")
         .unwrap();
     assert_eq!(r.rows.len(), 10);
-    assert_eq!(calls.load(Ordering::Relaxed), 10, "UDF ran on 10 rows, not 200");
+    assert_eq!(
+        calls.load(Ordering::Relaxed),
+        10,
+        "UDF ran on 10 rows, not 200"
+    );
 }
 
 #[test]
 fn nulls_flow_through_udfs_and_predicates() {
     let db = Database::in_memory();
     db.execute("CREATE TABLE t (a INT, b BYTEARRAY)").unwrap();
-    db.execute("INSERT INTO t VALUES (1, X'01'), (2, NULL)").unwrap();
+    db.execute("INSERT INTO t VALUES (1, X'01'), (2, NULL)")
+        .unwrap();
     db.register_native_udf(
         "len_or_neg",
         UdfSignature::new(vec![DataType::Bytes], DataType::Int),

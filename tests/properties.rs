@@ -289,12 +289,9 @@ fn arb_expr() -> impl Strategy<Value = GenExpr> {
                 .prop_map(|(l, r)| GenExpr::Rem(Box::new(l), Box::new(r))),
             (inner.clone(), inner.clone())
                 .prop_map(|(l, r)| GenExpr::And(Box::new(l), Box::new(r))),
-            (inner.clone(), inner.clone())
-                .prop_map(|(l, r)| GenExpr::Or(Box::new(l), Box::new(r))),
-            (inner.clone(), inner.clone())
-                .prop_map(|(l, r)| GenExpr::Lt(Box::new(l), Box::new(r))),
-            (inner.clone(), inner.clone())
-                .prop_map(|(l, r)| GenExpr::Eq(Box::new(l), Box::new(r))),
+            (inner.clone(), inner.clone()).prop_map(|(l, r)| GenExpr::Or(Box::new(l), Box::new(r))),
+            (inner.clone(), inner.clone()).prop_map(|(l, r)| GenExpr::Lt(Box::new(l), Box::new(r))),
+            (inner.clone(), inner.clone()).prop_map(|(l, r)| GenExpr::Eq(Box::new(l), Box::new(r))),
             inner.clone().prop_map(|e| GenExpr::Neg(Box::new(e))),
             inner.prop_map(|e| GenExpr::Not(Box::new(e))),
         ]

@@ -5,8 +5,7 @@
 //! DBMS performance (i.e. denial of service)".
 
 use jaguar_core::{
-    Config, Database, DataType, JaguarError, Permission, PermissionSet, UdfDesign,
-    UdfSignature,
+    Config, DataType, Database, JaguarError, Permission, PermissionSet, UdfDesign, UdfSignature,
 };
 
 fn db_with_row() -> Database {
@@ -132,7 +131,9 @@ fn permission_sets_enforce_least_privilege_with_audit_trail() {
     perms
         .check(&Permission::FileRead("/data/public/img.png".into()))
         .unwrap();
-    assert!(perms.check(&Permission::HostCall("drop_tables".into())).is_err());
+    assert!(perms
+        .check(&Permission::HostCall("drop_tables".into()))
+        .is_err());
     assert!(perms
         .check(&Permission::FileRead("/etc/shadow".into()))
         .is_err());

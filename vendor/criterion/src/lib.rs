@@ -1,0 +1,178 @@
+//! Minimal stand-in for the `criterion` crate.
+//!
+//! Implements the subset of the upstream API this workspace's benches use —
+//! `criterion_group!`/`criterion_main!`, `Criterion::benchmark_group`,
+//! `BenchmarkGroup::{sample_size, bench_with_input, finish}`, `BenchmarkId`,
+//! and `Bencher::iter` — with a simple mean/min timing loop instead of the
+//! full statistical machinery. When invoked with `--test` (as `cargo test`
+//! does for bench targets) each benchmark runs exactly once as a smoke test.
+
+use std::fmt;
+use std::hint;
+use std::time::{Duration, Instant};
+
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+pub struct Criterion {
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { test_mode: false }
+    }
+}
+
+impl Criterion {
+    pub fn configure_from_args(mut self) -> Self {
+        // `cargo bench` passes `--bench`; `cargo test` passes `--test`.
+        self.test_mode = std::env::args().any(|a| a == "--test");
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+            sample_size: 10,
+            test_mode: self.test_mode,
+        }
+    }
+
+    pub fn final_summary(&self) {}
+}
+
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a Criterion,
+    name: String,
+    sample_size: usize,
+    test_mode: bool,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(&mut self, id: BenchmarkId, input: &I, mut f: F)
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let samples = if self.test_mode { 1 } else { self.sample_size };
+        let mut bencher = Bencher {
+            samples,
+            total: Duration::ZERO,
+            iters: 0,
+            min: Duration::MAX,
+        };
+        f(&mut bencher, input);
+        if bencher.iters == 0 {
+            println!("{}/{}: no iterations recorded", self.name, id.id);
+            return;
+        }
+        let mean = bencher.total / bencher.iters as u32;
+        println!(
+            "{}/{}: mean {:?}, min {:?} ({} iterations)",
+            self.name, id.id, mean, bencher.min, bencher.iters
+        );
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut f = f;
+        self.bench_with_input(BenchmarkId::from_parameter(id), &(), |b, _| f(b));
+    }
+
+    pub fn finish(self) {}
+}
+
+pub struct Bencher {
+    samples: usize,
+    total: Duration,
+    iters: usize,
+    min: Duration,
+}
+
+impl Bencher {
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        // One warmup iteration, then timed samples.
+        hint::black_box(routine());
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            hint::black_box(routine());
+            let elapsed = start.elapsed();
+            self.total += elapsed;
+            self.iters += 1;
+            if elapsed < self.min {
+                self.min = elapsed;
+            }
+        }
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut group = c.benchmark_group("stub");
+        group.sample_size(3);
+        group.bench_with_input(BenchmarkId::new("sum", 8), &8u64, |b, n| {
+            b.iter(|| (0..*n).sum::<u64>())
+        });
+        group.finish();
+    }
+
+    criterion_group!(benches, sample_bench);
+
+    #[test]
+    fn harness_runs() {
+        benches();
+    }
+}

@@ -1,0 +1,544 @@
+//! Minimal stand-in for the `proptest` crate.
+//!
+//! Provides deterministic randomized testing with the same surface syntax as
+//! upstream proptest for the subset this workspace uses: the [`Strategy`]
+//! trait with `prop_map`/`prop_recursive`, `Just`, `any::<T>()`, integer
+//! range strategies, tuple strategies, `collection::vec`, simple `.{a,b}`
+//! regex string strategies, and the `proptest!`/`prop_oneof!`/`prop_assert*`
+//! macros. There is no shrinking: a failing case panics with the generated
+//! inputs in the assertion message (seeds are derived from the test name, so
+//! failures reproduce deterministically).
+
+use std::fmt::Debug;
+use std::marker::PhantomData;
+use std::ops::Range;
+use std::sync::Arc;
+
+pub mod test_runner {
+    /// Deterministic xorshift64* RNG. Seeded from the test name so each test
+    /// sees a stable stream across runs (no global entropy source).
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        pub fn deterministic(label: &str) -> Self {
+            let mut seed: u64 = 0x9e37_79b9_7f4a_7c15;
+            for b in label.bytes() {
+                seed = seed.wrapping_mul(0x100_0000_01b3).wrapping_add(b as u64);
+            }
+            TestRng {
+                state: seed | 1, // xorshift state must be nonzero
+            }
+        }
+
+        pub fn next_u64(&mut self) -> u64 {
+            let mut x = self.state;
+            x ^= x >> 12;
+            x ^= x << 25;
+            x ^= x >> 27;
+            self.state = x;
+            x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+        }
+
+        pub fn next_u32(&mut self) -> u32 {
+            (self.next_u64() >> 32) as u32
+        }
+
+        /// Uniform draw in `[0, bound)`; `bound` must be nonzero.
+        pub fn below(&mut self, bound: u64) -> u64 {
+            self.next_u64() % bound
+        }
+    }
+
+    /// Subset of upstream `ProptestConfig`: only `cases` is honoured.
+    pub struct ProptestConfig {
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 64 }
+        }
+    }
+}
+
+use test_runner::TestRng;
+
+// ---------------------------------------------------------------------
+// Strategy trait and combinators
+// ---------------------------------------------------------------------
+
+/// A generator of values of type `Self::Value`.
+///
+/// Unlike upstream proptest there is no value tree / shrinking; a strategy
+/// is just a deterministic function of the RNG stream.
+pub trait Strategy {
+    type Value: Debug;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    fn prop_map<O: Debug, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    fn prop_recursive<F, S>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch_size: u32,
+        branch: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+        S: Strategy<Value = Self::Value> + 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> S,
+    {
+        let leaf = boxed(self);
+        let mut current = leaf.clone();
+        for _ in 0..depth {
+            let branched = boxed(branch(current));
+            let leaf_again = leaf.clone();
+            current = BoxedStrategy(Arc::new(move |rng: &mut TestRng| {
+                // Bias toward branching so trees actually grow; the leaf arm
+                // keeps expected size bounded below the depth-limit worst case.
+                if rng.below(4) == 0 {
+                    leaf_again.generate(rng)
+                } else {
+                    branched.generate(rng)
+                }
+            }));
+        }
+        current
+    }
+
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+    {
+        boxed(self)
+    }
+}
+
+/// Type-erased, clonable strategy (the upstream name for the same idea).
+pub struct BoxedStrategy<T>(Arc<dyn Fn(&mut TestRng) -> T>);
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy(Arc::clone(&self.0))
+    }
+}
+
+impl<T: Debug> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (self.0)(rng)
+    }
+}
+
+/// Erase a strategy's concrete type. Used by `prop_oneof!`.
+pub fn boxed<S>(strategy: S) -> BoxedStrategy<S::Value>
+where
+    S: Strategy + 'static,
+    S::Value: 'static,
+{
+    BoxedStrategy(Arc::new(move |rng: &mut TestRng| strategy.generate(rng)))
+}
+
+/// Uniform choice between same-valued strategies. Used by `prop_oneof!`.
+pub fn union<T: Debug>(arms: Vec<BoxedStrategy<T>>) -> Union<T> {
+    assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+    Union { arms }
+}
+
+pub struct Union<T> {
+    arms: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Clone for Union<T> {
+    fn clone(&self) -> Self {
+        Union {
+            arms: self.arms.clone(),
+        }
+    }
+}
+
+impl<T: Debug> Strategy for Union<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let idx = rng.below(self.arms.len() as u64) as usize;
+        self.arms[idx].generate(rng)
+    }
+}
+
+/// Always yields a clone of the given value.
+#[derive(Clone)]
+pub struct Just<T: Clone + Debug>(pub T);
+
+impl<T: Clone + Debug> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F> Clone for Map<S, F>
+where
+    S: Clone,
+    F: Clone,
+{
+    fn clone(&self) -> Self {
+        Map {
+            inner: self.inner.clone(),
+            f: self.f.clone(),
+        }
+    }
+}
+
+impl<S, F, O> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+    O: Debug,
+{
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+// ---------------------------------------------------------------------
+// any::<T>() for primitives
+// ---------------------------------------------------------------------
+
+pub trait Arbitrary: Sized + Debug {
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+pub struct AnyStrategy<T>(PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+    AnyStrategy(PhantomData)
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for u8 {
+    fn arbitrary(rng: &mut TestRng) -> u8 {
+        rng.next_u64() as u8
+    }
+}
+
+impl Arbitrary for u16 {
+    fn arbitrary(rng: &mut TestRng) -> u16 {
+        rng.next_u64() as u16
+    }
+}
+
+impl Arbitrary for u32 {
+    fn arbitrary(rng: &mut TestRng) -> u32 {
+        rng.next_u32()
+    }
+}
+
+impl Arbitrary for u64 {
+    fn arbitrary(rng: &mut TestRng) -> u64 {
+        rng.next_u64()
+    }
+}
+
+impl Arbitrary for usize {
+    fn arbitrary(rng: &mut TestRng) -> usize {
+        rng.next_u64() as usize
+    }
+}
+
+impl Arbitrary for i32 {
+    fn arbitrary(rng: &mut TestRng) -> i32 {
+        // Mix small magnitudes in: interesting arithmetic edge cases live
+        // near zero, and pure 32-bit noise rarely lands there.
+        match rng.below(4) {
+            0 => (rng.below(21) as i32) - 10,
+            _ => rng.next_u32() as i32,
+        }
+    }
+}
+
+impl Arbitrary for i64 {
+    fn arbitrary(rng: &mut TestRng) -> i64 {
+        match rng.below(4) {
+            0 => (rng.below(21) as i64) - 10,
+            _ => rng.next_u64() as i64,
+        }
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> f64 {
+        // Arbitrary bit patterns: exercises NaN, infinities, subnormals.
+        match rng.below(4) {
+            0 => f64::from_bits(rng.next_u64()),
+            1 => (rng.below(2001) as f64 - 1000.0) / 8.0,
+            _ => f64::from_bits(rng.next_u64()),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Range strategies
+// ---------------------------------------------------------------------
+
+macro_rules! int_range_strategy {
+    ($($ty:ty),*) => {
+        $(
+            impl Strategy for Range<$ty> {
+                type Value = $ty;
+                fn generate(&self, rng: &mut TestRng) -> $ty {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as i128 - self.start as i128) as u64;
+                    (self.start as i128 + rng.below(span) as i128) as $ty
+                }
+            }
+        )*
+    };
+}
+
+int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+// ---------------------------------------------------------------------
+// Tuple strategies
+// ---------------------------------------------------------------------
+
+macro_rules! tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+
+tuple_strategy!(A, B);
+tuple_strategy!(A, B, C);
+tuple_strategy!(A, B, C, D);
+
+// ---------------------------------------------------------------------
+// String strategies from `.{a,b}` patterns
+// ---------------------------------------------------------------------
+
+/// Upstream proptest interprets `&str` strategies as regexes. Only the
+/// `.{min,max}` shape is used in this workspace; anything else is rejected
+/// loudly rather than silently misgenerating.
+impl Strategy for &'static str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let (min, max) = parse_dot_repeat(self)
+            .unwrap_or_else(|| panic!("unsupported regex strategy pattern: {self:?}"));
+        let len = min + rng.below((max - min + 1) as u64) as usize;
+        let mut out = String::with_capacity(len);
+        for _ in 0..len {
+            // Mostly printable ASCII with occasional multi-byte chars so
+            // UTF-8 handling is exercised too.
+            let c = match rng.below(12) {
+                0 => '\u{00e9}',
+                1 => '\u{4e16}',
+                _ => (0x20 + rng.below(0x5f) as u8) as char,
+            };
+            out.push(c);
+        }
+        out
+    }
+}
+
+fn parse_dot_repeat(pattern: &str) -> Option<(usize, usize)> {
+    let rest = pattern.strip_prefix(".{")?.strip_suffix('}')?;
+    let (min, max) = rest.split_once(',')?;
+    let min: usize = min.trim().parse().ok()?;
+    let max: usize = max.trim().parse().ok()?;
+    (min <= max).then_some((min, max))
+}
+
+// ---------------------------------------------------------------------
+// collection::vec
+// ---------------------------------------------------------------------
+
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::fmt::Debug;
+    use std::ops::Range;
+
+    pub struct VecStrategy<S> {
+        element: S,
+        len: Range<usize>,
+    }
+
+    impl<S: Clone> Clone for VecStrategy<S> {
+        fn clone(&self) -> Self {
+            VecStrategy {
+                element: self.element.clone(),
+                len: self.len.clone(),
+            }
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S>
+    where
+        S::Value: Debug,
+    {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            assert!(self.len.start < self.len.end, "empty vec length range");
+            let span = (self.len.end - self.len.start) as u64;
+            let n = self.len.start + rng.below(span) as usize;
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// `vec(strategy, a..b)`: a vector with length drawn from `a..b`.
+    pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Macros
+// ---------------------------------------------------------------------
+
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::union(vec![$($crate::boxed($arm)),+])
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@block ($cfg) $($rest)*);
+    };
+    (@block ($cfg:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident ( $($arg:ident in $strategy:expr),+ $(,)? ) $body:block
+    )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config = $cfg;
+                let mut rng =
+                    $crate::test_runner::TestRng::deterministic(stringify!($name));
+                for _case in 0..config.cases {
+                    $(
+                        let $arg =
+                            $crate::Strategy::generate(&($strategy), &mut rng);
+                    )+
+                    $body
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(
+            @block ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        );
+    };
+}
+
+pub mod prelude {
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, Arbitrary,
+        BoxedStrategy, Just, Strategy,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = crate::test_runner::TestRng::deterministic("ranges");
+        for _ in 0..200 {
+            let v = Strategy::generate(&(3usize..9), &mut rng);
+            assert!((3..9).contains(&v));
+            let w = Strategy::generate(&(-5i64..5), &mut rng);
+            assert!((-5..5).contains(&w));
+        }
+    }
+
+    #[test]
+    fn regex_pattern_lengths() {
+        let mut rng = crate::test_runner::TestRng::deterministic("regex");
+        for _ in 0..100 {
+            let s = Strategy::generate(&".{0,64}", &mut rng);
+            assert!(s.chars().count() <= 64);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn macro_wires_bindings(x in 0i32..10, ys in crate::collection::vec(any::<u8>(), 0..4)) {
+            prop_assert!(x >= 0 && x < 10);
+            prop_assert!(ys.len() < 4);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn oneof_and_map(v in prop_oneof![
+            Just(0i64),
+            (1i64..100).prop_map(|x| x * 2),
+        ]) {
+            prop_assert!(v == 0 || (v >= 2 && v < 200));
+        }
+    }
+}

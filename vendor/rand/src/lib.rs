@@ -1,0 +1,6 @@
+//! Placeholder for the `rand` crate (see vendor/README.md).
+//!
+//! The workspace currently has no direct `rand::` call sites; this empty
+//! crate satisfies manifest references without pulling in a registry
+//! dependency. If real randomness is needed, extend this with a small PRNG
+//! or swap the root `Cargo.toml` entry back to the upstream crate.
