@@ -5,15 +5,15 @@
 //!
 //! | Id | Paper artifact | Function |
 //! |---|---|---|
-//! | Table 1 | design-space matrix | [`experiments::table1`] |
-//! | Fig 4 | calibration: table access costs | [`experiments::fig4`] |
-//! | Fig 5 | calibration: function invocation costs | [`experiments::fig5`] |
-//! | Fig 6 | pure computation | [`experiments::fig6`] |
-//! | Fig 7 | data access | [`experiments::fig7`] |
-//! | Fig 8 | callbacks | [`experiments::fig8`] |
-//! | A1 | SFI overhead (§4, ≈25 %) | [`experiments::ablation_sfi`] |
-//! | A2 | JIT-mode vs baseline interpreter | [`experiments::ablation_jit`] |
-//! | A3 | resource-policing overhead (§6.2) | [`experiments::ablation_fuel`] |
+//! | Table 1 | design-space matrix | [`ExperimentCtx::table1`] |
+//! | Fig 4 | calibration: table access costs | [`ExperimentCtx::fig4`] |
+//! | Fig 5 | calibration: function invocation costs | [`ExperimentCtx::fig5`] |
+//! | Fig 6 | pure computation | [`ExperimentCtx::fig6`] |
+//! | Fig 7 | data access | [`ExperimentCtx::fig7`] |
+//! | Fig 8 | callbacks | [`ExperimentCtx::fig8`] |
+//! | A1 | SFI overhead (§4, ≈25 %) | [`ExperimentCtx::ablation_sfi`] |
+//! | A2 | JIT-mode vs baseline interpreter | [`ExperimentCtx::ablation_jit`] |
+//! | A3 | resource-policing overhead (§6.2) | [`ExperimentCtx::ablation_fuel`] |
 //!
 //! Each returns an [`report::Table`]; the `run_experiments` binary prints
 //! them in the paper's layout. [`Scale`] controls workload size: `Paper`

@@ -38,6 +38,12 @@ pub struct Config {
     /// Bound on queued pool checkouts; beyond this, checkouts fail fast
     /// (backpressure instead of an unbounded queue).
     pub pool_max_waiters: usize,
+    /// Queries slower than this many milliseconds are logged at WARN by
+    /// the server's slow-query log. `None` disables the log.
+    pub slow_query_ms: Option<u64>,
+    /// Most concurrently connected clients the server accepts; further
+    /// connections receive a "server busy" wire error and are closed.
+    pub max_connections: usize,
 }
 
 impl Default for Config {
@@ -54,6 +60,8 @@ impl Default for Config {
             pool_invoke_timeout_ms: Some(30_000),
             pool_checkout_timeout_ms: 5_000,
             pool_max_waiters: 64,
+            slow_query_ms: Some(500),
+            max_connections: 64,
         }
     }
 }
@@ -108,6 +116,18 @@ impl Config {
 
     pub fn with_pool_max_waiters(mut self, n: usize) -> Self {
         self.pool_max_waiters = n;
+        self
+    }
+
+    /// Threshold for the server's slow-query log (`None` disables it).
+    pub fn with_slow_query_ms(mut self, ms: Option<u64>) -> Self {
+        self.slow_query_ms = ms;
+        self
+    }
+
+    /// Cap on concurrently connected clients.
+    pub fn with_max_connections(mut self, n: usize) -> Self {
+        self.max_connections = n;
         self
     }
 }

@@ -33,7 +33,7 @@ pub enum JaguarError {
     VmTrap(VmTrap),
     /// A UDF exceeded a resource limit (fuel, memory, call depth).
     ResourceLimit(String),
-    /// The security manager denied an operation (least privilege, [SS75]).
+    /// The security manager denied an operation (least privilege, \[SS75\]).
     SecurityViolation(String),
     /// The isolated UDF worker process failed or crashed.
     Worker(String),

@@ -18,6 +18,8 @@
 //! * [`rng`] — a tiny deterministic generator used by workload builders so
 //!   experiments are reproducible byte-for-byte.
 
+pub use jaguar_obs as obs;
+
 pub mod config;
 pub mod error;
 pub mod ids;

@@ -123,6 +123,11 @@ pub fn write_blob(w: &mut impl Write, data: &[u8]) -> Result<()> {
 }
 
 /// Read a length-prefixed byte slice, enforcing [`MAX_DECLARED_LEN`].
+///
+/// The declared length is untrusted: the buffer grows incrementally as
+/// bytes actually arrive (`Read::take` + `read_to_end`), so peak memory is
+/// bounded by what the peer really sent, never by what it *claimed* it
+/// would send. A short frame is a decode error, not a hang or a panic.
 pub fn read_blob(r: &mut impl Read) -> Result<Vec<u8>> {
     let len = read_u32(r)?;
     if len > MAX_DECLARED_LEN {
@@ -130,8 +135,13 @@ pub fn read_blob(r: &mut impl Read) -> Result<Vec<u8>> {
             "declared blob length {len} exceeds limit {MAX_DECLARED_LEN}"
         )));
     }
-    let mut buf = vec![0u8; len as usize];
-    r.read_exact(&mut buf)?;
+    let mut buf = Vec::new();
+    let got = r.take(len as u64).read_to_end(&mut buf)?;
+    if got as u64 != len as u64 {
+        return Err(JaguarError::Protocol(format!(
+            "truncated blob: declared {len} bytes, stream ended after {got}"
+        )));
+    }
     Ok(buf)
 }
 
@@ -255,7 +265,9 @@ pub fn read_tuple(r: &mut impl Read) -> Result<Tuple> {
             "implausible tuple arity {n}"
         )));
     }
-    let mut values = Vec::with_capacity(n as usize);
+    // The arity is untrusted even after the plausibility cap: grow as
+    // values actually decode rather than pre-reserving.
+    let mut values = Vec::new();
     for _ in 0..n {
         values.push(read_value(r)?);
     }
@@ -280,7 +292,7 @@ pub fn read_schema(r: &mut impl Read) -> Result<Schema> {
             "implausible schema width {n}"
         )));
     }
-    let mut fields = Vec::with_capacity(n as usize);
+    let mut fields = Vec::new();
     for _ in 0..n {
         let name = read_str(r)?;
         let dtype = DataType::from_tag(read_u8(r)?)?;
@@ -401,6 +413,25 @@ mod tests {
     fn truncated_stream_is_error() {
         let buf = value_to_vec(&Value::Int(5));
         assert!(value_from_slice(&buf[..4]).is_err());
+    }
+
+    #[test]
+    fn gigabyte_declared_blob_rejected() {
+        let mut frame = Vec::new();
+        write_u32(&mut frame, 1 << 30).unwrap();
+        let err = read_blob(&mut frame.as_slice()).unwrap_err();
+        assert!(err.to_string().contains("exceeds limit"), "{err}");
+    }
+
+    #[test]
+    fn blob_shorter_than_declared_is_decode_error() {
+        // Declared length passes the cap, but the stream ends early: the
+        // buffer must only ever hold the bytes that actually arrived.
+        let mut frame = Vec::new();
+        write_u32(&mut frame, 1024).unwrap();
+        frame.extend_from_slice(b"only these bytes");
+        let err = read_blob(&mut frame.as_slice()).unwrap_err();
+        assert!(err.to_string().contains("truncated blob"), "{err}");
     }
 
     #[test]

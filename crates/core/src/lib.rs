@@ -46,6 +46,8 @@ use jaguar_sql::Engine;
 
 pub use jaguar_common::config::Config;
 pub use jaguar_common::error::{JaguarError, Result, VmTrap};
+pub use jaguar_common::obs;
+pub use jaguar_common::obs::MetricsSnapshot;
 pub use jaguar_common::{ByteArray, DataType, Field, Schema, Tuple, Value};
 pub use jaguar_net::{Client, Server};
 pub use jaguar_pool::{PoolConfig, PoolStatsSnapshot, WorkerPool};
@@ -117,9 +119,9 @@ impl Database {
         match WorkerPool::new(pool_config) {
             Ok(pool) => self.engine.set_worker_pool(Some(Arc::new(pool))),
             Err(e) => {
-                eprintln!(
-                    "jaguar: worker pool unavailable ({e}); isolated UDFs will \
-                     spawn one worker per query"
+                obs::warn!(
+                    target: "jaguar-core",
+                    "worker pool unavailable ({e}); isolated UDFs will spawn one worker per query"
                 );
             }
         }
@@ -160,6 +162,28 @@ impl Database {
     /// Render the optimized plan for a SELECT.
     pub fn explain(&self, sql: &str) -> Result<String> {
         self.engine.explain(sql)
+    }
+
+    /// Execute the SELECT and render its plan annotated with observed
+    /// per-operator row counts and wall time (`EXPLAIN ANALYZE` output).
+    pub fn explain_analyze(&self, sql: &str) -> Result<String> {
+        let r = self.engine.execute(&format!("EXPLAIN ANALYZE {sql}"))?;
+        let mut out = String::new();
+        for row in &r.rows {
+            if let Value::Str(line) = row.get(0)? {
+                out.push_str(line);
+                out.push('\n');
+            }
+        }
+        Ok(out)
+    }
+
+    /// A point-in-time snapshot of the process-wide metrics registry:
+    /// per-backend UDF invocation counts and latency histograms (a live
+    /// version of the paper's Table 1), IPC crossing/byte counters, worker
+    /// pool statistics, SQL and network request counters.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        obs::global().snapshot()
     }
 
     /// Register a pre-built UDF definition.

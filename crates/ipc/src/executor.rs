@@ -13,6 +13,9 @@ use std::sync::{Arc, Mutex, Weak};
 use std::time::{Duration, Instant};
 
 use jaguar_common::error::{JaguarError, Result};
+use jaguar_common::obs;
+use jaguar_common::obs::io::{CountingReader, CountingWriter};
+use jaguar_common::obs::Counter;
 use jaguar_common::Value;
 
 use crate::proto::{CallbackHandler, Request, Response, PROTO_VERSION};
@@ -67,8 +70,13 @@ pub fn find_worker_binary() -> Result<PathBuf> {
 /// contained "worker process died" error.
 pub struct WorkerProcess {
     child: Arc<Mutex<Child>>,
-    input: BufReader<ChildStdout>,
-    output: BufWriter<ChildStdin>,
+    input: BufReader<CountingReader<ChildStdout>>,
+    output: BufWriter<CountingWriter<ChildStdin>>,
+    /// Process-boundary crossings (requests sent to the worker) — the cost
+    /// the paper's Figures 4–8 attribute to isolated execution.
+    crossings: Arc<Counter>,
+    /// §4.2 callbacks answered mid-invoke.
+    callbacks: Arc<Counter>,
     reaped: bool,
 }
 
@@ -109,12 +117,27 @@ impl WorkerProcess {
             .stderr(Stdio::inherit())
             .spawn()
             .map_err(|e| JaguarError::Worker(format!("spawning {path:?}: {e}")))?;
-        let stdin = child.stdin.take().expect("piped stdin");
-        let stdout = child.stdout.take().expect("piped stdout");
+        // Spawn-wiring failures degrade like any other worker error (the
+        // caller falls back per its policy) instead of panicking the query
+        // thread.
+        let stdin = child.stdin.take().ok_or_else(|| {
+            let _ = child.kill();
+            let _ = child.wait();
+            JaguarError::Worker(format!("worker {path:?} spawned without piped stdin"))
+        })?;
+        let stdout = child.stdout.take().ok_or_else(|| {
+            let _ = child.kill();
+            let _ = child.wait();
+            JaguarError::Worker(format!("worker {path:?} spawned without piped stdout"))
+        })?;
+        let reg = obs::global();
+        reg.counter("ipc.workers_spawned").inc();
         let mut wp = WorkerProcess {
             child: Arc::new(Mutex::new(child)),
-            input: BufReader::new(stdout),
-            output: BufWriter::new(stdin),
+            input: BufReader::new(CountingReader::new(stdout, reg.counter("ipc.bytes_in"))),
+            output: BufWriter::new(CountingWriter::new(stdin, reg.counter("ipc.bytes_out"))),
+            crossings: reg.counter("ipc.crossings"),
+            callbacks: reg.counter("ipc.callbacks"),
             reaped: false,
         };
         match wp.read_response()? {
@@ -156,6 +179,7 @@ impl WorkerProcess {
 
     /// Select a native UDF baked into the worker binary (Design 2).
     pub fn load_native(&mut self, name: &str) -> Result<()> {
+        self.crossings.inc();
         Request::LoadNative {
             name: name.to_string(),
         }
@@ -172,6 +196,7 @@ impl WorkerProcess {
         fuel: Option<u64>,
         memory: Option<usize>,
     ) -> Result<()> {
+        self.crossings.inc();
         Request::LoadVm {
             module: module.to_vec(),
             function: function.to_string(),
@@ -190,13 +215,16 @@ impl WorkerProcess {
         args: Vec<Value>,
         callbacks: &mut dyn CallbackHandler,
     ) -> Result<Value> {
+        self.crossings.inc();
         Request::Invoke { args }.write(&mut self.output)?;
         loop {
             match self.read_response()? {
                 Response::InvokeResult { value } => return Ok(value),
                 Response::Error { message } => return Err(JaguarError::Worker(message)),
                 Response::CallbackRequest { name, args } => {
+                    self.callbacks.inc();
                     let value = callbacks.callback(&name, &args)?;
+                    self.crossings.inc();
                     Request::CallbackResult { value }.write(&mut self.output)?;
                 }
                 other => {
@@ -211,6 +239,7 @@ impl WorkerProcess {
     /// Liveness probe: send `Ping`, expect `Pong`. Any other answer (or a
     /// dead pipe) is an error — the pool supervisor discards the worker.
     pub fn ping(&mut self) -> Result<()> {
+        self.crossings.inc();
         Request::Ping.write(&mut self.output)?;
         match self.read_response()? {
             Response::Pong => Ok(()),
@@ -225,6 +254,7 @@ impl WorkerProcess {
     /// query. Sent by the pool on check-in before the worker goes back to
     /// the idle set.
     pub fn reset(&mut self) -> Result<()> {
+        self.crossings.inc();
         Request::Reset.write(&mut self.output)?;
         match self.read_response()? {
             Response::ResetOk => Ok(()),

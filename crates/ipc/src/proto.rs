@@ -120,7 +120,9 @@ fn read_values(r: &mut impl Read) -> Result<Vec<Value>> {
     if n > 65_535 {
         return Err(JaguarError::Protocol(format!("implausible arg count {n}")));
     }
-    let mut out = Vec::with_capacity(n as usize);
+    // The count prefix is untrusted (it crosses the process boundary from
+    // a possibly-compromised worker): grow as values actually decode.
+    let mut out = Vec::new();
     for _ in 0..n {
         out.push(read_value(r)?);
     }
@@ -317,6 +319,28 @@ mod tests {
     fn unknown_tags_rejected() {
         assert!(Request::read(&mut [0xEEu8].as_slice()).is_err());
         assert!(Response::read(&mut [0x00u8].as_slice()).is_err());
+    }
+
+    #[test]
+    fn hostile_declared_lengths_rejected() {
+        // LoadVm whose module blob declares 1 GB: rejected by the declared
+        // length cap before any allocation.
+        let mut frame = vec![0x02u8]; // REQ_LOAD_VM
+        frame.extend_from_slice(&(1u32 << 30).to_le_bytes());
+        let err = Request::read(&mut frame.as_slice()).unwrap_err();
+        assert!(err.to_string().contains("exceeds limit"), "{err}");
+
+        // Invoke declaring u32::MAX arguments: rejected by the arg cap.
+        let mut frame = vec![0x03u8]; // REQ_INVOKE
+        frame.extend_from_slice(&u32::MAX.to_le_bytes());
+        let err = Request::read(&mut frame.as_slice()).unwrap_err();
+        assert!(err.to_string().contains("implausible arg count"), "{err}");
+
+        // A plausible arg count with no payload behind it: decode error on
+        // EOF, memory bounded by what actually arrived.
+        let mut frame = vec![0x03u8];
+        frame.extend_from_slice(&60_000u32.to_le_bytes());
+        assert!(Request::read(&mut frame.as_slice()).is_err());
     }
 
     #[test]

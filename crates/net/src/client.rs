@@ -87,6 +87,16 @@ impl Client {
         }
     }
 
+    /// Fetch a snapshot of the server's metrics registry.
+    pub fn metrics(&mut self) -> Result<ServerMetrics> {
+        match self.roundtrip(&ClientMsg::Metrics)? {
+            ServerMsg::Metrics { counters, text } => Ok(ServerMetrics { counters, text }),
+            other => Err(JaguarError::Protocol(format!(
+                "expected Metrics, got {other:?}"
+            ))),
+        }
+    }
+
     /// Liveness probe.
     pub fn ping(&mut self) -> Result<()> {
         match self.roundtrip(&ClientMsg::Ping)? {
@@ -182,6 +192,37 @@ impl Client {
     /// Orderly disconnect.
     pub fn quit(mut self) -> Result<()> {
         ClientMsg::Quit.write(&mut self.writer)
+    }
+}
+
+/// A snapshot of the server's metrics registry, as returned by
+/// [`Client::metrics`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServerMetrics {
+    /// Every counter by name.
+    pub counters: Vec<(String, u64)>,
+    /// Human-readable rendering of the full registry (counters, gauges,
+    /// and histograms).
+    pub text: String,
+}
+
+impl ServerMetrics {
+    /// Value of a named counter (0 if the server never touched it).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| *v)
+            .unwrap_or(0)
+    }
+
+    /// Sum of all counters whose name starts with `prefix`.
+    pub fn sum_counters(&self, prefix: &str) -> u64 {
+        self.counters
+            .iter()
+            .filter(|(n, _)| n.starts_with(prefix))
+            .map(|(_, v)| *v)
+            .sum()
     }
 }
 

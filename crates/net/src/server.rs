@@ -13,23 +13,36 @@
 //!    offers; anything else is rejected at registration time (class-loader
 //!    style gating, §6.1),
 //! 3. at runtime it executes under a permission set granting exactly
-//!    those imports (least privilege, [SS75]) and under the engine's
+//!    those imports (least privilege, \[SS75\]) and under the engine's
 //!    fuel/memory limits (§6.2).
 
-use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
+use std::time::Instant;
 
 use jaguar_common::error::{JaguarError, Result};
+use jaguar_common::obs;
 use jaguar_sql::Engine;
 use jaguar_udf::{UdfDef, UdfImpl, UdfSignature, VmUdfSpec};
 use jaguar_vm::{Module, Permission, PermissionSet, ResourceLimits};
 
 use crate::wire::{ClientMsg, ServerMsg, WireSignature, WireStats};
 
+/// Log target for everything the server emits.
+const TARGET: &str = "jaguar-net";
+
+/// One tracked client connection: the stream handle the server can shut
+/// down from outside, and the thread serving it.
+struct ClientSlot {
+    stream: TcpStream,
+    handle: JoinHandle<()>,
+}
+
 /// A running server; dropping it (or calling [`Server::stop`]) shuts the
-/// listener down.
+/// listener down **and joins every client thread**, so no request is still
+/// executing against the shared engine once `stop` returns.
 ///
 /// All client threads execute against one shared [`Engine`], so when a
 /// worker pool is attached to that engine, every connection draws its
@@ -40,6 +53,7 @@ pub struct Server {
     engine: Arc<Engine>,
     stop: Arc<AtomicBool>,
     accept_thread: Option<JoinHandle<()>>,
+    clients: Arc<Mutex<Vec<ClientSlot>>>,
 }
 
 impl Server {
@@ -51,29 +65,73 @@ impl Server {
         let stop = Arc::new(AtomicBool::new(false));
         let stop2 = Arc::clone(&stop);
         let server_engine = Arc::clone(&engine);
+        let clients: Arc<Mutex<Vec<ClientSlot>>> = Arc::new(Mutex::new(Vec::new()));
+        let clients2 = Arc::clone(&clients);
+        let max_connections = engine.catalog().config().max_connections;
+
+        let reg = obs::global();
+        let m_accepted = reg.counter("net.connections");
+        let m_rejected = reg.counter("net.rejected_busy");
+        let g_active = reg.gauge("net.active_connections");
+
         let accept_thread = std::thread::spawn(move || {
+            obs::info!(target: TARGET, "listening on {addr}");
             for conn in listener.incoming() {
                 if stop2.load(Ordering::Relaxed) {
                     break;
                 }
                 match conn {
                     Ok(stream) => {
+                        let mut slots = clients2.lock().unwrap_or_else(|p| p.into_inner());
+                        reap_finished(&mut slots);
+                        if slots.len() >= max_connections {
+                            m_rejected.inc();
+                            obs::warn!(
+                                target: TARGET,
+                                "rejecting connection: {} clients connected (limit {max_connections})",
+                                slots.len()
+                            );
+                            refuse_busy(stream, max_connections);
+                            continue;
+                        }
+                        let Ok(tracked) = stream.try_clone() else {
+                            obs::warn!(target: TARGET, "could not clone client stream; dropping connection");
+                            continue;
+                        };
+                        m_accepted.inc();
                         let engine = Arc::clone(&engine);
-                        std::thread::spawn(move || {
+                        let g_active = Arc::clone(&g_active);
+                        let handle = std::thread::spawn(move || {
+                            g_active.add(1);
                             let peer = stream
                                 .peer_addr()
                                 .map(|a| a.to_string())
                                 .unwrap_or_else(|_| "?".into());
+                            obs::debug!(target: TARGET, "client {peer} connected");
+                            let conn = stream.try_clone();
                             if let Err(e) = serve_client(stream, &engine) {
-                                eprintln!("jaguar-net: client {peer}: {e}");
+                                obs::warn!(target: TARGET, "client {peer}: {e}");
                             }
+                            // Close the connection now: the tracked clone in
+                            // the registry holds the socket's fd until the
+                            // next accept reaps this slot, which would leave
+                            // the peer waiting on a dead connection.
+                            if let Ok(c) = conn {
+                                let _ = c.shutdown(Shutdown::Both);
+                            }
+                            obs::debug!(target: TARGET, "client {peer} disconnected");
+                            g_active.add(-1);
+                        });
+                        slots.push(ClientSlot {
+                            stream: tracked,
+                            handle,
                         });
                     }
                     Err(e) => {
                         if stop2.load(Ordering::Relaxed) {
                             break;
                         }
-                        eprintln!("jaguar-net: accept failed: {e}");
+                        obs::warn!(target: TARGET, "accept failed: {e}");
                     }
                 }
             }
@@ -83,6 +141,7 @@ impl Server {
             engine: server_engine,
             stop,
             accept_thread: Some(accept_thread),
+            clients,
         })
     }
 
@@ -97,8 +156,10 @@ impl Server {
         self.engine.worker_pool().map(|p| p.stats())
     }
 
-    /// Stop accepting connections (existing client threads finish their
-    /// current request loop when the client disconnects).
+    /// Stop accepting connections and wait for every client thread to
+    /// finish. In-flight requests run to completion (their responses are
+    /// still written); idle connections are unblocked by shutting down the
+    /// read half of their sockets.
     pub fn stop(&mut self) {
         self.stop.store(true, Ordering::Relaxed);
         // Unblock the accept loop with a throwaway connection.
@@ -106,6 +167,16 @@ impl Server {
         if let Some(h) = self.accept_thread.take() {
             let _ = h.join();
         }
+        // Take ownership of every tracked client and join it. Shutting
+        // down only the read half means a blocked `ClientMsg::read` sees
+        // EOF and exits cleanly, while a thread mid-query can still write
+        // its response before noticing.
+        let slots = std::mem::take(&mut *self.clients.lock().unwrap_or_else(|p| p.into_inner()));
+        for slot in slots {
+            let _ = slot.stream.shutdown(Shutdown::Read);
+            let _ = slot.handle.join();
+        }
+        obs::info!(target: TARGET, "server on {} stopped", self.addr);
     }
 }
 
@@ -115,20 +186,67 @@ impl Drop for Server {
     }
 }
 
+/// Join (and drop) slots whose serving thread has already exited, so the
+/// registry doesn't grow with dead connections. Joining a finished thread
+/// is immediate.
+fn reap_finished(slots: &mut Vec<ClientSlot>) {
+    let mut i = 0;
+    while i < slots.len() {
+        if slots[i].handle.is_finished() {
+            let slot = slots.swap_remove(i);
+            let _ = slot.handle.join();
+        } else {
+            i += 1;
+        }
+    }
+}
+
+/// Tell an over-limit client the server is busy, then drop the connection.
+fn refuse_busy(stream: TcpStream, limit: usize) {
+    let mut writer = std::io::BufWriter::new(stream);
+    let _ = ServerMsg::Error {
+        message: format!("server busy: connection limit {limit} reached"),
+    }
+    .write(&mut writer);
+}
+
 fn serve_client(stream: TcpStream, engine: &Engine) -> Result<()> {
     stream.set_nodelay(true)?;
     let mut reader = std::io::BufReader::new(stream.try_clone()?);
     let mut writer = std::io::BufWriter::new(stream);
+    let reg = obs::global();
+    let m_requests = reg.counter("net.requests");
+    let m_slow = reg.counter("net.slow_queries");
+    let h_latency = reg.histogram("net.request_latency_us");
+    let slow_query_ms = engine.catalog().config().slow_query_ms;
 
     loop {
         let msg = match ClientMsg::read(&mut reader) {
             Ok(m) => m,
             Err(JaguarError::Io(e)) if e.kind() == std::io::ErrorKind::UnexpectedEof => {
-                return Ok(()); // client hung up
+                return Ok(()); // client hung up (or the server shut the read half)
             }
             Err(e) => return Err(e),
         };
+        m_requests.inc();
+        let sql_for_log = match &msg {
+            ClientMsg::Execute { sql } | ClientMsg::Explain { sql } => Some(sql.clone()),
+            _ => None,
+        };
+        let started = Instant::now();
         let reply = handle(msg, engine);
+        let elapsed = started.elapsed();
+        h_latency.observe(elapsed);
+        if let (Some(threshold), Some(sql)) = (slow_query_ms, sql_for_log) {
+            if elapsed.as_millis() as u64 >= threshold {
+                m_slow.inc();
+                obs::warn!(
+                    target: TARGET,
+                    "slow query ({} ms >= {threshold} ms): {sql}",
+                    elapsed.as_millis()
+                );
+            }
+        }
         match reply {
             Some(r) => r.write(&mut writer)?,
             None => return Ok(()), // Quit
@@ -140,6 +258,13 @@ fn handle(msg: ClientMsg, engine: &Engine) -> Option<ServerMsg> {
     Some(match msg {
         ClientMsg::Quit => return None,
         ClientMsg::Ping => ServerMsg::Pong,
+        ClientMsg::Metrics => {
+            let snap = obs::global().snapshot();
+            ServerMsg::Metrics {
+                text: snap.to_string(),
+                counters: snap.counters,
+            }
+        }
         ClientMsg::Execute { sql } => match engine.execute(&sql) {
             Ok(result) => ServerMsg::Result {
                 schema: (*result.schema).clone(),

@@ -14,6 +14,14 @@ use jaguar_common::stream::{
 };
 use jaguar_common::{DataType, Tuple};
 
+/// Most parameters any wire-registered UDF may declare. Far above anything
+/// the engine supports, but low enough that a hostile count prefix cannot
+/// drive a large allocation.
+pub const MAX_WIRE_PARAMS: u8 = 64;
+
+/// Most rows a single `Result` frame may declare.
+pub const MAX_WIRE_ROWS: u32 = 50_000_000;
+
 /// SQL signature of a UDF as carried on the wire.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct WireSignature {
@@ -32,7 +40,13 @@ impl WireSignature {
 
     fn read(r: &mut impl Read) -> Result<WireSignature> {
         let n = read_u8(r)?;
-        let mut params = Vec::with_capacity(n as usize);
+        if n > MAX_WIRE_PARAMS {
+            return Err(JaguarError::Protocol(format!(
+                "implausible parameter count {n} (limit {MAX_WIRE_PARAMS})"
+            )));
+        }
+        // Grow as tags actually decode; the count prefix is untrusted.
+        let mut params = Vec::new();
         for _ in 0..n {
             params.push(DataType::from_tag(read_u8(r)?)?);
         }
@@ -72,6 +86,8 @@ pub enum ClientMsg {
     },
     /// Download a previously registered VM UDF for client-side execution.
     FetchUdf { name: String },
+    /// Request a snapshot of the server's metrics registry.
+    Metrics,
     /// Liveness probe.
     Ping,
     /// Orderly disconnect.
@@ -100,6 +116,13 @@ pub enum ServerMsg {
         module: Vec<u8>,
         function: String,
     },
+    /// Snapshot of the server's metrics registry: every counter by name,
+    /// plus the full human-readable rendering (which also covers gauges
+    /// and histograms).
+    Metrics {
+        counters: Vec<(String, u64)>,
+        text: String,
+    },
     Pong,
     /// Execution or protocol failure (rendered error).
     Error {
@@ -113,12 +136,14 @@ const C_REGISTER: u8 = 0x03;
 const C_FETCH: u8 = 0x04;
 const C_PING: u8 = 0x05;
 const C_QUIT: u8 = 0x06;
+const C_METRICS: u8 = 0x07;
 const S_RESULT: u8 = 0x81;
 const S_PLAN: u8 = 0x82;
 const S_REGISTERED: u8 = 0x83;
 const S_MODULE: u8 = 0x84;
 const S_PONG: u8 = 0x85;
 const S_ERROR: u8 = 0x86;
+const S_METRICS: u8 = 0x87;
 
 impl ClientMsg {
     pub fn write(&self, w: &mut impl Write) -> Result<()> {
@@ -149,6 +174,7 @@ impl ClientMsg {
                 write_u8(w, C_FETCH)?;
                 write_str(w, name)?;
             }
+            ClientMsg::Metrics => write_u8(w, C_METRICS)?,
             ClientMsg::Ping => write_u8(w, C_PING)?,
             ClientMsg::Quit => write_u8(w, C_QUIT)?,
         }
@@ -168,6 +194,7 @@ impl ClientMsg {
                 isolated: read_u8(r)? != 0,
             },
             C_FETCH => ClientMsg::FetchUdf { name: read_str(r)? },
+            C_METRICS => ClientMsg::Metrics,
             C_PING => ClientMsg::Ping,
             C_QUIT => ClientMsg::Quit,
             other => {
@@ -217,6 +244,15 @@ impl ServerMsg {
                 write_blob(w, module)?;
                 write_str(w, function)?;
             }
+            ServerMsg::Metrics { counters, text } => {
+                write_u8(w, S_METRICS)?;
+                write_u32(w, counters.len() as u32)?;
+                for (name, v) in counters {
+                    write_str(w, name)?;
+                    write_u64(w, *v)?;
+                }
+                write_str(w, text)?;
+            }
             ServerMsg::Pong => write_u8(w, S_PONG)?,
             ServerMsg::Error { message } => {
                 write_u8(w, S_ERROR)?;
@@ -241,10 +277,11 @@ impl ServerMsg {
                     vm_bytes_allocated: read_u64(r)?,
                 };
                 let n = read_u32(r)?;
-                if n > 50_000_000 {
+                if n > MAX_WIRE_ROWS {
                     return Err(JaguarError::Protocol(format!("implausible row count {n}")));
                 }
-                let mut rows = Vec::with_capacity(n as usize);
+                // Grow as rows actually decode; the count prefix is untrusted.
+                let mut rows = Vec::new();
                 for _ in 0..n {
                     rows.push(read_tuple(r)?);
                 }
@@ -262,6 +299,23 @@ impl ServerMsg {
                 module: read_blob(r)?,
                 function: read_str(r)?,
             },
+            S_METRICS => {
+                let n = read_u32(r)?;
+                if n > 65_535 {
+                    return Err(JaguarError::Protocol(format!(
+                        "implausible metric count {n}"
+                    )));
+                }
+                let mut counters = Vec::new();
+                for _ in 0..n {
+                    let name = read_str(r)?;
+                    counters.push((name, read_u64(r)?));
+                }
+                ServerMsg::Metrics {
+                    counters,
+                    text: read_str(r)?,
+                }
+            }
             S_PONG => ServerMsg::Pong,
             S_ERROR => ServerMsg::Error {
                 message: read_str(r)?,
@@ -313,6 +367,7 @@ mod tests {
         roundtrip_c(ClientMsg::FetchUdf {
             name: "investval".into(),
         });
+        roundtrip_c(ClientMsg::Metrics);
         roundtrip_c(ClientMsg::Ping);
         roundtrip_c(ClientMsg::Quit);
     }
@@ -347,6 +402,13 @@ mod tests {
             module: vec![9],
             function: "main".into(),
         });
+        roundtrip_s(ServerMsg::Metrics {
+            counters: vec![
+                ("udf.invocations.jsm".into(), 7),
+                ("ipc.crossings".into(), 3),
+            ],
+            text: "counter udf.invocations.jsm 7\n".into(),
+        });
         roundtrip_s(ServerMsg::Pong);
         roundtrip_s(ServerMsg::Error {
             message: "boom".into(),
@@ -357,5 +419,49 @@ mod tests {
     fn unknown_tags_rejected() {
         assert!(ClientMsg::read(&mut [0xFFu8].as_slice()).is_err());
         assert!(ServerMsg::read(&mut [0x00u8].as_slice()).is_err());
+    }
+
+    #[test]
+    fn oversized_declared_lengths_rejected_without_allocation() {
+        // Execute frame whose SQL string claims 1 GB: must fail decode
+        // before any gigabyte-sized buffer exists.
+        let mut frame = vec![0x01u8];
+        frame.extend_from_slice(&(1u32 << 30).to_le_bytes());
+        let err = ClientMsg::read(&mut frame.as_slice()).unwrap_err();
+        assert!(err.to_string().contains("exceeds limit"), "{err}");
+
+        // Signature declaring 255 parameters.
+        let mut frame = vec![0x03u8]; // RegisterUdf
+        frame.extend_from_slice(&4u32.to_le_bytes());
+        frame.extend_from_slice(b"name");
+        frame.push(255); // param count
+        let err = ClientMsg::read(&mut frame.as_slice()).unwrap_err();
+        assert!(err.to_string().contains("parameter count"), "{err}");
+
+        // Result frame declaring u32::MAX rows.
+        let mut frame = vec![0x81u8];
+        frame.extend_from_slice(&0u32.to_le_bytes()); // empty schema
+        frame.extend_from_slice(&[0u8; 7 * 8]); // affected + 6 stats
+        frame.extend_from_slice(&u32::MAX.to_le_bytes()); // row count
+        let err = ServerMsg::read(&mut frame.as_slice()).unwrap_err();
+        assert!(err.to_string().contains("implausible row count"), "{err}");
+    }
+
+    #[test]
+    fn truncated_frames_are_decode_errors() {
+        // A frame that declares more payload than it carries must produce
+        // an error, not a hang or a partial message.
+        let mut buf = Vec::new();
+        ClientMsg::Execute {
+            sql: "SELECT 1 FROM investments".into(),
+        }
+        .write(&mut buf)
+        .unwrap();
+        for cut in 1..buf.len() {
+            assert!(
+                ClientMsg::read(&mut &buf[..cut]).is_err(),
+                "truncation at {cut} decoded successfully"
+            );
+        }
     }
 }

@@ -1,0 +1,38 @@
+//! # jaguar-obs — the engine-wide observability kernel
+//!
+//! The source paper's whole argument is quantitative (its Figures 4–8 are
+//! per-backend cost breakdowns), yet an engine can only be *optimized* for
+//! those costs if it can report them about itself at runtime. This crate is
+//! the zero-dependency substrate every other Jaguar crate leans on for
+//! that:
+//!
+//! * [`log`] — a tiny logging facade: levels, targets, a pluggable
+//!   process-wide sink (stderr by default), and a capture sink for tests.
+//!   No formatting happens when the record would be discarded.
+//! * [`metrics`] — a process-wide registry of named atomic counters,
+//!   gauges, and fixed-bucket latency histograms. Lock-free on the hot
+//!   path: callers resolve a name to an `Arc` handle once and then only
+//!   touch atomics.
+//! * [`span`] — lightweight span timers that record a wall-clock duration
+//!   into a histogram when dropped.
+//! * [`io`] — byte-counting `Read`/`Write` adapters used by the IPC and
+//!   network layers to meter marshalled bytes without touching the framing
+//!   code.
+//!
+//! Everything here is `std`-only by design: the observability layer must
+//! never be the reason a build grows a dependency, and it must be usable
+//! from the innermost crates (`jaguar-common` re-exports it as
+//! `jaguar_common::obs`).
+
+pub mod io;
+pub mod log;
+pub mod metrics;
+pub mod span;
+
+pub use log::{
+    set_max_level, set_sink, set_sink_arc, CaptureSink, Level, LogSink, Record, StderrSink,
+};
+pub use metrics::{
+    global, Counter, Gauge, Histogram, HistogramSnapshot, MetricsSnapshot, Registry,
+};
+pub use span::SpanTimer;

@@ -94,13 +94,66 @@ impl Default for PoolConfig {
 // Stats
 // ---------------------------------------------------------------------
 
-#[derive(Default)]
+/// Pool counters. Each event is recorded twice: in the pool-local atomics
+/// (so [`WorkerPool::stats`] reflects *this* pool) and in the process-wide
+/// `jaguar_common::obs` registry under `pool.*` (so the engine's metrics
+/// snapshot shows pool activity alongside every other subsystem).
 struct Stats {
     spawns: AtomicU64,
     reuses: AtomicU64,
     crashes: AtomicU64,
     timeouts: AtomicU64,
     queue_waits: AtomicU64,
+    g_spawns: Arc<jaguar_common::obs::Counter>,
+    g_reuses: Arc<jaguar_common::obs::Counter>,
+    g_crashes: Arc<jaguar_common::obs::Counter>,
+    g_timeouts: Arc<jaguar_common::obs::Counter>,
+    g_queue_waits: Arc<jaguar_common::obs::Counter>,
+}
+
+impl Default for Stats {
+    fn default() -> Self {
+        let reg = jaguar_common::obs::global();
+        Stats {
+            spawns: AtomicU64::new(0),
+            reuses: AtomicU64::new(0),
+            crashes: AtomicU64::new(0),
+            timeouts: AtomicU64::new(0),
+            queue_waits: AtomicU64::new(0),
+            g_spawns: reg.counter("pool.spawns"),
+            g_reuses: reg.counter("pool.reuses"),
+            g_crashes: reg.counter("pool.crashes"),
+            g_timeouts: reg.counter("pool.timeouts"),
+            g_queue_waits: reg.counter("pool.queue_waits"),
+        }
+    }
+}
+
+impl Stats {
+    fn record_spawn(&self) {
+        self.spawns.fetch_add(1, Ordering::Relaxed);
+        self.g_spawns.inc();
+    }
+
+    fn record_reuse(&self) {
+        self.reuses.fetch_add(1, Ordering::Relaxed);
+        self.g_reuses.inc();
+    }
+
+    fn record_crash(&self) {
+        self.crashes.fetch_add(1, Ordering::Relaxed);
+        self.g_crashes.inc();
+    }
+
+    fn record_timeout(&self) {
+        self.timeouts.fetch_add(1, Ordering::Relaxed);
+        self.g_timeouts.inc();
+    }
+
+    fn record_queue_wait(&self) {
+        self.queue_waits.fetch_add(1, Ordering::Relaxed);
+        self.g_queue_waits.inc();
+    }
 }
 
 /// Point-in-time counter snapshot, cheap to copy around.
@@ -215,7 +268,7 @@ impl Inner {
     /// Note a worker's demise and prod the supervisor to replace it.
     fn discard_worker(&self, counted_as_crash: bool) {
         if counted_as_crash {
-            self.stats.crashes.fetch_add(1, Ordering::Relaxed);
+            self.stats.record_crash();
         }
         let mut state = self.lock();
         state.live = state.live.saturating_sub(1);
@@ -351,7 +404,7 @@ impl WorkerPool {
                     state.waiters -= 1;
                 }
                 if iw.served > 0 {
-                    inner.stats.reuses.fetch_add(1, Ordering::Relaxed);
+                    inner.stats.record_reuse();
                 }
                 return Ok(PooledWorker {
                     inner: Arc::clone(inner),
@@ -370,7 +423,7 @@ impl WorkerPool {
                 }
                 state.waiters += 1;
                 queued = true;
-                inner.stats.queue_waits.fetch_add(1, Ordering::Relaxed);
+                inner.stats.record_queue_wait();
             }
             let now = Instant::now();
             if now >= deadline {
@@ -516,7 +569,7 @@ impl PooledWorker {
         inner.disarm(id);
         if fired.load(Ordering::SeqCst) {
             self.timed_out = true;
-            inner.stats.timeouts.fetch_add(1, Ordering::Relaxed);
+            inner.stats.record_timeout();
             return Err(JaguarError::ResourceLimit(format!(
                 "udf invocation exceeded the {timeout:?} pool deadline; \
                  worker killed and replaced"
@@ -630,7 +683,7 @@ fn supervisor_loop(inner: &Arc<Inner>) {
         for _ in 0..deficit {
             match WorkerProcess::spawn_at(&inner.binary) {
                 Ok(worker) => {
-                    inner.stats.spawns.fetch_add(1, Ordering::Relaxed);
+                    inner.stats.record_spawn();
                     backoff = RESPAWN_BACKOFF_BASE;
                     let mut state = inner.lock();
                     if state.shutdown {

@@ -126,6 +126,13 @@ pub enum Statement {
     Describe {
         table: String,
     },
+    /// `EXPLAIN [ANALYZE] SELECT ...` — render the optimized plan;
+    /// with `ANALYZE`, also execute the query and annotate every operator
+    /// with observed row counts and wall time.
+    Explain {
+        analyze: bool,
+        select: SelectStmt,
+    },
 }
 
 /// `SELECT items FROM table [alias] [WHERE pred] [GROUP BY cols] [LIMIT n]`

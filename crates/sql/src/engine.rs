@@ -14,14 +14,15 @@ use std::sync::Arc;
 use jaguar_catalog::Catalog;
 use jaguar_common::config::Config;
 use jaguar_common::error::{JaguarError, Result};
+use jaguar_common::obs;
 use jaguar_common::schema::{Schema, SchemaRef};
 use jaguar_common::{Tuple, Value};
 use jaguar_ipc::proto::CallbackHandler;
 use jaguar_pool::WorkerPool;
 use parking_lot::RwLock;
 
-use crate::ast::Statement;
-use crate::exec::{ExecCtx, ExecStats, Executor};
+use crate::ast::{SelectStmt, Statement};
+use crate::exec::{ExecCtx, ExecStats, Executor, OpProfile};
 use crate::parser::parse;
 use crate::plan::{bind_dml, bind_select, explain};
 
@@ -120,6 +121,18 @@ impl Engine {
 
     /// Execute one SQL statement.
     pub fn execute(&self, sql: &str) -> Result<QueryResult> {
+        let reg = obs::global();
+        reg.counter("sql.queries").inc();
+        let span = obs::SpanTimer::new(reg.histogram("sql.query_latency_us"));
+        let out = self.execute_inner(sql);
+        if out.is_err() {
+            reg.counter("sql.errors").inc();
+        }
+        drop(span);
+        out
+    }
+
+    fn execute_inner(&self, sql: &str) -> Result<QueryResult> {
         match parse(sql)? {
             Statement::CreateTable { name, columns } => {
                 let fields = columns
@@ -275,13 +288,52 @@ impl Engine {
                     stats,
                 })
             }
+            Statement::Explain { analyze, select } => self.run_explain(analyze, &select),
         }
+    }
+
+    /// `EXPLAIN [ANALYZE]` — render the optimized plan as a one-column
+    /// result; with ANALYZE, execute the query and annotate every operator
+    /// with observed row counts and wall time.
+    fn run_explain(&self, analyze: bool, select: &SelectStmt) -> Result<QueryResult> {
+        let plan = bind_select(select, &self.catalog)?;
+        let schema = Arc::new(Schema::of(&[("plan", jaguar_common::DataType::Str)]));
+        let mut lines: Vec<String> = explain(&plan).lines().map(str::to_string).collect();
+        let mut stats = ExecStats::default();
+        if analyze {
+            let mut handler = EngineCallbacks { engine: self };
+            let pool = self.worker_pool();
+            let mut ctx = ExecCtx::for_plan(&plan, &mut handler, pool.as_ref())?;
+            let mut exec = Executor::build_profiled(&plan)?;
+            let started = std::time::Instant::now();
+            let produced = exec.collect(&mut ctx)?.len();
+            let total_us = started.elapsed().as_micros() as u64;
+            stats = ctx.finish()?;
+            lines.push(String::new());
+            lines.extend(render_profile(&exec.profile_report()));
+            lines.push(format!(
+                "Total: {produced} row(s) in {} ({} scanned, {} UDF call(s), {} callback(s))",
+                fmt_us(total_us),
+                stats.rows_scanned,
+                stats.udf_invocations,
+                stats.udf_callbacks
+            ));
+        }
+        Ok(QueryResult {
+            schema,
+            rows: lines
+                .into_iter()
+                .map(|l| Tuple::new(vec![Value::Str(l)]))
+                .collect(),
+            affected: 0,
+            stats,
+        })
     }
 
     /// Render the optimized plan for a SELECT (EXPLAIN equivalent).
     pub fn explain(&self, sql: &str) -> Result<String> {
         match parse(sql)? {
-            Statement::Select(stmt) => {
+            Statement::Select(stmt) | Statement::Explain { select: stmt, .. } => {
                 let plan = bind_select(&stmt, &self.catalog)?;
                 Ok(explain(&plan))
             }
@@ -323,6 +375,43 @@ fn matches_all(
         }
     }
     Ok(true)
+}
+
+/// Render an `EXPLAIN ANALYZE` profile, outermost operator first.
+/// `profiles` lists operators outermost→innermost with *inclusive* wall
+/// time; each operator's self time is its inclusive time minus its
+/// child's (the next entry — the pipeline is linear).
+fn render_profile(profiles: &[OpProfile]) -> Vec<String> {
+    profiles
+        .iter()
+        .enumerate()
+        .map(|(i, p)| {
+            let child_us = profiles
+                .get(i + 1)
+                .map_or(0, |c| p.elapsed_us.min(c.elapsed_us));
+            let self_us = p.elapsed_us - child_us;
+            format!(
+                "{:indent$}{}  rows={} time={} self={}",
+                "",
+                p.label,
+                p.rows,
+                fmt_us(p.elapsed_us),
+                fmt_us(self_us),
+                indent = i * 2
+            )
+        })
+        .collect()
+}
+
+/// Human duration from microseconds: `17us`, `3.25ms`, `1.80s`.
+fn fmt_us(us: u64) -> String {
+    if us >= 1_000_000 {
+        format!("{:.2}s", us as f64 / 1e6)
+    } else if us >= 1_000 {
+        format!("{:.2}ms", us as f64 / 1e3)
+    } else {
+        format!("{us}us")
+    }
 }
 
 /// Evaluate a literal-only expression (INSERT VALUES).

@@ -6,17 +6,19 @@
 //!
 //! The Filter operator evaluates its (optimizer-ordered) predicates with
 //! short-circuit AND semantics: a tuple rejected by a cheap predicate
-//! never reaches an expensive UDF — the payoff of the [Hel95]-style
+//! never reaches an expensive UDF — the payoff of the \[Hel95\]-style
 //! ordering done in `plan`.
 
 use jaguar_catalog::table::TableScan;
 use jaguar_common::error::{JaguarError, Result};
+use jaguar_common::obs;
 use jaguar_common::schema::SchemaRef;
 use jaguar_common::{Tuple, Value};
 use jaguar_ipc::proto::CallbackHandler;
 use jaguar_pool::WorkerPool;
 use jaguar_udf::ScalarUdf;
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use crate::ast::ArithOp;
 use crate::ast::CmpOp;
@@ -36,11 +38,33 @@ pub struct ExecStats {
     pub vm_bytes_allocated: u64,
 }
 
+/// Process-wide metric handles for one UDF slot, resolved once at context
+/// construction so the per-tuple invocation path touches only atomics.
+struct UdfMetrics {
+    invocations: Arc<obs::Counter>,
+    latency: Arc<obs::Histogram>,
+}
+
+/// Metric-name suffix for a UDF execution design (the paper's four
+/// designs, as reported by `UdfImpl::design_label`).
+fn backend_slug(design_label: &str) -> &'static str {
+    match design_label {
+        "C++" => "cpp",
+        "IC++" => "icpp",
+        "JSM" => "jsm",
+        "IJSM" => "ijsm",
+        _ => "other",
+    }
+}
+
 /// Per-query execution context: instantiated UDFs + callback channel.
 pub struct ExecCtx<'a> {
     pub udfs: Vec<Box<dyn ScalarUdf>>,
     pub callbacks: &'a mut dyn CallbackHandler,
     pub stats: ExecStats,
+    /// Parallel to `udfs`: the global per-backend counters this query's
+    /// invocations feed (a live version of the paper's Table 1).
+    udf_metrics: Vec<UdfMetrics>,
 }
 
 impl<'a> ExecCtx<'a> {
@@ -61,6 +85,17 @@ impl<'a> ExecCtx<'a> {
         callbacks: &'a mut dyn CallbackHandler,
         pool: Option<&Arc<WorkerPool>>,
     ) -> Result<ExecCtx<'a>> {
+        let reg = obs::global();
+        let udf_metrics = udfs
+            .iter()
+            .map(|u| {
+                let slug = backend_slug(u.def.imp.design_label());
+                UdfMetrics {
+                    invocations: reg.counter(&format!("udf.invocations.{slug}")),
+                    latency: reg.histogram(&format!("udf.latency_us.{slug}")),
+                }
+            })
+            .collect();
         let udfs = udfs
             .iter()
             .map(|u| u.def.instantiate_with(pool))
@@ -69,6 +104,7 @@ impl<'a> ExecCtx<'a> {
             udfs,
             callbacks,
             stats: ExecStats::default(),
+            udf_metrics,
         })
     }
 
@@ -199,6 +235,7 @@ pub fn eval(e: &BExpr, tuple: &Tuple, ctx: &mut ExecCtx<'_>) -> Result<Value> {
                 vals.push(eval(a, tuple, ctx)?);
             }
             ctx.stats.udf_invocations += 1;
+            ctx.udf_metrics[*udf].invocations.inc();
             // Split the borrow: take the UDF box out, call, put it back,
             // so the callback counter and the UDF can both borrow ctx.
             let mut u = std::mem::replace(&mut ctx.udfs[*udf], Box::new(PoisonUdf));
@@ -206,7 +243,9 @@ pub fn eval(e: &BExpr, tuple: &Tuple, ctx: &mut ExecCtx<'_>) -> Result<Value> {
                 inner: ctx.callbacks,
                 count: &mut ctx.stats.udf_callbacks,
             };
+            let started = Instant::now();
             let out = u.invoke(&vals, &mut counting);
+            ctx.udf_metrics[*udf].latency.observe(started.elapsed());
             ctx.udfs[*udf] = u;
             out?
         }
@@ -274,59 +313,172 @@ pub enum Executor {
         child: Box<Executor>,
         remaining: u64,
     },
+    /// Instrumentation shim inserted around every operator when the query
+    /// runs under `EXPLAIN ANALYZE`: counts rows and `next` calls and
+    /// accumulates wall time (inclusive of children; the renderer derives
+    /// exclusive time by subtraction).
+    Profiled {
+        label: String,
+        child: Box<Executor>,
+        rows: u64,
+        nexts: u64,
+        elapsed: Duration,
+    },
+}
+
+/// One operator's runtime numbers, reported by [`Executor::profile_report`]
+/// in outermost-first pipeline order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OpProfile {
+    /// Operator label as shown in the plan rendering.
+    pub label: String,
+    /// Rows this operator produced.
+    pub rows: u64,
+    /// Times `next` was called on it (rows + the final exhausted call).
+    pub nexts: u64,
+    /// Wall time spent in this operator *and* everything below it.
+    pub elapsed_us: u64,
 }
 
 impl Executor {
     /// Build the canonical pipeline:
-    /// Scan → Filter → [Aggregate] → Project → [Having] → [Sort] → [Limit].
+    /// Scan → Filter → \[Aggregate\] → Project → \[Having\] → \[Sort\] → \[Limit\].
     pub fn build(plan: &BoundSelect) -> Result<Executor> {
+        Executor::build_inner(plan, false)
+    }
+
+    /// Like [`Executor::build`], but wraps every operator in a
+    /// [`Executor::Profiled`] shim — the `EXPLAIN ANALYZE` path.
+    pub fn build_profiled(plan: &BoundSelect) -> Result<Executor> {
+        Executor::build_inner(plan, true)
+    }
+
+    fn build_inner(plan: &BoundSelect, profile: bool) -> Result<Executor> {
+        // Wrap `node` in a profiling shim when requested.
+        let prof = |node: Executor, label: String| -> Executor {
+            if profile {
+                Executor::Profiled {
+                    label,
+                    child: Box::new(node),
+                    rows: 0,
+                    nexts: 0,
+                    elapsed: Duration::ZERO,
+                }
+            } else {
+                node
+            }
+        };
         let mut node = match &plan.access {
-            AccessPath::FullScan => Executor::SeqScan {
-                scan: plan.table.scan(),
-            },
-            AccessPath::IndexRange { index, lo, hi } => Executor::IndexScan {
-                table: std::sync::Arc::clone(&plan.table),
-                rids: index.btree.range(*lo, *hi)?.into_iter(),
-            },
-            AccessPath::Empty => Executor::EmptyScan,
+            AccessPath::FullScan => prof(
+                Executor::SeqScan {
+                    scan: plan.table.scan(),
+                },
+                format!("SeqScan {}", plan.table.name()),
+            ),
+            AccessPath::IndexRange { index, lo, hi } => prof(
+                Executor::IndexScan {
+                    table: std::sync::Arc::clone(&plan.table),
+                    rids: index.btree.range(*lo, *hi)?.into_iter(),
+                },
+                format!("IndexScan {} via {}", plan.table.name(), index.name),
+            ),
+            AccessPath::Empty => prof(Executor::EmptyScan, "EmptyScan".into()),
         };
         if !plan.predicates.is_empty() {
-            node = Executor::Filter {
-                child: Box::new(node),
-                predicates: plan.predicates.clone(),
-            };
+            node = prof(
+                Executor::Filter {
+                    child: Box::new(node),
+                    predicates: plan.predicates.clone(),
+                },
+                format!("Filter ({} predicate(s))", plan.predicates.len()),
+            );
         }
         if let Some(agg) = &plan.aggregate {
-            node = Executor::Aggregate {
-                child: Box::new(node),
-                plan: agg.clone(),
-                output: None,
-            };
+            node = prof(
+                Executor::Aggregate {
+                    child: Box::new(node),
+                    plan: agg.clone(),
+                    output: None,
+                },
+                format!(
+                    "Aggregate ({} group expr(s), {} aggregate(s))",
+                    agg.group_exprs.len(),
+                    agg.aggs.len()
+                ),
+            );
         }
-        node = Executor::Project {
-            child: Box::new(node),
-            exprs: plan.projections.clone(),
-        };
-        if let Some(h) = &plan.having {
-            node = Executor::Having {
+        node = prof(
+            Executor::Project {
                 child: Box::new(node),
-                predicate: h.clone(),
-            };
+                exprs: plan.projections.clone(),
+            },
+            format!("Project ({} column(s))", plan.projections.len()),
+        );
+        if let Some(h) = &plan.having {
+            node = prof(
+                Executor::Having {
+                    child: Box::new(node),
+                    predicate: h.clone(),
+                },
+                "Having".into(),
+            );
         }
         if !plan.order_by.is_empty() {
-            node = Executor::Sort {
-                child: Box::new(node),
-                keys: plan.order_by.clone(),
-                output: None,
-            };
+            node = prof(
+                Executor::Sort {
+                    child: Box::new(node),
+                    keys: plan.order_by.clone(),
+                    output: None,
+                },
+                format!("Sort ({} key(s))", plan.order_by.len()),
+            );
         }
         if let Some(n) = plan.limit {
-            node = Executor::Limit {
-                child: Box::new(node),
-                remaining: n,
-            };
+            node = prof(
+                Executor::Limit {
+                    child: Box::new(node),
+                    remaining: n,
+                },
+                format!("Limit {n}"),
+            );
         }
         Ok(node)
+    }
+
+    /// Collect the per-operator numbers from a profiled pipeline,
+    /// outermost operator first. Empty when the pipeline was built without
+    /// profiling.
+    pub fn profile_report(&self) -> Vec<OpProfile> {
+        let mut out = Vec::new();
+        self.collect_profiles(&mut out);
+        out
+    }
+
+    fn collect_profiles(&self, out: &mut Vec<OpProfile>) {
+        match self {
+            Executor::Profiled {
+                label,
+                child,
+                rows,
+                nexts,
+                elapsed,
+            } => {
+                out.push(OpProfile {
+                    label: label.clone(),
+                    rows: *rows,
+                    nexts: *nexts,
+                    elapsed_us: elapsed.as_micros().min(u64::MAX as u128) as u64,
+                });
+                child.collect_profiles(out);
+            }
+            Executor::Filter { child, .. }
+            | Executor::Aggregate { child, .. }
+            | Executor::Project { child, .. }
+            | Executor::Having { child, .. }
+            | Executor::Sort { child, .. }
+            | Executor::Limit { child, .. } => child.collect_profiles(out),
+            Executor::SeqScan { .. } | Executor::IndexScan { .. } | Executor::EmptyScan => {}
+        }
     }
 
     /// Pull the next tuple, or `None` when exhausted.
@@ -448,6 +600,22 @@ impl Executor {
                     }
                     None => Ok(None),
                 }
+            }
+            Executor::Profiled {
+                child,
+                rows,
+                nexts,
+                elapsed,
+                ..
+            } => {
+                let started = Instant::now();
+                let out = child.next(ctx);
+                *elapsed += started.elapsed();
+                *nexts += 1;
+                if matches!(&out, Ok(Some(_))) {
+                    *rows += 1;
+                }
+                out
             }
         }
     }

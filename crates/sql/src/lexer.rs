@@ -44,6 +44,8 @@ pub enum Tok {
     Show,
     Tables,
     Describe,
+    Explain,
+    Analyze,
     // punctuation & operators
     Star,
     Comma,
@@ -193,6 +195,8 @@ pub fn lex(src: &str) -> Result<Vec<Tok>> {
                     "SHOW" => Tok::Show,
                     "TABLES" => Tok::Tables,
                     "DESCRIBE" => Tok::Describe,
+                    "EXPLAIN" => Tok::Explain,
+                    "ANALYZE" => Tok::Analyze,
                     _ => Tok::Ident(word.to_string()),
                 });
             }

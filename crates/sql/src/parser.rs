@@ -77,6 +77,17 @@ impl Parser {
                 let table = self.ident("a table name")?;
                 Ok(Statement::Describe { table })
             }
+            Tok::Explain => {
+                self.bump();
+                let analyze = if *self.peek() == Tok::Analyze {
+                    self.bump();
+                    true
+                } else {
+                    false
+                };
+                let select = self.select()?;
+                Ok(Statement::Explain { analyze, select })
+            }
             _ => Err(self.err("expected SELECT, CREATE, INSERT, DELETE, UPDATE, or DROP")),
         }
     }

@@ -1,7 +1,7 @@
 //! A disk-backed B+Tree index: `i64` key → [`RecordId`].
 //!
 //! The paper situates UDF extensibility next to the older access-method
-//! extensibility line of work (§2.2 cites POSTGRES [SRH90] and Starburst
+//! extensibility line of work (§2.2 cites POSTGRES \[SRH90\] and Starburst
 //! [HCL+90]); a storage engine a downstream user would adopt needs at
 //! least a primary index. This one is deliberately classical:
 //!

@@ -1,6 +1,6 @@
 //! Heap files: unordered collections of variable-length records.
 //!
-//! A heap file occupies one [`DiskManager`] file through a shared
+//! A heap file occupies one [`DiskManager`](crate::disk::DiskManager) file through a shared
 //! [`BufferPool`]:
 //!
 //! * **page 0** is the file header (magic + free-list head),

@@ -1,6 +1,6 @@
 //! Software Fault Isolation (SFI) for native UDFs.
 //!
-//! §2.3 cites Wahbe et al. [WLAG93]: *"instruments the extension code with
+//! §2.3 cites Wahbe et al. \[WLAG93\]: *"instruments the extension code with
 //! run-time checks to ensure that all memory accesses are valid (usually by
 //! checking the higher order bits of each address to ensure that it lies
 //! within a specific range)"*, and §4 expects *"such a mechanism to add an

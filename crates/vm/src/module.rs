@@ -145,8 +145,11 @@ impl Module {
             )));
         }
         let name = read_str(&mut r)?;
+        // All counts below come from the (untrusted) module blob: grow the
+        // vectors as entries actually decode, so a tiny blob declaring huge
+        // counts fails on EOF instead of reserving memory up front.
         let n_imports = read_u16(&mut r)?;
-        let mut imports = Vec::with_capacity(n_imports as usize);
+        let mut imports = Vec::new();
         for _ in 0..n_imports {
             let iname = read_str(&mut r)?;
             let sig = read_sig(&mut r)?;
@@ -158,12 +161,12 @@ impl Module {
                 "implausible function count {n_funcs}"
             )));
         }
-        let mut functions = Vec::with_capacity(n_funcs as usize);
+        let mut functions = Vec::new();
         for _ in 0..n_funcs {
             let fname = read_str(&mut r)?;
             let sig = read_sig(&mut r)?;
             let n_locals = read_u16(&mut r)?;
-            let mut local_types = Vec::with_capacity(n_locals as usize);
+            let mut local_types = Vec::new();
             for _ in 0..n_locals {
                 local_types.push(VType::from_tag(read_u8(&mut r)?)?);
             }
@@ -173,7 +176,7 @@ impl Module {
                     "implausible code length {n_code}"
                 )));
             }
-            let mut code = Vec::with_capacity(n_code as usize);
+            let mut code = Vec::new();
             for _ in 0..n_code {
                 code.push(Insn::decode(&mut r)?);
             }

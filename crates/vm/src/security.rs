@@ -9,7 +9,7 @@
 //! manager."*
 //!
 //! JSM's model: a UDF runs under a [`PermissionSet`]; every host call the
-//! UDF attempts is checked against it (least privilege, [SS75]). Path-
+//! UDF attempts is checked against it (least privilege, \[SS75\]). Path-
 //! scoped file permissions reproduce the paper's `File`-class example.
 //! Unlike the 1998 JVM the paper criticises for "lack of auditing
 //! capabilities", every denial is recorded in an audit log attributable to

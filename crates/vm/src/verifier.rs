@@ -1,7 +1,7 @@
 //! The JSM bytecode verifier.
 //!
 //! The analogue of the JVM's class-file verifier (§6.1: "the bytecode
-//! verifier ... ensur[es] the proper format of loaded class files and the
+//! verifier ... ensur\[es\] the proper format of loaded class files and the
 //! well-typedness of their code"). Verification runs once at load time;
 //! the interpreter then trusts the types, so the only *runtime* checks left
 //! are the ones Java also pays for at runtime — array bounds, division by
