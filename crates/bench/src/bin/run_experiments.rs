@@ -32,7 +32,7 @@ fn main() {
     if names.is_empty() || names.iter().any(|n| n == "all") {
         names = vec![
             "table1", "fig4", "fig5", "fig6", "fig7", "fig8", "sfi", "jit", "fuel", "index",
-            "pool", "shipping",
+            "pool", "shipping", "wal",
         ]
         .into_iter()
         .map(String::from)

@@ -898,6 +898,81 @@ impl ExperimentCtx {
         Ok(t)
     }
 
+    /// WAL commit latency per sync mode (not in the paper — the durability
+    /// subsystem replaces what PREDATOR inherited from Shore). For each
+    /// [`jaguar_core::SyncMode`], run N single-row INSERT statements
+    /// against an on-disk database and report per-statement commit latency
+    /// quantiles plus the observed fsync count. Also writes the results as
+    /// machine-readable `BENCH_wal.json` in the working directory.
+    pub fn wal(&self) -> Result<Table> {
+        use jaguar_core::{Config, SyncMode};
+        let inserts = match self.scale {
+            Scale::Paper => 2_000usize,
+            Scale::Quick => 200,
+        };
+        let mut table = Table::new(
+            "WAL commit latency by sync mode",
+            &["sync", "p50", "p99", "mean", "fsyncs", "commits"],
+        );
+        let mut json_modes = Vec::new();
+        for (mode, label) in [
+            (SyncMode::Off, "off"),
+            (SyncMode::Normal, "normal"),
+            (SyncMode::Full, "full"),
+        ] {
+            let dir = std::env::temp_dir()
+                .join(format!("jaguar-bench-wal-{label}-{}", std::process::id()));
+            let _ = std::fs::remove_dir_all(&dir);
+            std::fs::create_dir_all(&dir)?;
+            let config = Config::default().with_sync_mode(mode);
+            let db = Database::open(&dir, config)?;
+            db.execute("CREATE TABLE events (id INT, payload BYTEARRAY)")?;
+            let before = jaguar_common::obs::global().snapshot();
+            let mut lat_us: Vec<u64> = Vec::with_capacity(inserts);
+            for i in 0..inserts {
+                let sql = format!("INSERT INTO events VALUES ({i}, X'0102030405060708')");
+                let start = Instant::now();
+                db.execute(&sql)?;
+                lat_us.push(start.elapsed().as_micros() as u64);
+            }
+            let after = db.metrics();
+            drop(db);
+            let _ = std::fs::remove_dir_all(&dir);
+            lat_us.sort_unstable();
+            let q = |p: f64| -> u64 {
+                let rank = ((p * lat_us.len() as f64).ceil() as usize).clamp(1, lat_us.len());
+                lat_us[rank - 1]
+            };
+            let mean = lat_us.iter().sum::<u64>() / lat_us.len() as u64;
+            let fsyncs = after.counter("wal.fsyncs") - before.counter("wal.fsyncs");
+            let commits = after.counter("wal.commits") - before.counter("wal.commits");
+            table.row(vec![
+                label.to_string(),
+                format!("{}us", q(0.50)),
+                format!("{}us", q(0.99)),
+                format!("{mean}us"),
+                fsyncs.to_string(),
+                commits.to_string(),
+            ]);
+            json_modes.push(format!(
+                "    {{\"sync_mode\": \"{label}\", \"p50_us\": {}, \"p99_us\": {}, \
+                 \"mean_us\": {mean}, \"fsyncs\": {fsyncs}, \"commits\": {commits}}}",
+                q(0.50),
+                q(0.99),
+            ));
+        }
+        table.note(format!("{inserts} single-row INSERT statements per mode"));
+        table.note("full = fsync per commit; normal = fsync at checkpoint; off = never");
+        let json = format!(
+            "{{\n  \"experiment\": \"wal_commit_latency\",\n  \
+             \"inserts_per_mode\": {inserts},\n  \"modes\": [\n{}\n  ]\n}}\n",
+            json_modes.join(",\n")
+        );
+        std::fs::write("BENCH_wal.json", json)?;
+        table.note("machine-readable copy written to BENCH_wal.json");
+        Ok(table)
+    }
+
     /// Every experiment, in paper order.
     pub fn all(&self) -> Result<Vec<Table>> {
         Ok(vec![
@@ -913,6 +988,7 @@ impl ExperimentCtx {
             self.ablation_index()?,
             self.pool()?,
             self.shipping()?,
+            self.wal()?,
         ])
     }
 
@@ -931,8 +1007,9 @@ impl ExperimentCtx {
             "index" => self.ablation_index(),
             "pool" => self.pool(),
             "shipping" => self.shipping(),
+            "wal" => self.wal(),
             other => Err(JaguarError::Other(format!(
-                "unknown experiment '{other}' (try table1, fig4..fig8, sfi, jit, fuel, index, pool, shipping)"
+                "unknown experiment '{other}' (try table1, fig4..fig8, sfi, jit, fuel, index, pool, shipping, wal)"
             ))),
         }
     }

@@ -23,6 +23,7 @@ use jaguar_common::config::Config;
 use jaguar_common::error::{JaguarError, Result};
 use jaguar_common::ids::TableId;
 use jaguar_common::schema::Schema;
+use jaguar_wal::Wal;
 use parking_lot::RwLock;
 use std::collections::HashMap;
 
@@ -45,6 +46,8 @@ pub struct Catalog {
     next_table_id: AtomicU32,
     tables: RwLock<HashMap<String, Arc<Table>>>,
     udfs: UdfCatalog,
+    /// Write-ahead log shared by every on-disk table (None in memory).
+    wal: Option<Arc<Wal>>,
 }
 
 impl Catalog {
@@ -56,21 +59,28 @@ impl Catalog {
             next_table_id: AtomicU32::new(1),
             tables: RwLock::new(HashMap::new()),
             udfs: UdfCatalog::new(),
+            wal: None,
         }
     }
 
     /// A catalog whose tables are files under `dir` (created if absent).
-    /// An existing manifest in `dir` is recovered: all recorded tables are
-    /// reopened with their schemas and data.
+    ///
+    /// Opening runs crash recovery first: committed transactions still in
+    /// the write-ahead log are replayed into the data files (ARIES-lite
+    /// redo) before any table is opened, so the manifest recovery below
+    /// always sees fully recovered files. Then all tables recorded in the
+    /// manifest are reopened with their schemas and data.
     pub fn on_disk(dir: impl Into<PathBuf>, config: Config) -> Result<Catalog> {
         let dir = dir.into();
         std::fs::create_dir_all(&dir)?;
+        let (wal, _stats) = Wal::open(&dir, &config)?;
         let cat = Catalog {
             config,
             storage: Storage::Directory(dir.clone()),
             next_table_id: AtomicU32::new(1),
             tables: RwLock::new(HashMap::new()),
             udfs: UdfCatalog::new(),
+            wal: Some(wal),
         };
         cat.recover(&dir)?;
         Ok(cat)
@@ -118,7 +128,7 @@ impl Catalog {
             let key = name.to_ascii_lowercase();
             let file = dir.join(format!("{key}.jag"));
             let id = TableId(self.next_table_id.fetch_add(1, Ordering::Relaxed));
-            let table = Table::open_at(id, &name, schema, &file, &self.config)?;
+            let table = Table::open_at(id, &name, schema, &file, &self.config, self.wal.as_ref())?;
             tables.insert(key, Arc::new(table));
         }
         Ok(())
@@ -146,7 +156,7 @@ impl Catalog {
             Storage::Memory => Table::create_in_memory(id, name, schema, &self.config)?,
             Storage::Directory(dir) => {
                 let path = dir.join(format!("{key}.jag"));
-                Table::create_at(id, name, schema, &path, &self.config)?
+                Table::create_at(id, name, schema, &path, &self.config, self.wal.as_ref())?
             }
         };
         let table = Arc::new(table);
@@ -175,7 +185,10 @@ impl Catalog {
                 if let Storage::Directory(dir) = &self.storage {
                     let _ = std::fs::remove_file(dir.join(format!("{key}.jag")));
                 }
-                self.persist_manifest()
+                self.persist_manifest()?;
+                // Clear any page images for the dropped file from the log;
+                // otherwise recovery would resurrect the file.
+                self.checkpoint()
             }
         }
     }
@@ -184,6 +197,40 @@ impl Catalog {
     pub fn flush_all(&self) -> Result<()> {
         for t in self.tables.read().values() {
             t.flush()?;
+        }
+        Ok(())
+    }
+
+    /// Checkpoint: make the log durable, flush and sync every data file,
+    /// then truncate the log. On catalogs without a WAL this degrades to a
+    /// plain flush.
+    pub fn checkpoint(&self) -> Result<()> {
+        match &self.wal {
+            Some(wal) => {
+                // Commit pending mutations *before* taking the log's
+                // exclusive gate (committing inside would self-deadlock).
+                for t in self.tables.read().values() {
+                    t.commit_durable()?;
+                }
+                wal.checkpoint(|| {
+                    for t in self.tables.read().values() {
+                        t.flush_data()?;
+                    }
+                    Ok(())
+                })
+            }
+            None => self.flush_all(),
+        }
+    }
+
+    /// Checkpoint only if the log has outgrown the configured thresholds
+    /// (`wal_segment_bytes` / `checkpoint_every`). The SQL engine calls
+    /// this after every DML statement.
+    pub fn maybe_checkpoint(&self) -> Result<()> {
+        if let Some(wal) = &self.wal {
+            if wal.should_checkpoint() {
+                return self.checkpoint();
+            }
         }
         Ok(())
     }

@@ -13,7 +13,16 @@ use jaguar_common::stream::{read_tuple, write_tuple};
 use jaguar_common::DataType;
 use jaguar_common::{Tuple, Value};
 use jaguar_storage::{BTree, BufferPool, DiskManager, HeapFile};
+use jaguar_wal::Wal;
 use parking_lot::RwLock;
+
+/// A table's connection to the database-wide write-ahead log: the log
+/// itself plus the file name this table's page images are attributed to
+/// (table ids are reassigned on restart; the file name is stable).
+struct WalBinding {
+    wal: Arc<Wal>,
+    file: String,
+}
 
 /// A secondary index over one INT column of a table.
 pub struct TableIndex {
@@ -30,6 +39,7 @@ pub struct Table {
     heap: Arc<HeapFile>,
     rows: AtomicU64,
     indexes: RwLock<Vec<Arc<TableIndex>>>,
+    wal: Option<WalBinding>,
 }
 
 impl Table {
@@ -50,29 +60,39 @@ impl Table {
             heap,
             rows: AtomicU64::new(0),
             indexes: RwLock::new(Vec::new()),
+            wal: None,
         })
     }
 
-    /// Create a table backed by a file on disk.
+    /// Create a table backed by a file on disk, logging through `wal` if
+    /// the catalog has one.
     pub fn create_at(
         id: TableId,
         name: &str,
         schema: Schema,
         path: &Path,
         config: &Config,
+        wal: Option<&Arc<Wal>>,
     ) -> Result<Table> {
         let _ = std::fs::remove_file(path);
         let disk = Arc::new(DiskManager::open(path, config.page_size)?);
         let pool = Arc::new(BufferPool::new(disk, config.buffer_pool_pages));
+        let wal = Self::bind_wal(wal, path, &pool);
         let heap = Arc::new(HeapFile::create(pool)?);
-        Ok(Table {
+        let table = Table {
             id,
             name: name.to_string(),
             schema: Arc::new(schema),
             heap,
             rows: AtomicU64::new(0),
             indexes: RwLock::new(Vec::new()),
-        })
+            wal,
+        };
+        // The heap's header page is a mutation like any other: commit it so
+        // a crash right after CREATE TABLE recovers an openable (empty)
+        // heap file.
+        table.commit_durable()?;
+        Ok(table)
     }
 
     /// Reopen an existing on-disk table (used by catalog recovery). The
@@ -83,9 +103,11 @@ impl Table {
         schema: Schema,
         path: &Path,
         config: &Config,
+        wal: Option<&Arc<Wal>>,
     ) -> Result<Table> {
         let disk = Arc::new(DiskManager::open(path, config.page_size)?);
         let pool = Arc::new(BufferPool::new(disk, config.buffer_pool_pages));
+        let wal = Self::bind_wal(wal, path, &pool);
         let heap = Arc::new(HeapFile::open(pool)?);
         let mut rows = 0u64;
         for item in heap.scan() {
@@ -99,6 +121,20 @@ impl Table {
             heap,
             rows: AtomicU64::new(rows),
             indexes: RwLock::new(Vec::new()),
+            wal,
+        })
+    }
+
+    fn bind_wal(wal: Option<&Arc<Wal>>, path: &Path, pool: &Arc<BufferPool>) -> Option<WalBinding> {
+        let wal = wal?;
+        wal.attach(pool);
+        let file = path
+            .file_name()
+            .map(|f| f.to_string_lossy().into_owned())
+            .unwrap_or_default();
+        Some(WalBinding {
+            wal: Arc::clone(wal),
+            file,
         })
     }
 
@@ -213,8 +249,30 @@ impl Table {
         }
     }
 
-    /// Flush dirty pages to the backing store.
+    /// Commit this table's accumulated unlogged page mutations as one
+    /// write-ahead-log transaction: images are logged between Begin/Commit
+    /// markers and made durable per the configured sync mode. A no-op for
+    /// tables without a WAL (in-memory catalogs) or with nothing pending.
+    pub fn commit_durable(&self) -> Result<()> {
+        if let Some(b) = &self.wal {
+            b.wal.commit_table(&b.file, self.heap.pool())?;
+        }
+        Ok(())
+    }
+
+    /// Make this table fully durable: commit any pending unlogged
+    /// mutations to the write-ahead log, then flush dirty pages and sync
+    /// the data file to stable storage.
     pub fn flush(&self) -> Result<()> {
+        self.commit_durable()?;
+        self.flush_data()
+    }
+
+    /// Flush dirty *logged* pages and sync the data file, without touching
+    /// the WAL. Pages with unlogged (uncommitted) mutations stay cached —
+    /// this is the flush half of a checkpoint, which already holds the
+    /// log's transaction gate and therefore must not commit here.
+    pub(crate) fn flush_data(&self) -> Result<()> {
         self.heap.pool().flush_all()?;
         self.heap.pool().disk().sync()
     }

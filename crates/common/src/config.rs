@@ -5,6 +5,24 @@
 //! substrate. Defaults match the scale of the paper's experiments
 //! (10,000-tuple relations with up to 10,000-byte attributes).
 
+/// How aggressively commits are pushed to stable storage (on-disk
+/// databases only; in-memory databases have no durability to tune).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SyncMode {
+    /// Never fsync. Fastest; a crash may lose or tear recent commits.
+    /// Only sensible for bulk loads and throwaway data.
+    Off,
+    /// Write-ahead log records are written (and the OS buffers them) at
+    /// commit, but fsync happens only at checkpoints. Safe against process
+    /// crashes; a power cut may lose the most recent commits but never
+    /// corrupts the database.
+    Normal,
+    /// fsync the log on every commit (group commit batches concurrent
+    /// committers into one fsync). Full durability: an acknowledged commit
+    /// survives power loss.
+    Full,
+}
+
 /// Tunable parameters for a Jaguar database instance.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Config {
@@ -44,6 +62,14 @@ pub struct Config {
     /// Most concurrently connected clients the server accepts; further
     /// connections receive a "server busy" wire error and are closed.
     pub max_connections: usize,
+    /// Commit durability level for on-disk databases (see [`SyncMode`]).
+    pub sync_mode: SyncMode,
+    /// Checkpoint (flush data files + truncate the log) once the
+    /// write-ahead log grows past this many bytes.
+    pub wal_segment_bytes: u64,
+    /// Checkpoint after this many commits even if the log is still small,
+    /// bounding replay work after a crash.
+    pub checkpoint_every: u64,
 }
 
 impl Default for Config {
@@ -62,6 +88,9 @@ impl Default for Config {
             pool_max_waiters: 64,
             slow_query_ms: Some(500),
             max_connections: 64,
+            sync_mode: SyncMode::Full,
+            wal_segment_bytes: 16 * 1024 * 1024,
+            checkpoint_every: 1_000,
         }
     }
 }
@@ -130,6 +159,24 @@ impl Config {
         self.max_connections = n;
         self
     }
+
+    /// Commit durability level for on-disk databases.
+    pub fn with_sync_mode(mut self, mode: SyncMode) -> Self {
+        self.sync_mode = mode;
+        self
+    }
+
+    /// Log size that triggers an automatic checkpoint.
+    pub fn with_wal_segment_bytes(mut self, bytes: u64) -> Self {
+        self.wal_segment_bytes = bytes;
+        self
+    }
+
+    /// Commit count that triggers an automatic checkpoint.
+    pub fn with_checkpoint_every(mut self, commits: u64) -> Self {
+        self.checkpoint_every = commits;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -173,5 +220,20 @@ mod tests {
         assert_eq!(c.pool_max_waiters, 8);
         // Defaults keep the paper's per-query executor model.
         assert!(!Config::paper_1998().pooled_executors);
+    }
+
+    #[test]
+    fn durability_builders_compose() {
+        let c = Config::default();
+        assert_eq!(c.sync_mode, SyncMode::Full, "durable by default");
+        assert!(c.wal_segment_bytes >= 1024 * 1024);
+        assert!(c.checkpoint_every > 0);
+        let c = c
+            .with_sync_mode(SyncMode::Normal)
+            .with_wal_segment_bytes(4096)
+            .with_checkpoint_every(3);
+        assert_eq!(c.sync_mode, SyncMode::Normal);
+        assert_eq!(c.wal_segment_bytes, 4096);
+        assert_eq!(c.checkpoint_every, 3);
     }
 }

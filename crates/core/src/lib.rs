@@ -44,7 +44,7 @@ use std::sync::Arc;
 use jaguar_catalog::Catalog;
 use jaguar_sql::Engine;
 
-pub use jaguar_common::config::Config;
+pub use jaguar_common::config::{Config, SyncMode};
 pub use jaguar_common::error::{JaguarError, Result, VmTrap};
 pub use jaguar_common::obs;
 pub use jaguar_common::obs::MetricsSnapshot;
@@ -54,6 +54,9 @@ pub use jaguar_pool::{PoolConfig, PoolStatsSnapshot, WorkerPool};
 pub use jaguar_sql::{ExecStats, QueryResult};
 pub use jaguar_udf::{CallbackHandler, ScalarUdf, UdfDef, UdfImpl, UdfSignature};
 pub use jaguar_vm::{Permission, PermissionSet, ResourceLimits};
+/// Write-ahead log internals: crash points for the recovery harness
+/// ([`wal::fault`]), the log reader ([`wal::record`]), recovery statistics.
+pub use jaguar_wal as wal;
 
 /// Which execution design a registered UDF runs under (paper Table 1).
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -90,6 +93,12 @@ impl Database {
     }
 
     /// A database whose tables are stored under `dir`.
+    ///
+    /// Opening runs crash recovery: committed transactions still in the
+    /// write-ahead log are replayed before the first query runs, and
+    /// partial effects of uncommitted statements are discarded. The
+    /// `wal.recovered_txns` / `wal.replayed_pages` entries of
+    /// [`Database::metrics`] report what replay did.
     pub fn open(dir: impl Into<std::path::PathBuf>, config: Config) -> Result<Database> {
         let catalog = Arc::new(Catalog::on_disk(dir, config.clone())?);
         let db = Database {
@@ -97,6 +106,22 @@ impl Database {
         };
         db.attach_pool_if_configured(&config);
         Ok(db)
+    }
+
+    /// Checkpoint now: make the log durable, flush and sync every data
+    /// file to stable storage, and truncate the write-ahead log. Runs
+    /// automatically when the log outgrows [`Config::wal_segment_bytes`] /
+    /// [`Config::checkpoint_every`], at [`Database::close`], and on drop.
+    pub fn checkpoint(&self) -> Result<()> {
+        self.engine.catalog().checkpoint()
+    }
+
+    /// Close the database cleanly: checkpoint (flush + fsync + truncate
+    /// the log), consuming the handle. Equivalent to dropping, but errors
+    /// surface instead of being swallowed. (Drop then re-checkpoints,
+    /// which is trivial on an already-clean database.)
+    pub fn close(self) -> Result<()> {
+        self.checkpoint()
     }
 
     /// Spin up the warm worker pool when `config.pooled_executors` asks for
@@ -282,6 +307,15 @@ impl Database {
     /// Start serving this database over TCP (two-tier deployment).
     pub fn serve(&self, bind_addr: &str) -> Result<Server> {
         Server::start(Arc::clone(&self.engine), bind_addr)
+    }
+}
+
+impl Drop for Database {
+    /// Best-effort clean shutdown: even without an explicit
+    /// [`Database::close`], dirty pages are flushed and synced so a clean
+    /// exit never depends on crash recovery.
+    fn drop(&mut self) {
+        let _ = self.engine.catalog().checkpoint();
     }
 }
 

@@ -111,6 +111,9 @@ impl WorkerKillHandle {
 impl WorkerProcess {
     /// Spawn a worker from an explicit binary path and wait for `Ready`.
     pub fn spawn_at(path: &Path) -> Result<WorkerProcess> {
+        // Abnormally-exited workers (crash containment, pool SIGKILL) leak
+        // their scratch directories; tidy them before adding more children.
+        crate::scratch::sweep_stale_once();
         let mut child = Command::new(path)
             .stdin(Stdio::piped())
             .stdout(Stdio::piped())

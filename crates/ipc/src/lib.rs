@@ -26,12 +26,16 @@
 //! * [`worker`] — the worker side: a serve loop the `jaguar-worker` binary
 //!   runs, parameterised by a registry of native UDFs (the analogue of the
 //!   C++ UDFs compiled into PREDATOR's remote executor) and able to host
-//!   sandboxed VM modules for Design 4.
+//!   sandboxed VM modules for Design 4,
+//! * [`scratch`] — per-worker scratch directories, reclaimed and swept so
+//!   files leaked by killed workers never fail the next run.
 
 pub mod executor;
 pub mod proto;
+pub mod scratch;
 pub mod worker;
 
 pub use executor::{find_worker_binary, WorkerKillHandle, WorkerProcess};
 pub use proto::CallbackHandler;
+pub use scratch::{sweep_stale, WorkerScratch};
 pub use worker::{NativeUdfFn, WorkerRegistry};

@@ -1,0 +1,199 @@
+//! Per-worker scratch directories and their cleanup.
+//!
+//! An isolated worker may need disk scratch (spill files, module dumps for
+//! debugging). Each worker process owns `temp_dir()/jaguar-worker-<pid>`,
+//! created when the serve loop starts and removed on orderly exit. Workers
+//! are deliberately crashable, though — the crash-containment tests and the
+//! pool supervisor SIGKILL them — so abnormal exits leak the directory.
+//!
+//! Two rules keep leftovers from ever failing the next run:
+//!
+//! 1. [`WorkerScratch::create`] is *reclaiming*: a pre-existing directory
+//!    from an earlier process with the same pid is deleted and recreated,
+//!    never reported as an error.
+//! 2. [`sweep_stale`] removes scratch directories whose owning process is
+//!    gone; the server side runs it once per process before spawning
+//!    workers, so killed children are tidied up by the next run.
+
+use std::path::{Path, PathBuf};
+use std::sync::Once;
+use std::time::Duration;
+
+use jaguar_common::error::Result;
+use jaguar_common::obs;
+
+/// Scratch directory names: `jaguar-worker-<pid>`.
+const PREFIX: &str = "jaguar-worker-";
+
+/// Without a live-pid oracle (non-Linux), anything untouched this long is
+/// presumed dead.
+const STALE_AGE: Duration = Duration::from_secs(60 * 60);
+
+/// A worker process's private scratch directory, removed on drop.
+pub struct WorkerScratch {
+    path: PathBuf,
+}
+
+impl WorkerScratch {
+    /// Create (or reclaim) the scratch directory for this process inside
+    /// the system temp dir.
+    pub fn create() -> Result<WorkerScratch> {
+        Self::create_in(&std::env::temp_dir())
+    }
+
+    /// Create (or reclaim) `root/jaguar-worker-<pid>`. A leftover from a
+    /// previous (killed) process that happened to have our pid is removed
+    /// first — starting with someone else's stale files is never an error.
+    pub fn create_in(root: &Path) -> Result<WorkerScratch> {
+        let path = root.join(format!("{PREFIX}{}", std::process::id()));
+        if path.exists() {
+            let _ = std::fs::remove_dir_all(&path);
+        }
+        std::fs::create_dir_all(&path)?;
+        Ok(WorkerScratch { path })
+    }
+
+    /// The directory workers may write scratch files into.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+impl Drop for WorkerScratch {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.path);
+    }
+}
+
+/// Is the process with this pid still alive? On Linux, `/proc/<pid>`
+/// existence answers exactly that; elsewhere the caller falls back to an
+/// age heuristic.
+#[cfg(target_os = "linux")]
+fn pid_alive(pid: u32) -> Option<bool> {
+    Some(Path::new(&format!("/proc/{pid}")).exists())
+}
+
+#[cfg(not(target_os = "linux"))]
+fn pid_alive(_pid: u32) -> Option<bool> {
+    None
+}
+
+/// Remove scratch directories in `root` left behind by dead workers.
+/// Returns how many were removed. Never fails: an unreadable temp dir or a
+/// racing removal is not this process's problem.
+pub fn sweep_stale(root: &Path) -> usize {
+    let Ok(entries) = std::fs::read_dir(root) else {
+        return 0;
+    };
+    let own_pid = std::process::id();
+    let mut removed = 0;
+    for entry in entries.flatten() {
+        let name = entry.file_name();
+        let Some(pid_str) = name.to_str().and_then(|n| n.strip_prefix(PREFIX)) else {
+            continue;
+        };
+        let Ok(pid) = pid_str.parse::<u32>() else {
+            continue;
+        };
+        if pid == own_pid {
+            continue;
+        }
+        let dead = match pid_alive(pid) {
+            Some(alive) => !alive,
+            // No pid oracle: treat long-untouched directories as dead.
+            None => entry
+                .metadata()
+                .and_then(|m| m.modified())
+                .ok()
+                .and_then(|t| t.elapsed().ok())
+                .is_some_and(|age| age > STALE_AGE),
+        };
+        if dead && std::fs::remove_dir_all(entry.path()).is_ok() {
+            removed += 1;
+        }
+    }
+    if removed > 0 {
+        obs::global()
+            .counter("ipc.scratch_swept")
+            .add(removed as u64);
+    }
+    removed
+}
+
+/// Run [`sweep_stale`] on the system temp dir, once per process. Called
+/// from the executor's spawn path so the *next* run after a crash cleans
+/// up, without paying a directory scan per worker.
+pub fn sweep_stale_once() {
+    static SWEEP: Once = Once::new();
+    SWEEP.call_once(|| {
+        sweep_stale(&std::env::temp_dir());
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn test_root(tag: &str) -> PathBuf {
+        let root = std::env::temp_dir().join(format!("jaguar-scratch-test-{tag}"));
+        let _ = std::fs::remove_dir_all(&root);
+        std::fs::create_dir_all(&root).unwrap();
+        root
+    }
+
+    #[test]
+    fn create_reclaims_leftovers_and_drop_removes() {
+        let root = test_root("reclaim");
+        // Simulate a killed predecessor with our pid: leftover files.
+        let dir = root.join(format!("{PREFIX}{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join("leftover.tmp"), b"junk").unwrap();
+
+        let scratch = WorkerScratch::create_in(&root).unwrap();
+        assert!(scratch.path().is_dir());
+        assert!(
+            !scratch.path().join("leftover.tmp").exists(),
+            "stale files must not survive into the new scratch"
+        );
+        let path = scratch.path().to_path_buf();
+        drop(scratch);
+        assert!(!path.exists(), "orderly exit must remove the scratch dir");
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn sweep_removes_dead_pids_and_keeps_live_and_foreign_entries() {
+        let root = test_root("sweep");
+        // A pid that is certainly dead: spawn a short-lived child and wait.
+        let dead_pid = {
+            let mut c = std::process::Command::new("true")
+                .spawn()
+                .expect("spawn true");
+            let pid = c.id();
+            c.wait().unwrap();
+            pid
+        };
+        let dead = root.join(format!("{PREFIX}{dead_pid}"));
+        std::fs::create_dir_all(&dead).unwrap();
+        std::fs::write(dead.join("orphan.tmp"), b"junk").unwrap();
+
+        let live = root.join(format!("{PREFIX}{}", std::process::id()));
+        std::fs::create_dir_all(&live).unwrap();
+        let foreign = root.join("unrelated-dir");
+        std::fs::create_dir_all(&foreign).unwrap();
+
+        let removed = sweep_stale(&root);
+        if cfg!(target_os = "linux") {
+            assert_eq!(removed, 1);
+            assert!(!dead.exists(), "dead worker's scratch must be swept");
+        }
+        assert!(live.exists(), "own scratch must never be swept");
+        assert!(foreign.exists(), "non-worker entries must be left alone");
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn sweep_of_missing_root_is_zero() {
+        assert_eq!(sweep_stale(Path::new("/no/such/scratch/root")), 0);
+    }
+}

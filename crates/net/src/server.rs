@@ -176,6 +176,11 @@ impl Server {
             let _ = slot.stream.shutdown(Shutdown::Read);
             let _ = slot.handle.join();
         }
+        // Every client is drained: checkpoint so a clean server shutdown
+        // leaves nothing for crash recovery to do at the next start.
+        if let Err(e) = self.engine.catalog().checkpoint() {
+            obs::warn!(target: TARGET, "checkpoint on stop failed: {e}");
+        }
         obs::info!(target: TARGET, "server on {} stopped", self.addr);
     }
 }

@@ -149,7 +149,12 @@ impl Engine {
                 table,
                 column,
             } => {
-                self.catalog.table(&table)?.create_index(&name, &column)?;
+                let t = self.catalog.table(&table)?;
+                t.create_index(&name, &column)?;
+                // Index pages share the table's pool: commit them so they
+                // are evictable (no-steal) and survive a crash.
+                t.commit_durable()?;
+                self.catalog.maybe_checkpoint()?;
                 Ok(QueryResult::empty())
             }
             Statement::Drop { table } => {
@@ -167,6 +172,10 @@ impl Engine {
                     t.insert(Tuple::new(values))?;
                     inserted += 1;
                 }
+                // Statement-level transaction: all rows of this INSERT
+                // become durable together (or not at all after a crash).
+                t.commit_durable()?;
+                self.catalog.maybe_checkpoint()?;
                 let mut r = QueryResult::empty();
                 r.affected = inserted;
                 Ok(r)
@@ -189,6 +198,8 @@ impl Engine {
                 for rid in &victims {
                     dml.table.delete(*rid)?;
                 }
+                dml.table.commit_durable()?;
+                self.catalog.maybe_checkpoint()?;
                 let stats = ctx.finish()?;
                 let mut r = QueryResult::empty();
                 r.affected = victims.len() as u64;
@@ -225,6 +236,8 @@ impl Engine {
                     dml.table.delete(rid)?;
                     dml.table.insert(new_tuple)?;
                 }
+                dml.table.commit_durable()?;
+                self.catalog.maybe_checkpoint()?;
                 let stats = ctx.finish()?;
                 let mut r = QueryResult::empty();
                 r.affected = affected;

@@ -12,8 +12,22 @@
 //!
 //! A pinned page is never evicted; an unpinned dirty page is written back
 //! when its frame is reclaimed or on [`BufferPool::flush_all`].
+//!
+//! ## WAL integration
+//!
+//! When a write-ahead log is attached ([`BufferPool::set_wal_hook`]) the
+//! pool enforces two recovery invariants:
+//!
+//! - **No-steal.** Every mutation through [`PageHandle::write`] records the
+//!   page in an *unlogged* set; unlogged dirty pages are never evicted or
+//!   flushed, so uncommitted data cannot reach a data file. The commit path
+//!   drains the set ([`BufferPool::drain_unlogged`]), logs the images, and
+//!   stamps LSNs through [`PageHandle::write_nolog`].
+//! - **WAL-before-data.** Before a (logged) dirty page is written back, the
+//!   hook is invoked with the page's on-page LSN so the log can be made
+//!   durable at least that far first.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -22,6 +36,16 @@ use jaguar_common::ids::PageId;
 use parking_lot::{Mutex, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
 use crate::disk::DiskManager;
+use crate::page::page_lsn;
+
+/// Write-ahead-log callback invoked before a dirty page is written back to
+/// its data file. Implemented by `jaguar-wal`; the trait lives here so the
+/// storage crate stays free of a WAL dependency.
+pub trait WalHook: Send + Sync {
+    /// Make the log durable at least up to `page_lsn` (the LSN stamped on
+    /// the page about to be written). Erroring aborts the write-back.
+    fn before_page_write(&self, page_lsn: u64) -> Result<()>;
+}
 
 struct Frame {
     page: PageId,
@@ -56,6 +80,13 @@ pub struct BufferPool {
     misses: AtomicU64,
     evictions: AtomicU64,
     writebacks: AtomicU64,
+    /// WAL-before-data callback; also switches on unlogged tracking.
+    wal_hook: Mutex<Option<Arc<dyn WalHook>>>,
+    /// Fast gate checked on every `PageHandle::write`.
+    track_unlogged: AtomicBool,
+    /// Dirty pages whose latest mutation has not been logged yet. These are
+    /// pinned-in-spirit: never evicted, never flushed (no-steal).
+    unlogged: Mutex<HashSet<PageId>>,
 }
 
 impl BufferPool {
@@ -73,7 +104,49 @@ impl BufferPool {
             misses: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
             writebacks: AtomicU64::new(0),
+            wal_hook: Mutex::new(None),
+            track_unlogged: AtomicBool::new(false),
+            unlogged: Mutex::new(HashSet::new()),
         }
+    }
+
+    /// Attach a write-ahead log: enables unlogged-page tracking (no-steal)
+    /// and WAL-before-data enforcement on every write-back.
+    pub fn set_wal_hook(&self, hook: Arc<dyn WalHook>) {
+        *self.wal_hook.lock() = Some(hook);
+        self.track_unlogged.store(true, Ordering::Release);
+    }
+
+    /// Take ownership of the current unlogged-page set (sorted, for
+    /// deterministic log contents). The commit path calls this, logs each
+    /// page, and must either commit them or put them back with
+    /// [`BufferPool::mark_unlogged`].
+    pub fn drain_unlogged(&self) -> Vec<PageId> {
+        let mut set = self.unlogged.lock();
+        let mut pages: Vec<PageId> = set.drain().collect();
+        pages.sort_by_key(|p| p.0);
+        pages
+    }
+
+    /// Return pages to the unlogged set (commit-failure path).
+    pub fn mark_unlogged(&self, pages: &[PageId]) {
+        let mut set = self.unlogged.lock();
+        set.extend(pages.iter().copied());
+    }
+
+    fn note_write(&self, page: PageId) {
+        if self.track_unlogged.load(Ordering::Acquire) {
+            self.unlogged.lock().insert(page);
+        }
+    }
+
+    /// Run the WAL-before-data hook for a page buffer about to be written.
+    fn wal_barrier(&self, buf: &[u8]) -> Result<()> {
+        let hook = self.wal_hook.lock().clone();
+        if let Some(hook) = hook {
+            hook.before_page_write(page_lsn(buf))?;
+        }
+        Ok(())
     }
 
     pub fn disk(&self) -> &Arc<DiskManager> {
@@ -151,33 +224,47 @@ impl BufferPool {
     }
 
     /// Find a free frame index, evicting the least-recently-used unpinned
-    /// frame if the pool is full.
+    /// frame if the pool is full. Dirty pages holding unlogged (and hence
+    /// uncommitted) changes are unevictable — the no-steal half of the WAL
+    /// contract.
     fn acquire_frame(&self, inner: &mut PoolInner) -> Result<usize> {
         if inner.frames.len() < self.capacity {
             return Ok(inner.frames.len());
         }
+        let unlogged = if self.track_unlogged.load(Ordering::Acquire) {
+            Some(self.unlogged.lock())
+        } else {
+            None
+        };
         let victim = inner
             .frames
             .iter()
             .enumerate()
-            .filter(|(_, f)| f.pins == 0)
+            .filter(|(_, f)| f.pins == 0 && unlogged.as_ref().is_none_or(|u| !u.contains(&f.page)))
             .min_by_key(|(_, f)| f.last_used)
             .map(|(i, _)| i)
             .ok_or_else(|| {
                 JaguarError::Storage(format!(
-                    "buffer pool exhausted: all {} frames pinned",
+                    "buffer pool exhausted: all {} frames pinned or holding \
+                     unlogged changes",
                     self.capacity
                 ))
             })?;
+        drop(unlogged);
         self.evictions.fetch_add(1, Ordering::Relaxed);
         let (vpage, vdata, vdirty) = {
             let f = &inner.frames[victim];
             (f.page, Arc::clone(&f.data), Arc::clone(&f.dirty))
         };
-        if vdirty.swap(false, Ordering::Relaxed) {
-            self.writebacks.fetch_add(1, Ordering::Relaxed);
-            let mut buf = vdata.write();
-            self.disk.write_page(vpage, &mut buf)?;
+        if vdirty.load(Ordering::Relaxed) {
+            // WAL-before-data: the victim is unpinned so nobody can mutate
+            // it concurrently; its on-page LSN is final for this image.
+            self.wal_barrier(&vdata.read())?;
+            if vdirty.swap(false, Ordering::Relaxed) {
+                self.writebacks.fetch_add(1, Ordering::Relaxed);
+                let mut buf = vdata.write();
+                self.disk.write_page(vpage, &mut buf)?;
+            }
         }
         inner.map.remove(&vpage);
         Ok(victim)
@@ -192,14 +279,24 @@ impl BufferPool {
         }
     }
 
-    /// Write every dirty page back to disk (pages stay cached).
+    /// Write every dirty page back to disk (pages stay cached). Pages with
+    /// unlogged changes are skipped: they hold uncommitted data that must
+    /// not reach the data file (they are flushed by the commit following
+    /// their statement, or discarded with the process).
     pub fn flush_all(&self) -> Result<()> {
         let inner = self.inner.lock();
+        let tracking = self.track_unlogged.load(Ordering::Acquire);
         for f in &inner.frames {
-            if f.dirty.swap(false, Ordering::Relaxed) {
-                self.writebacks.fetch_add(1, Ordering::Relaxed);
-                let mut buf = f.data.write();
-                self.disk.write_page(f.page, &mut buf)?;
+            if tracking && self.unlogged.lock().contains(&f.page) {
+                continue;
+            }
+            if f.dirty.load(Ordering::Relaxed) {
+                self.wal_barrier(&f.data.read())?;
+                if f.dirty.swap(false, Ordering::Relaxed) {
+                    self.writebacks.fetch_add(1, Ordering::Relaxed);
+                    let mut buf = f.data.write();
+                    self.disk.write_page(f.page, &mut buf)?;
+                }
             }
         }
         Ok(())
@@ -224,8 +321,21 @@ impl PageHandle {
         self.data.read()
     }
 
-    /// Exclusive write access; marks the page dirty.
+    /// Exclusive write access; marks the page dirty and — when a WAL is
+    /// attached — records it as unlogged so the mutation cannot reach the
+    /// data file before it is logged and committed.
     pub fn write(&self) -> RwLockWriteGuard<'_, Vec<u8>> {
+        self.pool.note_write(self.page);
+        self.dirty.store(true, Ordering::Relaxed);
+        self.data.write()
+    }
+
+    /// Exclusive write access that marks the page dirty but does *not*
+    /// track it as unlogged. Reserved for the WAL commit path, which uses
+    /// it to stamp the page LSN on pages it has just drained from the
+    /// unlogged set (a tracked write here would re-mark them forever
+    /// unevictable).
+    pub fn write_nolog(&self) -> RwLockWriteGuard<'_, Vec<u8>> {
         self.dirty.store(true, Ordering::Relaxed);
         self.data.write()
     }
@@ -320,6 +430,80 @@ mod tests {
         let mut raw = vec![0u8; 128];
         disk.read_page(id, &mut raw).unwrap();
         assert_eq!(raw[64], 5);
+    }
+
+    struct RecordingHook {
+        calls: Mutex<Vec<u64>>,
+    }
+
+    impl WalHook for RecordingHook {
+        fn before_page_write(&self, page_lsn: u64) -> Result<()> {
+            self.calls.lock().push(page_lsn);
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn unlogged_pages_are_not_evicted_or_flushed() {
+        let disk = Arc::new(DiskManager::in_memory(128));
+        let p = Arc::new(BufferPool::new(Arc::clone(&disk), 2));
+        let hook = Arc::new(RecordingHook {
+            calls: Mutex::new(Vec::new()),
+        });
+        p.set_wal_hook(Arc::clone(&hook) as Arc<dyn WalHook>);
+
+        let id = {
+            let h = p.allocate().unwrap();
+            h.write()[100] = 9; // tracked as unlogged
+            h.id()
+        };
+        // flush_all must skip the unlogged page.
+        p.flush_all().unwrap();
+        let mut raw = vec![0u8; 128];
+        disk.read_page(id, &mut raw).unwrap();
+        assert_eq!(raw[100], 0, "uncommitted byte must not reach disk");
+
+        // Both frames unlogged-dirty → allocation cannot evict either.
+        let h2 = p.allocate().unwrap();
+        h2.write()[1] = 1;
+        drop(h2);
+        let err = match p.allocate() {
+            Err(e) => e,
+            Ok(_) => panic!("allocation must fail with all frames unlogged"),
+        };
+        assert!(err.to_string().contains("unlogged"), "{err}");
+
+        // "Commit": drain, stamp, and now eviction/flush work again.
+        let pages = p.drain_unlogged();
+        assert_eq!(pages.len(), 2);
+        {
+            let h = p.fetch(id).unwrap();
+            crate::page::set_page_lsn(&mut h.write_nolog(), 41);
+        }
+        p.flush_all().unwrap();
+        disk.read_page(id, &mut raw).unwrap();
+        assert_eq!(raw[100], 9);
+        let calls = hook.calls.lock().clone();
+        assert!(calls.contains(&41), "hook sees the stamped LSN: {calls:?}");
+    }
+
+    #[test]
+    fn drain_is_sorted_and_mark_restores() {
+        let p = pool(8);
+        p.set_wal_hook(Arc::new(RecordingHook {
+            calls: Mutex::new(Vec::new()),
+        }));
+        let mut ids = Vec::new();
+        for _ in 0..4 {
+            let h = p.allocate().unwrap();
+            h.write()[9] = 9;
+            ids.push(h.id());
+        }
+        let drained = p.drain_unlogged();
+        assert_eq!(drained, ids, "sorted by page id");
+        assert!(p.drain_unlogged().is_empty());
+        p.mark_unlogged(&drained);
+        assert_eq!(p.drain_unlogged().len(), 4);
     }
 
     #[test]

@@ -143,12 +143,14 @@ impl DiskManager {
         Ok(())
     }
 
-    /// Flush file-backed data to the OS.
+    /// Flush file-backed data all the way to stable storage (`sync_all`,
+    /// i.e. `fsync`: data *and* metadata, so a freshly extended file keeps
+    /// its length across power loss). In-memory backings are a no-op.
     pub fn sync(&self) -> Result<()> {
         let mut inner = self.inner.lock();
         if let Backing::File(f) = &mut inner.backing {
             f.flush()?;
-            f.sync_data()?;
+            f.sync_all()?;
         }
         Ok(())
     }

@@ -17,6 +17,11 @@
 //! * [`heap::HeapFile`] — unordered record files with overflow chains for
 //!   records larger than a page (a 10,000-byte tuple does not fit an 8 KiB
 //!   page) and a full-file scan iterator.
+//!
+//! Durability hooks: every page header carries an LSN
+//! ([`page::page_lsn`]), and the buffer pool accepts a [`WalHook`]
+//! through which `jaguar-wal` enforces the WAL-before-data and no-steal
+//! invariants (see `buffer` module docs).
 
 pub mod btree;
 pub mod buffer;
@@ -25,6 +30,6 @@ pub mod heap;
 pub mod page;
 
 pub use btree::BTree;
-pub use buffer::{BufferPool, PageHandle};
+pub use buffer::{BufferPool, PageHandle, WalHook};
 pub use disk::DiskManager;
 pub use heap::HeapFile;

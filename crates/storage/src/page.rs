@@ -1,6 +1,6 @@
 //! Page layouts.
 //!
-//! Every page starts with a 12-byte common header:
+//! Every page starts with a 20-byte common header:
 //!
 //! ```text
 //! offset 0  u32  checksum   (FNV-1a over bytes[4..]; maintained by DiskManager)
@@ -9,6 +9,8 @@
 //! offset 6  u16  h0         } type-specific: Slotted: slot_count / free_end
 //! offset 8  u16  h1         } Overflow:     (unused)
 //! offset 10 u16  h2         }
+//! offset 12 u64  page_lsn   (LSN of the WAL record carrying this page's
+//!                            latest logged image; 0 = never logged)
 //! ```
 //!
 //! **Slotted pages** hold variable-length records addressed by slot number.
@@ -25,7 +27,9 @@ use jaguar_common::error::{JaguarError, Result};
 use jaguar_common::ids::PageId;
 
 /// Size of the common header present on every page.
-pub const COMMON_HEADER: usize = 12;
+pub const COMMON_HEADER: usize = 20;
+/// Offset of the page LSN within the common header.
+const LSN_OFFSET: usize = 12;
 /// Size of one slot directory entry (u16 offset + u16 length).
 pub const SLOT_SIZE: usize = 4;
 /// Slot offset sentinel marking a deleted (tombstoned) slot.
@@ -60,6 +64,18 @@ pub fn page_type(buf: &[u8]) -> Result<PageType> {
 /// Set the page type byte on a raw page buffer.
 pub fn set_page_type(buf: &mut [u8], ty: PageType) {
     buf[4] = ty as u8;
+}
+
+/// Read the LSN of the WAL record carrying this page's latest logged image
+/// (0 for a page that was never logged).
+pub fn page_lsn(buf: &[u8]) -> u64 {
+    u64::from_le_bytes(buf[LSN_OFFSET..LSN_OFFSET + 8].try_into().expect("8 bytes"))
+}
+
+/// Stamp the page LSN. Called by the WAL commit path just before the page
+/// image is copied into the log.
+pub fn set_page_lsn(buf: &mut [u8], lsn: u64) {
+    buf[LSN_OFFSET..LSN_OFFSET + 8].copy_from_slice(&lsn.to_le_bytes());
 }
 
 /// FNV-1a over the page body (everything after the checksum word).
@@ -398,7 +414,7 @@ mod tests {
         while page.insert(&rec).is_some() {
             n += 1;
         }
-        // 512-byte page, 12-byte header, 36 bytes/record (32 + 4 slot).
+        // 512-byte page, 20-byte header, 36 bytes/record (32 + 4 slot).
         assert!(n >= 12, "expected at least 12 records, got {n}");
         assert!(page.insertable_now() < rec.len());
     }
@@ -479,6 +495,19 @@ mod tests {
         init_overflow(&mut buf, b"tail", PageId::INVALID);
         let (_, next) = read_overflow(&buf).unwrap();
         assert!(!next.is_valid());
+    }
+
+    #[test]
+    fn page_lsn_roundtrip() {
+        let mut buf = fresh();
+        let s = SlottedPage::init(&mut buf).insert(b"record").unwrap();
+        assert_eq!(page_lsn(&buf), 0, "fresh page was never logged");
+        set_page_lsn(&mut buf, 0xDEAD_BEEF_0042);
+        assert_eq!(page_lsn(&buf), 0xDEAD_BEEF_0042);
+        // The LSN lives inside the common header, clear of the slot
+        // directory: records survive stamping.
+        let page = SlottedPage::open(&mut buf).unwrap();
+        assert_eq!(page.get(s).unwrap(), b"record");
     }
 
     #[test]

@@ -6,10 +6,17 @@
 //! remote executor.
 
 fn main() {
+    // Private scratch dir, removed again on orderly exit. Creation reclaims
+    // any leftover from a killed predecessor rather than failing; if the
+    // temp dir is unusable the worker still serves (UDFs just have no disk
+    // scratch).
+    let scratch = jaguar_ipc::WorkerScratch::create();
     let registry = jaguar_udf::worker_registry();
     let stdin = std::io::stdin().lock();
     let stdout = std::io::stdout().lock();
-    if let Err(e) = jaguar_ipc::worker::serve(stdin, stdout, &registry) {
+    let result = jaguar_ipc::worker::serve(stdin, stdout, &registry);
+    drop(scratch);
+    if let Err(e) = result {
         eprintln!("jaguar-worker: {e}");
         std::process::exit(1);
     }

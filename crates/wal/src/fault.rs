@@ -1,0 +1,85 @@
+//! Fault injection for crash-recovery testing.
+//!
+//! A *crash point* is a named place in the commit path where a test can ask
+//! the process to die abruptly (`abort`, no destructors, no buffered-write
+//! flushing — as close to a power cut as a live process gets). Arming is by
+//! environment variable so a harness can re-exec itself as the victim:
+//!
+//! ```text
+//! JAGUAR_CRASH_POINT=wal.before_commit  → abort() when that point is hit
+//! JAGUAR_TORN_TAIL=1                    → the next commit record is half-
+//!                                         written (then abort), simulating
+//!                                         a torn sector on the log tail
+//! ```
+//!
+//! In production neither variable is set and every check is one cached
+//! `Option<String>` comparison.
+
+use std::sync::OnceLock;
+
+/// Environment variable naming the crash point to arm.
+pub const CRASH_POINT_ENV: &str = "JAGUAR_CRASH_POINT";
+/// Environment variable arming torn-tail simulation on the next commit.
+pub const TORN_TAIL_ENV: &str = "JAGUAR_TORN_TAIL";
+
+/// Every named crash point in the commit path, in execution order. The
+/// crash-recovery harness iterates this list; keep it in sync with the
+/// `crash_point` call sites.
+pub const CRASH_POINTS: &[&str] = &[
+    // After the Begin record is appended, before any page image.
+    "wal.after_begin",
+    // After the first page image, with later images still unwritten.
+    "wal.mid_images",
+    // All page images written, Commit record not yet written.
+    "wal.before_commit",
+    // Commit record written but not yet fsynced.
+    "wal.after_commit_write",
+    // Commit record fsynced — the transaction must survive recovery.
+    "wal.after_commit_sync",
+];
+
+fn armed() -> Option<&'static str> {
+    static ARMED: OnceLock<Option<String>> = OnceLock::new();
+    ARMED
+        .get_or_init(|| std::env::var(CRASH_POINT_ENV).ok())
+        .as_deref()
+}
+
+/// Die here if this crash point is armed.
+pub fn crash_point(name: &str) {
+    if armed() == Some(name) {
+        // abort(), not exit(): no atexit handlers, no Drop, no flush.
+        eprintln!("jaguar-wal: crash point '{name}' armed, aborting");
+        std::process::abort();
+    }
+}
+
+/// Is torn-tail simulation armed? (Checked once per process.)
+pub fn torn_tail_armed() -> bool {
+    static ARMED: OnceLock<bool> = OnceLock::new();
+    *ARMED.get_or_init(|| std::env::var(TORN_TAIL_ENV).is_ok())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unarmed_crash_point_is_a_noop() {
+        // The test process has no JAGUAR_CRASH_POINT set; surviving this
+        // call is the assertion.
+        for p in CRASH_POINTS {
+            crash_point(p);
+        }
+        crash_point("not.a.point");
+    }
+
+    #[test]
+    fn crash_points_are_unique_and_namespaced() {
+        let mut seen = std::collections::HashSet::new();
+        for p in CRASH_POINTS {
+            assert!(p.starts_with("wal."), "{p}");
+            assert!(seen.insert(p), "duplicate crash point {p}");
+        }
+    }
+}

@@ -1,0 +1,515 @@
+//! # jaguar-wal — write-ahead logging, checkpointing, crash recovery
+//!
+//! PREDATOR inherited durability from the Shore storage manager; this crate
+//! is the equivalent substrate for `jaguar-storage`. It implements an
+//! ARIES-lite, redo-only protocol:
+//!
+//! - **Physical redo.** Each committed statement logs the full after-image
+//!   of every page it touched ([`record::WalRecord::PageImage`]), bracketed
+//!   by `Begin`/`Commit` markers. Recovery replays images of *committed*
+//!   transactions in LSN order and discards the rest.
+//! - **No-steal, so no undo.** The buffer pool refuses to evict a dirty
+//!   page whose latest mutation has not been logged (see
+//!   [`jaguar_storage::WalHook`] and the unlogged-page tracking in
+//!   `BufferPool`), so uncommitted data never reaches a data file and an
+//!   undo pass is unnecessary.
+//! - **WAL-before-data.** Before any dirty page is written back, the hook
+//!   makes the log durable up to that page's LSN ([`Wal::ensure_durable`]).
+//! - **Group commit.** Under [`SyncMode::Full`] concurrent committers share
+//!   one `fdatasync`: the first becomes the leader and syncs, the rest wait
+//!   on a condvar and are released together.
+//! - **Checkpoint = flush + truncate.** A checkpoint syncs the log, flushes
+//!   and syncs every data file, then truncates the log to a single
+//!   `Checkpoint` record — bounding both log size and recovery time.
+//!
+//! The log format and torn-tail-tolerant reader live in [`record`]; named
+//! crash points and torn-write simulation for the recovery harness live in
+//! [`fault`]; the redo pass lives in [`recover`].
+
+pub mod fault;
+pub mod record;
+pub mod recover;
+
+use std::fs::{File, OpenOptions};
+use std::io::{Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use jaguar_common::config::{Config, SyncMode};
+use jaguar_common::error::{JaguarError, Result};
+use jaguar_common::obs;
+use jaguar_storage::page::set_page_lsn;
+use jaguar_storage::{BufferPool, WalHook};
+use parking_lot::{Condvar, Mutex, RwLock};
+
+use record::{encode_frame, WalRecord};
+pub use recover::RecoveryStats;
+
+/// Name of the log file inside a database directory.
+pub const WAL_FILE: &str = "wal.log";
+
+struct WalInner {
+    file: File,
+    next_lsn: u64,
+    log_bytes: u64,
+    commits_since_checkpoint: u64,
+}
+
+struct SyncState {
+    /// Highest LSN known to be on stable storage.
+    durable_lsn: u64,
+    /// A leader is currently running `fdatasync`.
+    syncing: bool,
+}
+
+/// The write-ahead log of one database directory.
+pub struct Wal {
+    path: PathBuf,
+    sync_mode: SyncMode,
+    segment_bytes: u64,
+    checkpoint_every: u64,
+    inner: Mutex<WalInner>,
+    /// Duplicated fd for fsync, so group commit never blocks appenders.
+    sync_file: File,
+    /// Highest LSN fully handed to the OS (readable without `inner`).
+    appended_lsn: AtomicU64,
+    sync_state: Mutex<SyncState>,
+    sync_cv: Condvar,
+    /// Commits hold this shared; checkpoint truncation holds it exclusive,
+    /// so a log truncation can never delete half of an in-flight txn.
+    txn_gate: RwLock<()>,
+    next_txn: AtomicU64,
+}
+
+impl Wal {
+    /// Open the log for `dir`, first running crash recovery: committed page
+    /// images in the existing log are replayed into the data files, the
+    /// data files are synced, and the log is truncated. Returns the live
+    /// log plus what recovery did (also mirrored to `wal.*` metrics).
+    pub fn open(dir: &Path, config: &Config) -> Result<(Arc<Wal>, RecoveryStats)> {
+        let stats = recover::replay(dir, config.page_size)?;
+        let path = dir.join(WAL_FILE);
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(&path)?;
+        let sync_file = file.try_clone()?;
+        let wal = Arc::new(Wal {
+            path,
+            sync_mode: config.sync_mode,
+            segment_bytes: config.wal_segment_bytes,
+            checkpoint_every: config.checkpoint_every,
+            inner: Mutex::new(WalInner {
+                file,
+                next_lsn: stats.max_lsn + 1,
+                log_bytes: 0,
+                commits_since_checkpoint: 0,
+            }),
+            sync_file,
+            appended_lsn: AtomicU64::new(stats.max_lsn),
+            sync_state: Mutex::new(SyncState {
+                durable_lsn: stats.max_lsn,
+                syncing: false,
+            }),
+            sync_cv: Condvar::new(),
+            txn_gate: RwLock::new(()),
+            next_txn: AtomicU64::new(0),
+        });
+        // Everything replayed is in synced data files: start from an empty
+        // log (plus a Checkpoint marker) rather than replaying again.
+        wal.truncate_log()?;
+        let reg = obs::global();
+        reg.counter("wal.recovered_txns").add(stats.recovered_txns);
+        reg.counter("wal.replayed_pages").add(stats.replayed_pages);
+        Ok((wal, stats))
+    }
+
+    /// Path of the log file (used by tests to corrupt the tail).
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Register this log as the buffer pool's WAL-before-data hook and
+    /// enable unlogged-page tracking (no-steal) on the pool.
+    pub fn attach(self: &Arc<Self>, pool: &BufferPool) {
+        pool.set_wal_hook(Arc::new(PoolHook(Arc::clone(self))));
+    }
+
+    /// Current log size in bytes.
+    pub fn log_bytes(&self) -> u64 {
+        self.inner.lock().log_bytes
+    }
+
+    /// Highest LSN known durable.
+    pub fn durable_lsn(&self) -> u64 {
+        self.sync_state.lock().durable_lsn
+    }
+
+    /// Append one framed record under the append lock; returns its LSN.
+    /// `stamp` runs with the LSN before the frame is encoded, letting the
+    /// commit path write the LSN into the page image it is about to log.
+    fn append_with(&self, make: impl FnOnce(u64) -> Result<WalRecord>) -> Result<u64> {
+        let mut inner = self.inner.lock();
+        let lsn = inner.next_lsn;
+        let rec = make(lsn)?;
+        let frame = encode_frame(lsn, &rec);
+        inner.file.write_all(&frame)?;
+        inner.next_lsn = lsn + 1;
+        inner.log_bytes += frame.len() as u64;
+        if matches!(rec, WalRecord::Commit { .. }) {
+            inner.commits_since_checkpoint += 1;
+        }
+        drop(inner);
+        self.appended_lsn.fetch_max(lsn, Ordering::AcqRel);
+        obs::global().counter("wal.bytes").add(frame.len() as u64);
+        Ok(lsn)
+    }
+
+    /// Append a Commit record, honouring torn-tail simulation: when armed,
+    /// only half the frame reaches the file before the process aborts —
+    /// recovery must then treat the transaction as uncommitted.
+    fn append_commit(&self, txn: u64) -> Result<u64> {
+        if fault::torn_tail_armed() {
+            let mut inner = self.inner.lock();
+            let lsn = inner.next_lsn;
+            let frame = encode_frame(lsn, &WalRecord::Commit { txn });
+            inner.file.write_all(&frame[..frame.len() / 2])?;
+            inner.file.sync_data()?;
+            eprintln!("jaguar-wal: torn tail simulated, aborting");
+            std::process::abort();
+        }
+        self.append_with(|_| Ok(WalRecord::Commit { txn }))
+    }
+
+    /// Log and commit every unlogged dirty page of `pool` as one
+    /// transaction attributed to data file `file`. Returns the commit LSN,
+    /// or `None` when there was nothing to commit.
+    ///
+    /// This is the WAL half of a statement commit: drain the pool's
+    /// unlogged set, stamp each page with its record's LSN, append the
+    /// images between `Begin`/`Commit` markers, then make the commit
+    /// durable per the configured [`SyncMode`].
+    pub fn commit_table(&self, file: &str, pool: &Arc<BufferPool>) -> Result<Option<u64>> {
+        let _gate = self.txn_gate.read();
+        let pages = pool.drain_unlogged();
+        if pages.is_empty() {
+            return Ok(None);
+        }
+        let reg = obs::global();
+        let span = obs::SpanTimer::new(reg.histogram("wal.commit_latency_us"));
+        let result = (|| {
+            let txn = self.next_txn.fetch_add(1, Ordering::Relaxed) + 1;
+            self.append_with(|_| Ok(WalRecord::Begin { txn }))?;
+            fault::crash_point("wal.after_begin");
+            for (i, pid) in pages.iter().enumerate() {
+                let handle = pool.fetch(*pid)?;
+                let file = file.to_string();
+                self.append_with(|lsn| {
+                    let mut guard = handle.write_nolog();
+                    set_page_lsn(&mut guard, lsn);
+                    Ok(WalRecord::PageImage {
+                        txn,
+                        file,
+                        page: pid.0,
+                        data: guard.clone(),
+                    })
+                })?;
+                if i == 0 {
+                    fault::crash_point("wal.mid_images");
+                }
+            }
+            fault::crash_point("wal.before_commit");
+            let lsn = self.append_commit(txn)?;
+            fault::crash_point("wal.after_commit_write");
+            self.ensure_durable(lsn)?;
+            fault::crash_point("wal.after_commit_sync");
+            reg.counter("wal.commits").inc();
+            Ok(lsn)
+        })();
+        drop(span);
+        match result {
+            Ok(lsn) => Ok(Some(lsn)),
+            Err(e) => {
+                // The pages never made it into the log as a committed txn;
+                // put them back under no-steal protection so the pool
+                // cannot leak them to disk.
+                pool.mark_unlogged(&pages);
+                Err(e)
+            }
+        }
+    }
+
+    /// Block until the log is durable at least up to `lsn` (group commit:
+    /// one leader syncs for every waiter that arrived meanwhile). A no-op
+    /// unless [`SyncMode::Full`] is configured.
+    pub fn ensure_durable(&self, lsn: u64) -> Result<()> {
+        if self.sync_mode != SyncMode::Full {
+            return Ok(());
+        }
+        let mut st = self.sync_state.lock();
+        while st.durable_lsn < lsn {
+            if st.syncing {
+                self.sync_cv.wait(&mut st);
+                continue;
+            }
+            st.syncing = true;
+            drop(st);
+            // Everything appended before this load rides along.
+            let target = self.appended_lsn.load(Ordering::Acquire);
+            let res = self.sync_file.sync_data();
+            obs::global().counter("wal.fsyncs").inc();
+            st = self.sync_state.lock();
+            st.syncing = false;
+            if res.is_ok() && target > st.durable_lsn {
+                st.durable_lsn = target;
+            }
+            self.sync_cv.notify_all();
+            res?;
+        }
+        Ok(())
+    }
+
+    /// Should the caller run a checkpoint? True once the log outgrows the
+    /// configured segment size or enough commits have accumulated.
+    pub fn should_checkpoint(&self) -> bool {
+        let inner = self.inner.lock();
+        inner.log_bytes >= self.segment_bytes
+            || inner.commits_since_checkpoint >= self.checkpoint_every
+    }
+
+    /// Checkpoint: make the log durable, have `flush` write and sync every
+    /// data file, then truncate the log. `flush` runs with new transactions
+    /// excluded, so truncation can never orphan half a commit.
+    pub fn checkpoint(&self, flush: impl FnOnce() -> Result<()>) -> Result<()> {
+        let _gate = self.txn_gate.write();
+        if self.sync_mode != SyncMode::Off {
+            self.sync_file.sync_data()?;
+            obs::global().counter("wal.fsyncs").inc();
+        }
+        flush()?;
+        self.truncate_log()?;
+        obs::global().counter("wal.checkpoints").inc();
+        Ok(())
+    }
+
+    /// Reset the log to a single Checkpoint record.
+    fn truncate_log(&self) -> Result<()> {
+        let mut inner = self.inner.lock();
+        inner.file.set_len(0)?;
+        inner.file.seek(SeekFrom::Start(0))?;
+        let lsn = inner.next_lsn;
+        inner.next_lsn = lsn + 1;
+        let frame = encode_frame(lsn, &WalRecord::Checkpoint);
+        inner.file.write_all(&frame)?;
+        inner.log_bytes = frame.len() as u64;
+        inner.commits_since_checkpoint = 0;
+        if self.sync_mode != SyncMode::Off {
+            inner.file.sync_data()?;
+        }
+        drop(inner);
+        self.appended_lsn.fetch_max(lsn, Ordering::AcqRel);
+        self.sync_state.lock().durable_lsn = lsn;
+        Ok(())
+    }
+}
+
+/// Adapter giving the buffer pool WAL-before-data enforcement.
+struct PoolHook(Arc<Wal>);
+
+impl WalHook for PoolHook {
+    fn before_page_write(&self, page_lsn: u64) -> Result<()> {
+        self.0.ensure_durable(page_lsn)
+    }
+}
+
+/// Validate a file id recorded in a page image: it must be a plain file
+/// name inside the database directory, never a path that could escape it.
+pub(crate) fn validate_file_id(file: &str) -> Result<()> {
+    if file.is_empty()
+        || file.contains('/')
+        || file.contains('\\')
+        || file.contains("..")
+        || file.contains('\0')
+    {
+        return Err(JaguarError::Corruption(format!(
+            "wal page image names suspicious file {file:?}"
+        )));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jaguar_common::ids::PageId;
+    use jaguar_storage::DiskManager;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("jaguar-wal-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn cfg() -> Config {
+        Config::default().with_page_size(256)
+    }
+
+    #[test]
+    fn commit_and_replay_roundtrip() {
+        let dir = tmpdir("roundtrip");
+        {
+            let (wal, stats) = Wal::open(&dir, &cfg()).unwrap();
+            assert_eq!(stats.recovered_txns, 0);
+            let disk = Arc::new(DiskManager::open(&dir.join("t.jag"), 256).unwrap());
+            let pool = Arc::new(BufferPool::new(disk, 8));
+            wal.attach(&pool);
+            let h = pool.allocate().unwrap();
+            h.write()[64] = 42;
+            drop(h);
+            wal.commit_table("t.jag", &pool).unwrap().unwrap();
+            // Simulate a crash: data file never flushed, log survives...
+            // except the log was just truncated? No — commit appends after
+            // open's truncation, so the images are present.
+            assert!(wal.log_bytes() > 0);
+        }
+        // Wipe the data file to prove replay reconstructs it from the log.
+        std::fs::write(dir.join("t.jag"), b"").unwrap();
+        let (_wal, stats) = Wal::open(&dir, &cfg()).unwrap();
+        assert_eq!(stats.recovered_txns, 1);
+        assert!(stats.replayed_pages >= 1);
+        let disk = DiskManager::open(&dir.join("t.jag"), 256).unwrap();
+        let mut buf = vec![0u8; 256];
+        disk.read_page(PageId(0), &mut buf).unwrap();
+        assert_eq!(buf[64], 42);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn uncommitted_txn_not_replayed() {
+        let dir = tmpdir("uncommitted");
+        {
+            let (wal, _) = Wal::open(&dir, &cfg()).unwrap();
+            // Hand-write a Begin + PageImage with no Commit.
+            let mut inner = wal.inner.lock();
+            let mut page = vec![0u8; 256];
+            page[100] = 9;
+            for rec in [
+                WalRecord::Begin { txn: 50 },
+                WalRecord::PageImage {
+                    txn: 50,
+                    file: "u.jag".into(),
+                    page: 0,
+                    data: page,
+                },
+            ] {
+                let lsn = inner.next_lsn;
+                inner.next_lsn += 1;
+                let frame = encode_frame(lsn, &rec);
+                inner.file.write_all(&frame).unwrap();
+                inner.log_bytes += frame.len() as u64;
+            }
+        }
+        let (_wal, stats) = Wal::open(&dir, &cfg()).unwrap();
+        assert_eq!(stats.recovered_txns, 0);
+        assert_eq!(stats.replayed_pages, 0);
+        assert!(
+            !dir.join("u.jag").exists() || {
+                let dm = DiskManager::open(&dir.join("u.jag"), 256).unwrap();
+                dm.page_count() == 0
+            }
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn checkpoint_truncates_log() {
+        let dir = tmpdir("ckpt");
+        let (wal, _) = Wal::open(&dir, &cfg()).unwrap();
+        let disk = Arc::new(DiskManager::open(&dir.join("t.jag"), 256).unwrap());
+        let pool = Arc::new(BufferPool::new(Arc::clone(&disk), 8));
+        wal.attach(&pool);
+        for _ in 0..5 {
+            let h = pool.allocate().unwrap();
+            h.write()[10] = 1;
+            drop(h);
+            wal.commit_table("t.jag", &pool).unwrap();
+        }
+        let before = wal.log_bytes();
+        wal.checkpoint(|| {
+            pool.flush_all()?;
+            disk.sync()
+        })
+        .unwrap();
+        assert!(wal.log_bytes() < before);
+        // Replays nothing: data already synced, log truncated.
+        drop(wal);
+        let (_wal, stats) = Wal::open(&dir, &cfg()).unwrap();
+        assert_eq!(stats.replayed_pages, 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn should_checkpoint_by_commit_count() {
+        let dir = tmpdir("every");
+        let mut config = cfg();
+        config.checkpoint_every = 2;
+        let (wal, _) = Wal::open(&dir, &config).unwrap();
+        let disk = Arc::new(DiskManager::open(&dir.join("t.jag"), 256).unwrap());
+        let pool = Arc::new(BufferPool::new(disk, 8));
+        wal.attach(&pool);
+        assert!(!wal.should_checkpoint());
+        for _ in 0..2 {
+            let h = pool.allocate().unwrap();
+            h.write()[10] = 1;
+            drop(h);
+            wal.commit_table("t.jag", &pool).unwrap();
+        }
+        assert!(wal.should_checkpoint());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn group_commit_under_concurrency() {
+        let dir = tmpdir("group");
+        let mut config = cfg();
+        config.sync_mode = SyncMode::Full;
+        let (wal, _) = Wal::open(&dir, &config).unwrap();
+        let disk = Arc::new(DiskManager::open(&dir.join("t.jag"), 256).unwrap());
+        let pool = Arc::new(BufferPool::new(disk, 64));
+        wal.attach(&pool);
+        let mut threads = Vec::new();
+        for _ in 0..4 {
+            let wal = Arc::clone(&wal);
+            let pool = Arc::clone(&pool);
+            threads.push(std::thread::spawn(move || {
+                for _ in 0..10 {
+                    let h = pool.allocate().unwrap();
+                    h.write()[10] = 7;
+                    drop(h);
+                    wal.commit_table("t.jag", &pool).unwrap();
+                }
+            }));
+        }
+        for t in threads {
+            t.join().unwrap();
+        }
+        // With batching, fsyncs can be far fewer than commits; correctness
+        // here is that every commit survives a reopen-with-replay.
+        drop(wal);
+        let (_wal, stats) = Wal::open(&dir, &cfg()).unwrap();
+        assert_eq!(stats.recovered_txns, 40);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn file_id_validation() {
+        assert!(validate_file_id("events.jag").is_ok());
+        for bad in ["", "../x.jag", "a/b.jag", "a\\b.jag", "nul\0.jag"] {
+            assert!(validate_file_id(bad).is_err(), "{bad:?}");
+        }
+    }
+}

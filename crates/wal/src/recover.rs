@@ -1,0 +1,229 @@
+//! The redo pass.
+//!
+//! Recovery scans the log with the torn-tolerant reader, collects the set
+//! of committed transactions, and replays their page images — in LSN order
+//! — straight through [`DiskManager`] into the data files, extending files
+//! as needed. Uncommitted transactions (no `Commit` record inside the valid
+//! prefix) are discarded, which together with the pool's no-steal policy
+//! yields statement atomicity without an undo pass.
+//!
+//! Replaying unconditionally (no page-LSN comparison) is correct because
+//! every checkpoint truncates the log only after the data files are synced:
+//! any image still in the log is at least as new as the corresponding data
+//! page could legitimately be, and replaying in LSN order lands every page
+//! on its final committed state. It also means recovery never needs to
+//! *read* a data page — important, because a torn data-page write would
+//! fail its checksum on read, but is simply overwritten here.
+
+use std::collections::{HashMap, HashSet};
+use std::path::Path;
+use std::sync::Arc;
+
+use jaguar_common::error::{JaguarError, Result};
+use jaguar_common::ids::PageId;
+use jaguar_storage::DiskManager;
+
+use crate::record::{scan_log, WalRecord};
+use crate::{validate_file_id, WAL_FILE};
+
+/// What one recovery pass did.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RecoveryStats {
+    /// Committed transactions whose effects were replayed.
+    pub recovered_txns: u64,
+    /// Page images written back into data files.
+    pub replayed_pages: u64,
+    /// Valid records scanned from the log (all kinds).
+    pub scanned_records: u64,
+    /// Bytes of torn/corrupt tail discarded.
+    pub torn_bytes: u64,
+    /// Highest LSN seen in the valid prefix (0 for an empty log).
+    pub max_lsn: u64,
+}
+
+/// Replay the log under `dir` into its data files. Missing log = fresh
+/// database = all-zero stats. Data files touched are synced before return.
+pub fn replay(dir: &Path, page_size: usize) -> Result<RecoveryStats> {
+    let mut stats = RecoveryStats::default();
+    let Ok(raw) = std::fs::read(dir.join(WAL_FILE)) else {
+        return Ok(stats);
+    };
+    let scan = scan_log(&raw);
+    stats.scanned_records = scan.records.len() as u64;
+    stats.torn_bytes = (raw.len() - scan.valid_len) as u64;
+    stats.max_lsn = scan.records.iter().map(|(lsn, _)| *lsn).max().unwrap_or(0);
+
+    let committed: HashSet<u64> = scan
+        .records
+        .iter()
+        .filter_map(|(_, r)| match r {
+            WalRecord::Commit { txn } => Some(*txn),
+            _ => None,
+        })
+        .collect();
+    let mut replayed_txns: HashSet<u64> = HashSet::new();
+
+    let mut disks: HashMap<String, Arc<DiskManager>> = HashMap::new();
+    for (_lsn, rec) in &scan.records {
+        let WalRecord::PageImage {
+            txn,
+            file,
+            page,
+            data,
+        } = rec
+        else {
+            continue;
+        };
+        if !committed.contains(txn) {
+            continue;
+        }
+        validate_file_id(file)?;
+        if data.len() != page_size {
+            return Err(JaguarError::Corruption(format!(
+                "wal image for {file} page {page} is {} bytes but the \
+                 configured page size is {page_size}",
+                data.len()
+            )));
+        }
+        let disk = match disks.get(file) {
+            Some(d) => Arc::clone(d),
+            None => {
+                let d = Arc::new(DiskManager::open(&dir.join(file), page_size)?);
+                disks.insert(file.clone(), Arc::clone(&d));
+                d
+            }
+        };
+        // The image may lie past the current end of a file whose extension
+        // never reached disk; re-extend first.
+        while disk.page_count() <= *page {
+            disk.allocate_page()?;
+        }
+        let mut buf = data.clone();
+        disk.write_page(PageId(*page), &mut buf)?;
+        stats.replayed_pages += 1;
+        replayed_txns.insert(*txn);
+    }
+    for disk in disks.values() {
+        disk.sync()?;
+    }
+    stats.recovered_txns = replayed_txns.len() as u64;
+    Ok(stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::encode_frame;
+    use std::io::Write;
+
+    fn tmpdir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("jaguar-rec-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn write_log(dir: &Path, records: &[(u64, WalRecord)]) {
+        let mut f = std::fs::File::create(dir.join(WAL_FILE)).unwrap();
+        for (lsn, rec) in records {
+            f.write_all(&encode_frame(*lsn, rec)).unwrap();
+        }
+    }
+
+    fn image(txn: u64, file: &str, page: u32, fill: u8, size: usize) -> WalRecord {
+        let mut data = vec![0u8; size];
+        data[64] = fill;
+        WalRecord::PageImage {
+            txn,
+            file: file.into(),
+            page,
+            data,
+        }
+    }
+
+    #[test]
+    fn missing_log_is_fresh() {
+        let dir = tmpdir("fresh");
+        let stats = replay(&dir, 256).unwrap();
+        assert_eq!(stats.scanned_records, 0);
+        assert_eq!(stats.max_lsn, 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn later_image_wins() {
+        let dir = tmpdir("order");
+        write_log(
+            &dir,
+            &[
+                (1, WalRecord::Begin { txn: 1 }),
+                (2, image(1, "t.jag", 0, 11, 256)),
+                (3, WalRecord::Commit { txn: 1 }),
+                (4, WalRecord::Begin { txn: 2 }),
+                (5, image(2, "t.jag", 0, 22, 256)),
+                (6, WalRecord::Commit { txn: 2 }),
+            ],
+        );
+        let stats = replay(&dir, 256).unwrap();
+        assert_eq!(stats.recovered_txns, 2);
+        assert_eq!(stats.replayed_pages, 2);
+        assert_eq!(stats.max_lsn, 6);
+        let dm = DiskManager::open(&dir.join("t.jag"), 256).unwrap();
+        let mut buf = vec![0u8; 256];
+        dm.read_page(PageId(0), &mut buf).unwrap();
+        assert_eq!(buf[64], 22);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn page_size_mismatch_is_corruption() {
+        let dir = tmpdir("size");
+        write_log(
+            &dir,
+            &[
+                (1, image(1, "t.jag", 0, 1, 128)),
+                (2, WalRecord::Commit { txn: 1 }),
+            ],
+        );
+        assert!(replay(&dir, 256).is_err());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn hostile_file_id_rejected() {
+        let dir = tmpdir("hostile");
+        write_log(
+            &dir,
+            &[
+                (1, image(1, "../escape.jag", 0, 1, 256)),
+                (2, WalRecord::Commit { txn: 1 }),
+            ],
+        );
+        assert!(replay(&dir, 256).is_err());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_tail_counted_and_ignored() {
+        let dir = tmpdir("torn");
+        write_log(
+            &dir,
+            &[
+                (1, WalRecord::Begin { txn: 1 }),
+                (2, image(1, "t.jag", 0, 5, 256)),
+                (3, WalRecord::Commit { txn: 1 }),
+            ],
+        );
+        // Append garbage simulating a torn write.
+        let mut f = std::fs::OpenOptions::new()
+            .append(true)
+            .open(dir.join(WAL_FILE))
+            .unwrap();
+        f.write_all(&[0xDE, 0xAD, 0xBE]).unwrap();
+        drop(f);
+        let stats = replay(&dir, 256).unwrap();
+        assert_eq!(stats.recovered_txns, 1);
+        assert_eq!(stats.torn_bytes, 3);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
