@@ -30,6 +30,12 @@ use std::collections::HashMap;
 pub use table::Table;
 pub use udfs::UdfCatalog;
 
+/// Magic word opening a versioned `catalog.manifest` ("JGMF"). The
+/// pre-versioning manifest began directly with the table count — a small
+/// integer that can never collide with this value, so legacy directories
+/// are detected instead of misparsed.
+const MANIFEST_MAGIC: u32 = 0x4A47_4D46;
+
 /// Where table heap files live.
 enum Storage {
     /// Each table gets an in-memory disk manager (tests, benches — the
@@ -73,6 +79,9 @@ impl Catalog {
     pub fn on_disk(dir: impl Into<PathBuf>, config: Config) -> Result<Catalog> {
         let dir = dir.into();
         std::fs::create_dir_all(&dir)?;
+        // Refuse incompatible layouts before WAL replay runs, so recovery
+        // never writes current-format pages into old-format data files.
+        Self::check_format(&dir)?;
         let (wal, _stats) = Wal::open(&dir, &config)?;
         let cat = Catalog {
             config,
@@ -90,6 +99,36 @@ impl Catalog {
         dir.join("catalog.manifest")
     }
 
+    /// Validate the manifest's format header. A missing manifest (fresh
+    /// directory) passes; a manifest without the magic word (written before
+    /// the layout was versioned, i.e. under the 12-byte page header) or
+    /// with a different version is a clean incompatibility error rather
+    /// than 8-bytes-shifted reads of every slotted page.
+    fn check_format(dir: &std::path::Path) -> Result<()> {
+        use jaguar_common::stream::read_u32;
+        let Ok(raw) = std::fs::read(Self::manifest_path(dir)) else {
+            return Ok(());
+        };
+        let mut r = raw.as_slice();
+        if read_u32(&mut r)? != MANIFEST_MAGIC {
+            return Err(JaguarError::Corruption(
+                "database directory uses an unversioned (pre-v2) on-disk \
+                 layout, which this build cannot open; recreate the \
+                 database or export/import its data"
+                    .into(),
+            ));
+        }
+        let version = read_u32(&mut r)?;
+        if version != jaguar_storage::ON_DISK_FORMAT_VERSION {
+            return Err(JaguarError::Corruption(format!(
+                "database on-disk format v{version} is not supported by \
+                 this build (expected v{})",
+                jaguar_storage::ON_DISK_FORMAT_VERSION
+            )));
+        }
+        Ok(())
+    }
+
     /// Rewrite the manifest to match the current table set.
     fn persist_manifest(&self) -> Result<()> {
         let Storage::Directory(dir) = &self.storage else {
@@ -98,6 +137,8 @@ impl Catalog {
         use jaguar_common::stream::{write_schema, write_str, write_u32};
         let tables = self.tables.read();
         let mut buf = Vec::new();
+        write_u32(&mut buf, MANIFEST_MAGIC)?;
+        write_u32(&mut buf, jaguar_storage::ON_DISK_FORMAT_VERSION)?;
         write_u32(&mut buf, tables.len() as u32)?;
         // Sorted for deterministic files.
         let mut entries: Vec<_> = tables.values().collect();
@@ -120,6 +161,9 @@ impl Catalog {
             return Ok(()); // fresh directory
         };
         let mut r = raw.as_slice();
+        // Format header already validated by check_format() in on_disk().
+        let _magic = read_u32(&mut r)?;
+        let _version = read_u32(&mut r)?;
         let n = read_u32(&mut r)?;
         let mut tables = self.tables.write();
         for _ in 0..n {
@@ -353,6 +397,53 @@ mod tests {
         t.insert(Tuple::new(vec![Value::Int(99), Value::Null]))
             .unwrap();
         assert_eq!(t.row_count(), 26);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn unversioned_layout_rejected_cleanly() {
+        let dir = std::env::temp_dir().join(format!("jaguar-legacy-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        // A pre-versioning manifest began with the table count (here: 0).
+        std::fs::write(dir.join("catalog.manifest"), 0u32.to_le_bytes()).unwrap();
+        let err = Catalog::on_disk(&dir, Config::default()).err().unwrap();
+        assert!(err.to_string().contains("unversioned"), "{err}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn foreign_format_version_rejected_cleanly() {
+        let dir = std::env::temp_dir().join(format!("jaguar-futurefmt-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let mut manifest = Vec::new();
+        manifest.extend_from_slice(&MANIFEST_MAGIC.to_le_bytes());
+        manifest.extend_from_slice(&99u32.to_le_bytes());
+        manifest.extend_from_slice(&0u32.to_le_bytes());
+        std::fs::write(dir.join("catalog.manifest"), manifest).unwrap();
+        let err = Catalog::on_disk(&dir, Config::default()).err().unwrap();
+        assert!(err.to_string().contains("format v99"), "{err}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn manifest_carries_format_version() {
+        let dir = std::env::temp_dir().join(format!("jaguar-fmtver-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        {
+            let cat = Catalog::on_disk(&dir, Config::default()).unwrap();
+            cat.create_table("v", schema()).unwrap();
+        }
+        let raw = std::fs::read(dir.join("catalog.manifest")).unwrap();
+        assert_eq!(&raw[0..4], &MANIFEST_MAGIC.to_le_bytes());
+        assert_eq!(
+            &raw[4..8],
+            &jaguar_storage::ON_DISK_FORMAT_VERSION.to_le_bytes()
+        );
+        // And a versioned directory reopens fine.
+        let cat = Catalog::on_disk(&dir, Config::default()).unwrap();
+        assert_eq!(cat.table_names(), vec!["v".to_string()]);
         let _ = std::fs::remove_dir_all(&dir);
     }
 

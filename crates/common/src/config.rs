@@ -13,9 +13,11 @@ pub enum SyncMode {
     /// Only sensible for bulk loads and throwaway data.
     Off,
     /// Write-ahead log records are written (and the OS buffers them) at
-    /// commit, but fsync happens only at checkpoints. Safe against process
-    /// crashes; a power cut may lose the most recent commits but never
-    /// corrupts the database.
+    /// commit; fsync happens at checkpoints and — via the WAL-before-data
+    /// barrier — before any dirty page is written back to a data file.
+    /// Safe against process crashes; a power cut may lose the most recent
+    /// commits, but replaying the surviving log restores a consistent
+    /// database.
     Normal,
     /// fsync the log on every commit (group commit batches concurrent
     /// committers into one fsync). Full durability: an acknowledged commit

@@ -150,7 +150,10 @@ impl Engine {
                 column,
             } => {
                 let t = self.catalog.table(&table)?;
-                t.create_index(&name, &column)?;
+                if let Err(e) = t.create_index(&name, &column) {
+                    // A failed backfill may have mutated B+Tree pages.
+                    return Err(seal_partial_effects(&t, e));
+                }
                 // Index pages share the table's pool: commit them so they
                 // are evictable (no-steal) and survive a crash.
                 t.commit_durable()?;
@@ -164,13 +167,19 @@ impl Engine {
             Statement::Insert { table, rows } => {
                 let t = self.catalog.table(&table)?;
                 let mut inserted = 0;
-                for row in rows {
-                    let mut values = Vec::with_capacity(row.len());
-                    for e in row {
-                        values.push(literal_value(&e)?);
+                let res = (|| -> Result<()> {
+                    for row in rows {
+                        let mut values = Vec::with_capacity(row.len());
+                        for e in row {
+                            values.push(literal_value(&e)?);
+                        }
+                        t.insert(Tuple::new(values))?;
+                        inserted += 1;
                     }
-                    t.insert(Tuple::new(values))?;
-                    inserted += 1;
+                    Ok(())
+                })();
+                if let Err(e) = res {
+                    return Err(seal_partial_effects(&t, e));
                 }
                 // Statement-level transaction: all rows of this INSERT
                 // become durable together (or not at all after a crash).
@@ -195,8 +204,8 @@ impl Engine {
                         victims.push(rid);
                     }
                 }
-                for rid in &victims {
-                    dml.table.delete(*rid)?;
+                if let Err(e) = victims.iter().try_for_each(|rid| dml.table.delete(*rid)) {
+                    return Err(seal_partial_effects(&dml.table, e));
                 }
                 dml.table.commit_durable()?;
                 self.catalog.maybe_checkpoint()?;
@@ -232,9 +241,15 @@ impl Engine {
                     }
                 }
                 let affected = updates.len() as u64;
-                for (rid, new_tuple) in updates {
-                    dml.table.delete(rid)?;
-                    dml.table.insert(new_tuple)?;
+                let res = (|| -> Result<()> {
+                    for (rid, new_tuple) in updates {
+                        dml.table.delete(rid)?;
+                        dml.table.insert(new_tuple)?;
+                    }
+                    Ok(())
+                })();
+                if let Err(e) = res {
+                    return Err(seal_partial_effects(&dml.table, e));
                 }
                 dml.table.commit_durable()?;
                 self.catalog.maybe_checkpoint()?;
@@ -373,6 +388,24 @@ impl CallbackHandler for EngineCallbacks<'_> {
             })?;
         f(args)
     }
+}
+
+/// Seal a failed DML statement's partial effects. Jaguar has no rollback:
+/// rows mutated before the failure are already visible in memory, so their
+/// pages are committed to the write-ahead log here as the failed
+/// statement's *own* transaction, instead of lingering unlogged and riding
+/// along — mislabelled — inside whatever unrelated statement commits next.
+/// Returns the original statement error; a failure of the seal commit
+/// itself is only logged (the pages then stay under no-steal protection).
+fn seal_partial_effects(table: &jaguar_catalog::Table, err: JaguarError) -> JaguarError {
+    if let Err(seal_err) = table.commit_durable() {
+        obs::warn!(
+            target: "jaguar-sql",
+            "failed to seal partial effects of failed statement on '{}': {seal_err}",
+            table.name()
+        );
+    }
+    err
 }
 
 /// Evaluate cost-ordered predicates with short-circuit AND.

@@ -21,13 +21,16 @@
 //! - **No-steal.** Every mutation through [`PageHandle::write`] records the
 //!   page in an *unlogged* set; unlogged dirty pages are never evicted or
 //!   flushed, so uncommitted data cannot reach a data file. The commit path
-//!   drains the set ([`BufferPool::drain_unlogged`]), logs the images, and
-//!   stamps LSNs through [`PageHandle::write_nolog`].
+//!   snapshots the set ([`BufferPool::snapshot_unlogged`]), logs the images
+//!   (stamping LSNs through [`PageHandle::write_nolog`]), and retires the
+//!   snapshot only once the commit is durable
+//!   ([`BufferPool::commit_unlogged`]) — pages keep their no-steal
+//!   protection for the whole commit window.
 //! - **WAL-before-data.** Before a (logged) dirty page is written back, the
 //!   hook is invoked with the page's on-page LSN so the log can be made
 //!   durable at least that far first.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -84,9 +87,10 @@ pub struct BufferPool {
     wal_hook: Mutex<Option<Arc<dyn WalHook>>>,
     /// Fast gate checked on every `PageHandle::write`.
     track_unlogged: AtomicBool,
-    /// Dirty pages whose latest mutation has not been logged yet. These are
+    /// Dirty pages whose latest mutation has not been logged yet, each with
+    /// a generation counter bumped on every tracked write. These are
     /// pinned-in-spirit: never evicted, never flushed (no-steal).
-    unlogged: Mutex<HashSet<PageId>>,
+    unlogged: Mutex<HashMap<PageId, u64>>,
 }
 
 impl BufferPool {
@@ -106,7 +110,7 @@ impl BufferPool {
             writebacks: AtomicU64::new(0),
             wal_hook: Mutex::new(None),
             track_unlogged: AtomicBool::new(false),
-            unlogged: Mutex::new(HashSet::new()),
+            unlogged: Mutex::new(HashMap::new()),
         }
     }
 
@@ -117,26 +121,35 @@ impl BufferPool {
         self.track_unlogged.store(true, Ordering::Release);
     }
 
-    /// Take ownership of the current unlogged-page set (sorted, for
-    /// deterministic log contents). The commit path calls this, logs each
-    /// page, and must either commit them or put them back with
-    /// [`BufferPool::mark_unlogged`].
-    pub fn drain_unlogged(&self) -> Vec<PageId> {
-        let mut set = self.unlogged.lock();
-        let mut pages: Vec<PageId> = set.drain().collect();
-        pages.sort_by_key(|p| p.0);
+    /// Snapshot the current unlogged-page set (sorted, for deterministic
+    /// log contents) together with each page's mutation generation. The
+    /// pages *stay* in the set — and therefore keep their no-steal
+    /// protection against eviction and flushing — until the commit path,
+    /// after making the transaction durable, retires exactly this snapshot
+    /// with [`BufferPool::commit_unlogged`].
+    pub fn snapshot_unlogged(&self) -> Vec<(PageId, u64)> {
+        let set = self.unlogged.lock();
+        let mut pages: Vec<(PageId, u64)> = set.iter().map(|(p, g)| (*p, *g)).collect();
+        pages.sort_by_key(|(p, _)| p.0);
         pages
     }
 
-    /// Return pages to the unlogged set (commit-failure path).
-    pub fn mark_unlogged(&self, pages: &[PageId]) {
+    /// Retire a durably committed snapshot: each page leaves the unlogged
+    /// set only if its generation is unchanged, i.e. no new mutation raced
+    /// with the commit. A page mutated after its image was logged keeps its
+    /// protection and is logged again by the next commit.
+    pub fn commit_unlogged(&self, pages: &[(PageId, u64)]) {
         let mut set = self.unlogged.lock();
-        set.extend(pages.iter().copied());
+        for (page, gen) in pages {
+            if set.get(page) == Some(gen) {
+                set.remove(page);
+            }
+        }
     }
 
     fn note_write(&self, page: PageId) {
         if self.track_unlogged.load(Ordering::Acquire) {
-            self.unlogged.lock().insert(page);
+            *self.unlogged.lock().entry(page).or_insert(0) += 1;
         }
     }
 
@@ -240,7 +253,9 @@ impl BufferPool {
             .frames
             .iter()
             .enumerate()
-            .filter(|(_, f)| f.pins == 0 && unlogged.as_ref().is_none_or(|u| !u.contains(&f.page)))
+            .filter(|(_, f)| {
+                f.pins == 0 && unlogged.as_ref().is_none_or(|u| !u.contains_key(&f.page))
+            })
             .min_by_key(|(_, f)| f.last_used)
             .map(|(i, _)| i)
             .ok_or_else(|| {
@@ -287,7 +302,7 @@ impl BufferPool {
         let inner = self.inner.lock();
         let tracking = self.track_unlogged.load(Ordering::Acquire);
         for f in &inner.frames {
-            if tracking && self.unlogged.lock().contains(&f.page) {
+            if tracking && self.unlogged.lock().contains_key(&f.page) {
                 continue;
             }
             if f.dirty.load(Ordering::Relaxed) {
@@ -332,9 +347,9 @@ impl PageHandle {
 
     /// Exclusive write access that marks the page dirty but does *not*
     /// track it as unlogged. Reserved for the WAL commit path, which uses
-    /// it to stamp the page LSN on pages it has just drained from the
-    /// unlogged set (a tracked write here would re-mark them forever
-    /// unevictable).
+    /// it to stamp the page LSN on pages whose images it is logging (a
+    /// tracked write here would bump the page's generation and keep it in
+    /// the unlogged set forever).
     pub fn write_nolog(&self) -> RwLockWriteGuard<'_, Vec<u8>> {
         self.dirty.store(true, Ordering::Relaxed);
         self.data.write()
@@ -473,13 +488,14 @@ mod tests {
         };
         assert!(err.to_string().contains("unlogged"), "{err}");
 
-        // "Commit": drain, stamp, and now eviction/flush work again.
-        let pages = p.drain_unlogged();
+        // "Commit": snapshot, stamp, retire — now eviction/flush work again.
+        let pages = p.snapshot_unlogged();
         assert_eq!(pages.len(), 2);
         {
             let h = p.fetch(id).unwrap();
             crate::page::set_page_lsn(&mut h.write_nolog(), 41);
         }
+        p.commit_unlogged(&pages);
         p.flush_all().unwrap();
         disk.read_page(id, &mut raw).unwrap();
         assert_eq!(raw[100], 9);
@@ -488,7 +504,7 @@ mod tests {
     }
 
     #[test]
-    fn drain_is_sorted_and_mark_restores() {
+    fn snapshot_is_sorted_and_commit_retires() {
         let p = pool(8);
         p.set_wal_hook(Arc::new(RecordingHook {
             calls: Mutex::new(Vec::new()),
@@ -499,11 +515,35 @@ mod tests {
             h.write()[9] = 9;
             ids.push(h.id());
         }
-        let drained = p.drain_unlogged();
-        assert_eq!(drained, ids, "sorted by page id");
-        assert!(p.drain_unlogged().is_empty());
-        p.mark_unlogged(&drained);
-        assert_eq!(p.drain_unlogged().len(), 4);
+        let snap = p.snapshot_unlogged();
+        let snap_ids: Vec<PageId> = snap.iter().map(|(p, _)| *p).collect();
+        assert_eq!(snap_ids, ids, "sorted by page id");
+        // Snapshotting does not remove: pages stay protected.
+        assert_eq!(p.snapshot_unlogged().len(), 4);
+        p.commit_unlogged(&snap);
+        assert!(p.snapshot_unlogged().is_empty());
+    }
+
+    #[test]
+    fn commit_skips_pages_mutated_during_the_commit_window() {
+        let p = pool(8);
+        p.set_wal_hook(Arc::new(RecordingHook {
+            calls: Mutex::new(Vec::new()),
+        }));
+        let h = p.allocate().unwrap();
+        h.write()[9] = 1;
+        let snap = p.snapshot_unlogged();
+        assert_eq!(snap.len(), 1);
+        // A write racing with the commit (after the image was snapshotted,
+        // before the commit became durable) bumps the generation…
+        h.write()[9] = 2;
+        p.commit_unlogged(&snap);
+        // …so the page must keep its no-steal protection for the next
+        // commit instead of being retired with the stale snapshot.
+        let again = p.snapshot_unlogged();
+        assert_eq!(again.len(), 1, "re-mutated page must stay unlogged");
+        p.commit_unlogged(&again);
+        assert!(p.snapshot_unlogged().is_empty());
     }
 
     #[test]

@@ -33,3 +33,4 @@ pub use btree::BTree;
 pub use buffer::{BufferPool, PageHandle, WalHook};
 pub use disk::DiskManager;
 pub use heap::HeapFile;
+pub use page::ON_DISK_FORMAT_VERSION;

@@ -26,6 +26,14 @@
 use jaguar_common::error::{JaguarError, Result};
 use jaguar_common::ids::PageId;
 
+/// Version of the on-disk layout (common page header, heap-file layout,
+/// catalog manifest). Bumped on every incompatible change — v2 grew the
+/// common page header from 12 to 20 bytes to carry the page LSN. The
+/// catalog stamps this into `catalog.manifest` and refuses to open a
+/// database directory written under any other version, so an old file is a
+/// clean "incompatible format" error instead of silently shifted reads.
+pub const ON_DISK_FORMAT_VERSION: u32 = 2;
+
 /// Size of the common header present on every page.
 pub const COMMON_HEADER: usize = 20;
 /// Offset of the page LSN within the common header.

@@ -12,9 +12,13 @@
 //!   page whose latest mutation has not been logged (see
 //!   [`jaguar_storage::WalHook`] and the unlogged-page tracking in
 //!   `BufferPool`), so uncommitted data never reaches a data file and an
-//!   undo pass is unnecessary.
+//!   undo pass is unnecessary. Pages keep that protection for the whole
+//!   commit window: the commit path snapshots the unlogged set and retires
+//!   it only after the `Commit` record is durable, so a concurrent query
+//!   can never evict a mid-commit page.
 //! - **WAL-before-data.** Before any dirty page is written back, the hook
-//!   makes the log durable up to that page's LSN ([`Wal::ensure_durable`]).
+//!   makes the log durable up to that page's LSN ([`Wal::barrier_durable`]);
+//!   the barrier syncs in every mode except [`SyncMode::Off`].
 //! - **Group commit.** Under [`SyncMode::Full`] concurrent committers share
 //!   one `fdatasync`: the first becomes the leader and syncs, the rest wait
 //!   on a condvar and are released together.
@@ -188,13 +192,17 @@ impl Wal {
     /// transaction attributed to data file `file`. Returns the commit LSN,
     /// or `None` when there was nothing to commit.
     ///
-    /// This is the WAL half of a statement commit: drain the pool's
+    /// This is the WAL half of a statement commit: snapshot the pool's
     /// unlogged set, stamp each page with its record's LSN, append the
-    /// images between `Begin`/`Commit` markers, then make the commit
-    /// durable per the configured [`SyncMode`].
+    /// images between `Begin`/`Commit` markers, make the commit durable
+    /// per the configured [`SyncMode`], and only then retire the snapshot.
+    /// The pages stay in the unlogged set — and therefore keep their
+    /// no-steal protection — for the whole commit window, so a concurrent
+    /// query can never evict one of them to a data file before the commit
+    /// record is on stable storage.
     pub fn commit_table(&self, file: &str, pool: &Arc<BufferPool>) -> Result<Option<u64>> {
         let _gate = self.txn_gate.read();
-        let pages = pool.drain_unlogged();
+        let pages = pool.snapshot_unlogged();
         if pages.is_empty() {
             return Ok(None);
         }
@@ -204,7 +212,7 @@ impl Wal {
             let txn = self.next_txn.fetch_add(1, Ordering::Relaxed) + 1;
             self.append_with(|_| Ok(WalRecord::Begin { txn }))?;
             fault::crash_point("wal.after_begin");
-            for (i, pid) in pages.iter().enumerate() {
+            for (i, (pid, _gen)) in pages.iter().enumerate() {
                 let handle = pool.fetch(*pid)?;
                 let file = file.to_string();
                 self.append_with(|lsn| {
@@ -231,24 +239,48 @@ impl Wal {
         })();
         drop(span);
         match result {
-            Ok(lsn) => Ok(Some(lsn)),
-            Err(e) => {
-                // The pages never made it into the log as a committed txn;
-                // put them back under no-steal protection so the pool
-                // cannot leak them to disk.
-                pool.mark_unlogged(&pages);
-                Err(e)
+            Ok(lsn) => {
+                // With the commit durable, the pages may give up their
+                // no-steal protection. A page mutated since its image was
+                // logged keeps it (its generation moved on) and is logged
+                // again by the next commit.
+                pool.commit_unlogged(&pages);
+                Ok(Some(lsn))
             }
+            // The pages never left the unlogged set, so their no-steal
+            // protection is intact; nothing to restore.
+            Err(e) => Err(e),
         }
     }
 
     /// Block until the log is durable at least up to `lsn` (group commit:
     /// one leader syncs for every waiter that arrived meanwhile). A no-op
-    /// unless [`SyncMode::Full`] is configured.
+    /// unless [`SyncMode::Full`] is configured — commits under `Normal`
+    /// are left to the OS, to checkpoints, and to the write-back barrier.
     pub fn ensure_durable(&self, lsn: u64) -> Result<()> {
         if self.sync_mode != SyncMode::Full {
             return Ok(());
         }
+        self.sync_to(lsn)
+    }
+
+    /// The WAL-before-data barrier: block until the log is durable at
+    /// least up to `lsn` before a page stamped with that LSN may be
+    /// written to its data file. Unlike the commit-path
+    /// [`Wal::ensure_durable`], this syncs under [`SyncMode::Normal`] too —
+    /// otherwise an evicted page could reach the data file while its log
+    /// records still sit in OS buffers, and a power cut would persist
+    /// effects that redo-only recovery cannot undo. Only the explicitly
+    /// unsafe [`SyncMode::Off`] skips it.
+    pub fn barrier_durable(&self, lsn: u64) -> Result<()> {
+        if self.sync_mode == SyncMode::Off {
+            return Ok(());
+        }
+        self.sync_to(lsn)
+    }
+
+    /// Group-commit sync loop shared by the commit path and the barrier.
+    fn sync_to(&self, lsn: u64) -> Result<()> {
         let mut st = self.sync_state.lock();
         while st.durable_lsn < lsn {
             if st.syncing {
@@ -321,7 +353,7 @@ struct PoolHook(Arc<Wal>);
 
 impl WalHook for PoolHook {
     fn before_page_write(&self, page_lsn: u64) -> Result<()> {
-        self.0.ensure_durable(page_lsn)
+        self.0.barrier_durable(page_lsn)
     }
 }
 
@@ -502,6 +534,46 @@ mod tests {
         drop(wal);
         let (_wal, stats) = Wal::open(&dir, &cfg()).unwrap();
         assert_eq!(stats.recovered_txns, 40);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn barrier_syncs_in_normal_mode() {
+        let dir = tmpdir("barrier");
+        let mut config = cfg();
+        config.sync_mode = SyncMode::Normal;
+        let (wal, _) = Wal::open(&dir, &config).unwrap();
+        let disk = Arc::new(DiskManager::open(&dir.join("t.jag"), 256).unwrap());
+        let pool = Arc::new(BufferPool::new(disk, 8));
+        wal.attach(&pool);
+        let h = pool.allocate().unwrap();
+        h.write()[10] = 3;
+        drop(h);
+        let lsn = wal.commit_table("t.jag", &pool).unwrap().unwrap();
+        // Normal mode: the commit itself does not fsync…
+        assert!(wal.durable_lsn() < lsn, "commit must not sync in Normal");
+        // …but the write-back barrier must, or an evicted page could hit
+        // the data file ahead of its (still OS-buffered) log records.
+        wal.barrier_durable(lsn).unwrap();
+        assert!(wal.durable_lsn() >= lsn, "barrier must sync in Normal");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn commit_failure_keeps_no_steal_protection() {
+        let dir = tmpdir("failkeep");
+        let (wal, _) = Wal::open(&dir, &cfg()).unwrap();
+        let disk = Arc::new(DiskManager::open(&dir.join("t.jag"), 256).unwrap());
+        let pool = Arc::new(BufferPool::new(disk, 8));
+        wal.attach(&pool);
+        let h = pool.allocate().unwrap();
+        h.write()[10] = 1;
+        drop(h);
+        // Snapshot-based commit leaves the set intact until durability;
+        // a successful commit retires it.
+        assert_eq!(pool.snapshot_unlogged().len(), 1);
+        wal.commit_table("t.jag", &pool).unwrap().unwrap();
+        assert!(pool.snapshot_unlogged().is_empty());
         let _ = std::fs::remove_dir_all(&dir);
     }
 

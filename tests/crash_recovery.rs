@@ -191,6 +191,34 @@ fn clean_close_needs_no_recovery() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+/// A statement that fails mid-way (second INSERT row has the wrong type)
+/// has no rollback: its partial effects are visible — and must be sealed
+/// as that statement's *own* WAL transaction at failure time, not left
+/// unlogged to ride inside the next statement's commit. With the seal, the
+/// partial row survives a crash that happens before any later statement.
+#[test]
+fn failed_statement_partial_effects_are_sealed() {
+    let dir = harness_dir("partial");
+    {
+        let db = Database::open(&dir, config()).unwrap();
+        db.execute("CREATE TABLE t (a INT)").unwrap();
+        let err = db.execute("INSERT INTO t VALUES (1), ('oops')").unwrap_err();
+        assert!(err.to_string().contains("expects INT"), "{err}");
+        // No rollback: the first row is visible…
+        assert_eq!(rows(&db), vec![1]);
+        // …and the crash (no checkpoint, no clean close) happens here.
+        std::mem::forget(db);
+    }
+    let db = Database::open(&dir, config()).unwrap();
+    assert_eq!(
+        rows(&db),
+        vec![1],
+        "partial effects must be durable at failure time, not deferred"
+    );
+    drop(db);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 /// `wal.*` metrics are visible through the public facade.
 #[test]
 fn wal_metrics_are_exposed() {
