@@ -973,6 +973,118 @@ impl ExperimentCtx {
         Ok(table)
     }
 
+    /// Cancel-to-abort latency (not in the paper — the query lifecycle
+    /// layer). A canceller thread trips the statement's cancel token
+    /// mid-scan and we measure how long the executor takes to notice and
+    /// return `Cancelled`, per backend: a native UDF scan (per-tuple
+    /// cooperative check) and a VM UDF scan (instruction-budget poll).
+    /// Also writes machine-readable `BENCH_cancel.json`.
+    pub fn cancel(&self) -> Result<Table> {
+        use jaguar_common::cancel::CancelToken;
+        use jaguar_core::{DataType, UdfSignature};
+
+        let iters = match self.scale {
+            Scale::Paper => 60usize,
+            Scale::Quick => 12,
+        };
+        let mut table = Table::new(
+            "Cancel-to-abort latency by backend (extension)",
+            &["backend", "iters", "p50", "p99", "mean"],
+        );
+
+        let run_backend = |db: &Database, sql: &str| -> Result<Vec<u64>> {
+            let mut lat_us = Vec::with_capacity(iters);
+            while lat_us.len() < iters {
+                let token = CancelToken::unbounded();
+                let t2 = token.clone();
+                let canceller = std::thread::spawn(move || {
+                    std::thread::sleep(Duration::from_millis(20));
+                    let at = Instant::now();
+                    t2.cancel();
+                    at
+                });
+                let out = db.execute_cancellable(sql, &token);
+                let returned = Instant::now();
+                let cancelled_at = canceller.join().expect("canceller thread");
+                // Anything else means the statement finished before the
+                // cancel landed (or failed some other way): not a sample.
+                if let Err(JaguarError::Cancelled(_)) = out {
+                    lat_us.push(returned.duration_since(cancelled_at).as_micros() as u64);
+                }
+            }
+            Ok(lat_us)
+        };
+
+        let mut json_rows = Vec::new();
+        let mut report = |label: &str, mut lat_us: Vec<u64>| {
+            lat_us.sort_unstable();
+            let q = |p: f64| -> u64 {
+                let rank = ((p * lat_us.len() as f64).ceil() as usize).clamp(1, lat_us.len());
+                lat_us[rank - 1]
+            };
+            let mean = lat_us.iter().sum::<u64>() / lat_us.len() as u64;
+            table.row(vec![
+                label.to_string(),
+                lat_us.len().to_string(),
+                format!("{}us", q(0.50)),
+                format!("{}us", q(0.99)),
+                format!("{mean}us"),
+            ]);
+            json_rows.push(format!(
+                "    {{\"backend\": \"{label}\", \"iters\": {}, \"p50_us\": {}, \
+                 \"p99_us\": {}, \"mean_us\": {mean}}}",
+                lat_us.len(),
+                q(0.50),
+                q(0.99),
+            ));
+        };
+
+        // Backend 1: native UDF scan. Each tuple costs ~2ms, so the
+        // per-tuple cooperative check bounds cancel latency at roughly one
+        // tuple.
+        let db = Database::in_memory();
+        db.execute("CREATE TABLE c (a INT)")?;
+        let vals: Vec<String> = (0..2_000).map(|i| format!("({i})")).collect();
+        db.execute(&format!("INSERT INTO c VALUES {}", vals.join(", ")))?;
+        db.register_native_udf(
+            "bench_nap",
+            UdfSignature::new(vec![DataType::Int], DataType::Int),
+            |args, _cb| {
+                std::thread::sleep(Duration::from_millis(2));
+                Ok(args[0].clone())
+            },
+        );
+        report(
+            "native scan (2ms/tuple)",
+            run_backend(&db, "SELECT bench_nap(a) FROM c")?,
+        );
+
+        // Backend 2: in-process VM scan. Each tuple burns ~1.5M
+        // interpreted instructions, so cancel latency is bounded by the
+        // interpreter's instruction-budget poll.
+        db.register_jagscript_udf(
+            "bench_spin",
+            UdfSignature::new(vec![DataType::Int], DataType::Int),
+            "fn main(x: i64) -> i64 { let i: i64 = 0; \
+             while i < 500000 { i = i + 1; } return x; }",
+            jaguar_core::UdfDesign::Sandboxed,
+        )?;
+        report(
+            "vm scan (~1.5M insns/tuple)",
+            run_backend(&db, "SELECT bench_spin(a) FROM c")?,
+        );
+
+        table.note("latency = token.cancel() to execute_cancellable returning Cancelled");
+        let json = format!(
+            "{{\n  \"experiment\": \"cancel_to_abort\",\n  \
+             \"iters_per_backend\": {iters},\n  \"backends\": [\n{}\n  ]\n}}\n",
+            json_rows.join(",\n")
+        );
+        std::fs::write("BENCH_cancel.json", json)?;
+        table.note("machine-readable copy written to BENCH_cancel.json");
+        Ok(table)
+    }
+
     /// Every experiment, in paper order.
     pub fn all(&self) -> Result<Vec<Table>> {
         Ok(vec![
@@ -989,6 +1101,7 @@ impl ExperimentCtx {
             self.pool()?,
             self.shipping()?,
             self.wal()?,
+            self.cancel()?,
         ])
     }
 
@@ -1008,8 +1121,9 @@ impl ExperimentCtx {
             "pool" => self.pool(),
             "shipping" => self.shipping(),
             "wal" => self.wal(),
+            "cancel" => self.cancel(),
             other => Err(JaguarError::Other(format!(
-                "unknown experiment '{other}' (try table1, fig4..fig8, sfi, jit, fuel, index, pool, shipping, wal)"
+                "unknown experiment '{other}' (try table1, fig4..fig8, sfi, jit, fuel, index, pool, shipping, wal, cancel)"
             ))),
         }
     }

@@ -59,14 +59,23 @@ pub struct Catalog {
 impl Catalog {
     /// A catalog whose tables live in memory.
     pub fn in_memory(config: Config) -> Catalog {
+        let udfs = Self::udf_catalog_for(&config);
         Catalog {
             config,
             storage: Storage::Memory,
             next_table_id: AtomicU32::new(1),
             tables: RwLock::new(HashMap::new()),
-            udfs: UdfCatalog::new(),
+            udfs,
             wal: None,
         }
+    }
+
+    /// UDF registry honouring the config's circuit-breaker policy.
+    fn udf_catalog_for(config: &Config) -> UdfCatalog {
+        UdfCatalog::with_breaker_policy(
+            config.udf_breaker_threshold,
+            std::time::Duration::from_millis(config.udf_breaker_cooldown_ms),
+        )
     }
 
     /// A catalog whose tables are files under `dir` (created if absent).
@@ -83,12 +92,13 @@ impl Catalog {
         // never writes current-format pages into old-format data files.
         Self::check_format(&dir)?;
         let (wal, _stats) = Wal::open(&dir, &config)?;
+        let udfs = Self::udf_catalog_for(&config);
         let cat = Catalog {
             config,
             storage: Storage::Directory(dir.clone()),
             next_table_id: AtomicU32::new(1),
             tables: RwLock::new(HashMap::new()),
-            udfs: UdfCatalog::new(),
+            udfs,
             wal: Some(wal),
         };
         cat.recover(&dir)?;

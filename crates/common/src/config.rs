@@ -58,6 +58,26 @@ pub struct Config {
     /// Bound on queued pool checkouts; beyond this, checkouts fail fast
     /// (backpressure instead of an unbounded queue).
     pub pool_max_waiters: usize,
+    /// Statement deadline in milliseconds: a query still running past
+    /// this budget is cooperatively aborted (Volcano operators, the VM
+    /// interpreter, and pooled worker invokes all check). `None` (the
+    /// default) disables the deadline.
+    pub statement_timeout_ms: Option<u64>,
+    /// Consecutive crash/timeout failures before a UDF's circuit breaker
+    /// opens (subsequent queries fail fast with `UdfQuarantined` instead
+    /// of burning a worker respawn per tuple). `0` disables breakers.
+    pub udf_breaker_threshold: u32,
+    /// How long an open breaker waits before letting one half-open probe
+    /// invocation through; a success closes the breaker, a failure
+    /// re-opens it for another cooldown.
+    pub udf_breaker_cooldown_ms: u64,
+    /// Client-side connect timeout in milliseconds for `net::Client`.
+    pub client_connect_timeout_ms: u64,
+    /// Client-side read timeout in milliseconds (how long to wait for a
+    /// server response before giving up). `None` = block forever.
+    pub client_read_timeout_ms: Option<u64>,
+    /// Client-side write timeout in milliseconds. `None` = block forever.
+    pub client_write_timeout_ms: Option<u64>,
     /// Queries slower than this many milliseconds are logged at WARN by
     /// the server's slow-query log. `None` disables the log.
     pub slow_query_ms: Option<u64>,
@@ -88,6 +108,12 @@ impl Default for Config {
             pool_invoke_timeout_ms: Some(30_000),
             pool_checkout_timeout_ms: 5_000,
             pool_max_waiters: 64,
+            statement_timeout_ms: None,
+            udf_breaker_threshold: 3,
+            udf_breaker_cooldown_ms: 10_000,
+            client_connect_timeout_ms: 5_000,
+            client_read_timeout_ms: Some(30_000),
+            client_write_timeout_ms: Some(10_000),
             slow_query_ms: Some(500),
             max_connections: 64,
             sync_mode: SyncMode::Full,
@@ -147,6 +173,34 @@ impl Config {
 
     pub fn with_pool_max_waiters(mut self, n: usize) -> Self {
         self.pool_max_waiters = n;
+        self
+    }
+
+    /// Statement deadline (`None` disables it).
+    pub fn with_statement_timeout_ms(mut self, ms: Option<u64>) -> Self {
+        self.statement_timeout_ms = ms;
+        self
+    }
+
+    /// Consecutive-failure threshold for per-UDF circuit breakers
+    /// (`0` disables breakers) and the open→half-open cooldown.
+    pub fn with_udf_breaker(mut self, threshold: u32, cooldown_ms: u64) -> Self {
+        self.udf_breaker_threshold = threshold;
+        self.udf_breaker_cooldown_ms = cooldown_ms;
+        self
+    }
+
+    /// Client socket timeouts: connect, read (`None` = forever), write
+    /// (`None` = forever).
+    pub fn with_client_timeouts_ms(
+        mut self,
+        connect: u64,
+        read: Option<u64>,
+        write: Option<u64>,
+    ) -> Self {
+        self.client_connect_timeout_ms = connect;
+        self.client_read_timeout_ms = read;
+        self.client_write_timeout_ms = write;
         self
     }
 
@@ -222,6 +276,26 @@ mod tests {
         assert_eq!(c.pool_max_waiters, 8);
         // Defaults keep the paper's per-query executor model.
         assert!(!Config::paper_1998().pooled_executors);
+    }
+
+    #[test]
+    fn lifecycle_builders_compose() {
+        let c = Config::default();
+        assert_eq!(c.statement_timeout_ms, None, "no deadline by default");
+        assert_eq!(c.udf_breaker_threshold, 3);
+        assert!(c.udf_breaker_cooldown_ms > 0);
+        assert!(c.client_connect_timeout_ms > 0);
+        assert!(c.client_read_timeout_ms.is_some());
+        let c = c
+            .with_statement_timeout_ms(Some(250))
+            .with_udf_breaker(5, 1_000)
+            .with_client_timeouts_ms(100, Some(200), None);
+        assert_eq!(c.statement_timeout_ms, Some(250));
+        assert_eq!(c.udf_breaker_threshold, 5);
+        assert_eq!(c.udf_breaker_cooldown_ms, 1_000);
+        assert_eq!(c.client_connect_timeout_ms, 100);
+        assert_eq!(c.client_read_timeout_ms, Some(200));
+        assert_eq!(c.client_write_timeout_ms, None);
     }
 
     #[test]

@@ -43,6 +43,17 @@ pub enum JaguarError {
     Compile(String),
     /// A UDF signalled an application-level error.
     Udf(String),
+    /// The statement was cancelled by the client (or server teardown).
+    Cancelled(String),
+    /// The statement exceeded its deadline (statement timeout, client
+    /// socket timeout, or a pooled-invoke deadline bound by the
+    /// statement budget).
+    Timeout(String),
+    /// The UDF's circuit breaker is open: recent invocations crashed or
+    /// timed out consecutively, so calls fail fast instead of burning a
+    /// worker respawn per tuple. Clears after the cooldown via a
+    /// successful half-open probe, or on re-registration.
+    UdfQuarantined(String),
     /// Anything else.
     Other(String),
 }
@@ -107,6 +118,9 @@ impl fmt::Display for JaguarError {
             JaguarError::Protocol(m) => write!(f, "protocol error: {m}"),
             JaguarError::Compile(m) => write!(f, "compile error: {m}"),
             JaguarError::Udf(m) => write!(f, "udf error: {m}"),
+            JaguarError::Cancelled(m) => write!(f, "cancelled: {m}"),
+            JaguarError::Timeout(m) => write!(f, "timeout: {m}"),
+            JaguarError::UdfQuarantined(m) => write!(f, "udf quarantined: {m}"),
             JaguarError::Other(m) => write!(f, "{m}"),
         }
     }
@@ -145,6 +159,20 @@ impl JaguarError {
                 | JaguarError::Worker(_)
                 | JaguarError::Udf(_)
                 | JaguarError::Verification(_)
+                | JaguarError::Cancelled(_)
+                | JaguarError::Timeout(_)
+                | JaguarError::UdfQuarantined(_)
+        )
+    }
+
+    /// True if this error means the statement was abandoned by the query
+    /// lifecycle layer (client cancel or statement deadline) rather than
+    /// failing on its own. Lifecycle aborts must not count against a
+    /// UDF's circuit breaker — the UDF did nothing wrong.
+    pub fn is_lifecycle_abort(&self) -> bool {
+        matches!(
+            self,
+            JaguarError::Cancelled(_) | JaguarError::Timeout(_) | JaguarError::UdfQuarantined(_)
         )
     }
 }
@@ -171,6 +199,15 @@ mod tests {
         assert!(JaguarError::Worker("crash".into()).is_containable());
         assert!(!JaguarError::Storage("pool".into()).is_containable());
         assert!(!JaguarError::Parse("bad".into()).is_containable());
+        // Lifecycle aborts are containable (the server keeps running) …
+        assert!(JaguarError::Cancelled("c".into()).is_containable());
+        assert!(JaguarError::Timeout("t".into()).is_containable());
+        assert!(JaguarError::UdfQuarantined("q".into()).is_containable());
+        // … and are classified apart from genuine UDF failures.
+        assert!(JaguarError::Cancelled("c".into()).is_lifecycle_abort());
+        assert!(JaguarError::Timeout("t".into()).is_lifecycle_abort());
+        assert!(!JaguarError::Worker("crash".into()).is_lifecycle_abort());
+        assert!(!JaguarError::ResourceLimit("fuel".into()).is_lifecycle_abort());
     }
 
     #[test]

@@ -1,0 +1,159 @@
+//! Named fault-injection sites, shared by every layer.
+//!
+//! Generalises the WAL's crash-point machinery (PR 3) so any crate can
+//! place a *fault site* — a named point where a test can ask for an
+//! injected failure — without inventing its own plumbing. Two kinds:
+//!
+//! * **Crash points** ([`crash_point`]): the process dies abruptly
+//!   (`abort()`, no destructors, no buffered-write flushing). Armed by
+//!   environment variable so a harness can re-exec itself as the victim:
+//!   `JAGUAR_CRASH_POINT=wal.before_commit`.
+//! * **Fault sites** ([`should_fail`]): the call site consults the
+//!   injector and simulates its own failure (drop a connection, abort a
+//!   reply) while the test process keeps running. Armed programmatically
+//!   with [`arm`] / [`disarm`] in-process, or via
+//!   `JAGUAR_FAULT_SITES=site.a,site.b=3` for child processes (a bare
+//!   name fires on every hit; `name=N` fires N times then disarms).
+//!
+//! In production nothing is armed and both checks are one relaxed atomic
+//! load. Fault names are dot-namespaced by crate and path, e.g.
+//! `ipc.worker.drop_mid_reply`, `net.server.drop_mid_response`.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+use crate::obs;
+
+/// Environment variable naming the crash point to arm.
+pub const CRASH_POINT_ENV: &str = "JAGUAR_CRASH_POINT";
+/// Environment variable arming fault sites (comma-separated `name` or
+/// `name=count` entries) — the cross-process equivalent of [`arm`].
+pub const FAULT_SITES_ENV: &str = "JAGUAR_FAULT_SITES";
+
+/// Sentinel count for "fire on every hit, never disarm".
+pub const ALWAYS: u32 = u32::MAX;
+
+fn armed_crash_point() -> Option<&'static str> {
+    static ARMED: OnceLock<Option<String>> = OnceLock::new();
+    ARMED
+        .get_or_init(|| std::env::var(CRASH_POINT_ENV).ok())
+        .as_deref()
+}
+
+/// Die here if this crash point is armed (via [`CRASH_POINT_ENV`]).
+pub fn crash_point(name: &str) {
+    if armed_crash_point() == Some(name) {
+        // abort(), not exit(): no atexit handlers, no Drop, no flush.
+        eprintln!("jaguar fault: crash point '{name}' armed, aborting");
+        std::process::abort();
+    }
+}
+
+/// Fast-path flag: true iff *any* fault site is (or ever was) armed.
+static ANY_ARMED: AtomicBool = AtomicBool::new(false);
+
+fn sites() -> &'static Mutex<HashMap<String, u32>> {
+    static SITES: OnceLock<Mutex<HashMap<String, u32>>> = OnceLock::new();
+    SITES.get_or_init(|| {
+        let mut map = HashMap::new();
+        if let Ok(spec) = std::env::var(FAULT_SITES_ENV) {
+            for entry in spec.split(',').map(str::trim).filter(|e| !e.is_empty()) {
+                let (name, count) = match entry.split_once('=') {
+                    Some((n, c)) => (n, c.parse().unwrap_or(1)),
+                    None => (entry, ALWAYS),
+                };
+                map.insert(name.to_string(), count);
+            }
+        }
+        if !map.is_empty() {
+            ANY_ARMED.store(true, Ordering::Release);
+        }
+        Mutex::new(map)
+    })
+}
+
+/// Arm a fault site for the next `count` hits ([`ALWAYS`] = every hit).
+/// Test-only by convention; replaces any previous arming of the site.
+pub fn arm(name: &str, count: u32) {
+    sites().lock().unwrap().insert(name.to_string(), count);
+    ANY_ARMED.store(true, Ordering::Release);
+}
+
+/// Disarm a fault site (a no-op if it was not armed).
+pub fn disarm(name: &str) {
+    sites().lock().unwrap().remove(name);
+}
+
+/// Should this hit of the named site inject its failure?
+///
+/// Decrements the site's remaining count (unless armed [`ALWAYS`]) and
+/// records a `fault.injected` metric when firing. Unarmed sites — the
+/// production case — cost one relaxed atomic load.
+pub fn should_fail(name: &str) -> bool {
+    // The env var is only scanned inside `sites()`; force that scan once
+    // so a child process armed purely via [`FAULT_SITES_ENV`] (no in-
+    // process `arm` call) still sees `ANY_ARMED` flip before the fast
+    // path consults it.
+    static ENV_SCANNED: std::sync::Once = std::sync::Once::new();
+    ENV_SCANNED.call_once(|| {
+        let _ = sites();
+    });
+    if !ANY_ARMED.load(Ordering::Acquire) {
+        return false;
+    }
+    let mut map = sites().lock().unwrap();
+    let fire = match map.get_mut(name) {
+        None | Some(0) => false,
+        Some(&mut ALWAYS) => true,
+        Some(n) => {
+            *n -= 1;
+            true
+        }
+    };
+    drop(map);
+    if fire {
+        obs::global().counter("fault.injected").inc();
+        obs::warn!(target: "jaguar-fault", "injecting fault at site '{name}'");
+    }
+    fire
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // These tests share the process-global site map; keep them in one test
+    // so they cannot interleave.
+    #[test]
+    fn arm_fire_disarm_lifecycle() {
+        // Unarmed: never fires.
+        assert!(!should_fail("test.site.never"));
+
+        // Counted arming fires exactly N times.
+        arm("test.site.twice", 2);
+        assert!(should_fail("test.site.twice"));
+        assert!(should_fail("test.site.twice"));
+        assert!(!should_fail("test.site.twice"));
+
+        // ALWAYS keeps firing until disarmed.
+        arm("test.site.always", ALWAYS);
+        for _ in 0..10 {
+            assert!(should_fail("test.site.always"));
+        }
+        disarm("test.site.always");
+        assert!(!should_fail("test.site.always"));
+
+        // Arming one site does not fire others.
+        arm("test.site.a", 1);
+        assert!(!should_fail("test.site.b"));
+        disarm("test.site.a");
+    }
+
+    #[test]
+    fn unarmed_crash_point_is_a_noop() {
+        // The test process has no JAGUAR_CRASH_POINT set; surviving this
+        // call is the assertion.
+        crash_point("not.a.point");
+    }
+}

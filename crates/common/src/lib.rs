@@ -14,14 +14,20 @@
 //!   write itself on a byte stream, so UDF argument/result marshalling is
 //!   identical at the client and at the server,
 //! * [`error::JaguarError`] — the workspace-wide error type,
+//! * [`cancel::CancelToken`] — the statement-scoped cancel flag +
+//!   deadline every layer polls cooperatively,
+//! * [`fault`] — named crash points and fault-injection sites shared by
+//!   the chaos/crash-recovery harnesses,
 //! * [`config`] — engine tunables,
 //! * [`rng`] — a tiny deterministic generator used by workload builders so
 //!   experiments are reproducible byte-for-byte.
 
 pub use jaguar_obs as obs;
 
+pub mod cancel;
 pub mod config;
 pub mod error;
+pub mod fault;
 pub mod ids;
 pub mod rng;
 pub mod schema;
@@ -29,6 +35,7 @@ pub mod stream;
 pub mod tuple;
 pub mod value;
 
+pub use cancel::CancelToken;
 pub use error::{JaguarError, Result};
 pub use schema::{Field, Schema};
 pub use tuple::Tuple;

@@ -44,12 +44,13 @@ use std::sync::Arc;
 use jaguar_catalog::Catalog;
 use jaguar_sql::Engine;
 
+pub use jaguar_common::cancel::CancelToken;
 pub use jaguar_common::config::{Config, SyncMode};
 pub use jaguar_common::error::{JaguarError, Result, VmTrap};
 pub use jaguar_common::obs;
 pub use jaguar_common::obs::MetricsSnapshot;
 pub use jaguar_common::{ByteArray, DataType, Field, Schema, Tuple, Value};
-pub use jaguar_net::{Client, Server};
+pub use jaguar_net::{CancelHandle, Client, ClientOptions, Server};
 pub use jaguar_pool::{PoolConfig, PoolStatsSnapshot, WorkerPool};
 pub use jaguar_sql::{ExecStats, QueryResult};
 pub use jaguar_udf::{CallbackHandler, ScalarUdf, UdfDef, UdfImpl, UdfSignature};
@@ -179,9 +180,32 @@ impl Database {
         self.engine.catalog()
     }
 
-    /// Execute one SQL statement.
+    /// Execute one SQL statement. With [`Config::statement_timeout_ms`]
+    /// set, the statement runs under a deadline and aborts with
+    /// [`JaguarError::Timeout`] when it expires.
     pub fn execute(&self, sql: &str) -> Result<QueryResult> {
         self.engine.execute(sql)
+    }
+
+    /// Execute one SQL statement under a caller-supplied lifecycle token
+    /// (see [`Database::statement_token`]): `token.cancel()` from another
+    /// thread aborts the statement cooperatively, sealing any partial DML
+    /// effects through the write-ahead log.
+    pub fn execute_cancellable(&self, sql: &str, token: &CancelToken) -> Result<QueryResult> {
+        self.engine.execute_cancellable(sql, token)
+    }
+
+    /// A fresh lifecycle token carrying the configured statement timeout
+    /// (unbounded when none is set), for use with
+    /// [`Database::execute_cancellable`].
+    pub fn statement_token(&self) -> CancelToken {
+        self.engine.new_statement_token()
+    }
+
+    /// `(name, circuit-breaker state)` for every registered UDF —
+    /// `"closed"`, `"open"` (quarantined), or `"half-open"` (probing).
+    pub fn udf_breaker_states(&self) -> Vec<(String, &'static str)> {
+        self.catalog().udfs().breaker_states()
     }
 
     /// Render the optimized plan for a SELECT.

@@ -223,6 +223,12 @@ pub fn serve<R: Read, W: Write>(input: R, output: W, registry: &WorkerRegistry) 
             }
             Request::Invoke { args } => {
                 let outcome = invoke_loaded(&mut loaded, &args, &mut input, &mut output);
+                // Fault site: die after doing the work but before the
+                // reply — the parent sees EOF mid-protocol and must
+                // contain it as a worker failure, not corrupt state.
+                if jaguar_common::fault::should_fail("ipc.worker.drop_mid_reply") {
+                    std::process::abort();
+                }
                 match outcome {
                     Ok(value) => Response::InvokeResult { value }.write(&mut output)?,
                     Err(e) => Response::Error {

@@ -10,8 +10,12 @@
 //!   site" (§6.4).
 
 use std::io::{BufReader, BufWriter};
-use std::net::TcpStream;
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
 
+use jaguar_common::config::Config;
 use jaguar_common::error::{JaguarError, Result};
 use jaguar_common::schema::Schema;
 use jaguar_common::{Tuple, Value};
@@ -31,20 +35,89 @@ pub struct ClientResult {
     pub stats: WireStats,
 }
 
+/// Socket-level timeouts for a [`Client`] connection. The defaults match
+/// [`Config::default`]; `None` read/write timeouts mean "block forever"
+/// (pre-timeout behaviour).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ClientOptions {
+    pub connect_timeout: Duration,
+    pub read_timeout: Option<Duration>,
+    pub write_timeout: Option<Duration>,
+}
+
+impl Default for ClientOptions {
+    fn default() -> ClientOptions {
+        ClientOptions::from_config(&Config::default())
+    }
+}
+
+impl ClientOptions {
+    /// Timeouts from a [`Config`]'s `client_*_timeout_ms` knobs.
+    pub fn from_config(c: &Config) -> ClientOptions {
+        ClientOptions {
+            connect_timeout: Duration::from_millis(c.client_connect_timeout_ms),
+            read_timeout: c.client_read_timeout_ms.map(Duration::from_millis),
+            write_timeout: c.client_write_timeout_ms.map(Duration::from_millis),
+        }
+    }
+}
+
+/// Process-wide query-id counter; combined with the connection's local
+/// port so ids from different clients of the same server don't collide.
+static NEXT_QUERY_ID: AtomicU64 = AtomicU64::new(1);
+
 /// A connection to a Jaguar server.
 pub struct Client {
     reader: BufReader<TcpStream>,
     writer: BufWriter<TcpStream>,
+    /// The server address, kept for out-of-band cancel connections.
+    server_addr: SocketAddr,
+    options: ClientOptions,
+    /// Id namespace for this connection's statements.
+    id_prefix: u64,
+    /// The query id currently awaiting its result (0 = idle). Shared with
+    /// [`CancelHandle`]s so they always target the in-flight statement.
+    current_query: Arc<AtomicU64>,
 }
 
 impl Client {
-    /// Connect to `addr` (e.g. `"127.0.0.1:5432"`).
-    pub fn connect(addr: impl std::net::ToSocketAddrs) -> Result<Client> {
-        let stream = TcpStream::connect(addr)?;
+    /// Connect to `addr` (e.g. `"127.0.0.1:5432"`) with default timeouts.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Client> {
+        Client::connect_with(addr, ClientOptions::default())
+    }
+
+    /// Connect with explicit socket timeouts. The connect itself is
+    /// bounded by `options.connect_timeout`, and every later read/write on
+    /// the connection by the respective timeout — a half-open socket or a
+    /// stalled server surfaces as an I/O error instead of a hang.
+    pub fn connect_with(addr: impl ToSocketAddrs, options: ClientOptions) -> Result<Client> {
+        let mut last_err = None;
+        let mut stream = None;
+        for resolved in addr.to_socket_addrs()? {
+            match TcpStream::connect_timeout(&resolved, options.connect_timeout) {
+                Ok(s) => {
+                    stream = Some((s, resolved));
+                    break;
+                }
+                Err(e) => last_err = Some(e),
+            }
+        }
+        let (stream, server_addr) = stream.ok_or_else(|| {
+            last_err.map(JaguarError::Io).unwrap_or_else(|| {
+                JaguarError::Protocol("address resolved to no socket addresses".into())
+            })
+        })?;
         stream.set_nodelay(true)?;
+        stream.set_read_timeout(options.read_timeout)?;
+        stream.set_write_timeout(options.write_timeout)?;
+        let id_prefix = u64::from(stream.local_addr().map(|a| a.port()).unwrap_or(0)) << 48;
         Ok(Client {
             reader: BufReader::new(stream.try_clone()?),
             writer: BufWriter::new(stream),
+            server_addr,
+            options,
+            id_prefix,
+            current_query: Arc::new(AtomicU64::new(0)),
         })
     }
 
@@ -58,8 +131,21 @@ impl Client {
     }
 
     /// Execute one SQL statement on the server.
+    ///
+    /// While this call blocks, a [`CancelHandle`] taken from this client
+    /// (before the call, from another thread) can abort the statement;
+    /// the call then returns the server's `cancelled` error and the
+    /// connection stays usable for further statements.
     pub fn execute(&mut self, sql: &str) -> Result<ClientResult> {
-        match self.roundtrip(&ClientMsg::Execute { sql: sql.into() })? {
+        let query_id =
+            self.id_prefix | (NEXT_QUERY_ID.fetch_add(1, Ordering::Relaxed) & 0xFFFF_FFFF_FFFF);
+        self.current_query.store(query_id, Ordering::Release);
+        let out = self.roundtrip(&ClientMsg::Execute {
+            sql: sql.into(),
+            query_id,
+        });
+        self.current_query.store(0, Ordering::Release);
+        match out? {
             ServerMsg::Result {
                 schema,
                 rows,
@@ -74,6 +160,17 @@ impl Client {
             other => Err(JaguarError::Protocol(format!(
                 "expected Result, got {other:?}"
             ))),
+        }
+    }
+
+    /// A handle for cancelling whatever statement this client has in
+    /// flight, from another thread, over its own connection (this one is
+    /// blocked inside [`Client::execute`] while a statement runs).
+    pub fn cancel_handle(&self) -> CancelHandle {
+        CancelHandle {
+            server_addr: self.server_addr,
+            options: self.options,
+            current_query: Arc::clone(&self.current_query),
         }
     }
 
@@ -192,6 +289,45 @@ impl Client {
     /// Orderly disconnect.
     pub fn quit(mut self) -> Result<()> {
         ClientMsg::Quit.write(&mut self.writer)
+    }
+}
+
+/// Aborts a [`Client`]'s in-flight statement out of band — the Postgres
+/// cancel model: a fresh connection carries the `Cancel` message, because
+/// the submitting connection is blocked awaiting its result.
+#[derive(Clone)]
+pub struct CancelHandle {
+    server_addr: SocketAddr,
+    options: ClientOptions,
+    current_query: Arc<AtomicU64>,
+}
+
+impl CancelHandle {
+    /// Cancel the client's in-flight statement, if any. Returns whether
+    /// the server found (and cancelled) a live statement — `false` means
+    /// the statement already finished or none was running, which is not
+    /// an error.
+    pub fn cancel(&self) -> Result<bool> {
+        let query_id = self.current_query.load(Ordering::Acquire);
+        if query_id == 0 {
+            return Ok(false);
+        }
+        let stream = TcpStream::connect_timeout(&self.server_addr, self.options.connect_timeout)?;
+        stream.set_nodelay(true)?;
+        stream.set_read_timeout(self.options.read_timeout)?;
+        stream.set_write_timeout(self.options.write_timeout)?;
+        let mut writer = BufWriter::new(stream.try_clone()?);
+        let mut reader = BufReader::new(stream);
+        ClientMsg::Cancel { query_id }.write(&mut writer)?;
+        match ServerMsg::read(&mut reader)? {
+            ServerMsg::CancelAck { found } => {
+                let _ = ClientMsg::Quit.write(&mut writer);
+                Ok(found)
+            }
+            other => Err(JaguarError::Protocol(format!(
+                "expected CancelAck, got {other:?}"
+            ))),
+        }
     }
 }
 

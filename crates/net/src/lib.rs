@@ -26,5 +26,5 @@ pub mod client;
 pub mod server;
 pub mod wire;
 
-pub use client::{Client, ServerMetrics};
+pub use client::{CancelHandle, Client, ClientOptions, ServerMetrics};
 pub use server::Server;

@@ -16,14 +16,17 @@
 //!    those imports (least privilege, \[SS75\]) and under the engine's
 //!    fuel/memory limits (§6.2).
 
+use std::collections::HashMap;
+use std::io::Write;
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::Instant;
 
+use jaguar_common::cancel::CancelToken;
 use jaguar_common::error::{JaguarError, Result};
-use jaguar_common::obs;
+use jaguar_common::{fault, obs};
 use jaguar_sql::Engine;
 use jaguar_udf::{UdfDef, UdfImpl, UdfSignature, VmUdfSpec};
 use jaguar_vm::{Module, Permission, PermissionSet, ResourceLimits};
@@ -32,6 +35,31 @@ use crate::wire::{ClientMsg, ServerMsg, WireSignature, WireStats};
 
 /// Log target for everything the server emits.
 const TARGET: &str = "jaguar-net";
+
+/// Fault site: drop the connection after writing only part of a response
+/// (exercised by chaos tests via [`jaguar_common::fault`]).
+const FAULT_DROP_MID_RESPONSE: &str = "net.server.drop_mid_response";
+
+/// In-flight statements by client-chosen query id, shared by every client
+/// thread so a `Cancel` on one connection can reach a statement running on
+/// another (the submitting connection is blocked awaiting its result).
+type QueryRegistry = Arc<Mutex<HashMap<u64, CancelToken>>>;
+
+/// Removes a query-id registration when the statement finishes, on every
+/// exit path (including panics unwinding out of the engine).
+struct QueryGuard {
+    queries: QueryRegistry,
+    id: u64,
+}
+
+impl Drop for QueryGuard {
+    fn drop(&mut self) {
+        self.queries
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .remove(&self.id);
+    }
+}
 
 /// One tracked client connection: the stream handle the server can shut
 /// down from outside, and the thread serving it.
@@ -67,6 +95,7 @@ impl Server {
         let server_engine = Arc::clone(&engine);
         let clients: Arc<Mutex<Vec<ClientSlot>>> = Arc::new(Mutex::new(Vec::new()));
         let clients2 = Arc::clone(&clients);
+        let queries: QueryRegistry = Arc::new(Mutex::new(HashMap::new()));
         let max_connections = engine.catalog().config().max_connections;
 
         let reg = obs::global();
@@ -101,6 +130,7 @@ impl Server {
                         m_accepted.inc();
                         let engine = Arc::clone(&engine);
                         let g_active = Arc::clone(&g_active);
+                        let queries = Arc::clone(&queries);
                         let handle = std::thread::spawn(move || {
                             g_active.add(1);
                             let peer = stream
@@ -109,7 +139,7 @@ impl Server {
                                 .unwrap_or_else(|_| "?".into());
                             obs::debug!(target: TARGET, "client {peer} connected");
                             let conn = stream.try_clone();
-                            if let Err(e) = serve_client(stream, &engine) {
+                            if let Err(e) = serve_client(stream, &engine, &queries) {
                                 obs::warn!(target: TARGET, "client {peer}: {e}");
                             }
                             // Close the connection now: the tracked clone in
@@ -215,7 +245,7 @@ fn refuse_busy(stream: TcpStream, limit: usize) {
     .write(&mut writer);
 }
 
-fn serve_client(stream: TcpStream, engine: &Engine) -> Result<()> {
+fn serve_client(stream: TcpStream, engine: &Engine, queries: &QueryRegistry) -> Result<()> {
     stream.set_nodelay(true)?;
     let mut reader = std::io::BufReader::new(stream.try_clone()?);
     let mut writer = std::io::BufWriter::new(stream);
@@ -235,11 +265,11 @@ fn serve_client(stream: TcpStream, engine: &Engine) -> Result<()> {
         };
         m_requests.inc();
         let sql_for_log = match &msg {
-            ClientMsg::Execute { sql } | ClientMsg::Explain { sql } => Some(sql.clone()),
+            ClientMsg::Execute { sql, .. } | ClientMsg::Explain { sql } => Some(sql.clone()),
             _ => None,
         };
         let started = Instant::now();
-        let reply = handle(msg, engine);
+        let reply = handle(msg, engine, queries);
         let elapsed = started.elapsed();
         h_latency.observe(elapsed);
         if let (Some(threshold), Some(sql)) = (slow_query_ms, sql_for_log) {
@@ -253,13 +283,27 @@ fn serve_client(stream: TcpStream, engine: &Engine) -> Result<()> {
             }
         }
         match reply {
-            Some(r) => r.write(&mut writer)?,
+            Some(r) => {
+                if fault::should_fail(FAULT_DROP_MID_RESPONSE) {
+                    // Encode the response, send only half of it, and drop
+                    // the connection — the client must surface a clean
+                    // decode error, never a hang or a garbage result.
+                    let mut frame = Vec::new();
+                    r.write(&mut frame)?;
+                    writer.write_all(&frame[..frame.len() / 2])?;
+                    writer.flush()?;
+                    return Err(JaguarError::Protocol(
+                        "fault injected: connection dropped mid-response".into(),
+                    ));
+                }
+                r.write(&mut writer)?
+            }
             None => return Ok(()), // Quit
         }
     }
 }
 
-fn handle(msg: ClientMsg, engine: &Engine) -> Option<ServerMsg> {
+fn handle(msg: ClientMsg, engine: &Engine, queries: &QueryRegistry) -> Option<ServerMsg> {
     Some(match msg {
         ClientMsg::Quit => return None,
         ClientMsg::Ping => ServerMsg::Pong,
@@ -270,24 +314,39 @@ fn handle(msg: ClientMsg, engine: &Engine) -> Option<ServerMsg> {
                 counters: snap.counters,
             }
         }
-        ClientMsg::Execute { sql } => match engine.execute(&sql) {
-            Ok(result) => ServerMsg::Result {
-                schema: (*result.schema).clone(),
-                rows: result.rows,
-                affected: result.affected,
-                stats: WireStats {
-                    rows_scanned: result.stats.rows_scanned,
-                    rows_emitted: result.stats.rows_emitted,
-                    udf_invocations: result.stats.udf_invocations,
-                    udf_callbacks: result.stats.udf_callbacks,
-                    vm_instructions: result.stats.vm_instructions,
-                    vm_bytes_allocated: result.stats.vm_bytes_allocated,
+        ClientMsg::Cancel { query_id } => {
+            let token = queries
+                .lock()
+                .unwrap_or_else(|p| p.into_inner())
+                .get(&query_id)
+                .cloned();
+            let found = token.is_some();
+            if let Some(t) = token {
+                obs::info!(target: TARGET, "cancelling query {query_id}");
+                t.cancel();
+            }
+            ServerMsg::CancelAck { found }
+        }
+        ClientMsg::Execute { sql, query_id } => {
+            match execute_tracked(engine, queries, &sql, query_id) {
+                Ok(result) => ServerMsg::Result {
+                    schema: (*result.schema).clone(),
+                    rows: result.rows,
+                    affected: result.affected,
+                    stats: WireStats {
+                        rows_scanned: result.stats.rows_scanned,
+                        rows_emitted: result.stats.rows_emitted,
+                        udf_invocations: result.stats.udf_invocations,
+                        udf_callbacks: result.stats.udf_callbacks,
+                        vm_instructions: result.stats.vm_instructions,
+                        vm_bytes_allocated: result.stats.vm_bytes_allocated,
+                    },
                 },
-            },
-            Err(e) => ServerMsg::Error {
-                message: e.to_string(),
-            },
-        },
+                Err(e) => ServerMsg::Error {
+                    message: e.to_string(),
+                },
+            }
+        }
         ClientMsg::Explain { sql } => match engine.explain(&sql) {
             Ok(text) => ServerMsg::Plan { text },
             Err(e) => ServerMsg::Error {
@@ -313,6 +372,30 @@ fn handle(msg: ClientMsg, engine: &Engine) -> Option<ServerMsg> {
             },
         },
     })
+}
+
+/// Run one statement under a lifecycle token. The token carries the
+/// configured statement timeout, and — when the client supplied a nonzero
+/// `query_id` — is registered so a `Cancel` from another connection can
+/// trip it mid-execution.
+fn execute_tracked(
+    engine: &Engine,
+    queries: &QueryRegistry,
+    sql: &str,
+    query_id: u64,
+) -> Result<jaguar_sql::QueryResult> {
+    let token = engine.new_statement_token();
+    let _guard = (query_id != 0).then(|| {
+        queries
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .insert(query_id, token.clone());
+        QueryGuard {
+            queries: Arc::clone(queries),
+            id: query_id,
+        }
+    });
+    engine.execute_cancellable(sql, &token)
 }
 
 fn register_udf(

@@ -71,8 +71,13 @@ pub struct WireStats {
 /// Client → server.
 #[derive(Debug, Clone, PartialEq)]
 pub enum ClientMsg {
-    /// Execute one SQL statement.
-    Execute { sql: String },
+    /// Execute one SQL statement. `query_id` is a client-chosen handle
+    /// for out-of-band cancellation (0 = not cancellable).
+    Execute { sql: String, query_id: u64 },
+    /// Abort the in-flight statement registered under `query_id` —
+    /// necessarily sent on a *different* connection, since the submitting
+    /// one is blocked awaiting its result (the Postgres cancel model).
+    Cancel { query_id: u64 },
     /// Return the optimized plan for a SELECT.
     Explain { sql: String },
     /// Register a UDF from a compiled module. The server verifies the
@@ -124,6 +129,11 @@ pub enum ServerMsg {
         text: String,
     },
     Pong,
+    /// Response to `Cancel`: whether `query_id` named a live statement.
+    /// (`found: false` is normal when the statement finished first.)
+    CancelAck {
+        found: bool,
+    },
     /// Execution or protocol failure (rendered error).
     Error {
         message: String,
@@ -137,6 +147,7 @@ const C_FETCH: u8 = 0x04;
 const C_PING: u8 = 0x05;
 const C_QUIT: u8 = 0x06;
 const C_METRICS: u8 = 0x07;
+const C_CANCEL: u8 = 0x08;
 const S_RESULT: u8 = 0x81;
 const S_PLAN: u8 = 0x82;
 const S_REGISTERED: u8 = 0x83;
@@ -144,13 +155,19 @@ const S_MODULE: u8 = 0x84;
 const S_PONG: u8 = 0x85;
 const S_ERROR: u8 = 0x86;
 const S_METRICS: u8 = 0x87;
+const S_CANCEL_ACK: u8 = 0x88;
 
 impl ClientMsg {
     pub fn write(&self, w: &mut impl Write) -> Result<()> {
         match self {
-            ClientMsg::Execute { sql } => {
+            ClientMsg::Execute { sql, query_id } => {
                 write_u8(w, C_EXECUTE)?;
                 write_str(w, sql)?;
+                write_u64(w, *query_id)?;
+            }
+            ClientMsg::Cancel { query_id } => {
+                write_u8(w, C_CANCEL)?;
+                write_u64(w, *query_id)?;
             }
             ClientMsg::Explain { sql } => {
                 write_u8(w, C_EXPLAIN)?;
@@ -184,7 +201,13 @@ impl ClientMsg {
 
     pub fn read(r: &mut impl Read) -> Result<ClientMsg> {
         Ok(match read_u8(r)? {
-            C_EXECUTE => ClientMsg::Execute { sql: read_str(r)? },
+            C_EXECUTE => ClientMsg::Execute {
+                sql: read_str(r)?,
+                query_id: read_u64(r)?,
+            },
+            C_CANCEL => ClientMsg::Cancel {
+                query_id: read_u64(r)?,
+            },
             C_EXPLAIN => ClientMsg::Explain { sql: read_str(r)? },
             C_REGISTER => ClientMsg::RegisterUdf {
                 name: read_str(r)?,
@@ -254,6 +277,10 @@ impl ServerMsg {
                 write_str(w, text)?;
             }
             ServerMsg::Pong => write_u8(w, S_PONG)?,
+            ServerMsg::CancelAck { found } => {
+                write_u8(w, S_CANCEL_ACK)?;
+                write_u8(w, *found as u8)?;
+            }
             ServerMsg::Error { message } => {
                 write_u8(w, S_ERROR)?;
                 write_str(w, message)?;
@@ -317,6 +344,9 @@ impl ServerMsg {
                 }
             }
             S_PONG => ServerMsg::Pong,
+            S_CANCEL_ACK => ServerMsg::CancelAck {
+                found: read_u8(r)? != 0,
+            },
             S_ERROR => ServerMsg::Error {
                 message: read_str(r)?,
             },
@@ -350,7 +380,9 @@ mod tests {
     fn client_messages_roundtrip() {
         roundtrip_c(ClientMsg::Execute {
             sql: "SELECT 1".into(),
+            query_id: 42,
         });
+        roundtrip_c(ClientMsg::Cancel { query_id: 42 });
         roundtrip_c(ClientMsg::Explain {
             sql: "SELECT * FROM t".into(),
         });
@@ -410,6 +442,8 @@ mod tests {
             text: "counter udf.invocations.jsm 7\n".into(),
         });
         roundtrip_s(ServerMsg::Pong);
+        roundtrip_s(ServerMsg::CancelAck { found: true });
+        roundtrip_s(ServerMsg::CancelAck { found: false });
         roundtrip_s(ServerMsg::Error {
             message: "boom".into(),
         });
@@ -454,6 +488,7 @@ mod tests {
         let mut buf = Vec::new();
         ClientMsg::Execute {
             sql: "SELECT 1 FROM investments".into(),
+            query_id: 7,
         }
         .write(&mut buf)
         .unwrap();

@@ -558,7 +558,28 @@ impl PooledWorker {
         args: Vec<Value>,
         callbacks: &mut dyn CallbackHandler,
     ) -> Result<Value> {
-        let timeout = self.inner.config.invoke_timeout;
+        self.invoke_with_deadline(args, callbacks, None)
+    }
+
+    /// Like [`PooledWorker::invoke`], but the effective deadline is the
+    /// *minimum* of the pool's invoke timeout and `statement_budget` (the
+    /// remaining statement deadline, when one is armed) — so a wedged UDF
+    /// cannot outlive its statement even if the pool timeout is generous.
+    /// A kill whose binding constraint was the statement budget surfaces
+    /// as a `Timeout` error; a pool-timeout kill stays `ResourceLimit`.
+    pub fn invoke_with_deadline(
+        &mut self,
+        args: Vec<Value>,
+        callbacks: &mut dyn CallbackHandler,
+        statement_budget: Option<Duration>,
+    ) -> Result<Value> {
+        let pool_timeout = self.inner.config.invoke_timeout;
+        let timeout = match (pool_timeout, statement_budget) {
+            (Some(p), Some(s)) => Some(p.min(s)),
+            (Some(p), None) => Some(p),
+            (None, Some(s)) => Some(s),
+            (None, None) => None,
+        };
         let inner = Arc::clone(&self.inner);
         let worker = self.worker_mut();
         let Some(timeout) = timeout else {
@@ -570,10 +591,22 @@ impl PooledWorker {
         if fired.load(Ordering::SeqCst) {
             self.timed_out = true;
             inner.stats.record_timeout();
-            return Err(JaguarError::ResourceLimit(format!(
-                "udf invocation exceeded the {timeout:?} pool deadline; \
-                 worker killed and replaced"
-            )));
+            let statement_bound = match (pool_timeout, statement_budget) {
+                (None, Some(_)) => true,
+                (Some(p), Some(s)) => s < p,
+                _ => false,
+            };
+            return Err(if statement_bound {
+                JaguarError::Timeout(format!(
+                    "udf invocation exceeded the statement deadline \
+                     ({timeout:?} remaining); worker killed and replaced"
+                ))
+            } else {
+                JaguarError::ResourceLimit(format!(
+                    "udf invocation exceeded the {timeout:?} pool deadline; \
+                     worker killed and replaced"
+                ))
+            });
         }
         out
     }

@@ -12,6 +12,7 @@ use std::collections::HashMap;
 use std::sync::Arc;
 
 use jaguar_catalog::Catalog;
+use jaguar_common::cancel::CancelToken;
 use jaguar_common::config::Config;
 use jaguar_common::error::{JaguarError, Result};
 use jaguar_common::obs;
@@ -119,20 +120,46 @@ impl Engine {
             .insert(name.to_ascii_lowercase(), Arc::new(f));
     }
 
-    /// Execute one SQL statement.
+    /// Execute one SQL statement under a fresh lifecycle token. With
+    /// `Config::statement_timeout_ms` set, the token carries a deadline
+    /// and the statement aborts with `Timeout` when it expires.
     pub fn execute(&self, sql: &str) -> Result<QueryResult> {
+        let token = self.new_statement_token();
+        self.execute_cancellable(sql, &token)
+    }
+
+    /// A lifecycle token honouring the engine's configured statement
+    /// timeout (unbounded when none is set). Hand a clone to another
+    /// thread to cancel the statement executed under it.
+    pub fn new_statement_token(&self) -> CancelToken {
+        CancelToken::from_timeout_ms(self.catalog.config().statement_timeout_ms)
+    }
+
+    /// Execute one SQL statement under a caller-supplied lifecycle token.
+    /// Cancellation (another thread calling `token.cancel()`) or deadline
+    /// expiry aborts the statement cooperatively: operators notice within
+    /// a few tuples, sandboxed UDFs within a few thousand instructions,
+    /// and pooled workers at the next supervisor deadline. Partial DML
+    /// effects are sealed through the WAL exactly like any other failed
+    /// statement.
+    pub fn execute_cancellable(&self, sql: &str, token: &CancelToken) -> Result<QueryResult> {
         let reg = obs::global();
         reg.counter("sql.queries").inc();
         let span = obs::SpanTimer::new(reg.histogram("sql.query_latency_us"));
-        let out = self.execute_inner(sql);
-        if out.is_err() {
+        let out = self.execute_inner(sql, token);
+        if let Err(e) = &out {
             reg.counter("sql.errors").inc();
+            match e {
+                JaguarError::Cancelled(_) => reg.counter("query.cancelled").inc(),
+                JaguarError::Timeout(_) => reg.counter("query.deadline_exceeded").inc(),
+                _ => {}
+            }
         }
         drop(span);
         out
     }
 
-    fn execute_inner(&self, sql: &str) -> Result<QueryResult> {
+    fn execute_inner(&self, sql: &str, token: &CancelToken) -> Result<QueryResult> {
         match parse(sql)? {
             Statement::CreateTable { name, columns } => {
                 let fields = columns
@@ -169,6 +196,9 @@ impl Engine {
                 let mut inserted = 0;
                 let res = (|| -> Result<()> {
                     for row in rows {
+                        // Checked inside the fallible block so rows already
+                        // inserted are sealed via the WAL on cancellation.
+                        token.check()?;
                         let mut values = Vec::with_capacity(row.len());
                         for e in row {
                             values.push(literal_value(&e)?);
@@ -194,17 +224,22 @@ impl Engine {
                 let mut handler = EngineCallbacks { engine: self };
                 let pool = self.worker_pool();
                 let mut ctx = ExecCtx::for_udfs(&dml.udfs, &mut handler, pool.as_ref())?;
+                ctx.attach_cancel(token);
                 // Collect matching rids first, then delete (no scan-while-
                 // mutating hazards).
                 let mut victims = Vec::new();
                 for item in dml.table.scan() {
+                    token.check()?;
                     let (rid, tuple) = item?;
                     ctx.stats.rows_scanned += 1;
                     if matches_all(&dml.predicates, &tuple, &mut ctx)? {
                         victims.push(rid);
                     }
                 }
-                if let Err(e) = victims.iter().try_for_each(|rid| dml.table.delete(*rid)) {
+                if let Err(e) = victims.iter().try_for_each(|rid| {
+                    token.check()?;
+                    dml.table.delete(*rid)
+                }) {
                     return Err(seal_partial_effects(&dml.table, e));
                 }
                 dml.table.commit_durable()?;
@@ -227,9 +262,11 @@ impl Engine {
                 let mut handler = EngineCallbacks { engine: self };
                 let pool = self.worker_pool();
                 let mut ctx = ExecCtx::for_udfs(&dml.udfs, &mut handler, pool.as_ref())?;
+                ctx.attach_cancel(token);
                 // Materialise replacements first.
                 let mut updates = Vec::new();
                 for item in dml.table.scan() {
+                    token.check()?;
                     let (rid, tuple) = item?;
                     ctx.stats.rows_scanned += 1;
                     if matches_all(&dml.predicates, &tuple, &mut ctx)? {
@@ -243,6 +280,7 @@ impl Engine {
                 let affected = updates.len() as u64;
                 let res = (|| -> Result<()> {
                     for (rid, new_tuple) in updates {
+                        token.check()?;
                         dml.table.delete(rid)?;
                         dml.table.insert(new_tuple)?;
                     }
@@ -306,6 +344,7 @@ impl Engine {
                 let mut handler = EngineCallbacks { engine: self };
                 let pool = self.worker_pool();
                 let mut ctx = ExecCtx::for_plan(&plan, &mut handler, pool.as_ref())?;
+                ctx.attach_cancel(token);
                 let mut exec = Executor::build(&plan)?;
                 let rows = exec.collect(&mut ctx)?;
                 let stats = ctx.finish()?;
@@ -316,14 +355,19 @@ impl Engine {
                     stats,
                 })
             }
-            Statement::Explain { analyze, select } => self.run_explain(analyze, &select),
+            Statement::Explain { analyze, select } => self.run_explain(analyze, &select, token),
         }
     }
 
     /// `EXPLAIN [ANALYZE]` — render the optimized plan as a one-column
     /// result; with ANALYZE, execute the query and annotate every operator
     /// with observed row counts and wall time.
-    fn run_explain(&self, analyze: bool, select: &SelectStmt) -> Result<QueryResult> {
+    fn run_explain(
+        &self,
+        analyze: bool,
+        select: &SelectStmt,
+        token: &CancelToken,
+    ) -> Result<QueryResult> {
         let plan = bind_select(select, &self.catalog)?;
         let schema = Arc::new(Schema::of(&[("plan", jaguar_common::DataType::Str)]));
         let mut lines: Vec<String> = explain(&plan).lines().map(str::to_string).collect();
@@ -332,6 +376,7 @@ impl Engine {
             let mut handler = EngineCallbacks { engine: self };
             let pool = self.worker_pool();
             let mut ctx = ExecCtx::for_plan(&plan, &mut handler, pool.as_ref())?;
+            ctx.attach_cancel(token);
             let mut exec = Executor::build_profiled(&plan)?;
             let started = std::time::Instant::now();
             let produced = exec.collect(&mut ctx)?.len();

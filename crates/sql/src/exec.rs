@@ -10,13 +10,14 @@
 //! ordering done in `plan`.
 
 use jaguar_catalog::table::TableScan;
+use jaguar_common::cancel::CancelToken;
 use jaguar_common::error::{JaguarError, Result};
 use jaguar_common::obs;
 use jaguar_common::schema::SchemaRef;
 use jaguar_common::{Tuple, Value};
 use jaguar_ipc::proto::CallbackHandler;
 use jaguar_pool::WorkerPool;
-use jaguar_udf::ScalarUdf;
+use jaguar_udf::{CircuitBreaker, ScalarUdf};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -57,6 +58,19 @@ fn backend_slug(design_label: &str) -> &'static str {
     }
 }
 
+/// Deadline (`Instant::now()`) checks are this many times rarer than the
+/// per-tuple cancellation-flag check — the flag is one atomic load, the
+/// deadline a syscall on some platforms.
+const DEADLINE_CHECK_INTERVAL: u32 = 64;
+
+/// Whether a UDF failure should count against its circuit breaker: only
+/// infrastructure faults (a dead worker, a blown resource/pool deadline)
+/// do. Deterministic errors from the UDF's own logic and statement
+/// lifecycle aborts (cancel/timeout) say nothing about the UDF's health.
+fn breaker_counts(e: &JaguarError) -> bool {
+    matches!(e, JaguarError::Worker(_) | JaguarError::ResourceLimit(_)) && !e.is_lifecycle_abort()
+}
+
 /// Per-query execution context: instantiated UDFs + callback channel.
 pub struct ExecCtx<'a> {
     pub udfs: Vec<Box<dyn ScalarUdf>>,
@@ -65,6 +79,14 @@ pub struct ExecCtx<'a> {
     /// Parallel to `udfs`: the global per-backend counters this query's
     /// invocations feed (a live version of the paper's Table 1).
     udf_metrics: Vec<UdfMetrics>,
+    /// Parallel to `udfs`: the registry circuit breaker guarding each
+    /// slot, if the def came out of a catalog.
+    udf_breakers: Vec<Option<Arc<CircuitBreaker>>>,
+    /// The statement's lifecycle token; checked cooperatively by every
+    /// operator `next` (see [`ExecCtx::tick`]).
+    cancel: CancelToken,
+    /// Countdown to the next full deadline check.
+    deadline_countdown: u32,
 }
 
 impl<'a> ExecCtx<'a> {
@@ -96,16 +118,64 @@ impl<'a> ExecCtx<'a> {
                 }
             })
             .collect();
+        // Breaker gate *before* instantiation: a quarantined UDF fails
+        // fast here, without a pool checkout or a worker spawn — that is
+        // the whole point of the breaker (no respawn storm).
+        let udf_breakers: Vec<Option<Arc<CircuitBreaker>>> =
+            udfs.iter().map(|u| u.def.breaker.clone()).collect();
+        for b in udf_breakers.iter().flatten() {
+            b.try_acquire()?;
+        }
         let udfs = udfs
             .iter()
-            .map(|u| u.def.instantiate_with(pool))
+            .zip(&udf_breakers)
+            .map(|(u, b)| {
+                u.def.instantiate_with(pool).inspect_err(|e| {
+                    // A worker that dies while loading the UDF counts
+                    // against the breaker just like an invoke crash.
+                    if let Some(b) = b {
+                        if breaker_counts(e) {
+                            b.record_failure();
+                        }
+                    }
+                })
+            })
             .collect::<Result<Vec<_>>>()?;
         Ok(ExecCtx {
             udfs,
             callbacks,
             stats: ExecStats::default(),
             udf_metrics,
+            udf_breakers,
+            cancel: CancelToken::unbounded(),
+            deadline_countdown: DEADLINE_CHECK_INTERVAL,
         })
+    }
+
+    /// Arm the statement's lifecycle token: the executor checks it between
+    /// tuples, and every instantiated UDF is handed a clone so sandboxed
+    /// backends can honour it mid-invocation too.
+    pub fn attach_cancel(&mut self, token: &CancelToken) {
+        self.cancel = token.clone();
+        for u in &mut self.udfs {
+            u.attach_cancel(token.clone());
+        }
+    }
+
+    /// Cooperative lifecycle check, called from every operator `next`.
+    /// The cancellation flag (one atomic load) is checked every call; the
+    /// deadline (an `Instant::now()`) every `DEADLINE_CHECK_INTERVAL` ticks.
+    #[inline]
+    pub fn tick(&mut self) -> Result<()> {
+        if self.cancel.is_cancelled() {
+            return self.cancel.check();
+        }
+        self.deadline_countdown -= 1;
+        if self.deadline_countdown == 0 {
+            self.deadline_countdown = DEADLINE_CHECK_INTERVAL;
+            self.cancel.check()?;
+        }
+        Ok(())
     }
 
     /// Tear down per-query UDF instances (shuts down worker processes) and
@@ -247,6 +317,13 @@ pub fn eval(e: &BExpr, tuple: &Tuple, ctx: &mut ExecCtx<'_>) -> Result<Value> {
             let out = u.invoke(&vals, &mut counting);
             ctx.udf_metrics[*udf].latency.observe(started.elapsed());
             ctx.udfs[*udf] = u;
+            if let Some(b) = &ctx.udf_breakers[*udf] {
+                match &out {
+                    Ok(_) => b.record_success(),
+                    Err(e) if breaker_counts(e) => b.record_failure(),
+                    Err(_) => {}
+                }
+            }
             out?
         }
     })
@@ -483,6 +560,10 @@ impl Executor {
 
     /// Pull the next tuple, or `None` when exhausted.
     pub fn next(&mut self, ctx: &mut ExecCtx<'_>) -> Result<Option<Tuple>> {
+        // Cooperative cancellation: every operator polls the statement's
+        // lifecycle token once per pull, so even a pipeline of cheap
+        // predicates over a huge scan aborts within a few tuples.
+        ctx.tick()?;
         match self {
             Executor::SeqScan { scan } => match scan.next() {
                 None => Ok(None),

@@ -73,6 +73,13 @@ pub trait ScalarUdf: Send {
         None
     }
 
+    /// Attach the statement's lifecycle token. Backends that can poll it
+    /// do (the in-process VM checks every K instructions; pooled workers
+    /// bound their invocation deadline by the remaining statement
+    /// budget). Default: ignored — trusted native code cannot be
+    /// interrupted, the same trade-off that makes it unmeterable.
+    fn attach_cancel(&mut self, _token: jaguar_common::cancel::CancelToken) {}
+
     /// Per-query teardown (e.g. shutting down a worker process). Default:
     /// nothing.
     fn finish(self: Box<Self>) -> Result<()> {

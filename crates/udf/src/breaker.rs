@@ -1,0 +1,323 @@
+//! Per-UDF circuit breakers: fail-fast quarantine for repeat offenders.
+//!
+//! A UDF that crashes its worker (or blows its invocation deadline) on
+//! *every* call turns a 10,000-tuple query into 10,000 worker respawns —
+//! a respawn storm that starves the pool and the paper's security story
+//! never priced in. The breaker is the classic three-state machine:
+//!
+//! ```text
+//!          N consecutive failures                cooldown elapsed
+//! Closed ───────────────────────────▶ Open ───────────────────────▶ HalfOpen
+//!   ▲                                  ▲                               │
+//!   │            probe succeeds        │        probe fails            │
+//!   └──────────────────────────────────┴───────────────────────────────┘
+//! ```
+//!
+//! While **open**, [`CircuitBreaker::try_acquire`] fails immediately with
+//! [`JaguarError::UdfQuarantined`] — no worker checkout, no respawn.
+//! After the cooldown, exactly one query is let through as the
+//! **half-open probe**; its success closes the breaker, its failure
+//! re-opens it for another cooldown. Only *infrastructure* failures
+//! (worker crashes, resource-limit kills) count — application-level UDF
+//! errors and statement cancellations do not, which is the caller's
+//! responsibility to enforce (see `ExecCtx::record_udf_outcome`).
+//!
+//! One breaker guards one registered UDF name across all queries and
+//! connections; re-registering a UDF installs a fresh (closed) breaker,
+//! so uploading a fixed module clears the quarantine.
+
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use jaguar_common::error::{JaguarError, Result};
+use jaguar_common::obs;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum State {
+    Closed {
+        consecutive_failures: u32,
+    },
+    Open {
+        since: Instant,
+    },
+    /// One probe admitted at `since`. If the probe never reports back
+    /// (e.g. its query aborted before any invocation), another probe is
+    /// admitted after a further cooldown — the breaker cannot wedge.
+    HalfOpen {
+        since: Instant,
+    },
+}
+
+/// Breaker state as reported by [`CircuitBreaker::state_name`] and the
+/// `udf.breaker.state.*` gauges (0 = closed, 1 = half-open, 2 = open).
+const GAUGE_CLOSED: i64 = 0;
+const GAUGE_HALF_OPEN: i64 = 1;
+const GAUGE_OPEN: i64 = 2;
+
+/// Consecutive-failure circuit breaker for one registered UDF.
+pub struct CircuitBreaker {
+    name: String,
+    /// Consecutive failures that trip the breaker; `0` disables it.
+    threshold: u32,
+    cooldown: Duration,
+    state: Mutex<State>,
+}
+
+impl std::fmt::Debug for CircuitBreaker {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CircuitBreaker")
+            .field("name", &self.name)
+            .field("threshold", &self.threshold)
+            .field("cooldown", &self.cooldown)
+            .field("state", &self.state_name())
+            .finish()
+    }
+}
+
+impl CircuitBreaker {
+    pub fn new(name: impl Into<String>, threshold: u32, cooldown: Duration) -> CircuitBreaker {
+        let name = name.into();
+        let b = CircuitBreaker {
+            name,
+            threshold,
+            cooldown,
+            state: Mutex::new(State::Closed {
+                consecutive_failures: 0,
+            }),
+        };
+        b.publish_gauge(GAUGE_CLOSED);
+        b
+    }
+
+    /// Is breaking disabled (`threshold == 0`)?
+    pub fn disabled(&self) -> bool {
+        self.threshold == 0
+    }
+
+    /// The UDF name this breaker guards.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// `"closed"`, `"open"` or `"half-open"` — for metrics text and tests.
+    pub fn state_name(&self) -> &'static str {
+        match *self.state.lock().unwrap() {
+            State::Closed { .. } => "closed",
+            State::Open { .. } => "open",
+            State::HalfOpen { .. } => "half-open",
+        }
+    }
+
+    /// Gate a query's use of this UDF. Closed: pass. Open within the
+    /// cooldown: fail fast with [`JaguarError::UdfQuarantined`] (no worker
+    /// is checked out or spawned). Open past the cooldown: admit this
+    /// query as the single half-open probe. Half-open (a probe already in
+    /// flight): fail fast.
+    pub fn try_acquire(&self) -> Result<()> {
+        if self.disabled() {
+            return Ok(());
+        }
+        let mut state = self.state.lock().unwrap();
+        match *state {
+            State::Closed { .. } => Ok(()),
+            // Open past cooldown, or a half-open probe that went silent
+            // for another full cooldown: admit (re-admit) one probe.
+            State::Open { since } | State::HalfOpen { since } => {
+                if since.elapsed() >= self.cooldown {
+                    *state = State::HalfOpen {
+                        since: Instant::now(),
+                    };
+                    drop(state);
+                    obs::global().counter("udf.breaker.probes").inc();
+                    self.publish_gauge(GAUGE_HALF_OPEN);
+                    Ok(())
+                } else {
+                    drop(state);
+                    self.fail_fast()
+                }
+            }
+        }
+    }
+
+    fn fail_fast(&self) -> Result<()> {
+        obs::global().counter("udf.breaker.fail_fast").inc();
+        Err(JaguarError::UdfQuarantined(format!(
+            "udf '{}' is quarantined after {} consecutive failures; retrying after cooldown",
+            self.name, self.threshold
+        )))
+    }
+
+    /// Record a successful invocation: resets the failure streak; a
+    /// half-open probe's success closes the breaker.
+    pub fn record_success(&self) {
+        if self.disabled() {
+            return;
+        }
+        let mut state = self.state.lock().unwrap();
+        let was_half_open = matches!(*state, State::HalfOpen { .. });
+        *state = State::Closed {
+            consecutive_failures: 0,
+        };
+        drop(state);
+        if was_half_open {
+            obs::global().counter("udf.breaker.closes").inc();
+            obs::info!(
+                target: "jaguar-udf",
+                "breaker for '{}' closed: half-open probe succeeded",
+                self.name
+            );
+            self.publish_gauge(GAUGE_CLOSED);
+        }
+    }
+
+    /// Record an infrastructure failure (worker crash, invocation
+    /// deadline kill). Trips the breaker at the threshold; a half-open
+    /// probe's failure re-opens immediately.
+    pub fn record_failure(&self) {
+        if self.disabled() {
+            return;
+        }
+        let mut state = self.state.lock().unwrap();
+        let tripped = match *state {
+            State::Closed {
+                consecutive_failures,
+            } => {
+                let n = consecutive_failures + 1;
+                if n >= self.threshold {
+                    *state = State::Open {
+                        since: Instant::now(),
+                    };
+                    true
+                } else {
+                    *state = State::Closed {
+                        consecutive_failures: n,
+                    };
+                    false
+                }
+            }
+            State::HalfOpen { .. } => {
+                *state = State::Open {
+                    since: Instant::now(),
+                };
+                true
+            }
+            State::Open { .. } => false,
+        };
+        drop(state);
+        if tripped {
+            obs::global().counter("udf.breaker.trips").inc();
+            obs::warn!(
+                target: "jaguar-udf",
+                "breaker for '{}' opened after {} consecutive failures; cooldown {:?}",
+                self.name,
+                self.threshold,
+                self.cooldown
+            );
+            self.publish_gauge(GAUGE_OPEN);
+        }
+    }
+
+    fn publish_gauge(&self, v: i64) {
+        obs::global()
+            .gauge(&format!("udf.breaker.state.{}", self.name))
+            .set(v);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn breaker(threshold: u32, cooldown_ms: u64) -> CircuitBreaker {
+        CircuitBreaker::new("t", threshold, Duration::from_millis(cooldown_ms))
+    }
+
+    #[test]
+    fn trips_after_threshold_consecutive_failures() {
+        let b = breaker(3, 60_000);
+        b.try_acquire().unwrap();
+        b.record_failure();
+        b.try_acquire().unwrap();
+        b.record_failure();
+        b.try_acquire().unwrap();
+        assert_eq!(b.state_name(), "closed");
+        b.record_failure();
+        assert_eq!(b.state_name(), "open");
+        let e = b.try_acquire().unwrap_err();
+        assert!(matches!(e, JaguarError::UdfQuarantined(_)), "{e}");
+    }
+
+    #[test]
+    fn success_resets_the_streak() {
+        let b = breaker(3, 60_000);
+        b.record_failure();
+        b.record_failure();
+        b.record_success();
+        b.record_failure();
+        b.record_failure();
+        assert_eq!(b.state_name(), "closed", "streak must reset on success");
+        b.record_failure();
+        assert_eq!(b.state_name(), "open");
+    }
+
+    #[test]
+    fn half_open_probe_recovers_or_reopens() {
+        let b = breaker(1, 40);
+        b.record_failure();
+        assert_eq!(b.state_name(), "open");
+        std::thread::sleep(Duration::from_millis(50));
+        // Cooldown elapsed: next acquire is the probe.
+        b.try_acquire().unwrap();
+        assert_eq!(b.state_name(), "half-open");
+        // A second query during the probe fails fast.
+        assert!(b.try_acquire().is_err());
+        // Probe failure re-opens …
+        b.record_failure();
+        assert_eq!(b.state_name(), "open");
+        // … next probe (after another cooldown) succeeds and closes.
+        std::thread::sleep(Duration::from_millis(50));
+        b.try_acquire().unwrap();
+        b.record_success();
+        assert_eq!(b.state_name(), "closed");
+        b.try_acquire().unwrap();
+    }
+
+    #[test]
+    fn silent_probe_does_not_wedge_the_breaker() {
+        let b = breaker(1, 40);
+        b.record_failure();
+        std::thread::sleep(Duration::from_millis(50));
+        // Probe admitted, but its query dies before any invocation — the
+        // breaker never hears record_success/record_failure.
+        b.try_acquire().unwrap();
+        assert_eq!(b.state_name(), "half-open");
+        assert!(b.try_acquire().is_err(), "probe still fresh: fail fast");
+        // After a further cooldown a new probe is admitted anyway.
+        std::thread::sleep(Duration::from_millis(50));
+        b.try_acquire().unwrap();
+        b.record_success();
+        assert_eq!(b.state_name(), "closed");
+    }
+
+    #[test]
+    fn open_breaker_respects_cooldown() {
+        let b = breaker(1, 60_000);
+        b.record_failure();
+        // Cooldown far from elapsed: every acquire fails fast.
+        for _ in 0..5 {
+            assert!(b.try_acquire().is_err());
+        }
+        assert_eq!(b.state_name(), "open");
+    }
+
+    #[test]
+    fn zero_threshold_disables_breaking() {
+        let b = breaker(0, 0);
+        assert!(b.disabled());
+        for _ in 0..10 {
+            b.record_failure();
+            b.try_acquire().unwrap();
+        }
+        assert_eq!(b.state_name(), "closed");
+    }
+}

@@ -3,6 +3,7 @@
 
 use std::sync::Arc;
 
+use jaguar_common::cancel::CancelToken;
 use jaguar_common::error::Result;
 use jaguar_common::Value;
 use jaguar_ipc::executor::WorkerProcess;
@@ -12,6 +13,7 @@ use jaguar_vm::interp::ExecMode;
 use jaguar_vm::{PermissionSet, ResourceLimits, VerifiedModule};
 
 use crate::api::{ScalarUdf, UdfSignature};
+use crate::breaker::CircuitBreaker;
 use crate::native::NativeUdf;
 use crate::vmexec::VmUdf;
 
@@ -60,6 +62,10 @@ pub struct UdfDef {
     pub name: String,
     pub signature: UdfSignature,
     pub imp: UdfImpl,
+    /// The registry-owned circuit breaker guarding this UDF, populated by
+    /// `UdfCatalog::get` so it rides along into the executor with no
+    /// extra plumbing. `None` for defs built outside a catalog.
+    pub breaker: Option<Arc<CircuitBreaker>>,
 }
 
 impl UdfDef {
@@ -68,7 +74,14 @@ impl UdfDef {
             name: name.into(),
             signature,
             imp,
+            breaker: None,
         }
+    }
+
+    /// Attach the registry's circuit breaker (see [`UdfDef::breaker`]).
+    pub fn with_breaker(mut self, breaker: Arc<CircuitBreaker>) -> UdfDef {
+        self.breaker = Some(breaker);
+        self
     }
 
     /// Create the per-query execution instance. For isolated designs this
@@ -104,6 +117,7 @@ impl UdfDef {
                         name: self.name.clone(),
                         signature: self.signature.clone(),
                         worker,
+                        cancel: CancelToken::unbounded(),
                     }))
                 }
                 None => {
@@ -113,6 +127,7 @@ impl UdfDef {
                         name: self.name.clone(),
                         signature: self.signature.clone(),
                         worker,
+                        cancel: CancelToken::unbounded(),
                     }))
                 }
             },
@@ -130,6 +145,7 @@ impl UdfDef {
                         name: self.name.clone(),
                         signature: self.signature.clone(),
                         worker,
+                        cancel: CancelToken::unbounded(),
                     }))
                 }
                 None => {
@@ -145,6 +161,7 @@ impl UdfDef {
                         name: self.name.clone(),
                         signature: self.signature.clone(),
                         worker,
+                        cancel: CancelToken::unbounded(),
                     }))
                 }
             },
@@ -157,6 +174,7 @@ struct IsolatedUdf {
     name: String,
     signature: UdfSignature,
     worker: WorkerProcess,
+    cancel: CancelToken,
 }
 
 impl ScalarUdf for IsolatedUdf {
@@ -169,10 +187,17 @@ impl ScalarUdf for IsolatedUdf {
     }
 
     fn invoke(&mut self, args: &[Value], callbacks: &mut dyn CallbackHandler) -> Result<Value> {
+        // Per-query workers have no supervisor to kill them mid-invoke;
+        // the token is still honoured between tuples.
+        self.cancel.check()?;
         self.signature.check_args(&self.name, args)?;
         // The argument copy into the pipe is the "copy into shared memory"
         // of the paper's Design 2.
         self.worker.invoke(args.to_vec(), callbacks)
+    }
+
+    fn attach_cancel(&mut self, token: CancelToken) {
+        self.cancel = token;
     }
 
     fn finish(self: Box<Self>) -> Result<()> {
@@ -187,6 +212,7 @@ struct PooledIsolatedUdf {
     name: String,
     signature: UdfSignature,
     worker: PooledWorker,
+    cancel: CancelToken,
 }
 
 impl ScalarUdf for PooledIsolatedUdf {
@@ -199,8 +225,17 @@ impl ScalarUdf for PooledIsolatedUdf {
     }
 
     fn invoke(&mut self, args: &[Value], callbacks: &mut dyn CallbackHandler) -> Result<Value> {
+        self.cancel.check()?;
         self.signature.check_args(&self.name, args)?;
-        self.worker.invoke(args.to_vec(), callbacks)
+        // Deadline propagation: the supervisor kills the worker at
+        // min(remaining statement budget, pool invoke timeout), so a
+        // wedged UDF cannot outlive its statement.
+        self.worker
+            .invoke_with_deadline(args.to_vec(), callbacks, self.cancel.remaining())
+    }
+
+    fn attach_cancel(&mut self, token: CancelToken) {
+        self.cancel = token;
     }
 
     fn finish(self: Box<Self>) -> Result<()> {

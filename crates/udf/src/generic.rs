@@ -304,6 +304,16 @@ pub fn worker_registry() -> WorkerRegistry {
         .register("hang", |_args, _cb| loop {
             std::thread::sleep(std::time::Duration::from_secs(3600));
         })
+        // Crashes only for positive arguments: lets circuit-breaker tests
+        // trip the breaker with crashing inputs, then prove the half-open
+        // probe recovers with a benign one.
+        .register("crash_if_positive", |args, _cb| {
+            let v = args.first().map(|a| a.as_int()).transpose()?.unwrap_or(0);
+            if v > 0 {
+                std::process::abort();
+            }
+            Ok(Value::Int(v))
+        })
 }
 
 #[cfg(test)]
@@ -429,6 +439,7 @@ mod tests {
             "generic_sfi",
             "crash",
             "hang",
+            "crash_if_positive",
         ] {
             assert!(reg.get(name).is_some(), "{name} missing");
         }

@@ -23,6 +23,7 @@
 //! `jaguar-worker` binary.
 
 pub mod api;
+pub mod breaker;
 pub mod def;
 pub mod generic;
 pub mod native;
@@ -30,6 +31,7 @@ pub mod sfi;
 pub mod vmexec;
 
 pub use api::{ScalarUdf, UdfResourceUsage, UdfSignature};
+pub use breaker::CircuitBreaker;
 pub use def::{UdfDef, UdfImpl, VmUdfSpec};
 pub use generic::{worker_registry, GenericParams};
 pub use jaguar_ipc::proto::CallbackHandler;

@@ -150,6 +150,13 @@ impl ScalarUdf for VmUdf {
         Some(self.consumed)
     }
 
+    fn attach_cancel(&mut self, token: jaguar_common::cancel::CancelToken) {
+        // The interpreter polls the token every K instructions alongside
+        // fuel, so even an unmetered (`fuel: None`) loop respects the
+        // statement deadline.
+        self.interp.set_cancel(token);
+    }
+
     fn invoke(&mut self, args: &[Value], callbacks: &mut dyn CallbackHandler) -> Result<Value> {
         self.signature.check_args(&self.name, args)?;
         let mut arena = Arena::new(self.interp.limits().memory);
@@ -327,5 +334,37 @@ mod tests {
         let e = udf.invoke(&[], &mut NoCallbacks).unwrap_err();
         assert!(matches!(e, JaguarError::ResourceLimit(_)), "{e}");
         assert!(e.is_containable());
+    }
+
+    #[test]
+    fn infinite_loop_contained_by_deadline_without_fuel() {
+        use jaguar_common::cancel::CancelToken;
+        let module = compile("m", "fn main() -> i64 { while 1 { } return 0; }").unwrap();
+        let verified = Arc::new(module.verify().unwrap());
+        let mut udf = VmUdf::new(
+            "spin",
+            UdfSignature::new(vec![], DataType::Int),
+            verified,
+            "main",
+            // No fuel limit: only the statement deadline can stop this.
+            ResourceLimits {
+                fuel: None,
+                memory: Some(1 << 20),
+                max_call_depth: 8,
+            },
+            ExecMode::Jit,
+            None,
+        )
+        .unwrap();
+        udf.attach_cancel(CancelToken::with_deadline(
+            std::time::Duration::from_millis(30),
+        ));
+        let started = std::time::Instant::now();
+        let e = udf.invoke(&[], &mut NoCallbacks).unwrap_err();
+        assert!(matches!(e, JaguarError::Timeout(_)), "{e}");
+        assert!(
+            started.elapsed() < std::time::Duration::from_secs(5),
+            "deadline must abort promptly"
+        );
     }
 }

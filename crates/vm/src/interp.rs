@@ -21,6 +21,7 @@
 
 use std::sync::Arc;
 
+use jaguar_common::cancel::CancelToken;
 use jaguar_common::error::{JaguarError, Result, VmTrap};
 
 use crate::arena::{Arena, BytesRef};
@@ -305,7 +306,17 @@ pub struct Interpreter {
     encoded: Vec<EncodedFn>,
     /// Fused execution plan per function (JIT mode only).
     fused: Vec<Vec<FusedOp>>,
+    /// Statement-lifecycle token, polled every
+    /// [`CANCEL_CHECK_INTERVAL`] instructions alongside the fuel check.
+    /// `None` (the default) skips the poll entirely.
+    cancel: Option<CancelToken>,
 }
+
+/// How many VM instructions may retire between cooperative cancellation
+/// checks. Coarse enough that the `Instant::now()` deadline comparison is
+/// amortised to noise, fine enough that an infinite loop is abandoned
+/// within microseconds of the deadline.
+pub const CANCEL_CHECK_INTERVAL: u64 = 65_536;
 
 impl Interpreter {
     pub fn new(module: Arc<VerifiedModule>, limits: ResourceLimits, mode: ExecMode) -> Interpreter {
@@ -333,6 +344,7 @@ impl Interpreter {
             security: None,
             encoded,
             fused,
+            cancel: None,
         }
     }
 
@@ -340,6 +352,14 @@ impl Interpreter {
     pub fn with_security(mut self, perms: Arc<PermissionSet>) -> Interpreter {
         self.security = Some(perms);
         self
+    }
+
+    /// Attach (or replace) the statement lifecycle token. Execution then
+    /// polls the token every [`CANCEL_CHECK_INTERVAL`] instructions and
+    /// aborts with `Cancelled` / `Timeout` when it trips — the in-process
+    /// equivalent of killing an isolated worker.
+    pub fn set_cancel(&mut self, token: CancelToken) {
+        self.cancel = Some(token);
     }
 
     pub fn module(&self) -> &VerifiedModule {
@@ -449,6 +469,7 @@ impl Interpreter {
 
         let mut usage = ResourceUsage::default();
         let mut fuel = self.limits.fuel;
+        let mut cancel_left = CANCEL_CHECK_INTERVAL;
 
         let make_locals = |fidx: u32,
                            args: Vec<VmValue>,
@@ -505,6 +526,16 @@ impl Interpreter {
                     )));
                 }
                 *left -= cost;
+            }
+            // Cooperative cancellation: poll the statement token at a
+            // coarse cadence so runaway-but-fueled loops still respect
+            // deadlines and client cancels.
+            if let Some(token) = &self.cancel {
+                cancel_left = cancel_left.saturating_sub(cost);
+                if cancel_left == 0 {
+                    token.check()?;
+                    cancel_left = CANCEL_CHECK_INTERVAL;
+                }
             }
 
             let insn = match op {
@@ -1084,6 +1115,52 @@ mod tests {
         let e = interp.invoke("main", &[], &mut NoHost).unwrap_err();
         assert!(matches!(e, JaguarError::ResourceLimit(_)), "{e}");
         assert!(e.is_containable());
+    }
+
+    #[test]
+    fn cancelled_token_stops_infinite_loop() {
+        let m = build(
+            FuncSig::new(vec![], Some(VType::I64)),
+            vec![],
+            vec![Insn::Jmp(0), Insn::ConstI(0), Insn::Ret],
+        );
+        // Unlimited fuel: only the pre-cancelled token can stop the loop.
+        let mut interp = Interpreter::new(
+            m,
+            ResourceLimits {
+                fuel: None,
+                memory: Some(1 << 20),
+                max_call_depth: 8,
+            },
+            ExecMode::Jit,
+        );
+        let token = CancelToken::unbounded();
+        token.cancel();
+        interp.set_cancel(token);
+        let e = interp.invoke("main", &[], &mut NoHost).unwrap_err();
+        assert!(matches!(e, JaguarError::Cancelled(_)), "{e}");
+        assert!(e.is_containable());
+    }
+
+    #[test]
+    fn expired_deadline_stops_infinite_loop() {
+        let m = build(
+            FuncSig::new(vec![], Some(VType::I64)),
+            vec![],
+            vec![Insn::Jmp(0), Insn::ConstI(0), Insn::Ret],
+        );
+        let mut interp = Interpreter::new(
+            m,
+            ResourceLimits {
+                fuel: None,
+                memory: Some(1 << 20),
+                max_call_depth: 8,
+            },
+            ExecMode::Jit,
+        );
+        interp.set_cancel(CancelToken::with_deadline(std::time::Duration::ZERO));
+        let e = interp.invoke("main", &[], &mut NoHost).unwrap_err();
+        assert!(matches!(e, JaguarError::Timeout(_)), "{e}");
     }
 
     #[test]

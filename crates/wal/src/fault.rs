@@ -1,9 +1,10 @@
 //! Fault injection for crash-recovery testing.
 //!
-//! A *crash point* is a named place in the commit path where a test can ask
-//! the process to die abruptly (`abort`, no destructors, no buffered-write
-//! flushing — as close to a power cut as a live process gets). Arming is by
-//! environment variable so a harness can re-exec itself as the victim:
+//! The generic machinery — env-armed named crash points and in-process
+//! fault sites — lives in [`jaguar_common::fault`] (it grew out of this
+//! module and is now shared by `ipc` and `net` chaos tests). This module
+//! keeps the WAL-specific pieces: the canonical crash-point list the
+//! recovery harness iterates, and torn-tail simulation:
 //!
 //! ```text
 //! JAGUAR_CRASH_POINT=wal.before_commit  → abort() when that point is hit
@@ -13,12 +14,12 @@
 //! ```
 //!
 //! In production neither variable is set and every check is one cached
-//! `Option<String>` comparison.
+//! comparison.
 
 use std::sync::OnceLock;
 
-/// Environment variable naming the crash point to arm.
-pub const CRASH_POINT_ENV: &str = "JAGUAR_CRASH_POINT";
+pub use jaguar_common::fault::{crash_point, CRASH_POINT_ENV};
+
 /// Environment variable arming torn-tail simulation on the next commit.
 pub const TORN_TAIL_ENV: &str = "JAGUAR_TORN_TAIL";
 
@@ -37,22 +38,6 @@ pub const CRASH_POINTS: &[&str] = &[
     // Commit record fsynced — the transaction must survive recovery.
     "wal.after_commit_sync",
 ];
-
-fn armed() -> Option<&'static str> {
-    static ARMED: OnceLock<Option<String>> = OnceLock::new();
-    ARMED
-        .get_or_init(|| std::env::var(CRASH_POINT_ENV).ok())
-        .as_deref()
-}
-
-/// Die here if this crash point is armed.
-pub fn crash_point(name: &str) {
-    if armed() == Some(name) {
-        // abort(), not exit(): no atexit handlers, no Drop, no flush.
-        eprintln!("jaguar-wal: crash point '{name}' armed, aborting");
-        std::process::abort();
-    }
-}
 
 /// Is torn-tail simulation armed? (Checked once per process.)
 pub fn torn_tail_armed() -> bool {

@@ -202,7 +202,9 @@ fn failed_statement_partial_effects_are_sealed() {
     {
         let db = Database::open(&dir, config()).unwrap();
         db.execute("CREATE TABLE t (a INT)").unwrap();
-        let err = db.execute("INSERT INTO t VALUES (1), ('oops')").unwrap_err();
+        let err = db
+            .execute("INSERT INTO t VALUES (1), ('oops')")
+            .unwrap_err();
         assert!(err.to_string().contains("expects INT"), "{err}");
         // No rollback: the first row is visible…
         assert_eq!(rows(&db), vec![1]);

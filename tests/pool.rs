@@ -155,6 +155,61 @@ fn crashed_worker_is_contained_and_pool_recovers() {
 }
 
 #[test]
+fn saturated_pool_times_out_checkout_and_recovers() {
+    if !worker_available() {
+        return;
+    }
+    let db = pooled_db(
+        Config::default()
+            .with_pooled_executors(1)
+            .with_pool_invoke_timeout_ms(Some(2_000))
+            .with_pool_checkout_timeout_ms(150),
+        "whang",
+        "hang",
+        vec![],
+    );
+    db.register_udf(UdfDef::new(
+        "wnoop",
+        UdfSignature::new(vec![DataType::Int], DataType::Int),
+        UdfImpl::IsolatedNative {
+            worker_fn: "noop".to_string(),
+        },
+    ));
+    let pool = db.worker_pool().expect("pool attached");
+    assert!(pool.wait_ready(Duration::from_secs(10)));
+
+    // Occupy the pool's only worker with a hung invoke (killed by the
+    // 2s invoke deadline eventually).
+    std::thread::scope(|s| {
+        let hog = s.spawn(|| db.execute("SELECT whang() FROM t"));
+        std::thread::sleep(Duration::from_millis(400));
+
+        // A second query now queues for a worker and must give up after
+        // the 150ms checkout timeout — cleanly, with the wait counted.
+        let start = std::time::Instant::now();
+        let err = db.execute("SELECT wnoop(a) FROM t").unwrap_err();
+        let elapsed = start.elapsed();
+        assert!(
+            matches!(err, JaguarError::Worker(_) | JaguarError::ResourceLimit(_)),
+            "checkout starvation must surface as a clean error, got: {err}"
+        );
+        assert!(
+            elapsed < Duration::from_secs(1),
+            "checkout timeout must fire at ~150ms, took {elapsed:?}"
+        );
+        let stats = db.pool_stats().unwrap();
+        assert!(stats.queue_waits >= 1, "{stats}");
+
+        // The hog is eventually killed by the invoke deadline.
+        assert!(hog.join().unwrap().is_err(), "hung invoke must error");
+    });
+
+    // The pool recovers: the same query that starved now succeeds.
+    let r = db.execute("SELECT wnoop(a) FROM t").unwrap();
+    assert_eq!(r.rows.len(), 3);
+}
+
+#[test]
 fn pool_survives_mixed_success_and_crash_sequence() {
     if !worker_available() {
         return;
