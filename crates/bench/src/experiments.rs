@@ -17,7 +17,7 @@ use jaguar_udf::NativeUdf;
 use jaguar_vm::ResourceLimits;
 
 use crate::report::{ratio, secs, Table};
-use crate::workload::{benchmark_query, build_standard, REL_SIZES};
+use crate::workload::{benchmark_query, build_relation, build_standard, REL_SIZES};
 
 /// Workload scale.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -179,7 +179,10 @@ impl ExperimentCtx {
     /// Build the workload. This is the expensive setup step; reuse one
     /// context for all experiments.
     pub fn new(scale: Scale) -> Result<ExperimentCtx> {
-        let db = Database::in_memory();
+        // The paper's figures measure single-threaded scans; pin dop=1 so
+        // the morsel-parallel Gather path never engages here. The
+        // `parallel` experiment builds its own engines per dop.
+        let db = Database::with_config(jaguar_core::Config::default().with_dop(1));
         build_standard(&db, scale.cardinality())?;
         let worker_available = jaguar_ipc::find_worker_binary().is_ok();
         Ok(ExperimentCtx {
@@ -1085,6 +1088,108 @@ impl ExperimentCtx {
         Ok(table)
     }
 
+    /// Morsel-parallel scan speedup (not in the paper — the jaguar-par
+    /// runtime). For each UDF design, run the generic-UDF benchmark query
+    /// at dop ∈ {1, 2, 4, 8} on a fresh engine and report latency
+    /// quantiles plus speedup vs dop=1. Isolated designs get a worker
+    /// pool sized to the dop so the planner never clamps. Also writes
+    /// machine-readable `BENCH_parallel.json`.
+    pub fn parallel(&self) -> Result<Table> {
+        use jaguar_core::Config;
+        let card = self.scale.cardinality();
+        let bytes = 100usize;
+        // Enough per-row UDF work that the scan itself is not the
+        // bottleneck; speedup then tracks available cores.
+        let (indep, dep) = (5_000i64, 2i64);
+        let reps = 5usize;
+        let dops = [1usize, 2, 4, 8];
+        let designs: [(Design, &str); 4] = [
+            (Design::Cpp, "TrustedNative"),
+            (Design::Jsm, "Sandboxed"),
+            (Design::ICpp, "IsolatedNative"),
+            (Design::IJsm, "SandboxedIsolated"),
+        ];
+        let mut t = Table::new(
+            "Parallel scan speedup by design and dop (extension)",
+            &["design", "dop", "p50", "p99", "speedup vs dop=1"],
+        );
+        let mut json_designs = Vec::new();
+        for (d, backend) in designs {
+            if let Some(reason) = self.skip_reason(d) {
+                t.note(reason);
+                continue;
+            }
+            let mut base_p50: Option<f64> = None;
+            let mut json_points = Vec::new();
+            for dop in dops {
+                let mut config = Config::default().with_dop(dop);
+                if d.needs_worker() {
+                    config = config.with_pooled_executors(dop);
+                }
+                let db = Database::with_config(config);
+                build_relation(&db, bytes, card)?;
+                if let Some(pool) = db.worker_pool() {
+                    pool.wait_ready(Duration::from_secs(30));
+                }
+                db.register_udf(def_for(d));
+                let sql = benchmark_query(bytes, card, indep, dep, 0);
+                db.execute(&sql)?; // warm-up: page in the relation
+                let mut lat_us: Vec<u64> = Vec::with_capacity(reps);
+                for _ in 0..reps {
+                    let start = Instant::now();
+                    let r = db.execute(&sql)?;
+                    lat_us.push(start.elapsed().as_micros() as u64);
+                    debug_assert_eq!(r.rows.len(), card);
+                }
+                lat_us.sort_unstable();
+                let q = |p: f64| -> u64 {
+                    let rank = ((p * lat_us.len() as f64).ceil() as usize).clamp(1, lat_us.len());
+                    lat_us[rank - 1]
+                };
+                let (p50, p99) = (q(0.50), q(0.99));
+                let speedup = match base_p50 {
+                    None => {
+                        base_p50 = Some(p50 as f64);
+                        1.0
+                    }
+                    Some(b) => b / (p50 as f64).max(1.0),
+                };
+                t.row(vec![
+                    format!("{} ({backend})", d.label()),
+                    dop.to_string(),
+                    format!("{p50}us"),
+                    format!("{p99}us"),
+                    format!("{speedup:.2}x"),
+                ]);
+                json_points.push(format!(
+                    "        {{\"dop\": {dop}, \"p50_us\": {p50}, \"p99_us\": {p99}, \
+                     \"speedup_vs_dop1\": {speedup:.3}}}"
+                ));
+            }
+            json_designs.push(format!(
+                "    {{\"design\": \"{}\", \"backend\": \"{backend}\", \"points\": [\n{}\n    ]}}",
+                d.label(),
+                json_points.join(",\n")
+            ));
+        }
+        let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+        t.note(format!(
+            "{card} invocations, bytearray {bytes}, DataIndepComps={indep}, \
+             DataDepComps={dep}; {cores} core(s) available — speedup is \
+             bounded by the host's core count"
+        ));
+        let json = format!(
+            "{{\n  \"experiment\": \"parallel_scan_speedup\",\n  \
+             \"cardinality\": {card},\n  \"bytearray_bytes\": {bytes},\n  \
+             \"data_indep_comps\": {indep},\n  \"data_dep_comps\": {dep},\n  \
+             \"reps\": {reps},\n  \"host_cores\": {cores},\n  \"designs\": [\n{}\n  ]\n}}\n",
+            json_designs.join(",\n")
+        );
+        std::fs::write("BENCH_parallel.json", json)?;
+        t.note("machine-readable copy written to BENCH_parallel.json");
+        Ok(t)
+    }
+
     /// Every experiment, in paper order.
     pub fn all(&self) -> Result<Vec<Table>> {
         Ok(vec![
@@ -1102,6 +1207,7 @@ impl ExperimentCtx {
             self.shipping()?,
             self.wal()?,
             self.cancel()?,
+            self.parallel()?,
         ])
     }
 
@@ -1122,8 +1228,9 @@ impl ExperimentCtx {
             "shipping" => self.shipping(),
             "wal" => self.wal(),
             "cancel" => self.cancel(),
+            "parallel" => self.parallel(),
             other => Err(JaguarError::Other(format!(
-                "unknown experiment '{other}' (try table1, fig4..fig8, sfi, jit, fuel, index, pool, shipping, wal, cancel)"
+                "unknown experiment '{other}' (try table1, fig4..fig8, sfi, jit, fuel, index, pool, shipping, wal, cancel, parallel)"
             ))),
         }
     }

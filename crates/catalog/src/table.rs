@@ -249,6 +249,22 @@ impl Table {
         }
     }
 
+    /// Scan rows whose heap page lies in `[start, end)` — the morsel form
+    /// of [`Table::scan`]. Disjoint page ranges partition the table, and
+    /// concatenating them in ascending order reproduces storage order.
+    pub fn scan_range(&self, start: u32, end: u32) -> TableScan {
+        TableScan {
+            inner: self.heap.scan_range(start, end),
+        }
+    }
+
+    /// Number of pages in the backing heap file (page 0 is the file
+    /// header; data pages are `1..heap_pages()`). The unit a parallel
+    /// scan's morsels are carved from.
+    pub fn heap_pages(&self) -> u32 {
+        self.heap.file_pages()
+    }
+
     /// Commit this table's accumulated unlogged page mutations as one
     /// write-ahead-log transaction: images are logged between Begin/Commit
     /// markers and made durable per the configured sync mode. A no-op for

@@ -58,6 +58,14 @@ pub struct Config {
     /// Bound on queued pool checkouts; beyond this, checkouts fail fast
     /// (backpressure instead of an unbounded queue).
     pub pool_max_waiters: usize,
+    /// Degree of intra-query parallelism: the number of threads a
+    /// parallelizable `SELECT` may fan out to (a morsel-driven team, each
+    /// thread with its own VM instance / pool checkout). `1` disables
+    /// parallel execution — every statement runs exactly as it did before
+    /// the parallel runtime existed. Defaults to
+    /// `min(available cores, pool_size)` so isolated backends never plan
+    /// more threads than there are warm workers.
+    pub dop: usize,
     /// Statement deadline in milliseconds: a query still running past
     /// this budget is cooperatively aborted (Volcano operators, the VM
     /// interpreter, and pooled worker invokes all check). `None` (the
@@ -96,6 +104,10 @@ pub struct Config {
 
 impl Default for Config {
     fn default() -> Self {
+        let pool_size = 2;
+        let cores = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
         Config {
             page_size: 8192,
             buffer_pool_pages: 1024,
@@ -104,10 +116,11 @@ impl Default for Config {
             max_call_depth: 256,
             vm_jit_mode: true,
             pooled_executors: false,
-            pool_size: 2,
+            pool_size,
             pool_invoke_timeout_ms: Some(30_000),
             pool_checkout_timeout_ms: 5_000,
             pool_max_waiters: 64,
+            dop: cores.min(pool_size).max(1),
             statement_timeout_ms: None,
             udf_breaker_threshold: 3,
             udf_breaker_cooldown_ms: 10_000,
@@ -173,6 +186,13 @@ impl Config {
 
     pub fn with_pool_max_waiters(mut self, n: usize) -> Self {
         self.pool_max_waiters = n;
+        self
+    }
+
+    /// Degree of intra-query parallelism (`1` = serial execution, exactly
+    /// the pre-parallel behavior). Values are floored at 1.
+    pub fn with_dop(mut self, dop: usize) -> Self {
+        self.dop = dop.max(1);
         self
     }
 
@@ -276,6 +296,18 @@ mod tests {
         assert_eq!(c.pool_max_waiters, 8);
         // Defaults keep the paper's per-query executor model.
         assert!(!Config::paper_1998().pooled_executors);
+    }
+
+    #[test]
+    fn dop_defaults_and_builder() {
+        let c = Config::default();
+        assert!(c.dop >= 1, "dop is always at least 1");
+        assert!(
+            c.dop <= c.pool_size,
+            "default dop never exceeds the pool size"
+        );
+        assert_eq!(Config::default().with_dop(8).dop, 8);
+        assert_eq!(Config::default().with_dop(0).dop, 1, "floored at serial");
     }
 
     #[test]

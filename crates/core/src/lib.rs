@@ -51,6 +51,9 @@ pub use jaguar_common::obs;
 pub use jaguar_common::obs::MetricsSnapshot;
 pub use jaguar_common::{ByteArray, DataType, Field, Schema, Tuple, Value};
 pub use jaguar_net::{CancelHandle, Client, ClientOptions, Server};
+/// Morsel-driven parallel execution internals: the dispenser, worker
+/// teams, and `par.*` metric handles (see [`Config::dop`]).
+pub use jaguar_par as par;
 pub use jaguar_pool::{PoolConfig, PoolStatsSnapshot, WorkerPool};
 pub use jaguar_sql::{ExecStats, QueryResult};
 pub use jaguar_udf::{CallbackHandler, ScalarUdf, UdfDef, UdfImpl, UdfSignature};

@@ -343,6 +343,13 @@ impl WorkerPool {
         &self.inner.config
     }
 
+    /// Number of workers the pool maintains — the most checkouts one query
+    /// can hold simultaneously without waiting on itself. The parallel
+    /// planner clamps a thread team's dop to this for isolated UDFs.
+    pub fn capacity(&self) -> usize {
+        self.inner.config.size
+    }
+
     /// Current counter values.
     pub fn stats(&self) -> PoolStatsSnapshot {
         let s = &self.inner.stats;

@@ -341,6 +341,16 @@ impl Engine {
             }
             Statement::Select(stmt) => {
                 let plan = bind_select(&stmt, &self.catalog)?;
+                if let Some(dec) = crate::parallel::plan_parallel(self, &plan) {
+                    let (rows, stats, _reports) =
+                        crate::parallel::parallel_select(self, &plan, token, &dec)?;
+                    return Ok(QueryResult {
+                        schema: Arc::clone(&plan.output_schema),
+                        rows,
+                        affected: 0,
+                        stats,
+                    });
+                }
                 let mut handler = EngineCallbacks { engine: self };
                 let pool = self.worker_pool();
                 let mut ctx = ExecCtx::for_plan(&plan, &mut handler, pool.as_ref())?;
@@ -370,9 +380,44 @@ impl Engine {
     ) -> Result<QueryResult> {
         let plan = bind_select(select, &self.catalog)?;
         let schema = Arc::new(Schema::of(&[("plan", jaguar_common::DataType::Str)]));
-        let mut lines: Vec<String> = explain(&plan).lines().map(str::to_string).collect();
+        let par_dec = crate::parallel::plan_parallel(self, &plan);
+        let mut lines: Vec<String> = match &par_dec {
+            Some(dec) => crate::plan::explain_parallel(&plan, dec.dop),
+            None => explain(&plan),
+        }
+        .lines()
+        .map(str::to_string)
+        .collect();
         let mut stats = ExecStats::default();
-        if analyze {
+        if let (true, Some(dec)) = (analyze, &par_dec) {
+            let started = std::time::Instant::now();
+            let (rows, par_stats, reports) =
+                crate::parallel::parallel_select(self, &plan, token, dec)?;
+            let total_us = started.elapsed().as_micros() as u64;
+            stats = par_stats;
+            lines.push(String::new());
+            lines.push(format!(
+                "Gather (dop={})  morsels={}",
+                dec.dop,
+                reports.iter().map(|r| r.morsels).sum::<u64>()
+            ));
+            for (i, r) in reports.iter().enumerate() {
+                lines.push(format!(
+                    "  worker {i}: rows={} morsels={} busy={}",
+                    r.rows,
+                    r.morsels,
+                    fmt_us(r.busy_us)
+                ));
+            }
+            lines.push(format!(
+                "Total: {} row(s) in {} ({} scanned, {} UDF call(s), {} callback(s))",
+                rows.len(),
+                fmt_us(total_us),
+                stats.rows_scanned,
+                stats.udf_invocations,
+                stats.udf_callbacks
+            ));
+        } else if analyze {
             let mut handler = EngineCallbacks { engine: self };
             let pool = self.worker_pool();
             let mut ctx = ExecCtx::for_plan(&plan, &mut handler, pool.as_ref())?;
@@ -408,7 +453,10 @@ impl Engine {
         match parse(sql)? {
             Statement::Select(stmt) | Statement::Explain { select: stmt, .. } => {
                 let plan = bind_select(&stmt, &self.catalog)?;
-                Ok(explain(&plan))
+                Ok(match crate::parallel::plan_parallel(self, &plan) {
+                    Some(dec) => crate::plan::explain_parallel(&plan, dec.dop),
+                    None => explain(&plan),
+                })
             }
             _ => Err(JaguarError::Plan("EXPLAIN supports only SELECT".into())),
         }
@@ -416,8 +464,10 @@ impl Engine {
 }
 
 /// Routes UDF callbacks to the engine's registered callback functions.
-struct EngineCallbacks<'a> {
-    engine: &'a Engine,
+/// Each parallel worker thread builds its own instance, so callbacks stay
+/// `&mut self` without any cross-thread handler sharing.
+pub(crate) struct EngineCallbacks<'a> {
+    pub(crate) engine: &'a Engine,
 }
 
 impl CallbackHandler for EngineCallbacks<'_> {
@@ -453,8 +503,10 @@ fn seal_partial_effects(table: &jaguar_catalog::Table, err: JaguarError) -> Jagu
     err
 }
 
-/// Evaluate cost-ordered predicates with short-circuit AND.
-fn matches_all(
+/// Evaluate cost-ordered predicates with short-circuit AND. Shared with
+/// the parallel worker fragments, which filter morsel-local tuples with
+/// exactly the serial semantics.
+pub(crate) fn matches_all(
     predicates: &[crate::plan::BExpr],
     tuple: &Tuple,
     ctx: &mut ExecCtx<'_>,

@@ -712,8 +712,9 @@ impl Executor {
 }
 
 /// Total order used by ORDER BY: NULLs sort after every value (ascending);
-/// cross-type comparisons fall back to a stable type-rank order.
-fn sort_cmp(a: &Value, b: &Value) -> std::cmp::Ordering {
+/// cross-type comparisons fall back to a stable type-rank order. Shared
+/// with the parallel gather-then-sort path so both orders are identical.
+pub(crate) fn sort_cmp(a: &Value, b: &Value) -> std::cmp::Ordering {
     use std::cmp::Ordering;
     match (a.is_null(), b.is_null()) {
         (true, true) => return Ordering::Equal,
@@ -730,7 +731,7 @@ fn sort_cmp(a: &Value, b: &Value) -> std::cmp::Ordering {
 
 /// Accumulator state for one aggregate within one group.
 #[derive(Debug, Clone)]
-enum AccState {
+pub(crate) enum AccState {
     Count(i64),
     SumI(Option<i64>),
     SumF(Option<f64>),
@@ -813,6 +814,53 @@ impl AccState {
         Ok(())
     }
 
+    /// Fold another accumulator of the same shape — a parallel worker's
+    /// partial state for the same group — into this one.
+    fn merge(&mut self, func: AggFunc, other: AccState) -> Result<()> {
+        match (self, other) {
+            (AccState::Count(n), AccState::Count(m)) => *n += m,
+            (AccState::SumI(acc), AccState::SumI(o)) => {
+                if let Some(x) = o {
+                    *acc = Some(acc.unwrap_or(0).wrapping_add(x));
+                }
+            }
+            (AccState::SumF(acc), AccState::SumF(o)) => {
+                if let Some(x) = o {
+                    *acc = Some(acc.unwrap_or(0.0) + x);
+                }
+            }
+            (AccState::Avg { sum, n }, AccState::Avg { sum: s, n: m }) => {
+                *sum += s;
+                *n += m;
+            }
+            (AccState::MinMax(_), AccState::MinMax(None)) => {}
+            (AccState::MinMax(best), AccState::MinMax(Some(val))) => {
+                let replace = match best {
+                    None => true,
+                    Some(cur) => {
+                        let ord = val.sql_cmp(cur).ok_or_else(|| {
+                            JaguarError::Execution("min/max over incomparable values".into())
+                        })?;
+                        match func {
+                            AggFunc::Min => ord == std::cmp::Ordering::Less,
+                            AggFunc::Max => ord == std::cmp::Ordering::Greater,
+                            _ => unreachable!("MinMax state"),
+                        }
+                    }
+                };
+                if replace {
+                    *best = Some(val);
+                }
+            }
+            _ => {
+                return Err(JaguarError::Execution(
+                    "aggregate partials of mismatched shape".into(),
+                ))
+            }
+        }
+        Ok(())
+    }
+
     fn finish(self) -> Value {
         match self {
             AccState::Count(n) => Value::Int(n),
@@ -826,59 +874,111 @@ impl AccState {
     }
 }
 
+/// Accumulating grouped-aggregation state, shared by the serial
+/// `Aggregate` operator and the parallel partial-aggregate → combine path.
+///
+/// Groups are keyed by a stable serialisation of the group expressions'
+/// values (keeps the map hashable without imposing `Eq`/`Hash` on `Value`)
+/// and emitted in first-seen order. Merging per-morsel partials in morsel
+/// order therefore reproduces the serial operator's output order exactly:
+/// a group's position is its first occurrence in scan order either way.
+#[derive(Default)]
+pub(crate) struct GroupedAgg {
+    groups: std::collections::HashMap<Vec<u8>, (Vec<Value>, Vec<AccState>)>,
+    /// Insertion order for deterministic output.
+    order: Vec<Vec<u8>>,
+}
+
+impl GroupedAgg {
+    pub(crate) fn new() -> GroupedAgg {
+        GroupedAgg::default()
+    }
+
+    /// Fold one input tuple into its group.
+    pub(crate) fn update(
+        &mut self,
+        plan: &AggregatePlan,
+        tuple: &Tuple,
+        ctx: &mut ExecCtx<'_>,
+    ) -> Result<()> {
+        let mut key_vals = Vec::with_capacity(plan.group_exprs.len());
+        let mut key = Vec::new();
+        for g in &plan.group_exprs {
+            let v = eval(g, tuple, ctx)?;
+            key.extend_from_slice(&jaguar_common::stream::value_to_vec(&v));
+            key_vals.push(v);
+        }
+        if !self.groups.contains_key(&key) {
+            self.order.push(key.clone());
+            self.groups.insert(
+                key.clone(),
+                (key_vals, plan.aggs.iter().map(AccState::new).collect()),
+            );
+        }
+        let entry = self.groups.get_mut(&key).expect("just inserted");
+        for (spec, acc) in plan.aggs.iter().zip(entry.1.iter_mut()) {
+            let v = match &spec.arg {
+                Some(e) => Some(eval(e, tuple, ctx)?),
+                None => None,
+            };
+            acc.update(spec.func, v.as_ref())?;
+        }
+        Ok(())
+    }
+
+    /// Fold another partial aggregation — a later morsel's — into this
+    /// one. Groups first seen by `other` append after this one's, so
+    /// merging partials in morsel order keeps first-seen-in-scan-order
+    /// output.
+    pub(crate) fn merge(&mut self, plan: &AggregatePlan, other: GroupedAgg) -> Result<()> {
+        let mut other_groups = other.groups;
+        for key in other.order {
+            let (vals, accs) = other_groups.remove(&key).expect("keys from order");
+            match self.groups.get_mut(&key) {
+                Some(entry) => {
+                    for (spec, (mine, theirs)) in plan.aggs.iter().zip(entry.1.iter_mut().zip(accs))
+                    {
+                        mine.merge(spec.func, theirs)?;
+                    }
+                }
+                None => {
+                    self.order.push(key.clone());
+                    self.groups.insert(key, (vals, accs));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Emit one output tuple per group (group values ++ aggregate results)
+    /// in first-seen order. A global aggregation over zero input rows
+    /// still yields its single default row.
+    pub(crate) fn finish(mut self, plan: &AggregatePlan) -> Vec<Tuple> {
+        if plan.group_exprs.is_empty() && self.groups.is_empty() {
+            let accs: Vec<AccState> = plan.aggs.iter().map(AccState::new).collect();
+            return vec![Tuple::new(accs.into_iter().map(AccState::finish).collect())];
+        }
+        let mut out = Vec::with_capacity(self.order.len());
+        for key in self.order {
+            let (mut vals, accs) = self.groups.remove(&key).expect("keys from order");
+            vals.extend(accs.into_iter().map(AccState::finish));
+            out.push(Tuple::new(vals));
+        }
+        out
+    }
+}
+
 /// Drain `child` and compute the grouped aggregation.
 fn run_aggregation(
     child: &mut Executor,
     plan: &AggregatePlan,
     ctx: &mut ExecCtx<'_>,
 ) -> Result<Vec<Tuple>> {
-    use std::collections::HashMap;
-    // Group key = stable serialisation of the group expressions' values;
-    // keeps the map hashable without imposing Eq/Hash on Value (floats).
-    let mut groups: HashMap<Vec<u8>, (Vec<Value>, Vec<AccState>)> = HashMap::new();
-    // Insertion order for deterministic output.
-    let mut order: Vec<Vec<u8>> = Vec::new();
-
+    let mut agg = GroupedAgg::new();
     while let Some(tuple) = child.next(ctx)? {
-        let mut key_vals = Vec::with_capacity(plan.group_exprs.len());
-        let mut key = Vec::new();
-        for g in &plan.group_exprs {
-            let v = eval(g, &tuple, ctx)?;
-            key.extend_from_slice(&jaguar_common::stream::value_to_vec(&v));
-            key_vals.push(v);
-        }
-        if !groups.contains_key(&key) {
-            order.push(key.clone());
-            groups.insert(
-                key.clone(),
-                (key_vals, plan.aggs.iter().map(AccState::new).collect()),
-            );
-        }
-        let entry = groups.get_mut(&key).expect("just inserted");
-        for (spec, acc) in plan.aggs.iter().zip(entry.1.iter_mut()) {
-            let v = match &spec.arg {
-                Some(e) => Some(eval(e, &tuple, ctx)?),
-                None => None,
-            };
-            acc.update(spec.func, v.as_ref())?;
-        }
+        agg.update(plan, &tuple, ctx)?;
     }
-
-    // Global aggregation with zero input rows still yields one row.
-    if plan.group_exprs.is_empty() && groups.is_empty() {
-        let accs: Vec<AccState> = plan.aggs.iter().map(AccState::new).collect();
-        return Ok(vec![Tuple::new(
-            accs.into_iter().map(AccState::finish).collect(),
-        )]);
-    }
-
-    let mut out = Vec::with_capacity(order.len());
-    for key in order {
-        let (mut vals, accs) = groups.remove(&key).expect("keys from order");
-        vals.extend(accs.into_iter().map(AccState::finish));
-        out.push(Tuple::new(vals));
-    }
-    Ok(out)
+    Ok(agg.finish(plan))
 }
 
 /// Schema of an executor's output (the plan's `output_schema`).

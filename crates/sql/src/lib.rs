@@ -12,6 +12,9 @@
 //!   been developed to 'place' UDFs within query plans"),
 //! * [`exec`] — Volcano-style iterators (SeqScan → Filter → Project →
 //!   Limit) with per-query UDF instances and callback plumbing (§4.2),
+//! * [`parallel`] — morsel-driven parallel execution: an eligible scan is
+//!   carved into page-range morsels drained by a team of worker threads
+//!   whose results a `Gather` step reassembles in serial order,
 //! * [`engine`] — the embeddable database engine and its sessions.
 //!
 //! The paper's benchmark query runs verbatim:
@@ -24,6 +27,7 @@ pub mod ast;
 pub mod engine;
 pub mod exec;
 pub mod lexer;
+pub mod parallel;
 pub mod parser;
 pub mod plan;
 

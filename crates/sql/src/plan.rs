@@ -916,6 +916,17 @@ pub fn bind_dml(
 
 /// Render a human-readable plan (used by tests and the EXPLAIN-style API).
 pub fn explain(plan: &BoundSelect) -> String {
+    explain_inner(plan, None)
+}
+
+/// Render the plan with a `Gather (dop=N)` exchange above the pipeline
+/// fragment the worker team runs (scan + filters): the parallel planner's
+/// decision, as shown by `EXPLAIN` when a query qualifies.
+pub fn explain_parallel(plan: &BoundSelect, dop: usize) -> String {
+    explain_inner(plan, Some(dop))
+}
+
+fn explain_inner(plan: &BoundSelect, gather_dop: Option<usize>) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "Project {} column(s)", plan.projections.len());
     if let Some(n) = plan.limit {
@@ -940,14 +951,22 @@ pub fn explain(plan: &BoundSelect) -> String {
                 .join(", ")
         );
     }
+    // The scan/filter fragment runs inside each Gather worker, so it
+    // gains one indent level under the exchange operator.
+    let frag = if let Some(dop) = gather_dop {
+        let _ = writeln!(out, "  Gather (dop={dop})");
+        "    "
+    } else {
+        "  "
+    };
     for (i, p) in plan.predicates.iter().enumerate() {
-        let _ = writeln!(out, "  Filter[{i}] {}", describe(p, plan));
+        let _ = writeln!(out, "{frag}Filter[{i}] {}", describe(p, plan));
     }
     match &plan.access {
         AccessPath::FullScan => {
             let _ = writeln!(
                 out,
-                "  SeqScan {} ({} rows)",
+                "{frag}SeqScan {} ({} rows)",
                 plan.table.name(),
                 plan.table.row_count()
             );
@@ -955,7 +974,7 @@ pub fn explain(plan: &BoundSelect) -> String {
         AccessPath::IndexRange { index, lo, hi } => {
             let _ = writeln!(
                 out,
-                "  IndexScan {} via {} [{}, {})",
+                "{frag}IndexScan {} via {} [{}, {})",
                 plan.table.name(),
                 index.name,
                 lo,
@@ -963,7 +982,7 @@ pub fn explain(plan: &BoundSelect) -> String {
             );
         }
         AccessPath::Empty => {
-            let _ = writeln!(out, "  EmptyScan (predicate unsatisfiable)");
+            let _ = writeln!(out, "{frag}EmptyScan (predicate unsatisfiable)");
         }
     }
     out

@@ -36,7 +36,8 @@ use std::sync::Arc;
 
 use jaguar_common::error::{JaguarError, Result};
 use jaguar_common::ids::PageId;
-use parking_lot::{Mutex, RwLock, RwLockReadGuard, RwLockWriteGuard};
+use jaguar_common::obs;
+use parking_lot::{Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
 use crate::disk::DiskManager;
 use crate::page::page_lsn;
@@ -91,6 +92,9 @@ pub struct BufferPool {
     /// a generation counter bumped on every tracked write. These are
     /// pinned-in-spirit: never evicted, never flushed (no-steal).
     unlogged: Mutex<HashMap<PageId, u64>>,
+    /// Ticks when a fetch/unpin finds the central pool latch held by
+    /// another thread — the first place parallel scans bottleneck.
+    latch_waits: Arc<obs::Counter>,
 }
 
 impl BufferPool {
@@ -111,6 +115,19 @@ impl BufferPool {
             wal_hook: Mutex::new(None),
             track_unlogged: AtomicBool::new(false),
             unlogged: Mutex::new(HashMap::new()),
+            latch_waits: obs::global().counter("storage.bufferpool.latch_waits"),
+        }
+    }
+
+    /// Take the central pool latch, counting the acquisition as a contended
+    /// wait when another thread holds it right now.
+    fn latch(&self) -> MutexGuard<'_, PoolInner> {
+        match self.inner.try_lock() {
+            Some(g) => g,
+            None => {
+                self.latch_waits.inc();
+                self.inner.lock()
+            }
         }
     }
 
@@ -182,7 +199,7 @@ impl BufferPool {
     /// Fetch a page, reading it from disk on a miss. The returned handle
     /// pins the page until dropped.
     pub fn fetch(self: &Arc<Self>, page: PageId) -> Result<PageHandle> {
-        let mut inner = self.inner.lock();
+        let mut inner = self.latch();
         inner.tick += 1;
         let tick = inner.tick;
 
@@ -286,7 +303,7 @@ impl BufferPool {
     }
 
     fn unpin(&self, page: PageId) {
-        let mut inner = self.inner.lock();
+        let mut inner = self.latch();
         if let Some(&idx) = inner.map.get(&page) {
             let f = &mut inner.frames[idx];
             debug_assert!(f.pins > 0, "unpin of unpinned page");
@@ -299,7 +316,7 @@ impl BufferPool {
     /// not reach the data file (they are flushed by the commit following
     /// their statement, or discarded with the process).
     pub fn flush_all(&self) -> Result<()> {
-        let inner = self.inner.lock();
+        let inner = self.latch();
         let tracking = self.track_unlogged.load(Ordering::Acquire);
         for f in &inner.frames {
             if tracking && self.unlogged.lock().contains_key(&f.page) {

@@ -54,6 +54,18 @@ impl UdfImpl {
             UdfImpl::IsolatedVm(_) => "IJSM",
         }
     }
+
+    /// Whether this design runs in a separate worker process — and so
+    /// draws one checkout per execution context from the worker pool when
+    /// one is attached. The parallel planner clamps a query's dop to the
+    /// pool size when any of its UDFs answers true, so a thread team can
+    /// never deadlock on its own checkouts.
+    pub fn needs_worker(&self) -> bool {
+        matches!(
+            self,
+            UdfImpl::IsolatedNative { .. } | UdfImpl::IsolatedVm(_)
+        )
+    }
 }
 
 /// A registered UDF: name + SQL signature + execution design.

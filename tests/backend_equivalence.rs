@@ -3,7 +3,7 @@
 //! correctness backbone of the whole performance study — Figures 5-8 only
 //! make sense if the designs compute the same function.
 
-use jaguar_core::{ByteArray, Value};
+use jaguar_core::{ByteArray, Config, Database, JaguarError, Tuple, Value};
 use jaguar_ipc::find_worker_binary;
 use jaguar_udf::generic::{
     def_isolated, def_isolated_vm, def_native, def_native_bc, def_native_sfi, def_vm,
@@ -123,6 +123,106 @@ fn equivalence_on_randomized_parameters() {
             );
         }
     }
+}
+
+/// A SQL database with `rows` rows and every generic-UDF design
+/// registered, configured for the given degree of parallelism.
+fn sql_db(dop: usize, rows: usize) -> Database {
+    // Pool size = 4 so a dop=4 team of isolated executors is never
+    // clamped — this test is about result equivalence, not saturation.
+    let db = Database::with_config(Config::default().with_dop(dop).with_pooled_executors(4));
+    db.execute("CREATE TABLE rel (id INT, bytearray BYTEARRAY)")
+        .unwrap();
+    let t = db.catalog().table("rel").unwrap();
+    for i in 0..rows {
+        t.insert(Tuple::new(vec![
+            Value::Int(i as i64),
+            Value::Bytes(ByteArray::patterned(100, i as u64)),
+        ]))
+        .unwrap();
+    }
+    db.register_udf(def_native());
+    db.register_udf(def_vm(true, ResourceLimits::default()));
+    db.register_udf(def_isolated());
+    db.register_udf(def_isolated_vm(true, ResourceLimits::default()));
+    db
+}
+
+/// Rows in a canonical order, so serial and parallel result sets can be
+/// compared irrespective of output order.
+fn normalized(rows: &[Tuple]) -> Vec<String> {
+    let mut out: Vec<String> = rows.iter().map(|t| format!("{t:?}")).collect();
+    out.sort();
+    out
+}
+
+/// The cross-design equivalence queries, re-run at the SQL level under
+/// dop=1 and dop=4: every design must produce the same (order-normalized)
+/// result set at both degrees of parallelism.
+#[test]
+fn sql_equivalence_holds_at_dop_1_and_4_for_all_designs() {
+    let with_worker = worker_available();
+    let serial = sql_db(1, 700);
+    let parallel = sql_db(4, 700);
+    let designs: &[(&str, bool)] = &[
+        ("generic", false),
+        ("generic_vm", false),
+        ("generic_ic", true),
+        ("generic_ivm", true),
+    ];
+    for (udf, needs_worker) in designs {
+        if *needs_worker && !with_worker {
+            continue;
+        }
+        for shape in [
+            format!("SELECT id, {udf}(bytearray, 7, 1, 1) FROM rel WHERE id % 3 <> 1"),
+            format!("SELECT id, {udf}(bytearray, 0, 2, 0) AS v FROM rel WHERE id < 500 ORDER BY v, id LIMIT 40"),
+            format!("SELECT id % 4 AS k, COUNT({udf}(bytearray, 1, 0, 2)) AS n FROM rel GROUP BY id % 4"),
+        ] {
+            let a = serial.execute(&shape).unwrap();
+            let b = parallel.execute(&shape).unwrap();
+            assert_eq!(
+                normalized(&a.rows),
+                normalized(&b.rows),
+                "dop=1 vs dop=4 diverged for {udf}: {shape}"
+            );
+            assert_eq!(a.stats.udf_invocations, b.stats.udf_invocations, "{shape}");
+        }
+    }
+}
+
+/// A statement deadline that fires mid-Gather must stop every worker
+/// thread and leave the engine immediately usable.
+#[test]
+fn parallel_deadline_aborts_cleanly_across_designs() {
+    let db = Database::with_config(
+        Config::default()
+            .with_dop(4)
+            .with_statement_timeout_ms(Some(150)),
+    );
+    db.execute("CREATE TABLE rel (id INT, bytearray BYTEARRAY)")
+        .unwrap();
+    let t = db.catalog().table("rel").unwrap();
+    for i in 0..1000 {
+        t.insert(Tuple::new(vec![
+            Value::Int(i),
+            Value::Bytes(ByteArray::patterned(100, i as u64)),
+        ]))
+        .unwrap();
+    }
+    db.register_udf(def_vm(true, ResourceLimits::default()));
+    // 2M data-independent comps per row: the scan cannot finish inside
+    // the deadline, so it must abort mid-Gather (sandboxed UDFs notice
+    // within a few thousand instructions).
+    let err = db
+        .execute("SELECT generic_vm(bytearray, 2000000, 0, 0) FROM rel")
+        .unwrap_err();
+    assert!(
+        matches!(err, JaguarError::Timeout(_) | JaguarError::Cancelled(_)),
+        "expected deadline abort, got: {err}"
+    );
+    let r = db.execute("SELECT COUNT(*) FROM rel").unwrap();
+    assert_eq!(r.rows[0].get(0).unwrap(), &Value::Int(1000));
 }
 
 #[test]

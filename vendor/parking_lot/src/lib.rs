@@ -42,6 +42,17 @@ impl<T: ?Sized> Mutex<T> {
         MutexGuard { inner: Some(guard) }
     }
 
+    /// Acquire the lock only if it is uncontended right now.
+    pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
+        match self.inner.try_lock() {
+            Ok(g) => Some(MutexGuard { inner: Some(g) }),
+            Err(std::sync::TryLockError::Poisoned(p)) => Some(MutexGuard {
+                inner: Some(p.into_inner()),
+            }),
+            Err(std::sync::TryLockError::WouldBlock) => None,
+        }
+    }
+
     pub fn get_mut(&mut self) -> &mut T {
         match self.inner.get_mut() {
             Ok(v) => v,
@@ -273,6 +284,17 @@ mod tests {
         }
         t.join().unwrap();
         assert!(*started);
+    }
+
+    #[test]
+    fn try_lock_respects_holder() {
+        let m = Mutex::new(1u32);
+        {
+            let _g = m.lock();
+            assert!(m.try_lock().is_none(), "held elsewhere");
+        }
+        *m.try_lock().expect("uncontended") += 1;
+        assert_eq!(*m.lock(), 2);
     }
 
     #[test]
