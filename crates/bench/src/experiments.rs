@@ -901,6 +901,24 @@ impl ExperimentCtx {
         Ok(t)
     }
 
+    /// Host-core count plus the degraded-host stamp every timing-oriented
+    /// `BENCH_*.json` carries. Latency quantiles and speedups measured on
+    /// a single-core host are unrepresentative (workers, canceller
+    /// threads, and the engine all contend for one core), so the flag
+    /// travels with the data and the run warns loudly.
+    fn host_profile(experiment: &str) -> (usize, bool) {
+        let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+        let degraded = cores == 1;
+        if degraded {
+            eprintln!(
+                "WARNING: experiment '{experiment}' is running on a single-core host; \
+                 latencies and speedups will be unrepresentative. Stamping \
+                 \"degraded_host\": true into the JSON output."
+            );
+        }
+        (cores, degraded)
+    }
+
     /// WAL commit latency per sync mode (not in the paper — the durability
     /// subsystem replaces what PREDATOR inherited from Shore). For each
     /// [`jaguar_core::SyncMode`], run N single-row INSERT statements
@@ -966,8 +984,10 @@ impl ExperimentCtx {
         }
         table.note(format!("{inserts} single-row INSERT statements per mode"));
         table.note("full = fsync per commit; normal = fsync at checkpoint; off = never");
+        let (cores, degraded) = Self::host_profile("wal");
         let json = format!(
             "{{\n  \"experiment\": \"wal_commit_latency\",\n  \
+             \"host_cores\": {cores},\n  \"degraded_host\": {degraded},\n  \
              \"inserts_per_mode\": {inserts},\n  \"modes\": [\n{}\n  ]\n}}\n",
             json_modes.join(",\n")
         );
@@ -1078,8 +1098,10 @@ impl ExperimentCtx {
         );
 
         table.note("latency = token.cancel() to execute_cancellable returning Cancelled");
+        let (cores, degraded) = Self::host_profile("cancel");
         let json = format!(
             "{{\n  \"experiment\": \"cancel_to_abort\",\n  \
+             \"host_cores\": {cores},\n  \"degraded_host\": {degraded},\n  \
              \"iters_per_backend\": {iters},\n  \"backends\": [\n{}\n  ]\n}}\n",
             json_rows.join(",\n")
         );
@@ -1172,7 +1194,7 @@ impl ExperimentCtx {
                 json_points.join(",\n")
             ));
         }
-        let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+        let (cores, degraded) = Self::host_profile("parallel");
         t.note(format!(
             "{card} invocations, bytearray {bytes}, DataIndepComps={indep}, \
              DataDepComps={dep}; {cores} core(s) available — speedup is \
@@ -1182,11 +1204,173 @@ impl ExperimentCtx {
             "{{\n  \"experiment\": \"parallel_scan_speedup\",\n  \
              \"cardinality\": {card},\n  \"bytearray_bytes\": {bytes},\n  \
              \"data_indep_comps\": {indep},\n  \"data_dep_comps\": {dep},\n  \
-             \"reps\": {reps},\n  \"host_cores\": {cores},\n  \"designs\": [\n{}\n  ]\n}}\n",
+             \"reps\": {reps},\n  \"host_cores\": {cores},\n  \
+             \"degraded_host\": {degraded},\n  \"designs\": [\n{}\n  ]\n}}\n",
             json_designs.join(",\n")
         );
         std::fs::write("BENCH_parallel.json", json)?;
         t.note("machine-readable copy written to BENCH_parallel.json");
+        Ok(t)
+    }
+
+    /// Batched-invocation speedup (not in the paper — the jaguar-vec
+    /// subsystem). For each trust design, run the generic-UDF query over
+    /// a dop=1 engine at UDF batch sizes {1, 64, 256, 1024} and report
+    /// latency quantiles plus speedup vs batch=1. The UDF does no work
+    /// (`NumDataIndepComps = NumDataDepComps = 0`), so the measurement
+    /// isolates exactly what batching amortises: the per-invocation
+    /// trust-boundary crossing. Every batched run's rows are checked
+    /// byte-identical to the per-tuple (batch=1) rows — a divergence
+    /// fails the experiment. Writes machine-readable `BENCH_batch.json`.
+    pub fn batch(&self) -> Result<Table> {
+        use jaguar_core::Config;
+        let card = self.scale.cardinality();
+        let bytes = 100usize;
+        let reps = 5usize;
+        let sizes = [1usize, 64, 256, 1024];
+        let designs: [(Design, &str); 4] = [
+            (Design::Cpp, "TrustedNative"),
+            (Design::Jsm, "Sandboxed"),
+            (Design::ICpp, "IsolatedNative"),
+            (Design::IJsm, "SandboxedIsolated"),
+        ];
+        let mut t = Table::new(
+            "Batched UDF invocation: one crossing per batch (extension)",
+            &[
+                "design",
+                "batch",
+                "p50",
+                "p99",
+                "speedup vs batch=1",
+                "xing speedup",
+            ],
+        );
+        // §5.2 methodology: the noop-native query measures the basic
+        // system cost (scan + filter + projection plumbing); what remains
+        // after subtracting it is the per-design invocation overhead that
+        // batching actually amortises ("xing" = crossing).
+        let noop_p50: u64 = {
+            let db = Database::with_config(Config::default().with_dop(1));
+            build_relation(&db, bytes, card)?;
+            db.register_udf(def_noop());
+            let sql = benchmark_query(bytes, card, 0, 0, 0);
+            db.execute(&sql)?; // warm-up
+            let mut lat: Vec<u64> = (0..reps)
+                .map(|_| -> Result<u64> {
+                    let start = Instant::now();
+                    db.execute(&sql)?;
+                    Ok(start.elapsed().as_micros() as u64)
+                })
+                .collect::<Result<_>>()?;
+            lat.sort_unstable();
+            lat[(lat.len() - 1) / 2]
+        };
+        let mut json_designs = Vec::new();
+        for (d, backend) in designs {
+            if let Some(reason) = self.skip_reason(d) {
+                t.note(reason);
+                continue;
+            }
+            let mut baseline_rows: Option<Vec<jaguar_common::Tuple>> = None;
+            let mut base_p50: Option<f64> = None;
+            let mut base_overhead: Option<f64> = None;
+            let mut json_points = Vec::new();
+            for size in sizes {
+                let mut config = Config::default().with_dop(1).with_udf_batch_size(size);
+                if d.needs_worker() {
+                    // A warm pool keeps process-spawn noise out of the
+                    // measurement; the spawn cost is the `pool` experiment.
+                    config = config.with_pooled_executors(2);
+                }
+                let db = Database::with_config(config);
+                build_relation(&db, bytes, card)?;
+                if let Some(pool) = db.worker_pool() {
+                    pool.wait_ready(Duration::from_secs(30));
+                }
+                db.register_udf(def_for(d));
+                let sql = benchmark_query(bytes, card, 0, 0, 0);
+                let warm = db.execute(&sql)?; // warm-up: page in the relation
+                debug_assert_eq!(warm.rows.len(), card);
+                match &baseline_rows {
+                    None => baseline_rows = Some(warm.rows),
+                    Some(expected) if *expected != warm.rows => {
+                        return Err(JaguarError::Verification(format!(
+                            "{}: batched output (batch={size}) diverges from per-tuple rows",
+                            d.label()
+                        )));
+                    }
+                    Some(_) => {}
+                }
+                let mut lat_us: Vec<u64> = Vec::with_capacity(reps);
+                for _ in 0..reps {
+                    let start = Instant::now();
+                    let r = db.execute(&sql)?;
+                    lat_us.push(start.elapsed().as_micros() as u64);
+                    debug_assert_eq!(r.rows.len(), card);
+                }
+                lat_us.sort_unstable();
+                let q = |p: f64| -> u64 {
+                    let rank = ((p * lat_us.len() as f64).ceil() as usize).clamp(1, lat_us.len());
+                    lat_us[rank - 1]
+                };
+                let (p50, p99) = (q(0.50), q(0.99));
+                let speedup = match base_p50 {
+                    None => {
+                        base_p50 = Some(p50 as f64);
+                        1.0
+                    }
+                    Some(b) => b / (p50 as f64).max(1.0),
+                };
+                // Invocation overhead net of the noop baseline, clamped
+                // at 1µs so ratios stay finite when a design's overhead
+                // disappears into timer noise (C++ typically does).
+                let overhead = p50.saturating_sub(noop_p50).max(1);
+                let xing_speedup = match base_overhead {
+                    None => {
+                        base_overhead = Some(overhead as f64);
+                        1.0
+                    }
+                    Some(b) => b / overhead as f64,
+                };
+                t.row(vec![
+                    format!("{} ({backend})", d.label()),
+                    size.to_string(),
+                    format!("{p50}us"),
+                    format!("{p99}us"),
+                    format!("{speedup:.2}x"),
+                    format!("{xing_speedup:.2}x"),
+                ]);
+                json_points.push(format!(
+                    "        {{\"batch_size\": {size}, \"p50_us\": {p50}, \"p99_us\": {p99}, \
+                     \"speedup_vs_batch1\": {speedup:.3}, \"overhead_p50_us\": {overhead}, \
+                     \"overhead_speedup_vs_batch1\": {xing_speedup:.3}}}"
+                ));
+            }
+            json_designs.push(format!(
+                "    {{\"design\": \"{}\", \"backend\": \"{backend}\", \"points\": [\n{}\n    ]}}",
+                d.label(),
+                json_points.join(",\n")
+            ));
+        }
+        let (cores, degraded) = Self::host_profile("batch");
+        t.note(format!(
+            "{card} invocations of a no-work UDF, bytearray {bytes}, dop=1; \
+             every batched run verified byte-identical to batch=1"
+        ));
+        t.note(format!(
+            "noop-native baseline p50 {noop_p50}us; 'xing speedup' compares \
+             invocation overhead net of that baseline (§5.2 methodology)"
+        ));
+        let json = format!(
+            "{{\n  \"experiment\": \"batched_invocation\",\n  \
+             \"cardinality\": {card},\n  \"bytearray_bytes\": {bytes},\n  \
+             \"reps\": {reps},\n  \"noop_baseline_p50_us\": {noop_p50},\n  \
+             \"host_cores\": {cores},\n  \
+             \"degraded_host\": {degraded},\n  \"designs\": [\n{}\n  ]\n}}\n",
+            json_designs.join(",\n")
+        );
+        std::fs::write("BENCH_batch.json", json)?;
+        t.note("machine-readable copy written to BENCH_batch.json");
         Ok(t)
     }
 
@@ -1208,6 +1392,7 @@ impl ExperimentCtx {
             self.wal()?,
             self.cancel()?,
             self.parallel()?,
+            self.batch()?,
         ])
     }
 
@@ -1229,8 +1414,9 @@ impl ExperimentCtx {
             "wal" => self.wal(),
             "cancel" => self.cancel(),
             "parallel" => self.parallel(),
+            "batch" => self.batch(),
             other => Err(JaguarError::Other(format!(
-                "unknown experiment '{other}' (try table1, fig4..fig8, sfi, jit, fuel, index, pool, shipping, wal, cancel, parallel)"
+                "unknown experiment '{other}' (try table1, fig4..fig8, sfi, jit, fuel, index, pool, shipping, wal, cancel, parallel, batch)"
             ))),
         }
     }

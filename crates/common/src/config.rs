@@ -71,6 +71,13 @@ pub struct Config {
     /// interpreter, and pooled worker invokes all check). `None` (the
     /// default) disables the deadline.
     pub statement_timeout_ms: Option<u64>,
+    /// Target rows per vectorized UDF invocation: the executor accumulates
+    /// this many filter-surviving tuples before crossing into the UDF once
+    /// for all of them. `0` or `1` disables batching (strict per-tuple
+    /// invocation); other values are clamped into the engine's fixed
+    /// 64–1024 budget. Only `Immutable`/`Stable` UDFs in batchable plan
+    /// positions are affected.
+    pub udf_batch_size: usize,
     /// Consecutive crash/timeout failures before a UDF's circuit breaker
     /// opens (subsequent queries fail fast with `UdfQuarantined` instead
     /// of burning a worker respawn per tuple). `0` disables breakers.
@@ -122,6 +129,7 @@ impl Default for Config {
             pool_max_waiters: 64,
             dop: cores.min(pool_size).max(1),
             statement_timeout_ms: None,
+            udf_batch_size: 256,
             udf_breaker_threshold: 3,
             udf_breaker_cooldown_ms: 10_000,
             client_connect_timeout_ms: 5_000,
@@ -199,6 +207,12 @@ impl Config {
     /// Statement deadline (`None` disables it).
     pub fn with_statement_timeout_ms(mut self, ms: Option<u64>) -> Self {
         self.statement_timeout_ms = ms;
+        self
+    }
+
+    /// Rows per vectorized UDF invocation (`0`/`1` = strict per-tuple).
+    pub fn with_udf_batch_size(mut self, rows: usize) -> Self {
+        self.udf_batch_size = rows;
         self
     }
 
@@ -308,6 +322,14 @@ mod tests {
         );
         assert_eq!(Config::default().with_dop(8).dop, 8);
         assert_eq!(Config::default().with_dop(0).dop, 1, "floored at serial");
+    }
+
+    #[test]
+    fn batch_size_builder() {
+        let c = Config::default();
+        assert_eq!(c.udf_batch_size, 256, "batching on by default");
+        assert_eq!(Config::default().with_udf_batch_size(1).udf_batch_size, 1);
+        assert_eq!(Config::default().with_udf_batch_size(64).udf_batch_size, 64);
     }
 
     #[test]

@@ -56,7 +56,10 @@ pub use jaguar_net::{CancelHandle, Client, ClientOptions, Server};
 pub use jaguar_par as par;
 pub use jaguar_pool::{PoolConfig, PoolStatsSnapshot, WorkerPool};
 pub use jaguar_sql::{ExecStats, QueryResult};
-pub use jaguar_udf::{CallbackHandler, ScalarUdf, UdfDef, UdfImpl, UdfSignature};
+pub use jaguar_udf::{
+    BatchError, BatchResult, CallbackHandler, NativeUdf, ScalarUdf, UdfDef, UdfImpl, UdfSignature,
+    ValueBatch, Volatility,
+};
 pub use jaguar_vm::{Permission, PermissionSet, ResourceLimits};
 /// Write-ahead log internals: crash points for the recovery harness
 /// ([`wal::fault`]), the log reader ([`wal::record`]), recovery statistics.

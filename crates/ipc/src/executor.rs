@@ -239,6 +239,40 @@ impl WorkerProcess {
         }
     }
 
+    /// Invoke the loaded UDF once per batch row in one crossing (the
+    /// vectorized ABI). Callbacks interleave exactly as for [`Self::invoke`].
+    ///
+    /// `Ok((values, None))` means every row completed; `Ok((values,
+    /// Some(message)))` means row `values.len()` failed with the rendered
+    /// error (rows before it completed, with their side effects). `Err` is
+    /// a transport-level failure (dead worker, protocol violation) with no
+    /// row attribution.
+    pub fn invoke_batch(
+        &mut self,
+        rows: Vec<Vec<Value>>,
+        callbacks: &mut dyn CallbackHandler,
+    ) -> Result<(Vec<Value>, Option<String>)> {
+        self.crossings.inc();
+        Request::InvokeBatch { rows }.write(&mut self.output)?;
+        loop {
+            match self.read_response()? {
+                Response::BatchReply { values, error } => return Ok((values, error)),
+                Response::Error { message } => return Err(JaguarError::Worker(message)),
+                Response::CallbackRequest { name, args } => {
+                    self.callbacks.inc();
+                    let value = callbacks.callback(&name, &args)?;
+                    self.crossings.inc();
+                    Request::CallbackResult { value }.write(&mut self.output)?;
+                }
+                other => {
+                    return Err(JaguarError::Protocol(format!(
+                        "unexpected mid-invoke response {other:?}"
+                    )))
+                }
+            }
+        }
+    }
+
     /// Liveness probe: send `Ping`, expect `Pong`. Any other answer (or a
     /// dead pipe) is an error — the pool supervisor discards the worker.
     pub fn ping(&mut self) -> Result<()> {

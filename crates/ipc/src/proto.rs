@@ -53,6 +53,12 @@ pub enum Request {
     },
     /// Invoke the loaded UDF on one argument tuple.
     Invoke { args: Vec<Value> },
+    /// Invoke the loaded UDF once per row of a batch, paying one pipe
+    /// round-trip for the whole batch (the vectorized ABI). The worker
+    /// stops at the first failing row and reports its index via
+    /// [`Response::BatchReply`]; callbacks interleave exactly as they do
+    /// for `Invoke`.
+    InvokeBatch { rows: Vec<Vec<Value>> },
     /// Answer to an outstanding `CallbackRequest`.
     CallbackResult { value: Value },
     /// Orderly shutdown (end of query — executors live for one query).
@@ -70,7 +76,13 @@ pub enum Request {
 /// message set or the UDF registry semantics; the parent refuses workers
 /// announcing a different version (a stale `jaguar-worker` binary next to
 /// a fresh server otherwise produces silent wrong answers).
-pub const PROTO_VERSION: u32 = 3;
+pub const PROTO_VERSION: u32 = 4;
+
+/// Most rows one `InvokeBatch` frame may carry. The engine never forms
+/// batches above `jaguar_vec::MAX_BATCH` (1024); the cap leaves headroom
+/// for future growth while still bounding what a hostile peer can make us
+/// buffer.
+pub const MAX_BATCH_ROWS: u32 = 4096;
 
 /// Messages the worker sends to the parent.
 #[derive(Debug, Clone, PartialEq)]
@@ -81,6 +93,15 @@ pub enum Response {
     Loaded,
     /// The result of an `Invoke`.
     InvokeResult { value: Value },
+    /// The result of an `InvokeBatch`: one value per completed row. When
+    /// `error` is set, the failing row's index is `values.len()` (rows
+    /// before it completed, with their side effects) and the message is a
+    /// rendered `JaguarError`, exactly as `Error` would carry for the
+    /// per-tuple path.
+    BatchReply {
+        values: Vec<Value>,
+        error: Option<String>,
+    },
     /// The UDF needs the server (§4.2 callback). Parent must reply with
     /// `Request::CallbackResult`.
     CallbackRequest { name: String, args: Vec<Value> },
@@ -99,6 +120,7 @@ const REQ_CALLBACK_RESULT: u8 = 0x04;
 const REQ_SHUTDOWN: u8 = 0x05;
 const REQ_PING: u8 = 0x06;
 const REQ_RESET: u8 = 0x07;
+const REQ_INVOKE_BATCH: u8 = 0x08;
 const RSP_READY: u8 = 0x81;
 const RSP_LOADED: u8 = 0x82;
 const RSP_INVOKE_RESULT: u8 = 0x83;
@@ -106,6 +128,7 @@ const RSP_CALLBACK_REQUEST: u8 = 0x84;
 const RSP_ERROR: u8 = 0x85;
 const RSP_PONG: u8 = 0x86;
 const RSP_RESET_OK: u8 = 0x87;
+const RSP_BATCH_REPLY: u8 = 0x88;
 
 fn write_values(w: &mut impl Write, vals: &[Value]) -> Result<()> {
     write_u32(w, vals.len() as u32)?;
@@ -125,6 +148,30 @@ fn read_values(r: &mut impl Read) -> Result<Vec<Value>> {
     let mut out = Vec::new();
     for _ in 0..n {
         out.push(read_value(r)?);
+    }
+    Ok(out)
+}
+
+fn write_rows(w: &mut impl Write, rows: &[Vec<Value>]) -> Result<()> {
+    write_u32(w, rows.len() as u32)?;
+    for row in rows {
+        write_values(w, row)?;
+    }
+    Ok(())
+}
+
+fn read_rows(r: &mut impl Read) -> Result<Vec<Vec<Value>>> {
+    let n = read_u32(r)?;
+    if n > MAX_BATCH_ROWS {
+        return Err(JaguarError::Protocol(format!(
+            "implausible batch row count {n}"
+        )));
+    }
+    // Same discipline as `read_values`: the count prefix is untrusted, so
+    // memory grows only as rows actually decode.
+    let mut out = Vec::new();
+    for _ in 0..n {
+        out.push(read_values(r)?);
     }
     Ok(out)
 }
@@ -154,6 +201,10 @@ impl Request {
                 write_u8(w, REQ_INVOKE)?;
                 write_values(w, args)?;
             }
+            Request::InvokeBatch { rows } => {
+                write_u8(w, REQ_INVOKE_BATCH)?;
+                write_rows(w, rows)?;
+            }
             Request::CallbackResult { value } => {
                 write_u8(w, REQ_CALLBACK_RESULT)?;
                 write_value(w, value)?;
@@ -178,6 +229,9 @@ impl Request {
             },
             REQ_INVOKE => Request::Invoke {
                 args: read_values(r)?,
+            },
+            REQ_INVOKE_BATCH => Request::InvokeBatch {
+                rows: read_rows(r)?,
             },
             REQ_CALLBACK_RESULT => Request::CallbackResult {
                 value: read_value(r)?,
@@ -206,6 +260,17 @@ impl Response {
                 write_u8(w, RSP_INVOKE_RESULT)?;
                 write_value(w, value)?;
             }
+            Response::BatchReply { values, error } => {
+                write_u8(w, RSP_BATCH_REPLY)?;
+                write_values(w, values)?;
+                match error {
+                    Some(message) => {
+                        write_u8(w, 1)?;
+                        write_str(w, message)?;
+                    }
+                    None => write_u8(w, 0)?,
+                }
+            }
             Response::CallbackRequest { name, args } => {
                 write_u8(w, RSP_CALLBACK_REQUEST)?;
                 write_str(w, name)?;
@@ -231,6 +296,14 @@ impl Response {
             RSP_INVOKE_RESULT => Response::InvokeResult {
                 value: read_value(r)?,
             },
+            RSP_BATCH_REPLY => {
+                let values = read_values(r)?;
+                let error = match read_u8(r)? {
+                    0 => None,
+                    _ => Some(read_str(r)?),
+                };
+                Response::BatchReply { values, error }
+            }
             RSP_CALLBACK_REQUEST => Response::CallbackRequest {
                 name: read_str(r)?,
                 args: read_values(r)?,
@@ -293,6 +366,13 @@ mod tests {
         roundtrip_req(Request::Shutdown);
         roundtrip_req(Request::Ping);
         roundtrip_req(Request::Reset);
+        roundtrip_req(Request::InvokeBatch {
+            rows: vec![
+                vec![Value::Int(1), Value::Bytes(ByteArray::patterned(16, 1))],
+                vec![Value::Int(2), Value::Null],
+            ],
+        });
+        roundtrip_req(Request::InvokeBatch { rows: vec![] });
     }
 
     #[test]
@@ -313,6 +393,14 @@ mod tests {
         });
         roundtrip_rsp(Response::Pong);
         roundtrip_rsp(Response::ResetOk);
+        roundtrip_rsp(Response::BatchReply {
+            values: vec![Value::Int(1), Value::Int(2)],
+            error: None,
+        });
+        roundtrip_rsp(Response::BatchReply {
+            values: vec![Value::Int(1)],
+            error: Some("udf 'f' blew up".into()),
+        });
     }
 
     #[test]
@@ -341,6 +429,44 @@ mod tests {
         let mut frame = vec![0x03u8];
         frame.extend_from_slice(&60_000u32.to_le_bytes());
         assert!(Request::read(&mut frame.as_slice()).is_err());
+    }
+
+    #[test]
+    fn hostile_batch_frames_rejected() {
+        // InvokeBatch declaring u32::MAX rows: rejected by the row cap
+        // before any allocation.
+        let mut frame = vec![0x08u8]; // REQ_INVOKE_BATCH
+        frame.extend_from_slice(&u32::MAX.to_le_bytes());
+        let err = Request::read(&mut frame.as_slice()).unwrap_err();
+        assert!(
+            err.to_string().contains("implausible batch row count"),
+            "{err}"
+        );
+
+        // A row count just over the cap is also rejected.
+        let mut frame = vec![0x08u8];
+        frame.extend_from_slice(&(MAX_BATCH_ROWS + 1).to_le_bytes());
+        assert!(Request::read(&mut frame.as_slice()).is_err());
+
+        // A plausible row count with no payload: EOF during decode, memory
+        // bounded by what actually arrived.
+        let mut frame = vec![0x08u8];
+        frame.extend_from_slice(&1024u32.to_le_bytes());
+        assert!(Request::read(&mut frame.as_slice()).is_err());
+
+        // A row inside the batch declaring an implausible arg count is
+        // caught by the per-row value cap.
+        let mut frame = vec![0x08u8];
+        frame.extend_from_slice(&1u32.to_le_bytes());
+        frame.extend_from_slice(&u32::MAX.to_le_bytes());
+        let err = Request::read(&mut frame.as_slice()).unwrap_err();
+        assert!(err.to_string().contains("implausible arg count"), "{err}");
+
+        // BatchReply from a compromised worker declaring u32::MAX result
+        // values: same cap, parent side.
+        let mut frame = vec![0x88u8]; // RSP_BATCH_REPLY
+        frame.extend_from_slice(&u32::MAX.to_le_bytes());
+        assert!(Response::read(&mut frame.as_slice()).is_err());
     }
 
     #[test]

@@ -237,6 +237,16 @@ pub fn serve<R: Read, W: Write>(input: R, output: W, registry: &WorkerRegistry) 
                     .write(&mut output)?,
                 }
             }
+            Request::InvokeBatch { rows } => {
+                let (values, error) =
+                    invoke_loaded_batch(&mut loaded, &rows, &mut input, &mut output);
+                // Same fault site as Invoke: one per batch, since the
+                // batch is one crossing.
+                if jaguar_common::fault::should_fail("ipc.worker.drop_mid_reply") {
+                    std::process::abort();
+                }
+                Response::BatchReply { values, error }.write(&mut output)?;
+            }
         }
     }
 }
@@ -284,6 +294,85 @@ fn invoke_loaded<R: Read, W: Write>(
                     Value::Bytes(jaguar_common::ByteArray::new(arena.get(r)?.to_vec()))
                 }
             })
+        }
+    }
+}
+
+/// Run the loaded UDF once per batch row, inside the worker — the whole
+/// point of the vectorized ABI: the parent paid one pipe crossing for all
+/// of these rows. Stops at the first failing row; the reply carries the
+/// completed prefix, and the error's row index is the prefix length.
+///
+/// The VM case amortizes per-invocation setup across the batch: the entry
+/// function is resolved once and one arena is reset (not reallocated) per
+/// row. Resource accounting and error text stay identical to the
+/// per-tuple path.
+fn invoke_loaded_batch<R: Read, W: Write>(
+    loaded: &mut Loaded,
+    rows: &[Vec<Value>],
+    input: &mut BufReader<R>,
+    output: &mut BufWriter<W>,
+) -> (Vec<Value>, Option<String>) {
+    match loaded {
+        Loaded::Nothing => (
+            Vec::new(),
+            Some(JaguarError::Worker("invoke before load".into()).to_string()),
+        ),
+        Loaded::Native(f) => {
+            let f = Arc::clone(f);
+            let mut cb = WireCallbacks { input, output };
+            let mut values = Vec::with_capacity(rows.len());
+            for row in rows {
+                match f(row, &mut cb) {
+                    Ok(v) => values.push(v),
+                    Err(e) => return (values, Some(e.to_string())),
+                }
+            }
+            (values, None)
+        }
+        Loaded::Vm { interp, function } => {
+            let fidx = match interp.resolve(function) {
+                Ok(f) => f,
+                Err(e) => return (Vec::new(), Some(e.to_string())),
+            };
+            let mut arena = Arena::new(interp.limits().memory);
+            let mut values = Vec::with_capacity(rows.len());
+            for row in rows {
+                arena.reset();
+                let one = (|| -> Result<Value> {
+                    let mut vm_args = Vec::with_capacity(row.len());
+                    for a in row {
+                        vm_args.push(match a {
+                            Value::Int(v) => VmValue::I64(*v),
+                            Value::Float(v) => VmValue::F64(*v),
+                            Value::Bytes(b) => VmValue::Bytes(arena.alloc_from(b.as_slice())?),
+                            other => {
+                                return Err(JaguarError::Udf(format!(
+                                    "unsupported VM argument type: {other}"
+                                )))
+                            }
+                        });
+                    }
+                    let mut host = VmWireHost {
+                        cb: WireCallbacks { input, output },
+                    };
+                    let (ret, _usage) =
+                        interp.invoke_resolved(fidx, function, vm_args, &mut arena, &mut host)?;
+                    Ok(match ret {
+                        None => Value::Null,
+                        Some(VmValue::I64(v)) => Value::Int(v),
+                        Some(VmValue::F64(v)) => Value::Float(v),
+                        Some(VmValue::Bytes(r)) => {
+                            Value::Bytes(jaguar_common::ByteArray::new(arena.get(r)?.to_vec()))
+                        }
+                    })
+                })();
+                match one {
+                    Ok(v) => values.push(v),
+                    Err(e) => return (values, Some(e.to_string())),
+                }
+            }
+            (values, None)
         }
     }
 }
@@ -517,6 +606,143 @@ mod tests {
         );
         assert_eq!(rsp[3], Response::ResetOk);
         assert!(matches!(rsp[4], Response::Error { .. }));
+    }
+
+    #[test]
+    fn batch_invoke_native() {
+        let rsp = script(
+            &[
+                Request::LoadNative { name: "add".into() },
+                Request::InvokeBatch {
+                    rows: vec![
+                        vec![Value::Int(1), Value::Int(2)],
+                        vec![Value::Int(10), Value::Int(20)],
+                        vec![Value::Int(100), Value::Int(200)],
+                    ],
+                },
+                Request::Shutdown,
+            ],
+            &demo_registry(),
+        );
+        assert_eq!(
+            rsp[1..],
+            [
+                Response::Loaded,
+                Response::BatchReply {
+                    values: vec![Value::Int(3), Value::Int(30), Value::Int(300)],
+                    error: None,
+                }
+            ]
+        );
+    }
+
+    #[test]
+    fn batch_stops_at_first_failing_row() {
+        // Row 1's Null argument makes `add` fail; rows before it complete.
+        let rsp = script(
+            &[
+                Request::LoadNative { name: "add".into() },
+                Request::InvokeBatch {
+                    rows: vec![
+                        vec![Value::Int(1), Value::Int(2)],
+                        vec![Value::Null, Value::Int(20)],
+                        vec![Value::Int(100), Value::Int(200)],
+                    ],
+                },
+                Request::Shutdown,
+            ],
+            &demo_registry(),
+        );
+        let Response::BatchReply { values, error } = &rsp[2] else {
+            panic!("expected BatchReply, got {:?}", rsp[2]);
+        };
+        assert_eq!(values, &[Value::Int(3)]);
+        assert!(error.is_some());
+    }
+
+    #[test]
+    fn batch_callbacks_interleave() {
+        let rsp = script(
+            &[
+                Request::LoadNative {
+                    name: "echo_callback".into(),
+                },
+                Request::InvokeBatch {
+                    rows: vec![vec![Value::Int(1)], vec![Value::Int(2)]],
+                },
+                // Consumed inside the batch, one per row.
+                Request::CallbackResult {
+                    value: Value::Int(11),
+                },
+                Request::CallbackResult {
+                    value: Value::Int(22),
+                },
+                Request::Shutdown,
+            ],
+            &demo_registry(),
+        );
+        assert_eq!(
+            rsp[1..],
+            [
+                Response::Loaded,
+                Response::CallbackRequest {
+                    name: "lookup".into(),
+                    args: vec![Value::Int(1)],
+                },
+                Response::CallbackRequest {
+                    name: "lookup".into(),
+                    args: vec![Value::Int(2)],
+                },
+                Response::BatchReply {
+                    values: vec![Value::Int(11), Value::Int(22)],
+                    error: None,
+                }
+            ]
+        );
+    }
+
+    #[test]
+    fn batch_before_load_is_error_reply() {
+        let rsp = script(
+            &[Request::InvokeBatch {
+                rows: vec![vec![Value::Int(1)]],
+            }],
+            &demo_registry(),
+        );
+        let Response::BatchReply { values, error } = &rsp[1] else {
+            panic!("expected BatchReply, got {:?}", rsp[1]);
+        };
+        assert!(values.is_empty());
+        assert!(error.as_deref().unwrap().contains("invoke before load"));
+    }
+
+    #[test]
+    fn batch_vm_module_amortizes_entry() {
+        let src = "module m\nfunc main(i64) -> i64\n  load 0\n  consti 2\n  muli\n  ret\nend\n";
+        let module = jaguar_vm::asm::assemble(src).unwrap();
+        let rsp = script(
+            &[
+                Request::LoadVm {
+                    module: module.to_bytes(),
+                    function: "main".into(),
+                    jit: true,
+                    fuel: 0,
+                    memory: 0,
+                },
+                Request::InvokeBatch {
+                    rows: (0..5).map(|i| vec![Value::Int(i)]).collect(),
+                },
+                Request::Shutdown,
+            ],
+            &WorkerRegistry::new(),
+        );
+        assert_eq!(
+            rsp[2],
+            Response::BatchReply {
+                values: (0..5).map(|i| Value::Int(i * 2)).collect(),
+                error: None,
+            }
+        );
     }
 
     #[test]

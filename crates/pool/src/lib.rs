@@ -617,6 +617,54 @@ impl PooledWorker {
         }
         out
     }
+
+    /// Batched counterpart of [`PooledWorker::invoke_with_deadline`]: one
+    /// crossing and one deadline arm cover the whole batch, so the
+    /// supervisor still kills a wedged worker at min(statement budget,
+    /// pool timeout) — it just cannot attribute the kill to a row.
+    pub fn invoke_batch_with_deadline(
+        &mut self,
+        rows: Vec<Vec<Value>>,
+        callbacks: &mut dyn CallbackHandler,
+        statement_budget: Option<Duration>,
+    ) -> Result<(Vec<Value>, Option<String>)> {
+        let pool_timeout = self.inner.config.invoke_timeout;
+        let timeout = match (pool_timeout, statement_budget) {
+            (Some(p), Some(s)) => Some(p.min(s)),
+            (Some(p), None) => Some(p),
+            (None, Some(s)) => Some(s),
+            (None, None) => None,
+        };
+        let inner = Arc::clone(&self.inner);
+        let worker = self.worker_mut();
+        let Some(timeout) = timeout else {
+            return worker.invoke_batch(rows, callbacks);
+        };
+        let (id, fired) = inner.arm(Instant::now() + timeout, worker.kill_handle());
+        let out = worker.invoke_batch(rows, callbacks);
+        inner.disarm(id);
+        if fired.load(Ordering::SeqCst) {
+            self.timed_out = true;
+            inner.stats.record_timeout();
+            let statement_bound = match (pool_timeout, statement_budget) {
+                (None, Some(_)) => true,
+                (Some(p), Some(s)) => s < p,
+                _ => false,
+            };
+            return Err(if statement_bound {
+                JaguarError::Timeout(format!(
+                    "udf invocation exceeded the statement deadline \
+                     ({timeout:?} remaining); worker killed and replaced"
+                ))
+            } else {
+                JaguarError::ResourceLimit(format!(
+                    "udf invocation exceeded the {timeout:?} pool deadline; \
+                     worker killed and replaced"
+                ))
+            });
+        }
+        out
+    }
 }
 
 impl Drop for PooledWorker {

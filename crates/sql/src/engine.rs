@@ -355,6 +355,7 @@ impl Engine {
                 let pool = self.worker_pool();
                 let mut ctx = ExecCtx::for_plan(&plan, &mut handler, pool.as_ref())?;
                 ctx.attach_cancel(token);
+                ctx.set_udf_batch_size(self.catalog.config().udf_batch_size);
                 let mut exec = Executor::build(&plan)?;
                 let rows = exec.collect(&mut ctx)?;
                 let stats = ctx.finish()?;
@@ -422,6 +423,7 @@ impl Engine {
             let pool = self.worker_pool();
             let mut ctx = ExecCtx::for_plan(&plan, &mut handler, pool.as_ref())?;
             ctx.attach_cancel(token);
+            ctx.set_udf_batch_size(self.catalog.config().udf_batch_size);
             let mut exec = Executor::build_profiled(&plan)?;
             let started = std::time::Instant::now();
             let produced = exec.collect(&mut ctx)?.len();

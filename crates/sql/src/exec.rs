@@ -18,6 +18,7 @@ use jaguar_common::{Tuple, Value};
 use jaguar_ipc::proto::CallbackHandler;
 use jaguar_pool::WorkerPool;
 use jaguar_udf::{CircuitBreaker, ScalarUdf};
+use jaguar_vec::{BatchResult, ValueBatch};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -44,6 +45,12 @@ pub struct ExecStats {
 struct UdfMetrics {
     invocations: Arc<obs::Counter>,
     latency: Arc<obs::Histogram>,
+    /// Rows per batched crossing (a value histogram, recorded in "µs"
+    /// buckets — the registry's histograms are unit-agnostic).
+    batch_rows: Arc<obs::Histogram>,
+    /// Batched trust-boundary crossings: one per `invoke_batch`, however
+    /// many rows it carried.
+    batch_crossings: Arc<obs::Counter>,
 }
 
 /// Metric-name suffix for a UDF execution design (the paper's four
@@ -87,6 +94,10 @@ pub struct ExecCtx<'a> {
     cancel: CancelToken,
     /// Countdown to the next full deadline check.
     deadline_countdown: u32,
+    /// Effective UDF batch size (rows per trust-boundary crossing).
+    /// `1` means the classic per-tuple ABI; set from
+    /// `Config::udf_batch_size` via [`ExecCtx::set_udf_batch_size`].
+    batch_size: usize,
 }
 
 impl<'a> ExecCtx<'a> {
@@ -115,6 +126,8 @@ impl<'a> ExecCtx<'a> {
                 UdfMetrics {
                     invocations: reg.counter(&format!("udf.invocations.{slug}")),
                     latency: reg.histogram(&format!("udf.latency_us.{slug}")),
+                    batch_rows: reg.histogram(&format!("udf.batch.rows.{slug}")),
+                    batch_crossings: reg.counter(&format!("udf.batch.crossings.{slug}")),
                 }
             })
             .collect();
@@ -149,7 +162,21 @@ impl<'a> ExecCtx<'a> {
             udf_breakers,
             cancel: CancelToken::unbounded(),
             deadline_countdown: DEADLINE_CHECK_INTERVAL,
+            batch_size: 1,
         })
+    }
+
+    /// Set the UDF batch budget for this query. The request is normalised
+    /// through [`jaguar_vec::effective_batch_size`]: `0`/`1` keep the
+    /// per-tuple ABI, anything else is clamped to the supported 64–1024
+    /// row window.
+    pub fn set_udf_batch_size(&mut self, requested: usize) {
+        self.batch_size = jaguar_vec::effective_batch_size(requested);
+    }
+
+    /// Effective rows per UDF crossing (`1` = per-tuple invocation).
+    pub fn batch_size(&self) -> usize {
+        self.batch_size
     }
 
     /// Arm the statement's lifecycle token: the executor checks it between
@@ -348,6 +375,294 @@ impl ScalarUdf for PoisonUdf {
     }
 }
 
+/// Invoke one UDF slot over a whole batch — the batched mirror of
+/// `eval`'s `BExpr::Udf` arm, with the same stats, metrics, and breaker
+/// accounting the per-tuple path would have produced:
+///
+/// * success: `udf_invocations += rows`, one (idempotent) breaker
+///   `record_success`;
+/// * error at batch row `k`: `udf_invocations += k + 1` (rows before the
+///   failure completed, with their side effects intact), a
+///   `record_success` for the completed prefix, then `record_failure` iff
+///   the error is an infrastructure fault.
+///
+/// Latency is observed once per crossing rather than once per row — that
+/// is the point of batching, and the new `udf.batch.rows` /
+/// `udf.batch.crossings` instruments record the amortisation.
+pub(crate) fn invoke_udf_batch(
+    udf: usize,
+    batch: &ValueBatch,
+    ctx: &mut ExecCtx<'_>,
+) -> BatchResult {
+    if batch.is_empty() {
+        return Ok(Vec::new());
+    }
+    ctx.udf_metrics[udf]
+        .batch_rows
+        .observe_us(batch.len() as u64);
+    ctx.udf_metrics[udf].batch_crossings.inc();
+    // Same borrow split as the per-tuple path: take the UDF box out so the
+    // callback counter and the UDF can both borrow ctx.
+    let mut u = std::mem::replace(&mut ctx.udfs[udf], Box::new(PoisonUdf));
+    let mut counting = CountingCallbacks {
+        inner: ctx.callbacks,
+        count: &mut ctx.stats.udf_callbacks,
+    };
+    let started = Instant::now();
+    let out = u.invoke_batch(batch, &mut counting);
+    ctx.udf_metrics[udf].latency.observe(started.elapsed());
+    ctx.udfs[udf] = u;
+    let completed = match &out {
+        Ok(values) => values.len() as u64,
+        // Rows before the failing one completed; the failing row counts as
+        // an invocation too, exactly as the per-tuple path would tally it.
+        Err(be) => be.row as u64 + 1,
+    };
+    ctx.stats.udf_invocations += completed;
+    ctx.udf_metrics[udf].invocations.add(completed);
+    if let Some(b) = &ctx.udf_breakers[udf] {
+        match &out {
+            Ok(_) => b.record_success(),
+            Err(be) => {
+                // `record_success` is idempotent, so one call for the
+                // completed prefix leaves the breaker in the same state as
+                // the per-tuple path's k successes would have.
+                if be.row > 0 {
+                    b.record_success();
+                }
+                if breaker_counts(&be.error) {
+                    b.record_failure();
+                }
+            }
+        }
+    }
+    out
+}
+
+/// A projection shape eligible for batched UDF invocation: exactly one
+/// top-level [`BExpr::Udf`] among the projection expressions.
+#[derive(Debug, Clone, Copy)]
+pub struct BatchSpec {
+    /// Index into the plan's UDF list (and the context's parallel vecs).
+    pub(crate) udf: usize,
+    /// Which projection expression is the UDF call.
+    pub(crate) expr_idx: usize,
+    /// The UDF's argument count (the batch arity).
+    pub(crate) arity: usize,
+}
+
+/// Expressions whose evaluation cannot fail on a bound tuple. Batching
+/// reorders the UDF invocation relative to the row's other projection
+/// expressions, so those expressions (and the UDF's arguments) must be
+/// infallible for error positions to stay byte-identical to the
+/// per-tuple executor.
+fn infallible(e: &BExpr) -> bool {
+    matches!(e, BExpr::Column(_) | BExpr::Literal(_))
+}
+
+/// Decide whether a bound SELECT's projection qualifies for batched UDF
+/// invocation. The gate is deliberately conservative — every condition
+/// exists to keep the batched output (rows, stats, error positions)
+/// byte-identical to the per-tuple executor:
+///
+/// * `LIMIT` without `ORDER BY` stays per-tuple: the limit short-circuits
+///   the pull pipeline, and batching would read ahead and over-invoke.
+///   (With `ORDER BY`, the sort materialises every projected row anyway.)
+/// * Exactly one projection expression is a top-level UDF call; its
+///   arguments and every other projection expression are infallible
+///   column/literal references, so accumulation-time evaluation cannot
+///   surface an error at a different row than per-tuple evaluation would.
+/// * The UDF is declared `Immutable` or `Stable` — batching moves its
+///   invocations across filter short-circuit boundaries, which a
+///   `Volatile` UDF (the default) is entitled to observe.
+pub(crate) fn plan_batch_spec(plan: &BoundSelect) -> Option<BatchSpec> {
+    if plan.limit.is_some() && plan.order_by.is_empty() {
+        return None;
+    }
+    let mut found: Option<BatchSpec> = None;
+    for (i, e) in plan.projections.iter().enumerate() {
+        match e {
+            BExpr::Udf { udf, args } => {
+                if found.is_some() || !args.iter().all(infallible) {
+                    return None;
+                }
+                found = Some(BatchSpec {
+                    udf: *udf,
+                    expr_idx: i,
+                    arity: args.len(),
+                });
+            }
+            other if infallible(other) => {}
+            _ => return None,
+        }
+    }
+    let spec = found?;
+    if !plan.udfs[spec.udf].def.volatility.batchable() {
+        return None;
+    }
+    Some(spec)
+}
+
+/// Accumulates filter-surviving tuples for one batched UDF crossing.
+/// Shared by the serial `Project` operator and the parallel morsel
+/// fragments (a morsel boundary always flushes).
+pub(crate) struct ProjectionBatcher {
+    spec: BatchSpec,
+    size: usize,
+    /// Argument columns for the pending crossing.
+    args: ValueBatch,
+    /// Pre-projected output rows, with a `Null` hole at `spec.expr_idx`
+    /// awaiting the UDF result.
+    outs: Vec<Vec<Value>>,
+}
+
+impl ProjectionBatcher {
+    pub(crate) fn new(spec: BatchSpec, size: usize) -> ProjectionBatcher {
+        ProjectionBatcher {
+            spec,
+            size,
+            args: ValueBatch::with_capacity(spec.arity, size),
+            outs: Vec::with_capacity(size),
+        }
+    }
+
+    pub(crate) fn is_full(&self) -> bool {
+        self.outs.len() >= self.size
+    }
+
+    pub(crate) fn is_empty(&self) -> bool {
+        self.outs.is_empty()
+    }
+
+    /// Evaluate the row's infallible projection expressions and UDF
+    /// arguments, queueing the row for the next flush.
+    pub(crate) fn push(
+        &mut self,
+        exprs: &[BExpr],
+        tuple: &Tuple,
+        ctx: &mut ExecCtx<'_>,
+    ) -> Result<()> {
+        let mut out = Vec::with_capacity(exprs.len());
+        let mut row = Vec::with_capacity(self.spec.arity);
+        for (i, e) in exprs.iter().enumerate() {
+            if i == self.spec.expr_idx {
+                let BExpr::Udf { args, .. } = e else {
+                    return Err(JaguarError::Execution(
+                        "batch spec does not match projection".into(),
+                    ));
+                };
+                for a in args {
+                    row.push(eval(a, tuple, ctx)?);
+                }
+                out.push(Value::Null);
+            } else {
+                out.push(eval(e, tuple, ctx)?);
+            }
+        }
+        self.args.push_row_owned(row)?;
+        self.outs.push(out);
+        Ok(())
+    }
+
+    /// Invoke the UDF over the accumulated rows and return the completed
+    /// output tuples. On a mid-batch UDF error the batch error surfaces
+    /// directly — rows before the failure completed inside the UDF (their
+    /// side effects and stats are intact), but the statement fails with
+    /// exactly the error the per-tuple executor would raise.
+    pub(crate) fn flush(&mut self, ctx: &mut ExecCtx<'_>) -> Result<Vec<Tuple>> {
+        if self.outs.is_empty() {
+            return Ok(Vec::new());
+        }
+        let outs = std::mem::replace(&mut self.outs, Vec::with_capacity(self.size));
+        let result = invoke_udf_batch(self.spec.udf, &self.args, ctx);
+        self.args.clear();
+        let values = result.map_err(|be| be.error)?;
+        Ok(outs
+            .into_iter()
+            .zip(values)
+            .map(|(mut out, v)| {
+                out[self.spec.expr_idx] = v;
+                Tuple::new(out)
+            })
+            .collect())
+    }
+}
+
+/// Runtime state of a batched `Project` operator: completed tuples not
+/// yet pulled by the parent, plus an error (the child's or the batch's)
+/// to surface once the buffer drains.
+#[derive(Default)]
+pub struct ProjectPending {
+    buffered: std::collections::VecDeque<Tuple>,
+    err: Option<JaguarError>,
+    exhausted: bool,
+}
+
+/// The batched `Project` pull: emit buffered tuples one at a time; when
+/// the buffer drains, accumulate up to one batch of filter-surviving
+/// child tuples and cross the trust boundary once for all of them.
+///
+/// Error ordering mirrors the per-tuple executor exactly: rows that were
+/// accumulated before a child error are flushed (their UDF invocations
+/// would already have happened per-tuple), and a mid-batch UDF error
+/// surfaces in preference to the child error that was discovered later in
+/// the stream.
+fn project_batched(
+    child: &mut Executor,
+    exprs: &[BExpr],
+    spec: BatchSpec,
+    st: &mut ProjectPending,
+    ctx: &mut ExecCtx<'_>,
+) -> Result<Option<Tuple>> {
+    loop {
+        if let Some(t) = st.buffered.pop_front() {
+            ctx.stats.rows_emitted += 1;
+            return Ok(Some(t));
+        }
+        if let Some(e) = st.err.take() {
+            st.exhausted = true;
+            return Err(e);
+        }
+        if st.exhausted {
+            return Ok(None);
+        }
+        let mut batcher = ProjectionBatcher::new(spec, ctx.batch_size());
+        let mut child_err = None;
+        while !batcher.is_full() {
+            match child.next(ctx) {
+                // The gate guarantees push evaluates only infallible
+                // expressions; `?` is plumbing, not a semantic path.
+                Ok(Some(tuple)) => batcher.push(exprs, &tuple, ctx)?,
+                Ok(None) => {
+                    st.exhausted = true;
+                    break;
+                }
+                Err(e) => {
+                    child_err = Some(e);
+                    break;
+                }
+            }
+        }
+        if batcher.is_empty() {
+            if let Some(e) = child_err {
+                st.exhausted = true;
+                return Err(e);
+            }
+            continue;
+        }
+        match batcher.flush(ctx) {
+            Ok(tuples) => {
+                st.buffered.extend(tuples);
+                st.err = child_err;
+            }
+            Err(e) => {
+                st.exhausted = true;
+                return Err(e);
+            }
+        }
+    }
+}
+
 /// The operator tree for a bound SELECT, pulled via [`Executor::next`].
 pub enum Executor {
     SeqScan {
@@ -374,6 +689,12 @@ pub enum Executor {
     Project {
         child: Box<Executor>,
         exprs: Vec<BExpr>,
+        /// `Some` when the plan shape qualifies for batched UDF
+        /// invocation (see `plan_batch_spec`); the batched path
+        /// additionally requires the context's batch size to exceed 1.
+        batch: Option<BatchSpec>,
+        /// Runtime buffer for the batched path.
+        pending: ProjectPending,
     },
     /// HAVING: a filter over the projected output rows.
     Having {
@@ -488,6 +809,8 @@ impl Executor {
             Executor::Project {
                 child: Box::new(node),
                 exprs: plan.projections.clone(),
+                batch: plan_batch_spec(plan),
+                pending: ProjectPending::default(),
             },
             format!("Project ({} column(s))", plan.projections.len()),
         );
@@ -611,7 +934,18 @@ impl Executor {
                 }
                 Ok(output.as_mut().expect("materialised").next())
             }
-            Executor::Project { child, exprs } => {
+            Executor::Project {
+                child,
+                exprs,
+                batch,
+                pending,
+            } => {
+                match *batch {
+                    Some(spec) if ctx.batch_size() > 1 => {
+                        return project_batched(child, exprs, spec, pending, ctx)
+                    }
+                    _ => {}
+                }
                 let Some(tuple) = child.next(ctx)? else {
                     return Ok(None);
                 };

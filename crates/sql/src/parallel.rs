@@ -34,7 +34,9 @@ use jaguar_common::{Tuple, Value};
 use jaguar_par::{morsel_pages_for, run_team, MorselDispenser};
 
 use crate::engine::{matches_all, Engine, EngineCallbacks};
-use crate::exec::{eval, sort_cmp, ExecCtx, ExecStats, GroupedAgg};
+use crate::exec::{
+    eval, plan_batch_spec, sort_cmp, ExecCtx, ExecStats, GroupedAgg, ProjectionBatcher,
+};
 use crate::plan::{AccessPath, BoundSelect};
 
 /// Tables with fewer data pages than this never go parallel: the team
@@ -155,6 +157,7 @@ pub(crate) fn parallel_select(
         let mut ctx = ExecCtx::for_udfs(&plan.udfs, &mut handler, pool.as_ref())
             .inspect_err(|_| abort.store(true, Ordering::Relaxed))?;
         ctx.attach_cancel(token);
+        ctx.set_udf_batch_size(engine.catalog().config().udf_batch_size);
         let started = Instant::now();
         match drain_morsels(plan, &dispenser, &abort, &mut ctx) {
             Ok((rows, aggs, morsels, produced)) => {
@@ -295,6 +298,14 @@ fn drain_morsels(
     let mut aggs: Vec<(u32, GroupedAgg)> = Vec::new();
     let mut morsels = 0u64;
     let mut produced = 0u64;
+    // Batched UDF projection composes with morsels: survivors accumulate
+    // into one crossing per `batch_size` rows, and a morsel boundary
+    // always flushes (morsel-index gather order must not interleave).
+    let batch_spec = if plan.aggregate.is_none() && ctx.batch_size() > 1 {
+        plan_batch_spec(plan)
+    } else {
+        None
+    };
     while let Some(m) = dispenser.next() {
         if abort.load(Ordering::Relaxed) {
             break;
@@ -302,6 +313,7 @@ fn drain_morsels(
         morsels += 1;
         let mut out_rows = Vec::new();
         let mut agg = plan.aggregate.as_ref().map(|_| GroupedAgg::new());
+        let mut batcher = batch_spec.map(|s| ProjectionBatcher::new(s, ctx.batch_size()));
         for item in plan.table.scan_range(m.start_page, m.end_page) {
             ctx.tick()?;
             let (_, tuple) = item?;
@@ -312,15 +324,30 @@ fn drain_morsels(
             produced += 1;
             match (&plan.aggregate, &mut agg) {
                 (Some(ap), Some(g)) => g.update(ap, &tuple, ctx)?,
-                _ => {
-                    let mut vals = Vec::with_capacity(plan.projections.len());
-                    for e in &plan.projections {
-                        vals.push(eval(e, &tuple, ctx)?);
+                _ => match &mut batcher {
+                    Some(b) => {
+                        b.push(&plan.projections, &tuple, ctx)?;
+                        if b.is_full() {
+                            let flushed = b.flush(ctx)?;
+                            ctx.stats.rows_emitted += flushed.len() as u64;
+                            out_rows.extend(flushed);
+                        }
                     }
-                    ctx.stats.rows_emitted += 1;
-                    out_rows.push(Tuple::new(vals));
-                }
+                    None => {
+                        let mut vals = Vec::with_capacity(plan.projections.len());
+                        for e in &plan.projections {
+                            vals.push(eval(e, &tuple, ctx)?);
+                        }
+                        ctx.stats.rows_emitted += 1;
+                        out_rows.push(Tuple::new(vals));
+                    }
+                },
             }
+        }
+        if let Some(b) = &mut batcher {
+            let flushed = b.flush(ctx)?;
+            ctx.stats.rows_emitted += flushed.len() as u64;
+            out_rows.extend(flushed);
         }
         match agg {
             Some(g) => aggs.push((m.index, g)),

@@ -3,6 +3,7 @@
 use jaguar_common::error::{JaguarError, Result};
 use jaguar_common::{DataType, Value};
 use jaguar_ipc::proto::CallbackHandler;
+use jaguar_vec::{BatchError, BatchResult, ValueBatch};
 
 /// The SQL-level signature of a scalar UDF.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -65,6 +66,32 @@ pub trait ScalarUdf: Send {
     /// Apply the UDF to one argument tuple. `callbacks` answers any
     /// requests the UDF makes back to the server (§4.2).
     fn invoke(&mut self, args: &[Value], callbacks: &mut dyn CallbackHandler) -> Result<Value>;
+
+    /// Apply the UDF to every row of a batch, paying the trust-boundary
+    /// crossing once instead of once per tuple.
+    ///
+    /// The contract (see `jaguar-vec`): row `i` of the reply must equal a
+    /// per-tuple `invoke` on row `i`; on failure at row `k`, rows `0..k`
+    /// have fully taken effect and the reported error is byte-identical to
+    /// the per-tuple one. The default implementation is the per-tuple loop
+    /// itself, so backends without a vectorized entry point keep working
+    /// unchanged.
+    fn invoke_batch(
+        &mut self,
+        batch: &ValueBatch,
+        callbacks: &mut dyn CallbackHandler,
+    ) -> BatchResult {
+        let mut out = Vec::with_capacity(batch.len());
+        let mut args = Vec::with_capacity(batch.arity());
+        for i in 0..batch.len() {
+            batch.read_row(i, &mut args);
+            match self.invoke(&args, callbacks) {
+                Ok(v) => out.push(v),
+                Err(e) => return Err(BatchError::new(i, e)),
+            }
+        }
+        Ok(out)
+    }
 
     /// Cumulative sandbox resource consumption, for designs that meter it
     /// (the VM designs do; trusted native code cannot be metered — that is

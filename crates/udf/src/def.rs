@@ -4,11 +4,12 @@
 use std::sync::Arc;
 
 use jaguar_common::cancel::CancelToken;
-use jaguar_common::error::Result;
+use jaguar_common::error::{JaguarError, Result};
 use jaguar_common::Value;
 use jaguar_ipc::executor::WorkerProcess;
 use jaguar_ipc::proto::CallbackHandler;
 use jaguar_pool::{PooledWorker, WorkerPool};
+use jaguar_vec::{BatchError, BatchResult, ValueBatch};
 use jaguar_vm::interp::ExecMode;
 use jaguar_vm::{PermissionSet, ResourceLimits, VerifiedModule};
 
@@ -68,6 +69,34 @@ impl UdfImpl {
     }
 }
 
+/// How a UDF's result may vary across invocations within one statement —
+/// the purity/determinism declaration ROADMAP item 2 calls for (the
+/// PostgreSQL volatility classes). The planner only batches
+/// `Immutable`/`Stable` UDFs across filter short-circuit boundaries:
+/// a `Volatile` UDF's per-row evaluation order is observable, so it keeps
+/// the strict per-tuple cadence.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Volatility {
+    /// Pure function of its arguments, forever (`abs`, checksums).
+    /// Safe to batch, memoize, and inline (Froid-style) later.
+    Immutable,
+    /// Fixed within one statement, may vary across statements (catalog
+    /// lookups, `now()`-relative logic). Safe to batch within a statement.
+    Stable,
+    /// May return different results or have observable effects on every
+    /// call. Never batched, never memoized. The safe default.
+    #[default]
+    Volatile,
+}
+
+impl Volatility {
+    /// Whether the executor may evaluate this UDF set-at-a-time (batched)
+    /// instead of strictly tuple-at-a-time.
+    pub fn batchable(self) -> bool {
+        matches!(self, Volatility::Immutable | Volatility::Stable)
+    }
+}
+
 /// A registered UDF: name + SQL signature + execution design.
 #[derive(Clone)]
 pub struct UdfDef {
@@ -78,6 +107,9 @@ pub struct UdfDef {
     /// `UdfCatalog::get` so it rides along into the executor with no
     /// extra plumbing. `None` for defs built outside a catalog.
     pub breaker: Option<Arc<CircuitBreaker>>,
+    /// Purity declaration; gates vectorized invocation. Defaults to
+    /// [`Volatility::Volatile`] (never batched) for safety.
+    pub volatility: Volatility,
 }
 
 impl UdfDef {
@@ -87,12 +119,19 @@ impl UdfDef {
             signature,
             imp,
             breaker: None,
+            volatility: Volatility::default(),
         }
     }
 
     /// Attach the registry's circuit breaker (see [`UdfDef::breaker`]).
     pub fn with_breaker(mut self, breaker: Arc<CircuitBreaker>) -> UdfDef {
         self.breaker = Some(breaker);
+        self
+    }
+
+    /// Declare the UDF's volatility class (see [`Volatility`]).
+    pub fn with_volatility(mut self, volatility: Volatility) -> UdfDef {
+        self.volatility = volatility;
         self
     }
 
@@ -208,12 +247,70 @@ impl ScalarUdf for IsolatedUdf {
         self.worker.invoke(args.to_vec(), callbacks)
     }
 
+    fn invoke_batch(
+        &mut self,
+        batch: &ValueBatch,
+        callbacks: &mut dyn CallbackHandler,
+    ) -> BatchResult {
+        let (rows, bad) = checked_prefix(&self.name, &self.signature, batch);
+        if let Err(e) = self.cancel.check() {
+            return Err(BatchError::before_any(e));
+        }
+        finish_checked(self.worker.invoke_batch(rows, callbacks), bad)
+    }
+
     fn attach_cancel(&mut self, token: CancelToken) {
         self.cancel = token;
     }
 
     fn finish(self: Box<Self>) -> Result<()> {
         self.worker.shutdown()
+    }
+}
+
+/// Split a batch at the first row whose arguments fail the signature
+/// check: per-tuple semantics demand that rows before the bad one still
+/// execute (with their side effects) before the check error surfaces, so
+/// the isolated designs ship the valid prefix and report the check error
+/// at its true row index afterwards.
+fn checked_prefix(
+    name: &str,
+    signature: &UdfSignature,
+    batch: &ValueBatch,
+) -> (Vec<Vec<Value>>, Option<(usize, JaguarError)>) {
+    let mut rows = Vec::with_capacity(batch.len());
+    let mut args = Vec::with_capacity(batch.arity());
+    for i in 0..batch.len() {
+        batch.read_row(i, &mut args);
+        if let Err(e) = signature.check_args(name, &args) {
+            return (rows, Some((i, e)));
+        }
+        rows.push(std::mem::take(&mut args));
+    }
+    (rows, None)
+}
+
+/// Combine a worker's batch reply with a deferred signature-check error.
+///
+/// Precedence mirrors the per-tuple path: an error the worker hit while
+/// running the shipped prefix comes first (it happened at an earlier row);
+/// otherwise the deferred check error surfaces at its true row index. A
+/// worker row error carries its index as the completed-value count;
+/// transport-level failures (dead worker) have no row attribution and are
+/// positioned before any row.
+fn finish_checked(
+    out: Result<(Vec<Value>, Option<String>)>,
+    bad: Option<(usize, JaguarError)>,
+) -> BatchResult {
+    match out {
+        Ok((values, None)) => match bad {
+            None => Ok(values),
+            Some((row, e)) => Err(BatchError::new(row, e)),
+        },
+        Ok((values, Some(message))) => {
+            Err(BatchError::new(values.len(), JaguarError::Worker(message)))
+        }
+        Err(e) => Err(BatchError::before_any(e)),
     }
 }
 
@@ -244,6 +341,24 @@ impl ScalarUdf for PooledIsolatedUdf {
         // wedged UDF cannot outlive its statement.
         self.worker
             .invoke_with_deadline(args.to_vec(), callbacks, self.cancel.remaining())
+    }
+
+    fn invoke_batch(
+        &mut self,
+        batch: &ValueBatch,
+        callbacks: &mut dyn CallbackHandler,
+    ) -> BatchResult {
+        let (rows, bad) = checked_prefix(&self.name, &self.signature, batch);
+        if let Err(e) = self.cancel.check() {
+            return Err(BatchError::before_any(e));
+        }
+        // One deadline arm around the whole batch: the supervisor still
+        // kills a wedged worker at min(statement budget, pool timeout),
+        // it just can no longer distinguish which row wedged.
+        let out = self
+            .worker
+            .invoke_batch_with_deadline(rows, callbacks, self.cancel.remaining());
+        finish_checked(out, bad)
     }
 
     fn attach_cancel(&mut self, token: CancelToken) {

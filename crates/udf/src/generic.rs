@@ -40,7 +40,7 @@ use jaguar_ipc::worker::WorkerRegistry;
 use jaguar_vm::{PermissionSet, ResourceLimits};
 
 use crate::api::UdfSignature;
-use crate::def::{vm_spec, UdfDef, UdfImpl};
+use crate::def::{vm_spec, UdfDef, UdfImpl, Volatility};
 use crate::native::NativeUdf;
 use crate::sfi::SfiRegion;
 
@@ -216,6 +216,7 @@ pub fn def_native() -> UdfDef {
             generic_native,
         )),
     )
+    .with_volatility(Volatility::Stable)
 }
 
 /// Design 1 with explicit bounds checks ("BC-C++", §5.4).
@@ -229,6 +230,7 @@ pub fn def_native_bc() -> UdfDef {
             generic_native_bc,
         )),
     )
+    .with_volatility(Volatility::Stable)
 }
 
 /// Design 1 under software fault isolation (A1 ablation).
@@ -242,6 +244,7 @@ pub fn def_native_sfi() -> UdfDef {
             generic_native_sfi,
         )),
     )
+    .with_volatility(Volatility::Stable)
 }
 
 /// Design 2 definition ("IC++"): the worker binary's native `generic`.
@@ -253,6 +256,7 @@ pub fn def_isolated() -> UdfDef {
             worker_fn: "generic".into(),
         },
     )
+    .with_volatility(Volatility::Stable)
 }
 
 /// Design 3 definition ("JSM"/"JNI"): sandboxed bytecode in-process.
@@ -264,6 +268,7 @@ pub fn def_vm(jit: bool, limits: ResourceLimits) -> UdfDef {
     let spec = vm_spec(generic_module(), "main", limits, jit, Some(perms))
         .expect("builtin generic UDF must verify");
     UdfDef::new("generic_vm", generic_signature(), UdfImpl::Vm(spec))
+        .with_volatility(Volatility::Stable)
 }
 
 /// Design 4 definition: sandboxed bytecode in a worker process.
@@ -275,6 +280,7 @@ pub fn def_isolated_vm(jit: bool, limits: ResourceLimits) -> UdfDef {
         generic_signature(),
         UdfImpl::IsolatedVm(spec),
     )
+    .with_volatility(Volatility::Stable)
 }
 
 /// Callback handler used by the experiments: returns its argument

@@ -32,8 +32,9 @@ pub mod vmexec;
 
 pub use api::{ScalarUdf, UdfResourceUsage, UdfSignature};
 pub use breaker::CircuitBreaker;
-pub use def::{UdfDef, UdfImpl, VmUdfSpec};
+pub use def::{UdfDef, UdfImpl, VmUdfSpec, Volatility};
 pub use generic::{worker_registry, GenericParams};
 pub use jaguar_ipc::proto::CallbackHandler;
+pub use jaguar_vec::{BatchError, BatchResult, ValueBatch};
 pub use native::NativeUdf;
 pub use vmexec::VmUdf;

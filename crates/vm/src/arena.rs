@@ -41,6 +41,15 @@ impl Arena {
         self.allocated
     }
 
+    /// Reclaim everything, keeping the limit (and the object vector's
+    /// capacity) for the next invocation. Batched execution resets one
+    /// arena per row instead of constructing a fresh one, so the
+    /// accounting stays per-invocation while the allocation is amortized.
+    pub fn reset(&mut self) {
+        self.objects.clear();
+        self.allocated = 0;
+    }
+
     /// Number of live objects.
     pub fn object_count(&self) -> usize {
         self.objects.len()

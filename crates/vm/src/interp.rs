@@ -374,6 +374,14 @@ impl Interpreter {
         self.limits
     }
 
+    /// Resolve `func` to its function index once, so batched invocation
+    /// can skip the per-call name lookup (see [`Interpreter::invoke_resolved`]).
+    pub fn resolve(&self, func: &str) -> Result<u32> {
+        self.module
+            .find_function(func)
+            .ok_or_else(|| JaguarError::Udf(format!("no function '{func}' in module")))
+    }
+
     /// Invoke `func` with `args` using a caller-provided arena (the caller
     /// marshals byte-array arguments into the arena first — that copy is
     /// the JNI-style argument mapping cost).
@@ -384,10 +392,20 @@ impl Interpreter {
         arena: &mut Arena,
         host: &mut dyn HostEnv,
     ) -> Result<(Option<VmValue>, ResourceUsage)> {
-        let fidx = self
-            .module
-            .find_function(func)
-            .ok_or_else(|| JaguarError::Udf(format!("no function '{func}' in module")))?;
+        let fidx = self.resolve(func)?;
+        self.invoke_resolved(fidx, func, args, arena, host)
+    }
+
+    /// Invoke an already-resolved function index. `func` is only used for
+    /// error messages, which must stay identical to the per-tuple path's.
+    pub fn invoke_resolved(
+        &self,
+        fidx: u32,
+        func: &str,
+        args: Vec<VmValue>,
+        arena: &mut Arena,
+        host: &mut dyn HostEnv,
+    ) -> Result<(Option<VmValue>, ResourceUsage)> {
         let f = &self.module.functions()[fidx as usize];
         if args.len() != f.sig.params.len() {
             return Err(JaguarError::Udf(format!(

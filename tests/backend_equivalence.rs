@@ -128,9 +128,21 @@ fn equivalence_on_randomized_parameters() {
 /// A SQL database with `rows` rows and every generic-UDF design
 /// registered, configured for the given degree of parallelism.
 fn sql_db(dop: usize, rows: usize) -> Database {
+    sql_db_batch(dop, rows, Config::default().udf_batch_size)
+}
+
+/// Like [`sql_db`], but with an explicit UDF batch size. `1` forces the
+/// strict per-tuple path (the pre-vectorization behaviour), which the
+/// batched-equivalence tests use as their reference.
+fn sql_db_batch(dop: usize, rows: usize, batch: usize) -> Database {
     // Pool size = 4 so a dop=4 team of isolated executors is never
     // clamped — this test is about result equivalence, not saturation.
-    let db = Database::with_config(Config::default().with_dop(dop).with_pooled_executors(4));
+    let db = Database::with_config(
+        Config::default()
+            .with_dop(dop)
+            .with_pooled_executors(4)
+            .with_udf_batch_size(batch),
+    );
     db.execute("CREATE TABLE rel (id INT, bytearray BYTEARRAY)")
         .unwrap();
     let t = db.catalog().table("rel").unwrap();
@@ -245,4 +257,240 @@ fn isolated_worker_survives_many_invocations() {
         assert!(matches!(out, Value::Int(_)));
     }
     u.finish().unwrap();
+}
+
+/// Tentpole acceptance: vectorized invocation must be byte-identical to
+/// per-tuple invocation for every design — same rows in the same order,
+/// same public row/invocation statistics. dop=1 on both sides so row
+/// order is deterministic and the comparison is exact, not normalized.
+#[test]
+fn batched_invocation_is_byte_identical_to_per_tuple() {
+    let with_worker = worker_available();
+    let per_tuple = sql_db_batch(1, 700, 1);
+    let batched = sql_db_batch(1, 700, 256);
+    let designs: &[(&str, bool)] = &[
+        ("generic", false),
+        ("generic_vm", false),
+        ("generic_ic", true),
+        ("generic_ivm", true),
+    ];
+    for (udf, needs_worker) in designs {
+        if *needs_worker && !with_worker {
+            continue;
+        }
+        for shape in [
+            format!("SELECT id, {udf}(bytearray, 7, 1, 1) FROM rel WHERE id % 3 <> 1"),
+            // LIMIT after a SORT still batches: the sort materializes its
+            // whole input, so batching cannot over-invoke past the limit.
+            format!("SELECT id, {udf}(bytearray, 0, 2, 0) AS v FROM rel WHERE id < 500 ORDER BY v, id LIMIT 40"),
+        ] {
+            let a = per_tuple.execute(&shape).unwrap();
+            let b = batched.execute(&shape).unwrap();
+            assert_eq!(a.rows, b.rows, "rows diverged for {udf}: {shape}");
+            assert_eq!(
+                a.stats.udf_invocations, b.stats.udf_invocations,
+                "invocation counts diverged for {udf}: {shape}"
+            );
+            assert_eq!(
+                a.stats.rows_emitted, b.stats.rows_emitted,
+                "rows_emitted diverged for {udf}: {shape}"
+            );
+            assert_eq!(
+                a.stats.rows_scanned, b.stats.rows_scanned,
+                "rows_scanned diverged for {udf}: {shape}"
+            );
+        }
+    }
+}
+
+/// Batched and per-tuple execution must also agree under morsel-driven
+/// parallelism (order-normalized: dop=4 output order is nondeterministic).
+#[test]
+fn batched_invocation_matches_per_tuple_at_dop_4() {
+    let with_worker = worker_available();
+    let per_tuple = sql_db_batch(4, 700, 1);
+    let batched = sql_db_batch(4, 700, 256);
+    for (udf, needs_worker) in [
+        ("generic", false),
+        ("generic_vm", false),
+        ("generic_ic", true),
+    ] {
+        if needs_worker && !with_worker {
+            continue;
+        }
+        let shape = format!("SELECT id, {udf}(bytearray, 3, 1, 0) FROM rel WHERE id % 3 <> 1");
+        let a = per_tuple.execute(&shape).unwrap();
+        let b = batched.execute(&shape).unwrap();
+        assert_eq!(
+            normalized(&a.rows),
+            normalized(&b.rows),
+            "dop=4 batched vs per-tuple diverged for {udf}"
+        );
+        assert_eq!(a.stats.udf_invocations, b.stats.udf_invocations, "{udf}");
+    }
+}
+
+/// A database whose `edgy` native UDF fails on argument 137 and counts
+/// every invocation through the shared counter — the probe for "rows
+/// before the failing one still took effect".
+fn edgy_db(batch: usize, calls: std::sync::Arc<std::sync::atomic::AtomicU64>) -> Database {
+    use jaguar_core::DataType;
+    let db = Database::with_config(Config::default().with_dop(1).with_udf_batch_size(batch));
+    db.execute("CREATE TABLE t (a INT)").unwrap();
+    let t = db.catalog().table("t").unwrap();
+    for i in 0..200 {
+        t.insert(Tuple::new(vec![Value::Int(i)])).unwrap();
+    }
+    let sig = jaguar_udf::UdfSignature::new(vec![DataType::Int], DataType::Int);
+    let native = jaguar_udf::NativeUdf::new("edgy", sig.clone(), move |args, _| {
+        calls.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+        let v = args[0].as_int()?;
+        if v == 137 {
+            return Err(JaguarError::Udf("edgy cannot digest 137".into()));
+        }
+        Ok(Value::Int(v * 2))
+    });
+    db.register_udf(
+        jaguar_udf::UdfDef::new("edgy", sig, jaguar_udf::UdfImpl::Native(native))
+            .with_volatility(jaguar_udf::Volatility::Stable),
+    );
+    db
+}
+
+/// An error in row k of a batch must surface exactly as the per-tuple
+/// path surfaces it: the identical error, after the identical number of
+/// successful invocations (prior rows' effects intact). Design 1.
+#[test]
+fn mid_batch_native_error_matches_per_tuple() {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Arc;
+    let c1 = Arc::new(AtomicU64::new(0));
+    let c2 = Arc::new(AtomicU64::new(0));
+    let per_tuple = edgy_db(1, Arc::clone(&c1));
+    let batched = edgy_db(256, Arc::clone(&c2));
+    let e1 = per_tuple.execute("SELECT edgy(a) FROM t").unwrap_err();
+    let e2 = batched.execute("SELECT edgy(a) FROM t").unwrap_err();
+    assert_eq!(e1.to_string(), e2.to_string(), "error text diverged");
+    let (n1, n2) = (c1.load(Ordering::SeqCst), c2.load(Ordering::SeqCst));
+    assert_eq!(n1, n2, "rows invoked before the failure diverged");
+    assert!(n1 > 1, "failure must come after earlier rows succeeded");
+    // Both engines stay usable after the failed statement.
+    assert_eq!(
+        per_tuple.execute("SELECT COUNT(*) FROM t").unwrap().rows,
+        batched.execute("SELECT COUNT(*) FROM t").unwrap().rows,
+    );
+}
+
+/// A JagScript UDF that traps mid-relation (`data[i]` out of range), run
+/// in-process (Design 3) or shipped to a worker (Design 4) depending on
+/// `isolated`. Volatility is declared Stable so the planner may batch it.
+fn trap_db(batch: usize, isolated: bool) -> Database {
+    use jaguar_core::DataType;
+    let db = Database::with_config(Config::default().with_dop(1).with_udf_batch_size(batch));
+    db.execute("CREATE TABLE rel (id INT, bytearray BYTEARRAY)")
+        .unwrap();
+    let t = db.catalog().table("rel").unwrap();
+    for i in 0..100 {
+        t.insert(Tuple::new(vec![
+            Value::Int(i),
+            Value::Bytes(ByteArray::patterned(8, i as u64)),
+        ]))
+        .unwrap();
+    }
+    let module = jaguar_lang::compile(
+        "trapper",
+        "fn main(data: bytes, i: i64) -> i64 { return data[i]; }",
+    )
+    .unwrap();
+    let spec =
+        jaguar_udf::def::vm_spec(module, "main", ResourceLimits::default(), true, None).unwrap();
+    let sig = jaguar_udf::UdfSignature::new(vec![DataType::Bytes, DataType::Int], DataType::Int);
+    let imp = if isolated {
+        jaguar_udf::UdfImpl::IsolatedVm(spec)
+    } else {
+        jaguar_udf::UdfImpl::Vm(spec)
+    };
+    db.register_udf(
+        jaguar_udf::UdfDef::new("trapper", sig, imp)
+            .with_volatility(jaguar_udf::Volatility::Stable),
+    );
+    db
+}
+
+/// Mid-batch sandbox trap, Design 3: rows 0..7 index in range, row 8
+/// traps. Batched execution must report the identical trap.
+#[test]
+fn mid_batch_vm_trap_matches_per_tuple() {
+    let per_tuple = trap_db(1, false);
+    let batched = trap_db(256, false);
+    let q = "SELECT trapper(bytearray, id) FROM rel";
+    let e1 = per_tuple.execute(q).unwrap_err();
+    let e2 = batched.execute(q).unwrap_err();
+    assert_eq!(e1.to_string(), e2.to_string(), "trap text diverged");
+    // In-range prefix still computes identically.
+    let q_ok = "SELECT trapper(bytearray, id) FROM rel WHERE id < 8";
+    assert_eq!(
+        per_tuple.execute(q_ok).unwrap().rows,
+        batched.execute(q_ok).unwrap().rows
+    );
+}
+
+/// Mid-batch sandbox trap, Design 4: the same module runs in a worker
+/// process; the trap crosses the IPC boundary with its row position and
+/// must read the same as the per-tuple reply.
+#[test]
+fn mid_batch_isolated_vm_trap_matches_per_tuple() {
+    if !worker_available() {
+        return;
+    }
+    let per_tuple = trap_db(1, true);
+    let batched = trap_db(256, true);
+    let q = "SELECT trapper(bytearray, id) FROM rel";
+    let e1 = per_tuple.execute(q).unwrap_err();
+    let e2 = batched.execute(q).unwrap_err();
+    assert!(
+        matches!(e1, JaguarError::Worker(_)),
+        "expected a worker-reported trap, got: {e1}"
+    );
+    assert_eq!(e1.to_string(), e2.to_string(), "trap text diverged");
+    let q_ok = "SELECT trapper(bytearray, id) FROM rel WHERE id < 8";
+    assert_eq!(
+        per_tuple.execute(q_ok).unwrap().rows,
+        batched.execute(q_ok).unwrap().rows
+    );
+}
+
+/// A statement deadline that expires mid-batch must abort the query the
+/// same way the per-tuple path does (cancellation keeps its per-row
+/// cadence inside a batch), and leave the engine immediately usable.
+#[test]
+fn mid_batch_deadline_aborts_and_engine_survives() {
+    let db = Database::with_config(
+        Config::default()
+            .with_dop(1)
+            .with_udf_batch_size(256)
+            .with_statement_timeout_ms(Some(150)),
+    );
+    db.execute("CREATE TABLE rel (id INT, bytearray BYTEARRAY)")
+        .unwrap();
+    let t = db.catalog().table("rel").unwrap();
+    for i in 0..1000 {
+        t.insert(Tuple::new(vec![
+            Value::Int(i),
+            Value::Bytes(ByteArray::patterned(100, i as u64)),
+        ]))
+        .unwrap();
+    }
+    db.register_udf(def_vm(true, ResourceLimits::default()));
+    // 2M data-independent comps per row: the first batch alone cannot
+    // finish inside the deadline, so the abort fires mid-batch.
+    let err = db
+        .execute("SELECT generic_vm(bytearray, 2000000, 0, 0) FROM rel")
+        .unwrap_err();
+    assert!(
+        matches!(err, JaguarError::Timeout(_) | JaguarError::Cancelled(_)),
+        "expected mid-batch deadline abort, got: {err}"
+    );
+    let r = db.execute("SELECT COUNT(*) FROM rel").unwrap();
+    assert_eq!(r.rows[0].get(0).unwrap(), &Value::Int(1000));
 }

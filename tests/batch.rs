@@ -1,0 +1,248 @@
+//! Vectorized invocation (jaguar-vec): batch-size gating, hostile
+//! batch-frame rejection at the IPC boundary, and circuit-breaker
+//! behaviour when a whole batch fails.
+
+use std::time::Duration;
+
+use jaguar_core::{obs, ByteArray, Config, DataType, Database, JaguarError, Tuple, Value};
+use jaguar_ipc::find_worker_binary;
+use jaguar_udf::generic::def_vm;
+use jaguar_udf::{NativeUdf, UdfDef, UdfImpl, UdfSignature, Volatility};
+use jaguar_vm::ResourceLimits;
+
+fn worker_available() -> bool {
+    if find_worker_binary().is_err() {
+        eprintln!("skipping isolated designs: jaguar-worker not built (cargo build --workspace)");
+        false
+    } else {
+        true
+    }
+}
+
+/// A dop=1 database with `rows` integers and a native `dbl` UDF of the
+/// given volatility, configured for the given (pre-clamp) batch size.
+fn dbl_db(batch: usize, volatility: Volatility, rows: usize) -> Database {
+    let db = Database::with_config(Config::default().with_dop(1).with_udf_batch_size(batch));
+    db.execute("CREATE TABLE t (id INT)").unwrap();
+    let t = db.catalog().table("t").unwrap();
+    for i in 0..rows {
+        t.insert(Tuple::new(vec![Value::Int(i as i64)])).unwrap();
+    }
+    let sig = UdfSignature::new(vec![DataType::Int], DataType::Int);
+    let native = NativeUdf::new("dbl", sig.clone(), |args, _| {
+        Ok(Value::Int(args[0].as_int()? * 2))
+    });
+    db.register_udf(UdfDef::new("dbl", sig, UdfImpl::Native(native)).with_volatility(volatility));
+    db
+}
+
+/// Crossings recorded for the native backend. The counter is global and
+/// monotonic, so gating assertions take deltas around a single statement.
+fn cpp_crossings() -> u64 {
+    obs::global().snapshot().counter("udf.batch.crossings.cpp")
+}
+
+/// Run one statement and report (result, crossings delta).
+fn run_counted(db: &Database, sql: &str) -> (Vec<Tuple>, u64) {
+    let before = cpp_crossings();
+    let rows = db.execute(sql).unwrap().rows;
+    (rows, cpp_crossings() - before)
+}
+
+/// All gating scenarios live in ONE test so the global `cpp` crossing
+/// counter is never read while another scenario in this binary writes it
+/// (tests in a binary run concurrently; scenarios here run sequentially).
+#[test]
+fn batch_gating_end_to_end() {
+    let reference: Vec<Tuple> = (0..200)
+        .map(|i| Tuple::new(vec![Value::Int(i * 2)]))
+        .collect();
+
+    // A Stable UDF with batching on: one crossing per 200-row relation.
+    let db = dbl_db(256, Volatility::Stable, 200);
+    let (rows, delta) = run_counted(&db, "SELECT dbl(id) FROM t");
+    assert_eq!(rows, reference);
+    assert_eq!(delta, 1, "200 rows at batch=256 must cross exactly once");
+
+    // Requested size 2 clamps up to MIN_BATCH=64: ceil(200/64) crossings.
+    let db = dbl_db(2, Volatility::Stable, 200);
+    let (rows, delta) = run_counted(&db, "SELECT dbl(id) FROM t");
+    assert_eq!(rows, reference);
+    assert_eq!(delta, 4, "batch=2 must clamp to 64: 64+64+64+8 rows");
+
+    // Requested size 1_000_000 clamps down to MAX_BATCH=1024.
+    let db = dbl_db(1_000_000, Volatility::Stable, 200);
+    let (rows, delta) = run_counted(&db, "SELECT dbl(id) FROM t");
+    assert_eq!(rows, reference);
+    assert_eq!(delta, 1, "huge requested sizes clamp to 1024, one crossing");
+
+    // Batch size 1 disables batching entirely.
+    let db = dbl_db(1, Volatility::Stable, 200);
+    let (rows, delta) = run_counted(&db, "SELECT dbl(id) FROM t");
+    assert_eq!(rows, reference);
+    assert_eq!(delta, 0, "batch=1 must take the per-tuple path");
+
+    // A Volatile UDF (the default) is never batched, whatever the config.
+    let db = dbl_db(256, Volatility::Volatile, 200);
+    let (rows, delta) = run_counted(&db, "SELECT dbl(id) FROM t");
+    assert_eq!(rows, reference);
+    assert_eq!(delta, 0, "Volatile UDFs must keep the per-tuple cadence");
+
+    // LIMIT without ORDER BY short-circuits: batching would over-invoke
+    // past the limit, so the planner must refuse it.
+    let db = dbl_db(256, Volatility::Stable, 200);
+    let (rows, delta) = run_counted(&db, "SELECT dbl(id) FROM t LIMIT 10");
+    assert_eq!(rows.len(), 10);
+    assert_eq!(delta, 0, "bare LIMIT must not batch");
+    // ...but LIMIT after a SORT materializes everything first: batchable.
+    let (rows, delta) = run_counted(&db, "SELECT dbl(id) AS v FROM t ORDER BY v LIMIT 10");
+    assert_eq!(rows, reference[..10].to_vec());
+    assert_eq!(delta, 1, "LIMIT after ORDER BY must batch");
+
+    // Two UDF calls in the projection: the single-UDF gate refuses.
+    let (rows, delta) = run_counted(&db, "SELECT dbl(id), dbl(id) FROM t");
+    assert_eq!(rows.len(), 200);
+    assert_eq!(delta, 0, "two UDF projections must not batch");
+
+    // A fallible sibling projection (id % 2 can observe evaluation order
+    // on error paths): the infallible-siblings gate refuses.
+    let (rows, delta) = run_counted(&db, "SELECT id % 2, dbl(id) FROM t");
+    assert_eq!(rows.len(), 200);
+    assert_eq!(delta, 0, "fallible sibling expressions must not batch");
+}
+
+/// Hostile bytes at the IPC boundary: frames claiming implausible batch
+/// sizes must be rejected by the length caps before any allocation, in
+/// both directions (server←client request replay, compromised worker
+/// reply).
+#[test]
+fn hostile_batch_frames_are_rejected() {
+    use jaguar_ipc::proto::{Request, Response, MAX_BATCH_ROWS};
+
+    // An InvokeBatch frame declaring one row more than the wire cap.
+    let mut frame = vec![0x08u8];
+    frame.extend_from_slice(&(MAX_BATCH_ROWS + 1).to_le_bytes());
+    let err = Request::read(&mut frame.as_slice()).unwrap_err();
+    assert!(matches!(err, JaguarError::Protocol(_)), "{err}");
+
+    // ...and one declaring u32::MAX rows (allocation-bomb attempt).
+    let mut frame = vec![0x08u8];
+    frame.extend_from_slice(&u32::MAX.to_le_bytes());
+    let err = Request::read(&mut frame.as_slice()).unwrap_err();
+    assert!(matches!(err, JaguarError::Protocol(_)), "{err}");
+
+    // A truncated frame claiming the cap exactly but carrying no rows:
+    // decoding must fail cleanly (EOF), not hang or pre-allocate 4096 rows.
+    let mut frame = vec![0x08u8];
+    frame.extend_from_slice(&MAX_BATCH_ROWS.to_le_bytes());
+    assert!(Request::read(&mut frame.as_slice()).is_err());
+
+    // A BatchReply from a compromised worker declaring u32::MAX values.
+    let mut frame = vec![0x88u8];
+    frame.extend_from_slice(&u32::MAX.to_le_bytes());
+    let err = Response::read(&mut frame.as_slice()).unwrap_err();
+    assert!(matches!(err, JaguarError::Protocol(_)), "{err}");
+}
+
+/// When a worker dies mid-batch the whole batch fails as one Worker
+/// error; three consecutive all-fail batches must open the UDF's circuit
+/// breaker exactly as three per-tuple crashes do, and the quarantined
+/// UDF must then fail fast.
+#[test]
+fn breaker_opens_when_whole_batches_fail() {
+    if !worker_available() {
+        return;
+    }
+    let db = Database::with_config(
+        Config::default()
+            .with_dop(1)
+            .with_udf_batch_size(256)
+            .with_pooled_executors(1)
+            .with_udf_breaker(3, 60_000),
+    );
+    db.execute("CREATE TABLE t (a INT)").unwrap();
+    let t = db.catalog().table("t").unwrap();
+    for _ in 0..100 {
+        t.insert(Tuple::new(vec![Value::Int(1)])).unwrap();
+    }
+    let sig = UdfSignature::new(vec![DataType::Int], DataType::Int);
+    db.register_udf(
+        UdfDef::new(
+            "wcrash",
+            sig,
+            UdfImpl::IsolatedNative {
+                worker_fn: "crash_if_positive".to_string(),
+            },
+        )
+        .with_volatility(Volatility::Stable),
+    );
+    let pool = db.worker_pool().expect("pool attached");
+    assert!(pool.wait_ready(Duration::from_secs(10)));
+
+    let before = obs::global().snapshot().counter("udf.batch.crossings.icpp");
+    for round in 0..3 {
+        let err = db.execute("SELECT wcrash(a) FROM t").unwrap_err();
+        assert!(
+            matches!(err, JaguarError::Worker(_)),
+            "round {round}: expected a worker crash, got: {err}"
+        );
+    }
+    assert!(
+        obs::global().snapshot().counter("udf.batch.crossings.icpp") >= before + 3,
+        "the crashing statements must have gone through the batched path"
+    );
+    assert!(
+        db.udf_breaker_states()
+            .iter()
+            .any(|(n, s)| n == "wcrash" && *s == "open"),
+        "breaker must open after 3 all-fail batches: {:?}",
+        db.udf_breaker_states()
+    );
+    let err = db.execute("SELECT wcrash(a) FROM t").unwrap_err();
+    assert!(
+        matches!(err, JaguarError::UdfQuarantined(_)),
+        "open breaker must fail fast, got: {err}"
+    );
+    // Statements not touching the quarantined UDF keep working.
+    let r = db.execute("SELECT COUNT(*) FROM t").unwrap();
+    assert_eq!(r.rows[0].get(0).unwrap(), &Value::Int(100));
+}
+
+/// An explicit cancel token fired from another thread must interrupt a
+/// statement between the per-row polls inside a batch.
+#[test]
+fn token_cancel_interrupts_a_batch() {
+    let db = Database::with_config(Config::default().with_dop(1).with_udf_batch_size(256));
+    db.execute("CREATE TABLE rel (id INT, bytearray BYTEARRAY)")
+        .unwrap();
+    let t = db.catalog().table("rel").unwrap();
+    for i in 0..1000 {
+        t.insert(Tuple::new(vec![
+            Value::Int(i),
+            Value::Bytes(ByteArray::patterned(100, i as u64)),
+        ]))
+        .unwrap();
+    }
+    db.register_udf(def_vm(true, ResourceLimits::default()));
+    let token = db.statement_token();
+    let canceller = {
+        let token = token.clone();
+        std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(100));
+            token.cancel();
+        })
+    };
+    let err = db
+        .execute_cancellable(
+            "SELECT generic_vm(bytearray, 2000000, 0, 0) FROM rel",
+            &token,
+        )
+        .unwrap_err();
+    canceller.join().unwrap();
+    assert!(
+        matches!(err, JaguarError::Cancelled(_) | JaguarError::Timeout(_)),
+        "expected mid-batch cancellation, got: {err}"
+    );
+    let r = db.execute("SELECT COUNT(*) FROM rel").unwrap();
+    assert_eq!(r.rows[0].get(0).unwrap(), &Value::Int(1000));
+}
