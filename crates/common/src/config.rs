@@ -43,6 +43,11 @@ pub struct Config {
     /// Whether sandboxed execution uses the pre-decoded "JIT-mode"
     /// dispatcher (the paper's JVMs "included a JIT compiler").
     pub vm_jit_mode: bool,
+    /// Invocations of a JagScript function before it is promoted to the
+    /// compiled register tier (`Some(0)` = compile on first call, `None`
+    /// = never tier up; interpretation only). Has no effect unless
+    /// `vm_jit_mode` is on.
+    pub tier_up_after: Option<u64>,
     /// Whether isolated-process UDF executors are created once per query
     /// (as in the paper) or pooled across queries.
     pub pooled_executors: bool,
@@ -122,6 +127,9 @@ impl Default for Config {
             default_vm_memory: Some(64 * 1024 * 1024),
             max_call_depth: 256,
             vm_jit_mode: true,
+            // Matches jaguar_vm::DEFAULT_TIER_UP_AFTER (vm depends on this
+            // crate, so the constant cannot be referenced here).
+            tier_up_after: Some(64),
             pooled_executors: false,
             pool_size,
             pool_invoke_timeout_ms: Some(30_000),
@@ -171,6 +179,13 @@ impl Config {
 
     pub fn with_jit_mode(mut self, on: bool) -> Self {
         self.vm_jit_mode = on;
+        self
+    }
+
+    /// Hotness threshold for the compiled VM tier (`Some(0)` = compile on
+    /// first call, `None` = stay interpreted).
+    pub fn with_tier_up_after(mut self, calls: Option<u64>) -> Self {
+        self.tier_up_after = calls;
         self
     }
 
@@ -280,6 +295,19 @@ mod tests {
         assert!(c.buffer_pool_pages > 0);
         assert!(c.default_fuel.is_some());
         assert!(c.vm_jit_mode);
+        assert_eq!(c.tier_up_after, Some(64), "hot UDFs tier up by default");
+    }
+
+    #[test]
+    fn tier_up_builder() {
+        assert_eq!(
+            Config::default().with_tier_up_after(Some(0)).tier_up_after,
+            Some(0)
+        );
+        assert_eq!(
+            Config::default().with_tier_up_after(None).tier_up_after,
+            None
+        );
     }
 
     #[test]

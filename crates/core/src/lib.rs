@@ -313,7 +313,8 @@ impl Database {
                     limits,
                     config.vm_jit_mode,
                     Some(Arc::new(perms)),
-                )?;
+                )?
+                .with_tier_up(config.tier_up_after);
                 if design == UdfDesign::SandboxedIsolated {
                     UdfImpl::IsolatedVm(spec)
                 } else {

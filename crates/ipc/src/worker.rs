@@ -138,6 +138,13 @@ pub fn serve<R: Read, W: Write>(input: R, output: W, registry: &WorkerRegistry) 
     let mut input = BufReader::new(input);
     let mut output = BufWriter::new(output);
     let mut loaded = Loaded::Nothing;
+    // Verified-module cache keyed by the shipped bytes. A pooled worker is
+    // Reset between queries but typically reloaded with the *same* module;
+    // reusing the same `Arc<VerifiedModule>` keeps the module's shared
+    // execution plan (and its tier-up hotness counters) alive across
+    // checkouts instead of re-verifying and re-warming from zero. One
+    // entry suffices: a worker hosts one UDF at a time.
+    let mut module_cache: Option<(Vec<u8>, Arc<jaguar_vm::VerifiedModule>)> = None;
 
     Response::Ready {
         proto: PROTO_VERSION,
@@ -183,10 +190,17 @@ pub fn serve<R: Read, W: Write>(input: R, output: W, registry: &WorkerRegistry) 
                 jit,
                 fuel,
                 memory,
+                tier_up_after,
             } => {
-                let result = Module::from_bytes(&module).and_then(Module::verify);
+                let result = match &module_cache {
+                    Some((bytes, verified)) if *bytes == module => Ok(Arc::clone(verified)),
+                    _ => Module::from_bytes(&module)
+                        .and_then(Module::verify)
+                        .map(Arc::new),
+                };
                 match result {
                     Ok(verified) => {
+                        module_cache = Some((module, Arc::clone(&verified)));
                         let limits = ResourceLimits {
                             fuel: if fuel == 0 { None } else { Some(fuel) },
                             memory: if memory == 0 {
@@ -201,8 +215,13 @@ pub fn serve<R: Read, W: Write>(input: R, output: W, registry: &WorkerRegistry) 
                         } else {
                             ExecMode::Baseline
                         };
+                        let tier = if tier_up_after == u64::MAX {
+                            None
+                        } else {
+                            Some(tier_up_after)
+                        };
                         loaded = Loaded::Vm {
-                            interp: Interpreter::new(Arc::new(verified), limits, mode),
+                            interp: Interpreter::new(verified, limits, mode).with_tier_up(tier),
                             function,
                         };
                         Response::Loaded.write(&mut output)?;
@@ -500,6 +519,7 @@ mod tests {
                     jit: true,
                     fuel: 0,
                     memory: 0,
+                    tier_up_after: u64::MAX,
                 },
                 Request::Invoke {
                     args: vec![Value::Int(21)],
@@ -531,6 +551,7 @@ mod tests {
                 jit: true,
                 fuel: 0,
                 memory: 0,
+                tier_up_after: u64::MAX,
             }],
             &WorkerRegistry::new(),
         );
@@ -549,6 +570,7 @@ mod tests {
                     jit: true,
                     fuel: 1000,
                     memory: 0,
+                    tier_up_after: u64::MAX,
                 },
                 Request::Invoke { args: vec![] },
                 Request::Shutdown,
@@ -728,6 +750,7 @@ mod tests {
                     jit: true,
                     fuel: 0,
                     memory: 0,
+                    tier_up_after: u64::MAX,
                 },
                 Request::InvokeBatch {
                     rows: (0..5).map(|i| vec![Value::Int(i)]).collect(),
@@ -742,6 +765,57 @@ mod tests {
                 values: (0..5).map(|i| Value::Int(i * 2)).collect(),
                 error: None,
             }
+        );
+    }
+
+    #[test]
+    fn module_cache_keeps_hotness_across_reset() {
+        // tier_up_after = 1: one invocation per checkout never promotes
+        // unless the hotness counter survives the Reset in between. The
+        // worker's module cache reuses the same verified module across
+        // identical LoadVm requests, so the second checkout's invocation
+        // is call #2 and must promote to the compiled tier.
+        let src = "module m\nfunc main(i64) -> i64\n  load 0\n  consti 2\n  muli\n  ret\nend\n";
+        let bytes = jaguar_vm::asm::assemble(src).unwrap().to_bytes();
+        let load = Request::LoadVm {
+            module: bytes,
+            function: "main".into(),
+            jit: true,
+            fuel: 0,
+            memory: 0,
+            tier_up_after: 1,
+        };
+        let before = jaguar_common::obs::global()
+            .snapshot()
+            .counter("vm.tier.compiled_hits");
+        let rsp = script(
+            &[
+                load.clone(),
+                Request::Invoke {
+                    args: vec![Value::Int(1)],
+                },
+                Request::Reset,
+                load,
+                Request::Invoke {
+                    args: vec![Value::Int(2)],
+                },
+                Request::Shutdown,
+            ],
+            &WorkerRegistry::new(),
+        );
+        assert_eq!(
+            rsp[5],
+            Response::InvokeResult {
+                value: Value::Int(4)
+            }
+        );
+        let after = jaguar_common::obs::global()
+            .snapshot()
+            .counter("vm.tier.compiled_hits");
+        assert_eq!(
+            after - before,
+            1,
+            "hotness must survive Reset via the module cache"
         );
     }
 

@@ -252,6 +252,7 @@ impl Client {
                 ResourceLimits::default(),
                 ExecMode::Jit,
                 None,
+                Some(jaguar_vm::DEFAULT_TIER_UP_AFTER),
             )?;
             local.invoke(args, &mut NoCallbacks)?;
         }
@@ -277,6 +278,7 @@ impl Client {
                     ResourceLimits::default(),
                     ExecMode::Jit,
                     None,
+                    Some(jaguar_vm::DEFAULT_TIER_UP_AFTER),
                 )?;
                 Ok(LocalUdf { inner })
             }

@@ -440,6 +440,7 @@ fn register_udf(
         limits,
         jit: config.vm_jit_mode,
         permissions: Some(Arc::new(perms)),
+        tier_up_after: config.tier_up_after,
     };
     let imp = if isolated {
         UdfImpl::IsolatedVm(spec)

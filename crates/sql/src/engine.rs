@@ -390,6 +390,7 @@ impl Engine {
         .map(str::to_string)
         .collect();
         let mut stats = ExecStats::default();
+        let tier_before = analyze.then(tier_counters);
         if let (true, Some(dec)) = (analyze, &par_dec) {
             let started = std::time::Instant::now();
             let (rows, par_stats, reports) =
@@ -438,6 +439,17 @@ impl Engine {
                 stats.udf_invocations,
                 stats.udf_callbacks
             ));
+        }
+        if let Some(before) = tier_before {
+            let after = tier_counters();
+            if after.iter().zip(&before).any(|(a, b)| a > b) {
+                lines.push(format!(
+                    "VM tier: promotions={} compiled_calls={} interp_fallbacks={}",
+                    after[0] - before[0],
+                    after[1] - before[1],
+                    after[2] - before[2],
+                ));
+            }
         }
         Ok(QueryResult {
             schema,
@@ -520,6 +532,19 @@ pub(crate) fn matches_all(
         }
     }
     Ok(true)
+}
+
+/// The `vm.tier.*` counters as `[promotions, compiled_hits, fallbacks]`.
+/// The counters are process-global, so a delta taken around a statement
+/// approximates that statement's tier activity (exact when no concurrent
+/// statement drives JagScript UDFs).
+fn tier_counters() -> [u64; 3] {
+    let snap = obs::global().snapshot();
+    [
+        snap.counter("vm.tier.promotions"),
+        snap.counter("vm.tier.compiled_hits"),
+        snap.counter("vm.tier.fallbacks"),
+    ]
 }
 
 /// Render an `EXPLAIN ANALYZE` profile, outermost operator first.

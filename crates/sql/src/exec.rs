@@ -497,7 +497,14 @@ pub(crate) fn plan_batch_spec(plan: &BoundSelect) -> Option<BatchSpec> {
         }
     }
     let spec = found?;
-    if !plan.udfs[spec.udf].def.volatility.batchable() {
+    let def = &plan.udfs[spec.udf].def;
+    if !def.volatility.batchable() {
+        return None;
+    }
+    // Per-backend policy: batching amortizes a boundary crossing; a
+    // design whose crossing is free (trusted native) only pays the
+    // ValueBatch accumulation and gets nothing back.
+    if def.imp.crossing_is_free() {
         return None;
     }
     Some(spec)

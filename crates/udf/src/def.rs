@@ -29,6 +29,19 @@ pub struct VmUdfSpec {
     pub limits: ResourceLimits,
     pub jit: bool,
     pub permissions: Option<Arc<PermissionSet>>,
+    /// Invocations before a function is promoted to the compiled register
+    /// tier (`Some(0)` = first call, `None` = never). Only meaningful with
+    /// `jit`; carried to the worker for Design 4.
+    pub tier_up_after: Option<u64>,
+}
+
+impl VmUdfSpec {
+    /// Override the compiled-tier hotness threshold (see
+    /// [`VmUdfSpec::tier_up_after`]).
+    pub fn with_tier_up(mut self, calls: Option<u64>) -> VmUdfSpec {
+        self.tier_up_after = calls;
+        self
+    }
 }
 
 /// The execution design chosen for a UDF (the paper's Table 1).
@@ -66,6 +79,17 @@ impl UdfImpl {
             self,
             UdfImpl::IsolatedNative { .. } | UdfImpl::IsolatedVm(_)
         )
+    }
+
+    /// Whether invoking this design costs no more than a plain function
+    /// call — no process crossing, no interpreter entry. Batching exists
+    /// to amortize a per-invocation boundary cost; when the crossing is
+    /// free there is nothing to amortize and accumulating a `ValueBatch`
+    /// is pure overhead (BENCH_batch measured the trusted-native design
+    /// *slowing down* ~7% under batching), so the planner keeps these on
+    /// the per-tuple path.
+    pub fn crossing_is_free(&self) -> bool {
+        matches!(self, UdfImpl::Native(_))
     }
 }
 
@@ -159,6 +183,7 @@ impl UdfDef {
                     ExecMode::Baseline
                 },
                 spec.permissions.clone(),
+                spec.tier_up_after,
             )?)),
             UdfImpl::IsolatedNative { worker_fn } => match pool {
                 Some(pool) => {
@@ -191,6 +216,7 @@ impl UdfDef {
                         spec.jit,
                         spec.limits.fuel,
                         spec.limits.memory,
+                        spec.tier_up_after,
                     )?;
                     Ok(Box::new(PooledIsolatedUdf {
                         name: self.name.clone(),
@@ -207,6 +233,7 @@ impl UdfDef {
                         spec.jit,
                         spec.limits.fuel,
                         spec.limits.memory,
+                        spec.tier_up_after,
                     )?;
                     Ok(Box::new(IsolatedUdf {
                         name: self.name.clone(),
@@ -373,7 +400,9 @@ impl ScalarUdf for PooledIsolatedUdf {
     }
 }
 
-/// Helper: build a [`VmUdfSpec`] from an unverified module.
+/// Helper: build a [`VmUdfSpec`] from an unverified module. Hot functions
+/// tier up after the default threshold; use [`VmUdfSpec::with_tier_up`] to
+/// override.
 pub fn vm_spec(
     module: jaguar_vm::Module,
     function: impl Into<String>,
@@ -390,6 +419,7 @@ pub fn vm_spec(
         limits,
         jit,
         permissions,
+        tier_up_after: Some(jaguar_vm::DEFAULT_TIER_UP_AFTER),
     })
 }
 

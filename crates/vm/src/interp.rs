@@ -19,6 +19,7 @@
 //! runtime indicate an interpreter bug, not a UDF bug; they still surface
 //! as containable traps rather than panics (defence in depth).
 
+use std::sync::atomic::Ordering;
 use std::sync::Arc;
 
 use jaguar_common::cancel::CancelToken;
@@ -29,6 +30,7 @@ use crate::isa::{Insn, VType};
 use crate::module::VerifiedModule;
 use crate::resources::{ResourceLimits, ResourceUsage};
 use crate::security::{Permission, PermissionSet};
+use crate::tier::{self, ModulePlan};
 
 /// A runtime value on the operand stack or in a local slot.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -112,9 +114,21 @@ pub enum ExecMode {
 
 /// Per-function pre-encoded form used by baseline mode: the raw bytes and
 /// the byte offset of each instruction (jump targets are insn indices).
-struct EncodedFn {
+pub(crate) struct EncodedFn {
     bytes: Vec<u8>,
     offsets: Vec<u32>,
+}
+
+impl EncodedFn {
+    pub(crate) fn of(f: &crate::module::Function) -> EncodedFn {
+        let mut bytes = Vec::new();
+        let mut offsets = Vec::with_capacity(f.code.len());
+        for insn in &f.code {
+            offsets.push(bytes.len() as u32);
+            insn.encode(&mut bytes);
+        }
+        EncodedFn { bytes, offsets }
+    }
 }
 
 struct Frame {
@@ -126,7 +140,7 @@ struct Frame {
 
 /// Comparison selector for fused compare-and-branch.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum CmpKind {
+pub(crate) enum CmpKind {
     Lt,
     Le,
     Eq,
@@ -136,7 +150,7 @@ enum CmpKind {
 /// original instructions the step covers, for fuel accounting and for the
 /// sequential-advance amount.
 #[derive(Debug, Clone, Copy)]
-enum FusedOp {
+pub(crate) enum FusedOp {
     /// A single ordinary instruction.
     Std(Insn),
     /// Interior of a fused region; unreachable (the fuser refuses to fuse
@@ -168,7 +182,7 @@ enum FusedOp {
 /// Build the fused execution plan for one function. Fusion never spans a
 /// jump target: a pattern is only collapsed when control can only enter it
 /// at its first instruction.
-fn fuse(code: &[Insn]) -> Vec<FusedOp> {
+pub(crate) fn fuse(code: &[Insn]) -> Vec<FusedOp> {
     use std::collections::HashSet;
     let mut targets: HashSet<usize> = HashSet::new();
     for insn in code {
@@ -303,9 +317,15 @@ pub struct Interpreter {
     limits: ResourceLimits,
     mode: ExecMode,
     security: Option<Arc<PermissionSet>>,
-    encoded: Vec<EncodedFn>,
-    /// Fused execution plan per function (JIT mode only).
-    fused: Vec<Vec<FusedOp>>,
+    /// Shared per-module execution plans (encoded/fused/compiled) and
+    /// hotness counters — one [`ModulePlan`] per live module `Arc`, so
+    /// every statement and pooled worker over the same module reuses the
+    /// same decode/fuse/compile work.
+    plan: Arc<ModulePlan>,
+    /// Interpreted invocations of a function before it is promoted to the
+    /// compiled tier (JIT mode only). `None` disables tier-up entirely;
+    /// `Some(0)` compiles on first call.
+    tier_up_after: Option<u64>,
     /// Statement-lifecycle token, polled every
     /// [`CANCEL_CHECK_INTERVAL`] instructions alongside the fuel check.
     /// `None` (the default) skips the poll entirely.
@@ -320,32 +340,35 @@ pub const CANCEL_CHECK_INTERVAL: u64 = 65_536;
 
 impl Interpreter {
     pub fn new(module: Arc<VerifiedModule>, limits: ResourceLimits, mode: ExecMode) -> Interpreter {
-        let encoded = module
-            .functions()
-            .iter()
-            .map(|f| {
-                let mut bytes = Vec::new();
-                let mut offsets = Vec::with_capacity(f.code.len());
-                for insn in &f.code {
-                    offsets.push(bytes.len() as u32);
-                    insn.encode(&mut bytes);
-                }
-                EncodedFn { bytes, offsets }
-            })
-            .collect();
-        let fused = match mode {
-            ExecMode::Jit => module.functions().iter().map(|f| fuse(&f.code)).collect(),
-            ExecMode::Baseline => Vec::new(),
-        };
+        let plan = tier::plan_for(&module);
+        // Pre-warm the plan this mode executes from, so the hot path is a
+        // plain load. Both are built at most once per module, however many
+        // interpreters are instantiated over it.
+        match mode {
+            ExecMode::Jit => {
+                plan.fused(&module);
+            }
+            ExecMode::Baseline => {
+                plan.encoded(&module);
+            }
+        }
         Interpreter {
             module,
             limits,
             mode,
             security: None,
-            encoded,
-            fused,
+            plan,
+            tier_up_after: None,
             cancel: None,
         }
+    }
+
+    /// Enable tier-up: after `n` interpreted invocations a function is
+    /// promoted to the compiled tier (JIT mode only; `Some(0)` compiles
+    /// on first call, `None` — the default — never promotes).
+    pub fn with_tier_up(mut self, tier_up_after: Option<u64>) -> Interpreter {
+        self.tier_up_after = tier_up_after;
+        self
     }
 
     /// Attach a security manager; host calls will be checked against it.
@@ -372,6 +395,25 @@ impl Interpreter {
 
     pub fn limits(&self) -> ResourceLimits {
         self.limits
+    }
+
+    /// The configured tier-up threshold, if any.
+    pub fn tier_up_after(&self) -> Option<u64> {
+        self.tier_up_after
+    }
+
+    /// The shared per-module execution plan (exposed so tests and
+    /// diagnostics can observe plan sharing across interpreters).
+    pub fn plan(&self) -> &Arc<ModulePlan> {
+        &self.plan
+    }
+
+    pub(crate) fn security_ref(&self) -> Option<&PermissionSet> {
+        self.security.as_deref()
+    }
+
+    pub(crate) fn cancel_ref(&self) -> Option<&CancelToken> {
+        self.cancel.as_ref()
     }
 
     /// Resolve `func` to its function index once, so batched invocation
@@ -447,18 +489,6 @@ impl Interpreter {
         Ok((ret, usage, arena))
     }
 
-    fn fetch(&self, func: u32, pc: usize) -> Result<FusedOp> {
-        match self.mode {
-            ExecMode::Jit => Ok(self.fused[func as usize][pc]),
-            ExecMode::Baseline => {
-                let enc = &self.encoded[func as usize];
-                let off = enc.offsets[pc] as usize;
-                let mut r = &enc.bytes[off..];
-                Ok(FusedOp::Std(Insn::decode(&mut r)?))
-            }
-        }
-    }
-
     fn run(
         &self,
         entry: u32,
@@ -466,8 +496,40 @@ impl Interpreter {
         arena: &mut Arena,
         host: &mut dyn HostEnv,
     ) -> Result<(Option<VmValue>, ResourceUsage)> {
+        // Tier-up: once a function has been invoked `tier_up_after` times
+        // it runs through the compiled tier — if the template compiler
+        // covered its whole call graph; otherwise fall back and keep
+        // interpreting (observable behaviour is identical either way).
+        if self.mode == ExecMode::Jit {
+            if let Some(n) = self.tier_up_after {
+                let hits = self.plan.hot(entry).fetch_add(1, Ordering::Relaxed) + 1;
+                if hits > n {
+                    let tm = tier::metrics();
+                    if hits == n + 1 {
+                        tm.promotions.inc();
+                    }
+                    let cm = self.plan.compiled(&self.module);
+                    if cm.entry_runnable(entry) {
+                        tm.compiled_hits.inc();
+                        return tier::run_compiled(self, cm, entry, args, arena, host);
+                    }
+                    tm.fallbacks.inc();
+                }
+            }
+        }
+
         let funcs = self.module.functions();
         let imports = self.module.imports();
+
+        /// The per-mode instruction source for this run.
+        enum CodePlan<'a> {
+            Fused(&'a [Vec<FusedOp>]),
+            Encoded(&'a [EncodedFn]),
+        }
+        let code_plan = match self.mode {
+            ExecMode::Jit => CodePlan::Fused(self.plan.fused(&self.module)),
+            ExecMode::Baseline => CodePlan::Encoded(self.plan.encoded(&self.module)),
+        };
 
         // Default value for uninitialised `bytes` locals: one shared empty
         // array (JSM has no null references).
@@ -523,11 +585,22 @@ impl Interpreter {
 
         loop {
             let frame = frames.last_mut().expect("at least one frame");
-            let op = self.fetch(frame.func, frame.pc)?;
+            let op = match code_plan {
+                CodePlan::Fused(plan) => plan[frame.func as usize][frame.pc],
+                CodePlan::Encoded(plan) => {
+                    let enc = &plan[frame.func as usize];
+                    let off = enc.offsets[frame.pc] as usize;
+                    let mut r = &enc.bytes[off..];
+                    FusedOp::Std(Insn::decode(&mut r)?)
+                }
+            };
 
             // Resource policing: the per-instruction fuel check (A3).
             // Fused steps charge the number of instructions they cover, so
-            // fuel semantics are dispatch-strategy independent.
+            // fuel semantics are dispatch-strategy independent: check
+            // before charging, and on exhaustion report `initial_fuel + 1`
+            // — the instruction that could not be afforded — whatever the
+            // step width (identical to per-instruction accounting).
             let cost: u64 = match op {
                 FusedOp::Std(_) | FusedOp::Interior => 1,
                 FusedOp::IncLocal { len, .. }
@@ -535,9 +608,9 @@ impl Interpreter {
                 | FusedOp::AccAddALoad { len, .. }
                 | FusedOp::MulConstAddLocal { len, .. } => len as u64,
             };
-            usage.instructions += cost;
             if let Some(left) = fuel.as_mut() {
                 if *left < cost {
+                    usage.instructions += *left + 1;
                     return Err(JaguarError::ResourceLimit(format!(
                         "fuel exhausted after {} instructions",
                         usage.instructions
@@ -545,6 +618,7 @@ impl Interpreter {
                 }
                 *left -= cost;
             }
+            usage.instructions += cost;
             // Cooperative cancellation: poll the statement token at a
             // coarse cadence so runaway-but-fueled loops still respect
             // deadlines and client cancels.

@@ -51,6 +51,7 @@ pub mod loader;
 pub mod module;
 pub mod resources;
 pub mod security;
+pub mod tier;
 pub mod verifier;
 
 pub use arena::Arena;
@@ -60,4 +61,5 @@ pub use loader::Loader;
 pub use module::{FuncSig, Function, HostImport, Module, VerifiedModule};
 pub use resources::{ResourceLimits, ResourceUsage};
 pub use security::{Permission, PermissionSet};
+pub use tier::DEFAULT_TIER_UP_AFTER;
 pub use verifier::verify;

@@ -330,6 +330,75 @@ fn batched_invocation_matches_per_tuple_at_dop_4() {
     }
 }
 
+/// A SQL database with every design registered and the sandboxed designs
+/// pinned to one execution tier: `Some(0)` forces the compiled register
+/// tier from the first call, `None` with `jit=false` is the Baseline
+/// interpreter (the reference the compiled tier must match byte-for-byte).
+fn tiered_db(rows: usize, compiled: bool) -> Database {
+    let db = Database::with_config(Config::default().with_dop(1).with_pooled_executors(2));
+    db.execute("CREATE TABLE rel (id INT, bytearray BYTEARRAY)")
+        .unwrap();
+    let t = db.catalog().table("rel").unwrap();
+    for i in 0..rows {
+        t.insert(Tuple::new(vec![
+            Value::Int(i as i64),
+            Value::Bytes(ByteArray::patterned(100, i as u64)),
+        ]))
+        .unwrap();
+    }
+    use jaguar_udf::generic::{def_isolated_vm_tiered, def_vm_tiered};
+    let limits = ResourceLimits::default();
+    let (jit, tier) = if compiled {
+        (true, Some(0))
+    } else {
+        (false, None)
+    };
+    db.register_udf(def_native());
+    db.register_udf(def_isolated());
+    db.register_udf(def_vm_tiered(jit, limits, tier));
+    db.register_udf(def_isolated_vm_tiered(jit, limits, tier));
+    db
+}
+
+/// Tentpole acceptance: forcing the compiled tier must be byte-identical
+/// to the Baseline interpreter at the SQL level, for every design —
+/// same rows in the same order, same public statistics. (The native
+/// designs never tier; they pin that the knob is a no-op for them.)
+#[test]
+fn compiled_tier_is_byte_identical_to_baseline_across_designs() {
+    let with_worker = worker_available();
+    let baseline = tiered_db(500, false);
+    let compiled = tiered_db(500, true);
+    let designs: &[(&str, bool)] = &[
+        ("generic", false),
+        ("generic_vm", false),
+        ("generic_ic", true),
+        ("generic_ivm", true),
+    ];
+    for (udf, needs_worker) in designs {
+        if *needs_worker && !with_worker {
+            continue;
+        }
+        for shape in [
+            format!("SELECT id, {udf}(bytearray, 7, 1, 1) FROM rel WHERE id % 3 <> 1"),
+            format!("SELECT id, {udf}(bytearray, 0, 2, 0) AS v FROM rel WHERE id < 300 ORDER BY v, id LIMIT 40"),
+            format!("SELECT id % 4 AS k, COUNT({udf}(bytearray, 1, 0, 2)) AS n FROM rel GROUP BY id % 4"),
+        ] {
+            let a = baseline.execute(&shape).unwrap();
+            let b = compiled.execute(&shape).unwrap();
+            assert_eq!(a.rows, b.rows, "rows diverged for {udf}: {shape}");
+            assert_eq!(
+                a.stats.udf_invocations, b.stats.udf_invocations,
+                "invocation counts diverged for {udf}: {shape}"
+            );
+            assert_eq!(
+                a.stats.udf_callbacks, b.stats.udf_callbacks,
+                "callback counts diverged for {udf}: {shape}"
+            );
+        }
+    }
+}
+
 /// A database whose `edgy` native UDF fails on argument 137 and counts
 /// every invocation through the shared counter — the probe for "rows
 /// before the failing one still took effect".
@@ -357,9 +426,11 @@ fn edgy_db(batch: usize, calls: std::sync::Arc<std::sync::atomic::AtomicU64>) ->
     db
 }
 
-/// An error in row k of a batch must surface exactly as the per-tuple
-/// path surfaces it: the identical error, after the identical number of
-/// successful invocations (prior rows' effects intact). Design 1.
+/// Design 1 (trusted native) is exempt from batching — its crossing is
+/// free, so the planner keeps it per-tuple at any configured batch size
+/// (`UdfImpl::crossing_is_free`). A mid-relation error must therefore
+/// surface identically under batch=1 and batch=256 configs: the same
+/// error, after the same number of successful invocations.
 #[test]
 fn mid_batch_native_error_matches_per_tuple() {
     use std::sync::atomic::{AtomicU64, Ordering};

@@ -19,8 +19,17 @@ fn worker_available() -> bool {
     }
 }
 
-/// A dop=1 database with `rows` integers and a native `dbl` UDF of the
-/// given volatility, configured for the given (pre-clamp) batch size.
+/// Serializes the tests that read the global, monotonic
+/// `udf.batch.crossings.jsm` counter — delta assertions are only sound
+/// while no other test in this binary drives a JSM UDF.
+static JSM_COUNTER_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+/// A dop=1 database with `rows` integers and a `dbl` UDF of the given
+/// volatility, configured for the given (pre-clamp) batch size. The UDF
+/// is sandboxed-VM backed (JSM): batching gates are exercised against a
+/// design with a real per-invocation crossing to amortize — the trusted
+/// native design skips batching by policy (see
+/// `trusted_native_stays_per_tuple` below).
 fn dbl_db(batch: usize, volatility: Volatility, rows: usize) -> Database {
     let db = Database::with_config(Config::default().with_dop(1).with_udf_batch_size(batch));
     db.execute("CREATE TABLE t (id INT)").unwrap();
@@ -29,31 +38,38 @@ fn dbl_db(batch: usize, volatility: Volatility, rows: usize) -> Database {
         t.insert(Tuple::new(vec![Value::Int(i as i64)])).unwrap();
     }
     let sig = UdfSignature::new(vec![DataType::Int], DataType::Int);
-    let native = NativeUdf::new("dbl", sig.clone(), |args, _| {
-        Ok(Value::Int(args[0].as_int()? * 2))
-    });
-    db.register_udf(UdfDef::new("dbl", sig, UdfImpl::Native(native)).with_volatility(volatility));
+    let module = jaguar_lang::compile("dbl", "fn main(x: i64) -> i64 { return x * 2; }").unwrap();
+    let spec = jaguar_udf::def::vm_spec(module, "main", ResourceLimits::default(), true, None)
+        .expect("dbl module must verify");
+    db.register_udf(UdfDef::new("dbl", sig, UdfImpl::Vm(spec)).with_volatility(volatility));
     db
 }
 
-/// Crossings recorded for the native backend. The counter is global and
-/// monotonic, so gating assertions take deltas around a single statement.
-fn cpp_crossings() -> u64 {
-    obs::global().snapshot().counter("udf.batch.crossings.cpp")
+/// Batched crossings recorded for the given backend slug. The counters
+/// are global and monotonic, so gating assertions take deltas around a
+/// single statement.
+fn crossings(slug: &str) -> u64 {
+    obs::global()
+        .snapshot()
+        .counter(&format!("udf.batch.crossings.{slug}"))
 }
 
-/// Run one statement and report (result, crossings delta).
+/// Run one statement and report (result, JSM crossings delta).
 fn run_counted(db: &Database, sql: &str) -> (Vec<Tuple>, u64) {
-    let before = cpp_crossings();
+    let before = crossings("jsm");
     let rows = db.execute(sql).unwrap().rows;
-    (rows, cpp_crossings() - before)
+    (rows, crossings("jsm") - before)
 }
 
-/// All gating scenarios live in ONE test so the global `cpp` crossing
+/// All gating scenarios live in ONE test so the global `jsm` crossing
 /// counter is never read while another scenario in this binary writes it
-/// (tests in a binary run concurrently; scenarios here run sequentially).
+/// (tests in a binary run concurrently; scenarios here run sequentially,
+/// and the one other JSM-driving test shares `JSM_COUNTER_LOCK`).
 #[test]
 fn batch_gating_end_to_end() {
+    let _serial = JSM_COUNTER_LOCK
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner());
     let reference: Vec<Tuple> = (0..200)
         .map(|i| Tuple::new(vec![Value::Int(i * 2)]))
         .collect();
@@ -109,6 +125,40 @@ fn batch_gating_end_to_end() {
     let (rows, delta) = run_counted(&db, "SELECT id % 2, dbl(id) FROM t");
     assert_eq!(rows.len(), 200);
     assert_eq!(delta, 0, "fallible sibling expressions must not batch");
+}
+
+/// The per-backend batch policy: trusted native's crossing is a plain
+/// function call, so batching it pays ValueBatch accumulation for
+/// nothing (BENCH_batch measured a ~7% slowdown). Even a Stable native
+/// UDF under a batching config must stay on the per-tuple path.
+#[test]
+fn trusted_native_stays_per_tuple() {
+    let db = Database::with_config(Config::default().with_dop(1).with_udf_batch_size(256));
+    db.execute("CREATE TABLE t (id INT)").unwrap();
+    let t = db.catalog().table("t").unwrap();
+    for i in 0..200 {
+        t.insert(Tuple::new(vec![Value::Int(i)])).unwrap();
+    }
+    let sig = UdfSignature::new(vec![DataType::Int], DataType::Int);
+    let native = NativeUdf::new("ndbl", sig.clone(), |args, _| {
+        Ok(Value::Int(args[0].as_int()? * 2))
+    });
+    db.register_udf(
+        UdfDef::new("ndbl", sig, UdfImpl::Native(native)).with_volatility(Volatility::Stable),
+    );
+    let before = crossings("cpp");
+    let rows = db.execute("SELECT ndbl(id) FROM t").unwrap().rows;
+    assert_eq!(
+        rows,
+        (0..200)
+            .map(|i| Tuple::new(vec![Value::Int(i * 2)]))
+            .collect::<Vec<_>>()
+    );
+    assert_eq!(
+        crossings("cpp") - before,
+        0,
+        "trusted native must never take the batched path"
+    );
 }
 
 /// Hostile bytes at the IPC boundary: frames claiming implausible batch
@@ -212,6 +262,11 @@ fn breaker_opens_when_whole_batches_fail() {
 /// statement between the per-row polls inside a batch.
 #[test]
 fn token_cancel_interrupts_a_batch() {
+    // Drives a JSM UDF, which bumps the jsm crossing counter the gating
+    // test takes deltas of — serialize with it.
+    let _serial = JSM_COUNTER_LOCK
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner());
     let db = Database::with_config(Config::default().with_dop(1).with_udf_batch_size(256));
     db.execute("CREATE TABLE rel (id INT, bytearray BYTEARRAY)")
         .unwrap();

@@ -91,6 +91,38 @@ fn explain_analyze_convenience_and_limit_short_circuit() {
     assert!(text.contains("rows=8"), "{text}");
 }
 
+/// With tier-up forced to the first call, EXPLAIN ANALYZE of a JagScript
+/// query reports the compiled-tier activity it caused; plain EXPLAIN
+/// never executes and so never shows the line.
+#[test]
+fn explain_analyze_reports_tier_activity() {
+    let db = Database::with_config(Config::default().with_tier_up_after(Some(0)));
+    db.execute("CREATE TABLE t (id INT, b BYTEARRAY)").unwrap();
+    for i in 0..6 {
+        db.execute(&format!("INSERT INTO t VALUES ({i}, X'0102')"))
+            .unwrap();
+    }
+    db.register_jagscript_udf(
+        "first_byte",
+        UdfSignature::new(vec![DataType::Bytes], DataType::Int),
+        "fn main(b: bytes) -> i64 { return b[0]; }",
+        jaguar_core::UdfDesign::Sandboxed,
+    )
+    .unwrap();
+
+    let analyzed = db
+        .execute("EXPLAIN ANALYZE SELECT first_byte(b) FROM t")
+        .unwrap();
+    let text = string_rows(&analyzed).join("\n");
+    assert!(text.contains("VM tier:"), "{text}");
+    assert!(text.contains("promotions="), "{text}");
+    assert!(!text.contains("compiled_calls=0"), "{text}");
+
+    let plain = db.execute("EXPLAIN SELECT first_byte(b) FROM t").unwrap();
+    let text = string_rows(&plain).join("\n");
+    assert!(!text.contains("VM tier:"), "{text}");
+}
+
 #[test]
 fn metrics_count_sandboxed_udf_invocations() {
     let db = db_with_rows(5);

@@ -376,6 +376,78 @@ proptest! {
 }
 
 // ---------------------------------------------------------------------
+// tiered execution differential testing
+// ---------------------------------------------------------------------
+
+/// Run a generated program under one execution configuration and return
+/// the observable outcome: `Ok((result, instructions))` or the exact
+/// error text. Everything the engine can see of an invocation.
+fn observe(
+    vm: &std::sync::Arc<jaguar_vm::VerifiedModule>,
+    limits: jaguar_vm::ResourceLimits,
+    mode: jaguar_vm::ExecMode,
+    tier_up_after: Option<u64>,
+    cancelled: bool,
+    a: i64,
+    b: i64,
+) -> std::result::Result<(Option<i64>, u64), String> {
+    let mut interp = jaguar_vm::Interpreter::new(std::sync::Arc::clone(vm), limits, mode)
+        .with_tier_up(tier_up_after);
+    if cancelled {
+        let token = jaguar_common::cancel::CancelToken::unbounded();
+        token.cancel();
+        interp.set_cancel(token);
+    }
+    match interp.invoke(
+        "main",
+        &[jaguar_vm::ArgValue::I64(a), jaguar_vm::ArgValue::I64(b)],
+        &mut jaguar_vm::NoHost,
+    ) {
+        Ok((v, usage, _)) => Ok((v.map(|v| v.as_i64().unwrap()), usage.instructions)),
+        Err(e) => Err(e.to_string()),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The compiled register tier must be *observationally identical* to
+    /// both interpreter modes: same results, same fuel accounting
+    /// (`usage.instructions`, including the exact instruction count at
+    /// which a tight fuel budget exhausts), same error text, and the
+    /// same response to a pre-cancelled statement token.
+    #[test]
+    fn compiled_tier_matches_interpreters(
+        expr in arb_expr(),
+        a in any::<i32>(),
+        b in any::<i32>(),
+        fuel in prop_oneof![Just(None), (1u64..200).prop_map(Some)],
+        cancelled in any::<bool>(),
+    ) {
+        let src = format!(
+            "fn main(a: i64, b: i64) -> i64 {{ return {}; }}",
+            expr.render()
+        );
+        let module = jaguar_lang::compile("p", &src).unwrap();
+        let vm = std::sync::Arc::new(module.verify().unwrap());
+        let limits = jaguar_vm::ResourceLimits {
+            fuel,
+            ..jaguar_vm::ResourceLimits::default()
+        };
+        let (a, b) = (a as i64, b as i64);
+
+        let baseline = observe(&vm, limits, jaguar_vm::ExecMode::Baseline, None, cancelled, a, b);
+        let jit = observe(&vm, limits, jaguar_vm::ExecMode::Jit, None, cancelled, a, b);
+        // Tier-up after 0 calls: the invocation below runs compiled
+        // (or falls back — either way it must match Baseline exactly).
+        let tiered = observe(&vm, limits, jaguar_vm::ExecMode::Jit, Some(0), cancelled, a, b);
+
+        prop_assert_eq!(&jit, &baseline, "jit vs baseline diverged on {}", src);
+        prop_assert_eq!(&tiered, &baseline, "compiled tier diverged on {}", src);
+    }
+}
+
+// ---------------------------------------------------------------------
 // generic UDF: native vs sandboxed
 // ---------------------------------------------------------------------
 
