@@ -1518,6 +1518,326 @@ impl ExperimentCtx {
         Ok(t)
     }
 
+    /// E14 — what the query optimizer recovers (not in the paper — the
+    /// jaguar-opt subsystem). Three passes, each measured as an
+    /// optimized/unoptimized pair on otherwise identical engines:
+    ///
+    /// * **inline** — a straight-line JagScript UDF under both sandboxed
+    ///   designs, registered `Stable` (backend call path) vs `Immutable`
+    ///   (Froid-style inlining). Inlined runs are verified to compute
+    ///   identical rows with **zero** backend invocations.
+    /// * **memo** — an `Immutable` generic UDF over a zipf-like (90/10)
+    ///   key column, memo cache enabled vs disabled
+    ///   (`udf_memo_bytes = 0`), for all four trust designs.
+    /// * **reorder** — a UDF predicate written before a cheap native
+    ///   predicate, `Volatile` registration (pinned to written order) vs
+    ///   `Stable` (reorderable past it).
+    ///
+    /// Writes machine-readable `BENCH_opt.json`.
+    pub fn opt(&self) -> Result<Table> {
+        use jaguar_common::rng::SplitMix64;
+        use jaguar_core::{Config, DataType, UdfDesign, UdfSignature};
+        use jaguar_udf::Volatility;
+        let card = self.scale.cardinality();
+        let reps = 5usize;
+        let mut t = Table::new(
+            "E14 — optimizer passes: inlining, memoization, predicate reordering (extension)",
+            &["pass", "design", "variant", "p50", "p99", "speedup"],
+        );
+        let mut json_passes: Vec<String> = Vec::new();
+
+        let quantiles = |lat_us: &mut Vec<u64>| -> (u64, u64) {
+            lat_us.sort_unstable();
+            let q = |p: f64| -> u64 {
+                let rank = ((p * lat_us.len() as f64).ceil() as usize).clamp(1, lat_us.len());
+                lat_us[rank - 1]
+            };
+            (q(0.50), q(0.99))
+        };
+
+        // ---- pass 1: Froid-style inlining --------------------------------
+        let poly_src = "fn main(a: i64, b: i64) -> i64 {
+            if a < b { return a * 3 + b; }
+            return a - b;
+        }";
+        for (design, dlabel, needs_worker) in [
+            (UdfDesign::Sandboxed, "JSM", false),
+            (UdfDesign::SandboxedIsolated, "IJSM", true),
+        ] {
+            if needs_worker && !self.worker_available {
+                t.note(format!(
+                    "inline/{dlabel} skipped: jaguar-worker binary not found"
+                ));
+                continue;
+            }
+            let mut expected_rows: Option<Vec<jaguar_common::Tuple>> = None;
+            let mut base_p50: Option<f64> = None;
+            let mut json_points = Vec::new();
+            for (variant, vol) in [
+                ("called", Volatility::Stable),
+                ("inlined", Volatility::Immutable),
+            ] {
+                let mut config = Config::default().with_dop(1);
+                if needs_worker {
+                    config = config.with_pooled_executors(2);
+                }
+                let db = Database::with_config(config);
+                db.execute("CREATE TABLE nums (a INT, b INT)")?;
+                let table = db.catalog().table("nums")?;
+                for i in 0..card as i64 {
+                    table.insert(jaguar_common::Tuple::new(vec![
+                        Value::Int(i),
+                        Value::Int(i % 97),
+                    ]))?;
+                }
+                if let Some(pool) = db.worker_pool() {
+                    pool.wait_ready(Duration::from_secs(30));
+                }
+                db.register_jagscript_udf_with_volatility(
+                    "udf_poly",
+                    UdfSignature::new(vec![DataType::Int, DataType::Int], DataType::Int),
+                    poly_src,
+                    design.clone(),
+                    vol,
+                )?;
+                let sql = "SELECT a, udf_poly(a, b) FROM nums";
+                let warm = db.execute(sql)?;
+                match &expected_rows {
+                    None => expected_rows = Some(warm.rows),
+                    Some(expected) if *expected != warm.rows => {
+                        return Err(JaguarError::Verification(format!(
+                            "inline/{dlabel}: {variant} rows diverge from the call path"
+                        )));
+                    }
+                    Some(_) => {}
+                }
+                if variant == "inlined" && warm.stats.udf_invocations != 0 {
+                    return Err(JaguarError::Verification(format!(
+                        "inline/{dlabel}: inlined run still invoked the backend {} time(s)",
+                        warm.stats.udf_invocations
+                    )));
+                }
+                let mut lat_us: Vec<u64> = Vec::with_capacity(reps);
+                for _ in 0..reps {
+                    let start = Instant::now();
+                    db.execute(sql)?;
+                    lat_us.push(start.elapsed().as_micros() as u64);
+                }
+                let (p50, p99) = quantiles(&mut lat_us);
+                let speedup = match base_p50 {
+                    None => {
+                        base_p50 = Some(p50 as f64);
+                        1.0
+                    }
+                    Some(b) => b / (p50 as f64).max(1.0),
+                };
+                t.row(vec![
+                    "inline".into(),
+                    dlabel.into(),
+                    variant.into(),
+                    format!("{p50}us"),
+                    format!("{p99}us"),
+                    format!("{speedup:.2}x"),
+                ]);
+                json_points.push(format!(
+                    "        {{\"variant\": \"{variant}\", \"p50_us\": {p50}, \
+                     \"p99_us\": {p99}, \"speedup_vs_baseline\": {speedup:.3}}}"
+                ));
+            }
+            json_passes.push(format!(
+                "    {{\"pass\": \"inline\", \"design\": \"{dlabel}\", \"points\": [\n{}\n    ]}}",
+                json_points.join(",\n")
+            ));
+        }
+
+        // ---- pass 2: deterministic memoization on zipf-like keys ---------
+        // 90% of rows draw their payload from 8 hot keys, 10% from a
+        // uniform tail of 1024 — an Immutable UDF re-sees hot arguments
+        // constantly, which is exactly what the memo cache amortises.
+        let (indep, dep) = (3000i64, 2i64);
+        let memo_designs: [(Design, &str); 4] = [
+            (Design::Cpp, "C++"),
+            (Design::Jsm, "JSM"),
+            (Design::ICpp, "IC++"),
+            (Design::IJsm, "IJSM"),
+        ];
+        for (d, dlabel) in memo_designs {
+            if let Some(reason) = self.skip_reason(d) {
+                t.note(format!("memo/{dlabel} skipped: {reason}"));
+                continue;
+            }
+            let mut expected_rows: Option<Vec<jaguar_common::Tuple>> = None;
+            let mut base_p50: Option<f64> = None;
+            let mut json_points = Vec::new();
+            for (variant, memo_bytes) in [("memo off", 0usize), ("memo on", 1usize << 20)] {
+                let mut config = Config::default()
+                    .with_dop(1)
+                    .with_udf_memo_bytes(memo_bytes);
+                if d.needs_worker() {
+                    config = config.with_pooled_executors(2);
+                }
+                let db = Database::with_config(config);
+                db.execute("CREATE TABLE zipf (id INT, bytearray BYTEARRAY)")?;
+                let table = db.catalog().table("zipf")?;
+                let mut rng = SplitMix64::new(0x21F);
+                for i in 0..card {
+                    let key = if rng.next_below(10) < 9 {
+                        rng.next_below(8)
+                    } else {
+                        8 + rng.next_below(1024)
+                    };
+                    table.insert(jaguar_common::Tuple::new(vec![
+                        Value::Int(i as i64),
+                        Value::Bytes(jaguar_common::ByteArray::patterned(100, key)),
+                    ]))?;
+                }
+                if let Some(pool) = db.worker_pool() {
+                    pool.wait_ready(Duration::from_secs(30));
+                }
+                db.register_udf(def_for(d).with_volatility(Volatility::Immutable));
+                let sql = format!("SELECT udf(Z.bytearray, {indep}, {dep}, 0) FROM zipf Z");
+                let warm = db.execute(&sql)?;
+                match &expected_rows {
+                    None => expected_rows = Some(warm.rows),
+                    Some(expected) if *expected != warm.rows => {
+                        return Err(JaguarError::Verification(format!(
+                            "memo/{dlabel}: cached rows diverge from uncached rows"
+                        )));
+                    }
+                    Some(_) => {}
+                }
+                let mut lat_us: Vec<u64> = Vec::with_capacity(reps);
+                for _ in 0..reps {
+                    let start = Instant::now();
+                    db.execute(&sql)?;
+                    lat_us.push(start.elapsed().as_micros() as u64);
+                }
+                let (p50, p99) = quantiles(&mut lat_us);
+                let speedup = match base_p50 {
+                    None => {
+                        base_p50 = Some(p50 as f64);
+                        1.0
+                    }
+                    Some(b) => b / (p50 as f64).max(1.0),
+                };
+                t.row(vec![
+                    "memo".into(),
+                    dlabel.into(),
+                    variant.into(),
+                    format!("{p50}us"),
+                    format!("{p99}us"),
+                    format!("{speedup:.2}x"),
+                ]);
+                json_points.push(format!(
+                    "        {{\"variant\": \"{variant}\", \"p50_us\": {p50}, \
+                     \"p99_us\": {p99}, \"speedup_vs_baseline\": {speedup:.3}}}"
+                ));
+            }
+            json_passes.push(format!(
+                "    {{\"pass\": \"memo\", \"design\": \"{dlabel}\", \"points\": [\n{}\n    ]}}",
+                json_points.join(",\n")
+            ));
+        }
+
+        // ---- pass 3: cost-based predicate reordering ---------------------
+        // The UDF predicate is written FIRST; the cheap native predicate
+        // keeps only 5% of rows. Volatile registration pins the UDF at its
+        // written position (every row pays a crossing); Stable lets the
+        // optimizer run the free predicate first.
+        let keep = (card / 20).max(1);
+        for (d, dlabel) in memo_designs {
+            if let Some(reason) = self.skip_reason(d) {
+                t.note(format!("reorder/{dlabel} skipped: {reason}"));
+                continue;
+            }
+            let mut expected_rows: Option<Vec<jaguar_common::Tuple>> = None;
+            let mut base_p50: Option<f64> = None;
+            let mut json_points = Vec::new();
+            for (variant, vol) in [
+                ("pinned (Volatile)", Volatility::Volatile),
+                ("reordered (Stable)", Volatility::Stable),
+            ] {
+                let mut config = Config::default().with_dop(1);
+                if d.needs_worker() {
+                    config = config.with_pooled_executors(2);
+                }
+                let db = Database::with_config(config);
+                build_relation(&db, 100, card)?;
+                if let Some(pool) = db.worker_pool() {
+                    pool.wait_ready(Duration::from_secs(30));
+                }
+                db.register_udf(def_for(d).with_volatility(vol));
+                let sql = format!(
+                    "SELECT R.id FROM rel100 R WHERE udf(R.bytearray, 50, 0, 0) >= 0 AND R.id < {keep}"
+                );
+                let warm = db.execute(&sql)?;
+                match &expected_rows {
+                    None => expected_rows = Some(warm.rows),
+                    Some(expected) if *expected != warm.rows => {
+                        return Err(JaguarError::Verification(format!(
+                            "reorder/{dlabel}: reordered rows diverge from written order"
+                        )));
+                    }
+                    Some(_) => {}
+                }
+                let mut lat_us: Vec<u64> = Vec::with_capacity(reps);
+                for _ in 0..reps {
+                    let start = Instant::now();
+                    db.execute(&sql)?;
+                    lat_us.push(start.elapsed().as_micros() as u64);
+                }
+                let (p50, p99) = quantiles(&mut lat_us);
+                let speedup = match base_p50 {
+                    None => {
+                        base_p50 = Some(p50 as f64);
+                        1.0
+                    }
+                    Some(b) => b / (p50 as f64).max(1.0),
+                };
+                t.row(vec![
+                    "reorder".into(),
+                    dlabel.into(),
+                    variant.into(),
+                    format!("{p50}us"),
+                    format!("{p99}us"),
+                    format!("{speedup:.2}x"),
+                ]);
+                json_points.push(format!(
+                    "        {{\"variant\": \"{variant}\", \"p50_us\": {p50}, \
+                     \"p99_us\": {p99}, \"speedup_vs_baseline\": {speedup:.3}}}"
+                ));
+            }
+            json_passes.push(format!(
+                "    {{\"pass\": \"reorder\", \"design\": \"{dlabel}\", \"points\": [\n{}\n    ]}}",
+                json_points.join(",\n")
+            ));
+        }
+
+        let (cores, degraded) = Self::host_profile("opt");
+        t.note(format!(
+            "{card}-row relations, dop=1; every optimized run verified \
+             row-identical to its unoptimized twin"
+        ));
+        t.note(
+            "inline: straight-line JagScript, Stable=call path vs Immutable=inlined \
+             (zero backend invocations enforced); memo: zipf-like 90/10 keys, \
+             cache off vs on; reorder: UDF predicate written first, Volatile=pinned \
+             vs Stable=reorderable",
+        );
+        let json = format!(
+            "{{\n  \"experiment\": \"opt_passes\",\n  \
+             \"cardinality\": {card},\n  \"reps\": {reps},\n  \
+             \"memo_data_indep_comps\": {indep},\n  \"memo_data_dep_comps\": {dep},\n  \
+             \"reorder_keep_rows\": {keep},\n  \
+             \"host_cores\": {cores},\n  \"degraded_host\": {degraded},\n  \
+             \"passes\": [\n{}\n  ]\n}}\n",
+            json_passes.join(",\n")
+        );
+        std::fs::write("BENCH_opt.json", json)?;
+        t.note("machine-readable copy written to BENCH_opt.json");
+        Ok(t)
+    }
+
     /// Every experiment, in paper order.
     pub fn all(&self) -> Result<Vec<Table>> {
         Ok(vec![
@@ -1538,6 +1858,7 @@ impl ExperimentCtx {
             self.parallel()?,
             self.batch()?,
             self.tier()?,
+            self.opt()?,
         ])
     }
 
@@ -1561,8 +1882,9 @@ impl ExperimentCtx {
             "parallel" => self.parallel(),
             "batch" => self.batch(),
             "tier" => self.tier(),
+            "opt" => self.opt(),
             other => Err(JaguarError::Other(format!(
-                "unknown experiment '{other}' (try table1, fig4..fig8, sfi, jit, fuel, index, pool, shipping, wal, cancel, parallel, batch, tier)"
+                "unknown experiment '{other}' (try table1, fig4..fig8, sfi, jit, fuel, index, pool, shipping, wal, cancel, parallel, batch, tier, opt)"
             ))),
         }
     }

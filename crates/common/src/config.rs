@@ -83,6 +83,11 @@ pub struct Config {
     /// 64–1024 budget. Only `Immutable`/`Stable` UDFs in batchable plan
     /// positions are affected.
     pub udf_batch_size: usize,
+    /// Byte budget for the deterministic UDF result memo cache: results
+    /// of `Volatility::Immutable` UDFs are cached by argument bytes and
+    /// served without invoking the backend, shared across statements.
+    /// `0` disables memoization entirely.
+    pub udf_memo_bytes: usize,
     /// Consecutive crash/timeout failures before a UDF's circuit breaker
     /// opens (subsequent queries fail fast with `UdfQuarantined` instead
     /// of burning a worker respawn per tuple). `0` disables breakers.
@@ -138,6 +143,7 @@ impl Default for Config {
             dop: cores.min(pool_size).max(1),
             statement_timeout_ms: None,
             udf_batch_size: 256,
+            udf_memo_bytes: 1 << 20,
             udf_breaker_threshold: 3,
             udf_breaker_cooldown_ms: 10_000,
             client_connect_timeout_ms: 5_000,
@@ -228,6 +234,12 @@ impl Config {
     /// Rows per vectorized UDF invocation (`0`/`1` = strict per-tuple).
     pub fn with_udf_batch_size(mut self, rows: usize) -> Self {
         self.udf_batch_size = rows;
+        self
+    }
+
+    /// Byte budget for the Immutable-UDF result memo cache (`0` disables).
+    pub fn with_udf_memo_bytes(mut self, bytes: usize) -> Self {
+        self.udf_memo_bytes = bytes;
         self
     }
 
@@ -358,6 +370,17 @@ mod tests {
         assert_eq!(c.udf_batch_size, 256, "batching on by default");
         assert_eq!(Config::default().with_udf_batch_size(1).udf_batch_size, 1);
         assert_eq!(Config::default().with_udf_batch_size(64).udf_batch_size, 64);
+    }
+
+    #[test]
+    fn memo_budget_builder() {
+        let c = Config::default();
+        assert_eq!(c.udf_memo_bytes, 1 << 20, "memoization on by default");
+        assert_eq!(Config::default().with_udf_memo_bytes(0).udf_memo_bytes, 0);
+        assert_eq!(
+            Config::default().with_udf_memo_bytes(4096).udf_memo_bytes,
+            4096
+        );
     }
 
     #[test]

@@ -246,15 +246,35 @@ impl Database {
         self.catalog().udfs().register(def);
     }
 
-    /// Register a trusted native UDF (Design 1).
+    /// Register a trusted native UDF (Design 1). Defaults to
+    /// [`Volatility::Volatile`] — the safe assumption for an arbitrary
+    /// closure — which pins the UDF's written position in WHERE clauses
+    /// and excludes it from batching and memoization. Declare a purer
+    /// class via [`Database::register_native_udf_with_volatility`] to opt
+    /// into those optimizations.
     pub fn register_native_udf(
         &self,
         name: &str,
         signature: UdfSignature,
         f: impl Fn(&[Value], &mut dyn CallbackHandler) -> Result<Value> + Send + Sync + 'static,
     ) {
+        self.register_native_udf_with_volatility(name, signature, Volatility::Volatile, f);
+    }
+
+    /// [`Database::register_native_udf`] with an explicit volatility
+    /// class (`Stable` unlocks reordering/batching, `Immutable` also
+    /// memoization).
+    pub fn register_native_udf_with_volatility(
+        &self,
+        name: &str,
+        signature: UdfSignature,
+        volatility: Volatility,
+        f: impl Fn(&[Value], &mut dyn CallbackHandler) -> Result<Value> + Send + Sync + 'static,
+    ) {
         let native = jaguar_udf::NativeUdf::new(name, signature.clone(), f);
-        self.register_udf(UdfDef::new(name, signature, UdfImpl::Native(native)));
+        self.register_udf(
+            UdfDef::new(name, signature, UdfImpl::Native(native)).with_volatility(volatility),
+        );
     }
 
     /// Compile JagScript source and register it under the given design.
@@ -262,6 +282,8 @@ impl Database {
     /// The module's host imports must all name callbacks registered on
     /// this database; the UDF runs under a permission set granting exactly
     /// those (least privilege), plus the configured fuel/memory limits.
+    /// Defaults to [`Volatility::Volatile`]; see
+    /// [`Database::register_jagscript_udf_with_volatility`].
     pub fn register_jagscript_udf(
         &self,
         name: &str,
@@ -269,8 +291,30 @@ impl Database {
         source: &str,
         design: UdfDesign,
     ) -> Result<()> {
+        self.register_jagscript_udf_with_volatility(
+            name,
+            signature,
+            source,
+            design,
+            Volatility::Volatile,
+        )
+    }
+
+    /// [`Database::register_jagscript_udf`] with an explicit volatility
+    /// class. Declaring `Immutable` additionally makes the UDF a
+    /// candidate for Froid-style inlining: straight-line bodies are
+    /// translated to native scalar expressions and never enter a
+    /// sandbox at all.
+    pub fn register_jagscript_udf_with_volatility(
+        &self,
+        name: &str,
+        signature: UdfSignature,
+        source: &str,
+        design: UdfDesign,
+        volatility: Volatility,
+    ) -> Result<()> {
         let module = jaguar_lang::compile(name, source)?;
-        self.register_module_udf(name, signature, module, design)
+        self.register_module_udf_with_volatility(name, signature, module, design, volatility)
     }
 
     /// Register an already-compiled (unverified) module as a UDF.
@@ -280,6 +324,25 @@ impl Database {
         signature: UdfSignature,
         module: jaguar_vm::Module,
         design: UdfDesign,
+    ) -> Result<()> {
+        self.register_module_udf_with_volatility(
+            name,
+            signature,
+            module,
+            design,
+            Volatility::Volatile,
+        )
+    }
+
+    /// [`Database::register_module_udf`] with an explicit volatility
+    /// class.
+    pub fn register_module_udf_with_volatility(
+        &self,
+        name: &str,
+        signature: UdfSignature,
+        module: jaguar_vm::Module,
+        design: UdfDesign,
+        volatility: Volatility,
     ) -> Result<()> {
         let imp = match design {
             UdfDesign::TrustedNative => {
@@ -322,7 +385,7 @@ impl Database {
                 }
             }
         };
-        self.register_udf(UdfDef::new(name, signature, imp));
+        self.register_udf(UdfDef::new(name, signature, imp).with_volatility(volatility));
         Ok(())
     }
 

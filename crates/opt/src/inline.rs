@@ -1,0 +1,603 @@
+//! Froid-style translation of straight-line JagScript bytecode into a
+//! native scalar-expression tree.
+//!
+//! The translator runs a *symbolic* execution of the verified bytecode:
+//! the operand stack holds expression trees instead of values, locals
+//! hold the expression last stored into them, and a conditional jump
+//! forks the machine into both successors (jumps are forward-only — a
+//! back-edge means a loop and bails immediately). When every path ends
+//! in `Ret`, the forked results fold into [`SExpr::If`] nodes and the
+//! whole body becomes one expression over the UDF's arguments.
+//!
+//! Evaluation then mirrors the interpreter *exactly* — wrapping integer
+//! arithmetic, `& 63` shift masking, IEEE float semantics, comparisons
+//! yielding `0`/`1`, and the same `integer divide by zero` trap — plus
+//! the VM-UDF marshalling rules (`Bool` travels as `i64`, `NULL` is
+//! rejected with the same error text as [`value_to_vm`] would produce).
+//! That is what lets the engine substitute an inlined body for a real
+//! sandbox invocation while keeping rows *and* error text byte-identical.
+//!
+//! Bail-out rules (any of these falls back to the normal call path):
+//! loops (back-edges), `Call` / `HostCall`, array instructions,
+//! bytes-typed parameters or locals, explicit `Trap`s on a reachable
+//! path, reads of never-written locals, bodies over the node/step
+//! budget, and fuel limits tight enough that a real invocation could
+//! plausibly trap where the inline evaluation would not.
+//!
+//! [`value_to_vm`]: https://en.wikipedia.org/wiki/Marshalling_(computer_science)
+
+use jaguar_common::error::{JaguarError, Result, VmTrap};
+use jaguar_common::{DataType, Value};
+use jaguar_vm::{Function, Insn, VType};
+
+/// Hard ceiling on translated expression size, in tree nodes. Bodies
+/// larger than this are cheaper to run in the (tiered) VM anyway.
+pub const MAX_NODES: usize = 4096;
+/// Hard ceiling on symbolically executed instructions across all forks.
+pub const MAX_STEPS: usize = 4096;
+/// Maximum conditional-fork nesting depth.
+pub const MAX_FORK_DEPTH: usize = 24;
+/// A straight-line body executes at most `code.len()` instructions, so
+/// any fuel budget at or above this can never trap on an inlinable
+/// function; tighter budgets bail so the call path keeps its semantics.
+pub const MIN_INLINE_FUEL: u64 = 10_000;
+
+/// Integer binary operators (VM semantics: wrapping, masked shifts).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Rem,
+    And,
+    Or,
+    Xor,
+    Shl,
+    Shr,
+}
+
+/// Float binary operators (IEEE-754, like the VM).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+}
+
+/// Comparison operators; like the VM's, they yield `i64` `0`/`1`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum COp {
+    Eq,
+    Lt,
+    Le,
+}
+
+/// A scalar expression over the UDF's arguments — the inlined body.
+#[derive(Debug, Clone)]
+pub enum SExpr {
+    /// Argument `i` of the UDF, in VM representation (`Bool` → `i64`).
+    Arg(u16),
+    ConstI(i64),
+    ConstF(f64),
+    BinI(IOp, Box<SExpr>, Box<SExpr>),
+    BinF(FOp, Box<SExpr>, Box<SExpr>),
+    CmpI(COp, Box<SExpr>, Box<SExpr>),
+    CmpF(COp, Box<SExpr>, Box<SExpr>),
+    NegI(Box<SExpr>),
+    NegF(Box<SExpr>),
+    /// Bitwise not (the VM's `Not`; JagScript `!x` compiles to `EqI 0`).
+    NotI(Box<SExpr>),
+    I2F(Box<SExpr>),
+    F2I(Box<SExpr>),
+    /// `cond != 0 ? then_ : else_`, evaluating only the taken branch.
+    If {
+        cond: Box<SExpr>,
+        then_: Box<SExpr>,
+        else_: Box<SExpr>,
+    },
+}
+
+/// A VM value during inline evaluation (bytes never qualify).
+#[derive(Debug, Clone, Copy)]
+enum SVal {
+    I(i64),
+    F(f64),
+}
+
+impl SVal {
+    fn as_i(self) -> Result<i64> {
+        match self {
+            SVal::I(i) => Ok(i),
+            SVal::F(_) => Err(JaguarError::VmTrap(VmTrap::Type("expected i64"))),
+        }
+    }
+
+    fn as_f(self) -> Result<f64> {
+        match self {
+            SVal::F(f) => Ok(f),
+            SVal::I(_) => Err(JaguarError::VmTrap(VmTrap::Type("expected f64"))),
+        }
+    }
+}
+
+/// A successfully translated UDF body, ready to evaluate per tuple.
+#[derive(Debug, Clone)]
+pub struct InlineBody {
+    expr: SExpr,
+    arity: usize,
+    sql_ret: DataType,
+    /// Tree size, surfaced in plan notes.
+    pub nodes: usize,
+}
+
+impl InlineBody {
+    /// Evaluate the inlined body against SQL argument values, applying
+    /// the same marshalling rules as a real VM invocation. The caller
+    /// is expected to have run `UdfSignature::check_args` first, exactly
+    /// as `VmUdf::invoke` does.
+    pub fn invoke(&self, args: &[Value]) -> Result<Value> {
+        debug_assert_eq!(args.len(), self.arity);
+        let mut vm_args = Vec::with_capacity(args.len());
+        for a in args {
+            vm_args.push(match a {
+                Value::Int(i) => SVal::I(*i),
+                Value::Float(f) => SVal::F(*f),
+                Value::Bool(b) => SVal::I(*b as i64),
+                other => {
+                    // Same text as vmexec::value_to_vm (NULLs conform to
+                    // the signature but cannot cross into the VM).
+                    return Err(JaguarError::Udf(format!("cannot pass {other} to a VM UDF")));
+                }
+            });
+        }
+        match eval(&self.expr, &vm_args)? {
+            SVal::I(i) if self.sql_ret == DataType::Bool => Ok(Value::Bool(i != 0)),
+            SVal::I(i) => Ok(Value::Int(i)),
+            SVal::F(f) => Ok(Value::Float(f)),
+        }
+    }
+}
+
+fn eval(e: &SExpr, args: &[SVal]) -> Result<SVal> {
+    Ok(match e {
+        SExpr::Arg(i) => args[*i as usize],
+        SExpr::ConstI(i) => SVal::I(*i),
+        SExpr::ConstF(f) => SVal::F(*f),
+        SExpr::BinI(op, l, r) => {
+            let a = eval(l, args)?.as_i()?;
+            let b = eval(r, args)?.as_i()?;
+            SVal::I(match op {
+                IOp::Add => a.wrapping_add(b),
+                IOp::Sub => a.wrapping_sub(b),
+                IOp::Mul => a.wrapping_mul(b),
+                IOp::Div => {
+                    if b == 0 {
+                        return Err(JaguarError::VmTrap(VmTrap::DivideByZero));
+                    }
+                    a.wrapping_div(b)
+                }
+                IOp::Rem => {
+                    if b == 0 {
+                        return Err(JaguarError::VmTrap(VmTrap::DivideByZero));
+                    }
+                    a.wrapping_rem(b)
+                }
+                IOp::And => a & b,
+                IOp::Or => a | b,
+                IOp::Xor => a ^ b,
+                IOp::Shl => a.wrapping_shl(b as u32 & 63),
+                IOp::Shr => a.wrapping_shr(b as u32 & 63),
+            })
+        }
+        SExpr::BinF(op, l, r) => {
+            let a = eval(l, args)?.as_f()?;
+            let b = eval(r, args)?.as_f()?;
+            SVal::F(match op {
+                FOp::Add => a + b,
+                FOp::Sub => a - b,
+                FOp::Mul => a * b,
+                FOp::Div => a / b,
+            })
+        }
+        SExpr::CmpI(op, l, r) => {
+            let a = eval(l, args)?.as_i()?;
+            let b = eval(r, args)?.as_i()?;
+            SVal::I(match op {
+                COp::Eq => a == b,
+                COp::Lt => a < b,
+                COp::Le => a <= b,
+            } as i64)
+        }
+        SExpr::CmpF(op, l, r) => {
+            let a = eval(l, args)?.as_f()?;
+            let b = eval(r, args)?.as_f()?;
+            SVal::I(match op {
+                COp::Eq => a == b,
+                COp::Lt => a < b,
+                COp::Le => a <= b,
+            } as i64)
+        }
+        SExpr::NegI(x) => SVal::I(eval(x, args)?.as_i()?.wrapping_neg()),
+        SExpr::NegF(x) => SVal::F(-eval(x, args)?.as_f()?),
+        SExpr::NotI(x) => SVal::I(!eval(x, args)?.as_i()?),
+        SExpr::I2F(x) => SVal::F(eval(x, args)?.as_i()? as f64),
+        SExpr::F2I(x) => SVal::I(eval(x, args)?.as_f()? as i64),
+        SExpr::If { cond, then_, else_ } => {
+            if eval(cond, args)?.as_i()? != 0 {
+                eval(then_, args)?
+            } else {
+                eval(else_, args)?
+            }
+        }
+    })
+}
+
+/// One symbolic stack/local slot: an expression plus its node count.
+type Sym = (SExpr, usize);
+
+struct Budget {
+    steps: usize,
+}
+
+/// Try to translate `func` into a scalar expression. `sql_ret` is the
+/// SQL-level return type (drives the `Bool` unmarshalling rule) and
+/// `fuel` is the UDF's instruction budget (tight budgets bail — see
+/// [`MIN_INLINE_FUEL`]). Returns the bail-out reason otherwise.
+pub fn try_inline(
+    func: &Function,
+    sql_ret: DataType,
+    fuel: Option<u64>,
+) -> std::result::Result<InlineBody, &'static str> {
+    if fuel.is_some_and(|f| f < MIN_INLINE_FUEL) {
+        return Err("fuel budget too tight");
+    }
+    if func.sig.params.contains(&VType::Bytes) {
+        return Err("bytes-typed parameter");
+    }
+    if func.sig.ret != Some(VType::I64) && func.sig.ret != Some(VType::F64) {
+        return Err("non-scalar return");
+    }
+    if func.local_types.contains(&VType::Bytes) {
+        return Err("bytes-typed local");
+    }
+    let arity = func.sig.params.len();
+    let mut locals: Vec<Option<Sym>> = Vec::with_capacity(func.total_locals());
+    for i in 0..arity {
+        locals.push(Some((SExpr::Arg(i as u16), 1)));
+    }
+    // Extra locals start unwritten; a Load before a Store bails rather
+    // than guessing the VM's zero-init behaviour.
+    locals.resize(func.total_locals(), None);
+    let mut budget = Budget { steps: MAX_STEPS };
+    let (expr, nodes) = run(&func.code, 0, Vec::new(), locals, &mut budget, 0)?;
+    Ok(InlineBody {
+        expr,
+        arity,
+        sql_ret,
+        nodes,
+    })
+}
+
+/// Symbolically execute from `pc` until `Ret`, forking at conditional
+/// jumps. Returns the expression left on top of the stack at `Ret`.
+fn run(
+    code: &[Insn],
+    mut pc: usize,
+    mut stack: Vec<Sym>,
+    mut locals: Vec<Option<Sym>>,
+    budget: &mut Budget,
+    depth: usize,
+) -> std::result::Result<Sym, &'static str> {
+    if depth > MAX_FORK_DEPTH {
+        return Err("conditionals nested too deeply");
+    }
+    macro_rules! pop {
+        () => {
+            stack.pop().ok_or("operand stack shape")?
+        };
+    }
+    macro_rules! bin {
+        ($variant:ident, $op:expr) => {{
+            let (b, bs) = pop!();
+            let (a, asz) = pop!();
+            let sz = asz + bs + 1;
+            if sz > MAX_NODES {
+                return Err("body too large");
+            }
+            stack.push((SExpr::$variant($op, Box::new(a), Box::new(b)), sz));
+        }};
+    }
+    macro_rules! un {
+        ($variant:ident) => {{
+            let (a, asz) = pop!();
+            let sz = asz + 1;
+            if sz > MAX_NODES {
+                return Err("body too large");
+            }
+            stack.push((SExpr::$variant(Box::new(a)), sz));
+        }};
+    }
+    loop {
+        budget.steps = budget.steps.checked_sub(1).ok_or("body too large")?;
+        let insn = *code.get(pc).ok_or("fell off end of code")?;
+        match insn {
+            Insn::ConstI(i) => stack.push((SExpr::ConstI(i), 1)),
+            Insn::ConstF(f) => stack.push((SExpr::ConstF(f), 1)),
+            Insn::Load(i) => {
+                let slot = locals
+                    .get(i as usize)
+                    .ok_or("undefined local")?
+                    .clone()
+                    .ok_or("read of unwritten local")?;
+                stack.push(slot);
+            }
+            Insn::Store(i) => {
+                let v = pop!();
+                *locals.get_mut(i as usize).ok_or("undefined local")? = Some(v);
+            }
+            Insn::Pop => {
+                pop!();
+            }
+            Insn::Dup => {
+                let top = stack.last().ok_or("operand stack shape")?.clone();
+                stack.push(top);
+            }
+            Insn::Swap => {
+                let n = stack.len();
+                if n < 2 {
+                    return Err("operand stack shape");
+                }
+                stack.swap(n - 1, n - 2);
+            }
+            Insn::AddI => bin!(BinI, IOp::Add),
+            Insn::SubI => bin!(BinI, IOp::Sub),
+            Insn::MulI => bin!(BinI, IOp::Mul),
+            Insn::DivI => bin!(BinI, IOp::Div),
+            Insn::RemI => bin!(BinI, IOp::Rem),
+            Insn::And => bin!(BinI, IOp::And),
+            Insn::Or => bin!(BinI, IOp::Or),
+            Insn::Xor => bin!(BinI, IOp::Xor),
+            Insn::Shl => bin!(BinI, IOp::Shl),
+            Insn::Shr => bin!(BinI, IOp::Shr),
+            Insn::AddF => bin!(BinF, FOp::Add),
+            Insn::SubF => bin!(BinF, FOp::Sub),
+            Insn::MulF => bin!(BinF, FOp::Mul),
+            Insn::DivF => bin!(BinF, FOp::Div),
+            Insn::EqI => bin!(CmpI, COp::Eq),
+            Insn::LtI => bin!(CmpI, COp::Lt),
+            Insn::LeI => bin!(CmpI, COp::Le),
+            Insn::EqF => bin!(CmpF, COp::Eq),
+            Insn::LtF => bin!(CmpF, COp::Lt),
+            Insn::LeF => bin!(CmpF, COp::Le),
+            Insn::NegI => un!(NegI),
+            Insn::NegF => un!(NegF),
+            Insn::Not => un!(NotI),
+            Insn::I2F => un!(I2F),
+            Insn::F2I => un!(F2I),
+            Insn::Jmp(t) => {
+                let t = t as usize;
+                if t <= pc {
+                    return Err("loop (back-edge)");
+                }
+                pc = t;
+                continue;
+            }
+            Insn::JmpIf(t) | Insn::JmpIfNot(t) => {
+                let t = t as usize;
+                if t <= pc {
+                    return Err("loop (back-edge)");
+                }
+                let (cond, csz) = pop!();
+                // JmpIf takes the jump when cond != 0; JmpIfNot when == 0.
+                let (on_true, on_false) = match insn {
+                    Insn::JmpIf(_) => (t, pc + 1),
+                    _ => (pc + 1, t),
+                };
+                let (then_e, tsz) = run(
+                    code,
+                    on_true,
+                    stack.clone(),
+                    locals.clone(),
+                    budget,
+                    depth + 1,
+                )?;
+                let (else_e, esz) = run(code, on_false, stack, locals, budget, depth + 1)?;
+                let sz = csz + tsz + esz + 1;
+                if sz > MAX_NODES {
+                    return Err("body too large");
+                }
+                return Ok((
+                    SExpr::If {
+                        cond: Box::new(cond),
+                        then_: Box::new(then_e),
+                        else_: Box::new(else_e),
+                    },
+                    sz,
+                ));
+            }
+            Insn::Ret => return Ok(pop!()),
+            Insn::Call(_) => return Err("function call"),
+            Insn::HostCall(_) => return Err("host callback"),
+            Insn::NewArr | Insn::ALoad | Insn::AStore | Insn::ALen => return Err("array op"),
+            Insn::Trap(_) => return Err("explicit trap reachable"),
+        }
+        pc += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jaguar_lang::compile;
+    use jaguar_vm::interp::{ArgValue, ExecMode, Interpreter, NoHost, VmValue};
+    use jaguar_vm::{ResourceLimits, VerifiedModule};
+    use std::sync::Arc;
+
+    fn compiled(src: &str) -> Arc<VerifiedModule> {
+        Arc::new(compile("m", src).unwrap().verify().unwrap())
+    }
+
+    fn body(src: &str, ret: DataType) -> InlineBody {
+        let m = compiled(src);
+        let f = &m.functions()[m.find_function("main").unwrap() as usize];
+        try_inline(f, ret, None).unwrap()
+    }
+
+    fn bail(src: &str) -> &'static str {
+        let m = compiled(src);
+        let f = &m.functions()[m.find_function("main").unwrap() as usize];
+        try_inline(f, DataType::Int, None).unwrap_err()
+    }
+
+    /// Run the same source through the real interpreter for comparison.
+    fn vm_run(src: &str, args: &[ArgValue]) -> Result<VmValue> {
+        let m = compiled(src);
+        let interp = Interpreter::new(m, ResourceLimits::default(), ExecMode::Jit);
+        let (ret, _, _) = interp.invoke("main", args, &mut NoHost)?;
+        Ok(ret.unwrap())
+    }
+
+    #[test]
+    fn straight_line_arithmetic() {
+        let b = body(
+            "fn main(x: i64) -> i64 { return x * 3 + 1; }",
+            DataType::Int,
+        );
+        assert_eq!(b.invoke(&[Value::Int(5)]).unwrap(), Value::Int(16));
+        assert_eq!(
+            b.invoke(&[Value::Int(i64::MAX)]).unwrap(),
+            Value::Int(i64::MAX.wrapping_mul(3).wrapping_add(1)),
+            "wrapping semantics must match the VM"
+        );
+    }
+
+    #[test]
+    fn locals_and_conditionals() {
+        let src = r#"
+            fn main(x: i64, y: i64) -> i64 {
+                let d: i64 = x - y;
+                if d < 0 { return 0 - d; }
+                return d;
+            }
+        "#;
+        let b = body(src, DataType::Int);
+        assert_eq!(
+            b.invoke(&[Value::Int(3), Value::Int(10)]).unwrap(),
+            Value::Int(7)
+        );
+        assert_eq!(
+            b.invoke(&[Value::Int(10), Value::Int(3)]).unwrap(),
+            Value::Int(7)
+        );
+    }
+
+    #[test]
+    fn logical_ops_and_comparisons() {
+        let src = r#"
+            fn main(x: i64) -> i64 {
+                if x > 10 && x != 13 { return 1; }
+                return 0;
+            }
+        "#;
+        let b = body(src, DataType::Int);
+        for (x, want) in [(11, 1), (13, 0), (9, 0)] {
+            assert_eq!(b.invoke(&[Value::Int(x)]).unwrap(), Value::Int(want));
+        }
+    }
+
+    #[test]
+    fn float_body_and_conversion() {
+        let b = body(
+            "fn main(x: f64) -> f64 { return x * 2.0 + 0.5; }",
+            DataType::Float,
+        );
+        assert_eq!(b.invoke(&[Value::Float(1.25)]).unwrap(), Value::Float(3.0));
+    }
+
+    #[test]
+    fn bool_return_unmarshals_like_the_vm() {
+        let b = body("fn main(b: i64) -> i64 { return !b; }", DataType::Bool);
+        assert_eq!(b.invoke(&[Value::Bool(false)]).unwrap(), Value::Bool(true));
+    }
+
+    #[test]
+    fn null_arg_matches_vm_marshalling_error() {
+        let b = body("fn main(x: i64) -> i64 { return x; }", DataType::Int);
+        let e = b.invoke(&[Value::Null]).unwrap_err();
+        assert!(
+            e.to_string().contains("cannot pass NULL to a VM UDF"),
+            "{e}"
+        );
+    }
+
+    #[test]
+    fn divide_by_zero_reproduces_vm_trap() {
+        let b = body("fn main(x: i64) -> i64 { return 10 / x; }", DataType::Int);
+        let e = b.invoke(&[Value::Int(0)]).unwrap_err();
+        assert!(
+            matches!(e, JaguarError::VmTrap(VmTrap::DivideByZero)),
+            "{e}"
+        );
+        // …and the happy path divides like the VM (wrapping).
+        assert_eq!(b.invoke(&[Value::Int(3)]).unwrap(), Value::Int(3));
+    }
+
+    #[test]
+    fn bails_on_loops_calls_and_arrays() {
+        assert_eq!(
+            bail("fn main(x: i64) -> i64 { while x > 0 { x = x - 1; } return x; }"),
+            "loop (back-edge)"
+        );
+        assert_eq!(
+            bail("fn helper(x: i64) -> i64 { return x; } fn main(x: i64) -> i64 { return helper(x); }"),
+            "function call"
+        );
+        assert_eq!(
+            bail("import probe(i64) -> i64; fn main(x: i64) -> i64 { return probe(x); }"),
+            "host callback"
+        );
+        assert_eq!(
+            bail("fn main(b: bytes) -> i64 { return len(b); }"),
+            "bytes-typed parameter"
+        );
+    }
+
+    #[test]
+    fn tight_fuel_bails() {
+        let m = compiled("fn main(x: i64) -> i64 { return x; }");
+        let f = &m.functions()[m.find_function("main").unwrap() as usize];
+        assert_eq!(
+            try_inline(f, DataType::Int, Some(100)).unwrap_err(),
+            "fuel budget too tight"
+        );
+        assert!(try_inline(f, DataType::Int, Some(MIN_INLINE_FUEL)).is_ok());
+    }
+
+    #[test]
+    fn agrees_with_interpreter_on_a_grid() {
+        let src = r#"
+            fn main(x: i64, y: i64) -> i64 {
+                let acc: i64 = x * 7 - y * 3;
+                if acc < 0 { acc = 0 - acc; }
+                if acc % 5 == 0 || y > 100 { return acc + 1; }
+                return acc * 2;
+            }
+        "#;
+        let b = body(src, DataType::Int);
+        for x in -6i64..6 {
+            for y in [-120i64, -3, 0, 1, 4, 99, 101] {
+                let want = vm_run(src, &[ArgValue::I64(x), ArgValue::I64(y)])
+                    .unwrap()
+                    .as_i64()
+                    .unwrap();
+                assert_eq!(
+                    b.invoke(&[Value::Int(x), Value::Int(y)]).unwrap(),
+                    Value::Int(want),
+                    "diverged from VM at ({x}, {y})"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,244 @@
+//! Deterministic UDF result memoization: an arg-bytes → result LRU
+//! cache with a hard byte budget.
+//!
+//! Safety argument (see DESIGN.md §13): only `Volatility::Immutable`
+//! UDFs are consulted here. Immutable promises the same arguments
+//! produce the same result *forever*, so a cached result is valid
+//! across statements, engines, and backends — which is also why the
+//! key does not include the trust design: all four designs are
+//! byte-identical by contract, so a hit produced under `Vm` may serve
+//! a query running `IsolatedVm`. Errors are never cached (a trap is
+//! re-raised by re-invoking, keeping error text and breaker accounting
+//! on the normal path).
+//!
+//! Budget accounting charges each entry its key bytes + the result's
+//! heap footprint + a fixed overhead, and evicts least-recently-used
+//! entries until the total fits. An entry larger than the whole budget
+//! is simply not admitted (it would otherwise flush the entire cache
+//! for one unlikely-to-repeat value).
+//!
+//! Metrics: `opt.memo.{hits,misses,evictions}` counters and an
+//! `opt.memo.bytes` gauge in the process-wide registry.
+
+use std::collections::{BTreeMap, HashMap};
+use std::sync::Arc;
+
+use jaguar_common::obs::{self, Counter, Gauge};
+use jaguar_common::stream::value_to_vec;
+use jaguar_common::Value;
+use parking_lot::Mutex;
+
+/// Fixed per-entry overhead charged against the budget (map + order
+/// bookkeeping), so a flood of tiny entries cannot blow past it.
+const ENTRY_OVERHEAD: usize = 64;
+
+struct Entry {
+    value: Value,
+    bytes: usize,
+    stamp: u64,
+}
+
+#[derive(Default)]
+struct Inner {
+    map: HashMap<Vec<u8>, Entry>,
+    /// Recency order: stamp → key. Stamps are unique and monotonic.
+    order: BTreeMap<u64, Vec<u8>>,
+    next_stamp: u64,
+    bytes: usize,
+}
+
+/// The shared memo cache. One per engine, wired through every
+/// execution context (serial, parallel workers, DML).
+pub struct MemoCache {
+    inner: Mutex<Inner>,
+    budget: usize,
+    hits: Arc<Counter>,
+    misses: Arc<Counter>,
+    evictions: Arc<Counter>,
+    bytes_gauge: Arc<Gauge>,
+}
+
+impl MemoCache {
+    /// Create a cache with the given byte budget (`Config::udf_memo_bytes`).
+    pub fn new(budget: usize) -> MemoCache {
+        let reg = obs::global();
+        MemoCache {
+            inner: Mutex::new(Inner::default()),
+            budget,
+            hits: reg.counter("opt.memo.hits"),
+            misses: reg.counter("opt.memo.misses"),
+            evictions: reg.counter("opt.memo.evictions"),
+            bytes_gauge: reg.gauge("opt.memo.bytes"),
+        }
+    }
+
+    /// Build the cache key for one invocation: the UDF name plus each
+    /// argument in the tagged wire serialization (self-delimiting, so
+    /// concatenation is unambiguous).
+    pub fn key(udf_name: &str, args: &[Value]) -> Vec<u8> {
+        let mut k = Vec::with_capacity(udf_name.len() + 1 + args.len() * 12);
+        k.extend_from_slice(udf_name.as_bytes());
+        k.push(0);
+        for a in args {
+            k.extend_from_slice(&value_to_vec(a));
+        }
+        k
+    }
+
+    /// Look up a prior result, refreshing its recency on a hit.
+    pub fn get(&self, key: &[u8]) -> Option<Value> {
+        let mut inner = self.inner.lock();
+        let next = inner.next_stamp;
+        match inner.map.get_mut(key) {
+            Some(e) => {
+                let old = e.stamp;
+                e.stamp = next;
+                let v = e.value.clone();
+                inner.order.remove(&old);
+                inner.order.insert(next, key.to_vec());
+                inner.next_stamp += 1;
+                drop(inner);
+                self.hits.inc();
+                Some(v)
+            }
+            None => {
+                drop(inner);
+                self.misses.inc();
+                None
+            }
+        }
+    }
+
+    /// Record a freshly computed result, evicting LRU entries as needed
+    /// to stay within the byte budget.
+    pub fn insert(&self, key: Vec<u8>, value: Value) {
+        let cost = key.len() + value.heap_size() + ENTRY_OVERHEAD;
+        if cost > self.budget {
+            return;
+        }
+        let mut inner = self.inner.lock();
+        if let Some(old) = inner.map.remove(&key) {
+            inner.order.remove(&old.stamp);
+            inner.bytes -= old.bytes;
+        }
+        let stamp = inner.next_stamp;
+        inner.next_stamp += 1;
+        inner.bytes += cost;
+        inner.order.insert(stamp, key.clone());
+        inner.map.insert(
+            key,
+            Entry {
+                value,
+                bytes: cost,
+                stamp,
+            },
+        );
+        let mut evicted = 0u64;
+        while inner.bytes > self.budget {
+            let (_, victim) = inner.order.pop_first().expect("bytes > 0 implies entries");
+            let e = inner.map.remove(&victim).expect("order and map agree");
+            inner.bytes -= e.bytes;
+            evicted += 1;
+        }
+        let bytes_now = inner.bytes;
+        drop(inner);
+        if evicted > 0 {
+            self.evictions.add(evicted);
+        }
+        self.bytes_gauge.set(bytes_now as i64);
+    }
+
+    /// Current resident bytes (for tests and plan notes).
+    pub fn bytes(&self) -> usize {
+        self.inner.lock().bytes
+    }
+
+    /// Number of resident entries.
+    pub fn len(&self) -> usize {
+        self.inner.lock().map.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The configured byte budget.
+    pub fn budget(&self) -> usize {
+        self.budget
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jaguar_common::ByteArray;
+    use proptest::prelude::*;
+
+    #[test]
+    fn hit_after_insert_and_distinct_keys() {
+        let c = MemoCache::new(1 << 16);
+        let k1 = MemoCache::key("f", &[Value::Int(1)]);
+        let k2 = MemoCache::key("f", &[Value::Int(2)]);
+        let kg = MemoCache::key("g", &[Value::Int(1)]);
+        assert!(c.get(&k1).is_none());
+        c.insert(k1.clone(), Value::Int(10));
+        assert_eq!(c.get(&k1), Some(Value::Int(10)));
+        assert!(c.get(&k2).is_none(), "different args, different key");
+        assert!(c.get(&kg).is_none(), "different udf, different key");
+    }
+
+    #[test]
+    fn lru_eviction_respects_budget_and_recency() {
+        // Budget fits roughly 3 small entries.
+        let c = MemoCache::new(3 * (ENTRY_OVERHEAD + 16));
+        let keys: Vec<Vec<u8>> = (0..4)
+            .map(|i| MemoCache::key("f", &[Value::Int(i)]))
+            .collect();
+        for (i, k) in keys.iter().take(3).enumerate() {
+            c.insert(k.clone(), Value::Int(i as i64));
+        }
+        // Touch key 0 so key 1 is now the LRU victim.
+        assert!(c.get(&keys[0]).is_some());
+        c.insert(keys[3].clone(), Value::Int(3));
+        assert!(c.bytes() <= c.budget());
+        assert!(c.get(&keys[1]).is_none(), "LRU entry evicted");
+        assert!(c.get(&keys[0]).is_some(), "recently used entry survives");
+    }
+
+    #[test]
+    fn oversized_entry_not_admitted() {
+        let c = MemoCache::new(128);
+        let k = MemoCache::key("f", &[Value::Int(1)]);
+        c.insert(k.clone(), Value::Bytes(ByteArray::zeroed(4096)));
+        assert!(c.get(&k).is_none());
+        assert_eq!(c.bytes(), 0);
+    }
+
+    proptest! {
+        /// The cache never returns a wrong value and never exceeds its
+        /// byte budget, under random insert/get/overwrite sequences.
+        #[test]
+        fn never_wrong_never_over_budget(ops in proptest::collection::vec((0u8..3, 0i64..32, -1000i64..1000), 1..200)) {
+            let budget = 6 * (ENTRY_OVERHEAD + 16);
+            let c = MemoCache::new(budget);
+            let mut model: HashMap<Vec<u8>, Value> = HashMap::new();
+            for (op, karg, varg) in ops {
+                let key = MemoCache::key("p", &[Value::Int(karg)]);
+                match op {
+                    0 => {
+                        let v = Value::Int(varg);
+                        c.insert(key.clone(), v.clone());
+                        model.insert(key, v);
+                    }
+                    _ => {
+                        if let Some(got) = c.get(&key) {
+                            prop_assert_eq!(Some(&got), model.get(&key), "stale or wrong value");
+                        }
+                    }
+                }
+                prop_assert!(c.bytes() <= budget, "{} > {}", c.bytes(), budget);
+            }
+        }
+    }
+}

@@ -25,7 +25,7 @@ use parking_lot::RwLock;
 use crate::ast::{SelectStmt, Statement};
 use crate::exec::{ExecCtx, ExecStats, Executor, OpProfile};
 use crate::parser::parse;
-use crate::plan::{bind_dml, bind_select, explain};
+use crate::plan::{bind_dml, bind_select, explain, BoundSelect};
 
 /// A server-side callback function.
 pub type CallbackFn = dyn Fn(&[Value]) -> Result<Value> + Send + Sync;
@@ -63,6 +63,11 @@ pub struct Engine {
     /// Shared warm-worker pool for isolated UDF executors. `None` (the
     /// default, and the paper's model) spawns one worker per query.
     pool: RwLock<Option<Arc<WorkerPool>>>,
+    /// Engine-lifetime optimizer state: the deterministic-UDF memo cache
+    /// (budgeted by `Config::udf_memo_bytes`; 0 disables) and the online
+    /// per-predicate selectivity tallies feeding the reorder pass. Shared
+    /// across statements and sessions, like the paper's server state.
+    opt: Arc<jaguar_opt::OptState>,
 }
 
 impl Engine {
@@ -73,10 +78,12 @@ impl Engine {
 
     /// An engine over an existing catalog.
     pub fn with_catalog(catalog: Arc<Catalog>) -> Engine {
+        let opt = Arc::new(jaguar_opt::OptState::new(catalog.config().udf_memo_bytes));
         let engine = Engine {
             catalog,
             callbacks: RwLock::new(HashMap::new()),
             pool: RwLock::new(None),
+            opt,
         };
         // The paper's experiment callback: identity, no data transferred.
         engine.register_callback("cb", |args| {
@@ -87,6 +94,11 @@ impl Engine {
 
     pub fn catalog(&self) -> &Arc<Catalog> {
         &self.catalog
+    }
+
+    /// The engine's shared optimizer state (memo cache + selectivity).
+    pub(crate) fn opt_state(&self) -> &Arc<jaguar_opt::OptState> {
+        &self.opt
     }
 
     /// Attach (or detach, with `None`) the warm worker pool used by
@@ -225,6 +237,7 @@ impl Engine {
                 let pool = self.worker_pool();
                 let mut ctx = ExecCtx::for_udfs(&dml.udfs, &mut handler, pool.as_ref())?;
                 ctx.attach_cancel(token);
+                ctx.set_memo(self.opt.memo().cloned());
                 // Collect matching rids first, then delete (no scan-while-
                 // mutating hazards).
                 let mut victims = Vec::new();
@@ -263,6 +276,7 @@ impl Engine {
                 let pool = self.worker_pool();
                 let mut ctx = ExecCtx::for_udfs(&dml.udfs, &mut handler, pool.as_ref())?;
                 ctx.attach_cancel(token);
+                ctx.set_memo(self.opt.memo().cloned());
                 // Materialise replacements first.
                 let mut updates = Vec::new();
                 for item in dml.table.scan() {
@@ -340,7 +354,8 @@ impl Engine {
                 })
             }
             Statement::Select(stmt) => {
-                let plan = bind_select(&stmt, &self.catalog)?;
+                let mut plan = bind_select(&stmt, &self.catalog)?;
+                crate::optimize::optimize_select(&mut plan, &self.opt);
                 if let Some(dec) = crate::parallel::plan_parallel(self, &plan) {
                     let (rows, stats, _reports) =
                         crate::parallel::parallel_select(self, &plan, token, &dec)?;
@@ -356,6 +371,7 @@ impl Engine {
                 let mut ctx = ExecCtx::for_plan(&plan, &mut handler, pool.as_ref())?;
                 ctx.attach_cancel(token);
                 ctx.set_udf_batch_size(self.catalog.config().udf_batch_size);
+                crate::optimize::install_opt(&plan, &self.opt, &mut ctx);
                 let mut exec = Executor::build(&plan)?;
                 let rows = exec.collect(&mut ctx)?;
                 let stats = ctx.finish()?;
@@ -379,7 +395,8 @@ impl Engine {
         select: &SelectStmt,
         token: &CancelToken,
     ) -> Result<QueryResult> {
-        let plan = bind_select(select, &self.catalog)?;
+        let mut plan = bind_select(select, &self.catalog)?;
+        crate::optimize::optimize_select(&mut plan, &self.opt);
         let schema = Arc::new(Schema::of(&[("plan", jaguar_common::DataType::Str)]));
         let par_dec = crate::parallel::plan_parallel(self, &plan);
         let mut lines: Vec<String> = match &par_dec {
@@ -389,8 +406,12 @@ impl Engine {
         .lines()
         .map(str::to_string)
         .collect();
+        if let Some(trailer) = self.plan_notes_line(&plan, &par_dec) {
+            lines.push(trailer);
+        }
         let mut stats = ExecStats::default();
         let tier_before = analyze.then(tier_counters);
+        let memo_before = analyze.then(memo_counters);
         if let (true, Some(dec)) = (analyze, &par_dec) {
             let started = std::time::Instant::now();
             let (rows, par_stats, reports) =
@@ -425,6 +446,7 @@ impl Engine {
             let mut ctx = ExecCtx::for_plan(&plan, &mut handler, pool.as_ref())?;
             ctx.attach_cancel(token);
             ctx.set_udf_batch_size(self.catalog.config().udf_batch_size);
+            crate::optimize::install_opt(&plan, &self.opt, &mut ctx);
             let mut exec = Executor::build_profiled(&plan)?;
             let started = std::time::Instant::now();
             let produced = exec.collect(&mut ctx)?.len();
@@ -451,6 +473,17 @@ impl Engine {
                 ));
             }
         }
+        if let Some(before) = memo_before {
+            let after = memo_counters();
+            if after.iter().zip(&before).any(|(a, b)| a > b) {
+                lines.push(format!(
+                    "Memo: hits={} misses={} evictions={}",
+                    after[0] - before[0],
+                    after[1] - before[1],
+                    after[2] - before[2],
+                ));
+            }
+        }
         Ok(QueryResult {
             schema,
             rows: lines
@@ -466,13 +499,51 @@ impl Engine {
     pub fn explain(&self, sql: &str) -> Result<String> {
         match parse(sql)? {
             Statement::Select(stmt) | Statement::Explain { select: stmt, .. } => {
-                let plan = bind_select(&stmt, &self.catalog)?;
-                Ok(match crate::parallel::plan_parallel(self, &plan) {
+                let mut plan = bind_select(&stmt, &self.catalog)?;
+                crate::optimize::optimize_select(&mut plan, &self.opt);
+                let par_dec = crate::parallel::plan_parallel(self, &plan);
+                let mut txt = match &par_dec {
                     Some(dec) => crate::plan::explain_parallel(&plan, dec.dop),
                     None => explain(&plan),
-                })
+                };
+                if let Some(trailer) = self.plan_notes_line(&plan, &par_dec) {
+                    if !txt.ends_with('\n') {
+                        txt.push('\n');
+                    }
+                    txt.push_str(&trailer);
+                }
+                Ok(txt)
             }
             _ => Err(JaguarError::Plan("EXPLAIN supports only SELECT".into())),
+        }
+    }
+
+    /// The `-- plan notes:` trailer for EXPLAIN output: optimizer
+    /// decisions (inline verdicts, memo marks, reorder moves, batching
+    /// gate) plus the parallel planner's clamp/serial reason when the
+    /// configuration asked for parallelism. `None` when there is nothing
+    /// worth saying (plain queries stay trailer-free).
+    fn plan_notes_line(
+        &self,
+        plan: &BoundSelect,
+        par_dec: &Option<crate::parallel::ParallelDecision>,
+    ) -> Option<String> {
+        let mut notes = plan.notes.clone();
+        match par_dec {
+            Some(dec) if dec.clamped => {
+                notes.push("parallel: dop clamped to worker-pool size".to_string());
+            }
+            None if self.catalog.config().dop >= 2 => {
+                if let Some(reason) = crate::parallel::serial_reason(self, plan) {
+                    notes.push(format!("parallel: serial ({reason})"));
+                }
+            }
+            _ => {}
+        }
+        if notes.is_empty() {
+            None
+        } else {
+            Some(format!("-- plan notes: {}", notes.join("; ")))
         }
     }
 }
@@ -525,10 +596,13 @@ pub(crate) fn matches_all(
     tuple: &Tuple,
     ctx: &mut ExecCtx<'_>,
 ) -> Result<bool> {
-    for p in predicates {
+    for (i, p) in predicates.iter().enumerate() {
         match crate::exec::eval(p, tuple, ctx)? {
-            Value::Bool(true) => {}
-            _ => return Ok(false),
+            Value::Bool(true) => ctx.sel_record(i, true),
+            _ => {
+                ctx.sel_record(i, false);
+                return Ok(false);
+            }
         }
     }
     Ok(true)
@@ -544,6 +618,17 @@ fn tier_counters() -> [u64; 3] {
         snap.counter("vm.tier.promotions"),
         snap.counter("vm.tier.compiled_hits"),
         snap.counter("vm.tier.fallbacks"),
+    ]
+}
+
+/// The `opt.memo.*` counters as `[hits, misses, evictions]`. Same
+/// global-delta caveat as [`tier_counters`].
+fn memo_counters() -> [u64; 3] {
+    let snap = obs::global().snapshot();
+    [
+        snap.counter("opt.memo.hits"),
+        snap.counter("opt.memo.misses"),
+        snap.counter("opt.memo.evictions"),
     ]
 }
 
@@ -615,7 +700,7 @@ fn literal_value(e: &crate::ast::Expr) -> Result<Value> {
 mod tests {
     use super::*;
     use jaguar_common::{ByteArray, DataType};
-    use jaguar_udf::{NativeUdf, UdfDef, UdfImpl, UdfSignature};
+    use jaguar_udf::{NativeUdf, UdfDef, UdfImpl, UdfSignature, Volatility};
     use std::sync::atomic::{AtomicU64, Ordering};
 
     fn engine_with_data() -> Engine {
@@ -691,14 +776,20 @@ mod tests {
         let count = Arc::new(AtomicU64::new(0));
         let c2 = Arc::clone(&count);
         let sig = UdfSignature::new(vec![DataType::Int], DataType::Bool);
-        e.catalog().udfs().register(UdfDef::new(
-            "expensive",
-            sig.clone(),
-            UdfImpl::Native(NativeUdf::new("expensive", sig, move |args, _| {
-                c2.fetch_add(1, Ordering::Relaxed);
-                Ok(Value::Bool(args[0].as_int()? % 2 == 1))
-            })),
-        ));
+        // Stable: deterministic within a statement, so the cost-based
+        // reorder pass may move it past cheaper predicates (the point of
+        // the tests using it). Volatile (the default) would pin it.
+        e.catalog().udfs().register(
+            UdfDef::new(
+                "expensive",
+                sig.clone(),
+                UdfImpl::Native(NativeUdf::new("expensive", sig, move |args, _| {
+                    c2.fetch_add(1, Ordering::Relaxed);
+                    Ok(Value::Bool(args[0].as_int()? % 2 == 1))
+                })),
+            )
+            .with_volatility(Volatility::Stable),
+        );
         count
     }
 

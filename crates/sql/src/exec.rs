@@ -45,6 +45,10 @@ pub struct ExecStats {
 struct UdfMetrics {
     invocations: Arc<obs::Counter>,
     latency: Arc<obs::Histogram>,
+    /// Per-`(udf, backend)` latency (`udf.latency_us.{slug}.{name}`),
+    /// recorded alongside the per-backend aggregate above. This is what
+    /// seeds the optimizer's observed cost model.
+    latency_named: Arc<obs::Histogram>,
     /// Rows per batched crossing (a value histogram, recorded in "µs"
     /// buckets — the registry's histograms are unit-agnostic).
     batch_rows: Arc<obs::Histogram>,
@@ -55,7 +59,7 @@ struct UdfMetrics {
 
 /// Metric-name suffix for a UDF execution design (the paper's four
 /// designs, as reported by `UdfImpl::design_label`).
-fn backend_slug(design_label: &str) -> &'static str {
+pub(crate) fn backend_slug(design_label: &str) -> &'static str {
     match design_label {
         "C++" => "cpp",
         "IC++" => "icpp",
@@ -98,6 +102,30 @@ pub struct ExecCtx<'a> {
     /// `1` means the classic per-tuple ABI; set from
     /// `Config::udf_batch_size` via [`ExecCtx::set_udf_batch_size`].
     batch_size: usize,
+    /// Parallel to `udfs`: the Froid-inlined native body for slots the
+    /// optimizer folded away. Those slots hold a placeholder box, their
+    /// breakers are never acquired, and no backend is instantiated.
+    udf_inline: Vec<Option<InlineSlot>>,
+    /// Parallel to `udfs`: consult the memo cache for this slot
+    /// (`Immutable` volatility and not inlined).
+    udf_memo: Vec<bool>,
+    /// Parallel to `udfs`: catalog names, used to key the memo cache.
+    udf_names: Vec<String>,
+    /// Engine-scoped memo cache, when enabled ([`ExecCtx::set_memo`]).
+    memo: Option<Arc<jaguar_opt::MemoCache>>,
+    /// Per-predicate selectivity tallies `(fingerprint, evaluated,
+    /// passed)`, indexed like the plan's predicate list; flushed into
+    /// `sel_sink` by [`ExecCtx::finish`].
+    sel: Vec<(String, u64, u64)>,
+    sel_sink: Option<Arc<jaguar_opt::OptState>>,
+}
+
+/// A Froid-inlined UDF slot: the native body plus whatever is needed to
+/// reproduce the VM call path's argument checking byte-for-byte.
+struct InlineSlot {
+    body: Arc<jaguar_opt::InlineBody>,
+    sig: jaguar_udf::UdfSignature,
+    name: String,
 }
 
 impl<'a> ExecCtx<'a> {
@@ -126,23 +154,50 @@ impl<'a> ExecCtx<'a> {
                 UdfMetrics {
                     invocations: reg.counter(&format!("udf.invocations.{slug}")),
                     latency: reg.histogram(&format!("udf.latency_us.{slug}")),
+                    latency_named: reg.histogram(&format!("udf.latency_us.{slug}.{}", u.def.name)),
                     batch_rows: reg.histogram(&format!("udf.batch.rows.{slug}")),
                     batch_crossings: reg.counter(&format!("udf.batch.crossings.{slug}")),
                 }
             })
             .collect();
+        let udf_inline: Vec<Option<InlineSlot>> = udfs
+            .iter()
+            .map(|u| {
+                u.inline.clone().map(|body| InlineSlot {
+                    body,
+                    sig: u.def.signature.clone(),
+                    name: u.def.name.clone(),
+                })
+            })
+            .collect();
+        let udf_memo = udfs
+            .iter()
+            .map(|u| u.def.volatility.memoizable() && u.inline.is_none())
+            .collect();
+        let udf_names = udfs.iter().map(|u| u.def.name.clone()).collect();
         // Breaker gate *before* instantiation: a quarantined UDF fails
         // fast here, without a pool checkout or a worker spawn — that is
-        // the whole point of the breaker (no respawn storm).
+        // the whole point of the breaker (no respawn storm). Inlined
+        // slots never touch their backend, so they bypass the breaker.
         let udf_breakers: Vec<Option<Arc<CircuitBreaker>>> =
             udfs.iter().map(|u| u.def.breaker.clone()).collect();
-        for b in udf_breakers.iter().flatten() {
-            b.try_acquire()?;
+        for (b, inl) in udf_breakers.iter().zip(&udf_inline) {
+            if inl.is_some() {
+                continue;
+            }
+            if let Some(b) = b {
+                b.try_acquire()?;
+            }
         }
         let udfs = udfs
             .iter()
             .zip(&udf_breakers)
             .map(|(u, b)| {
+                if u.inline.is_some() {
+                    // Inlined: the executor evaluates the native body;
+                    // no VM, worker process, or pool checkout exists.
+                    return Ok(Box::new(InlinedUdf) as Box<dyn ScalarUdf>);
+                }
                 u.def.instantiate_with(pool).inspect_err(|e| {
                     // A worker that dies while loading the UDF counts
                     // against the breaker just like an invoke crash.
@@ -163,7 +218,40 @@ impl<'a> ExecCtx<'a> {
             cancel: CancelToken::unbounded(),
             deadline_countdown: DEADLINE_CHECK_INTERVAL,
             batch_size: 1,
+            udf_inline,
+            udf_memo,
+            udf_names,
+            memo: None,
+            sel: Vec::new(),
+            sel_sink: None,
         })
+    }
+
+    /// Attach the engine's memo cache (`None` leaves memoization off).
+    pub fn set_memo(&mut self, memo: Option<Arc<jaguar_opt::MemoCache>>) {
+        self.memo = memo;
+    }
+
+    /// Arm per-predicate selectivity tallies, indexed like the plan's
+    /// predicate list; [`ExecCtx::finish`] folds them into `sink`.
+    pub fn set_selectivity_probe(
+        &mut self,
+        fingerprints: Vec<String>,
+        sink: Arc<jaguar_opt::OptState>,
+    ) {
+        self.sel = fingerprints.into_iter().map(|f| (f, 0, 0)).collect();
+        self.sel_sink = Some(sink);
+    }
+
+    /// Tally one predicate evaluation (Filter / `matches_all`). Indices
+    /// beyond the armed fingerprint list are ignored, so contexts without
+    /// a probe (DML, post-gather) cost one bounds check.
+    #[inline]
+    pub(crate) fn sel_record(&mut self, idx: usize, passed: bool) {
+        if let Some(t) = self.sel.get_mut(idx) {
+            t.1 += 1;
+            t.2 += u64::from(passed);
+        }
     }
 
     /// Set the UDF batch budget for this query. The request is normalised
@@ -208,6 +296,11 @@ impl<'a> ExecCtx<'a> {
     /// Tear down per-query UDF instances (shuts down worker processes) and
     /// fold their metered resource consumption into the query stats.
     pub fn finish(self) -> Result<ExecStats> {
+        if let Some(sink) = &self.sel_sink {
+            for (fp, evaluated, passed) in &self.sel {
+                sink.record_selectivity(fp, *evaluated, *passed);
+            }
+        }
         let mut stats = self.stats;
         for u in self.udfs {
             if let Some(c) = u.consumed() {
@@ -331,6 +424,29 @@ pub fn eval(e: &BExpr, tuple: &Tuple, ctx: &mut ExecCtx<'_>) -> Result<Value> {
             for a in args {
                 vals.push(eval(a, tuple, ctx)?);
             }
+            // Froid-inlined body: same argument checking and value
+            // semantics as the VM call path, evaluated natively — no
+            // backend, no crossing, no invocation counted.
+            if let Some(slot) = &ctx.udf_inline[*udf] {
+                slot.sig.check_args(&slot.name, &vals)?;
+                return slot.body.invoke(&vals);
+            }
+            // Immutable UDFs consult the shared memo cache before paying
+            // for a crossing; a hit skips the invocation entirely.
+            let memo_key = if ctx.udf_memo[*udf] {
+                match &ctx.memo {
+                    Some(cache) => {
+                        let key = jaguar_opt::MemoCache::key(&ctx.udf_names[*udf], &vals);
+                        if let Some(v) = cache.get(&key) {
+                            return Ok(v);
+                        }
+                        Some(key)
+                    }
+                    None => None,
+                }
+            } else {
+                None
+            };
             ctx.stats.udf_invocations += 1;
             ctx.udf_metrics[*udf].invocations.inc();
             // Split the borrow: take the UDF box out, call, put it back,
@@ -342,7 +458,9 @@ pub fn eval(e: &BExpr, tuple: &Tuple, ctx: &mut ExecCtx<'_>) -> Result<Value> {
             };
             let started = Instant::now();
             let out = u.invoke(&vals, &mut counting);
-            ctx.udf_metrics[*udf].latency.observe(started.elapsed());
+            let elapsed = started.elapsed();
+            ctx.udf_metrics[*udf].latency.observe(elapsed);
+            ctx.udf_metrics[*udf].latency_named.observe(elapsed);
             ctx.udfs[*udf] = u;
             if let Some(b) = &ctx.udf_breakers[*udf] {
                 match &out {
@@ -351,7 +469,11 @@ pub fn eval(e: &BExpr, tuple: &Tuple, ctx: &mut ExecCtx<'_>) -> Result<Value> {
                     Err(_) => {}
                 }
             }
-            out?
+            let v = out?;
+            if let (Some(key), Some(cache)) = (memo_key, &ctx.memo) {
+                cache.insert(key, v.clone());
+            }
+            v
         }
     })
 }
@@ -371,6 +493,25 @@ impl ScalarUdf for PoisonUdf {
     fn invoke(&mut self, _: &[Value], _: &mut dyn CallbackHandler) -> Result<Value> {
         Err(JaguarError::Execution(
             "re-entrant UDF invocation is not supported".into(),
+        ))
+    }
+}
+
+/// Placeholder occupying a Froid-inlined UDF's slot. `eval` routes those
+/// calls to the native body before ever touching the slot, so invoking
+/// this is a planner/executor disagreement, not a user error.
+struct InlinedUdf;
+
+impl ScalarUdf for InlinedUdf {
+    fn name(&self) -> &str {
+        "<inlined>"
+    }
+    fn signature(&self) -> &jaguar_udf::UdfSignature {
+        unreachable!("inlined udf slot has no backend signature")
+    }
+    fn invoke(&mut self, _: &[Value], _: &mut dyn CallbackHandler) -> Result<Value> {
+        Err(JaguarError::Execution(
+            "inlined UDF slot invoked as a backend".into(),
         ))
     }
 }
@@ -397,6 +538,70 @@ pub(crate) fn invoke_udf_batch(
     if batch.is_empty() {
         return Ok(Vec::new());
     }
+    // Memo split: serve per-row hits from the cache and cross the trust
+    // boundary only for the misses (possibly not at all).
+    if ctx.udf_memo[udf] {
+        if let Some(cache) = ctx.memo.clone() {
+            return invoke_udf_batch_memoized(udf, batch, &cache, ctx);
+        }
+    }
+    invoke_udf_batch_raw(udf, batch, ctx)
+}
+
+/// The batched crossing with the memo cache in front: hit rows never
+/// reach the backend; miss rows form a smaller batch whose results are
+/// inserted on success. A miss-batch error is remapped to the failing
+/// row's position in the original batch, so the surfaced error is the
+/// one the unmemoized path would raise (the failing row's own result is
+/// never a cache hit — it would not have erred otherwise).
+fn invoke_udf_batch_memoized(
+    udf: usize,
+    batch: &ValueBatch,
+    cache: &Arc<jaguar_opt::MemoCache>,
+    ctx: &mut ExecCtx<'_>,
+) -> BatchResult {
+    let n = batch.len();
+    let mut keys = Vec::with_capacity(n);
+    let mut out: Vec<Option<Value>> = Vec::with_capacity(n);
+    let mut miss = ValueBatch::with_capacity(batch.arity(), n);
+    let mut miss_rows: Vec<usize> = Vec::new();
+    for i in 0..n {
+        let args = batch.row(i);
+        let key = jaguar_opt::MemoCache::key(&ctx.udf_names[udf], &args);
+        match cache.get(&key) {
+            Some(v) => out.push(Some(v)),
+            None => {
+                miss.push_row_owned(args)
+                    .map_err(|error| jaguar_vec::BatchError { row: i, error })?;
+                miss_rows.push(i);
+                out.push(None);
+            }
+        }
+        keys.push(key);
+    }
+    if !miss_rows.is_empty() {
+        let values = match invoke_udf_batch_raw(udf, &miss, ctx) {
+            Ok(vs) => vs,
+            Err(mut be) => {
+                be.row = miss_rows[be.row];
+                return Err(be);
+            }
+        };
+        for (&slot, v) in miss_rows.iter().zip(values) {
+            cache.insert(keys[slot].clone(), v.clone());
+            out[slot] = Some(v);
+        }
+    }
+    Ok(out
+        .into_iter()
+        .map(|v| v.expect("all rows filled"))
+        .collect())
+}
+
+fn invoke_udf_batch_raw(udf: usize, batch: &ValueBatch, ctx: &mut ExecCtx<'_>) -> BatchResult {
+    if batch.is_empty() {
+        return Ok(Vec::new());
+    }
     ctx.udf_metrics[udf]
         .batch_rows
         .observe_us(batch.len() as u64);
@@ -410,7 +615,9 @@ pub(crate) fn invoke_udf_batch(
     };
     let started = Instant::now();
     let out = u.invoke_batch(batch, &mut counting);
-    ctx.udf_metrics[udf].latency.observe(started.elapsed());
+    let elapsed = started.elapsed();
+    ctx.udf_metrics[udf].latency.observe(elapsed);
+    ctx.udf_metrics[udf].latency_named.observe(elapsed);
     ctx.udfs[udf] = u;
     let completed = match &out {
         Ok(values) => values.len() as u64,
@@ -476,15 +683,24 @@ fn infallible(e: &BExpr) -> bool {
 ///   invocations across filter short-circuit boundaries, which a
 ///   `Volatile` UDF (the default) is entitled to observe.
 pub(crate) fn plan_batch_spec(plan: &BoundSelect) -> Option<BatchSpec> {
+    batch_spec_or_reason(plan).ok()
+}
+
+/// Same gate, but a rejection names the condition that closed it so
+/// `EXPLAIN`'s plan-notes trailer can surface the decision.
+pub(crate) fn batch_spec_or_reason(
+    plan: &BoundSelect,
+) -> std::result::Result<BatchSpec, &'static str> {
     if plan.limit.is_some() && plan.order_by.is_empty() {
-        return None;
+        return Err("LIMIT without ORDER BY short-circuits per-tuple");
     }
+    const SHAPE: &str = "projection is not one UDF over infallible columns";
     let mut found: Option<BatchSpec> = None;
     for (i, e) in plan.projections.iter().enumerate() {
         match e {
             BExpr::Udf { udf, args } => {
                 if found.is_some() || !args.iter().all(infallible) {
-                    return None;
+                    return Err(SHAPE);
                 }
                 found = Some(BatchSpec {
                     udf: *udf,
@@ -493,21 +709,28 @@ pub(crate) fn plan_batch_spec(plan: &BoundSelect) -> Option<BatchSpec> {
                 });
             }
             other if infallible(other) => {}
-            _ => return None,
+            _ => return Err(SHAPE),
         }
     }
-    let spec = found?;
-    let def = &plan.udfs[spec.udf].def;
+    let spec = found.ok_or("no UDF in projection")?;
+    let slot = &plan.udfs[spec.udf];
+    // An inlined UDF has no backend slot — its calls are native scalar
+    // expressions, so there is no crossing to amortize (and the slot's
+    // placeholder would reject a batched invocation anyway).
+    if slot.inline.is_some() {
+        return Err("UDF inlined (no crossing to amortize)");
+    }
+    let def = &slot.def;
     if !def.volatility.batchable() {
-        return None;
+        return Err("volatile UDF pinned to per-tuple invocation");
     }
     // Per-backend policy: batching amortizes a boundary crossing; a
     // design whose crossing is free (trusted native) only pays the
     // ValueBatch accumulation and gets nothing back.
     if def.imp.crossing_is_free() {
-        return None;
+        return Err("trusted native crossing is free");
     }
-    Some(spec)
+    Ok(spec)
 }
 
 /// Accumulates filter-surviving tuples for one batched UDF crossing.
@@ -916,12 +1139,13 @@ impl Executor {
                     return Ok(None);
                 };
                 let mut keep = true;
-                for p in predicates.iter() {
+                for (i, p) in predicates.iter().enumerate() {
                     // Short-circuit: later (expensive) predicates are
                     // skipped as soon as one fails.
                     match eval(p, &tuple, ctx)? {
-                        Value::Bool(true) => {}
+                        Value::Bool(true) => ctx.sel_record(i, true),
                         _ => {
+                            ctx.sel_record(i, false);
                             keep = false;
                             break;
                         }

@@ -10,6 +10,9 @@
 //!   column predicates run before UDF predicates, and cheaper UDF designs
 //!   before dearer ones ("cost-based query optimization algorithms have
 //!   been developed to 'place' UDFs within query plans"),
+//! * [`optimize`] — post-bind passes over the bound plan: Froid-style
+//!   UDF inlining, cost/selectivity predicate reordering, and memo-cache
+//!   marking (the `jaguar-opt` integration point),
 //! * [`exec`] — Volcano-style iterators (SeqScan → Filter → Project →
 //!   Limit) with per-query UDF instances and callback plumbing (§4.2),
 //! * [`parallel`] — morsel-driven parallel execution: an eligible scan is
@@ -27,6 +30,7 @@ pub mod ast;
 pub mod engine;
 pub mod exec;
 pub mod lexer;
+pub mod optimize;
 pub mod parallel;
 pub mod parser;
 pub mod plan;

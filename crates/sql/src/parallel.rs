@@ -98,7 +98,13 @@ pub(crate) fn plan_parallel(engine: &Engine, plan: &BoundSelect) -> Option<Paral
     }
     let mut dop = config_dop.min((data_pages / 2) as usize);
     let mut clamped = false;
-    if plan.udfs.iter().any(|u| u.def.imp.needs_worker()) {
+    // Inlined UDFs never draw a pool checkout — their backend is elided —
+    // so they do not count toward the clamp.
+    if plan
+        .udfs
+        .iter()
+        .any(|u| u.inline.is_none() && u.def.imp.needs_worker())
+    {
         if let Some(pool) = engine.worker_pool() {
             let cap = pool.capacity().max(1);
             if dop > cap {
@@ -122,6 +128,34 @@ pub(crate) fn plan_parallel(engine: &Engine, plan: &BoundSelect) -> Option<Paral
         data_pages,
         clamped,
     })
+}
+
+/// Why `plan_parallel` said no — the same gates, phrased for EXPLAIN's
+/// plan-notes trailer. Returns `None` when the query *does* go parallel.
+pub(crate) fn serial_reason(engine: &Engine, plan: &BoundSelect) -> Option<&'static str> {
+    let config_dop = engine.catalog().config().dop;
+    if config_dop < 2 {
+        return Some("dop=1 in config");
+    }
+    if !matches!(plan.access, AccessPath::FullScan) {
+        return Some("not a full scan");
+    }
+    if plan.limit.is_some()
+        && plan.aggregate.is_none()
+        && plan.order_by.is_empty()
+        && plan.having.is_none()
+    {
+        return Some("bare LIMIT short-circuits serially");
+    }
+    let data_pages = plan.table.heap_pages().saturating_sub(1);
+    if data_pages < MIN_DATA_PAGES {
+        return Some("table too small");
+    }
+    if config_dop.min((data_pages / 2) as usize) < 2 {
+        return Some("dop limited by table size");
+    }
+    // The only remaining gate is the pool clamp dropping dop below 2.
+    Some("dop clamped to worker-pool size")
 }
 
 /// What one worker brings back to the gather.
@@ -158,6 +192,7 @@ pub(crate) fn parallel_select(
             .inspect_err(|_| abort.store(true, Ordering::Relaxed))?;
         ctx.attach_cancel(token);
         ctx.set_udf_batch_size(engine.catalog().config().udf_batch_size);
+        crate::optimize::install_opt(plan, engine.opt_state(), &mut ctx);
         let started = Instant::now();
         match drain_morsels(plan, &dispenser, &abort, &mut ctx) {
             Ok((rows, aggs, morsels, produced)) => {

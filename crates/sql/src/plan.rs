@@ -54,6 +54,10 @@ pub enum BExpr {
 /// A UDF referenced by the plan (instantiated per execution).
 pub struct PlannedUdf {
     pub def: UdfDef,
+    /// Native scalar body produced by the Froid-style inlining pass
+    /// (`jaguar_opt::try_inline`). When set, the executor evaluates the
+    /// expression directly and never instantiates a backend for this UDF.
+    pub inline: Option<Arc<jaguar_opt::InlineBody>>,
 }
 
 /// Aggregate functions.
@@ -198,6 +202,12 @@ pub struct BoundSelect {
     pub limit: Option<u64>,
     /// UDFs used anywhere in the plan, indexed by `BExpr::Udf::udf`.
     pub udfs: Vec<PlannedUdf>,
+    /// Parallel to `predicates`: true when the cost/selectivity reorder
+    /// pass moved the predicate relative to its bind-time position.
+    pub reordered: Vec<bool>,
+    /// Optimizer decision notes (inline verdicts, memoization, reorder,
+    /// gating reasons) rendered by EXPLAIN's `-- plan notes:` trailer.
+    pub notes: Vec<String>,
 }
 
 /// Bind and optimize a SELECT against the catalog.
@@ -216,7 +226,7 @@ pub fn bind_select(stmt: &SelectStmt, catalog: &Catalog) -> Result<BoundSelect> 
     let mut predicates = Vec::new();
     if let Some(pred) = &stmt.predicate {
         let conjuncts = pred.clone().conjuncts();
-        let mut ranked: Vec<(u32, usize, BExpr)> = Vec::with_capacity(conjuncts.len());
+        let mut ranked: Vec<(u32, usize, bool, BExpr)> = Vec::with_capacity(conjuncts.len());
         for (i, c) in conjuncts.into_iter().enumerate() {
             let bound = binder.bind(&c)?;
             let ty = binder.type_of(&bound)?;
@@ -227,11 +237,10 @@ pub fn bind_select(stmt: &SelectStmt, catalog: &Catalog) -> Result<BoundSelect> 
                 )));
             }
             let cost = binder.cost_rank(&bound);
-            ranked.push((cost, i, bound));
+            let pinned = expr_has_pinned_udf(&bound, &binder.udfs);
+            ranked.push((cost, i, pinned, bound));
         }
-        // Stable order: by cost rank, ties by original position.
-        ranked.sort_by_key(|(cost, pos, _)| (*cost, *pos));
-        predicates = ranked.into_iter().map(|(_, _, e)| e).collect();
+        predicates = order_conjuncts(ranked);
     }
 
     let access = choose_access_path(&table, &predicates);
@@ -309,6 +318,8 @@ pub fn bind_select(stmt: &SelectStmt, catalog: &Catalog) -> Result<BoundSelect> 
         order_by,
         limit: stmt.limit,
         udfs: binder.udfs,
+        reordered: Vec::new(),
+        notes: Vec::new(),
     })
 }
 
@@ -587,7 +598,75 @@ fn bind_aggregate(
         order_by,
         limit: stmt.limit,
         udfs: binder.udfs,
+        reordered: Vec::new(),
+        notes: Vec::new(),
     })
+}
+
+/// Order WHERE conjuncts for execution: cheap → expensive by static cost
+/// rank, ties broken by written position — except that conjuncts calling a
+/// `Volatile` UDF are pinned where the query wrote them. Nothing moves
+/// across a pinned conjunct in either direction, so a volatile UDF's
+/// evaluation count and short-circuit exposure match the written query
+/// exactly (the planner guard shared with the batching gate).
+///
+/// `ranked` must arrive in written order: `(cost, written_pos, pinned, expr)`.
+fn order_conjuncts(ranked: Vec<(u32, usize, bool, BExpr)>) -> Vec<BExpr> {
+    // Each pinned conjunct forms its own single-element segment; free
+    // conjuncts sort by (cost, position) within the segment between pins.
+    let mut grouped: Vec<(usize, u32, usize, BExpr)> = Vec::with_capacity(ranked.len());
+    let mut seg = 0usize;
+    for (cost, pos, pinned, e) in ranked {
+        if pinned {
+            seg += 1;
+            grouped.push((seg, cost, pos, e));
+            seg += 1;
+        } else {
+            grouped.push((seg, cost, pos, e));
+        }
+    }
+    grouped.sort_by_key(|(seg, cost, pos, _)| (*seg, *cost, *pos));
+    grouped.into_iter().map(|(_, _, _, e)| e).collect()
+}
+
+/// Does this expression call a `Volatile` UDF anywhere (including inside
+/// UDF arguments)? Such predicates are exempt from reordering, result
+/// memoization, and batching alike.
+pub(crate) fn expr_has_pinned_udf(e: &BExpr, udfs: &[PlannedUdf]) -> bool {
+    match e {
+        BExpr::Column(_) | BExpr::Literal(_) => false,
+        BExpr::Cmp(_, l, r)
+        | BExpr::And(l, r)
+        | BExpr::Or(l, r)
+        | BExpr::Arith { lhs: l, rhs: r, .. } => {
+            expr_has_pinned_udf(l, udfs) || expr_has_pinned_udf(r, udfs)
+        }
+        BExpr::Not(i) | BExpr::Neg(i) => expr_has_pinned_udf(i, udfs),
+        BExpr::Udf { udf, args } => {
+            udfs[*udf].def.volatility.pinned() || args.iter().any(|a| expr_has_pinned_udf(a, udfs))
+        }
+    }
+}
+
+/// Collect the plan-table indices of every UDF called in `e`.
+pub(crate) fn expr_udfs(e: &BExpr, out: &mut Vec<usize>) {
+    match e {
+        BExpr::Column(_) | BExpr::Literal(_) => {}
+        BExpr::Cmp(_, l, r)
+        | BExpr::And(l, r)
+        | BExpr::Or(l, r)
+        | BExpr::Arith { lhs: l, rhs: r, .. } => {
+            expr_udfs(l, out);
+            expr_udfs(r, out);
+        }
+        BExpr::Not(i) | BExpr::Neg(i) => expr_udfs(i, out),
+        BExpr::Udf { udf, args } => {
+            out.push(*udf);
+            for a in args {
+                expr_udfs(a, out);
+            }
+        }
+    }
 }
 
 struct Binder<'a> {
@@ -700,7 +779,7 @@ impl Binder<'_> {
                     }
                 }
                 let idx = self.udfs.len();
-                self.udfs.push(PlannedUdf { def });
+                self.udfs.push(PlannedUdf { def, inline: None });
                 BExpr::Udf {
                     udf: idx,
                     args: bound_args,
@@ -875,7 +954,7 @@ pub fn bind_dml(
     let mut predicates = Vec::new();
     if let Some(pred) = predicate {
         let conjuncts = pred.clone().conjuncts();
-        let mut ranked: Vec<(u32, usize, BExpr)> = Vec::with_capacity(conjuncts.len());
+        let mut ranked: Vec<(u32, usize, bool, BExpr)> = Vec::with_capacity(conjuncts.len());
         for (i, c) in conjuncts.into_iter().enumerate() {
             let bound = binder.bind(&c)?;
             if binder.type_of(&bound)? != Some(DataType::Bool) {
@@ -885,10 +964,10 @@ pub fn bind_dml(
                 )));
             }
             let cost = binder.cost_rank(&bound);
-            ranked.push((cost, i, bound));
+            let pinned = expr_has_pinned_udf(&bound, &binder.udfs);
+            ranked.push((cost, i, pinned, bound));
         }
-        ranked.sort_by_key(|(cost, pos, _)| (*cost, *pos));
-        predicates = ranked.into_iter().map(|(_, _, e)| e).collect();
+        predicates = order_conjuncts(ranked);
     }
     let mut bound_assignments = Vec::with_capacity(assignments.len());
     for (col, expr) in assignments {
@@ -928,7 +1007,18 @@ pub fn explain_parallel(plan: &BoundSelect, dop: usize) -> String {
 
 fn explain_inner(plan: &BoundSelect, gather_dop: Option<usize>) -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "Project {} column(s)", plan.projections.len());
+    let _ = write!(out, "Project {} column(s)", plan.projections.len());
+    // When a projection invokes a UDF the expression matters (it shows the
+    // backend and whether the optimizer elided it), so spell it out.
+    let mut proj_udfs = Vec::new();
+    for p in &plan.projections {
+        expr_udfs(p, &mut proj_udfs);
+    }
+    if !proj_udfs.is_empty() {
+        let exprs: Vec<String> = plan.projections.iter().map(|p| describe(p, plan)).collect();
+        let _ = write!(out, ": {}", exprs.join(", "));
+    }
+    let _ = writeln!(out);
     if let Some(n) = plan.limit {
         let _ = writeln!(out, "  Limit {n}");
     }
@@ -960,7 +1050,12 @@ fn explain_inner(plan: &BoundSelect, gather_dop: Option<usize>) -> String {
         "  "
     };
     for (i, p) in plan.predicates.iter().enumerate() {
-        let _ = writeln!(out, "{frag}Filter[{i}] {}", describe(p, plan));
+        let tag = if plan.reordered.get(i).copied().unwrap_or(false) {
+            " [reordered]"
+        } else {
+            ""
+        };
+        let _ = writeln!(out, "{frag}Filter[{i}]{tag} {}", describe(p, plan));
     }
     match &plan.access {
         AccessPath::FullScan => {
@@ -988,7 +1083,7 @@ fn explain_inner(plan: &BoundSelect, gather_dop: Option<usize>) -> String {
     out
 }
 
-fn describe(e: &BExpr, plan: &BoundSelect) -> String {
+pub(crate) fn describe(e: &BExpr, plan: &BoundSelect) -> String {
     match e {
         BExpr::Column(i) => plan
             .table
@@ -1014,9 +1109,15 @@ fn describe(e: &BExpr, plan: &BoundSelect) -> String {
             describe(rhs, plan)
         ),
         BExpr::Udf { udf, args } => {
-            let d = &plan.udfs[*udf].def;
+            let slot = &plan.udfs[*udf];
+            let d = &slot.def;
+            let tag = if slot.inline.is_some() {
+                " [inlined]"
+            } else {
+                ""
+            };
             format!(
-                "{}[{}]({})",
+                "{}[{}]({}){tag}",
                 d.name,
                 d.imp.design_label(),
                 args.iter()
@@ -1034,7 +1135,7 @@ mod tests {
     use crate::parser::parse;
     use jaguar_common::config::Config;
     use jaguar_common::Tuple;
-    use jaguar_udf::{NativeUdf, UdfSignature};
+    use jaguar_udf::{NativeUdf, UdfSignature, Volatility};
 
     fn setup() -> Catalog {
         let cat = Catalog::in_memory(Config::default());
@@ -1055,11 +1156,23 @@ mod tests {
         ]))
         .unwrap();
         let sig = UdfSignature::new(vec![DataType::Bytes], DataType::Int);
-        cat.udfs().register(UdfDef::new(
-            "investval",
-            sig.clone(),
-            UdfImpl::Native(NativeUdf::new("investval", sig, |_, _| Ok(Value::Int(7)))),
-        ));
+        cat.udfs().register(
+            UdfDef::new(
+                "investval",
+                sig.clone(),
+                UdfImpl::Native(NativeUdf::new("investval", sig, |_, _| Ok(Value::Int(7)))),
+            )
+            .with_volatility(Volatility::Stable),
+        );
+        let vsig = UdfSignature::new(vec![DataType::Int], DataType::Int);
+        cat.udfs().register(
+            UdfDef::new(
+                "sideeffect",
+                vsig.clone(),
+                UdfImpl::Native(NativeUdf::new("sideeffect", vsig, |a, _| Ok(a[0].clone()))),
+            )
+            .with_volatility(Volatility::Volatile),
+        );
         cat
     }
 
@@ -1098,6 +1211,41 @@ mod tests {
         assert!(
             cheap_pos < udf_pos,
             "cheap predicate must precede the UDF:\n{txt}"
+        );
+    }
+
+    #[test]
+    fn volatile_udf_keeps_written_order() {
+        let cat = setup();
+        // `sideeffect` is Volatile: even written first (the expensive
+        // position), it must stay ahead of the cheap column predicate.
+        let plan = bind(
+            &cat,
+            "SELECT id FROM stocks WHERE SideEffect(id) > 0 AND id < 10",
+        )
+        .unwrap();
+        let txt = explain(&plan);
+        let udf_pos = txt.find("sideeffect[C++]").expect("udf predicate shown");
+        let cheap_pos = txt.find("(id < 10)").expect("cheap predicate shown");
+        assert!(
+            udf_pos < cheap_pos,
+            "volatile UDF must keep its written position:\n{txt}"
+        );
+        // Predicates around a pin still sort among themselves.
+        let plan = bind(
+            &cat,
+            "SELECT id FROM stocks WHERE InvestVal(history) > 5 AND SideEffect(id) > 0 \
+             AND type = 'tech' AND id < 10",
+        )
+        .unwrap();
+        let txt = explain(&plan);
+        let investval = txt.find("investval[C++]").unwrap();
+        let pin = txt.find("sideeffect[C++]").unwrap();
+        let tech = txt.find("(type = 'tech')").unwrap();
+        let idlt = txt.find("(id < 10)").unwrap();
+        assert!(
+            investval < pin && pin < tech && tech < idlt,
+            "segments on either side of the pin sort independently:\n{txt}"
         );
     }
 

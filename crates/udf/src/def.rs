@@ -115,9 +115,25 @@ pub enum Volatility {
 
 impl Volatility {
     /// Whether the executor may evaluate this UDF set-at-a-time (batched)
-    /// instead of strictly tuple-at-a-time.
+    /// instead of strictly tuple-at-a-time. Defined as `!pinned()` so the
+    /// batching gate and the planner's reorder guard share one predicate.
     pub fn batchable(self) -> bool {
-        matches!(self, Volatility::Immutable | Volatility::Stable)
+        !self.pinned()
+    }
+
+    /// Whether the planner must keep this UDF at its written position:
+    /// a `Volatile` UDF's per-row evaluation order (and count) is
+    /// observable, so it is never reordered, short-circuited past its
+    /// written slot, batched, memoized, or inlined.
+    pub fn pinned(self) -> bool {
+        matches!(self, Volatility::Volatile)
+    }
+
+    /// Whether results may be served from the cross-statement memo cache
+    /// (and the body inlined): only `Immutable` promises arg-determinism
+    /// beyond a single statement.
+    pub fn memoizable(self) -> bool {
+        matches!(self, Volatility::Immutable)
     }
 }
 

@@ -565,3 +565,199 @@ fn mid_batch_deadline_aborts_and_engine_survives() {
     let r = db.execute("SELECT COUNT(*) FROM rel").unwrap();
     assert_eq!(r.rows[0].get(0).unwrap(), &Value::Int(1000));
 }
+
+/// A SQL database with every generic design registered at the given
+/// volatility and memo budget — the grid axes of the optimization matrix.
+/// Payloads repeat every 23 rows so memoization (when enabled) actually
+/// serves hits rather than degenerating into a miss-only cache.
+fn opt_matrix_db(
+    dop: usize,
+    rows: usize,
+    memo_bytes: usize,
+    vol: jaguar_udf::Volatility,
+) -> Database {
+    let db = Database::with_config(
+        Config::default()
+            .with_dop(dop)
+            .with_pooled_executors(4)
+            .with_udf_memo_bytes(memo_bytes),
+    );
+    db.execute("CREATE TABLE rel (id INT, bytearray BYTEARRAY)")
+        .unwrap();
+    let t = db.catalog().table("rel").unwrap();
+    for i in 0..rows {
+        t.insert(Tuple::new(vec![
+            Value::Int(i as i64),
+            Value::Bytes(ByteArray::patterned(100, i as u64 % 23)),
+        ]))
+        .unwrap();
+    }
+    let limits = ResourceLimits::default;
+    db.register_udf(def_native().with_volatility(vol));
+    db.register_udf(def_vm(true, limits()).with_volatility(vol));
+    db.register_udf(def_isolated().with_volatility(vol));
+    db.register_udf(def_isolated_vm(true, limits()).with_volatility(vol));
+    db
+}
+
+/// Satellite acceptance: the optimizer must be invisible in results.
+/// 4 designs × {memo on, memo off} × dop ∈ {1, 4}, each compared
+/// (order-normalized) against a fully unoptimized reference — Volatile
+/// registration pins written order and opts out of memoization, and a
+/// zero byte budget disables the cache outright.
+#[test]
+fn optimization_matrix_matches_unoptimized_reference() {
+    let with_worker = worker_available();
+    let reference = opt_matrix_db(1, 400, 0, jaguar_udf::Volatility::Volatile);
+    let designs: &[(&str, bool)] = &[
+        ("generic", false),
+        ("generic_vm", false),
+        ("generic_ic", true),
+        ("generic_ivm", true),
+    ];
+    for dop in [1usize, 4] {
+        for memo_bytes in [0usize, 1 << 20] {
+            let optimized = opt_matrix_db(dop, 400, memo_bytes, jaguar_udf::Volatility::Immutable);
+            for (udf, needs_worker) in designs {
+                if *needs_worker && !with_worker {
+                    continue;
+                }
+                for shape in [
+                    format!("SELECT id, {udf}(bytearray, 5, 1, 0) FROM rel WHERE id % 3 <> 1"),
+                    format!(
+                        "SELECT id, {udf}(bytearray, 0, 2, 0) AS v FROM rel WHERE id < 300 ORDER BY v, id LIMIT 40"
+                    ),
+                ] {
+                    let a = reference.execute(&shape).unwrap();
+                    let b = optimized.execute(&shape).unwrap();
+                    assert_eq!(
+                        normalized(&a.rows),
+                        normalized(&b.rows),
+                        "optimized rows diverged for {udf} at dop={dop} memo={memo_bytes}: {shape}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// The straight-line JagScript body used for the inlining matrix —
+/// arithmetic, a comparison, and a conditional; no loops or callbacks.
+const STRAIGHTLINE_SRC: &str = "fn main(a: i64, b: i64) -> i64 {
+    if a < b { return a * 3 + b; }
+    return a - b;
+}";
+
+fn straightline_db(
+    design: jaguar_core::UdfDesign,
+    vol: jaguar_udf::Volatility,
+    dop: usize,
+    src: &str,
+) -> Database {
+    use jaguar_core::DataType;
+    let db = Database::with_config(Config::default().with_dop(dop).with_pooled_executors(4));
+    db.execute("CREATE TABLE t (a INT, b INT)").unwrap();
+    let t = db.catalog().table("t").unwrap();
+    for i in 0..300i64 {
+        t.insert(Tuple::new(vec![Value::Int(i), Value::Int(i % 13)]))
+            .unwrap();
+    }
+    db.register_jagscript_udf_with_volatility(
+        "poly",
+        jaguar_core::UdfSignature::new(vec![DataType::Int, DataType::Int], DataType::Int),
+        src,
+        design,
+        vol,
+    )
+    .unwrap();
+    db
+}
+
+/// Inlining matrix: for both sandboxed designs (JSM in-process, IJSM in a
+/// worker) and both degrees of parallelism, the inlined plan (Immutable)
+/// must match the called plan (Stable) row for row — while invoking the
+/// backend exactly zero times.
+#[test]
+fn inlined_udf_matches_called_across_vm_designs() {
+    let with_worker = worker_available();
+    for design in [
+        jaguar_core::UdfDesign::Sandboxed,
+        jaguar_core::UdfDesign::SandboxedIsolated,
+    ] {
+        let needs_worker = matches!(design, jaguar_core::UdfDesign::SandboxedIsolated);
+        if needs_worker && !with_worker {
+            continue;
+        }
+        for dop in [1usize, 4] {
+            let inlined = straightline_db(
+                design.clone(),
+                jaguar_udf::Volatility::Immutable,
+                dop,
+                STRAIGHTLINE_SRC,
+            );
+            let called = straightline_db(
+                design.clone(),
+                jaguar_udf::Volatility::Stable,
+                dop,
+                STRAIGHTLINE_SRC,
+            );
+            let q = "SELECT a, poly(a, b) FROM t WHERE a % 3 <> 1";
+            let a = inlined.execute(q).unwrap();
+            let b = called.execute(q).unwrap();
+            assert_eq!(
+                normalized(&a.rows),
+                normalized(&b.rows),
+                "inlined vs called diverged for {design:?} at dop={dop}"
+            );
+            assert_eq!(
+                a.stats.udf_invocations, 0,
+                "inlined plan must never reach the backend ({design:?}, dop={dop})"
+            );
+            assert!(
+                b.stats.udf_invocations > 0,
+                "called plan must exercise the backend ({design:?}, dop={dop})"
+            );
+        }
+    }
+}
+
+/// Error-text equivalence for inlined traps. Inlining elides the backend,
+/// so a trapping body must report the local VM's trap text — identical to
+/// the in-process call path — for both the JSM and IJSM registrations.
+/// (The *called* IJSM path wraps the text in a worker-transport error;
+/// that wrapping is exactly what backend elision removes.)
+#[test]
+fn inlined_trap_text_matches_local_vm() {
+    // Divides by (a - 7): the row a=7 traps with integer divide by zero.
+    let trap_src = "fn main(a: i64, b: i64) -> i64 { return (b + 1000) / (a - 7); }";
+    let called_vm = straightline_db(
+        jaguar_core::UdfDesign::Sandboxed,
+        jaguar_udf::Volatility::Stable,
+        1,
+        trap_src,
+    );
+    let expected = called_vm
+        .execute("SELECT poly(a, b) FROM t")
+        .unwrap_err()
+        .to_string();
+    let mut designs = vec![jaguar_core::UdfDesign::Sandboxed];
+    if worker_available() {
+        designs.push(jaguar_core::UdfDesign::SandboxedIsolated);
+    }
+    for design in designs {
+        let inlined = straightline_db(
+            design.clone(),
+            jaguar_udf::Volatility::Immutable,
+            1,
+            trap_src,
+        );
+        let got = inlined
+            .execute("SELECT poly(a, b) FROM t")
+            .unwrap_err()
+            .to_string();
+        assert_eq!(
+            got, expected,
+            "inlined trap text diverged from the local VM for {design:?}"
+        );
+    }
+}

@@ -182,9 +182,12 @@ fn predicate_ordering_saves_work_at_scale() {
     let db = loaded_db(200, 16);
     let calls = Arc::new(AtomicU64::new(0));
     let c2 = Arc::clone(&calls);
-    db.register_native_udf(
+    // Stable: the default (Volatile) would pin the UDF at its written
+    // position, which is exactly what this test must not exercise.
+    db.register_native_udf_with_volatility(
         "pricey",
         UdfSignature::new(vec![DataType::Bytes], DataType::Bool),
+        jaguar_core::Volatility::Stable,
         move |args, _| {
             c2.fetch_add(1, Ordering::Relaxed);
             Ok(Value::Bool(!args[0].as_bytes()?.is_empty()))
