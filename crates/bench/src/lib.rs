@@ -22,8 +22,10 @@
 //! EXPERIMENTS.md records which scale produced the stored numbers).
 
 pub mod experiments;
+pub mod load;
 pub mod report;
 pub mod workload;
 
 pub use experiments::{def_for, def_noop, Design, ExperimentCtx, Scale};
+pub use load::{run_load, LoadConfig, LoadReport};
 pub use report::Table;

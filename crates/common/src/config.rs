@@ -106,9 +106,28 @@ pub struct Config {
     /// Queries slower than this many milliseconds are logged at WARN by
     /// the server's slow-query log. `None` disables the log.
     pub slow_query_ms: Option<u64>,
-    /// Most concurrently connected clients the server accepts; further
-    /// connections receive a "server busy" wire error and are closed.
+    /// Most concurrently *admitted* data-plane sessions the server
+    /// executes at once. Further sessions wait in the admission queue;
+    /// control-plane requests (Cancel, Metrics, Ping) bypass the gate
+    /// entirely so a saturated server can still be cancelled and observed.
     pub max_connections: usize,
+    /// Bound on sessions waiting for admission beyond `max_connections`.
+    /// A session arriving to a full queue is shed immediately with a
+    /// retryable `ServerBusy` error instead of queueing unboundedly.
+    pub admission_queue_depth: usize,
+    /// Deadline in milliseconds a queued session waits for admission
+    /// before being shed with `ServerBusy` — the bound on how stale a
+    /// queued request can get before the server tells the client to back
+    /// off and retry.
+    pub admission_timeout_ms: u64,
+    /// Client-side retry budget for retryable failures (`ServerBusy`,
+    /// connect timeouts): total attempts including the first. `1`
+    /// disables client retries.
+    pub client_retry_attempts: u32,
+    /// Base backoff in milliseconds for client retries (exponential with
+    /// deterministic jitter; the server's `retry_after_ms` hint floors
+    /// each sleep).
+    pub client_retry_base_ms: u64,
     /// Commit durability level for on-disk databases (see [`SyncMode`]).
     pub sync_mode: SyncMode,
     /// Checkpoint (flush data files + truncate the log) once the
@@ -151,6 +170,10 @@ impl Default for Config {
             client_write_timeout_ms: Some(10_000),
             slow_query_ms: Some(500),
             max_connections: 64,
+            admission_queue_depth: 32,
+            admission_timeout_ms: 1_000,
+            client_retry_attempts: 3,
+            client_retry_base_ms: 25,
             sync_mode: SyncMode::Full,
             wal_segment_bytes: 16 * 1024 * 1024,
             checkpoint_every: 1_000,
@@ -271,9 +294,26 @@ impl Config {
         self
     }
 
-    /// Cap on concurrently connected clients.
+    /// Cap on concurrently admitted data-plane sessions.
     pub fn with_max_connections(mut self, n: usize) -> Self {
         self.max_connections = n;
+        self
+    }
+
+    /// Admission queue shape: how many sessions may wait beyond
+    /// `max_connections`, and for how long before being shed with
+    /// `ServerBusy`.
+    pub fn with_admission_queue(mut self, depth: usize, timeout_ms: u64) -> Self {
+        self.admission_queue_depth = depth;
+        self.admission_timeout_ms = timeout_ms;
+        self
+    }
+
+    /// Client retry budget for retryable failures (`attempts` includes
+    /// the first try; `1` disables retries) and the base backoff.
+    pub fn with_client_retry(mut self, attempts: u32, base_ms: u64) -> Self {
+        self.client_retry_attempts = attempts;
+        self.client_retry_base_ms = base_ms;
         self
     }
 
@@ -401,6 +441,19 @@ mod tests {
         assert_eq!(c.client_connect_timeout_ms, 100);
         assert_eq!(c.client_read_timeout_ms, Some(200));
         assert_eq!(c.client_write_timeout_ms, None);
+    }
+
+    #[test]
+    fn admission_and_retry_builders_compose() {
+        let c = Config::default();
+        assert!(c.admission_queue_depth > 0, "queueing on by default");
+        assert!(c.admission_timeout_ms > 0);
+        assert!(c.client_retry_attempts >= 1);
+        let c = c.with_admission_queue(7, 123).with_client_retry(5, 50);
+        assert_eq!(c.admission_queue_depth, 7);
+        assert_eq!(c.admission_timeout_ms, 123);
+        assert_eq!(c.client_retry_attempts, 5);
+        assert_eq!(c.client_retry_base_ms, 50);
     }
 
     #[test]

@@ -54,6 +54,11 @@ pub enum JaguarError {
     /// worker respawn per tuple. Clears after the cooldown via a
     /// successful half-open probe, or on re-registration.
     UdfQuarantined(String),
+    /// The server shed this request at admission (queue full or the
+    /// deadline-bounded wait expired). Retryable: the statement never
+    /// started executing, and `retry_after_ms` is the server's backoff
+    /// hint for when another attempt is worth making.
+    ServerBusy { retry_after_ms: u64 },
     /// Anything else.
     Other(String),
 }
@@ -121,6 +126,12 @@ impl fmt::Display for JaguarError {
             JaguarError::Cancelled(m) => write!(f, "cancelled: {m}"),
             JaguarError::Timeout(m) => write!(f, "timeout: {m}"),
             JaguarError::UdfQuarantined(m) => write!(f, "udf quarantined: {m}"),
+            JaguarError::ServerBusy { retry_after_ms } => {
+                write!(
+                    f,
+                    "server busy: overloaded, retry after {retry_after_ms} ms"
+                )
+            }
             JaguarError::Other(m) => write!(f, "{m}"),
         }
     }
@@ -190,6 +201,19 @@ mod tests {
         );
         let e = JaguarError::SecurityViolation("file open denied".into());
         assert_eq!(e.to_string(), "security violation: file open denied");
+        let e = JaguarError::ServerBusy {
+            retry_after_ms: 250,
+        };
+        assert_eq!(e.to_string(), "server busy: overloaded, retry after 250 ms");
+    }
+
+    #[test]
+    fn server_busy_is_neither_containable_nor_lifecycle() {
+        // A shed request never executed: it is not a UDF containment
+        // event and must not count against any circuit breaker.
+        let e = JaguarError::ServerBusy { retry_after_ms: 10 };
+        assert!(!e.is_containable());
+        assert!(!e.is_lifecycle_abort());
     }
 
     #[test]

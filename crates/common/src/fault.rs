@@ -10,25 +10,40 @@
 //!   `JAGUAR_CRASH_POINT=wal.before_commit`.
 //! * **Fault sites** ([`should_fail`]): the call site consults the
 //!   injector and simulates its own failure (drop a connection, abort a
-//!   reply) while the test process keeps running. Armed programmatically
-//!   with [`arm`] / [`disarm`] in-process, or via
-//!   `JAGUAR_FAULT_SITES=site.a,site.b=3` for child processes (a bare
-//!   name fires on every hit; `name=N` fires N times then disarms).
+//!   reply, fail an fsync) while the test process keeps running.
 //!
-//! In production nothing is armed and both checks are one relaxed atomic
-//! load. Fault names are dot-namespaced by crate and path, e.g.
-//! `ipc.worker.drop_mid_reply`, `net.server.drop_mid_response`.
+//! A site can be armed with four trigger shapes:
+//!
+//! | trigger        | programmatic                  | env grammar  |
+//! |----------------|-------------------------------|--------------|
+//! | next N hits    | `arm(name, n)`                | `name=3`     |
+//! | every hit      | `arm(name, ALWAYS)`           | `name`       |
+//! | probability p  | `arm_probabilistic(name, p, seed)` | `name=p0.25` |
+//! | every Nth hit  | `arm_every_nth(name, n)`      | `name=n5`    |
+//!
+//! Counted arming models a *transient* fault (a retry that consults the
+//! site again eventually succeeds); `ALWAYS` models a *permanent* one
+//! (retries exhaust and the error surfaces). Probabilistic triggers draw
+//! from a seeded [`SplitMix64`] stream so chaos runs stay reproducible.
+//!
+//! Cross-process arming uses `JAGUAR_FAULT_SITES=site.a,site.b=3` (comma-
+//! separated entries in the table grammar above). In production nothing
+//! is armed and both checks are one relaxed atomic load. Fault names are
+//! dot-namespaced by crate and path, e.g. `ipc.worker.drop_mid_reply`,
+//! `storage.disk.fsync`.
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Mutex, OnceLock};
 
 use crate::obs;
+use crate::rng::SplitMix64;
 
 /// Environment variable naming the crash point to arm.
 pub const CRASH_POINT_ENV: &str = "JAGUAR_CRASH_POINT";
-/// Environment variable arming fault sites (comma-separated `name` or
-/// `name=count` entries) — the cross-process equivalent of [`arm`].
+/// Environment variable arming fault sites (comma-separated entries:
+/// `name`, `name=count`, `name=pPROB`, or `name=nSTRIDE`) — the
+/// cross-process equivalent of [`arm`] and friends.
 pub const FAULT_SITES_ENV: &str = "JAGUAR_FAULT_SITES";
 
 /// Sentinel count for "fire on every hit, never disarm".
@@ -50,20 +65,71 @@ pub fn crash_point(name: &str) {
     }
 }
 
+/// How an armed site decides whether a given hit fires.
+#[derive(Debug, Clone)]
+enum Trigger {
+    /// Fire on the next `n` hits, then disarm ([`ALWAYS`] = forever).
+    Count(u32),
+    /// Fire each hit independently with probability `p`, drawing from a
+    /// seeded deterministic stream.
+    Probability { p: f64, rng: SplitMix64 },
+    /// Fire on every `n`-th hit (the 1st, `n+1`-th, ... of the arming).
+    EveryNth { n: u32, seen: u32 },
+}
+
+impl Trigger {
+    fn fire(&mut self) -> bool {
+        match self {
+            Trigger::Count(0) => false,
+            Trigger::Count(ALWAYS) => true,
+            Trigger::Count(n) => {
+                *n -= 1;
+                true
+            }
+            Trigger::Probability { p, rng } => rng.next_f64() < *p,
+            Trigger::EveryNth { n, seen } => {
+                let fire = *seen % (*n).max(1) == 0;
+                *seen = seen.wrapping_add(1);
+                fire
+            }
+        }
+    }
+}
+
+fn parse_entry(entry: &str) -> (String, Trigger) {
+    let (name, trigger) = match entry.split_once('=') {
+        Some((n, spec)) => {
+            let t = if let Some(p) = spec.strip_prefix('p') {
+                Trigger::Probability {
+                    p: p.parse().unwrap_or(1.0),
+                    rng: SplitMix64::new(0xFA17),
+                }
+            } else if let Some(s) = spec.strip_prefix('n') {
+                Trigger::EveryNth {
+                    n: s.parse().unwrap_or(1),
+                    seen: 0,
+                }
+            } else {
+                Trigger::Count(spec.parse().unwrap_or(1))
+            };
+            (n, t)
+        }
+        None => (entry, Trigger::Count(ALWAYS)),
+    };
+    (name.to_string(), trigger)
+}
+
 /// Fast-path flag: true iff *any* fault site is (or ever was) armed.
 static ANY_ARMED: AtomicBool = AtomicBool::new(false);
 
-fn sites() -> &'static Mutex<HashMap<String, u32>> {
-    static SITES: OnceLock<Mutex<HashMap<String, u32>>> = OnceLock::new();
+fn sites() -> &'static Mutex<HashMap<String, Trigger>> {
+    static SITES: OnceLock<Mutex<HashMap<String, Trigger>>> = OnceLock::new();
     SITES.get_or_init(|| {
         let mut map = HashMap::new();
         if let Ok(spec) = std::env::var(FAULT_SITES_ENV) {
             for entry in spec.split(',').map(str::trim).filter(|e| !e.is_empty()) {
-                let (name, count) = match entry.split_once('=') {
-                    Some((n, c)) => (n, c.parse().unwrap_or(1)),
-                    None => (entry, ALWAYS),
-                };
-                map.insert(name.to_string(), count);
+                let (name, trigger) = parse_entry(entry);
+                map.insert(name, trigger);
             }
         }
         if !map.is_empty() {
@@ -73,11 +139,40 @@ fn sites() -> &'static Mutex<HashMap<String, u32>> {
     })
 }
 
+fn install(name: &str, trigger: Trigger) {
+    sites().lock().unwrap().insert(name.to_string(), trigger);
+    ANY_ARMED.store(true, Ordering::Release);
+}
+
 /// Arm a fault site for the next `count` hits ([`ALWAYS`] = every hit).
 /// Test-only by convention; replaces any previous arming of the site.
 pub fn arm(name: &str, count: u32) {
-    sites().lock().unwrap().insert(name.to_string(), count);
-    ANY_ARMED.store(true, Ordering::Release);
+    install(name, Trigger::Count(count));
+}
+
+/// Arm a fault site to fire each hit independently with probability `p`
+/// (clamped to `[0, 1]`), drawn from a [`SplitMix64`] stream seeded with
+/// `seed` so chaos runs are reproducible.
+pub fn arm_probabilistic(name: &str, p: f64, seed: u64) {
+    install(
+        name,
+        Trigger::Probability {
+            p: p.clamp(0.0, 1.0),
+            rng: SplitMix64::new(seed),
+        },
+    );
+}
+
+/// Arm a fault site to fire on every `n`-th hit, starting with the first
+/// hit after arming (`n` is floored at 1, which fires on every hit).
+pub fn arm_every_nth(name: &str, n: u32) {
+    install(
+        name,
+        Trigger::EveryNth {
+            n: n.max(1),
+            seen: 0,
+        },
+    );
 }
 
 /// Disarm a fault site (a no-op if it was not armed).
@@ -87,9 +182,10 @@ pub fn disarm(name: &str) {
 
 /// Should this hit of the named site inject its failure?
 ///
-/// Decrements the site's remaining count (unless armed [`ALWAYS`]) and
-/// records a `fault.injected` metric when firing. Unarmed sites — the
-/// production case — cost one relaxed atomic load.
+/// Consults the site's trigger (counting down, rolling the probability
+/// die, or advancing the stride) and records a `fault.injected` metric
+/// when firing. Unarmed sites — the production case — cost one relaxed
+/// atomic load.
 pub fn should_fail(name: &str) -> bool {
     // The env var is only scanned inside `sites()`; force that scan once
     // so a child process armed purely via [`FAULT_SITES_ENV`] (no in-
@@ -104,12 +200,8 @@ pub fn should_fail(name: &str) -> bool {
     }
     let mut map = sites().lock().unwrap();
     let fire = match map.get_mut(name) {
-        None | Some(0) => false,
-        Some(&mut ALWAYS) => true,
-        Some(n) => {
-            *n -= 1;
-            true
-        }
+        None => false,
+        Some(t) => t.fire(),
     };
     drop(map);
     if fire {
@@ -148,6 +240,50 @@ mod tests {
         arm("test.site.a", 1);
         assert!(!should_fail("test.site.b"));
         disarm("test.site.a");
+    }
+
+    #[test]
+    fn every_nth_trigger_strides() {
+        arm_every_nth("test.site.nth", 3);
+        let fired: Vec<bool> = (0..9).map(|_| should_fail("test.site.nth")).collect();
+        assert_eq!(
+            fired,
+            [true, false, false, true, false, false, true, false, false]
+        );
+        disarm("test.site.nth");
+    }
+
+    #[test]
+    fn probabilistic_trigger_is_seeded_and_proportional() {
+        // Same seed => same firing pattern (reproducible chaos).
+        arm_probabilistic("test.site.prob", 0.5, 42);
+        let a: Vec<bool> = (0..64).map(|_| should_fail("test.site.prob")).collect();
+        arm_probabilistic("test.site.prob", 0.5, 42);
+        let b: Vec<bool> = (0..64).map(|_| should_fail("test.site.prob")).collect();
+        assert_eq!(a, b);
+        // Roughly half fire (loose bound; the stream is deterministic so
+        // this can never flake).
+        let hits = a.iter().filter(|&&f| f).count();
+        assert!((16..=48).contains(&hits), "p=0.5 fired {hits}/64");
+        // Edge probabilities clamp to never/always.
+        arm_probabilistic("test.site.prob", 0.0, 1);
+        assert!(!should_fail("test.site.prob"));
+        arm_probabilistic("test.site.prob", 1.5, 1);
+        assert!(should_fail("test.site.prob"));
+        disarm("test.site.prob");
+    }
+
+    #[test]
+    fn env_grammar_parses_all_trigger_shapes() {
+        let (n, t) = parse_entry("a.site");
+        assert_eq!(n, "a.site");
+        assert!(matches!(t, Trigger::Count(ALWAYS)));
+        let (_, t) = parse_entry("a.site=3");
+        assert!(matches!(t, Trigger::Count(3)));
+        let (_, t) = parse_entry("a.site=p0.25");
+        assert!(matches!(t, Trigger::Probability { p, .. } if (p - 0.25).abs() < 1e-9));
+        let (_, t) = parse_entry("a.site=n5");
+        assert!(matches!(t, Trigger::EveryNth { n: 5, seen: 0 }));
     }
 
     #[test]

@@ -18,6 +18,10 @@
 //!   deadline every layer polls cooperatively,
 //! * [`fault`] — named crash points and fault-injection sites shared by
 //!   the chaos/crash-recovery harnesses,
+//! * [`retry`] — the shared bounded-backoff retry policy and the
+//!   transient/permanent failure classifiers,
+//! * [`overload`] — the engine-wide overload level driving graceful
+//!   degradation (clamp `dop`, shed the memo) before refusal,
 //! * [`config`] — engine tunables,
 //! * [`rng`] — a tiny deterministic generator used by workload builders so
 //!   experiments are reproducible byte-for-byte.
@@ -29,6 +33,8 @@ pub mod config;
 pub mod error;
 pub mod fault;
 pub mod ids;
+pub mod overload;
+pub mod retry;
 pub mod rng;
 pub mod schema;
 pub mod stream;

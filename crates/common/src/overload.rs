@@ -1,0 +1,146 @@
+//! Engine-wide overload level: the signal behind graceful degradation.
+//!
+//! The admission gate (net) and the worker pool observe pressure; the
+//! planner and executor (sql) react to it. This module is the thin shared
+//! state between them: a process-cheap atomic level an observer raises or
+//! lowers, plus the logging/metrics discipline so every transition is
+//! visible (`overload.level` gauge, `overload.transitions` counter).
+//!
+//! The degradation ladder sheds *optional* work before the engine refuses
+//! *required* work:
+//!
+//! | level | name      | engine response                                    |
+//! |-------|-----------|----------------------------------------------------|
+//! | 0     | Normal    | —                                                  |
+//! | 1     | Elevated  | halve parallel fan-out (`dop`, floor 2)            |
+//! | 2     | Saturated | run serial; drop the UDF memo (clear + stop insert)|
+//!
+//! Refusal (`ServerBusy`) only happens past the ladder, when the
+//! admission queue itself overflows or times out.
+
+use std::sync::atomic::{AtomicU8, Ordering};
+
+use crate::obs;
+
+/// Overload severity, ordered: higher levels shed more work.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Pressure {
+    /// No queueing anywhere: full feature set.
+    Normal = 0,
+    /// Demand at or above capacity (admission queue non-empty, or pool
+    /// checkouts waiting): shed parallel fan-out.
+    Elevated = 1,
+    /// Sustained overload (admission queue at least half full): also
+    /// shed the memo cache — its memory serves latency, not correctness.
+    Saturated = 2,
+}
+
+impl Pressure {
+    fn from_u8(v: u8) -> Pressure {
+        match v {
+            0 => Pressure::Normal,
+            1 => Pressure::Elevated,
+            _ => Pressure::Saturated,
+        }
+    }
+}
+
+/// Shared overload level. Cheap to read on every statement (one relaxed
+/// atomic load); written by whichever layer observes pressure.
+#[derive(Debug, Default)]
+pub struct OverloadState {
+    level: AtomicU8,
+}
+
+impl OverloadState {
+    pub fn new() -> Self {
+        OverloadState::default()
+    }
+
+    /// Current level (relaxed: staleness by one statement is fine — the
+    /// ladder trades precision for zero contention on the hot path).
+    pub fn level(&self) -> Pressure {
+        Pressure::from_u8(self.level.load(Ordering::Relaxed))
+    }
+
+    /// Set the level, logging and counting the transition if it changed.
+    pub fn set(&self, level: Pressure) {
+        let prev = self.level.swap(level as u8, Ordering::Relaxed);
+        if prev != level as u8 {
+            let reg = obs::global();
+            reg.gauge("overload.level").set(level as u8 as i64);
+            reg.counter("overload.transitions").inc();
+            if (level as u8) > prev {
+                obs::warn!(
+                    target: "jaguar-guard",
+                    "overload level raised {} -> {} (shedding optional work)",
+                    prev,
+                    level as u8
+                );
+            } else {
+                obs::info!(
+                    target: "jaguar-guard",
+                    "overload level lowered {} -> {}",
+                    prev,
+                    level as u8
+                );
+            }
+        }
+    }
+
+    /// Derive and set the level from admission-queue occupancy: `queued`
+    /// waiting requests against a queue of `depth` slots, with `at_capacity`
+    /// saying whether every admission slot is in use.
+    pub fn observe_admission(&self, queued: usize, depth: usize, at_capacity: bool) {
+        let level = if depth > 0 && queued >= depth.div_ceil(2) {
+            Pressure::Saturated
+        } else if queued > 0 || at_capacity {
+            Pressure::Elevated
+        } else {
+            Pressure::Normal
+        };
+        self.set(level);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ladder_orders_and_defaults() {
+        let s = OverloadState::new();
+        assert_eq!(s.level(), Pressure::Normal);
+        assert!(Pressure::Normal < Pressure::Elevated);
+        assert!(Pressure::Elevated < Pressure::Saturated);
+    }
+
+    #[test]
+    fn set_and_read_round_trip() {
+        let s = OverloadState::new();
+        s.set(Pressure::Saturated);
+        assert_eq!(s.level(), Pressure::Saturated);
+        s.set(Pressure::Normal);
+        assert_eq!(s.level(), Pressure::Normal);
+    }
+
+    #[test]
+    fn admission_observation_derives_the_ladder() {
+        let s = OverloadState::new();
+        // Idle: normal.
+        s.observe_admission(0, 8, false);
+        assert_eq!(s.level(), Pressure::Normal);
+        // At capacity but not queueing: elevated (clamp dop).
+        s.observe_admission(0, 8, true);
+        assert_eq!(s.level(), Pressure::Elevated);
+        // Light queueing: still elevated.
+        s.observe_admission(3, 8, true);
+        assert_eq!(s.level(), Pressure::Elevated);
+        // Queue at least half full: saturated (drop the memo too).
+        s.observe_admission(4, 8, true);
+        assert_eq!(s.level(), Pressure::Saturated);
+        // Pressure drains: back to normal.
+        s.observe_admission(0, 8, false);
+        assert_eq!(s.level(), Pressure::Normal);
+    }
+}

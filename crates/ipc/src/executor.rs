@@ -111,6 +111,14 @@ impl WorkerKillHandle {
 impl WorkerProcess {
     /// Spawn a worker from an explicit binary path and wait for `Ready`.
     pub fn spawn_at(path: &Path) -> Result<WorkerProcess> {
+        // Chaos hook: simulate a transient spawn failure (fork pressure,
+        // momentarily busy binary). The error shape matches a real spawn
+        // error, so the retry classifier treats both identically.
+        if jaguar_common::fault::should_fail("ipc.worker.spawn") {
+            return Err(JaguarError::Worker(format!(
+                "spawning {path:?}: injected spawn fault"
+            )));
+        }
         // Abnormally-exited workers (crash containment, pool SIGKILL) leak
         // their scratch directories; tidy them before adding more children.
         crate::scratch::sweep_stale_once();

@@ -17,6 +17,7 @@ use std::time::Duration;
 
 use jaguar_common::config::Config;
 use jaguar_common::error::{JaguarError, Result};
+use jaguar_common::retry::{self, RetryPolicy};
 use jaguar_common::schema::Schema;
 use jaguar_common::{Tuple, Value};
 use jaguar_ipc::proto::{CallbackHandler, NoCallbacks};
@@ -35,14 +36,20 @@ pub struct ClientResult {
     pub stats: WireStats,
 }
 
-/// Socket-level timeouts for a [`Client`] connection. The defaults match
-/// [`Config::default`]; `None` read/write timeouts mean "block forever"
-/// (pre-timeout behaviour).
+/// Socket-level timeouts and the retry budget for a [`Client`]
+/// connection. The defaults match [`Config::default`]; `None` read/write
+/// timeouts mean "block forever" (pre-timeout behaviour).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ClientOptions {
     pub connect_timeout: Duration,
     pub read_timeout: Option<Duration>,
     pub write_timeout: Option<Duration>,
+    /// Backoff policy for retryable failures: transient connect errors,
+    /// and requests the server shed at admission (`ServerBusy` — the
+    /// statement never started, so a retry is always safe). The server's
+    /// `retry_after_ms` hint floors each backoff sleep. Use
+    /// [`RetryPolicy::none`] to surface every failure immediately.
+    pub retry: RetryPolicy,
 }
 
 impl Default for ClientOptions {
@@ -52,13 +59,27 @@ impl Default for ClientOptions {
 }
 
 impl ClientOptions {
-    /// Timeouts from a [`Config`]'s `client_*_timeout_ms` knobs.
+    /// Timeouts from a [`Config`]'s `client_*_timeout_ms` knobs and the
+    /// retry budget from its `client_retry_*` knobs.
     pub fn from_config(c: &Config) -> ClientOptions {
         ClientOptions {
             connect_timeout: Duration::from_millis(c.client_connect_timeout_ms),
             read_timeout: c.client_read_timeout_ms.map(Duration::from_millis),
             write_timeout: c.client_write_timeout_ms.map(Duration::from_millis),
+            retry: RetryPolicy {
+                max_attempts: c.client_retry_attempts.max(1),
+                base_delay_ms: c.client_retry_base_ms,
+                ..RetryPolicy::default()
+            },
         }
+    }
+
+    /// Disable retries: every failure (including `ServerBusy`) surfaces
+    /// on the first attempt. Chaos and load tests use this to observe the
+    /// server's raw shed behaviour.
+    pub fn no_retry(mut self) -> ClientOptions {
+        self.retry = RetryPolicy::none();
+        self
     }
 }
 
@@ -91,22 +112,25 @@ impl Client {
     /// the connection by the respective timeout — a half-open socket or a
     /// stalled server surfaces as an I/O error instead of a hang.
     pub fn connect_with(addr: impl ToSocketAddrs, options: ClientOptions) -> Result<Client> {
-        let mut last_err = None;
-        let mut stream = None;
-        for resolved in addr.to_socket_addrs()? {
-            match TcpStream::connect_timeout(&resolved, options.connect_timeout) {
-                Ok(s) => {
-                    stream = Some((s, resolved));
-                    break;
-                }
-                Err(e) => last_err = Some(e),
-            }
-        }
-        let (stream, server_addr) = stream.ok_or_else(|| {
-            last_err.map(JaguarError::Io).unwrap_or_else(|| {
-                JaguarError::Protocol("address resolved to no socket addresses".into())
-            })
-        })?;
+        let addrs: Vec<SocketAddr> = addr.to_socket_addrs()?.collect();
+        // Transient connect failures (timeouts, refused during a restart
+        // or accept backlog overflow) are retried under the backoff
+        // policy; anything else surfaces immediately.
+        let (stream, server_addr) =
+            options
+                .retry
+                .run("net.client.connect", retry::is_retryable_net, || {
+                    let mut last_err = None;
+                    for resolved in &addrs {
+                        match TcpStream::connect_timeout(resolved, options.connect_timeout) {
+                            Ok(s) => return Ok((s, *resolved)),
+                            Err(e) => last_err = Some(e),
+                        }
+                    }
+                    Err(last_err.map(JaguarError::Io).unwrap_or_else(|| {
+                        JaguarError::Protocol("address resolved to no socket addresses".into())
+                    }))
+                })?;
         stream.set_nodelay(true)?;
         stream.set_read_timeout(options.read_timeout)?;
         stream.set_write_timeout(options.write_timeout)?;
@@ -124,10 +148,32 @@ impl Client {
     fn roundtrip(&mut self, msg: &ClientMsg) -> Result<ServerMsg> {
         msg.write(&mut self.writer)?;
         let reply = ServerMsg::read(&mut self.reader)?;
-        if let ServerMsg::Error { message } = &reply {
-            return Err(JaguarError::Protocol(format!("server: {message}")));
+        match &reply {
+            ServerMsg::Error { message } => {
+                Err(JaguarError::Protocol(format!("server: {message}")))
+            }
+            ServerMsg::Busy { retry_after_ms } => Err(JaguarError::ServerBusy {
+                retry_after_ms: *retry_after_ms,
+            }),
+            _ => Ok(reply),
         }
-        Ok(reply)
+    }
+
+    /// A roundtrip that retries when the server sheds the request at
+    /// admission. Safe for any message: `Busy` means the server did not
+    /// start processing, so re-sending cannot double-execute. The
+    /// server's `retry_after_ms` hint floors each backoff sleep.
+    fn roundtrip_admitted(&mut self, msg: &ClientMsg) -> Result<ServerMsg> {
+        let retry = self.options.retry;
+        retry.run_with_hint(
+            "net.client.request",
+            |e| matches!(e, JaguarError::ServerBusy { .. }),
+            |e| match e {
+                JaguarError::ServerBusy { retry_after_ms } => Some(*retry_after_ms),
+                _ => None,
+            },
+            || self.roundtrip(msg),
+        )
     }
 
     /// Execute one SQL statement on the server.
@@ -140,7 +186,7 @@ impl Client {
         let query_id =
             self.id_prefix | (NEXT_QUERY_ID.fetch_add(1, Ordering::Relaxed) & 0xFFFF_FFFF_FFFF);
         self.current_query.store(query_id, Ordering::Release);
-        let out = self.roundtrip(&ClientMsg::Execute {
+        let out = self.roundtrip_admitted(&ClientMsg::Execute {
             sql: sql.into(),
             query_id,
         });
@@ -176,7 +222,7 @@ impl Client {
 
     /// Fetch the optimized plan for a SELECT.
     pub fn explain(&mut self, sql: &str) -> Result<String> {
-        match self.roundtrip(&ClientMsg::Explain { sql: sql.into() })? {
+        match self.roundtrip_admitted(&ClientMsg::Explain { sql: sql.into() })? {
             ServerMsg::Plan { text } => Ok(text),
             other => Err(JaguarError::Protocol(format!(
                 "expected Plan, got {other:?}"
@@ -213,7 +259,7 @@ impl Client {
         function: &str,
         isolated: bool,
     ) -> Result<()> {
-        match self.roundtrip(&ClientMsg::RegisterUdf {
+        match self.roundtrip_admitted(&ClientMsg::RegisterUdf {
             name: name.into(),
             signature: WireSignature {
                 params: signature.params.clone(),
@@ -262,7 +308,7 @@ impl Client {
     /// Download a registered UDF and instantiate it for **client-side**
     /// execution — the same verified bytecode the server runs.
     pub fn fetch_udf(&mut self, name: &str) -> Result<LocalUdf> {
-        match self.roundtrip(&ClientMsg::FetchUdf { name: name.into() })? {
+        match self.roundtrip_admitted(&ClientMsg::FetchUdf { name: name.into() })? {
             ServerMsg::Module {
                 signature,
                 module,

@@ -17,14 +17,21 @@
 //!   trusted, §2.4), their imports are checked against the server's
 //!   callback registry, and they run under a least-privilege permission
 //!   set,
+//! * [`admission`] — the bounded, deadline-aware admission queue gating
+//!   the data plane: sessions beyond `max_connections` wait FIFO up to
+//!   `admission_timeout_ms` (queue bounded by `admission_queue_depth`)
+//!   and are shed with a retryable `ServerBusy`; the control plane
+//!   (Cancel, Metrics, Ping) bypasses the gate entirely,
 //! * [`client`] — the client library: execute SQL, upload a UDF compiled
 //!   locally, or **download** a UDF module and run it client-side — the
 //!   same bytecode running unchanged at either site, which is the whole
 //!   §6.4 portability story.
 
+pub mod admission;
 pub mod client;
 pub mod server;
 pub mod wire;
 
+pub use admission::{AdmissionGate, Permit, Shed};
 pub use client::{CancelHandle, Client, ClientOptions, ServerMetrics};
 pub use server::Server;

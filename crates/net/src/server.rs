@@ -22,7 +22,7 @@ use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use jaguar_common::cancel::CancelToken;
 use jaguar_common::error::{JaguarError, Result};
@@ -31,6 +31,7 @@ use jaguar_sql::Engine;
 use jaguar_udf::{UdfDef, UdfImpl, UdfSignature, VmUdfSpec};
 use jaguar_vm::{Module, Permission, PermissionSet, ResourceLimits};
 
+use crate::admission::{AdmissionGate, Permit, Shed};
 use crate::wire::{ClientMsg, ServerMsg, WireSignature, WireStats};
 
 /// Log target for everything the server emits.
@@ -82,6 +83,7 @@ pub struct Server {
     stop: Arc<AtomicBool>,
     accept_thread: Option<JoinHandle<()>>,
     clients: Arc<Mutex<Vec<ClientSlot>>>,
+    gate: Arc<AdmissionGate>,
 }
 
 impl Server {
@@ -96,7 +98,22 @@ impl Server {
         let clients: Arc<Mutex<Vec<ClientSlot>>> = Arc::new(Mutex::new(Vec::new()));
         let clients2 = Arc::clone(&clients);
         let queries: QueryRegistry = Arc::new(Mutex::new(HashMap::new()));
-        let max_connections = engine.catalog().config().max_connections;
+        let config = engine.catalog().config();
+        let gate = AdmissionGate::new(
+            config.max_connections,
+            config.admission_queue_depth,
+            Duration::from_millis(config.admission_timeout_ms),
+            Arc::clone(engine.overload()),
+        );
+        // Last-resort flood guard on raw connection threads: generous
+        // enough that shed data-plane sessions and control-plane
+        // connections (cancel, metrics) always fit, but bounded so a SYN
+        // flood cannot spawn threads without limit. Everything refused
+        // here still gets a clean retryable `Busy` frame.
+        let hard_cap = (gate.capacity() + config.admission_queue_depth)
+            .saturating_mul(4)
+            .saturating_add(64);
+        let gate2 = Arc::clone(&gate);
 
         let reg = obs::global();
         let m_accepted = reg.counter("net.connections");
@@ -113,14 +130,14 @@ impl Server {
                     Ok(stream) => {
                         let mut slots = clients2.lock().unwrap_or_else(|p| p.into_inner());
                         reap_finished(&mut slots);
-                        if slots.len() >= max_connections {
+                        if slots.len() >= hard_cap {
                             m_rejected.inc();
                             obs::warn!(
                                 target: TARGET,
-                                "rejecting connection: {} clients connected (limit {max_connections})",
+                                "refusing connection: {} threads live (flood cap {hard_cap})",
                                 slots.len()
                             );
-                            refuse_busy(stream, max_connections);
+                            refuse_busy(stream, gate2.retry_after_ms());
                             continue;
                         }
                         let Ok(tracked) = stream.try_clone() else {
@@ -131,6 +148,7 @@ impl Server {
                         let engine = Arc::clone(&engine);
                         let g_active = Arc::clone(&g_active);
                         let queries = Arc::clone(&queries);
+                        let gate = Arc::clone(&gate2);
                         let handle = std::thread::spawn(move || {
                             g_active.add(1);
                             let peer = stream
@@ -139,7 +157,7 @@ impl Server {
                                 .unwrap_or_else(|_| "?".into());
                             obs::debug!(target: TARGET, "client {peer} connected");
                             let conn = stream.try_clone();
-                            if let Err(e) = serve_client(stream, &engine, &queries) {
+                            if let Err(e) = serve_client(stream, &engine, &queries, &gate) {
                                 obs::warn!(target: TARGET, "client {peer}: {e}");
                             }
                             // Close the connection now: the tracked clone in
@@ -172,6 +190,7 @@ impl Server {
             stop,
             accept_thread: Some(accept_thread),
             clients,
+            gate,
         })
     }
 
@@ -188,10 +207,17 @@ impl Server {
 
     /// Stop accepting connections and wait for every client thread to
     /// finish. In-flight requests run to completion (their responses are
-    /// still written); idle connections are unblocked by shutting down the
-    /// read half of their sockets.
+    /// still written); sessions queued for admission are drained with a
+    /// clean retryable `Busy` instead of being left to hit their read
+    /// timeouts; idle connections are unblocked by shutting down the read
+    /// half of their sockets.
     pub fn stop(&mut self) {
         self.stop.store(true, Ordering::Relaxed);
+        // Close the admission gate FIRST: every session waiting in the
+        // queue wakes immediately, writes `ServerBusy` to its client, and
+        // exits — queued clients get a prompt, retryable refusal rather
+        // than dangling until their read timeout fires.
+        self.gate.close();
         // Unblock the accept loop with a throwaway connection.
         let _ = TcpStream::connect(self.addr);
         if let Some(h) = self.accept_thread.take() {
@@ -236,16 +262,33 @@ fn reap_finished(slots: &mut Vec<ClientSlot>) {
     }
 }
 
-/// Tell an over-limit client the server is busy, then drop the connection.
-fn refuse_busy(stream: TcpStream, limit: usize) {
+/// Tell a flood-capped client the server is busy, then drop the
+/// connection. Still a retryable `Busy` frame, not an opaque error.
+fn refuse_busy(stream: TcpStream, retry_after_ms: u64) {
     let mut writer = std::io::BufWriter::new(stream);
-    let _ = ServerMsg::Error {
-        message: format!("server busy: connection limit {limit} reached"),
-    }
-    .write(&mut writer);
+    let _ = ServerMsg::Busy { retry_after_ms }.write(&mut writer);
 }
 
-fn serve_client(stream: TcpStream, engine: &Engine, queries: &QueryRegistry) -> Result<()> {
+/// Does this message need an admission permit? Execution and UDF
+/// management are the data plane; Cancel/Metrics/Ping/Quit are the
+/// control plane and must work even on a saturated server (a cancel that
+/// queues behind the statements it is meant to kill is useless).
+fn needs_permit(msg: &ClientMsg) -> bool {
+    matches!(
+        msg,
+        ClientMsg::Execute { .. }
+            | ClientMsg::Explain { .. }
+            | ClientMsg::RegisterUdf { .. }
+            | ClientMsg::FetchUdf { .. }
+    )
+}
+
+fn serve_client(
+    stream: TcpStream,
+    engine: &Engine,
+    queries: &QueryRegistry,
+    gate: &Arc<AdmissionGate>,
+) -> Result<()> {
     stream.set_nodelay(true)?;
     let mut reader = std::io::BufReader::new(stream.try_clone()?);
     let mut writer = std::io::BufWriter::new(stream);
@@ -254,6 +297,10 @@ fn serve_client(stream: TcpStream, engine: &Engine, queries: &QueryRegistry) -> 
     let m_slow = reg.counter("net.slow_queries");
     let h_latency = reg.histogram("net.request_latency_us");
     let slow_query_ms = engine.catalog().config().slow_query_ms;
+    // Admission permit for this session's data plane, acquired lazily at
+    // the first data-plane message and held until disconnect (statements
+    // within one session never re-queue behind newcomers).
+    let mut permit: Option<Permit> = None;
 
     loop {
         let msg = match ClientMsg::read(&mut reader) {
@@ -264,6 +311,26 @@ fn serve_client(stream: TcpStream, engine: &Engine, queries: &QueryRegistry) -> 
             Err(e) => return Err(e),
         };
         m_requests.inc();
+        if permit.is_none() && needs_permit(&msg) {
+            match gate.acquire() {
+                Ok(p) => permit = Some(p),
+                Err(shed) => {
+                    let retry_after_ms = gate.retry_after_ms();
+                    obs::warn!(
+                        target: TARGET,
+                        "shedding request at admission ({shed:?}); hinting retry in {retry_after_ms} ms"
+                    );
+                    ServerMsg::Busy { retry_after_ms }.write(&mut writer)?;
+                    if shed == Shed::Closed {
+                        return Ok(()); // server stopping: drain and go
+                    }
+                    // Connection stays open: the client may retry on it
+                    // (each retry re-queues) or switch to control-plane
+                    // requests, which always work.
+                    continue;
+                }
+            }
+        }
         let sql_for_log = match &msg {
             ClientMsg::Execute { sql, .. } | ClientMsg::Explain { sql } => Some(sql.clone()),
             _ => None,

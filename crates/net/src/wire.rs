@@ -134,6 +134,13 @@ pub enum ServerMsg {
     CancelAck {
         found: bool,
     },
+    /// The request was shed at admission (queue full or admission
+    /// deadline expired). Distinct from `Error` so clients can treat it
+    /// as retryable: the statement never started executing, and
+    /// `retry_after_ms` hints when a retry is worth making.
+    Busy {
+        retry_after_ms: u64,
+    },
     /// Execution or protocol failure (rendered error).
     Error {
         message: String,
@@ -156,6 +163,7 @@ const S_PONG: u8 = 0x85;
 const S_ERROR: u8 = 0x86;
 const S_METRICS: u8 = 0x87;
 const S_CANCEL_ACK: u8 = 0x88;
+const S_BUSY: u8 = 0x89;
 
 impl ClientMsg {
     pub fn write(&self, w: &mut impl Write) -> Result<()> {
@@ -281,6 +289,10 @@ impl ServerMsg {
                 write_u8(w, S_CANCEL_ACK)?;
                 write_u8(w, *found as u8)?;
             }
+            ServerMsg::Busy { retry_after_ms } => {
+                write_u8(w, S_BUSY)?;
+                write_u64(w, *retry_after_ms)?;
+            }
             ServerMsg::Error { message } => {
                 write_u8(w, S_ERROR)?;
                 write_str(w, message)?;
@@ -346,6 +358,9 @@ impl ServerMsg {
             S_PONG => ServerMsg::Pong,
             S_CANCEL_ACK => ServerMsg::CancelAck {
                 found: read_u8(r)? != 0,
+            },
+            S_BUSY => ServerMsg::Busy {
+                retry_after_ms: read_u64(r)?,
             },
             S_ERROR => ServerMsg::Error {
                 message: read_str(r)?,
@@ -444,6 +459,10 @@ mod tests {
         roundtrip_s(ServerMsg::Pong);
         roundtrip_s(ServerMsg::CancelAck { found: true });
         roundtrip_s(ServerMsg::CancelAck { found: false });
+        roundtrip_s(ServerMsg::Busy { retry_after_ms: 0 });
+        roundtrip_s(ServerMsg::Busy {
+            retry_after_ms: 1_500,
+        });
         roundtrip_s(ServerMsg::Error {
             message: "boom".into(),
         });

@@ -167,6 +167,24 @@ impl MemoCache {
     pub fn budget(&self) -> usize {
         self.budget
     }
+
+    /// Drop every entry, returning the bytes reclaimed. The overload path
+    /// uses this to hand memoization memory back when the server is
+    /// saturated; the cache refills naturally once pressure drains.
+    pub fn clear(&self) -> usize {
+        let mut inner = self.inner.lock();
+        let freed = inner.bytes;
+        let evicted = inner.map.len() as u64;
+        inner.map.clear();
+        inner.order.clear();
+        inner.bytes = 0;
+        drop(inner);
+        if evicted > 0 {
+            self.evictions.add(evicted);
+        }
+        self.bytes_gauge.set(0);
+        freed
+    }
 }
 
 #[cfg(test)]

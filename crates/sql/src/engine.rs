@@ -68,6 +68,10 @@ pub struct Engine {
     /// per-predicate selectivity tallies feeding the reorder pass. Shared
     /// across statements and sessions, like the paper's server state.
     opt: Arc<jaguar_opt::OptState>,
+    /// Engine-wide overload level (raised by the server's admission gate
+    /// and pool pressure, read at plan time to shed optional work —
+    /// parallel fan-out, the memo cache — before anything is refused).
+    overload: Arc<jaguar_common::overload::OverloadState>,
 }
 
 impl Engine {
@@ -84,6 +88,7 @@ impl Engine {
             callbacks: RwLock::new(HashMap::new()),
             pool: RwLock::new(None),
             opt,
+            overload: Arc::new(jaguar_common::overload::OverloadState::new()),
         };
         // The paper's experiment callback: identity, no data transferred.
         engine.register_callback("cb", |args| {
@@ -99,6 +104,39 @@ impl Engine {
     /// The engine's shared optimizer state (memo cache + selectivity).
     pub(crate) fn opt_state(&self) -> &Arc<jaguar_opt::OptState> {
         &self.opt
+    }
+
+    /// The memo handle a new statement should wire into its context,
+    /// degraded under overload: at `Saturated` the statement runs
+    /// unmemoized and the resident cache is dropped, handing its budget
+    /// back to the allocator. The cache refills naturally once pressure
+    /// drains — memoization is an optimisation, never a correctness
+    /// dependency, which is what makes it safe to shed first.
+    pub(crate) fn memo_for_statement(&self) -> Option<Arc<jaguar_opt::MemoCache>> {
+        use jaguar_common::overload::Pressure;
+        let memo = self.opt.memo()?;
+        if self.overload.level() >= Pressure::Saturated {
+            let freed = memo.clear();
+            if freed > 0 {
+                jaguar_common::obs::global()
+                    .counter("degrade.memo_dropped")
+                    .inc();
+                jaguar_common::obs::warn!(
+                    target: "jaguar-sql",
+                    "server saturated: dropped {freed} memo byte(s); \
+                     statements run unmemoized until pressure drains"
+                );
+            }
+            return None;
+        }
+        Some(Arc::clone(memo))
+    }
+
+    /// The engine-wide overload level. The network layer's admission gate
+    /// writes it; the planner reads it to degrade gracefully (clamp `dop`,
+    /// shed the memo) before any request is refused.
+    pub fn overload(&self) -> &Arc<jaguar_common::overload::OverloadState> {
+        &self.overload
     }
 
     /// Attach (or detach, with `None`) the warm worker pool used by
@@ -237,7 +275,7 @@ impl Engine {
                 let pool = self.worker_pool();
                 let mut ctx = ExecCtx::for_udfs(&dml.udfs, &mut handler, pool.as_ref())?;
                 ctx.attach_cancel(token);
-                ctx.set_memo(self.opt.memo().cloned());
+                ctx.set_memo(self.memo_for_statement());
                 // Collect matching rids first, then delete (no scan-while-
                 // mutating hazards).
                 let mut victims = Vec::new();
@@ -276,7 +314,7 @@ impl Engine {
                 let pool = self.worker_pool();
                 let mut ctx = ExecCtx::for_udfs(&dml.udfs, &mut handler, pool.as_ref())?;
                 ctx.attach_cancel(token);
-                ctx.set_memo(self.opt.memo().cloned());
+                ctx.set_memo(self.memo_for_statement());
                 // Materialise replacements first.
                 let mut updates = Vec::new();
                 for item in dml.table.scan() {
@@ -371,7 +409,7 @@ impl Engine {
                 let mut ctx = ExecCtx::for_plan(&plan, &mut handler, pool.as_ref())?;
                 ctx.attach_cancel(token);
                 ctx.set_udf_batch_size(self.catalog.config().udf_batch_size);
-                crate::optimize::install_opt(&plan, &self.opt, &mut ctx);
+                crate::optimize::install_opt(&plan, self, &mut ctx);
                 let mut exec = Executor::build(&plan)?;
                 let rows = exec.collect(&mut ctx)?;
                 let stats = ctx.finish()?;
@@ -446,7 +484,7 @@ impl Engine {
             let mut ctx = ExecCtx::for_plan(&plan, &mut handler, pool.as_ref())?;
             ctx.attach_cancel(token);
             ctx.set_udf_batch_size(self.catalog.config().udf_batch_size);
-            crate::optimize::install_opt(&plan, &self.opt, &mut ctx);
+            crate::optimize::install_opt(&plan, self, &mut ctx);
             let mut exec = Executor::build_profiled(&plan)?;
             let started = std::time::Instant::now();
             let produced = exec.collect(&mut ctx)?.len();

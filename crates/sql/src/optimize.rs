@@ -29,6 +29,7 @@ use std::sync::Arc;
 use jaguar_common::obs;
 use jaguar_udf::UdfImpl;
 
+use crate::engine::Engine;
 use crate::exec::{backend_slug, ExecCtx};
 use crate::plan::{describe, expr_has_pinned_udf, expr_udfs, BoundSelect, PlannedUdf};
 
@@ -181,15 +182,13 @@ fn batch_note(plan: &mut BoundSelect) {
 }
 
 /// Wire a freshly built execution context to the engine's optimizer
-/// state: the shared memo cache and the per-predicate selectivity probe
-/// (fingerprints follow `plan.predicates` order, which is exactly the
-/// order `Filter`/`matches_all` evaluate them in).
-pub(crate) fn install_opt(
-    plan: &BoundSelect,
-    opt: &Arc<jaguar_opt::OptState>,
-    ctx: &mut ExecCtx<'_>,
-) {
-    ctx.set_memo(opt.memo().cloned());
+/// state: the shared memo cache (withheld while the engine is saturated —
+/// see [`Engine::memo_for_statement`]) and the per-predicate selectivity
+/// probe (fingerprints follow `plan.predicates` order, which is exactly
+/// the order `Filter`/`matches_all` evaluate them in).
+pub(crate) fn install_opt(plan: &BoundSelect, engine: &Engine, ctx: &mut ExecCtx<'_>) {
+    let opt = engine.opt_state();
+    ctx.set_memo(engine.memo_for_statement());
     if !plan.predicates.is_empty() {
         let fps = plan.predicates.iter().map(|p| describe(p, plan)).collect();
         ctx.set_selectivity_probe(fps, Arc::clone(opt));

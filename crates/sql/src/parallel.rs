@@ -30,6 +30,7 @@ use std::time::Instant;
 use jaguar_common::cancel::CancelToken;
 use jaguar_common::error::Result;
 use jaguar_common::obs;
+use jaguar_common::overload::Pressure;
 use jaguar_common::{Tuple, Value};
 use jaguar_par::{morsel_pages_for, run_team, MorselDispenser};
 
@@ -119,6 +120,34 @@ pub(crate) fn plan_parallel(engine: &Engine, plan: &BoundSelect) -> Option<Paral
             }
         }
     }
+    // Graceful degradation: parallelism is the first optional work shed
+    // under overload. At `Saturated` (admission queue half full) the query
+    // runs serially — worker threads are exactly what a saturated server
+    // has none to spare. At `Elevated` (at capacity, or sessions queueing,
+    // or checkouts already waiting on the pool) the dop is halved, so the
+    // team's footprint shrinks before the pool starts timing out.
+    let pressure = engine.overload().level();
+    if pressure >= Pressure::Saturated {
+        obs::warn!(
+            target: "jaguar-par",
+            "server saturated: query over '{}' degraded to serial",
+            plan.table.name()
+        );
+        obs::global().counter("degrade.dop_clamped").inc();
+        return None;
+    }
+    let pool_queued = engine.worker_pool().is_some_and(|p| p.waiters() > 0);
+    if (pressure >= Pressure::Elevated || pool_queued) && dop > 2 {
+        let shed = (dop / 2).max(2);
+        obs::warn!(
+            target: "jaguar-par",
+            "overload pressure: clamping dop {dop} to {shed} for query over '{}'",
+            plan.table.name()
+        );
+        obs::global().counter("degrade.dop_clamped").inc();
+        dop = shed;
+        clamped = true;
+    }
     if dop < 2 {
         return None;
     }
@@ -153,6 +182,9 @@ pub(crate) fn serial_reason(engine: &Engine, plan: &BoundSelect) -> Option<&'sta
     }
     if config_dop.min((data_pages / 2) as usize) < 2 {
         return Some("dop limited by table size");
+    }
+    if engine.overload().level() >= Pressure::Saturated {
+        return Some("server saturated: degraded to serial");
     }
     // The only remaining gate is the pool clamp dropping dop below 2.
     Some("dop clamped to worker-pool size")
@@ -192,7 +224,7 @@ pub(crate) fn parallel_select(
             .inspect_err(|_| abort.store(true, Ordering::Relaxed))?;
         ctx.attach_cancel(token);
         ctx.set_udf_batch_size(engine.catalog().config().udf_batch_size);
-        crate::optimize::install_opt(plan, engine.opt_state(), &mut ctx);
+        crate::optimize::install_opt(plan, engine, &mut ctx);
         let started = Instant::now();
         match drain_morsels(plan, &dispenser, &abort, &mut ctx) {
             Ok((rows, aggs, morsels, produced)) => {

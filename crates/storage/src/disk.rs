@@ -16,9 +16,33 @@ use std::path::Path;
 
 use jaguar_common::error::{JaguarError, Result};
 use jaguar_common::ids::PageId;
+use jaguar_common::retry::{self, RetryPolicy};
+use jaguar_common::{fault, obs};
 use parking_lot::Mutex;
 
 use crate::page::{seal_checksum, verify_checksum};
+
+/// Run one fault-injectable I/O step under the storage retry policy.
+///
+/// Every attempt consults the named fault site first, so the chaos harness
+/// can model both *transient* faults (`site=1`: the first attempt fails,
+/// the retry recovers, the statement succeeds) and *permanent* ones (a
+/// bare always-on `site`: retries exhaust and the statement fails cleanly,
+/// never poisoning the engine). Only injected faults and `Interrupted`
+/// syscalls are transient; real media errors surface on the first attempt,
+/// and `read_exact`/`write_all` absorb `Interrupted` internally, so a real
+/// partial transfer is never re-driven.
+fn with_storage_retry<T>(site: &str, mut op: impl FnMut() -> Result<T>) -> Result<T> {
+    RetryPolicy::storage().run(site, retry::is_transient_storage, || {
+        if fault::should_fail(site) {
+            obs::global().counter("storage.faults_injected").inc();
+            return Err(JaguarError::Io(std::io::Error::other(format!(
+                "injected fault at {site}"
+            ))));
+        }
+        op()
+    })
+}
 
 enum Backing {
     File(File),
@@ -93,13 +117,18 @@ impl DiskManager {
         // A zeroed page has checksum-of-zeros; seal so a read-back verifies.
         let mut sealed = zero;
         seal_checksum(&mut sealed);
-        match &mut inner.backing {
-            Backing::File(f) => {
-                f.seek(SeekFrom::Start(id as u64 * self.page_size as u64))?;
-                f.write_all(&sealed)?;
+        // The extension rides the write fault site: an INSERT that grows the
+        // file sees the same injected faults as one updating in place.
+        with_storage_retry("storage.disk.write", || {
+            match &mut inner.backing {
+                Backing::File(f) => {
+                    f.seek(SeekFrom::Start(id as u64 * self.page_size as u64))?;
+                    f.write_all(&sealed)?;
+                }
+                Backing::Memory(m) => m.extend_from_slice(&sealed),
             }
-            Backing::Memory(m) => m.extend_from_slice(&sealed),
-        }
+            Ok(())
+        })?;
         inner.page_count = id + 1;
         Ok(PageId(id))
     }
@@ -113,13 +142,16 @@ impl DiskManager {
             return Err(JaguarError::Storage(format!("{id} does not exist")));
         }
         let off = id.0 as usize * self.page_size;
-        match &mut inner.backing {
-            Backing::File(f) => {
-                f.seek(SeekFrom::Start(off as u64))?;
-                f.read_exact(buf)?;
+        with_storage_retry("storage.disk.read", || {
+            match &mut inner.backing {
+                Backing::File(f) => {
+                    f.seek(SeekFrom::Start(off as u64))?;
+                    f.read_exact(buf)?;
+                }
+                Backing::Memory(m) => buf.copy_from_slice(&m[off..off + self.page_size]),
             }
-            Backing::Memory(m) => buf.copy_from_slice(&m[off..off + self.page_size]),
-        }
+            Ok(())
+        })?;
         drop(inner);
         verify_checksum(buf)
     }
@@ -133,14 +165,16 @@ impl DiskManager {
             return Err(JaguarError::Storage(format!("{id} does not exist")));
         }
         let off = id.0 as usize * self.page_size;
-        match &mut inner.backing {
-            Backing::File(f) => {
-                f.seek(SeekFrom::Start(off as u64))?;
-                f.write_all(buf)?;
+        with_storage_retry("storage.disk.write", || {
+            match &mut inner.backing {
+                Backing::File(f) => {
+                    f.seek(SeekFrom::Start(off as u64))?;
+                    f.write_all(buf)?;
+                }
+                Backing::Memory(m) => m[off..off + self.page_size].copy_from_slice(buf),
             }
-            Backing::Memory(m) => m[off..off + self.page_size].copy_from_slice(buf),
-        }
-        Ok(())
+            Ok(())
+        })
     }
 
     /// Flush file-backed data all the way to stable storage (`sync_all`,
@@ -149,8 +183,11 @@ impl DiskManager {
     pub fn sync(&self) -> Result<()> {
         let mut inner = self.inner.lock();
         if let Backing::File(f) = &mut inner.backing {
-            f.flush()?;
-            f.sync_all()?;
+            with_storage_retry("storage.disk.fsync", || {
+                f.flush()?;
+                f.sync_all()?;
+                Ok(())
+            })?;
         }
         Ok(())
     }
@@ -160,8 +197,60 @@ impl DiskManager {
 mod tests {
     use super::*;
 
+    /// Fault sites are process-global, so tests that arm them (or do I/O
+    /// that consults them) run serialized.
+    fn serial() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+        LOCK.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    #[test]
+    fn injected_transient_read_fault_recovers() {
+        let _g = serial();
+        let dm = DiskManager::in_memory(128);
+        let id = dm.allocate_page().unwrap();
+        fault::arm("storage.disk.read", 1);
+        let mut buf = vec![0u8; 128];
+        // One injected failure; the storage retry policy absorbs it.
+        dm.read_page(id, &mut buf).unwrap();
+        fault::disarm("storage.disk.read");
+    }
+
+    #[test]
+    fn injected_permanent_write_fault_fails_cleanly() {
+        let _g = serial();
+        let dm = DiskManager::in_memory(128);
+        let id = dm.allocate_page().unwrap();
+        let mut buf = vec![0u8; 128];
+        fault::arm("storage.disk.write", fault::ALWAYS);
+        let err = dm.write_page(id, &mut buf).unwrap_err();
+        assert!(err.to_string().contains("injected"), "{err}");
+        fault::disarm("storage.disk.write");
+        // Not poisoned: the identical write now succeeds and reads back.
+        dm.write_page(id, &mut buf).unwrap();
+        let mut back = vec![0u8; 128];
+        dm.read_page(id, &mut back).unwrap();
+    }
+
+    #[test]
+    fn injected_fsync_fault_surfaces_then_clears() {
+        let _g = serial();
+        let dir = std::env::temp_dir().join(format!("jaguar-disk-fs-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("sync.db");
+        let _ = std::fs::remove_file(&path);
+        let dm = DiskManager::open(&path, 256).unwrap();
+        dm.allocate_page().unwrap();
+        fault::arm("storage.disk.fsync", fault::ALWAYS);
+        assert!(dm.sync().is_err());
+        fault::disarm("storage.disk.fsync");
+        dm.sync().unwrap();
+        let _ = std::fs::remove_file(&path);
+    }
+
     #[test]
     fn memory_alloc_write_read() {
+        let _g = serial();
         let dm = DiskManager::in_memory(256);
         let a = dm.allocate_page().unwrap();
         let b = dm.allocate_page().unwrap();
@@ -180,6 +269,7 @@ mod tests {
 
     #[test]
     fn fresh_page_reads_back_clean() {
+        let _g = serial();
         let dm = DiskManager::in_memory(128);
         let id = dm.allocate_page().unwrap();
         let mut buf = vec![0u8; 128];
@@ -189,6 +279,7 @@ mod tests {
 
     #[test]
     fn missing_page_is_error() {
+        let _g = serial();
         let dm = DiskManager::in_memory(128);
         let mut buf = vec![0u8; 128];
         assert!(dm.read_page(PageId(0), &mut buf).is_err());
@@ -197,6 +288,7 @@ mod tests {
 
     #[test]
     fn file_backed_roundtrip_and_reopen() {
+        let _g = serial();
         let dir = std::env::temp_dir().join(format!("jaguar-disk-{}", std::process::id()));
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("t.db");
@@ -221,6 +313,7 @@ mod tests {
 
     #[test]
     fn reopen_with_bad_length_is_corruption() {
+        let _g = serial();
         let dir = std::env::temp_dir().join(format!("jaguar-disk2-{}", std::process::id()));
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("bad.db");
@@ -231,6 +324,7 @@ mod tests {
 
     #[test]
     fn on_disk_corruption_detected() {
+        let _g = serial();
         let dm = DiskManager::in_memory(128);
         let id = dm.allocate_page().unwrap();
         let mut buf = vec![0u8; 128];

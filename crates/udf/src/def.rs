@@ -5,6 +5,7 @@ use std::sync::Arc;
 
 use jaguar_common::cancel::CancelToken;
 use jaguar_common::error::{JaguarError, Result};
+use jaguar_common::retry::{self, RetryPolicy};
 use jaguar_common::Value;
 use jaguar_ipc::executor::WorkerProcess;
 use jaguar_ipc::proto::CallbackHandler;
@@ -152,6 +153,39 @@ pub struct UdfDef {
     pub volatility: Volatility,
 }
 
+/// Retry budget for *acquiring* an isolated executor — a pool checkout or
+/// a process spawn, strictly before any UDF code runs. Transient spawn
+/// failures (EAGAIN under fork pressure, a momentarily-busy binary) are
+/// worth a short backoff; pool-saturation timeouts are not retried (the
+/// checkout already waited its configured budget, and doubling it here
+/// would just deepen the overload). Because nothing in this path is an
+/// invocation, retrying cannot mask a circuit-breaker trip: the breaker
+/// counts invoke failures, which pass through untouched.
+fn acquire_retry() -> RetryPolicy {
+    RetryPolicy {
+        max_attempts: 3,
+        base_delay_ms: 5,
+        max_delay_ms: 200,
+        ..RetryPolicy::default()
+    }
+}
+
+fn checkout_worker(pool: &Arc<WorkerPool>) -> Result<PooledWorker> {
+    acquire_retry().run(
+        "udf.pool.checkout",
+        retry::is_transient_worker_acquire,
+        || pool.checkout(),
+    )
+}
+
+fn spawn_worker() -> Result<WorkerProcess> {
+    acquire_retry().run(
+        "udf.worker.spawn",
+        retry::is_transient_worker_acquire,
+        WorkerProcess::spawn,
+    )
+}
+
 impl UdfDef {
     pub fn new(name: impl Into<String>, signature: UdfSignature, imp: UdfImpl) -> UdfDef {
         UdfDef {
@@ -203,7 +237,7 @@ impl UdfDef {
             )?)),
             UdfImpl::IsolatedNative { worker_fn } => match pool {
                 Some(pool) => {
-                    let mut worker = pool.checkout()?;
+                    let mut worker = checkout_worker(pool)?;
                     worker.load_native(worker_fn)?;
                     Ok(Box::new(PooledIsolatedUdf {
                         name: self.name.clone(),
@@ -213,7 +247,7 @@ impl UdfDef {
                     }))
                 }
                 None => {
-                    let mut worker = WorkerProcess::spawn()?;
+                    let mut worker = spawn_worker()?;
                     worker.load_native(worker_fn)?;
                     Ok(Box::new(IsolatedUdf {
                         name: self.name.clone(),
@@ -225,7 +259,7 @@ impl UdfDef {
             },
             UdfImpl::IsolatedVm(spec) => match pool {
                 Some(pool) => {
-                    let mut worker = pool.checkout()?;
+                    let mut worker = checkout_worker(pool)?;
                     worker.load_vm(
                         &spec.module_bytes,
                         &spec.function,
@@ -242,7 +276,7 @@ impl UdfDef {
                     }))
                 }
                 None => {
-                    let mut worker = WorkerProcess::spawn()?;
+                    let mut worker = spawn_worker()?;
                     worker.load_vm(
                         &spec.module_bytes,
                         &spec.function,

@@ -43,6 +43,7 @@ use std::sync::Arc;
 use jaguar_common::config::{Config, SyncMode};
 use jaguar_common::error::{JaguarError, Result};
 use jaguar_common::obs;
+use jaguar_common::retry::{self, RetryPolicy};
 use jaguar_storage::page::set_page_lsn;
 use jaguar_storage::{BufferPool, WalHook};
 use parking_lot::{Condvar, Mutex, RwLock};
@@ -160,7 +161,20 @@ impl Wal {
         let lsn = inner.next_lsn;
         let rec = make(lsn)?;
         let frame = encode_frame(lsn, &rec);
-        inner.file.write_all(&frame)?;
+        // The injected fault fires *before* any byte reaches the file, so a
+        // failed append leaves no torn frame: the LSN is not consumed and
+        // the log is byte-identical to before the call. Real `write_all`
+        // errors are never retried — the frame may be partially on disk,
+        // and re-driving it would interleave two copies (the torn-tail
+        // reader in `record` then stops at the first bad frame anyway).
+        RetryPolicy::storage().run("wal.append", retry::is_transient_storage, || {
+            if jaguar_common::fault::should_fail("wal.append") {
+                return Err(JaguarError::Io(std::io::Error::other(
+                    "injected fault at wal.append",
+                )));
+            }
+            inner.file.write_all(&frame).map_err(JaguarError::from)
+        })?;
         inner.next_lsn = lsn + 1;
         inner.log_bytes += frame.len() as u64;
         if matches!(rec, WalRecord::Commit { .. }) {
@@ -291,7 +305,20 @@ impl Wal {
             drop(st);
             // Everything appended before this load rides along.
             let target = self.appended_lsn.load(Ordering::Acquire);
-            let res = self.sync_file.sync_data();
+            // Fault-injectable group-commit fsync. The site is consulted on
+            // every attempt: armed with a count, it models a transient
+            // glitch the retry recovers from (the commit succeeds); armed
+            // always-on, retries exhaust and the commit fails cleanly —
+            // `durable_lsn` is not advanced, `syncing` is reset below, and
+            // the next commit elects a fresh leader and succeeds.
+            let res = RetryPolicy::storage().run("wal.fsync", retry::is_transient_storage, || {
+                if jaguar_common::fault::should_fail("wal.fsync") {
+                    return Err(JaguarError::Io(std::io::Error::other(
+                        "injected fault at wal.fsync",
+                    )));
+                }
+                self.sync_file.sync_data().map_err(JaguarError::from)
+            });
             obs::global().counter("wal.fsyncs").inc();
             st = self.sync_state.lock();
             st.syncing = false;
@@ -386,12 +413,90 @@ mod tests {
         dir
     }
 
+    /// Fault sites are process-global; tests that arm them (or append/sync,
+    /// which consult them) run serialized.
+    fn serial() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+        LOCK.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    #[test]
+    fn injected_transient_fsync_recovers_within_commit() {
+        let _g = serial();
+        let dir = tmpdir("fsync-transient");
+        let mut config = cfg();
+        config.sync_mode = SyncMode::Full;
+        let (wal, _) = Wal::open(&dir, &config).unwrap();
+        let disk = Arc::new(DiskManager::open(&dir.join("t.jag"), 256).unwrap());
+        let pool = Arc::new(BufferPool::new(disk, 8));
+        wal.attach(&pool);
+        let h = pool.allocate().unwrap();
+        h.write()[10] = 1;
+        drop(h);
+        jaguar_common::fault::arm("wal.fsync", 1);
+        // One injected fsync failure; the retry recovers and the commit
+        // lands durably.
+        let lsn = wal.commit_table("t.jag", &pool).unwrap().unwrap();
+        jaguar_common::fault::disarm("wal.fsync");
+        assert!(wal.durable_lsn() >= lsn);
+    }
+
+    #[test]
+    fn injected_permanent_fsync_fails_commit_cleanly_then_next_succeeds() {
+        let _g = serial();
+        let dir = tmpdir("fsync-permanent");
+        let mut config = cfg();
+        config.sync_mode = SyncMode::Full;
+        let (wal, _) = Wal::open(&dir, &config).unwrap();
+        let disk = Arc::new(DiskManager::open(&dir.join("t.jag"), 256).unwrap());
+        let pool = Arc::new(BufferPool::new(disk, 8));
+        wal.attach(&pool);
+        let h = pool.allocate().unwrap();
+        h.write()[10] = 2;
+        drop(h);
+        jaguar_common::fault::arm("wal.fsync", jaguar_common::fault::ALWAYS);
+        let err = wal.commit_table("t.jag", &pool).unwrap_err();
+        assert!(err.to_string().contains("injected"), "{err}");
+        jaguar_common::fault::disarm("wal.fsync");
+        // Clean failure: the page kept its no-steal protection and the next
+        // commit elects a fresh sync leader and succeeds.
+        assert_eq!(pool.snapshot_unlogged().len(), 1);
+        wal.commit_table("t.jag", &pool).unwrap().unwrap();
+        // The log is consistent: a reopen-with-replay sees committed txns.
+        drop(wal);
+        let (_wal, stats) = Wal::open(&dir, &cfg()).unwrap();
+        assert!(stats.recovered_txns >= 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn injected_append_fault_leaves_log_untorn() {
+        let _g = serial();
+        let dir = tmpdir("append-fault");
+        let (wal, _) = Wal::open(&dir, &cfg()).unwrap();
+        let disk = Arc::new(DiskManager::open(&dir.join("t.jag"), 256).unwrap());
+        let pool = Arc::new(BufferPool::new(disk, 8));
+        wal.attach(&pool);
+        let h = pool.allocate().unwrap();
+        h.write()[10] = 3;
+        drop(h);
+        let bytes_before = wal.log_bytes();
+        jaguar_common::fault::arm("wal.append", jaguar_common::fault::ALWAYS);
+        assert!(wal.commit_table("t.jag", &pool).is_err());
+        jaguar_common::fault::disarm("wal.append");
+        // The fault fires before any byte reaches the file: no torn frame.
+        assert_eq!(wal.log_bytes(), bytes_before);
+        wal.commit_table("t.jag", &pool).unwrap().unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
     fn cfg() -> Config {
         Config::default().with_page_size(256)
     }
 
     #[test]
     fn commit_and_replay_roundtrip() {
+        let _g = serial();
         let dir = tmpdir("roundtrip");
         {
             let (wal, stats) = Wal::open(&dir, &cfg()).unwrap();
@@ -422,6 +527,7 @@ mod tests {
 
     #[test]
     fn uncommitted_txn_not_replayed() {
+        let _g = serial();
         let dir = tmpdir("uncommitted");
         {
             let (wal, _) = Wal::open(&dir, &cfg()).unwrap();
@@ -459,6 +565,7 @@ mod tests {
 
     #[test]
     fn checkpoint_truncates_log() {
+        let _g = serial();
         let dir = tmpdir("ckpt");
         let (wal, _) = Wal::open(&dir, &cfg()).unwrap();
         let disk = Arc::new(DiskManager::open(&dir.join("t.jag"), 256).unwrap());
@@ -486,6 +593,7 @@ mod tests {
 
     #[test]
     fn should_checkpoint_by_commit_count() {
+        let _g = serial();
         let dir = tmpdir("every");
         let mut config = cfg();
         config.checkpoint_every = 2;
@@ -506,6 +614,7 @@ mod tests {
 
     #[test]
     fn group_commit_under_concurrency() {
+        let _g = serial();
         let dir = tmpdir("group");
         let mut config = cfg();
         config.sync_mode = SyncMode::Full;
@@ -539,6 +648,7 @@ mod tests {
 
     #[test]
     fn barrier_syncs_in_normal_mode() {
+        let _g = serial();
         let dir = tmpdir("barrier");
         let mut config = cfg();
         config.sync_mode = SyncMode::Normal;
@@ -561,6 +671,7 @@ mod tests {
 
     #[test]
     fn commit_failure_keeps_no_steal_protection() {
+        let _g = serial();
         let dir = tmpdir("failkeep");
         let (wal, _) = Wal::open(&dir, &cfg()).unwrap();
         let disk = Arc::new(DiskManager::open(&dir.join("t.jag"), 256).unwrap());

@@ -205,30 +205,41 @@ fn server_stop_waits_for_inflight_query() {
 fn connection_limit_rejects_with_busy_error() {
     let db = Database::with_config(Config {
         max_connections: 1,
+        admission_queue_depth: 0, // no queueing: sheds are immediate
+        admission_timeout_ms: 100,
         ..Config::default()
     });
     db.execute("CREATE TABLE t (id INT)").unwrap();
     db.execute("INSERT INTO t VALUES (1)").unwrap();
     let server = db.serve("127.0.0.1:0").unwrap();
+    let opts = jaguar_core::ClientOptions::default().no_retry();
 
-    let mut first = Client::connect(server.addr()).unwrap();
-    first.ping().unwrap(); // slot taken and confirmed
+    // The admission permit is claimed by the first *data-plane* request.
+    let mut first = Client::connect_with(server.addr(), opts).unwrap();
+    assert_eq!(first.execute("SELECT id FROM t").unwrap().rows.len(), 1);
 
-    let mut second = Client::connect(server.addr()).unwrap();
+    // The control plane is always admitted, even at capacity…
+    let mut second = Client::connect_with(server.addr(), opts).unwrap();
+    second.ping().unwrap();
+    // …but data-plane work on a second session is shed with a retryable
+    // busy error (no retry here, so the raw shed is observable).
     let err = second
-        .ping()
-        .expect_err("second connection must be refused");
+        .execute("SELECT id FROM t")
+        .expect_err("second session must be shed");
     assert!(err.to_string().contains("busy"), "{err}");
 
     // The first client is unaffected.
     assert_eq!(first.execute("SELECT id FROM t").unwrap().rows.len(), 1);
 
-    // Dropping the first connection frees the slot for a newcomer.
+    // A shed is not a disconnect: once the first session leaves, the very
+    // same second connection acquires the freed permit.
     first.quit().unwrap();
     for attempt in 0.. {
-        let mut third = Client::connect(server.addr()).unwrap();
-        match third.ping() {
-            Ok(()) => break,
+        match second.execute("SELECT id FROM t") {
+            Ok(r) => {
+                assert_eq!(r.rows.len(), 1);
+                break;
+            }
             Err(_) if attempt < 50 => std::thread::sleep(Duration::from_millis(20)),
             Err(e) => panic!("slot never freed: {e}"),
         }
