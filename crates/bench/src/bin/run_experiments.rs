@@ -24,7 +24,7 @@ fn main() {
     for a in &args {
         match a.as_str() {
             "--paper" => scale = Scale::Paper,
-            "--quick" => scale = Scale::Quick,
+            "--quick" | "--smoke" => scale = Scale::Quick,
             "--markdown" => markdown = true,
             other => names.push(other.to_string()),
         }

@@ -1847,6 +1847,192 @@ impl ExperimentCtx {
         Ok(t)
     }
 
+    /// Security overhead (not in the paper — the jaguar-sec subsystem):
+    /// label enforcement and encryption at rest, each measured against an
+    /// unsecured twin computing the same result.
+    ///
+    /// * **labels** — a labeled scan with a generic-UDF projection run as
+    ///   a tenant principal, against the system principal running the same
+    ///   query with the tenant predicate written by hand (the twin carries
+    ///   exactly the predicate the rewrite injects, so the delta is
+    ///   authorization + rewrite cost, not filtering cost). Every secured
+    ///   rep's rows are verified equal to the twin's; any divergence fails
+    ///   the experiment.
+    /// * **encryption** — per [`jaguar_core::SyncMode`], the WAL insert
+    ///   workload plus a cold-reopen full scan, encrypted vs plaintext,
+    ///   with the row sets verified identical across the pair.
+    ///
+    /// Writes machine-readable `BENCH_sec.json`.
+    pub fn sec(&self) -> Result<Table> {
+        use jaguar_core::{Config, SessionContext, SyncMode, Tuple};
+        let card = self.scale.cardinality();
+        let reps = 9usize;
+        let (cores, degraded) = Self::host_profile("sec");
+        let mut t = Table::new(
+            "Security overhead: labels and encryption at rest (extension)",
+            &["measurement", "secured p50", "unsecured p50", "overhead"],
+        );
+        let quantile = |lat: &mut Vec<u64>, p: f64| -> u64 {
+            lat.sort_unstable();
+            let rank = ((p * lat.len() as f64).ceil() as usize).clamp(1, lat.len());
+            lat[rank - 1]
+        };
+        let norm = |rows: &[Tuple]| -> Vec<String> {
+            let mut v: Vec<String> = rows.iter().map(|r| format!("{r:?}")).collect();
+            v.sort();
+            v
+        };
+
+        // --- label enforcement ---------------------------------------
+        let db = Database::with_config(Config::default().with_dop(1));
+        db.execute("CREATE TABLE sec_rel (id INT, tenant VARCHAR, bytearray BYTEARRAY)")?;
+        {
+            let rel = db.catalog().table("sec_rel")?;
+            for i in 0..card {
+                let tenant = if i % 2 == 0 { "tech" } else { "energy" };
+                rel.insert(Tuple::new(vec![
+                    Value::Int(i as i64),
+                    Value::Str(tenant.into()),
+                    Value::Bytes(jaguar_core::ByteArray::patterned(100, i as u64)),
+                ]))?;
+            }
+        }
+        db.register_udf(def_for(Design::Cpp));
+        db.set_table_label(
+            "sec_rel",
+            Some("tenant = session.tenant OR session.role = 'admin'"),
+        )?;
+        let alice = SessionContext::new("alice")
+            .with_attr("tenant", "tech")
+            .with_attr("role", "member");
+        let secured_sql = "SELECT id, udf(bytearray, 50, 1, 0) FROM sec_rel WHERE id % 3 <> 1";
+        let twin_sql = "SELECT id, udf(bytearray, 50, 1, 0) FROM sec_rel \
+                        WHERE tenant = 'tech' AND id % 3 <> 1";
+        let reference = norm(&db.execute(twin_sql)?.rows); // also the warm-up
+        let _ = db.execute_as(secured_sql, Some(&alice))?;
+        let (mut sec_us, mut twin_us) = (Vec::with_capacity(reps), Vec::with_capacity(reps));
+        for _ in 0..reps {
+            let start = Instant::now();
+            let r = db.execute_as(secured_sql, Some(&alice))?;
+            sec_us.push(start.elapsed().as_micros() as u64);
+            if norm(&r.rows) != reference {
+                return Err(JaguarError::Other(
+                    "label-secured rows diverged from the unsecured twin".into(),
+                ));
+            }
+            let start = Instant::now();
+            db.execute(twin_sql)?;
+            twin_us.push(start.elapsed().as_micros() as u64);
+        }
+        let (sec_p50, sec_p99) = (quantile(&mut sec_us, 0.50), quantile(&mut sec_us, 0.99));
+        let (twin_p50, twin_p99) = (quantile(&mut twin_us, 0.50), quantile(&mut twin_us, 0.99));
+        let label_overhead_pct =
+            (sec_p50 as f64 - twin_p50 as f64) * 100.0 / (twin_p50 as f64).max(1.0);
+        t.row(vec![
+            "row label (rewrite + filter)".into(),
+            format!("{sec_p50}us"),
+            format!("{twin_p50}us"),
+            format!("{label_overhead_pct:.1}%"),
+        ]);
+
+        // --- encryption at rest --------------------------------------
+        let inserts = match self.scale {
+            Scale::Paper => 1_000usize,
+            Scale::Quick => 200,
+        };
+        let mut json_modes = Vec::new();
+        for (mode, label) in [
+            (SyncMode::Off, "off"),
+            (SyncMode::Normal, "normal"),
+            (SyncMode::Full, "full"),
+        ] {
+            // (insert p50, insert p99, cold scan us, normalized rows)
+            let mut pair: Vec<(u64, u64, u64, Vec<String>)> = Vec::new();
+            for encrypted in [false, true] {
+                let dir = std::env::temp_dir().join(format!(
+                    "jaguar-bench-sec-{label}-{}-{}",
+                    if encrypted { "enc" } else { "plain" },
+                    std::process::id()
+                ));
+                let _ = std::fs::remove_dir_all(&dir);
+                std::fs::create_dir_all(&dir)?;
+                let mut config = Config::default().with_sync_mode(mode);
+                if encrypted {
+                    config = config.with_encryption_key("bench-passphrase");
+                }
+                let db = Database::open(&dir, config.clone())?;
+                db.execute("CREATE TABLE events (id INT, payload BYTEARRAY)")?;
+                let mut lat_us = Vec::with_capacity(inserts);
+                for i in 0..inserts {
+                    let sql = format!(
+                        "INSERT INTO events VALUES ({i}, X'0102030405060708090A0B0C0D0E0F10')"
+                    );
+                    let start = Instant::now();
+                    db.execute(&sql)?;
+                    lat_us.push(start.elapsed().as_micros() as u64);
+                }
+                db.checkpoint()?;
+                drop(db);
+                // Cold reopen: the scan pays the page-open (decrypt) cost.
+                let db = Database::open(&dir, config)?;
+                let start = Instant::now();
+                let r = db.execute("SELECT id FROM events")?;
+                let scan_us = start.elapsed().as_micros() as u64;
+                drop(db);
+                let _ = std::fs::remove_dir_all(&dir);
+                pair.push((
+                    quantile(&mut lat_us, 0.50),
+                    quantile(&mut lat_us, 0.99),
+                    scan_us,
+                    norm(&r.rows),
+                ));
+            }
+            let (plain, enc) = (&pair[0], &pair[1]);
+            if plain.3 != enc.3 {
+                return Err(JaguarError::Other(format!(
+                    "encrypted rows diverged from the plaintext twin (sync={label})"
+                )));
+            }
+            let insert_overhead_pct =
+                (enc.0 as f64 - plain.0 as f64) * 100.0 / (plain.0 as f64).max(1.0);
+            t.row(vec![
+                format!("page encryption, insert (sync={label})"),
+                format!("{}us", enc.0),
+                format!("{}us", plain.0),
+                format!("{insert_overhead_pct:.1}%"),
+            ]);
+            json_modes.push(format!(
+                "      {{\"sync_mode\": \"{label}\", \"plain_insert_p50_us\": {}, \
+                 \"plain_insert_p99_us\": {}, \"encrypted_insert_p50_us\": {}, \
+                 \"encrypted_insert_p99_us\": {}, \"insert_overhead_pct\": {:.2}, \
+                 \"plain_cold_scan_us\": {}, \"encrypted_cold_scan_us\": {}, \
+                 \"rows_verified\": true}}",
+                plain.0, plain.1, enc.0, enc.1, insert_overhead_pct, plain.2, enc.2
+            ));
+        }
+        t.note(format!(
+            "label run: {card}-row relation, {reps} reps, rows verified against the \
+             hand-filtered twin every rep; target overhead < 10%"
+        ));
+        t.note(format!(
+            "encryption run: {inserts} single-row INSERTs per sync mode + cold-reopen scan, \
+             encrypted vs plaintext twins row-verified"
+        ));
+        let json = format!(
+            "{{\n  \"experiment\": \"security_overhead\",\n  \"cardinality\": {card},\n  \
+             \"reps\": {reps},\n  \"host_cores\": {cores},\n  \"degraded_host\": {degraded},\n  \
+             \"label\": {{\"secured_p50_us\": {sec_p50}, \"secured_p99_us\": {sec_p99}, \
+             \"unsecured_p50_us\": {twin_p50}, \"unsecured_p99_us\": {twin_p99}, \
+             \"overhead_pct\": {label_overhead_pct:.2}, \"target_pct\": 10.0, \
+             \"rows_verified\": true}},\n  \
+             \"encryption\": {{\"inserts_per_mode\": {inserts}, \"modes\": [\n{}\n  ]}}\n}}\n",
+            json_modes.join(",\n")
+        );
+        std::fs::write("BENCH_sec.json", json)?;
+        t.note("machine-readable copy written to BENCH_sec.json");
+        Ok(t)
+    }
+
     /// Every experiment, in paper order.
     pub fn all(&self) -> Result<Vec<Table>> {
         Ok(vec![
@@ -1868,6 +2054,7 @@ impl ExperimentCtx {
             self.batch()?,
             self.tier()?,
             self.opt()?,
+            self.sec()?,
         ])
     }
 
@@ -1892,8 +2079,9 @@ impl ExperimentCtx {
             "batch" => self.batch(),
             "tier" => self.tier(),
             "opt" => self.opt(),
+            "sec" => self.sec(),
             other => Err(JaguarError::Other(format!(
-                "unknown experiment '{other}' (try table1, fig4..fig8, sfi, jit, fuel, index, pool, shipping, wal, cancel, parallel, batch, tier, opt)"
+                "unknown experiment '{other}' (try table1, fig4..fig8, sfi, jit, fuel, index, pool, shipping, wal, cancel, parallel, batch, tier, opt, sec)"
             ))),
         }
     }

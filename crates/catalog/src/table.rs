@@ -12,6 +12,7 @@ use jaguar_common::schema::{Schema, SchemaRef};
 use jaguar_common::stream::{read_tuple, write_tuple};
 use jaguar_common::DataType;
 use jaguar_common::{Tuple, Value};
+use jaguar_sec::PageCipher;
 use jaguar_storage::{BTree, BufferPool, DiskManager, HeapFile};
 use jaguar_wal::Wal;
 use parking_lot::RwLock;
@@ -65,7 +66,8 @@ impl Table {
     }
 
     /// Create a table backed by a file on disk, logging through `wal` if
-    /// the catalog has one.
+    /// the catalog has one and encrypting pages with `cipher` if the
+    /// database has one.
     pub fn create_at(
         id: TableId,
         name: &str,
@@ -73,9 +75,14 @@ impl Table {
         path: &Path,
         config: &Config,
         wal: Option<&Arc<Wal>>,
+        cipher: Option<Arc<dyn PageCipher>>,
     ) -> Result<Table> {
         let _ = std::fs::remove_file(path);
-        let disk = Arc::new(DiskManager::open(path, config.page_size)?);
+        let disk = Arc::new(DiskManager::open_with_cipher(
+            path,
+            config.page_size,
+            cipher,
+        )?);
         let pool = Arc::new(BufferPool::new(disk, config.buffer_pool_pages));
         let wal = Self::bind_wal(wal, path, &pool);
         let heap = Arc::new(HeapFile::create(pool)?);
@@ -104,8 +111,13 @@ impl Table {
         path: &Path,
         config: &Config,
         wal: Option<&Arc<Wal>>,
+        cipher: Option<Arc<dyn PageCipher>>,
     ) -> Result<Table> {
-        let disk = Arc::new(DiskManager::open(path, config.page_size)?);
+        let disk = Arc::new(DiskManager::open_with_cipher(
+            path,
+            config.page_size,
+            cipher,
+        )?);
         let pool = Arc::new(BufferPool::new(disk, config.buffer_pool_pages));
         let wal = Self::bind_wal(wal, path, &pool);
         let heap = Arc::new(HeapFile::open(pool)?);

@@ -128,6 +128,22 @@ pub struct Config {
     /// deterministic jitter; the server's `retry_after_ms` hint floors
     /// each sleep).
     pub client_retry_base_ms: u64,
+    /// Require wire sessions to authenticate (send `Hello`) before issuing
+    /// statements. Unauthenticated sessions run as the default-deny
+    /// `anonymous` principal: any security-labeled table denies them.
+    /// In-process (embedded) calls are the trusted system principal and are
+    /// unaffected.
+    pub auth_required: bool,
+    /// Master passphrase for encryption at rest. When set at database
+    /// creation, a per-database data key is generated, wrapped under this
+    /// key, and every data page and WAL page image is stored encrypted;
+    /// re-opening requires the same passphrase. `None` (default) stores
+    /// plaintext pages. In-memory databases ignore it.
+    pub encryption_key: Option<String>,
+    /// Whether observability surfaces (the server's slow-query log) may
+    /// include full SQL text. Off by default: literals are redacted so
+    /// tenant data cannot leak through logs.
+    pub log_query_text: bool,
     /// Commit durability level for on-disk databases (see [`SyncMode`]).
     pub sync_mode: SyncMode,
     /// Checkpoint (flush data files + truncate the log) once the
@@ -174,6 +190,9 @@ impl Default for Config {
             admission_timeout_ms: 1_000,
             client_retry_attempts: 3,
             client_retry_base_ms: 25,
+            auth_required: false,
+            encryption_key: None,
+            log_query_text: false,
             sync_mode: SyncMode::Full,
             wal_segment_bytes: 16 * 1024 * 1024,
             checkpoint_every: 1_000,
@@ -317,6 +336,27 @@ impl Config {
         self
     }
 
+    /// Require wire sessions to authenticate before running statements
+    /// (unauthenticated sessions become the default-deny `anonymous`
+    /// principal).
+    pub fn with_auth_required(mut self, on: bool) -> Self {
+        self.auth_required = on;
+        self
+    }
+
+    /// Master passphrase for encryption at rest (`None` = plaintext pages).
+    pub fn with_encryption_key(mut self, key: impl Into<String>) -> Self {
+        self.encryption_key = Some(key.into());
+        self
+    }
+
+    /// Allow full SQL text in the slow-query log instead of the redacted
+    /// form.
+    pub fn with_log_query_text(mut self, on: bool) -> Self {
+        self.log_query_text = on;
+        self
+    }
+
     /// Commit durability level for on-disk databases.
     pub fn with_sync_mode(mut self, mode: SyncMode) -> Self {
         self.sync_mode = mode;
@@ -454,6 +494,21 @@ mod tests {
         assert_eq!(c.admission_timeout_ms, 123);
         assert_eq!(c.client_retry_attempts, 5);
         assert_eq!(c.client_retry_base_ms, 50);
+    }
+
+    #[test]
+    fn security_builders_compose() {
+        let c = Config::default();
+        assert!(!c.auth_required, "embedded use stays open by default");
+        assert!(c.encryption_key.is_none(), "plaintext pages by default");
+        assert!(!c.log_query_text, "query text redacted by default");
+        let c = c
+            .with_auth_required(true)
+            .with_encryption_key("hunter2")
+            .with_log_query_text(true);
+        assert!(c.auth_required);
+        assert_eq!(c.encryption_key.as_deref(), Some("hunter2"));
+        assert!(c.log_query_text);
     }
 
     #[test]

@@ -56,6 +56,9 @@ pub use jaguar_net::{CancelHandle, Client, ClientOptions, Server};
 /// teams, and `par.*` metric handles (see [`Config::dop`]).
 pub use jaguar_par as par;
 pub use jaguar_pool::{PoolConfig, PoolStatsSnapshot, WorkerPool};
+/// Multi-tenant security: session principals, label expressions, and the
+/// page cipher (see [`Config::auth_required`] / [`Config::encryption_key`]).
+pub use jaguar_sec::{LabelExpr, PageCipher, SessionContext};
 pub use jaguar_sql::{ExecStats, QueryResult};
 pub use jaguar_udf::{
     BatchError, BatchResult, CallbackHandler, NativeUdf, ScalarUdf, UdfDef, UdfImpl, UdfSignature,
@@ -209,6 +212,32 @@ impl Database {
         self.engine.new_statement_token()
     }
 
+    /// Execute one SQL statement under `session`'s principal. Security
+    /// labels set via [`Database::set_table_label`] /
+    /// [`Database::set_column_label`] are enforced by planner rewrites:
+    /// the row label becomes the plan's first filter predicate and denied
+    /// columns are pruned from `*` or rejected when named. `None` is the
+    /// trusted system principal (same as [`Database::execute`]).
+    pub fn execute_as(&self, sql: &str, session: Option<&SessionContext>) -> Result<QueryResult> {
+        self.engine.execute_as(sql, session)
+    }
+
+    /// Set (or clear, with `None`) the table's row-level security label: a
+    /// boolean expression over row columns and `session.*` attributes,
+    /// e.g. `tenant = session.tenant OR session.role = 'admin'`. Persisted
+    /// in the catalog manifest and enforced for every session-scoped
+    /// statement — SELECT, DML, EXPLAIN, serial or parallel.
+    pub fn set_table_label(&self, table: &str, label: Option<&str>) -> Result<()> {
+        self.catalog().set_table_label(table, label)
+    }
+
+    /// Set (or clear) a column-level security label; it may reference only
+    /// `session.*` attributes. A session for which it does not evaluate to
+    /// true cannot read or write the column.
+    pub fn set_column_label(&self, table: &str, column: &str, label: Option<&str>) -> Result<()> {
+        self.catalog().set_column_label(table, column, label)
+    }
+
     /// `(name, circuit-breaker state)` for every registered UDF —
     /// `"closed"`, `"open"` (quarantined), or `"half-open"` (probing).
     pub fn udf_breaker_states(&self) -> Vec<(String, &'static str)> {
@@ -224,6 +253,32 @@ impl Database {
     /// per-operator row counts and wall time (`EXPLAIN ANALYZE` output).
     pub fn explain_analyze(&self, sql: &str) -> Result<String> {
         let r = self.engine.execute(&format!("EXPLAIN ANALYZE {sql}"))?;
+        let mut out = String::new();
+        for row in &r.rows {
+            if let Value::Str(line) = row.get(0)? {
+                out.push_str(line);
+                out.push('\n');
+            }
+        }
+        Ok(out)
+    }
+
+    /// [`Database::explain`] under `session`'s principal: the injected
+    /// row-label filter renders with a `[labeled]` tag, and labeled tables
+    /// the session may not read fail here exactly as they do at execution.
+    pub fn explain_as(&self, sql: &str, session: Option<&SessionContext>) -> Result<String> {
+        self.engine.explain_as(sql, session)
+    }
+
+    /// [`Database::explain_analyze`] under `session`'s principal.
+    pub fn explain_analyze_as(
+        &self,
+        sql: &str,
+        session: Option<&SessionContext>,
+    ) -> Result<String> {
+        let r = self
+            .engine
+            .execute_as(&format!("EXPLAIN ANALYZE {sql}"), session)?;
         let mut out = String::new();
         for row in &r.rows {
             if let Value::Str(line) = row.get(0)? {

@@ -176,6 +176,27 @@ impl Client {
         )
     }
 
+    /// Introduce this session's principal and attributes to the server.
+    /// Every later statement on this connection executes under that
+    /// principal: row/column labels referencing `session.<attr>` resolve
+    /// against `attributes`. Send it once, before any statement; servers
+    /// running with `auth_required` treat sessions that skip it as the
+    /// default-deny anonymous principal.
+    pub fn hello(&mut self, principal: &str, attributes: &[(&str, &str)]) -> Result<()> {
+        match self.roundtrip(&ClientMsg::Hello {
+            principal: principal.into(),
+            attributes: attributes
+                .iter()
+                .map(|(k, v)| ((*k).into(), (*v).into()))
+                .collect(),
+        })? {
+            ServerMsg::HelloAck => Ok(()),
+            other => Err(JaguarError::Protocol(format!(
+                "expected HelloAck, got {other:?}"
+            ))),
+        }
+    }
+
     /// Execute one SQL statement on the server.
     ///
     /// While this call blocks, a [`CancelHandle`] taken from this client

@@ -27,6 +27,7 @@ use std::time::{Duration, Instant};
 use jaguar_common::cancel::CancelToken;
 use jaguar_common::error::{JaguarError, Result};
 use jaguar_common::{fault, obs};
+use jaguar_sec::SessionContext;
 use jaguar_sql::Engine;
 use jaguar_udf::{UdfDef, UdfImpl, UdfSignature, VmUdfSpec};
 use jaguar_vm::{Module, Permission, PermissionSet, ResourceLimits};
@@ -297,10 +298,14 @@ fn serve_client(
     let m_slow = reg.counter("net.slow_queries");
     let h_latency = reg.histogram("net.request_latency_us");
     let slow_query_ms = engine.catalog().config().slow_query_ms;
+    let log_query_text = engine.catalog().config().log_query_text;
     // Admission permit for this session's data plane, acquired lazily at
     // the first data-plane message and held until disconnect (statements
     // within one session never re-queue behind newcomers).
     let mut permit: Option<Permit> = None;
+    // Principal installed by `Hello`; statements before one (or without
+    // one, when `auth_required` is on) run as the anonymous principal.
+    let mut session: Option<SessionContext> = None;
 
     loop {
         let msg = match ClientMsg::read(&mut reader) {
@@ -336,15 +341,23 @@ fn serve_client(
             _ => None,
         };
         let started = Instant::now();
-        let reply = handle(msg, engine, queries);
+        let reply = handle(msg, engine, queries, &mut session);
         let elapsed = started.elapsed();
         h_latency.observe(elapsed);
         if let (Some(threshold), Some(sql)) = (slow_query_ms, sql_for_log) {
             if elapsed.as_millis() as u64 >= threshold {
                 m_slow.inc();
+                // Query text carries literals (tenant ids, search terms);
+                // it reaches the log verbatim only when the operator has
+                // opted in via `log_query_text`.
+                let text = if log_query_text {
+                    sql
+                } else {
+                    redact_literals(&sql)
+                };
                 obs::warn!(
                     target: TARGET,
-                    "slow query ({} ms >= {threshold} ms): {sql}",
+                    "slow query ({} ms >= {threshold} ms): {text}",
                     elapsed.as_millis()
                 );
             }
@@ -370,10 +383,78 @@ fn serve_client(
     }
 }
 
-fn handle(msg: ClientMsg, engine: &Engine, queries: &QueryRegistry) -> Option<ServerMsg> {
+/// The principal a statement on this connection executes as: the
+/// `Hello`-installed session if any; otherwise — under `auth_required` —
+/// the default-deny anonymous principal; otherwise the unrestricted
+/// system session (open mode, matching embedded use).
+fn effective_session(engine: &Engine, session: &Option<SessionContext>) -> Option<SessionContext> {
+    match session {
+        Some(s) => Some(s.clone()),
+        None if engine.catalog().config().auth_required => Some(SessionContext::anonymous()),
+        None => None,
+    }
+}
+
+/// Replace string and numeric literals in `sql` with `?` so log lines
+/// never leak row data (tenant ids, names, search terms). Identifiers and
+/// keywords survive, so the logged shape stays diagnosable.
+fn redact_literals(sql: &str) -> String {
+    let mut out = String::with_capacity(sql.len());
+    let mut chars = sql.chars().peekable();
+    while let Some(c) = chars.next() {
+        if c == '\'' {
+            // Swallow the whole literal, honouring '' escapes.
+            while let Some(c2) = chars.next() {
+                if c2 == '\'' {
+                    if chars.peek() == Some(&'\'') {
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+            }
+            out.push_str("'?'");
+        } else if c.is_ascii_digit()
+            && !out
+                .chars()
+                .next_back()
+                .is_some_and(|p| p.is_ascii_alphanumeric() || p == '_')
+        {
+            while chars
+                .peek()
+                .is_some_and(|c2| c2.is_ascii_alphanumeric() || *c2 == '.')
+            {
+                chars.next();
+            }
+            out.push('?');
+        } else {
+            out.push(c);
+        }
+    }
+    out
+}
+
+fn handle(
+    msg: ClientMsg,
+    engine: &Engine,
+    queries: &QueryRegistry,
+    session: &mut Option<SessionContext>,
+) -> Option<ServerMsg> {
     Some(match msg {
         ClientMsg::Quit => return None,
         ClientMsg::Ping => ServerMsg::Pong,
+        ClientMsg::Hello {
+            principal,
+            attributes,
+        } => {
+            let mut ctx = SessionContext::new(&principal);
+            for (k, v) in attributes {
+                ctx = ctx.with_attr(k, v);
+            }
+            obs::debug!(target: TARGET, "session authenticated as '{principal}'");
+            *session = Some(ctx);
+            ServerMsg::HelloAck
+        }
         ClientMsg::Metrics => {
             let snap = obs::global().snapshot();
             ServerMsg::Metrics {
@@ -395,7 +476,8 @@ fn handle(msg: ClientMsg, engine: &Engine, queries: &QueryRegistry) -> Option<Se
             ServerMsg::CancelAck { found }
         }
         ClientMsg::Execute { sql, query_id } => {
-            match execute_tracked(engine, queries, &sql, query_id) {
+            let eff = effective_session(engine, session);
+            match execute_tracked(engine, queries, &sql, query_id, eff.as_ref()) {
                 Ok(result) => ServerMsg::Result {
                     schema: (*result.schema).clone(),
                     rows: result.rows,
@@ -414,12 +496,15 @@ fn handle(msg: ClientMsg, engine: &Engine, queries: &QueryRegistry) -> Option<Se
                 },
             }
         }
-        ClientMsg::Explain { sql } => match engine.explain(&sql) {
-            Ok(text) => ServerMsg::Plan { text },
-            Err(e) => ServerMsg::Error {
-                message: e.to_string(),
-            },
-        },
+        ClientMsg::Explain { sql } => {
+            let eff = effective_session(engine, session);
+            match engine.explain_as(&sql, eff.as_ref()) {
+                Ok(text) => ServerMsg::Plan { text },
+                Err(e) => ServerMsg::Error {
+                    message: e.to_string(),
+                },
+            }
+        }
         ClientMsg::RegisterUdf {
             name,
             signature,
@@ -450,6 +535,7 @@ fn execute_tracked(
     queries: &QueryRegistry,
     sql: &str,
     query_id: u64,
+    session: Option<&SessionContext>,
 ) -> Result<jaguar_sql::QueryResult> {
     let token = engine.new_statement_token();
     let _guard = (query_id != 0).then(|| {
@@ -462,7 +548,7 @@ fn execute_tracked(
             id: query_id,
         }
     });
-    engine.execute_cancellable(sql, &token)
+    engine.execute_cancellable_as(sql, &token, session)
 }
 
 fn register_udf(
@@ -544,5 +630,28 @@ fn fetch_udf(engine: &Engine, name: &str) -> Result<ServerMsg> {
         _ => Err(JaguarError::Udf(format!(
             "udf '{name}' is native server code and cannot migrate to a client"
         ))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::redact_literals;
+
+    #[test]
+    fn redaction_strips_literals_but_keeps_shape() {
+        assert_eq!(
+            redact_literals("SELECT name FROM accts WHERE tenant = 'tech' AND bal > 1000"),
+            "SELECT name FROM accts WHERE tenant = '?' AND bal > ?"
+        );
+        // '' escapes stay inside the literal; identifiers with digits
+        // survive untouched.
+        assert_eq!(
+            redact_literals("SELECT c1 FROM t2 WHERE note = 'it''s 42'"),
+            "SELECT c1 FROM t2 WHERE note = '?'"
+        );
+        assert_eq!(
+            redact_literals("INSERT INTO t VALUES (7, 'x', 3.14)"),
+            "INSERT INTO t VALUES (?, '?', ?)"
+        );
     }
 }

@@ -22,6 +22,11 @@ pub const MAX_WIRE_PARAMS: u8 = 64;
 /// Most rows a single `Result` frame may declare.
 pub const MAX_WIRE_ROWS: u32 = 50_000_000;
 
+/// Most session attributes a `Hello` may carry. Label expressions
+/// reference a handful of attributes; the bound keeps a hostile count
+/// prefix from driving a large allocation.
+pub const MAX_WIRE_ATTRS: u32 = 256;
+
 /// SQL signature of a UDF as carried on the wire.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct WireSignature {
@@ -71,6 +76,14 @@ pub struct WireStats {
 /// Client → server.
 #[derive(Debug, Clone, PartialEq)]
 pub enum ClientMsg {
+    /// Introduce the session's principal and its attributes (tenant,
+    /// role, …) before any statement. Optional when the server runs with
+    /// `auth_required = false`; under `auth_required = true` a session
+    /// that skips it executes as the default-deny anonymous principal.
+    Hello {
+        principal: String,
+        attributes: Vec<(String, String)>,
+    },
     /// Execute one SQL statement. `query_id` is a client-chosen handle
     /// for out-of-band cancellation (0 = not cancellable).
     Execute { sql: String, query_id: u64 },
@@ -115,6 +128,8 @@ pub enum ServerMsg {
     },
     /// Registration acknowledged.
     Registered,
+    /// `Hello` acknowledged: the session now executes as its principal.
+    HelloAck,
     /// A UDF module for client-side execution.
     Module {
         signature: WireSignature,
@@ -155,6 +170,7 @@ const C_PING: u8 = 0x05;
 const C_QUIT: u8 = 0x06;
 const C_METRICS: u8 = 0x07;
 const C_CANCEL: u8 = 0x08;
+const C_HELLO: u8 = 0x09;
 const S_RESULT: u8 = 0x81;
 const S_PLAN: u8 = 0x82;
 const S_REGISTERED: u8 = 0x83;
@@ -164,10 +180,23 @@ const S_ERROR: u8 = 0x86;
 const S_METRICS: u8 = 0x87;
 const S_CANCEL_ACK: u8 = 0x88;
 const S_BUSY: u8 = 0x89;
+const S_HELLO_ACK: u8 = 0x8A;
 
 impl ClientMsg {
     pub fn write(&self, w: &mut impl Write) -> Result<()> {
         match self {
+            ClientMsg::Hello {
+                principal,
+                attributes,
+            } => {
+                write_u8(w, C_HELLO)?;
+                write_str(w, principal)?;
+                write_u32(w, attributes.len() as u32)?;
+                for (k, v) in attributes {
+                    write_str(w, k)?;
+                    write_str(w, v)?;
+                }
+            }
             ClientMsg::Execute { sql, query_id } => {
                 write_u8(w, C_EXECUTE)?;
                 write_str(w, sql)?;
@@ -209,6 +238,26 @@ impl ClientMsg {
 
     pub fn read(r: &mut impl Read) -> Result<ClientMsg> {
         Ok(match read_u8(r)? {
+            C_HELLO => {
+                let principal = read_str(r)?;
+                let n = read_u32(r)?;
+                if n > MAX_WIRE_ATTRS {
+                    return Err(JaguarError::Protocol(format!(
+                        "implausible attribute count {n} (limit {MAX_WIRE_ATTRS})"
+                    )));
+                }
+                // Grow as pairs actually decode; the count prefix is
+                // untrusted.
+                let mut attributes = Vec::new();
+                for _ in 0..n {
+                    let k = read_str(r)?;
+                    attributes.push((k, read_str(r)?));
+                }
+                ClientMsg::Hello {
+                    principal,
+                    attributes,
+                }
+            }
             C_EXECUTE => ClientMsg::Execute {
                 sql: read_str(r)?,
                 query_id: read_u64(r)?,
@@ -265,6 +314,7 @@ impl ServerMsg {
                 write_str(w, text)?;
             }
             ServerMsg::Registered => write_u8(w, S_REGISTERED)?,
+            ServerMsg::HelloAck => write_u8(w, S_HELLO_ACK)?,
             ServerMsg::Module {
                 signature,
                 module,
@@ -333,6 +383,7 @@ impl ServerMsg {
             }
             S_PLAN => ServerMsg::Plan { text: read_str(r)? },
             S_REGISTERED => ServerMsg::Registered,
+            S_HELLO_ACK => ServerMsg::HelloAck,
             S_MODULE => ServerMsg::Module {
                 signature: WireSignature::read(r)?,
                 module: read_blob(r)?,
@@ -393,6 +444,17 @@ mod tests {
 
     #[test]
     fn client_messages_roundtrip() {
+        roundtrip_c(ClientMsg::Hello {
+            principal: "alice".into(),
+            attributes: vec![
+                ("tenant".into(), "tech".into()),
+                ("role".into(), "member".into()),
+            ],
+        });
+        roundtrip_c(ClientMsg::Hello {
+            principal: "bob".into(),
+            attributes: vec![],
+        });
         roundtrip_c(ClientMsg::Execute {
             sql: "SELECT 1".into(),
             query_id: 42,
@@ -441,6 +503,7 @@ mod tests {
             text: "SeqScan t".into(),
         });
         roundtrip_s(ServerMsg::Registered);
+        roundtrip_s(ServerMsg::HelloAck);
         roundtrip_s(ServerMsg::Module {
             signature: WireSignature {
                 params: vec![],
@@ -490,6 +553,14 @@ mod tests {
         frame.push(255); // param count
         let err = ClientMsg::read(&mut frame.as_slice()).unwrap_err();
         assert!(err.to_string().contains("parameter count"), "{err}");
+
+        // Hello frame declaring u32::MAX session attributes.
+        let mut frame = vec![0x09u8];
+        frame.extend_from_slice(&5u32.to_le_bytes());
+        frame.extend_from_slice(b"alice");
+        frame.extend_from_slice(&u32::MAX.to_le_bytes());
+        let err = ClientMsg::read(&mut frame.as_slice()).unwrap_err();
+        assert!(err.to_string().contains("attribute count"), "{err}");
 
         // Result frame declaring u32::MAX rows.
         let mut frame = vec![0x81u8];

@@ -1,0 +1,332 @@
+//! Page encryption primitives.
+//!
+//! The build environment vendors no cryptography crates, so the cipher here
+//! is a self-contained authenticated stream construction built on
+//! SipHash-2-4 (64-bit PRF): the keystream for page `p` under nonce `n` is
+//! `SipHash(enc_key, p || n || block)` per 8-byte block, and the
+//! authentication tag is `SipHash(mac_key, p || n || ciphertext)`. This is
+//! **not** a production AEAD (64-bit tag, PRF-based stream) — it exists to
+//! exercise the real on-disk format, key hierarchy, and recovery paths. The
+//! [`PageCipher`] trait is the seam where AES-GCM or XChaCha20-Poly1305
+//! slots in without touching storage or WAL code.
+//!
+//! Key hierarchy (envelope keying): `Config::encryption_key` is a master
+//! passphrase held only in memory. Each database generates a random 256-bit
+//! *data key* at creation; the data key — wrapped (encrypted + MACed) under
+//! the master key — is persisted in the catalog manifest. Re-opening
+//! unwraps it; a wrong master key fails the wrap MAC *before* any WAL
+//! replay or page read happens.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use jaguar_common::error::{JaguarError, Result};
+
+/// Data/master key length in bytes.
+pub const KEY_LEN: usize = 32;
+/// Serialized wrapped-key blob: nonce (8) ‖ encrypted data key (32) ‖ tag (8).
+pub const WRAPPED_KEY_LEN: usize = 8 + KEY_LEN + 8;
+
+/// A page-granular authenticated cipher. Implementations must be cheap to
+/// share across threads (the DiskManager and WAL hold one behind an `Arc`).
+pub trait PageCipher: Send + Sync {
+    /// Encrypt `buf` in place for (`page_id`, `nonce`) and return the
+    /// authentication tag over the resulting ciphertext.
+    fn seal(&self, page_id: u64, nonce: u64, buf: &mut [u8]) -> u64;
+
+    /// Verify `tag` against the ciphertext in `buf` and decrypt in place.
+    /// Fails without modifying `buf` if authentication fails.
+    fn open(&self, page_id: u64, nonce: u64, tag: u64, buf: &mut [u8]) -> Result<()>;
+
+    /// A fresh never-before-used nonce for this cipher instance.
+    fn next_nonce(&self) -> u64;
+}
+
+/// The vendored SipHash-based [`PageCipher`] (see module docs for caveats).
+pub struct JaguarAead {
+    enc_key: (u64, u64),
+    mac_key: (u64, u64),
+    nonce: AtomicU64,
+}
+
+impl JaguarAead {
+    pub fn new(key: [u8; KEY_LEN]) -> JaguarAead {
+        let k = |off: usize| {
+            let mut b = [0u8; 8];
+            b.copy_from_slice(&key[off..off + 8]);
+            u64::from_le_bytes(b)
+        };
+        JaguarAead {
+            enc_key: (k(0), k(8)),
+            mac_key: (k(16), k(24)),
+            // Random start so nonces never repeat across process restarts
+            // even if the persisted page nonces are unknown.
+            nonce: AtomicU64::new(entropy64()),
+        }
+    }
+
+    fn keystream_block(&self, page_id: u64, nonce: u64, block: u64) -> [u8; 8] {
+        let mut msg = [0u8; 24];
+        msg[..8].copy_from_slice(&page_id.to_le_bytes());
+        msg[8..16].copy_from_slice(&nonce.to_le_bytes());
+        msg[16..].copy_from_slice(&block.to_le_bytes());
+        siphash24(self.enc_key.0, self.enc_key.1, &msg).to_le_bytes()
+    }
+
+    fn xor_keystream(&self, page_id: u64, nonce: u64, buf: &mut [u8]) {
+        for (block, chunk) in buf.chunks_mut(8).enumerate() {
+            let ks = self.keystream_block(page_id, nonce, block as u64);
+            for (b, k) in chunk.iter_mut().zip(ks.iter()) {
+                *b ^= k;
+            }
+        }
+    }
+
+    fn mac(&self, page_id: u64, nonce: u64, ciphertext: &[u8]) -> u64 {
+        let mut msg = Vec::with_capacity(16 + ciphertext.len());
+        msg.extend_from_slice(&page_id.to_le_bytes());
+        msg.extend_from_slice(&nonce.to_le_bytes());
+        msg.extend_from_slice(ciphertext);
+        siphash24(self.mac_key.0, self.mac_key.1, &msg)
+    }
+}
+
+impl PageCipher for JaguarAead {
+    fn seal(&self, page_id: u64, nonce: u64, buf: &mut [u8]) -> u64 {
+        self.xor_keystream(page_id, nonce, buf);
+        self.mac(page_id, nonce, buf)
+    }
+
+    fn open(&self, page_id: u64, nonce: u64, tag: u64, buf: &mut [u8]) -> Result<()> {
+        let expect = self.mac(page_id, nonce, buf);
+        if expect != tag {
+            return Err(JaguarError::Corruption(format!(
+                "page {page_id}: authentication tag mismatch (wrong key or tampered page)"
+            )));
+        }
+        self.xor_keystream(page_id, nonce, buf);
+        Ok(())
+    }
+
+    fn next_nonce(&self) -> u64 {
+        self.nonce.fetch_add(1, Ordering::Relaxed)
+    }
+}
+
+/// Derive a master key from the configured passphrase (iterated PRF
+/// stretch — again a stand-in for a real KDF like Argon2).
+pub fn derive_master_key(passphrase: &str) -> [u8; KEY_LEN] {
+    let mut key = [0u8; KEY_LEN];
+    let mut state = (0x6a67_7561_725f_7365u64, 0x635f_6b64_665f_7631u64);
+    for round in 0u64..1024 {
+        let mut msg = Vec::with_capacity(passphrase.len() + 8);
+        msg.extend_from_slice(&round.to_le_bytes());
+        msg.extend_from_slice(passphrase.as_bytes());
+        let h = siphash24(state.0, state.1, &msg);
+        state = (state.1 ^ h, state.0.wrapping_add(h).rotate_left(17));
+        key[(round as usize % 4) * 8..][..8]
+            .iter_mut()
+            .zip(h.to_le_bytes())
+            .for_each(|(k, b)| *k ^= b);
+    }
+    key
+}
+
+/// Generate a fresh random per-database data key.
+pub fn generate_data_key() -> [u8; KEY_LEN] {
+    let mut key = [0u8; KEY_LEN];
+    for chunk in key.chunks_mut(8) {
+        chunk.copy_from_slice(&entropy64().to_le_bytes());
+    }
+    key
+}
+
+/// Wrap `data_key` under the master passphrase for persistence in the
+/// catalog manifest.
+pub fn wrap_data_key(passphrase: &str, data_key: &[u8; KEY_LEN]) -> Vec<u8> {
+    let master = JaguarAead::new(derive_master_key(passphrase));
+    let nonce = entropy64();
+    let mut ct = *data_key;
+    // Page id 0 is fine here: the wrap nonce is random per wrap.
+    let tag = master.seal(u64::MAX, nonce, &mut ct);
+    let mut blob = Vec::with_capacity(WRAPPED_KEY_LEN);
+    blob.extend_from_slice(&nonce.to_le_bytes());
+    blob.extend_from_slice(&ct);
+    blob.extend_from_slice(&tag.to_le_bytes());
+    blob
+}
+
+/// Unwrap a persisted data key. Fails with a "wrong key" error when the
+/// passphrase does not match the one the blob was wrapped under.
+pub fn unwrap_data_key(passphrase: &str, blob: &[u8]) -> Result<[u8; KEY_LEN]> {
+    if blob.len() != WRAPPED_KEY_LEN {
+        return Err(JaguarError::Corruption(format!(
+            "wrapped data key has {} bytes, expected {WRAPPED_KEY_LEN}",
+            blob.len()
+        )));
+    }
+    let master = JaguarAead::new(derive_master_key(passphrase));
+    let nonce = u64::from_le_bytes(blob[..8].try_into().unwrap());
+    let tag = u64::from_le_bytes(blob[8 + KEY_LEN..].try_into().unwrap());
+    let mut key = [0u8; KEY_LEN];
+    key.copy_from_slice(&blob[8..8 + KEY_LEN]);
+    master.open(u64::MAX, nonce, tag, &mut key).map_err(|_| {
+        JaguarError::SecurityViolation(
+            "encryption_key does not match the key this database was created with".into(),
+        )
+    })?;
+    Ok(key)
+}
+
+/// Best-effort process entropy: wall clock, monotonic clock, pid, a
+/// process-global counter, and an ASLR-influenced stack address, mixed
+/// through splitmix64. Not cryptographic randomness — adequate for nonces
+/// and the stand-in data key, and the only option without a registry.
+fn entropy64() -> u64 {
+    use std::time::{Instant, SystemTime, UNIX_EPOCH};
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    let wall = SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_nanos() as u64)
+        .unwrap_or(0);
+    let mono = {
+        let t = Instant::now();
+        // Address of a stack local varies with ASLR.
+        (&t as *const _ as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ wall.rotate_left(32)
+    };
+    let mut x = wall
+        ^ mono.rotate_left(17)
+        ^ (std::process::id() as u64).rotate_left(48)
+        ^ COUNTER.fetch_add(0x2545_F491_4F6C_DD1D, Ordering::Relaxed);
+    // splitmix64 finalizer
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// SipHash-2-4 with a (k0, k1) 128-bit key.
+fn siphash24(k0: u64, k1: u64, msg: &[u8]) -> u64 {
+    let mut v0 = 0x736f_6d65_7073_6575u64 ^ k0;
+    let mut v1 = 0x646f_7261_6e64_6f6du64 ^ k1;
+    let mut v2 = 0x6c79_6765_6e65_7261u64 ^ k0;
+    let mut v3 = 0x7465_6462_7974_6573u64 ^ k1;
+
+    macro_rules! round {
+        () => {
+            v0 = v0.wrapping_add(v1);
+            v1 = v1.rotate_left(13);
+            v1 ^= v0;
+            v0 = v0.rotate_left(32);
+            v2 = v2.wrapping_add(v3);
+            v3 = v3.rotate_left(16);
+            v3 ^= v2;
+            v0 = v0.wrapping_add(v3);
+            v3 = v3.rotate_left(21);
+            v3 ^= v0;
+            v2 = v2.wrapping_add(v1);
+            v1 = v1.rotate_left(17);
+            v1 ^= v2;
+            v2 = v2.rotate_left(32);
+        };
+    }
+
+    let mut chunks = msg.chunks_exact(8);
+    for chunk in &mut chunks {
+        let m = u64::from_le_bytes(chunk.try_into().unwrap());
+        v3 ^= m;
+        round!();
+        round!();
+        v0 ^= m;
+    }
+    let rem = chunks.remainder();
+    let mut last = (msg.len() as u64) << 56;
+    for (i, &b) in rem.iter().enumerate() {
+        last |= (b as u64) << (8 * i);
+    }
+    v3 ^= last;
+    round!();
+    round!();
+    v0 ^= last;
+    v2 ^= 0xff;
+    round!();
+    round!();
+    round!();
+    round!();
+    v0 ^ v1 ^ v2 ^ v3
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn siphash_reference_vector() {
+        // The SipHash-2-4 paper's test vector: key 000102…0f, message
+        // 000102…0e → 0xa129ca6149be45e5.
+        let k0 = u64::from_le_bytes([0, 1, 2, 3, 4, 5, 6, 7]);
+        let k1 = u64::from_le_bytes([8, 9, 10, 11, 12, 13, 14, 15]);
+        let msg: Vec<u8> = (0u8..15).collect();
+        assert_eq!(siphash24(k0, k1, &msg), 0xa129_ca61_49be_45e5);
+    }
+
+    #[test]
+    fn seal_open_roundtrip() {
+        let cipher = JaguarAead::new([7u8; KEY_LEN]);
+        let plain: Vec<u8> = (0..=255u8).cycle().take(1000).collect();
+        let mut buf = plain.clone();
+        let nonce = cipher.next_nonce();
+        let tag = cipher.seal(42, nonce, &mut buf);
+        assert_ne!(buf, plain, "ciphertext differs from plaintext");
+        cipher.open(42, nonce, tag, &mut buf).unwrap();
+        assert_eq!(buf, plain);
+    }
+
+    #[test]
+    fn tamper_and_wrong_context_detected() {
+        let cipher = JaguarAead::new([7u8; KEY_LEN]);
+        let mut buf = vec![9u8; 256];
+        let tag = cipher.seal(1, 5, &mut buf);
+        // Flipped ciphertext bit.
+        let mut tampered = buf.clone();
+        tampered[100] ^= 1;
+        assert!(cipher.open(1, 5, tag, &mut tampered).is_err());
+        // Replayed onto a different page id.
+        assert!(cipher.open(2, 5, tag, &mut buf.clone()).is_err());
+        // Wrong nonce.
+        assert!(cipher.open(1, 6, tag, &mut buf.clone()).is_err());
+        // Wrong key.
+        let other = JaguarAead::new([8u8; KEY_LEN]);
+        assert!(other.open(1, 5, tag, &mut buf.clone()).is_err());
+        // Untampered still opens.
+        assert!(cipher.open(1, 5, tag, &mut buf).is_ok());
+    }
+
+    #[test]
+    fn wrap_unwrap_roundtrip_and_wrong_key() {
+        let dk = generate_data_key();
+        let blob = wrap_data_key("hunter2", &dk);
+        assert_eq!(blob.len(), WRAPPED_KEY_LEN);
+        assert_eq!(unwrap_data_key("hunter2", &blob).unwrap(), dk);
+        let err = unwrap_data_key("wrong", &blob).unwrap_err();
+        assert!(
+            err.to_string().contains("does not match"),
+            "wrong-key error should be explicit: {err}"
+        );
+        assert!(unwrap_data_key("hunter2", &blob[1..]).is_err());
+    }
+
+    #[test]
+    fn data_keys_and_nonces_are_distinct() {
+        assert_ne!(generate_data_key(), generate_data_key());
+        let c = JaguarAead::new([1u8; KEY_LEN]);
+        let a = c.next_nonce();
+        let b = c.next_nonce();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn master_derivation_is_deterministic_and_sensitive() {
+        assert_eq!(derive_master_key("pw"), derive_master_key("pw"));
+        assert_ne!(derive_master_key("pw"), derive_master_key("pw2"));
+    }
+}

@@ -1,0 +1,557 @@
+//! Security labels: boolean expressions over session attributes and row
+//! columns.
+//!
+//! Grammar (case-insensitive keywords):
+//!
+//! ```text
+//! expr    := or
+//! or      := and ( OR and )*
+//! and     := unary ( AND unary )*
+//! unary   := NOT unary | primary
+//! primary := '(' expr ')' | TRUE | FALSE | atom ( ('=' | '!=') atom )?
+//! atom    := 'literal' | integer | session '.' ident | ident
+//! ```
+//!
+//! A bare identifier is a *row column* reference; `session.<name>` reads an
+//! attribute of the calling [`crate::SessionContext`]. At plan time the
+//! label is partially evaluated: session attributes are substituted as
+//! literals and the expression is constant-folded. What remains is either a
+//! decision (allow/deny) or a *residual* that references only row columns —
+//! the planner injects that residual as an ordinary filter predicate.
+//!
+//! Deny-safety: if the label references a session attribute the session
+//! does not carry, the whole label evaluates to **deny**, regardless of
+//! where the reference sits in the expression (so `NOT session.flag = 'x'`
+//! cannot grant access to an attribute-less anonymous session).
+
+use std::fmt;
+
+use jaguar_common::error::{JaguarError, Result};
+
+use crate::SessionContext;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmpOp {
+    Eq,
+    Ne,
+}
+
+/// A literal in a label expression.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LabelValue {
+    Str(String),
+    Int(i64),
+    Bool(bool),
+}
+
+/// Parsed label expression tree.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LabelExpr {
+    Column(String),
+    SessionAttr(String),
+    Lit(LabelValue),
+    Cmp(CmpOp, Box<LabelExpr>, Box<LabelExpr>),
+    And(Box<LabelExpr>, Box<LabelExpr>),
+    Or(Box<LabelExpr>, Box<LabelExpr>),
+    Not(Box<LabelExpr>),
+}
+
+/// Outcome of evaluating a label for a particular session.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LabelDecision {
+    /// The session passes unconditionally.
+    Allow,
+    /// The session is denied unconditionally (including the
+    /// missing-attribute case).
+    Deny,
+    /// Row-dependent: the contained expression references only columns and
+    /// literals and must hold for each row the session may see.
+    Residual(LabelExpr),
+}
+
+impl LabelExpr {
+    /// Parse a label from its source text.
+    pub fn parse(src: &str) -> Result<LabelExpr> {
+        let tokens = lex(src)?;
+        let mut p = Parser { tokens, pos: 0 };
+        let expr = p.expr()?;
+        if p.pos != p.tokens.len() {
+            return Err(JaguarError::Parse(format!(
+                "label: unexpected trailing input at token {:?}",
+                p.tokens[p.pos]
+            )));
+        }
+        Ok(expr)
+    }
+
+    /// Every row column the expression references, deduplicated.
+    pub fn columns(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        self.walk(&mut |e| {
+            if let LabelExpr::Column(c) = e {
+                if !out.contains(c) {
+                    out.push(c.clone());
+                }
+            }
+        });
+        out
+    }
+
+    /// Every session attribute the expression references, deduplicated.
+    pub fn session_attrs(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        self.walk(&mut |e| {
+            if let LabelExpr::SessionAttr(a) = e {
+                if !out.contains(a) {
+                    out.push(a.clone());
+                }
+            }
+        });
+        out
+    }
+
+    fn walk(&self, f: &mut impl FnMut(&LabelExpr)) {
+        f(self);
+        match self {
+            LabelExpr::Cmp(_, l, r) | LabelExpr::And(l, r) | LabelExpr::Or(l, r) => {
+                l.walk(f);
+                r.walk(f);
+            }
+            LabelExpr::Not(e) => e.walk(f),
+            _ => {}
+        }
+    }
+
+    /// Partially evaluate against `session`. `None` is the in-process
+    /// system principal and always yields [`LabelDecision::Allow`].
+    pub fn evaluate(&self, session: Option<&SessionContext>) -> LabelDecision {
+        let Some(session) = session else {
+            return LabelDecision::Allow;
+        };
+        // Deny-safety: any reference to an attribute the session lacks
+        // denies the whole label, before structural evaluation.
+        for attr in self.session_attrs() {
+            if session.attr(&attr).is_none() {
+                return LabelDecision::Deny;
+            }
+        }
+        match fold(&substitute(self, session)) {
+            LabelExpr::Lit(LabelValue::Bool(true)) => LabelDecision::Allow,
+            LabelExpr::Lit(LabelValue::Bool(false)) => LabelDecision::Deny,
+            residual => LabelDecision::Residual(residual),
+        }
+    }
+}
+
+/// Replace `session.<attr>` atoms with literals. Attribute values are
+/// strings on the wire; ones that parse as integers substitute as integer
+/// literals so `tenant_id = session.tenant` works against INT columns.
+fn substitute(e: &LabelExpr, session: &SessionContext) -> LabelExpr {
+    match e {
+        LabelExpr::SessionAttr(a) => {
+            // `evaluate` pre-checked presence.
+            let v = session.attr(a).unwrap_or_default();
+            match v.parse::<i64>() {
+                Ok(n) => LabelExpr::Lit(LabelValue::Int(n)),
+                Err(_) => LabelExpr::Lit(LabelValue::Str(v.to_string())),
+            }
+        }
+        LabelExpr::Cmp(op, l, r) => LabelExpr::Cmp(
+            *op,
+            Box::new(substitute(l, session)),
+            Box::new(substitute(r, session)),
+        ),
+        LabelExpr::And(l, r) => LabelExpr::And(
+            Box::new(substitute(l, session)),
+            Box::new(substitute(r, session)),
+        ),
+        LabelExpr::Or(l, r) => LabelExpr::Or(
+            Box::new(substitute(l, session)),
+            Box::new(substitute(r, session)),
+        ),
+        LabelExpr::Not(inner) => LabelExpr::Not(Box::new(substitute(inner, session))),
+        other => other.clone(),
+    }
+}
+
+/// Constant-fold literal subtrees. Comparisons between two literals fold to
+/// booleans; string-vs-int comparisons are simply unequal (types differ).
+fn fold(e: &LabelExpr) -> LabelExpr {
+    use LabelExpr::*;
+    use LabelValue::*;
+    match e {
+        Cmp(op, l, r) => {
+            let (l, r) = (fold(l), fold(r));
+            if let (Lit(a), Lit(b)) = (&l, &r) {
+                let eq = a == b;
+                Lit(Bool(match op {
+                    CmpOp::Eq => eq,
+                    CmpOp::Ne => !eq,
+                }))
+            } else {
+                Cmp(*op, Box::new(l), Box::new(r))
+            }
+        }
+        And(l, r) => match (fold(l), fold(r)) {
+            (Lit(Bool(false)), _) | (_, Lit(Bool(false))) => Lit(Bool(false)),
+            (Lit(Bool(true)), other) | (other, Lit(Bool(true))) => other,
+            (l, r) => And(Box::new(l), Box::new(r)),
+        },
+        Or(l, r) => match (fold(l), fold(r)) {
+            (Lit(Bool(true)), _) | (_, Lit(Bool(true))) => Lit(Bool(true)),
+            (Lit(Bool(false)), other) | (other, Lit(Bool(false))) => other,
+            (l, r) => Or(Box::new(l), Box::new(r)),
+        },
+        Not(inner) => match fold(inner) {
+            Lit(Bool(b)) => Lit(Bool(!b)),
+            other => Not(Box::new(other)),
+        },
+        other => other.clone(),
+    }
+}
+
+impl fmt::Display for LabelExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LabelExpr::Column(c) => write!(f, "{c}"),
+            LabelExpr::SessionAttr(a) => write!(f, "session.{a}"),
+            LabelExpr::Lit(LabelValue::Str(s)) => write!(f, "'{}'", s.replace('\'', "''")),
+            LabelExpr::Lit(LabelValue::Int(n)) => write!(f, "{n}"),
+            LabelExpr::Lit(LabelValue::Bool(b)) => {
+                write!(f, "{}", if *b { "TRUE" } else { "FALSE" })
+            }
+            LabelExpr::Cmp(op, l, r) => {
+                let op = match op {
+                    CmpOp::Eq => "=",
+                    CmpOp::Ne => "!=",
+                };
+                write!(f, "{l} {op} {r}")
+            }
+            LabelExpr::And(l, r) => write!(f, "({l} AND {r})"),
+            LabelExpr::Or(l, r) => write!(f, "({l} OR {r})"),
+            LabelExpr::Not(e) => write!(f, "NOT {e}"),
+        }
+    }
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Tok {
+    Ident(String),
+    Str(String),
+    Int(i64),
+    Eq,
+    Ne,
+    LParen,
+    RParen,
+    Dot,
+    And,
+    Or,
+    Not,
+    True,
+    False,
+    Session,
+}
+
+fn lex(src: &str) -> Result<Vec<Tok>> {
+    let mut out = Vec::new();
+    let bytes: Vec<char> = src.chars().collect();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i];
+        match c {
+            c if c.is_whitespace() => i += 1,
+            '(' => {
+                out.push(Tok::LParen);
+                i += 1;
+            }
+            ')' => {
+                out.push(Tok::RParen);
+                i += 1;
+            }
+            '.' => {
+                out.push(Tok::Dot);
+                i += 1;
+            }
+            '=' => {
+                out.push(Tok::Eq);
+                i += 1;
+            }
+            '!' if bytes.get(i + 1) == Some(&'=') => {
+                out.push(Tok::Ne);
+                i += 2;
+            }
+            '<' if bytes.get(i + 1) == Some(&'>') => {
+                out.push(Tok::Ne);
+                i += 2;
+            }
+            '\'' => {
+                i += 1;
+                let mut s = String::new();
+                loop {
+                    match bytes.get(i) {
+                        Some('\'') if bytes.get(i + 1) == Some(&'\'') => {
+                            s.push('\'');
+                            i += 2;
+                        }
+                        Some('\'') => {
+                            i += 1;
+                            break;
+                        }
+                        Some(&c) => {
+                            s.push(c);
+                            i += 1;
+                        }
+                        None => {
+                            return Err(JaguarError::Parse(
+                                "label: unterminated string literal".into(),
+                            ))
+                        }
+                    }
+                }
+                out.push(Tok::Str(s));
+            }
+            c if c.is_ascii_digit()
+                || (c == '-' && matches!(bytes.get(i + 1), Some(d) if d.is_ascii_digit())) =>
+            {
+                let start = i;
+                i += 1;
+                while matches!(bytes.get(i), Some(d) if d.is_ascii_digit()) {
+                    i += 1;
+                }
+                let text: String = bytes[start..i].iter().collect();
+                let n = text.parse::<i64>().map_err(|_| {
+                    JaguarError::Parse(format!("label: integer out of range: {text}"))
+                })?;
+                out.push(Tok::Int(n));
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while matches!(bytes.get(i), Some(&c) if c.is_ascii_alphanumeric() || c == '_') {
+                    i += 1;
+                }
+                let word: String = bytes[start..i].iter().collect();
+                out.push(match word.to_ascii_lowercase().as_str() {
+                    "and" => Tok::And,
+                    "or" => Tok::Or,
+                    "not" => Tok::Not,
+                    "true" => Tok::True,
+                    "false" => Tok::False,
+                    "session" => Tok::Session,
+                    _ => Tok::Ident(word),
+                });
+            }
+            other => {
+                return Err(JaguarError::Parse(format!(
+                    "label: unexpected character {other:?}"
+                )))
+            }
+        }
+    }
+    Ok(out)
+}
+
+struct Parser {
+    tokens: Vec<Tok>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Tok> {
+        self.tokens.get(self.pos)
+    }
+
+    fn eat(&mut self, t: &Tok) -> bool {
+        if self.peek() == Some(t) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expr(&mut self) -> Result<LabelExpr> {
+        let mut lhs = self.and()?;
+        while self.eat(&Tok::Or) {
+            let rhs = self.and()?;
+            lhs = LabelExpr::Or(Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn and(&mut self) -> Result<LabelExpr> {
+        let mut lhs = self.unary()?;
+        while self.eat(&Tok::And) {
+            let rhs = self.unary()?;
+            lhs = LabelExpr::And(Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn unary(&mut self) -> Result<LabelExpr> {
+        if self.eat(&Tok::Not) {
+            return Ok(LabelExpr::Not(Box::new(self.unary()?)));
+        }
+        self.primary()
+    }
+
+    fn primary(&mut self) -> Result<LabelExpr> {
+        if self.eat(&Tok::LParen) {
+            let inner = self.expr()?;
+            if !self.eat(&Tok::RParen) {
+                return Err(JaguarError::Parse("label: expected ')'".into()));
+            }
+            return self.maybe_cmp(inner);
+        }
+        let atom = self.atom()?;
+        self.maybe_cmp(atom)
+    }
+
+    fn maybe_cmp(&mut self, lhs: LabelExpr) -> Result<LabelExpr> {
+        let op = if self.eat(&Tok::Eq) {
+            CmpOp::Eq
+        } else if self.eat(&Tok::Ne) {
+            CmpOp::Ne
+        } else {
+            return Ok(lhs);
+        };
+        let rhs = self.atom()?;
+        Ok(LabelExpr::Cmp(op, Box::new(lhs), Box::new(rhs)))
+    }
+
+    fn atom(&mut self) -> Result<LabelExpr> {
+        let tok = self
+            .peek()
+            .cloned()
+            .ok_or_else(|| JaguarError::Parse("label: unexpected end of expression".into()))?;
+        self.pos += 1;
+        match tok {
+            Tok::True => Ok(LabelExpr::Lit(LabelValue::Bool(true))),
+            Tok::False => Ok(LabelExpr::Lit(LabelValue::Bool(false))),
+            Tok::Str(s) => Ok(LabelExpr::Lit(LabelValue::Str(s))),
+            Tok::Int(n) => Ok(LabelExpr::Lit(LabelValue::Int(n))),
+            Tok::Session => {
+                if !self.eat(&Tok::Dot) {
+                    return Err(JaguarError::Parse(
+                        "label: expected '.' after 'session'".into(),
+                    ));
+                }
+                match self.peek().cloned() {
+                    Some(Tok::Ident(name)) => {
+                        self.pos += 1;
+                        Ok(LabelExpr::SessionAttr(name.to_ascii_lowercase()))
+                    }
+                    other => Err(JaguarError::Parse(format!(
+                        "label: expected attribute name after 'session.', found {other:?}"
+                    ))),
+                }
+            }
+            Tok::Ident(name) => Ok(LabelExpr::Column(name.to_ascii_lowercase())),
+            other => Err(JaguarError::Parse(format!(
+                "label: unexpected token {other:?}"
+            ))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn session(tenant: &str, role: &str) -> SessionContext {
+        SessionContext::new("u")
+            .with_attr("tenant", tenant)
+            .with_attr("role", role)
+    }
+
+    #[test]
+    fn parse_roundtrip() {
+        let l = LabelExpr::parse("tenant = session.tenant OR session.role = 'admin'").unwrap();
+        assert_eq!(
+            l.to_string(),
+            "(tenant = session.tenant OR session.role = 'admin')"
+        );
+        assert_eq!(l.columns(), vec!["tenant".to_string()]);
+        assert_eq!(
+            l.session_attrs(),
+            vec!["tenant".to_string(), "role".to_string()]
+        );
+    }
+
+    #[test]
+    fn admin_folds_to_allow() {
+        let l = LabelExpr::parse("tenant = session.tenant OR session.role = 'admin'").unwrap();
+        assert_eq!(
+            l.evaluate(Some(&session("acme", "admin"))),
+            LabelDecision::Allow
+        );
+    }
+
+    #[test]
+    fn non_admin_leaves_residual_over_columns() {
+        let l = LabelExpr::parse("tenant = session.tenant OR session.role = 'admin'").unwrap();
+        match l.evaluate(Some(&session("acme", "analyst"))) {
+            LabelDecision::Residual(r) => {
+                assert_eq!(r.to_string(), "tenant = 'acme'");
+                assert!(r.session_attrs().is_empty());
+            }
+            other => panic!("expected residual, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn integer_attributes_substitute_as_ints() {
+        let l = LabelExpr::parse("tenant_id = session.tenant").unwrap();
+        match l.evaluate(Some(&SessionContext::new("u").with_attr("tenant", "42"))) {
+            LabelDecision::Residual(r) => assert_eq!(r.to_string(), "tenant_id = 42"),
+            other => panic!("expected residual, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn missing_attribute_denies_even_under_not() {
+        let l = LabelExpr::parse("NOT session.clearance = 'low'").unwrap();
+        assert_eq!(
+            l.evaluate(Some(&SessionContext::anonymous())),
+            LabelDecision::Deny
+        );
+    }
+
+    #[test]
+    fn system_principal_always_allows() {
+        let l = LabelExpr::parse("FALSE").unwrap();
+        assert_eq!(l.evaluate(None), LabelDecision::Allow);
+        assert_eq!(l.evaluate(Some(&session("a", "b"))), LabelDecision::Deny);
+    }
+
+    #[test]
+    fn session_only_labels_fold_fully() {
+        let l = LabelExpr::parse("session.role = 'admin' AND session.tenant != 'evil'").unwrap();
+        assert_eq!(
+            l.evaluate(Some(&session("acme", "admin"))),
+            LabelDecision::Allow
+        );
+        assert_eq!(
+            l.evaluate(Some(&session("evil", "admin"))),
+            LabelDecision::Deny
+        );
+        assert_eq!(
+            l.evaluate(Some(&session("acme", "peon"))),
+            LabelDecision::Deny
+        );
+    }
+
+    #[test]
+    fn quote_escapes_and_ne_alias() {
+        let l = LabelExpr::parse("name <> 'o''brien'").unwrap();
+        assert_eq!(l.to_string(), "name != 'o''brien'");
+    }
+
+    #[test]
+    fn parse_errors_are_clean() {
+        assert!(LabelExpr::parse("tenant = ").is_err());
+        assert!(LabelExpr::parse("'unterminated").is_err());
+        assert!(LabelExpr::parse("a = b extra").is_err());
+        assert!(LabelExpr::parse("session tenant").is_err());
+        assert!(LabelExpr::parse("a ? b").is_err());
+    }
+}

@@ -1,0 +1,103 @@
+//! Per-connection principals.
+//!
+//! A [`SessionContext`] is established once per connection (by the wire
+//! `Hello` message, or synthesized by an embedding application) and then
+//! consulted at plan time for every statement the connection runs. It is
+//! deliberately small and immutable: a principal name plus a flat
+//! `key=value` attribute map that security labels reference as
+//! `session.<key>`.
+
+use std::collections::BTreeMap;
+
+/// The principal name given to connections that never authenticated while
+/// `Config::auth_required` is on. It carries no attributes, so any label
+/// referencing a session attribute denies it — default-deny.
+pub const ANONYMOUS: &str = "anonymous";
+
+/// Who is running a statement, and what attributes labels may consult.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SessionContext {
+    principal: String,
+    attributes: BTreeMap<String, String>,
+}
+
+impl SessionContext {
+    /// A session for a named principal with no attributes yet. The
+    /// principal name itself is exposed to labels as `session.principal`.
+    pub fn new(principal: impl Into<String>) -> SessionContext {
+        SessionContext {
+            principal: principal.into(),
+            attributes: BTreeMap::new(),
+        }
+    }
+
+    /// The default-deny session used for unauthenticated connections when
+    /// authentication is required.
+    pub fn anonymous() -> SessionContext {
+        SessionContext::new(ANONYMOUS)
+    }
+
+    /// Builder: attach one `key=value` attribute (labels see it as
+    /// `session.<key>`).
+    pub fn with_attr(mut self, key: impl Into<String>, value: impl Into<String>) -> SessionContext {
+        self.attributes.insert(key.into(), value.into());
+        self
+    }
+
+    pub fn principal(&self) -> &str {
+        &self.principal
+    }
+
+    /// Look up an attribute; `principal` always resolves to the principal
+    /// name (an explicit attribute of the same name wins, matching the
+    /// builder's last-write semantics).
+    pub fn attr(&self, name: &str) -> Option<&str> {
+        self.attributes
+            .get(name)
+            .map(String::as_str)
+            .or_else(|| (name == "principal").then_some(self.principal.as_str()))
+    }
+
+    pub fn attributes(&self) -> impl Iterator<Item = (&str, &str)> {
+        self.attributes
+            .iter()
+            .map(|(k, v)| (k.as_str(), v.as_str()))
+    }
+
+    pub fn is_anonymous(&self) -> bool {
+        self.principal == ANONYMOUS
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn attrs_and_principal() {
+        let s = SessionContext::new("alice")
+            .with_attr("tenant", "acme")
+            .with_attr("role", "analyst");
+        assert_eq!(s.principal(), "alice");
+        assert_eq!(s.attr("tenant"), Some("acme"));
+        assert_eq!(s.attr("role"), Some("analyst"));
+        assert_eq!(s.attr("principal"), Some("alice"));
+        assert_eq!(s.attr("missing"), None);
+        assert!(!s.is_anonymous());
+    }
+
+    #[test]
+    fn anonymous_is_default_deny_shaped() {
+        let s = SessionContext::anonymous();
+        assert!(s.is_anonymous());
+        assert_eq!(s.attr("tenant"), None);
+        assert_eq!(s.attr("principal"), Some(ANONYMOUS));
+    }
+
+    #[test]
+    fn explicit_attribute_shadows_principal() {
+        let s = SessionContext::new("alice").with_attr("principal", "mallory");
+        assert_eq!(s.attr("principal"), Some("mallory"));
+        assert_eq!(s.principal(), "alice");
+    }
+}

@@ -20,6 +20,7 @@ use jaguar_common::schema::{Schema, SchemaRef};
 use jaguar_common::{Tuple, Value};
 use jaguar_ipc::proto::CallbackHandler;
 use jaguar_pool::WorkerPool;
+use jaguar_sec::SessionContext;
 use parking_lot::RwLock;
 
 use crate::ast::{SelectStmt, Statement};
@@ -178,6 +179,15 @@ impl Engine {
         self.execute_cancellable(sql, &token)
     }
 
+    /// Execute one SQL statement under `session`'s principal: security
+    /// labels on the referenced table are enforced by planner rewrites
+    /// (row-label filter injection, column pruning/denial). `None` is the
+    /// trusted in-process system principal — identical to [`Engine::execute`].
+    pub fn execute_as(&self, sql: &str, session: Option<&SessionContext>) -> Result<QueryResult> {
+        let token = self.new_statement_token();
+        self.execute_cancellable_as(sql, &token, session)
+    }
+
     /// A lifecycle token honouring the engine's configured statement
     /// timeout (unbounded when none is set). Hand a clone to another
     /// thread to cancel the statement executed under it.
@@ -193,10 +203,21 @@ impl Engine {
     /// effects are sealed through the WAL exactly like any other failed
     /// statement.
     pub fn execute_cancellable(&self, sql: &str, token: &CancelToken) -> Result<QueryResult> {
+        self.execute_cancellable_as(sql, token, None)
+    }
+
+    /// [`Engine::execute_cancellable`] under a session principal (see
+    /// [`Engine::execute_as`]).
+    pub fn execute_cancellable_as(
+        &self,
+        sql: &str,
+        token: &CancelToken,
+        session: Option<&SessionContext>,
+    ) -> Result<QueryResult> {
         let reg = obs::global();
         reg.counter("sql.queries").inc();
         let span = obs::SpanTimer::new(reg.histogram("sql.query_latency_us"));
-        let out = self.execute_inner(sql, token);
+        let out = self.execute_inner(sql, token, session);
         if let Err(e) = &out {
             reg.counter("sql.errors").inc();
             match e {
@@ -209,7 +230,12 @@ impl Engine {
         out
     }
 
-    fn execute_inner(&self, sql: &str, token: &CancelToken) -> Result<QueryResult> {
+    fn execute_inner(
+        &self,
+        sql: &str,
+        token: &CancelToken,
+        session: Option<&SessionContext>,
+    ) -> Result<QueryResult> {
         match parse(sql)? {
             Statement::CreateTable { name, columns } => {
                 let fields = columns
@@ -243,6 +269,20 @@ impl Engine {
             }
             Statement::Insert { table, rows } => {
                 let t = self.catalog.table(&table)?;
+                let authz = crate::plan::authorize(&self.catalog, &t, session)?;
+                // A session barred from any column may not write rows at
+                // all — an INSERT supplies every column.
+                if let Some(&idx) = authz.denied.iter().min() {
+                    let name = &t.schema().field(idx).expect("denied index valid").name;
+                    return Err(crate::plan::deny_column(name, t.name(), &authz.principal));
+                }
+                let residual = authz
+                    .residual
+                    .as_ref()
+                    .map(|r| crate::plan::label_to_bexpr(r, t.schema()))
+                    .transpose()?;
+                let mut handler = EngineCallbacks { engine: self };
+                let mut ctx = ExecCtx::for_udfs(&[], &mut handler, None)?;
                 let mut inserted = 0;
                 let res = (|| -> Result<()> {
                     for row in rows {
@@ -253,7 +293,22 @@ impl Engine {
                         for e in row {
                             values.push(literal_value(&e)?);
                         }
-                        t.insert(Tuple::new(values))?;
+                        let tuple = Tuple::new(values);
+                        // A tenant may only insert rows its own row label
+                        // admits — otherwise it could plant rows it cannot
+                        // see into another tenant's partition.
+                        if let Some(res) = &residual {
+                            match crate::exec::eval(res, &tuple, &mut ctx)? {
+                                Value::Bool(true) => {}
+                                _ => {
+                                    return Err(crate::plan::deny_insert(
+                                        t.name(),
+                                        &authz.principal,
+                                    ))
+                                }
+                            }
+                        }
+                        t.insert(tuple)?;
                         inserted += 1;
                     }
                     Ok(())
@@ -270,7 +325,7 @@ impl Engine {
                 Ok(r)
             }
             Statement::Delete { table, predicate } => {
-                let dml = bind_dml(&table, &predicate, &[], &self.catalog)?;
+                let dml = bind_dml(&table, &predicate, &[], &self.catalog, session)?;
                 let mut handler = EngineCallbacks { engine: self };
                 let pool = self.worker_pool();
                 let mut ctx = ExecCtx::for_udfs(&dml.udfs, &mut handler, pool.as_ref())?;
@@ -309,7 +364,7 @@ impl Engine {
                 if assignments.is_empty() {
                     return Err(JaguarError::Plan("UPDATE needs SET assignments".into()));
                 }
-                let dml = bind_dml(&table, &predicate, &assignments, &self.catalog)?;
+                let dml = bind_dml(&table, &predicate, &assignments, &self.catalog, session)?;
                 let mut handler = EngineCallbacks { engine: self };
                 let pool = self.worker_pool();
                 let mut ctx = ExecCtx::for_udfs(&dml.udfs, &mut handler, pool.as_ref())?;
@@ -392,7 +447,7 @@ impl Engine {
                 })
             }
             Statement::Select(stmt) => {
-                let mut plan = bind_select(&stmt, &self.catalog)?;
+                let mut plan = bind_select(&stmt, &self.catalog, session)?;
                 crate::optimize::optimize_select(&mut plan, &self.opt);
                 if let Some(dec) = crate::parallel::plan_parallel(self, &plan) {
                     let (rows, stats, _reports) =
@@ -420,7 +475,9 @@ impl Engine {
                     stats,
                 })
             }
-            Statement::Explain { analyze, select } => self.run_explain(analyze, &select, token),
+            Statement::Explain { analyze, select } => {
+                self.run_explain(analyze, &select, token, session)
+            }
         }
     }
 
@@ -432,8 +489,9 @@ impl Engine {
         analyze: bool,
         select: &SelectStmt,
         token: &CancelToken,
+        session: Option<&SessionContext>,
     ) -> Result<QueryResult> {
-        let mut plan = bind_select(select, &self.catalog)?;
+        let mut plan = bind_select(select, &self.catalog, session)?;
         crate::optimize::optimize_select(&mut plan, &self.opt);
         let schema = Arc::new(Schema::of(&[("plan", jaguar_common::DataType::Str)]));
         let par_dec = crate::parallel::plan_parallel(self, &plan);
@@ -535,9 +593,16 @@ impl Engine {
 
     /// Render the optimized plan for a SELECT (EXPLAIN equivalent).
     pub fn explain(&self, sql: &str) -> Result<String> {
+        self.explain_as(sql, None)
+    }
+
+    /// [`Engine::explain`] under a session principal: the rendered plan
+    /// reflects that session's label rewrites (and label denials error
+    /// exactly as execution would).
+    pub fn explain_as(&self, sql: &str, session: Option<&SessionContext>) -> Result<String> {
         match parse(sql)? {
             Statement::Select(stmt) | Statement::Explain { select: stmt, .. } => {
-                let mut plan = bind_select(&stmt, &self.catalog)?;
+                let mut plan = bind_select(&stmt, &self.catalog, session)?;
                 crate::optimize::optimize_select(&mut plan, &self.opt);
                 let par_dec = crate::parallel::plan_parallel(self, &plan);
                 let mut txt = match &par_dec {

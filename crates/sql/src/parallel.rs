@@ -456,7 +456,7 @@ mod tests {
         let crate::ast::Statement::Select(s) = crate::parser::parse(sql).unwrap() else {
             panic!("not a select");
         };
-        let plan = crate::plan::bind_select(&s, e.catalog()).unwrap();
+        let plan = crate::plan::bind_select(&s, e.catalog(), None).unwrap();
         plan_parallel(e, &plan)
     }
 

@@ -13,14 +13,17 @@
 //! the tuples that survive the cheap predicates — the reason server-side
 //! UDF placement matters at all (§2.2).
 
+use std::collections::HashSet;
 use std::fmt::Write as _;
 use std::sync::Arc;
 
 use jaguar_catalog::table::TableIndex;
 use jaguar_catalog::{Catalog, Table};
 use jaguar_common::error::{JaguarError, Result};
+use jaguar_common::obs;
 use jaguar_common::schema::{Field, Schema, SchemaRef};
 use jaguar_common::{ByteArray, DataType, Value};
+use jaguar_sec::{LabelDecision, LabelExpr, LabelValue, SessionContext};
 use jaguar_udf::{UdfDef, UdfImpl};
 
 use crate::ast::{ArithOp, CmpOp, Expr, SelectItem, SelectStmt};
@@ -181,6 +184,149 @@ pub enum AccessPath {
     Empty,
 }
 
+/// Plan-time authorization decision for one (table, session) pair,
+/// computed from the catalog's security labels before any binding
+/// happens. Denials are raised *here*, at plan time, so the error text is
+/// byte-identical across all four trust designs, serial and parallel,
+/// batched and per-tuple — the executor never sees an unauthorized plan.
+#[derive(Default)]
+pub(crate) struct Authz {
+    /// Row-label residual for this session, still in label form; the
+    /// binder turns it into the plan's first (pinned) filter predicate.
+    pub(crate) residual: Option<LabelExpr>,
+    /// Column indices this session may not reference (column label
+    /// evaluated to deny).
+    pub(crate) denied: HashSet<usize>,
+    /// Principal name for error messages ("" for the system principal).
+    pub(crate) principal: String,
+}
+
+/// Evaluate the table's security labels against the caller's session.
+/// `None` is the trusted in-process system principal: no checks, no
+/// rewrites — embedded single-tenant use pays nothing.
+pub(crate) fn authorize(
+    catalog: &Catalog,
+    table: &Table,
+    session: Option<&SessionContext>,
+) -> Result<Authz> {
+    let Some(session) = session else {
+        return Ok(Authz::default());
+    };
+    let mut authz = Authz {
+        residual: None,
+        denied: HashSet::new(),
+        principal: session.principal().to_string(),
+    };
+    let labels = catalog.table_labels(table.name());
+    if let Some(spec) = &labels.row {
+        match spec.expr.evaluate(Some(session)) {
+            LabelDecision::Allow => {}
+            LabelDecision::Deny => return Err(deny_table(table.name(), &authz.principal)),
+            LabelDecision::Residual(expr) => authz.residual = Some(expr),
+        }
+    }
+    for (col, spec) in &labels.columns {
+        if !matches!(spec.expr.evaluate(Some(session)), LabelDecision::Allow) {
+            authz.denied.insert(table.schema().resolve(col)?);
+        }
+    }
+    Ok(authz)
+}
+
+pub(crate) fn deny_table(table: &str, principal: &str) -> JaguarError {
+    obs::global()
+        .counter(jaguar_sec::metrics::AUTH_DENIED)
+        .inc();
+    JaguarError::SecurityViolation(format!(
+        "access to table '{table}' denied for principal '{principal}'"
+    ))
+}
+
+pub(crate) fn deny_column(column: &str, table: &str, principal: &str) -> JaguarError {
+    obs::global()
+        .counter(jaguar_sec::metrics::AUTH_DENIED)
+        .inc();
+    JaguarError::SecurityViolation(format!(
+        "access to column '{column}' of table '{table}' denied for principal '{principal}'"
+    ))
+}
+
+pub(crate) fn deny_insert(table: &str, principal: &str) -> JaguarError {
+    obs::global()
+        .counter(jaguar_sec::metrics::AUTH_DENIED)
+        .inc();
+    JaguarError::SecurityViolation(format!(
+        "INSERT into table '{table}' violates its row label for principal '{principal}'"
+    ))
+}
+
+/// Lower a row-label residual (columns and literals only — session
+/// attributes were substituted away by partial evaluation) into a bound
+/// predicate over the table's columns. Comparisons against a VARCHAR
+/// column coerce an integer literal back to its string spelling: the
+/// label evaluator promotes int-parseable session attributes to Int, which
+/// is right for INT columns and undone here for string ones.
+pub(crate) fn label_to_bexpr(e: &LabelExpr, schema: &Schema) -> Result<BExpr> {
+    Ok(match e {
+        LabelExpr::Column(name) => BExpr::Column(schema.resolve(name)?),
+        LabelExpr::Lit(v) => BExpr::Literal(label_value(v)),
+        LabelExpr::Cmp(op, l, r) => {
+            let op = match op {
+                jaguar_sec::CmpOp::Eq => CmpOp::Eq,
+                jaguar_sec::CmpOp::Ne => CmpOp::Ne,
+            };
+            let mut lb = label_to_bexpr(l, schema)?;
+            let mut rb = label_to_bexpr(r, schema)?;
+            coerce_str_cmp(&mut lb, &mut rb, schema);
+            BExpr::Cmp(op, Box::new(lb), Box::new(rb))
+        }
+        LabelExpr::And(l, r) => BExpr::And(
+            Box::new(label_to_bexpr(l, schema)?),
+            Box::new(label_to_bexpr(r, schema)?),
+        ),
+        LabelExpr::Or(l, r) => BExpr::Or(
+            Box::new(label_to_bexpr(l, schema)?),
+            Box::new(label_to_bexpr(r, schema)?),
+        ),
+        LabelExpr::Not(i) => BExpr::Not(Box::new(label_to_bexpr(i, schema)?)),
+        LabelExpr::SessionAttr(a) => {
+            // Partial evaluation either substitutes every session
+            // attribute or denies outright; a residual can't contain one.
+            return Err(JaguarError::Plan(format!(
+                "internal: unresolved session attribute '{a}' in label residual"
+            )));
+        }
+    })
+}
+
+fn label_value(v: &LabelValue) -> Value {
+    match v {
+        LabelValue::Str(s) => Value::Str(s.clone()),
+        LabelValue::Int(i) => Value::Int(*i),
+        LabelValue::Bool(b) => Value::Bool(*b),
+    }
+}
+
+/// If one comparison side is a VARCHAR column and the other an Int
+/// literal, respell the literal as a string so the comparison types line
+/// up (see [`label_to_bexpr`]).
+fn coerce_str_cmp(l: &mut BExpr, r: &mut BExpr, schema: &Schema) {
+    let is_str_col = |e: &BExpr| {
+        matches!(e, BExpr::Column(i)
+            if schema.field(*i).map(|f| f.dtype) == Some(DataType::Str))
+    };
+    if is_str_col(l) {
+        if let BExpr::Literal(Value::Int(k)) = r {
+            *r = BExpr::Literal(Value::Str(k.to_string()));
+        }
+    }
+    if is_str_col(r) {
+        if let BExpr::Literal(Value::Int(k)) = l {
+            *l = BExpr::Literal(Value::Str(k.to_string()));
+        }
+    }
+}
+
 /// A bound, optimized single-table SELECT.
 pub struct BoundSelect {
     pub table: Arc<Table>,
@@ -205,28 +351,60 @@ pub struct BoundSelect {
     /// Parallel to `predicates`: true when the cost/selectivity reorder
     /// pass moved the predicate relative to its bind-time position.
     pub reordered: Vec<bool>,
+    /// Index into `predicates` of the row-label filter the authorizer
+    /// injected for this session, if any (always 0: it is pinned into its
+    /// own first segment, ahead of every user predicate, and the reorder
+    /// pass breaks class-0 ties by bind position). EXPLAIN tags it
+    /// `[labeled]`.
+    pub labeled: Option<usize>,
     /// Optimizer decision notes (inline verdicts, memoization, reorder,
     /// gating reasons) rendered by EXPLAIN's `-- plan notes:` trailer.
     pub notes: Vec<String>,
 }
 
-/// Bind and optimize a SELECT against the catalog.
-pub fn bind_select(stmt: &SelectStmt, catalog: &Catalog) -> Result<BoundSelect> {
+/// Bind and optimize a SELECT against the catalog, enforcing the table's
+/// security labels for `session` (`None` = trusted system principal).
+pub fn bind_select(
+    stmt: &SelectStmt,
+    catalog: &Catalog,
+    session: Option<&SessionContext>,
+) -> Result<BoundSelect> {
     let table = catalog.table(&stmt.table)?;
     let schema = Arc::clone(table.schema());
+    let authz = authorize(catalog, &table, session)?;
     let mut binder = Binder {
         catalog,
         schema: &schema,
         table_name: &stmt.table,
         alias: stmt.alias.as_deref(),
         udfs: Vec::new(),
+        denied: &authz.denied,
+        principal: &authz.principal,
     };
 
-    // Predicates: split, bind, type-check as boolean, order by cost.
-    let mut predicates = Vec::new();
+    // Predicates: split, bind, type-check as boolean, order by cost. The
+    // row-label residual (if any) goes first as a pinned conjunct: it
+    // forms its own leading segment, so every user predicate — including
+    // UDF calls, which would otherwise see unauthorized rows as arguments
+    // — runs strictly after it.
+    let mut ranked: Vec<(u32, usize, bool, BExpr)> = Vec::new();
+    let mut notes = Vec::new();
+    let labeled = if let Some(residual) = &authz.residual {
+        ranked.push((0, 0, true, label_to_bexpr(residual, &schema)?));
+        obs::global()
+            .counter(jaguar_sec::metrics::LABEL_REWRITES)
+            .inc();
+        notes.push(format!(
+            "label: row filter injected for principal '{}'",
+            authz.principal
+        ));
+        Some(0)
+    } else {
+        None
+    };
+    let shift = ranked.len();
     if let Some(pred) = &stmt.predicate {
         let conjuncts = pred.clone().conjuncts();
-        let mut ranked: Vec<(u32, usize, bool, BExpr)> = Vec::with_capacity(conjuncts.len());
         for (i, c) in conjuncts.into_iter().enumerate() {
             let bound = binder.bind(&c)?;
             let ty = binder.type_of(&bound)?;
@@ -238,10 +416,10 @@ pub fn bind_select(stmt: &SelectStmt, catalog: &Catalog) -> Result<BoundSelect> 
             }
             let cost = binder.cost_rank(&bound);
             let pinned = expr_has_pinned_udf(&bound, &binder.udfs);
-            ranked.push((cost, i, pinned, bound));
+            ranked.push((cost, i + shift, pinned, bound));
         }
-        predicates = order_conjuncts(ranked);
     }
+    let predicates = order_conjuncts(ranked);
 
     let access = choose_access_path(&table, &predicates);
 
@@ -252,7 +430,10 @@ pub fn bind_select(stmt: &SelectStmt, catalog: &Catalog) -> Result<BoundSelect> 
             SelectItem::Star => false,
         });
     if is_aggregate {
-        return bind_aggregate(stmt, table, &schema, binder, predicates, access);
+        let mut plan = bind_aggregate(stmt, table, &schema, binder, predicates, access)?;
+        plan.labeled = labeled;
+        plan.notes = notes;
+        return Ok(plan);
     }
 
     // Projections.
@@ -261,9 +442,18 @@ pub fn bind_select(stmt: &SelectStmt, catalog: &Catalog) -> Result<BoundSelect> 
     for (i, item) in stmt.items.iter().enumerate() {
         match item {
             SelectItem::Star => {
+                // Star expansion sees only the session's visible columns;
+                // a star over a fully denied table is a table denial.
+                let before = projections.len();
                 for (idx, f) in schema.fields().iter().enumerate() {
+                    if authz.denied.contains(&idx) {
+                        continue;
+                    }
                     projections.push(BExpr::Column(idx));
                     fields.push(f.clone());
+                }
+                if projections.len() == before && !schema.fields().is_empty() {
+                    return Err(deny_table(&stmt.table, &authz.principal));
                 }
             }
             SelectItem::Expr { expr, alias } => {
@@ -319,7 +509,8 @@ pub fn bind_select(stmt: &SelectStmt, catalog: &Catalog) -> Result<BoundSelect> 
         limit: stmt.limit,
         udfs: binder.udfs,
         reordered: Vec::new(),
-        notes: Vec::new(),
+        labeled,
+        notes,
     })
 }
 
@@ -599,6 +790,7 @@ fn bind_aggregate(
         limit: stmt.limit,
         udfs: binder.udfs,
         reordered: Vec::new(),
+        labeled: None,
         notes: Vec::new(),
     })
 }
@@ -675,6 +867,11 @@ struct Binder<'a> {
     table_name: &'a str,
     alias: Option<&'a str>,
     udfs: Vec<PlannedUdf>,
+    /// Column indices denied to the session by column labels: any explicit
+    /// reference — projection, predicate, UDF argument, aggregate input —
+    /// is a plan-time security violation.
+    denied: &'a HashSet<usize>,
+    principal: &'a str,
 }
 
 impl Binder<'_> {
@@ -688,7 +885,12 @@ impl Binder<'_> {
                         return Err(JaguarError::Plan(format!("unknown table qualifier '{q}'")));
                     }
                 }
-                BExpr::Column(self.schema.resolve(name)?)
+                let idx = self.schema.resolve(name)?;
+                if self.denied.contains(&idx) {
+                    let canonical = &self.schema.field(idx).expect("resolved").name;
+                    return Err(deny_column(canonical, self.table_name, self.principal));
+                }
+                BExpr::Column(idx)
             }
             Expr::Int(v) => BExpr::Literal(Value::Int(*v)),
             Expr::Float(v) => BExpr::Literal(Value::Float(*v)),
@@ -935,26 +1137,40 @@ pub struct BoundDml {
     pub udfs: Vec<PlannedUdf>,
 }
 
-/// Bind the predicate (and, for UPDATE, assignments) of a DML statement.
+/// Bind the predicate (and, for UPDATE, assignments) of a DML statement,
+/// enforcing the table's security labels for `session`: the row-label
+/// residual restricts which rows the statement may touch (a tenant can
+/// mutate only rows it can see) and denied columns may be neither read
+/// nor assigned.
 pub fn bind_dml(
     table_name: &str,
     predicate: &Option<Expr>,
     assignments: &[(String, Expr)],
     catalog: &Catalog,
+    session: Option<&SessionContext>,
 ) -> Result<BoundDml> {
     let table = catalog.table(table_name)?;
     let schema = Arc::clone(table.schema());
+    let authz = authorize(catalog, &table, session)?;
     let mut binder = Binder {
         catalog,
         schema: &schema,
         table_name,
         alias: None,
         udfs: Vec::new(),
+        denied: &authz.denied,
+        principal: &authz.principal,
     };
-    let mut predicates = Vec::new();
+    let mut ranked: Vec<(u32, usize, bool, BExpr)> = Vec::new();
+    if let Some(residual) = &authz.residual {
+        ranked.push((0, 0, true, label_to_bexpr(residual, &schema)?));
+        obs::global()
+            .counter(jaguar_sec::metrics::LABEL_REWRITES)
+            .inc();
+    }
+    let shift = ranked.len();
     if let Some(pred) = predicate {
         let conjuncts = pred.clone().conjuncts();
-        let mut ranked: Vec<(u32, usize, bool, BExpr)> = Vec::with_capacity(conjuncts.len());
         for (i, c) in conjuncts.into_iter().enumerate() {
             let bound = binder.bind(&c)?;
             if binder.type_of(&bound)? != Some(DataType::Bool) {
@@ -965,13 +1181,17 @@ pub fn bind_dml(
             }
             let cost = binder.cost_rank(&bound);
             let pinned = expr_has_pinned_udf(&bound, &binder.udfs);
-            ranked.push((cost, i, pinned, bound));
+            ranked.push((cost, i + shift, pinned, bound));
         }
-        predicates = order_conjuncts(ranked);
     }
+    let predicates = order_conjuncts(ranked);
     let mut bound_assignments = Vec::with_capacity(assignments.len());
     for (col, expr) in assignments {
         let idx = schema.resolve(col)?;
+        if authz.denied.contains(&idx) {
+            let canonical = &schema.field(idx).expect("resolved").name;
+            return Err(deny_column(canonical, table_name, &authz.principal));
+        }
         let bound = binder.bind(expr)?;
         let want = schema.field(idx).expect("resolved").dtype;
         if let Some(got) = binder.type_of(&bound)? {
@@ -1050,11 +1270,13 @@ fn explain_inner(plan: &BoundSelect, gather_dop: Option<usize>) -> String {
         "  "
     };
     for (i, p) in plan.predicates.iter().enumerate() {
-        let tag = if plan.reordered.get(i).copied().unwrap_or(false) {
-            " [reordered]"
-        } else {
-            ""
-        };
+        let mut tag = String::new();
+        if plan.labeled == Some(i) {
+            tag.push_str(" [labeled]");
+        }
+        if plan.reordered.get(i).copied().unwrap_or(false) {
+            tag.push_str(" [reordered]");
+        }
         let _ = writeln!(out, "{frag}Filter[{i}]{tag} {}", describe(p, plan));
     }
     match &plan.access {
@@ -1177,10 +1399,14 @@ mod tests {
     }
 
     fn bind(cat: &Catalog, sql: &str) -> Result<BoundSelect> {
+        bind_as(cat, sql, None)
+    }
+
+    fn bind_as(cat: &Catalog, sql: &str, session: Option<&SessionContext>) -> Result<BoundSelect> {
         let crate::ast::Statement::Select(s) = parse(sql)? else {
             panic!("not a select");
         };
-        bind_select(&s, cat)
+        bind_select(&s, cat, session)
     }
 
     #[test]
@@ -1306,5 +1532,64 @@ mod tests {
         let plan = bind(&cat, "SELECT id FROM stocks WHERE id > -5").unwrap();
         let txt = explain(&plan);
         assert!(txt.contains("(id > -5)"), "{txt}");
+    }
+
+    #[test]
+    fn row_label_injected_as_first_pinned_filter() {
+        let cat = setup();
+        cat.set_table_label(
+            "stocks",
+            Some("type = session.tenant OR session.role = 'admin'"),
+        )
+        .unwrap();
+        let sess = SessionContext::new("alice")
+            .with_attr("tenant", "tech")
+            .with_attr("role", "member");
+        let plan = bind_as(&cat, "SELECT id FROM stocks WHERE id < 10", Some(&sess)).unwrap();
+        assert_eq!(plan.labeled, Some(0));
+        let txt = explain(&plan);
+        assert!(txt.contains("[labeled]"), "{txt}");
+        let lab = txt.find("(type = 'tech')").expect("residual shown");
+        let user = txt.find("(id < 10)").expect("user predicate shown");
+        assert!(lab < user, "label filter must run first:\n{txt}");
+        // An admin session folds the label to allow: no residual at all.
+        let root = SessionContext::new("root")
+            .with_attr("tenant", "x")
+            .with_attr("role", "admin");
+        let plan = bind_as(&cat, "SELECT id FROM stocks", Some(&root)).unwrap();
+        assert_eq!(plan.labeled, None);
+        // A session missing a referenced attribute is denied outright.
+        let eve = SessionContext::new("eve");
+        let Err(err) = bind_as(&cat, "SELECT id FROM stocks", Some(&eve)) else {
+            panic!("attribute-less session must be denied");
+        };
+        assert!(
+            err.to_string().contains("denied for principal 'eve'"),
+            "{err}"
+        );
+        // The in-process system principal bypasses labels entirely.
+        assert!(bind(&cat, "SELECT id FROM stocks").is_ok());
+    }
+
+    #[test]
+    fn column_labels_prune_star_and_deny_references() {
+        let cat = setup();
+        cat.set_column_label("stocks", "history", Some("session.role = 'admin'"))
+            .unwrap();
+        let sess = SessionContext::new("alice").with_attr("role", "member");
+        let plan = bind_as(&cat, "SELECT * FROM stocks", Some(&sess)).unwrap();
+        assert_eq!(plan.output_schema.len(), 2, "history must be pruned");
+        let Err(err) = bind_as(&cat, "SELECT history FROM stocks", Some(&sess)) else {
+            panic!("explicit denied-column reference must fail");
+        };
+        assert!(err.to_string().contains("column 'history'"), "{err}");
+        // The denied column cannot be smuggled out as a UDF argument.
+        let Err(err) = bind_as(&cat, "SELECT InvestVal(history) FROM stocks", Some(&sess)) else {
+            panic!("denied column as UDF argument must fail");
+        };
+        assert!(matches!(err, JaguarError::SecurityViolation(_)), "{err}");
+        let root = SessionContext::new("root").with_attr("role", "admin");
+        let plan = bind_as(&cat, "SELECT * FROM stocks", Some(&root)).unwrap();
+        assert_eq!(plan.output_schema.len(), 3);
     }
 }

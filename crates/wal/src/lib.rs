@@ -44,8 +44,9 @@ use jaguar_common::config::{Config, SyncMode};
 use jaguar_common::error::{JaguarError, Result};
 use jaguar_common::obs;
 use jaguar_common::retry::{self, RetryPolicy};
+use jaguar_sec::PageCipher;
 use jaguar_storage::page::set_page_lsn;
-use jaguar_storage::{BufferPool, WalHook};
+use jaguar_storage::{BufferPool, DiskManager, WalHook};
 use parking_lot::{Condvar, Mutex, RwLock};
 
 use record::{encode_frame, WalRecord};
@@ -85,6 +86,11 @@ pub struct Wal {
     /// so a log truncation can never delete half of an in-flight txn.
     txn_gate: RwLock<()>,
     next_txn: AtomicU64,
+    /// When set, logged page images are transformed into their on-disk
+    /// sealed (encrypted) form before hitting the log, so the log never
+    /// carries plaintext row data and recovery can replay the bytes
+    /// verbatim without the key.
+    cipher: Option<Arc<dyn PageCipher>>,
 }
 
 impl Wal {
@@ -93,6 +99,17 @@ impl Wal {
     /// data files are synced, and the log is truncated. Returns the live
     /// log plus what recovery did (also mirrored to `wal.*` metrics).
     pub fn open(dir: &Path, config: &Config) -> Result<(Arc<Wal>, RecoveryStats)> {
+        Wal::open_with_cipher(dir, config, None)
+    }
+
+    /// [`Wal::open`] for an encrypted database: future page images are
+    /// sealed with `cipher` before being logged. Recovery itself needs no
+    /// key — replayed images are already in on-disk form.
+    pub fn open_with_cipher(
+        dir: &Path,
+        config: &Config,
+        cipher: Option<Arc<dyn PageCipher>>,
+    ) -> Result<(Arc<Wal>, RecoveryStats)> {
         let stats = recover::replay(dir, config.page_size)?;
         let path = dir.join(WAL_FILE);
         let file = OpenOptions::new()
@@ -122,6 +139,7 @@ impl Wal {
             sync_cv: Condvar::new(),
             txn_gate: RwLock::new(()),
             next_txn: AtomicU64::new(0),
+            cipher,
         });
         // Everything replayed is in synced data files: start from an empty
         // log (plus a Checkpoint marker) rather than replaying again.
@@ -232,11 +250,18 @@ impl Wal {
                 self.append_with(|lsn| {
                     let mut guard = handle.write_nolog();
                     set_page_lsn(&mut guard, lsn);
+                    // The pool frame stays plaintext; only the logged copy
+                    // is sealed, matching what write_page would persist so
+                    // replay writes it verbatim.
+                    let mut data = guard.clone();
+                    if let Some(cipher) = &self.cipher {
+                        DiskManager::seal_for_disk(cipher.as_ref(), *pid, &mut data);
+                    }
                     Ok(WalRecord::PageImage {
                         txn,
                         file,
                         page: pid.0,
-                        data: guard.clone(),
+                        data,
                     })
                 })?;
                 if i == 0 {

@@ -641,6 +641,130 @@ fn optimization_matrix_matches_unoptimized_reference() {
     }
 }
 
+/// A multi-tenant variant of [`sql_db_batch`]: rows carry a tenant column
+/// and the table a row label, every generic design registered.
+fn labeled_db(dop: usize, rows: usize, batch: usize) -> Database {
+    let db = Database::with_config(
+        Config::default()
+            .with_dop(dop)
+            .with_pooled_executors(4)
+            .with_udf_batch_size(batch),
+    );
+    db.execute("CREATE TABLE rel (id INT, tenant VARCHAR, bytearray BYTEARRAY)")
+        .unwrap();
+    let t = db.catalog().table("rel").unwrap();
+    for i in 0..rows {
+        let tenant = if i % 2 == 0 { "tech" } else { "energy" };
+        t.insert(Tuple::new(vec![
+            Value::Int(i as i64),
+            Value::Str(tenant.into()),
+            Value::Bytes(ByteArray::patterned(100, i as u64)),
+        ]))
+        .unwrap();
+    }
+    db.set_table_label(
+        "rel",
+        Some("tenant = session.tenant OR session.role = 'admin'"),
+    )
+    .unwrap();
+    db.register_udf(def_native());
+    db.register_udf(def_vm(true, ResourceLimits::default()));
+    db.register_udf(def_isolated());
+    db.register_udf(def_isolated_vm(true, ResourceLimits::default()));
+    db
+}
+
+/// Satellite acceptance: a label-filtered query must produce the same
+/// result set as its manually-filtered twin run by the system principal,
+/// for every trust design × dop ∈ {1, 4} × batching on/off. The twin
+/// carries the tenant predicate the rewrite injects, so any divergence
+/// means the label filter ran in the wrong place (or not at all).
+#[test]
+fn label_filtered_queries_agree_across_designs_dop_and_batching() {
+    use jaguar_core::SessionContext;
+    let with_worker = worker_available();
+    let tech = SessionContext::new("alice")
+        .with_attr("tenant", "tech")
+        .with_attr("role", "member");
+    let designs: &[(&str, bool)] = &[
+        ("generic", false),
+        ("generic_vm", false),
+        ("generic_ic", true),
+        ("generic_ivm", true),
+    ];
+    for dop in [1usize, 4] {
+        for batch in [1usize, 256] {
+            let db = labeled_db(dop, 300, batch);
+            for (udf, needs_worker) in designs {
+                if *needs_worker && !with_worker {
+                    continue;
+                }
+                let labeled = db
+                    .execute_as(
+                        &format!("SELECT id, {udf}(bytearray, 3, 1, 0) FROM rel WHERE id % 3 <> 1"),
+                        Some(&tech),
+                    )
+                    .unwrap();
+                let twin = db
+                    .execute(&format!(
+                        "SELECT id, {udf}(bytearray, 3, 1, 0) FROM rel \
+                         WHERE tenant = 'tech' AND id % 3 <> 1"
+                    ))
+                    .unwrap();
+                assert_eq!(
+                    normalized(&labeled.rows),
+                    normalized(&twin.rows),
+                    "label-filtered result diverged for {udf} at dop={dop} batch={batch}"
+                );
+                assert!(
+                    !labeled.rows.is_empty(),
+                    "vacuous comparison for {udf} at dop={dop} batch={batch}"
+                );
+            }
+        }
+    }
+}
+
+/// A denied statement must fail with byte-identical error text whatever
+/// the trust design, degree of parallelism, or batching mode — denial is
+/// a plan-time decision with a single enforcement site.
+#[test]
+fn denied_query_error_text_is_identical_everywhere() {
+    use jaguar_core::SessionContext;
+    let with_worker = worker_available();
+    // No attributes: the label's deny-safety rejects eve outright.
+    let eve = SessionContext::new("eve");
+    let mut texts = std::collections::BTreeSet::new();
+    for dop in [1usize, 4] {
+        for batch in [1usize, 256] {
+            let db = labeled_db(dop, 30, batch);
+            for (udf, needs_worker) in [
+                ("generic", false),
+                ("generic_vm", false),
+                ("generic_ic", true),
+                ("generic_ivm", true),
+            ] {
+                if needs_worker && !with_worker {
+                    continue;
+                }
+                let err = db
+                    .execute_as(
+                        &format!("SELECT {udf}(bytearray, 1, 0, 0) FROM rel"),
+                        Some(&eve),
+                    )
+                    .unwrap_err();
+                texts.insert(err.to_string());
+            }
+        }
+    }
+    assert_eq!(texts.len(), 1, "denial text diverged: {texts:?}");
+    let text = texts.iter().next().unwrap();
+    assert!(
+        text.contains("access to table 'rel' denied for principal 'eve'"),
+        "{text}"
+    );
+}
+
 /// The straight-line JagScript body used for the inlining matrix —
 /// arithmetic, a comparison, and a conditional; no loops or callbacks.
 const STRAIGHTLINE_SRC: &str = "fn main(a: i64, b: i64) -> i64 {

@@ -15,6 +15,10 @@ use jaguar_core::{Config, Database, SyncMode, Value};
 
 const DIR_ENV: &str = "JAGUAR_HARNESS_DIR";
 const PHASE_ENV: &str = "JAGUAR_HARNESS_PHASE";
+/// When set, harness children open the database with this encryption
+/// passphrase — the same durability matrix, with every page and WAL image
+/// sealed.
+const ENC_ENV: &str = "JAGUAR_HARNESS_ENC";
 
 fn harness_dir(tag: &str) -> PathBuf {
     let dir = std::env::temp_dir().join(format!("jaguar-crash-{tag}-{}", std::process::id()));
@@ -24,7 +28,11 @@ fn harness_dir(tag: &str) -> PathBuf {
 }
 
 fn config() -> Config {
-    Config::default().with_sync_mode(SyncMode::Full)
+    let c = Config::default().with_sync_mode(SyncMode::Full);
+    match std::env::var(ENC_ENV) {
+        Ok(key) => c.with_encryption_key(key),
+        Err(_) => c,
+    }
 }
 
 /// Re-exec this test binary, running only the `crash_child` helper with the
@@ -36,7 +44,8 @@ fn spawn_child(dir: &Path, phase: &str, extra_env: &[(&str, &str)]) -> std::proc
         .env(DIR_ENV, dir)
         .env(PHASE_ENV, phase)
         .env_remove(CRASH_POINT_ENV)
-        .env_remove(TORN_TAIL_ENV);
+        .env_remove(TORN_TAIL_ENV)
+        .env_remove(ENC_ENV);
     for (k, v) in extra_env {
         cmd.env(k, v);
     }
@@ -219,6 +228,159 @@ fn failed_statement_partial_effects_are_sealed() {
     );
     drop(db);
     let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The durability matrix again, with encryption at rest switched on: every
+/// crash point must recover to the same consistent state it does for a
+/// plaintext database — committed stays, uncommitted vanishes — with WAL
+/// replay operating on sealed page images throughout.
+#[test]
+fn every_crash_point_recovers_with_encryption_on() {
+    const KEY: &str = "crash-harness-passphrase";
+    for point in jaguar_core::wal::fault::CRASH_POINTS {
+        let dir = harness_dir(&format!("enc-{}", point.replace('.', "-")));
+        let setup = spawn_child(&dir, "setup", &[(ENC_ENV, KEY)]);
+        assert!(setup.success(), "{point}: encrypted setup child failed");
+
+        let status = spawn_child(&dir, "crash", &[(CRASH_POINT_ENV, point), (ENC_ENV, KEY)]);
+        assert_died_abruptly(status, point);
+
+        let db = Database::open(
+            &dir,
+            Config::default()
+                .with_sync_mode(SyncMode::Full)
+                .with_encryption_key(KEY),
+        )
+        .unwrap();
+        let committed = matches!(*point, "wal.after_commit_write" | "wal.after_commit_sync");
+        let expect = if committed { vec![1, 2] } else { vec![1] };
+        assert_eq!(
+            rows(&db),
+            expect,
+            "{point}: wrong rows after encrypted recovery"
+        );
+        drop(db);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+/// Opening an encrypted database with the wrong passphrase (or none) must
+/// fail cleanly before any WAL replay touches a page — zero pages
+/// replayed, and the original key still opens it afterwards.
+#[test]
+fn wrong_key_fails_cleanly_with_zero_pages_replayed() {
+    const KEY: &str = "the-right-passphrase";
+    let dir = harness_dir("wrongkey");
+    let setup = spawn_child(&dir, "setup", &[(ENC_ENV, KEY)]);
+    assert!(setup.success(), "encrypted setup child failed");
+    // Crash mid-commit so a reopen genuinely has WAL work pending.
+    let status = spawn_child(
+        &dir,
+        "crash",
+        &[(CRASH_POINT_ENV, "wal.after_commit_write"), (ENC_ENV, KEY)],
+    );
+    assert_died_abruptly(status, "wrong-key harness");
+
+    let base = Config::default().with_sync_mode(SyncMode::Full);
+    let before = jaguar_core::obs::global().snapshot();
+    let Err(err) = Database::open(&dir, base.clone().with_encryption_key("not-the-key")) else {
+        panic!("wrong key must not open the database");
+    };
+    assert!(
+        err.to_string().contains("encryption_key"),
+        "wrong key must name the key problem: {err}"
+    );
+    let Err(err) = Database::open(&dir, base.clone()) else {
+        panic!("missing key must not open the database");
+    };
+    assert!(
+        err.to_string().contains("encryption_key"),
+        "missing key must name the key problem: {err}"
+    );
+    let after = jaguar_core::obs::global().snapshot();
+    assert_eq!(
+        after.counter("wal.replayed_pages"),
+        before.counter("wal.replayed_pages"),
+        "a failed key check must not replay a single page"
+    );
+    // The right key still recovers the crashed commit.
+    let db = Database::open(&dir, base.with_encryption_key(KEY)).unwrap();
+    assert_eq!(rows(&db), vec![1, 2]);
+    drop(db);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Acceptance byte-scan: with encryption on, no data file and no WAL
+/// segment may contain row plaintext. The same scan against a plaintext
+/// twin database must find the sentinel — proving the scan itself works.
+#[test]
+fn encrypted_files_contain_no_plaintext() {
+    const SENTINEL: &str = "TOPSECRET_TENANT_ROW_9481";
+
+    fn populate(db: &Database) {
+        db.execute("CREATE TABLE docs (id INT, body VARCHAR)")
+            .unwrap();
+        for i in 0..50 {
+            db.execute(&format!("INSERT INTO docs VALUES ({i}, '{SENTINEL}')"))
+                .unwrap();
+        }
+        // Leave WAL content behind too: checkpoint flushes pages, then one
+        // more insert lands in the live log segment.
+        db.checkpoint().unwrap();
+        db.execute(&format!("INSERT INTO docs VALUES (999, '{SENTINEL}')"))
+            .unwrap();
+    }
+
+    fn scan_files(dir: &Path, needle: &[u8]) -> Vec<PathBuf> {
+        let mut hits = Vec::new();
+        let mut stack = vec![dir.to_path_buf()];
+        while let Some(d) = stack.pop() {
+            for entry in std::fs::read_dir(&d).unwrap() {
+                let path = entry.unwrap().path();
+                if path.is_dir() {
+                    stack.push(path);
+                } else {
+                    let bytes = std::fs::read(&path).unwrap();
+                    if bytes.windows(needle.len()).any(|w| w == needle) {
+                        hits.push(path);
+                    }
+                }
+            }
+        }
+        hits
+    }
+
+    let enc_dir = harness_dir("scan-enc");
+    {
+        let db = Database::open(
+            &enc_dir,
+            Config::default().with_encryption_key("scan-passphrase"),
+        )
+        .unwrap();
+        populate(&db);
+        std::mem::forget(db); // no clean close: WAL tail stays on disk
+    }
+    let hits = scan_files(&enc_dir, SENTINEL.as_bytes());
+    assert!(
+        hits.is_empty(),
+        "plaintext sentinel found in encrypted files: {hits:?}"
+    );
+
+    // Control: the identical workload without encryption must be visible
+    // to the same scan, or the assertion above proves nothing.
+    let plain_dir = harness_dir("scan-plain");
+    {
+        let db = Database::open(&plain_dir, Config::default()).unwrap();
+        populate(&db);
+        std::mem::forget(db);
+    }
+    let hits = scan_files(&plain_dir, SENTINEL.as_bytes());
+    assert!(
+        !hits.is_empty(),
+        "control scan found nothing — the byte-scan is broken"
+    );
+    let _ = std::fs::remove_dir_all(&enc_dir);
+    let _ = std::fs::remove_dir_all(&plain_dir);
 }
 
 /// `wal.*` metrics are visible through the public facade.
